@@ -1,0 +1,135 @@
+/**
+ * @file
+ * lapsim — the command-line front end of the simulator.
+ *
+ * Examples:
+ *   lapsim --mix WH5 --policy lap
+ *   lapsim --benchmarks omnetpp,mcf,libquantum,astar --policy ex
+ *   lapsim --parsec streamcluster --policy lap
+ *   lapsim --hybrid --placement lhybrid --policy lap --json out.json
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/options.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+#include "workloads/parsec.hh"
+#include "workloads/spec2006.hh"
+
+using namespace lap;
+
+namespace
+{
+
+MixSpec
+findMix(const std::string &name)
+{
+    for (const auto &mix : tableThreeMixes()) {
+        if (mix.name == name)
+            return mix;
+    }
+    for (const auto &mix : randomMixes(50, 4)) {
+        if (mix.name == name)
+            return mix;
+    }
+    lap_fatal("unknown mix '%s' (WL1..WH5, MIX1..MIX50)", name.c_str());
+}
+
+void
+printReport(const std::string &label, const Metrics &m)
+{
+    std::printf("workload: %s\n\n", label.c_str());
+    Table t({"metric", "value"});
+    t.addRow({"instructions", std::to_string(m.instructions)});
+    t.addRow({"cycles", std::to_string(m.cycles)});
+    t.addRow({"throughput (sum IPC)", Table::num(m.throughput, 3)});
+    t.addRow({"LLC EPI (nJ/instr)", Table::num(m.epi, 4)});
+    t.addRow({"  static / dynamic", Table::num(m.epiStatic, 4) + " / "
+                                        + Table::num(m.epiDynamic, 4)});
+    t.addRow({"LLC hits / misses", std::to_string(m.llcHits) + " / "
+                                       + std::to_string(m.llcMisses)});
+    t.addRow({"LLC MPKI", Table::num(m.llcMpki, 2)});
+    t.addRow({"LLC writes", std::to_string(m.llcWritesTotal)});
+    t.addRow({"  fill / clean / dirty / mig",
+              std::to_string(m.llcWritesFill) + " / "
+                  + std::to_string(m.llcWritesCleanVictim) + " / "
+                  + std::to_string(m.llcWritesDirtyVictim) + " / "
+                  + std::to_string(m.llcWritesMigration)});
+    t.addRow({"redundant fill fraction",
+              Table::percent(m.redundantFillFraction)});
+    t.addRow({"loop-block eviction share",
+              Table::percent(m.loopEvictionFraction)});
+    t.addRow({"snoop messages", std::to_string(m.snoopMessages)});
+    t.addRow({"DRAM reads / writes", std::to_string(m.dramReads) + " / "
+                                         + std::to_string(m.dramWrites)});
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const CliOptions opts = parseCliOptions(args);
+    if (opts.showHelp) {
+        std::fputs(cliHelpText().c_str(), stdout);
+        return 0;
+    }
+
+    Simulator sim(opts.config);
+    Metrics metrics;
+    std::string label;
+
+    switch (opts.workload) {
+      case CliOptions::WorkloadKind::Mix: {
+        const MixSpec mix = findMix(opts.mixName);
+        label = mix.name;
+        for (const auto &b : mix.benchmarks)
+            label += " " + spec2006Canonical(b);
+        metrics = sim.run(resolveMix(mix));
+        break;
+      }
+      case CliOptions::WorkloadKind::Benchmarks: {
+        MixSpec mix;
+        mix.name = "cli";
+        for (std::uint32_t c = 0; c < opts.config.numCores; ++c) {
+            mix.benchmarks.push_back(
+                opts.benchmarks[c % opts.benchmarks.size()]);
+        }
+        label = "custom:";
+        for (const auto &b : mix.benchmarks)
+            label += " " + spec2006Canonical(b);
+        metrics = sim.run(resolveMix(mix));
+        break;
+      }
+      case CliOptions::WorkloadKind::Parsec: {
+        label = "parsec:" + opts.parsec;
+        metrics = sim.runMultiThreaded(parsecBenchmark(opts.parsec));
+        break;
+      }
+    }
+
+    std::printf("policy: %s  placement: %s  LLC: %s%s\n",
+                toString(opts.config.policy),
+                toString(opts.config.placement),
+                opts.config.hybridLlc ? "hybrid "
+                                      : toString(opts.config.llcTech),
+                opts.config.deadWriteBypass ? "  (+DASCA)" : "");
+    printReport(label, metrics);
+
+    if (opts.dumpStats) {
+        std::printf("\n--- statistics dump ---\n%s",
+                    dumpStats(sim.hierarchy()).c_str());
+    }
+
+    if (!opts.jsonPath.empty()) {
+        writeFile(opts.jsonPath,
+                  experimentToJson(label, opts.config, metrics) + "\n");
+        std::printf("\nJSON written to %s\n", opts.jsonPath.c_str());
+    }
+    return 0;
+}

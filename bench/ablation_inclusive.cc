@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: why the paper drops strictly inclusive LLCs from the
+ * evaluation (Section II footnote: industry is moving away from
+ * strict inclusion, and write bypassing is impossible when inclusion
+ * is enforced). Quantifies the inclusive LLC's energy and
+ * back-invalidation cost against non-inclusion and LAP.
+ */
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Ablation: strictly inclusive LLC",
+                  "inclusion forces fills + back-invalidations");
+
+    Table t({"mix", "incl/noni EPI", "incl MPKI ratio",
+             "back-invalidations", "LAP/noni EPI"});
+    std::vector<double> incl_ratios, lap_ratios;
+    for (const auto &mix : tableThreeMixes()) {
+        SimConfig noni_cfg;
+        noni_cfg.policy = PolicyKind::NonInclusive;
+        noni_cfg.warmupRefs /= 2;
+        noni_cfg.measureRefs /= 2;
+        const Metrics noni = bench::runMix(noni_cfg, mix);
+
+        SimConfig incl_cfg = noni_cfg;
+        incl_cfg.policy = PolicyKind::Inclusive;
+        Simulator incl_sim(applyEnvScaling(incl_cfg));
+        const Metrics incl = incl_sim.run(resolveMix(mix));
+        const auto back_invals =
+            incl_sim.hierarchy().stats().llcBackInvalidations;
+
+        SimConfig lap_cfg = noni_cfg;
+        lap_cfg.policy = PolicyKind::Lap;
+        const Metrics lap = bench::runMix(lap_cfg, mix);
+
+        const double ir = bench::ratio(incl.epi, noni.epi);
+        const double lr = bench::ratio(lap.epi, noni.epi);
+        incl_ratios.push_back(ir);
+        lap_ratios.push_back(lr);
+        t.addRow({mix.name, Table::num(ir),
+                  Table::num(bench::ratio(incl.llcMpki, noni.llcMpki)),
+                  std::to_string(back_invals), Table::num(lr)});
+    }
+    t.addSeparator();
+    t.addRow({"Avg", Table::num(bench::mean(incl_ratios)), "", "",
+              Table::num(bench::mean(lap_ratios))});
+    t.print();
+
+    std::printf("\nexpectation: inclusive >= non-inclusive energy on "
+                "these mixes, far above LAP.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration benches.
+ */
+
+#ifndef LAPSIM_BENCH_BENCH_UTIL_HH
+#define LAPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+#include "workloads/parsec.hh"
+#include "workloads/spec2006.hh"
+
+namespace lap::bench
+{
+
+/** Prints a figure/table banner. */
+inline void
+banner(const std::string &title, const std::string &paper_note)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!paper_note.empty())
+        std::printf("paper: %s\n", paper_note.c_str());
+    std::printf("\n");
+}
+
+/** Runs one multi-programmed mix under a config. */
+inline Metrics
+runMix(const SimConfig &config, const MixSpec &mix)
+{
+    Simulator sim(applyEnvScaling(config));
+    return sim.run(resolveMix(mix));
+}
+
+/** Runs `cores` duplicate copies of one benchmark. */
+inline Metrics
+runDuplicate(const SimConfig &config, const std::string &benchmark)
+{
+    return runMix(config, duplicateMix(benchmark, config.numCores));
+}
+
+/** Runs one PARSEC workload multi-threaded with coherence. */
+inline Metrics
+runParsec(SimConfig config, const std::string &benchmark)
+{
+    config.coherence = true;
+    Simulator sim(applyEnvScaling(config));
+    return sim.runMultiThreaded(parsecBenchmark(benchmark));
+}
+
+/** Safe ratio (returns 0 when the denominator is 0). */
+inline double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+/** Geometric-mean-free average of a vector. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace lap::bench
+
+#endif // LAPSIM_BENCH_BENCH_UTIL_HH

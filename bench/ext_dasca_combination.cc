@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Extension experiment: combining LAP with DASCA-style dead-write
+ * bypassing. The paper's related-work section argues the two are
+ * orthogonal ("their deadblock bypassing technique ... can be
+ * combined with our approaches to further reduce the dynamic energy
+ * consumption"); this bench quantifies the claim on the Table III
+ * mixes.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Extension: LAP x DASCA dead-write bypass",
+                  "paper claims the techniques compose; measure it");
+
+    struct Entry
+    {
+        const char *label;
+        PolicyKind policy;
+        bool dasca;
+    };
+    const std::vector<Entry> entries = {
+        {"noni+DASCA", PolicyKind::NonInclusive, true},
+        {"ex+DASCA", PolicyKind::Exclusive, true},
+        {"LAP", PolicyKind::Lap, false},
+        {"LAP+DASCA", PolicyKind::Lap, true},
+    };
+
+    Table t({"mix", "noni+DASCA", "ex+DASCA", "LAP", "LAP+DASCA",
+             "bypassed (LAP+DASCA)"});
+    std::map<std::string, std::vector<double>> ratios;
+    for (const auto &mix : tableThreeMixes()) {
+        SimConfig noni_cfg;
+        noni_cfg.policy = PolicyKind::NonInclusive;
+        const Metrics noni = bench::runMix(noni_cfg, mix);
+
+        std::vector<std::string> row{mix.name};
+        std::uint64_t bypassed = 0;
+        for (const auto &entry : entries) {
+            SimConfig cfg;
+            cfg.policy = entry.policy;
+            cfg.deadWriteBypass = entry.dasca;
+            Simulator sim(applyEnvScaling(cfg));
+            const Metrics m = sim.run(resolveMix(mix));
+            const double r = bench::ratio(m.epi, noni.epi);
+            ratios[entry.label].push_back(r);
+            row.push_back(Table::num(r));
+            if (entry.policy == PolicyKind::Lap && entry.dasca) {
+                bypassed =
+                    sim.hierarchy().stats().llcBypassedWrites;
+            }
+        }
+        row.push_back(std::to_string(bypassed));
+        t.addRow(row);
+    }
+    t.addSeparator();
+    std::vector<std::string> avg{"Avg"};
+    for (const auto &entry : entries)
+        avg.push_back(Table::num(bench::mean(ratios[entry.label])));
+    t.addRow(avg);
+    t.print();
+
+    const double lap = bench::mean(ratios["LAP"]);
+    const double combo = bench::mean(ratios["LAP+DASCA"]);
+    std::printf("\ncombination check: LAP+DASCA (%.3f) <= LAP (%.3f) "
+                "-> %s\n",
+                combo, lap, combo <= lap + 0.005 ? "OK" : "MISMATCH");
+    return 0;
+}

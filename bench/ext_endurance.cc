@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Extension experiment: NVM endurance. STT-RAM cells endure a large
+ * but bounded number of programs (~1e12-1e15); the LLC's lifetime is
+ * bounded by its most-written way. Since LAP's whole point is write
+ * reduction, it should extend lifetime over both non-inclusion and
+ * exclusion. Reports per-way write pressure and the relative
+ * lifetime (1 / max-way write rate) per policy.
+ */
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Extension: STT-RAM endurance / lifetime",
+                  "LAP's write cuts extend the wear-limited lifetime");
+
+    Table t({"mix", "policy", "LLC writes", "max/way", "imbalance",
+             "relative lifetime"});
+    std::vector<double> lap_life, ex_life;
+    for (const auto &mix : tableThreeMixes()) {
+        double noni_rate = 0.0;
+        for (PolicyKind kind :
+             {PolicyKind::NonInclusive, PolicyKind::Exclusive,
+              PolicyKind::Lap}) {
+            SimConfig cfg;
+            cfg.policy = kind;
+            cfg.warmupRefs /= 2;
+            cfg.measureRefs /= 2;
+            Simulator sim(applyEnvScaling(cfg));
+            const Metrics m = sim.run(resolveMix(mix));
+            const auto wear =
+                sim.hierarchy().llc().wearStats(MemTech::STTRAM);
+            // Lifetime ~ endurance / (max per-way writes per cycle).
+            const double rate = m.cycles == 0
+                ? 0.0
+                : static_cast<double>(wear.maxPerWay)
+                    / static_cast<double>(m.cycles);
+            if (kind == PolicyKind::NonInclusive)
+                noni_rate = rate;
+            const double lifetime =
+                rate == 0.0 ? 0.0 : noni_rate / rate;
+            if (kind == PolicyKind::Lap)
+                lap_life.push_back(lifetime);
+            if (kind == PolicyKind::Exclusive)
+                ex_life.push_back(lifetime);
+            t.addRow({kind == PolicyKind::NonInclusive ? mix.name : "",
+                      toString(kind), std::to_string(m.llcWritesTotal),
+                      std::to_string(wear.maxPerWay),
+                      Table::num(wear.imbalance, 2),
+                      Table::num(lifetime, 2)});
+        }
+        t.addSeparator();
+    }
+    t.print();
+
+    std::printf("\nLAP mean relative lifetime %.2fx vs noni "
+                "(exclusion: %.2fx)\n",
+                bench::mean(lap_life), bench::mean(ex_life));
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates paper Fig 6: fraction of redundant LLC data-fills
+ * under the non-inclusive policy per SPEC benchmark (fills that are
+ * overwritten by a dirty victim before any reuse, Fig 5).
+ *
+ * Paper shape: libquantum above 80%; astar, GemsFDTD, mcf large;
+ * omnetpp/xalancbmk small.
+ */
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Fig 6: redundant LLC data-fill under non-inclusion",
+                  "libquantum > 80%; astar/GemsFDTD/mcf large");
+
+    Table t({"benchmark", "redundant fill", "dead fills", "demand fills"});
+    for (const auto &name : spec2006Names()) {
+        SimConfig config;
+        config.policy = PolicyKind::NonInclusive;
+        const Metrics m = bench::runDuplicate(config, name);
+        const double dead =
+            bench::ratio(static_cast<double>(m.llcDeadFills),
+                         static_cast<double>(m.llcDemandFills));
+        t.addRow({name, Table::percent(m.redundantFillFraction),
+                  Table::percent(dead),
+                  std::to_string(m.llcDemandFills)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Regenerates paper Fig 13: the workload-characteristic scatter of
+ * relative LLC misses (Mrel) vs relative write traffic (Wrel) for
+ * exclusion normalized to non-inclusion, with the borderline that
+ * separates exclusion-friendly from non-inclusion-friendly mixes.
+ *
+ * Paper shape: WL mixes sit below the borderline (favour exclusion),
+ * WH mixes above; the paper reports a borderline slope of -0.8 in
+ * (Mrel, Wrel) space.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Fig 13: Mrel vs Wrel workload space",
+                  "WL below / WH above the energy-neutral borderline");
+
+    struct Point
+    {
+        std::string name;
+        double mrel;
+        double wrel;
+        double epi_ratio;
+    };
+    std::vector<Point> points;
+
+    auto run_point = [&](const MixSpec &mix, double scale) {
+        SimConfig noni_cfg;
+        noni_cfg.policy = PolicyKind::NonInclusive;
+        noni_cfg.warmupRefs = static_cast<std::uint64_t>(
+            noni_cfg.warmupRefs * scale);
+        noni_cfg.measureRefs = static_cast<std::uint64_t>(
+            noni_cfg.measureRefs * scale);
+        SimConfig ex_cfg = noni_cfg;
+        ex_cfg.policy = PolicyKind::Exclusive;
+        const Metrics noni = bench::runMix(noni_cfg, mix);
+        const Metrics ex = bench::runMix(ex_cfg, mix);
+        points.push_back(
+            {mix.name,
+             bench::ratio(static_cast<double>(ex.llcMisses),
+                          static_cast<double>(noni.llcMisses)),
+             bench::ratio(static_cast<double>(ex.llcWritesTotal),
+                          static_cast<double>(noni.llcWritesTotal)),
+             bench::ratio(ex.epi, noni.epi)});
+    };
+
+    for (const auto &mix : tableThreeMixes())
+        run_point(mix, 1.0);
+    for (const auto &mix : randomMixes(50, 4))
+        run_point(mix, 0.25);
+
+    Table t({"mix", "Mrel", "Wrel", "ex/noni EPI", "favors"});
+    for (const auto &p : points) {
+        if (p.name.rfind("MIX", 0) == 0)
+            continue; // table lists only the named mixes
+        t.addRow({p.name, Table::num(p.mrel), Table::num(p.wrel),
+                  Table::num(p.epi_ratio),
+                  p.epi_ratio < 1.0 ? "exclusion" : "non-inclusion"});
+    }
+    t.print();
+
+    // Fit EPI_ratio = c0 + c1*Mrel + c2*Wrel over all mixes (least
+    // squares); the energy-neutral borderline is the EPI_ratio = 1
+    // contour, i.e. Wrel = (1 - c0 - c1*Mrel)/c2 with slope -c1/c2.
+    double s = 0, sm = 0, sw2 = 0, smm = 0, sww = 0, smw = 0, se = 0,
+           sme = 0, swe = 0;
+    for (const auto &p : points) {
+        s += 1;
+        sm += p.mrel;
+        sw2 += p.wrel;
+        smm += p.mrel * p.mrel;
+        sww += p.wrel * p.wrel;
+        smw += p.mrel * p.wrel;
+        se += p.epi_ratio;
+        sme += p.mrel * p.epi_ratio;
+        swe += p.wrel * p.epi_ratio;
+    }
+    // Solve the 3x3 normal equations by Cramer's rule.
+    const double a[3][3] = {{s, sm, sw2}, {sm, smm, smw},
+                            {sw2, smw, sww}};
+    const double b[3] = {se, sme, swe};
+    auto det3 = [](const double m[3][3]) {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    };
+    const double det = det3(a);
+    double coef[3] = {0, 0, 0};
+    if (std::abs(det) > 1e-12) {
+        for (int col = 0; col < 3; ++col) {
+            double mod[3][3];
+            for (int r = 0; r < 3; ++r) {
+                for (int c = 0; c < 3; ++c)
+                    mod[r][c] = c == col ? b[r] : a[r][c];
+            }
+            coef[col] = det3(mod) / det;
+        }
+    }
+    const double slope = coef[2] == 0.0 ? 0.0 : -coef[1] / coef[2];
+    const double intercept =
+        coef[2] == 0.0 ? 0.0 : (1.0 - coef[0]) / coef[2];
+
+    std::printf("\nEPI model: ratio = %.2f %+.2f*Mrel %+.2f*Wrel\n",
+                coef[0], coef[1], coef[2]);
+    std::printf("energy-neutral borderline over %zu mixes: "
+                "Wrel = %.2f %+.2f * Mrel (paper slope: -0.8)\n",
+                points.size(), intercept, slope);
+
+    int consistent = 0;
+    for (const auto &p : points) {
+        const double border = intercept + slope * p.mrel;
+        const bool predicted_noni = p.wrel > border;
+        if (predicted_noni == (p.epi_ratio > 1.0))
+            consistent++;
+    }
+    std::printf("borderline classifies %d/%zu mixes consistently with "
+                "measured EPI\n",
+                consistent, points.size());
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates paper Fig 14: LLC overall EPI, LLC dynamic EPI, and
+ * system throughput of Exclusive / FLEXclusion / Dswitch / LAP,
+ * normalized to the non-inclusive STT-RAM LLC, over the Table III
+ * mixes.
+ *
+ * Paper headline: LAP saves 20% / 12% energy vs noni / ex on
+ * average (up to 51% / 47%), Dswitch 10% / 2%; FLEXclusion can be
+ * worse than exclusion; LAP throughput +12% vs noni, +2% vs ex.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Fig 14: policy comparison on STT-RAM LLC",
+                  "LAP ~20%/12% energy savings vs noni/ex; perf "
+                  "+12%/+2%");
+
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Exclusive, PolicyKind::Flexclusion,
+        PolicyKind::Dswitch, PolicyKind::Lap};
+
+    Table epi({"mix", "ex", "FLEX", "Dswitch", "LAP"});
+    Table dyn({"mix", "ex", "FLEX", "Dswitch", "LAP"});
+    Table perf({"mix", "ex", "FLEX", "Dswitch", "LAP"});
+
+    std::map<PolicyKind, std::vector<double>> epi_r, dyn_r, perf_r;
+
+    for (const auto &mix : tableThreeMixes()) {
+        SimConfig noni_cfg;
+        noni_cfg.policy = PolicyKind::NonInclusive;
+        const Metrics noni = bench::runMix(noni_cfg, mix);
+
+        std::vector<std::string> epi_row{mix.name}, dyn_row{mix.name},
+            perf_row{mix.name};
+        for (PolicyKind kind : policies) {
+            SimConfig cfg;
+            cfg.policy = kind;
+            const Metrics m = bench::runMix(cfg, mix);
+            const double er = bench::ratio(m.epi, noni.epi);
+            const double dr = bench::ratio(m.epiDynamic, noni.epiDynamic);
+            const double pr = bench::ratio(m.throughput, noni.throughput);
+            epi_r[kind].push_back(er);
+            dyn_r[kind].push_back(dr);
+            perf_r[kind].push_back(pr);
+            epi_row.push_back(Table::num(er));
+            dyn_row.push_back(Table::num(dr));
+            perf_row.push_back(Table::num(pr));
+        }
+        epi.addRow(epi_row);
+        dyn.addRow(dyn_row);
+        perf.addRow(perf_row);
+    }
+
+    auto add_average = [&](Table &t,
+                           std::map<PolicyKind, std::vector<double>> &r) {
+        t.addSeparator();
+        std::vector<std::string> row{"Avg"};
+        for (PolicyKind kind : policies)
+            row.push_back(Table::num(bench::mean(r[kind])));
+        t.addRow(row);
+    };
+    add_average(epi, epi_r);
+    add_average(dyn, dyn_r);
+    add_average(perf, perf_r);
+
+    std::printf("(a) LLC overall EPI normalized to non-inclusion\n");
+    epi.print();
+    std::printf("\n(b) LLC dynamic EPI normalized to non-inclusion\n");
+    dyn.print();
+    std::printf("\n(c) Throughput normalized to non-inclusion\n");
+    perf.print();
+
+    const double lap_epi = bench::mean(epi_r[PolicyKind::Lap]);
+    const double ex_epi = bench::mean(epi_r[PolicyKind::Exclusive]);
+    std::printf("\nheadline: LAP saves %.0f%% vs noni (paper ~20%%) and "
+                "%.0f%% vs ex (paper ~12%%)\n",
+                100.0 * (1.0 - lap_epi),
+                100.0 * (1.0 - lap_epi / ex_epi));
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates paper Fig 15: the breakdown of writes to the STT-RAM
+ * LLC (LLC data-fill / L2 dirty victims / L2 clean victims) for
+ * non-inclusion, exclusion and LAP, normalized to non-inclusion.
+ *
+ * Paper headline: LAP cuts LLC write traffic by 35% vs noni and 29%
+ * vs ex on average, eliminating all data-fills and ~30% of clean
+ * insertions.
+ */
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Fig 15: LLC write breakdown (normalized to noni)",
+                  "LAP: -35% vs noni, -29% vs ex on average");
+
+    Table t({"mix", "policy", "data-fill", "L2 dirty", "L2 clean",
+             "total"});
+    std::vector<double> lap_vs_noni, lap_vs_ex;
+
+    for (const auto &mix : tableThreeMixes()) {
+        double noni_total = 0.0, ex_total = 0.0, lap_total = 0.0;
+        for (PolicyKind kind :
+             {PolicyKind::NonInclusive, PolicyKind::Exclusive,
+              PolicyKind::Lap}) {
+            SimConfig cfg;
+            cfg.policy = kind;
+            const Metrics m = bench::runMix(cfg, mix);
+            if (kind == PolicyKind::NonInclusive)
+                noni_total = static_cast<double>(m.llcWritesTotal);
+            if (kind == PolicyKind::Exclusive)
+                ex_total = static_cast<double>(m.llcWritesTotal);
+            if (kind == PolicyKind::Lap)
+                lap_total = static_cast<double>(m.llcWritesTotal);
+            t.addRow({kind == PolicyKind::NonInclusive ? mix.name : "",
+                      toString(kind),
+                      Table::num(bench::ratio(
+                          static_cast<double>(m.llcWritesFill),
+                          noni_total)),
+                      Table::num(bench::ratio(
+                          static_cast<double>(m.llcWritesDirtyVictim),
+                          noni_total)),
+                      Table::num(bench::ratio(
+                          static_cast<double>(m.llcWritesCleanVictim),
+                          noni_total)),
+                      Table::num(bench::ratio(
+                          static_cast<double>(m.llcWritesTotal),
+                          noni_total))});
+        }
+        t.addSeparator();
+        lap_vs_noni.push_back(bench::ratio(lap_total, noni_total));
+        lap_vs_ex.push_back(bench::ratio(lap_total, ex_total));
+    }
+    t.print();
+
+    std::printf("\nheadline: LAP write traffic %.0f%% below noni "
+                "(paper ~35%%), %.0f%% below ex (paper ~29%%)\n",
+                100.0 * (1.0 - bench::mean(lap_vs_noni)),
+                100.0 * (1.0 - bench::mean(lap_vs_ex)));
+    return 0;
+}

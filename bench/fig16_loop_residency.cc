@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates paper Fig 16: how many energy-harmful loop-block
+ * insertions each policy performs (redundant re-insertions of
+ * identified loop-blocks into the STT-RAM LLC), per mix.
+ *
+ * Paper shape: exclusion worst on WH mixes (large loop-block
+ * populations); FLEXclusion and Dswitch trim ~1% and ~5%; LAP
+ * eliminates ~15% more by keeping loop-blocks resident.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 16: redundant loop-block insertions into the LLC",
+        "share of LLC writes that re-insert identified loop-blocks");
+
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Exclusive, PolicyKind::Flexclusion,
+        PolicyKind::Dswitch, PolicyKind::Lap};
+
+    Table t({"mix", "ex", "FLEX", "Dswitch", "LAP"});
+    std::map<PolicyKind, std::vector<double>> fractions;
+    for (const auto &mix : tableThreeMixes()) {
+        std::vector<std::string> row{mix.name};
+        for (PolicyKind kind : policies) {
+            SimConfig cfg;
+            cfg.policy = kind;
+            const Metrics m = bench::runMix(cfg, mix);
+            fractions[kind].push_back(m.loopInsertionFraction);
+            row.push_back(Table::percent(m.loopInsertionFraction));
+        }
+        t.addRow(row);
+    }
+    t.addSeparator();
+    std::vector<std::string> avg{"Avg"};
+    for (PolicyKind kind : policies)
+        avg.push_back(Table::percent(bench::mean(fractions[kind])));
+    t.addRow(avg);
+    t.print();
+
+    std::printf("\npaper shape check: LAP lowest on average -> %s\n",
+                bench::mean(fractions[PolicyKind::Lap])
+                        < bench::mean(fractions[PolicyKind::Exclusive])
+                    ? "OK"
+                    : "MISMATCH");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates paper Fig 19: LLC overall EPI of the LAP replacement
+ * variants (LAP-LRU, LAP-Loop, LAP with set-dueling), normalized to
+ * non-inclusion.
+ *
+ * Paper shape: neither fixed variant dominates (LAP-LRU better on
+ * some mixes, LAP-Loop on others); set-dueling LAP tracks the better
+ * of the two on average.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Fig 19: LAP replacement variants (EPI vs noni)",
+                  "set-dueling tracks the better fixed variant");
+
+    const std::vector<PolicyKind> variants = {
+        PolicyKind::LapLru, PolicyKind::LapLoop, PolicyKind::Lap};
+
+    Table t({"mix", "LAP-LRU", "LAP-Loop", "LAP"});
+    std::map<PolicyKind, std::vector<double>> ratios;
+    for (const auto &mix : tableThreeMixes()) {
+        SimConfig cfg;
+        cfg.policy = PolicyKind::NonInclusive;
+        const Metrics noni = bench::runMix(cfg, mix);
+
+        std::vector<std::string> row{mix.name};
+        for (PolicyKind kind : variants) {
+            SimConfig vcfg;
+            vcfg.policy = kind;
+            const Metrics m = bench::runMix(vcfg, mix);
+            const double r = bench::ratio(m.epi, noni.epi);
+            ratios[kind].push_back(r);
+            row.push_back(Table::num(r));
+        }
+        t.addRow(row);
+    }
+    t.addSeparator();
+    std::vector<std::string> avg{"Avg"};
+    for (PolicyKind kind : variants)
+        avg.push_back(Table::num(bench::mean(ratios[kind])));
+    t.addRow(avg);
+    t.print();
+
+    const double lru = bench::mean(ratios[PolicyKind::LapLru]);
+    const double loop = bench::mean(ratios[PolicyKind::LapLoop]);
+    const double duel = bench::mean(ratios[PolicyKind::Lap]);
+    std::printf("\npaper shape check: LAP (%.3f) <= ~min(LAP-LRU %.3f, "
+                "LAP-Loop %.3f) + tolerance -> %s\n",
+                duel, lru, loop,
+                duel <= std::min(lru, loop) + 0.02 ? "OK" : "MISMATCH");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates paper Fig 21: sensitivity to the L2:L3 capacity ratio,
+ * (a) by varying the private L2 size (256KB to 1MB against an 8MB
+ * L3) and (b) by enlarging the L3 (16MB, 24MB).
+ *
+ * Paper shape: exclusion's edge grows with the L2:L3 ratio (2% to
+ * 16% savings from ratio 1/8 to 1/2); LAP's savings over noni also
+ * grow with the ratio; at 24MB L3 LAP still saves ~10% over both.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+namespace
+{
+
+void
+sweepRow(Table &t, const std::string &label, const SimConfig &base)
+{
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Exclusive, PolicyKind::Flexclusion,
+        PolicyKind::Dswitch, PolicyKind::Lap};
+    std::map<PolicyKind, std::vector<double>> wl, wh;
+    for (const auto &mix : tableThreeMixes()) {
+        SimConfig noni_cfg = base;
+        noni_cfg.policy = PolicyKind::NonInclusive;
+        const Metrics noni = bench::runMix(noni_cfg, mix);
+        for (PolicyKind kind : policies) {
+            SimConfig cfg = base;
+            cfg.policy = kind;
+            const Metrics m = bench::runMix(cfg, mix);
+            auto &bucket = mix.name[1] == 'L' ? wl : wh;
+            bucket[kind].push_back(bench::ratio(m.epi, noni.epi));
+        }
+    }
+    for (auto [group, data] :
+         {std::pair<const char *,
+                    std::map<PolicyKind, std::vector<double>> *>{
+              "WL", &wl},
+          {"WH", &wh}}) {
+        std::vector<std::string> row{label, group};
+        std::vector<double> all;
+        for (PolicyKind kind : policies) {
+            row.push_back(Table::num(bench::mean((*data)[kind])));
+        }
+        t.addRow(row);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 21: L2:L3 ratio sensitivity (EPI vs noni)",
+                  "exclusion and LAP gain as the L2:L3 ratio grows");
+
+    Table t({"config", "group", "ex", "FLEX", "Dswitch", "LAP"});
+
+    // (a) Private L2 sweep against the 8MB LLC. Run lengths shrink
+    // because the sweep multiplies the experiment count.
+    for (std::uint64_t l2kb : {256ULL, 512ULL, 1024ULL}) {
+        SimConfig base;
+        base.l2Size = l2kb * 1024;
+        base.warmupRefs /= 2;
+        base.measureRefs /= 2;
+        sweepRow(t, "L2=" + std::to_string(l2kb) + "KB L3=8MB", base);
+        t.addSeparator();
+    }
+
+    // (b) Larger LLCs (iso-area STT replacements).
+    for (std::uint64_t l3mb : {16ULL, 24ULL}) {
+        SimConfig base;
+        base.llcSize = l3mb * 1024 * 1024;
+        base.warmupRefs /= 2;
+        base.measureRefs /= 2;
+        sweepRow(t, "L2=512KB L3=" + std::to_string(l3mb) + "MB", base);
+        if (l3mb != 24)
+            t.addSeparator();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates paper Fig 22: sensitivity to core count (4 vs 8 cores
+ * sharing the same 8MB LLC).
+ *
+ * Paper shape: with 8 cores the capacity pressure grows, exclusion's
+ * savings over non-inclusion rise from ~8% to ~15%, and LAP still
+ * saves ~25% / ~12% vs noni / ex.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Fig 22: core-count sensitivity (EPI vs noni)",
+                  "8 cores: more capacity pressure, exclusion gains");
+
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Exclusive, PolicyKind::Flexclusion,
+        PolicyKind::Dswitch, PolicyKind::Lap};
+
+    Table t({"cores", "group", "ex", "FLEX", "Dswitch", "LAP"});
+    for (std::uint32_t cores : {4u, 8u}) {
+        std::map<PolicyKind, std::vector<double>> wl, wh;
+        for (const auto &base_mix : tableThreeMixes()) {
+            MixSpec mix = base_mix;
+            // 8-core mixes double up the 4-benchmark combination.
+            while (mix.benchmarks.size() < cores) {
+                mix.benchmarks.push_back(
+                    mix.benchmarks[mix.benchmarks.size() - 4]);
+            }
+            SimConfig noni_cfg;
+            noni_cfg.numCores = cores;
+            noni_cfg.policy = PolicyKind::NonInclusive;
+            noni_cfg.warmupRefs /= 2;
+            noni_cfg.measureRefs /= 2;
+            const Metrics noni = bench::runMix(noni_cfg, mix);
+            for (PolicyKind kind : policies) {
+                SimConfig cfg = noni_cfg;
+                cfg.policy = kind;
+                const Metrics m = bench::runMix(cfg, mix);
+                auto &bucket = mix.name[1] == 'L' ? wl : wh;
+                bucket[kind].push_back(bench::ratio(m.epi, noni.epi));
+            }
+        }
+        for (auto [group, data] :
+             {std::pair<const char *,
+                        std::map<PolicyKind, std::vector<double>> *>{
+                  "AvgWL", &wl},
+              {"AvgWH", &wh}}) {
+            std::vector<std::string> row{std::to_string(cores), group};
+            for (PolicyKind kind : policies)
+                row.push_back(Table::num(bench::mean((*data)[kind])));
+            t.addRow(row);
+        }
+        std::vector<std::string> all_row{std::to_string(cores),
+                                         "AvgAll"};
+        for (PolicyKind kind : policies) {
+            std::vector<double> all = wl[kind];
+            all.insert(all.end(), wh[kind].begin(), wh[kind].end());
+            all_row.push_back(Table::num(bench::mean(all)));
+        }
+        t.addRow(all_row);
+        if (cores == 4)
+            t.addSeparator();
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates paper Fig 23: LAP's EPI savings over the non-inclusive
+ * LLC as a function of the technology's write/read energy ratio —
+ * the scalability sweep (read energy and leakage fixed, write energy
+ * scaled) plus the published STT-RAM design points.
+ *
+ * Paper shape: savings grow with the ratio; even at 2x LAP saves
+ * ~17%; the ratio is the dominant predictor, with small scatter from
+ * latency/leakage differences of the published designs.
+ */
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+namespace
+{
+
+double
+lapSavings(const TechParams &stt, double scale)
+{
+    std::vector<double> ratios;
+    for (const auto &mix : tableThreeMixes()) {
+        SimConfig noni_cfg;
+        noni_cfg.policy = PolicyKind::NonInclusive;
+        noni_cfg.stt = stt;
+        noni_cfg.warmupRefs = static_cast<std::uint64_t>(
+            noni_cfg.warmupRefs * scale);
+        noni_cfg.measureRefs = static_cast<std::uint64_t>(
+            noni_cfg.measureRefs * scale);
+        SimConfig lap_cfg = noni_cfg;
+        lap_cfg.policy = PolicyKind::Lap;
+        const Metrics noni = bench::runMix(noni_cfg, mix);
+        const Metrics lap = bench::runMix(lap_cfg, mix);
+        ratios.push_back(bench::ratio(lap.epi, noni.epi));
+    }
+    return 1.0 - bench::mean(ratios);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 23: EPI savings vs write/read energy ratio",
+                  "savings grow with the ratio; >=17% even at 2x");
+
+    Table t({"design point", "W/R ratio", "LAP savings vs noni"});
+    const TechParams base = sttTechParams();
+
+    // Scalability sweep: fixed read energy and leakage, scaled write
+    // energy (reduced run length: 12 simulations per point).
+    for (double ratio : {2.0, 3.3, 5.0, 8.0, 12.0, 16.0, 23.0}) {
+        const double savings =
+            lapSavings(base.withWriteReadRatio(ratio), 0.4);
+        t.addRow({"scalability", Table::num(ratio, 1),
+                  Table::percent(savings)});
+    }
+    t.addSeparator();
+
+    // Published design points (latency/leakage vary as published).
+    for (const auto &point : publishedSttDesignPoints()) {
+        const double savings = lapSavings(point.params, 0.4);
+        t.addRow({point.label,
+                  Table::num(point.params.writeReadRatio(), 1),
+                  Table::percent(savings)});
+    }
+    t.print();
+
+    std::printf("\npaper shape check: savings monotone-ish in the "
+                "ratio, >= ~10%% at 2x\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates paper Fig 24: hybrid SRAM/STT-RAM LLC (2MB SRAM +
+ * 6MB STT-RAM) energy per instruction of Exclusive / FLEXclusion /
+ * Dswitch / LAP / Lhybrid, normalized to non-inclusion.
+ *
+ * Paper headline: Dswitch saves 10%/3%, LAP 15%/8%, and Lhybrid
+ * 22%/15% vs noni/ex on average (up to 50%/41%).
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Fig 24: hybrid SRAM/STT-RAM LLC EPI (vs noni)",
+                  "Lhybrid ~22%/15% savings vs noni/ex");
+
+    struct Entry
+    {
+        const char *label;
+        PolicyKind policy;
+        PlacementKind placement;
+    };
+    const std::vector<Entry> entries = {
+        {"ex", PolicyKind::Exclusive, PlacementKind::Default},
+        {"FLEX", PolicyKind::Flexclusion, PlacementKind::Default},
+        {"Dswitch", PolicyKind::Dswitch, PlacementKind::Default},
+        {"LAP", PolicyKind::Lap, PlacementKind::Default},
+        {"Lhybrid", PolicyKind::Lap, PlacementKind::Lhybrid},
+    };
+
+    Table t({"mix", "ex", "FLEX", "Dswitch", "LAP", "Lhybrid"});
+    std::map<std::string, std::vector<double>> ratios;
+    for (const auto &mix : tableThreeMixes()) {
+        SimConfig noni_cfg;
+        noni_cfg.policy = PolicyKind::NonInclusive;
+        noni_cfg.hybridLlc = true;
+        const Metrics noni = bench::runMix(noni_cfg, mix);
+
+        std::vector<std::string> row{mix.name};
+        for (const auto &entry : entries) {
+            SimConfig cfg;
+            cfg.policy = entry.policy;
+            cfg.hybridLlc = true;
+            cfg.placement = entry.placement;
+            const Metrics m = bench::runMix(cfg, mix);
+            const double r = bench::ratio(m.epi, noni.epi);
+            ratios[entry.label].push_back(r);
+            row.push_back(Table::num(r));
+        }
+        t.addRow(row);
+    }
+    t.addSeparator();
+    std::vector<std::string> avg{"Avg"};
+    for (const auto &entry : entries)
+        avg.push_back(Table::num(bench::mean(ratios[entry.label])));
+    t.addRow(avg);
+    t.print();
+
+    const double lh = bench::mean(ratios["Lhybrid"]);
+    const double ex = bench::mean(ratios["ex"]);
+    std::printf("\nheadline: Lhybrid saves %.0f%% vs noni (paper ~22%%)"
+                " and %.0f%% vs ex (paper ~15%%)\n",
+                100.0 * (1.0 - lh), 100.0 * (1.0 - lh / ex));
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Fig 25: the staged ablation of the Lhybrid data
+ * placement on the hybrid LLC — LAP (default placement), LAP+Winv,
+ * LAP+LoopSTT, LAP+NloopSRAM and full Lhybrid, normalized to
+ * non-inclusion.
+ *
+ * Paper shape: each stage contributes; combining all three gives
+ * Lhybrid ~7% extra savings over plain LAP.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Fig 25: Lhybrid placement ablation (EPI vs noni)",
+                  "Lhybrid ~7% below plain LAP on the hybrid LLC");
+
+    const std::vector<PlacementKind> placements = {
+        PlacementKind::Default, PlacementKind::Winv,
+        PlacementKind::LoopStt, PlacementKind::NloopSram,
+        PlacementKind::Lhybrid};
+
+    Table t({"mix", "LAP", "LAP+Winv", "LAP+LoopSTT", "LAP+NloopSRAM",
+             "Lhybrid"});
+    std::map<PlacementKind, std::vector<double>> ratios;
+    for (const auto &mix : tableThreeMixes()) {
+        SimConfig noni_cfg;
+        noni_cfg.policy = PolicyKind::NonInclusive;
+        noni_cfg.hybridLlc = true;
+        const Metrics noni = bench::runMix(noni_cfg, mix);
+
+        std::vector<std::string> row{mix.name};
+        for (PlacementKind placement : placements) {
+            SimConfig cfg;
+            cfg.policy = PolicyKind::Lap;
+            cfg.hybridLlc = true;
+            cfg.placement = placement;
+            const Metrics m = bench::runMix(cfg, mix);
+            const double r = bench::ratio(m.epi, noni.epi);
+            ratios[placement].push_back(r);
+            row.push_back(Table::num(r));
+        }
+        t.addRow(row);
+    }
+    t.addSeparator();
+    std::vector<std::string> avg{"Avg"};
+    for (PlacementKind placement : placements)
+        avg.push_back(Table::num(bench::mean(ratios[placement])));
+    t.addRow(avg);
+    t.print();
+
+    const double lap = bench::mean(ratios[PlacementKind::Default]);
+    const double lhybrid = bench::mean(ratios[PlacementKind::Lhybrid]);
+    std::printf("\nheadline: Lhybrid %.1f%% below plain LAP (paper "
+                "~7%%)\n",
+                100.0 * (1.0 - lhybrid / lap));
+    return 0;
+}

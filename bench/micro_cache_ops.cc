@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * cache lookups/insertions, hierarchy demand accesses per policy,
+ * and synthetic trace generation. These quantify simulation
+ * throughput (accesses per second), not modelled performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/policy_factory.hh"
+#include "hierarchy/hierarchy.hh"
+#include "workloads/spec2006.hh"
+
+namespace lap
+{
+namespace
+{
+
+void
+BM_CacheHitLookup(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 512 * 1024;
+    p.assoc = 8;
+    Cache cache(p);
+    for (Addr blk = 0; blk < 1024; ++blk)
+        cache.insert(blk, {});
+    Addr blk = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(blk, AccessType::Read));
+        blk = (blk + 1) % 1024;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitLookup);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 64 * 1024;
+    p.assoc = 8;
+    Cache cache(p);
+    Addr blk = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.insert(blk, {}));
+        blk += 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    const auto kind = static_cast<PolicyKind>(state.range(0));
+    HierarchyParams hp;
+    hp.numCores = 1;
+    hp.l1.sizeBytes = 32 * 1024;
+    hp.l1.assoc = 4;
+    hp.l2.sizeBytes = 512 * 1024;
+    hp.l2.assoc = 8;
+    hp.l2.readLatency = 4;
+    hp.llc.sizeBytes = 8 * 1024 * 1024;
+    hp.llc.assoc = 16;
+    hp.llc.banks = 4;
+    hp.llc.dataTech = MemTech::STTRAM;
+    hp.llc.readLatency = 8;
+    hp.llc.writeLatency = 33;
+    CacheHierarchy h(hp, makeInclusionPolicy(kind, 8192));
+
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.below(1 << 20) * 64;
+        const AccessType type =
+            rng.chance(0.25) ? AccessType::Write : AccessType::Read;
+        benchmark::DoNotOptimize(h.access(0, addr, type, now));
+        now += 10;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(toString(kind));
+}
+BENCHMARK(BM_HierarchyAccess)
+    ->Arg(static_cast<int>(PolicyKind::NonInclusive))
+    ->Arg(static_cast<int>(PolicyKind::Exclusive))
+    ->Arg(static_cast<int>(PolicyKind::Lap));
+
+void
+BM_SyntheticTraceGeneration(benchmark::State &state)
+{
+    const WorkloadSpec spec = spec2006Benchmark("omnetpp");
+    SyntheticTrace trace(spec, 0, 1ULL << 40, 1ULL << 50);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyntheticTraceGeneration);
+
+} // namespace
+} // namespace lap
+
+BENCHMARK_MAIN();

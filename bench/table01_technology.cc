@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates paper Table I: characteristics of a 2MB SRAM vs
+ * STT-RAM cache bank (22nm, 350K), and the derived LLC-level
+ * parameters of Table II.
+ */
+
+#include "bench_util.hh"
+#include "energy/tech_params.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Table I: 2MB cache bank characteristics",
+                  "SRAM vs STT-RAM per CACTI/NVSim (22nm, 350K)");
+
+    const TechParams sram = sramTechParams();
+    const TechParams stt = sttTechParams();
+
+    Table t({"metric", "SRAM", "STT-RAM", "ratio (STT/SRAM)"});
+    t.addRow({"Area (mm^2)", Table::num(sram.areaMm2, 2),
+              Table::num(stt.areaMm2, 2),
+              Table::num(stt.areaMm2 / sram.areaMm2, 2)});
+    t.addRow({"Read latency (cycles @3GHz)",
+              std::to_string(sram.readLatency),
+              std::to_string(stt.readLatency),
+              Table::num(static_cast<double>(stt.readLatency)
+                             / static_cast<double>(sram.readLatency),
+                         2)});
+    t.addRow({"Write latency (cycles @3GHz)",
+              std::to_string(sram.writeLatency),
+              std::to_string(stt.writeLatency),
+              Table::num(static_cast<double>(stt.writeLatency)
+                             / static_cast<double>(sram.writeLatency),
+                         2)});
+    t.addRow({"Read energy (nJ/access)", Table::num(sram.readEnergy, 3),
+              Table::num(stt.readEnergy, 3),
+              Table::num(stt.readEnergy / sram.readEnergy, 2)});
+    t.addRow({"Write energy (nJ/access)", Table::num(sram.writeEnergy, 3),
+              Table::num(stt.writeEnergy, 3),
+              Table::num(stt.writeEnergy / sram.writeEnergy, 2)});
+    t.addRow({"Leakage (mW / 2MB)", Table::num(sram.leakagePerTwoMb, 3),
+              Table::num(stt.leakagePerTwoMb, 3),
+              Table::num(stt.leakagePerTwoMb / sram.leakagePerTwoMb, 2)});
+    t.addRow({"Write/read energy ratio",
+              Table::num(sram.writeReadRatio(), 2),
+              Table::num(stt.writeReadRatio(), 2), ""});
+    t.print();
+
+    std::printf("\npaper anchors: STT density ~3x, leakage ~1/7, write "
+                "energy ~8x SRAM write,\nwrite latency ~6x; STT "
+                "write/read energy ratio %.1f\n",
+                stt.writeReadRatio());
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates the paper's configuration tables: Table II (system
+ * configuration), Table III (selected workload mixes) and Table IV
+ * (evaluated policies).
+ */
+
+#include "bench_util.hh"
+#include "core/policy_factory.hh"
+
+using namespace lap;
+
+int
+main()
+{
+    bench::banner("Table II: system configuration", "");
+    {
+        const SimConfig cfg;
+        Table t({"component", "configuration"});
+        t.addRow({"Cores", std::to_string(cfg.numCores)
+                      + " x 3GHz OoO, issue width "
+                      + Table::num(cfg.issueWidth, 0)});
+        t.addRow({"L1 I&D", std::to_string(cfg.l1Size / 1024)
+                      + "KB per core, " + std::to_string(cfg.l1Assoc)
+                      + "-way LRU, 64B blocks, write-back, "
+                      + std::to_string(cfg.l1Latency) + "-cycle"});
+        t.addRow({"L2", std::to_string(cfg.l2Size / 1024)
+                      + "KB private, " + std::to_string(cfg.l2Assoc)
+                      + "-way LRU, write-back, "
+                      + std::to_string(cfg.l2Latency) + "-cycle"});
+        t.addRow({"L3", std::to_string(cfg.llcSize / (1024 * 1024))
+                      + "MB shared, " + std::to_string(cfg.llcAssoc)
+                      + "-way, " + std::to_string(cfg.llcBanks)
+                      + " banks, write-back write-allocate"});
+        t.addRow({"L3 STT-RAM",
+                  std::to_string(cfg.stt.readLatency) + "-cycle read, "
+                      + std::to_string(cfg.stt.writeLatency)
+                      + "-cycle write, r|w energy "
+                      + Table::num(cfg.stt.readEnergy, 3) + "|"
+                      + Table::num(cfg.stt.writeEnergy, 3) + " nJ"});
+        t.addRow({"L3 hybrid", "2MB SRAM (4-way) + 6MB STT-RAM (12-way)"});
+        t.addRow({"Memory", "DDR3-1600-like, "
+                      + std::to_string(cfg.dram.accessLatency)
+                      + "-cycle, " + std::to_string(cfg.dram.channels)
+                      + " channels"});
+        t.print();
+    }
+
+    bench::banner("Table III: selected workload mixes", "");
+    {
+        Table t({"mix", "core0", "core1", "core2", "core3"});
+        for (const auto &mix : tableThreeMixes()) {
+            t.addRow({mix.name, spec2006Canonical(mix.benchmarks[0]),
+                      spec2006Canonical(mix.benchmarks[1]),
+                      spec2006Canonical(mix.benchmarks[2]),
+                      spec2006Canonical(mix.benchmarks[3])});
+        }
+        t.print();
+        std::printf("\nWL: fewer writes under exclusion; WH: more "
+                    "writes under exclusion.\n");
+    }
+
+    bench::banner("Table IV: evaluated policies", "");
+    {
+        Table t({"policy", "description"});
+        t.addRow({"Non-inclusive", "baseline inclusion property"});
+        t.addRow({"Exclusive", "victim LLC used in commercial parts"});
+        t.addRow({"FLEXclusion",
+                  "dynamic noni/ex switching on capacity + bandwidth"});
+        t.addRow({"Dswitch",
+                  "dynamic noni/ex switching on capacity + LLC writes"});
+        t.addRow({"LAP-LRU", "LAP with the base LRU replacement"});
+        t.addRow({"LAP-Loop", "LAP always evicting non-loop-blocks first"});
+        t.addRow({"LAP", "LAP with set-dueling replacement selection"});
+        t.addRow({"Lhybrid",
+                  "LAP + loop-block-aware placement for hybrid LLCs"});
+        t.print();
+    }
+    return 0;
+}

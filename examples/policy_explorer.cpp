@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Policy explorer: compare all inclusion policies on a workload of
+ * your choice from the command line.
+ *
+ * Usage:
+ *   policy_explorer [bench0 bench1 bench2 bench3]
+ *
+ * Benchmarks are SPEC CPU2006 model names (astar, omnetpp, mcf,
+ * libquantum, ...; see spec2006Names()); fewer than four names are
+ * cycled over the cores. Default: the paper's WH5 mix.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+#include "workloads/spec2006.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lap;
+
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.push_back(argv[i]);
+    if (names.empty())
+        names = {"xalan", "xalan", "xalan", "bzip2"}; // WH5
+
+    MixSpec mix;
+    mix.name = "custom";
+    for (std::uint32_t c = 0; c < 4; ++c)
+        mix.benchmarks.push_back(names[c % names.size()]);
+
+    std::printf("workload:");
+    for (const auto &b : mix.benchmarks)
+        std::printf(" %s", spec2006Canonical(b).c_str());
+    std::printf("\n\n");
+
+    Table t({"policy", "EPI (nJ/instr)", "vs noni", "LLC writes",
+             "MPKI", "throughput"});
+    double noni_epi = 0.0;
+    for (PolicyKind kind : allPolicyKinds()) {
+        SimConfig config;
+        config.policy = kind;
+        config.warmupRefs = 200'000;
+        config.measureRefs = 800'000;
+        Simulator sim(config);
+        const Metrics m = sim.run(resolveMix(mix));
+        if (kind == PolicyKind::NonInclusive)
+            noni_epi = m.epi;
+        t.addRow({toString(kind), Table::num(m.epi, 4),
+                  noni_epi > 0.0 ? Table::num(m.epi / noni_epi, 3) : "-",
+                  std::to_string(m.llcWritesTotal),
+                  Table::num(m.llcMpki, 2),
+                  Table::num(m.throughput, 2)});
+    }
+    t.print();
+    std::printf("\n(vs noni uses the Non-inclusive row as 1.0; "
+                "Inclusive is listed for completeness.)\n");
+    return 0;
+}

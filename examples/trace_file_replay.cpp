@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace-file replay: drive the hierarchy from a user-provided memory
+ * trace instead of the synthetic generators — the integration point
+ * for traces exported from pin/DynamoRIO/gem5.
+ *
+ * Usage:
+ *   trace_file_replay [trace.txt [policy]]
+ *
+ * Trace format: one reference per line, `R|W <address> [gap]`
+ * (gap = non-memory instructions before the reference; '#' comments
+ * allowed). Without arguments a small demo trace is generated and
+ * replayed under LAP.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/policy_factory.hh"
+#include "cpu/file_trace.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+/** Writes a small loop+stream demo trace. */
+std::string
+writeDemoTrace()
+{
+    const std::string path = "/tmp/lapsim_demo_trace.txt";
+    std::ofstream out(path);
+    out << "# demo: a 768KB read loop plus a write stream\n";
+    for (int pass = 0; pass < 4; ++pass) {
+        for (int blk = 0; blk < 12288; ++blk)
+            out << "R " << blk * 64 << " 8\n";
+        for (int blk = 0; blk < 512; ++blk)
+            out << "W " << (1 << 24) + (pass * 512 + blk) * 64
+                << " 8\n";
+    }
+    return path;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lap;
+
+    std::string path = argc > 1 ? argv[1] : writeDemoTrace();
+    const PolicyKind kind =
+        argc > 2 ? policyKindFromString(argv[2]) : PolicyKind::Lap;
+
+    SimConfig config;
+    config.numCores = 1;
+    config.policy = kind;
+    config.warmupRefs = 0;
+    config.measureRefs = 200'000;
+
+    FileTrace trace(path);
+    std::printf("replaying %s (%zu references, wrapped) under %s\n\n",
+                path.c_str(), trace.size(), toString(kind));
+
+    Simulator sim(config);
+    CoreParams core;
+    core.l1Latency = config.l1Latency;
+    const Metrics m = sim.runTraces({&trace}, {core});
+
+    Table t({"metric", "value"});
+    t.addRow({"references replayed", std::to_string(config.measureRefs)});
+    t.addRow({"LLC hits / misses", std::to_string(m.llcHits) + " / "
+                                       + std::to_string(m.llcMisses)});
+    t.addRow({"LLC writes (fill/clean/dirty)",
+              std::to_string(m.llcWritesFill) + " / "
+                  + std::to_string(m.llcWritesCleanVictim) + " / "
+                  + std::to_string(m.llcWritesDirtyVictim)});
+    t.addRow({"LLC energy/instruction (nJ)", Table::num(m.epi, 4)});
+    t.addRow({"IPC", Table::num(m.ipcOf(0), 3)});
+    t.print();
+    return 0;
+}

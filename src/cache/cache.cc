@@ -1,0 +1,341 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace lap
+{
+
+EnergyCounters
+CacheStats::energyCounters(MemTech tech) const
+{
+    EnergyCounters c;
+    const std::size_t i = tech == MemTech::SRAM ? 0 : 1;
+    c.dataReads = dataReads[i];
+    c.dataWrites = dataWrites[i];
+    // Tag accesses are attributed once, to the SRAM side (tags are
+    // SRAM regardless of data technology); callers query them via
+    // the SRAM region or the tagAccesses counter directly.
+    c.tagAccesses = tech == MemTech::SRAM ? tagAccesses : 0;
+    return c;
+}
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    lap_assert(isPowerOfTwo(params_.blockBytes), "block size %u not pow2",
+               params_.blockBytes);
+    lap_assert(params_.assoc >= 1 && params_.assoc <= 64,
+               "associativity %u out of range", params_.assoc);
+    lap_assert(params_.sizeBytes
+                   % (static_cast<std::uint64_t>(params_.assoc)
+                      * params_.blockBytes) == 0,
+               "size not a multiple of assoc*blockBytes");
+    lap_assert(params_.banks >= 1, "need at least one bank");
+    lap_assert(params_.sramWays <= params_.assoc,
+               "sramWays %u exceeds associativity %u", params_.sramWays,
+               params_.assoc);
+
+    blockBits_ = floorLog2(params_.blockBytes);
+    numSets_ = params_.sizeBytes
+        / (static_cast<std::uint64_t>(params_.assoc) * params_.blockBytes);
+    lap_assert(numSets_ >= 1, "cache has no sets");
+    setsArePow2_ = isPowerOfTwo(numSets_);
+
+    blocks_.resize(numSets_ * params_.assoc);
+    wayWrites_.assign(blocks_.size(), 0);
+    repl_ = makeReplacementPolicy(params_.repl, params_.seed);
+    bankBusyUntil_.assign(params_.banks, 0);
+}
+
+std::uint64_t
+Cache::regionBytes(MemTech tech) const
+{
+    if (!isHybrid())
+        return tech == params_.dataTech ? params_.sizeBytes : 0;
+    const std::uint64_t per_way = params_.sizeBytes / params_.assoc;
+    const std::uint32_t ways = tech == MemTech::SRAM
+        ? params_.sramWays
+        : params_.assoc - params_.sramWays;
+    return per_way * ways;
+}
+
+std::span<CacheBlock>
+Cache::setSpan(std::uint64_t set)
+{
+    return {blocks_.data() + set * params_.assoc, params_.assoc};
+}
+
+CacheBlock *
+Cache::probe(Addr block_addr)
+{
+    auto set = setSpan(setIndexOf(block_addr));
+    for (auto &blk : set) {
+        if (blk.valid && blk.blockAddr == block_addr)
+            return &blk;
+    }
+    return nullptr;
+}
+
+const CacheBlock *
+Cache::probe(Addr block_addr) const
+{
+    return const_cast<Cache *>(this)->probe(block_addr);
+}
+
+CacheBlock *
+Cache::access(Addr block_addr, AccessType type)
+{
+    stats_.tagAccesses++;
+    CacheBlock *blk = probe(block_addr);
+    if (!blk) {
+        if (type == AccessType::Read)
+            stats_.readMisses++;
+        else
+            stats_.writeMisses++;
+        return nullptr;
+    }
+    const MemTech tech = wayTech(wayOf(*blk));
+    if (type == AccessType::Read) {
+        stats_.readHits++;
+        stats_.dataReads[idx(tech)]++;
+    } else {
+        stats_.writeHits++;
+        stats_.dataWrites[idx(tech)]++;
+        wayWrites_[static_cast<std::size_t>(blk - blocks_.data())]++;
+        blk->dirty = true;
+        // Writing a block ends its clean-trip streak (Fig 10(a)).
+        blk->loopBit = false;
+    }
+    repl_->onHit(*blk);
+    return blk;
+}
+
+std::uint64_t
+Cache::eligibleMask(std::uint64_t set, std::uint32_t way_begin,
+                    std::uint32_t way_end, bool non_loop_only) const
+{
+    std::uint64_t mask = 0;
+    for (std::uint32_t way = way_begin; way < way_end; ++way) {
+        const CacheBlock &blk = blocks_[set * params_.assoc + way];
+        if (!blk.valid)
+            continue;
+        if (non_loop_only && blk.loopBit)
+            continue;
+        mask |= 1ULL << way;
+    }
+    return mask;
+}
+
+std::uint32_t
+Cache::clampWayEnd(std::uint32_t way_end) const
+{
+    return std::min(way_end, params_.assoc);
+}
+
+bool
+Cache::hasInvalidWay(std::uint64_t set, std::uint32_t way_begin,
+                     std::uint32_t way_end) const
+{
+    way_end = clampWayEnd(way_end);
+    for (std::uint32_t way = way_begin; way < way_end; ++way) {
+        if (!blocks_[set * params_.assoc + way].valid)
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
+Cache::chooseVictimWay(std::uint64_t set, std::uint32_t way_begin,
+                       std::uint32_t way_end, bool loop_aware)
+{
+    way_end = clampWayEnd(way_end);
+    lap_assert(way_begin < way_end, "empty way range [%u,%u)", way_begin,
+               way_end);
+    for (std::uint32_t way = way_begin; way < way_end; ++way) {
+        if (!blocks_[set * params_.assoc + way].valid)
+            return way;
+    }
+    // Loop-block-aware priority (Fig 9): invalid, then the base
+    // policy's victim among non-loop blocks, then among loop blocks.
+    if (loop_aware) {
+        const std::uint64_t non_loop =
+            eligibleMask(set, way_begin, way_end, true);
+        if (non_loop != 0)
+            return repl_->victimAmong(setSpan(set), non_loop);
+    }
+    const std::uint64_t all = eligibleMask(set, way_begin, way_end, false);
+    return repl_->victimAmong(setSpan(set), all);
+}
+
+std::uint32_t
+Cache::mruLoopWay(std::uint64_t set, std::uint32_t way_begin,
+                  std::uint32_t way_end)
+{
+    way_end = clampWayEnd(way_end);
+    std::uint64_t loop_mask = 0;
+    for (std::uint32_t way = way_begin; way < way_end; ++way) {
+        const CacheBlock &blk = blocks_[set * params_.assoc + way];
+        if (blk.valid && blk.loopBit)
+            loop_mask |= 1ULL << way;
+    }
+    if (loop_mask == 0)
+        return kAllWays;
+    return repl_->mruAmong(setSpan(set), loop_mask);
+}
+
+Cache::InsertResult
+Cache::insert(Addr block_addr, const InsertAttrs &attrs,
+              std::uint32_t way_begin, std::uint32_t way_end)
+{
+    way_end = clampWayEnd(way_end);
+    const std::uint64_t set = setIndexOf(block_addr);
+    lap_assert(probe(block_addr) == nullptr,
+               "insert of already-present block %llx",
+               static_cast<unsigned long long>(block_addr));
+
+    const std::uint32_t way =
+        chooseVictimWay(set, way_begin, way_end, attrs.loopAwareVictim);
+    CacheBlock &blk = blocks_[set * params_.assoc + way];
+
+    InsertResult result;
+    result.way = way;
+    result.region = wayTech(way);
+
+    Eviction &ev = result.eviction;
+    if (blk.valid) {
+        ev.valid = true;
+        ev.blockAddr = blk.blockAddr;
+        ev.dirty = blk.dirty;
+        ev.loopBit = blk.loopBit;
+        ev.version = blk.version;
+        ev.fillState = blk.fillState;
+        ev.coh = blk.coh;
+        ev.region = wayTech(way);
+        ev.site = blk.site;
+        ev.referenced = blk.referenced;
+        if (blk.dirty)
+            stats_.evictionsDirty++;
+        else
+            stats_.evictionsClean++;
+    }
+
+    blk.blockAddr = block_addr;
+    blk.valid = true;
+    blk.dirty = attrs.dirty;
+    blk.loopBit = attrs.loopBit;
+    blk.version = attrs.version;
+    blk.fillState = attrs.fillState;
+    blk.coh = attrs.coh;
+    blk.site = attrs.site;
+    blk.referenced = false;
+    repl_->onFill(blk);
+
+    stats_.fills++;
+    stats_.dataWrites[idx(wayTech(way))]++;
+    wayWrites_[set * params_.assoc + way]++;
+    return result;
+}
+
+void
+Cache::writeBlock(CacheBlock &blk, std::uint64_t version,
+                  bool keep_loop_bit)
+{
+    lap_assert(blk.valid, "write to invalid block");
+    blk.dirty = true;
+    blk.version = version;
+    if (!keep_loop_bit)
+        blk.loopBit = false;
+    stats_.dataWrites[idx(wayTech(wayOf(blk)))]++;
+    wayWrites_[static_cast<std::size_t>(&blk - blocks_.data())]++;
+    repl_->onHit(blk);
+}
+
+void
+Cache::invalidateBlock(CacheBlock &blk)
+{
+    lap_assert(blk.valid, "invalidate of invalid block");
+    blk.invalidate();
+    stats_.invalidations++;
+}
+
+CacheBlock &
+Cache::blockAt(std::uint64_t set, std::uint32_t way)
+{
+    lap_assert(set < numSets_ && way < params_.assoc,
+               "blockAt(%lu, %u) out of range",
+               static_cast<unsigned long>(set), way);
+    return blocks_[set * params_.assoc + way];
+}
+
+const CacheBlock &
+Cache::blockAt(std::uint64_t set, std::uint32_t way) const
+{
+    return const_cast<Cache *>(this)->blockAt(set, way);
+}
+
+std::uint32_t
+Cache::wayOf(const CacheBlock &blk) const
+{
+    const std::ptrdiff_t offset = &blk - blocks_.data();
+    lap_assert(offset >= 0
+                   && offset < static_cast<std::ptrdiff_t>(blocks_.size()),
+               "block not owned by this cache");
+    return static_cast<std::uint32_t>(offset % params_.assoc);
+}
+
+std::uint64_t
+Cache::setOf(const CacheBlock &blk) const
+{
+    const std::ptrdiff_t offset = &blk - blocks_.data();
+    lap_assert(offset >= 0
+                   && offset < static_cast<std::ptrdiff_t>(blocks_.size()),
+               "block not owned by this cache");
+    return static_cast<std::uint64_t>(offset) / params_.assoc;
+}
+
+Cache::WearStats
+Cache::wearStats(MemTech tech) const
+{
+    WearStats w;
+    std::uint64_t ways_counted = 0;
+    for (std::size_t i = 0; i < wayWrites_.size(); ++i) {
+        const auto way = static_cast<std::uint32_t>(i % params_.assoc);
+        if (wayTech(way) != tech)
+            continue;
+        ways_counted++;
+        w.totalWrites += wayWrites_[i];
+        w.maxPerWay = std::max(w.maxPerWay, wayWrites_[i]);
+    }
+    if (ways_counted > 0) {
+        w.meanPerWay = static_cast<double>(w.totalWrites)
+            / static_cast<double>(ways_counted);
+    }
+    w.imbalance = w.meanPerWay > 0.0
+        ? static_cast<double>(w.maxPerWay) / w.meanPerWay
+        : 0.0;
+    return w;
+}
+
+Cycle
+Cache::reserveBank(Addr block_addr, Cycle now, Cycle occupancy)
+{
+    auto &busy = bankBusyUntil_[bankOf(block_addr)];
+    const Cycle start = std::max(now, busy);
+    busy = start + occupancy;
+    return start;
+}
+
+Cycle
+Cache::writeOccupancy(MemTech tech) const
+{
+    if (isHybrid() && tech == MemTech::STTRAM)
+        return params_.sttWriteLatency;
+    if (!isHybrid() && params_.dataTech == MemTech::STTRAM)
+        return params_.writeLatency;
+    return params_.writeLatency;
+}
+
+} // namespace lap

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Set-associative cache mechanism.
+ *
+ * The Cache owns tags, replacement state, bank timing, and
+ * energy-relevant event counters; all *policy* (inclusion data flow,
+ * loop-bit semantics, hybrid placement) lives above it in
+ * src/hierarchy and src/core. The ways of a set may be partitioned
+ * into an SRAM region and an STT-RAM region to model the paper's
+ * hybrid LLC; energy counters are kept per region.
+ */
+
+#ifndef LAPSIM_CACHE_CACHE_HH
+#define LAPSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/cache_block.hh"
+#include "cache/replacement.hh"
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+
+namespace lap
+{
+
+/** Static configuration of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 4;
+    std::uint32_t blockBytes = 64;
+    std::uint32_t banks = 1;
+    ReplKind repl = ReplKind::Lru;
+    /** Demand read / write data-array latency in cycles. */
+    Cycle readLatency = 2;
+    Cycle writeLatency = 2;
+    /** Data-array technology for all ways (when sramWays == 0). */
+    MemTech dataTech = MemTech::SRAM;
+    /**
+     * Hybrid partition: ways [0, sramWays) are SRAM and the rest
+     * STT-RAM. 0 keeps the cache uniform in dataTech.
+     */
+    std::uint32_t sramWays = 0;
+    /** STT-RAM region write latency (hybrid caches only). */
+    Cycle sttWriteLatency = 33;
+    std::uint64_t seed = 1;
+};
+
+/** Event counters for one cache; reset between warmup and measure. */
+struct CacheStats
+{
+    std::uint64_t readHits = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeHits = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictionsClean = 0;
+    std::uint64_t evictionsDirty = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t tagAccesses = 0;
+    /** Data-array events per technology region: [SRAM], [STT-RAM]. */
+    std::uint64_t dataReads[2] = {0, 0};
+    std::uint64_t dataWrites[2] = {0, 0};
+
+    std::uint64_t hits() const { return readHits + writeHits; }
+    std::uint64_t misses() const { return readMisses + writeMisses; }
+    std::uint64_t accesses() const { return hits() + misses(); }
+
+    /** Energy counters for one technology region of this cache. */
+    EnergyCounters energyCounters(MemTech tech) const;
+
+    void reset() { *this = CacheStats{}; }
+};
+
+/**
+ * A set-associative cache array.
+ */
+class Cache
+{
+  public:
+    /** Contents of a way evicted by insert(). */
+    struct Eviction
+    {
+        bool valid = false;
+        Addr blockAddr = 0;
+        bool dirty = false;
+        bool loopBit = false;
+        std::uint64_t version = 0;
+        FillState fillState = FillState::NotFill;
+        CohState coh = CohState::Invalid;
+        MemTech region = MemTech::SRAM;
+        std::uint32_t site = 0;
+        bool referenced = false;
+    };
+
+    /** Attributes of a block being installed by insert(). */
+    struct InsertAttrs
+    {
+        bool dirty = false;
+        bool loopBit = false;
+        std::uint64_t version = 0;
+        FillState fillState = FillState::NotFill;
+        CohState coh = CohState::Invalid;
+        /** Access site responsible for this insertion. */
+        std::uint32_t site = 0;
+        /**
+         * Prefer evicting non-loop blocks (the paper's
+         * loop-block-aware victim selection, Fig 9).
+         */
+        bool loopAwareVictim = false;
+    };
+
+    /** Result of insert(): the victim plus where the block landed. */
+    struct InsertResult
+    {
+        Eviction eviction;
+        std::uint32_t way = 0;
+        MemTech region = MemTech::SRAM;
+    };
+
+    static constexpr std::uint32_t kAllWays =
+        std::numeric_limits<std::uint32_t>::max();
+
+    explicit Cache(const CacheParams &params);
+
+    // --- Geometry -------------------------------------------------
+    const CacheParams &params() const { return params_; }
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return params_.assoc; }
+    bool isHybrid() const { return params_.sramWays > 0; }
+
+    /** Converts a byte address to a block-granular address. */
+    Addr blockAddrOf(Addr byte_addr) const { return byte_addr >> blockBits_; }
+
+    /** Set index of a block-granular address. */
+    std::uint64_t setIndexOf(Addr block_addr) const
+    {
+        // Power-of-two set counts use bit masking; other geometries
+        // (e.g. a 24MB 16-way LLC) fall back to modulo indexing.
+        return setsArePow2_ ? (block_addr & (numSets_ - 1))
+                            : (block_addr % numSets_);
+    }
+
+    /** Technology region a way belongs to. */
+    MemTech
+    wayTech(std::uint32_t way) const
+    {
+        if (!isHybrid())
+            return params_.dataTech;
+        return way < params_.sramWays ? MemTech::SRAM : MemTech::STTRAM;
+    }
+
+    /** Capacity in bytes of one technology region. */
+    std::uint64_t regionBytes(MemTech tech) const;
+
+    // --- Lookup ----------------------------------------------------
+    /**
+     * Finds a valid block without any statistics or replacement side
+     * effects. Used for duplicate checks whose tag energy the caller
+     * accounts explicitly.
+     */
+    CacheBlock *probe(Addr block_addr);
+    const CacheBlock *probe(Addr block_addr) const;
+
+    /**
+     * Demand access: counts a tag access and a hit or miss; on a hit
+     * counts the data read (and data write for AccessType::Write),
+     * updates replacement state, and marks the block dirty on
+     * writes. Returns the block or nullptr on miss. The caller stamps
+     * `version` on write hits.
+     */
+    CacheBlock *access(Addr block_addr, AccessType type);
+
+    // --- Mutation --------------------------------------------------
+    /**
+     * Installs a block, evicting a victim if the eligible ways
+     * [way_begin, way_end) are all valid. Counts the fill, the data
+     * write in the target region, and clean/dirty eviction stats.
+     */
+    InsertResult insert(Addr block_addr, const InsertAttrs &attrs,
+                        std::uint32_t way_begin = 0,
+                        std::uint32_t way_end = kAllWays);
+
+    /**
+     * Rewrites the data of an existing block (e.g. a dirty victim
+     * updating its duplicate): counts a data write, sets dirty and
+     * version, and clears the loop bit unless @p keep_loop_bit.
+     */
+    void writeBlock(CacheBlock &blk, std::uint64_t version,
+                    bool keep_loop_bit = false);
+
+    /** Invalidates a block (no data-array energy; tag-side only). */
+    void invalidateBlock(CacheBlock &blk);
+
+    /** Replacement-state touch without energy accounting. */
+    void touch(CacheBlock &blk) { repl_->onHit(blk); }
+
+    /**
+     * Picks the way insert() would use among [way_begin, way_end):
+     * an invalid way if any, else the replacement victim (restricted
+     * to non-loop blocks first when loop_aware). Exposed for the
+     * hybrid placement policies, which need to inspect the victim
+     * before deciding on migration.
+     */
+    std::uint32_t chooseVictimWay(std::uint64_t set,
+                                  std::uint32_t way_begin,
+                                  std::uint32_t way_end, bool loop_aware);
+
+    /** True when [way_begin, way_end) has an invalid way. */
+    bool hasInvalidWay(std::uint64_t set, std::uint32_t way_begin,
+                       std::uint32_t way_end) const;
+
+    /**
+     * The most-recently-used way holding a loop-block in
+     * [way_begin, way_end), or kAllWays when there is none.
+     */
+    std::uint32_t mruLoopWay(std::uint64_t set, std::uint32_t way_begin,
+                             std::uint32_t way_end);
+
+    /** Direct access to a way of a set. */
+    CacheBlock &blockAt(std::uint64_t set, std::uint32_t way);
+    const CacheBlock &blockAt(std::uint64_t set, std::uint32_t way) const;
+
+    /** Way index of a block owned by this cache. */
+    std::uint32_t wayOf(const CacheBlock &blk) const;
+
+    /** Set index of a block owned by this cache. */
+    std::uint64_t setOf(const CacheBlock &blk) const;
+
+    /** Applies @p fn to every valid block. */
+    template <typename Fn>
+    void
+    forEachBlock(Fn &&fn)
+    {
+        for (auto &blk : blocks_) {
+            if (blk.valid)
+                fn(blk);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEachBlock(Fn &&fn) const
+    {
+        for (const auto &blk : blocks_) {
+            if (blk.valid)
+                fn(blk);
+        }
+    }
+
+    // --- Explicit energy accounting for flows the helpers above
+    // --- do not cover (e.g. tag-only loop-bit updates).
+    void countTagAccess() { stats_.tagAccesses++; }
+    void countDataRead(MemTech tech) { stats_.dataReads[idx(tech)]++; }
+    void countDataWrite(MemTech tech) { stats_.dataWrites[idx(tech)]++; }
+
+    // --- Bank timing -----------------------------------------------
+    std::uint32_t bankOf(Addr block_addr) const
+    {
+        return static_cast<std::uint32_t>(setIndexOf(block_addr)
+                                          % params_.banks);
+    }
+
+    /**
+     * Reserves the block's bank for @p occupancy cycles starting no
+     * earlier than @p now; returns the cycle service begins.
+     */
+    Cycle reserveBank(Addr block_addr, Cycle now, Cycle occupancy);
+
+    /** Write occupancy of the region a block address would use. */
+    Cycle writeOccupancy(MemTech tech) const;
+
+    // --- Statistics ------------------------------------------------
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    // --- Wear (endurance) tracking -----------------------------------
+    /**
+     * Lifetime data-writes absorbed by each physical way (never reset
+     * by resetStats: wear is cumulative). NVM cells endure a bounded
+     * number of programs, so the *maximum* per-way count bounds the
+     * array's lifetime; see bench/ext_endurance.
+     */
+    struct WearStats
+    {
+        std::uint64_t totalWrites = 0;
+        std::uint64_t maxPerWay = 0;
+        double meanPerWay = 0.0;
+        /** max / mean: >1 indicates uneven wear. */
+        double imbalance = 0.0;
+    };
+
+    /** Wear over one technology region (or the whole cache). */
+    WearStats wearStats(MemTech tech) const;
+
+    ReplacementPolicy &replacement() { return *repl_; }
+
+  private:
+    static std::size_t idx(MemTech tech)
+    {
+        return tech == MemTech::SRAM ? 0 : 1;
+    }
+
+    std::span<CacheBlock> setSpan(std::uint64_t set);
+    std::uint64_t eligibleMask(std::uint64_t set, std::uint32_t way_begin,
+                               std::uint32_t way_end,
+                               bool non_loop_only) const;
+    std::uint32_t clampWayEnd(std::uint32_t way_end) const;
+
+    CacheParams params_;
+    std::uint64_t numSets_;
+    bool setsArePow2_ = true;
+    unsigned blockBits_;
+    std::vector<CacheBlock> blocks_;
+    /** Cumulative data writes per physical way (wear). */
+    std::vector<std::uint64_t> wayWrites_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::vector<Cycle> bankBusyUntil_;
+    CacheStats stats_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CACHE_CACHE_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Replacement policies over a cache set.
+ *
+ * A policy updates per-block metadata on fills and hits and selects
+ * a victim way among an eligible subset of a set (the subset enables
+ * both the hybrid LLC's way partitions and the loop-block-aware
+ * victim filter of LAP, which restricts candidates to non-loop
+ * blocks first).
+ */
+
+#ifndef LAPSIM_CACHE_REPLACEMENT_HH
+#define LAPSIM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cache/cache_block.hh"
+#include "common/rng.hh"
+
+namespace lap
+{
+
+/** Selector for the base replacement algorithm of a cache. */
+enum class ReplKind : std::uint8_t
+{
+    Lru,
+    Rrip,
+    Random,
+};
+
+const char *toString(ReplKind kind);
+
+/**
+ * Base replacement policy interface.
+ *
+ * victimAmong() chooses among the ways whose bit is set in
+ * `eligible`; all eligible ways are valid (the cache prefers invalid
+ * ways before consulting the policy).
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Called when a block is installed. */
+    virtual void onFill(CacheBlock &blk) = 0;
+
+    /** Called when a block is hit by a demand access. */
+    virtual void onHit(CacheBlock &blk) = 0;
+
+    /**
+     * Picks a victim way.
+     *
+     * @param set       All ways of the set.
+     * @param eligible  Bitmask of candidate ways (non-empty, valid).
+     * @return          Way index of the victim.
+     */
+    virtual std::uint32_t victimAmong(std::span<const CacheBlock> set,
+                                      std::uint64_t eligible) = 0;
+
+    /**
+     * Picks the most-recently-useful way among the candidates (the
+     * opposite end of the recency order from victimAmong). Used by
+     * the Lhybrid placement, which migrates the MRU loop-block from
+     * the SRAM ways into STT-RAM (paper Fig 11(b)).
+     */
+    virtual std::uint32_t mruAmong(std::span<const CacheBlock> set,
+                                   std::uint64_t eligible) = 0;
+};
+
+/** Classic least-recently-used via global timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    std::string name() const override { return "LRU"; }
+    void onFill(CacheBlock &blk) override;
+    void onHit(CacheBlock &blk) override;
+    std::uint32_t victimAmong(std::span<const CacheBlock> set,
+                              std::uint64_t eligible) override;
+    std::uint32_t mruAmong(std::span<const CacheBlock> set,
+                           std::uint64_t eligible) override;
+
+    /** Exposes the recency clock so tests can reason about order. */
+    std::uint64_t clock() const { return clock_; }
+
+  private:
+    std::uint64_t clock_ = 0;
+};
+
+/**
+ * Static RRIP (SRRIP) with 2-bit re-reference prediction values.
+ * Referenced by the paper as an alternative base policy for the
+ * loop-block-aware replacement and Lhybrid placement.
+ */
+class RripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RripPolicy(std::uint8_t max_rrpv = 3) : maxRrpv_(max_rrpv) {}
+
+    std::string name() const override { return "RRIP"; }
+    void onFill(CacheBlock &blk) override;
+    void onHit(CacheBlock &blk) override;
+    std::uint32_t victimAmong(std::span<const CacheBlock> set,
+                              std::uint64_t eligible) override;
+    std::uint32_t mruAmong(std::span<const CacheBlock> set,
+                           std::uint64_t eligible) override;
+
+  private:
+    std::uint8_t maxRrpv_;
+};
+
+/** Uniform-random victim selection (used as a testing baseline). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 1) : rng_(seed) {}
+
+    std::string name() const override { return "Random"; }
+    void onFill(CacheBlock &blk) override;
+    void onHit(CacheBlock &blk) override;
+    std::uint32_t victimAmong(std::span<const CacheBlock> set,
+                              std::uint64_t eligible) override;
+    std::uint32_t mruAmong(std::span<const CacheBlock> set,
+                           std::uint64_t eligible) override;
+
+  private:
+    Rng rng_;
+};
+
+/** Factory for the base policies. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(ReplKind kind,
+                                                         std::uint64_t seed);
+
+} // namespace lap
+
+#endif // LAPSIM_CACHE_REPLACEMENT_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * MOESI snooping-protocol state transitions and traffic accounting.
+ *
+ * The hierarchy performs the mechanics (searching peer caches,
+ * moving data); this module defines the pure state-transition rules
+ * so they can be unit-tested exhaustively, and the counters that
+ * reproduce the paper's Fig 20(c) snoop-traffic comparison. Snoops
+ * are broadcast at the memory side (on LLC misses) plus ownership
+ * upgrades, which is why the paper's snoop traffic tracks LLC
+ * misses.
+ */
+
+#ifndef LAPSIM_COHERENCE_MOESI_HH
+#define LAPSIM_COHERENCE_MOESI_HH
+
+#include <cstdint>
+
+#include "cache/cache_block.hh"
+
+namespace lap
+{
+
+/** What a snoop broadcast found among the peers. */
+enum class SnoopResult : std::uint8_t
+{
+    Miss,        //!< No peer holds the block.
+    SharedClean, //!< At least one peer holds it clean (E/S).
+    SharedDirty, //!< A peer owns a dirty copy (M/O) and supplies it.
+};
+
+/** Peer's next state when another core reads its block. */
+constexpr CohState
+peerStateAfterRemoteRead(CohState s)
+{
+    switch (s) {
+      case CohState::Modified: return CohState::Owned;
+      case CohState::Owned: return CohState::Owned;
+      case CohState::Exclusive: return CohState::Shared;
+      case CohState::Shared: return CohState::Shared;
+      case CohState::Invalid: return CohState::Invalid;
+    }
+    return CohState::Invalid;
+}
+
+/** Peer's next state when another core writes the block. */
+constexpr CohState
+peerStateAfterRemoteWrite(CohState)
+{
+    return CohState::Invalid;
+}
+
+/** Requester's state after a read miss given the snoop outcome. */
+constexpr CohState
+requesterStateAfterRead(SnoopResult snoop)
+{
+    return snoop == SnoopResult::Miss ? CohState::Exclusive
+                                      : CohState::Shared;
+}
+
+/** Requester's state after a write (always Modified). */
+constexpr CohState
+requesterStateAfterWrite()
+{
+    return CohState::Modified;
+}
+
+/** True when this state obliges the holder to supply data. */
+constexpr bool
+suppliesData(CohState s)
+{
+    return s == CohState::Modified || s == CohState::Owned;
+}
+
+/** True when the block's data differs from memory. */
+constexpr bool
+isDirtyState(CohState s)
+{
+    return s == CohState::Modified || s == CohState::Owned;
+}
+
+/** True when a write hit in this state needs a bus upgrade. */
+constexpr bool
+needsUpgrade(CohState s)
+{
+    return s == CohState::Shared || s == CohState::Owned;
+}
+
+/** Counters for coherence traffic (paper Fig 20(c)). */
+struct SnoopStats
+{
+    /** Broadcast snoop requests issued (one per LLC miss). */
+    std::uint64_t broadcasts = 0;
+    /** Point-to-point snoop messages (broadcast * (ncores-1)). */
+    std::uint64_t messages = 0;
+    /** Cache-to-cache data transfers. */
+    std::uint64_t dataTransfers = 0;
+    /** Invalidations performed at peers (write propagation). */
+    std::uint64_t invalidations = 0;
+    /** Ownership-upgrade broadcasts for write hits on shared data. */
+    std::uint64_t upgrades = 0;
+
+    std::uint64_t
+    totalMessages() const
+    {
+        return messages + invalidations + upgrades;
+    }
+
+    void reset() { *this = SnoopStats{}; }
+};
+
+} // namespace lap
+
+#endif // LAPSIM_COHERENCE_MOESI_HH

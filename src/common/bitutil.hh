@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache indexing code.
+ */
+
+#ifndef LAPSIM_COMMON_BITUTIL_HH
+#define LAPSIM_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace lap
+{
+
+/** Returns true when x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Returns floor(log2(x)); x must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** Returns ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace lap
+
+#endif // LAPSIM_COMMON_BITUTIL_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bucketed histogram used for distribution statistics such as the
+ * clean-trip-count (CTC) distribution of loop-blocks (paper Fig 4).
+ */
+
+#ifndef LAPSIM_COMMON_HISTOGRAM_HH
+#define LAPSIM_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+/**
+ * Histogram over unsigned values with explicit bucket upper bounds.
+ *
+ * Bucket i holds samples v with bounds[i-1] < v <= bounds[i]; a final
+ * overflow bucket holds everything above the last bound.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<std::uint64_t> upper_bounds)
+        : bounds_(std::move(upper_bounds)),
+          counts_(bounds_.size() + 1, 0)
+    {
+        for (size_t i = 1; i < bounds_.size(); ++i) {
+            lap_assert(bounds_[i - 1] < bounds_[i],
+                       "histogram bounds must be increasing");
+        }
+    }
+
+    /** Records one sample. */
+    void
+    add(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        size_t i = 0;
+        while (i < bounds_.size() && value > bounds_[i])
+            ++i;
+        counts_[i] += weight;
+        total_ += weight;
+    }
+
+    /** Number of buckets including the overflow bucket. */
+    size_t numBuckets() const { return counts_.size(); }
+
+    /** Raw count in a bucket. */
+    std::uint64_t count(size_t bucket) const { return counts_.at(bucket); }
+
+    /** Fraction of all samples in a bucket (0 if empty). */
+    double
+    fraction(size_t bucket) const
+    {
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(counts_.at(bucket))
+                / static_cast<double>(total_);
+    }
+
+    /** Total recorded weight. */
+    std::uint64_t total() const { return total_; }
+
+    /** Clears all counts. */
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        total_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_COMMON_HISTOGRAM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug);
+ *            aborts so the failure can be debugged.
+ * fatal()  — the user asked for something unsupported (bad config);
+ *            exits with an error code.
+ * warn()   — something is approximated but the simulation continues.
+ */
+
+#ifndef LAPSIM_COMMON_LOGGING_HH
+#define LAPSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lap
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Formats printf-style arguments into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace lap
+
+#define lap_panic(...) \
+    ::lap::panicImpl(__FILE__, __LINE__, ::lap::csprintf(__VA_ARGS__))
+
+#define lap_fatal(...) \
+    ::lap::fatalImpl(__FILE__, __LINE__, ::lap::csprintf(__VA_ARGS__))
+
+#define lap_warn(...) \
+    ::lap::warnImpl(__FILE__, __LINE__, ::lap::csprintf(__VA_ARGS__))
+
+/** Checks a simulator invariant; active in all build types. */
+#define lap_assert(cond, ...)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::lap::panicImpl(__FILE__, __LINE__,                         \
+                             std::string("assertion failed: " #cond " ") \
+                                 + ::lap::csprintf(__VA_ARGS__));        \
+        }                                                                \
+    } while (0)
+
+#endif // LAPSIM_COMMON_LOGGING_HH

@@ -1,0 +1,126 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+/** Sentinel cell marking a separator row. */
+const std::string kSeparator = "\x01--";
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    lap_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    lap_assert(cells.size() <= headers_.size(),
+               "row has %zu cells but table has %zu columns",
+               cells.size(), headers_.size());
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back({kSeparator});
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparator)
+            continue;
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            out << (c == 0 ? "" : "  ");
+            out << cell << std::string(widths[c] - cell.size(), ' ');
+        }
+        out << '\n';
+    };
+    auto emit_separator = [&]() {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            out << (c == 0 ? "" : "  ");
+            out << std::string(widths[c], '-');
+        }
+        out << '\n';
+    };
+
+    emit_row(headers_);
+    emit_separator();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparator)
+            emit_separator();
+        else
+            emit_row(row);
+    }
+    return out.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                out << ',';
+            out << cells[c];
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparator)
+            continue;
+        emit(row);
+    }
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace lap

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Console table formatting for benchmark reports.
+ *
+ * Every bench binary regenerates one of the paper's tables or
+ * figures as rows of text; this helper keeps the output aligned and
+ * can additionally emit CSV for plotting.
+ */
+
+#ifndef LAPSIM_COMMON_TABLE_HH
+#define LAPSIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace lap
+{
+
+/** Aligned text table with an optional CSV rendering. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row; it may have fewer cells than there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Appends a horizontal separator row. */
+    void addSeparator();
+
+    /** Renders the table with aligned columns. */
+    std::string toString() const;
+
+    /** Renders the table as CSV (separators omitted). */
+    std::string toCsv() const;
+
+    /** Prints toString() to stdout. */
+    void print() const;
+
+    /** Formats a double with the given precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Formats a ratio as a percentage string, e.g. "12.3%". */
+    static std::string percent(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_COMMON_TABLE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types and enums shared across the simulator.
+ */
+
+#ifndef LAPSIM_COMMON_TYPES_HH
+#define LAPSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace lap
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a simulated core. */
+using CoreId = std::uint32_t;
+
+/** Energy in nanojoules. */
+using NanoJoule = double;
+
+/** Power in milliwatts. */
+using MilliWatt = double;
+
+/** Kind of a memory reference issued by a core. */
+enum class AccessType : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+/** Technology a cache region is built from. */
+enum class MemTech : std::uint8_t
+{
+    SRAM,
+    STTRAM,
+};
+
+/** Returns a short printable name for an access type. */
+inline const char *
+toString(AccessType type)
+{
+    return type == AccessType::Read ? "read" : "write";
+}
+
+/** Returns a short printable name for a memory technology. */
+inline const char *
+toString(MemTech tech)
+{
+    return tech == MemTech::SRAM ? "SRAM" : "STT-RAM";
+}
+
+} // namespace lap
+
+#endif // LAPSIM_COMMON_TYPES_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * WriteFilter adapter around the DASCA-style dead-write predictor.
+ */
+
+#ifndef LAPSIM_CORE_DASCA_FILTER_HH
+#define LAPSIM_CORE_DASCA_FILTER_HH
+
+#include "core/dead_write_predictor.hh"
+#include "hierarchy/write_filter.hh"
+
+namespace lap
+{
+
+/** Plugs DeadWritePredictor into the hierarchy's write path. */
+class DascaFilter : public WriteFilter
+{
+  public:
+    explicit DascaFilter(DeadWritePredictor predictor = DeadWritePredictor())
+        : predictor_(std::move(predictor))
+    {
+    }
+
+    std::string name() const override { return "DASCA"; }
+
+    bool
+    shouldBypass(std::uint32_t site, bool dirty) override
+    {
+        (void)dirty; // dirty data is bypassed to DRAM, not dropped
+        return predictor_.predictDead(site);
+    }
+
+    void
+    observeOutcome(std::uint32_t site, bool was_dead) override
+    {
+        predictor_.train(site, was_dead);
+    }
+
+    DeadWritePredictor &predictor() { return predictor_; }
+
+  private:
+    DeadWritePredictor predictor_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CORE_DASCA_FILTER_HH

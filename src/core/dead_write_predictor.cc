@@ -1,0 +1,20 @@
+#include "core/dead_write_predictor.hh"
+
+namespace lap
+{
+
+DeadWritePredictor::DeadWritePredictor(unsigned table_bits,
+                                       std::uint8_t counter_max,
+                                       std::uint8_t dead_threshold)
+    : tableBits_(table_bits),
+      counterMax_(counter_max),
+      deadThreshold_(dead_threshold)
+{
+    lap_assert(table_bits >= 1 && table_bits <= 24,
+               "table bits %u out of range", table_bits);
+    lap_assert(dead_threshold <= counter_max,
+               "threshold above saturation");
+    counters_.assign(std::size_t{1} << tableBits_, 0);
+}
+
+} // namespace lap

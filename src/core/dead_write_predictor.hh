@@ -1,0 +1,116 @@
+/**
+ * @file
+ * DASCA-style dead-write prediction (Ahn et al., HPCA'14).
+ *
+ * The paper's Related Work notes that dead-write bypassing is
+ * orthogonal to selective inclusion and can be combined with LAP for
+ * further dynamic-energy savings; this module implements a
+ * simplified sampling-free variant so the combination can be
+ * evaluated (bench/ext_dasca_combination).
+ *
+ * A write into the LLC is *dead* when the inserted data is never
+ * re-referenced (no demand hit and no dedup match) before the block
+ * is evicted or overwritten. The predictor learns per access-site
+ * (pseudo-PC) with saturating counters:
+ *
+ *  - On every LLC insertion the inserting site is recorded in the
+ *    block.
+ *  - When the block is evicted/overwritten, the site's counter is
+ *    increased if the insertion turned out dead and decreased if the
+ *    data was used.
+ *  - New insertions whose site is confidently dead are bypassed:
+ *    clean data is dropped (it is backed below), dirty data is
+ *    written straight to DRAM.
+ */
+
+#ifndef LAPSIM_CORE_DEAD_WRITE_PREDICTOR_HH
+#define LAPSIM_CORE_DEAD_WRITE_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+/** Statistics of the dead-write predictor. */
+struct DeadWriteStats
+{
+    std::uint64_t predictions = 0;
+    std::uint64_t bypasses = 0;
+    std::uint64_t trainedDead = 0;
+    std::uint64_t trainedUseful = 0;
+
+    void reset() { *this = DeadWriteStats{}; }
+};
+
+/** Site-indexed saturating-counter dead-write predictor. */
+class DeadWritePredictor
+{
+  public:
+    /**
+     * @param table_bits     log2 of the counter-table size.
+     * @param counter_max    Saturation value of each counter.
+     * @param dead_threshold Counter value at which a site's writes
+     *                       are predicted dead.
+     */
+    explicit DeadWritePredictor(unsigned table_bits = 12,
+                                std::uint8_t counter_max = 7,
+                                std::uint8_t dead_threshold = 6);
+
+    /** True when an insertion from this site should be bypassed. */
+    bool
+    predictDead(std::uint32_t site)
+    {
+        stats_.predictions++;
+        const bool dead = counters_[index(site)] >= deadThreshold_;
+        if (dead)
+            stats_.bypasses++;
+        return dead;
+    }
+
+    /** Trains the site with the observed outcome of an insertion. */
+    void
+    train(std::uint32_t site, bool was_dead)
+    {
+        auto &ctr = counters_[index(site)];
+        if (was_dead) {
+            stats_.trainedDead++;
+            if (ctr < counterMax_)
+                ctr++;
+        } else {
+            stats_.trainedUseful++;
+            // Useful insertions decay confidence fast: a mispredicted
+            // bypass costs a miss, which is worse than a dead write.
+            ctr = static_cast<std::uint8_t>(ctr >= 2 ? ctr - 2 : 0);
+        }
+    }
+
+    std::uint8_t counterOf(std::uint32_t site) const
+    {
+        return counters_[index(site)];
+    }
+
+    DeadWriteStats &stats() { return stats_; }
+    const DeadWriteStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    std::size_t
+    index(std::uint32_t site) const
+    {
+        // Fibonacci hash onto the table.
+        return (site * 2654435769u) >> (32 - tableBits_);
+    }
+
+    unsigned tableBits_;
+    std::uint8_t counterMax_;
+    std::uint8_t deadThreshold_;
+    std::vector<std::uint8_t> counters_;
+    DeadWriteStats stats_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CORE_DEAD_WRITE_PREDICTOR_HH

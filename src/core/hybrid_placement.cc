@@ -1,0 +1,187 @@
+#include "core/hybrid_placement.hh"
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+LhybridPlacement::LhybridPlacement(LhybridFlags flags, std::string name)
+    : flags_(flags), name_(std::move(name))
+{
+}
+
+std::unique_ptr<LhybridPlacement>
+LhybridPlacement::lhybrid()
+{
+    return std::make_unique<LhybridPlacement>(
+        LhybridFlags{true, true, true}, "Lhybrid");
+}
+
+std::unique_ptr<LhybridPlacement>
+LhybridPlacement::winvOnly()
+{
+    return std::make_unique<LhybridPlacement>(
+        LhybridFlags{true, false, false}, "LAP+Winv");
+}
+
+std::unique_ptr<LhybridPlacement>
+LhybridPlacement::loopSttOnly()
+{
+    return std::make_unique<LhybridPlacement>(
+        LhybridFlags{false, true, false}, "LAP+LoopSTT");
+}
+
+std::unique_ptr<LhybridPlacement>
+LhybridPlacement::nloopSramOnly()
+{
+    return std::make_unique<LhybridPlacement>(
+        LhybridFlags{false, false, true}, "LAP+NloopSRAM");
+}
+
+PlacementOutcome
+LhybridPlacement::insertUniform(Cache &llc, Addr block_addr,
+                                Cache::InsertAttrs attrs)
+{
+    PlacementOutcome out;
+    auto result = llc.insert(block_addr, attrs);
+    out.eviction = result.eviction;
+    out.writeRegion = result.region;
+    return out;
+}
+
+PlacementOutcome
+LhybridPlacement::insertStt(Cache &llc, Addr block_addr,
+                            Cache::InsertAttrs attrs)
+{
+    // Fig 11(b): STT victims are picked loop-aware (invalid, then
+    // LRU non-loop, then LRU loop).
+    attrs.loopAwareVictim = true;
+    PlacementOutcome out;
+    auto result = llc.insert(block_addr, attrs, llc.params().sramWays,
+                             Cache::kAllWays);
+    out.eviction = result.eviction;
+    out.writeRegion = result.region;
+    return out;
+}
+
+PlacementOutcome
+LhybridPlacement::insertSram(Cache &llc, Addr block_addr,
+                             Cache::InsertAttrs attrs,
+                             bool allow_loop_migration)
+{
+    const std::uint32_t sram_ways = llc.params().sramWays;
+    const std::uint64_t set = llc.setIndexOf(block_addr);
+    PlacementOutcome out;
+    out.writeRegion = MemTech::SRAM;
+
+    if (llc.hasInvalidWay(set, 0, sram_ways)) {
+        auto result = llc.insert(block_addr, attrs, 0, sram_ways);
+        out.eviction = result.eviction;
+        return out;
+    }
+
+    if (allow_loop_migration) {
+        const std::uint32_t mru_loop = llc.mruLoopWay(set, 0, sram_ways);
+        if (attrs.loopBit && mru_loop == Cache::kAllWays) {
+            // The incoming block is the only loop-block: it goes to
+            // STT-RAM directly.
+            return insertStt(llc, block_addr, attrs);
+        }
+        if (mru_loop != Cache::kAllWays) {
+            // Fig 11(b): migrate the MRU loop-block SRAM -> STT to
+            // make room, then install the incoming block in SRAM.
+            CacheBlock &mig = llc.blockAt(set, mru_loop);
+            Cache::InsertAttrs mig_attrs;
+            mig_attrs.dirty = mig.dirty;
+            mig_attrs.loopBit = mig.loopBit;
+            mig_attrs.version = mig.version;
+            mig_attrs.fillState = mig.fillState;
+            mig_attrs.coh = mig.coh;
+            const Addr mig_addr = mig.blockAddr;
+            llc.countDataRead(MemTech::SRAM); // read out the migrant
+            llc.invalidateBlock(mig);
+
+            PlacementOutcome stt = insertStt(llc, mig_addr, mig_attrs);
+            out.eviction = stt.eviction;
+            out.migrations = 1;
+
+            auto result = llc.insert(block_addr, attrs, 0, sram_ways);
+            lap_assert(!result.eviction.valid,
+                       "SRAM way freed by migration was not reused");
+            return out;
+        }
+    }
+
+    // No loop-blocks involved. If STT-RAM has an invalid entry the
+    // displaced SRAM block moves there for free capacity; otherwise
+    // the SRAM LRU block leaves the cache (Fig 11(c)).
+    if (llc.hasInvalidWay(set, sram_ways, Cache::kAllWays)) {
+        const std::uint32_t lru =
+            llc.chooseVictimWay(set, 0, sram_ways, false);
+        CacheBlock &mig = llc.blockAt(set, lru);
+        Cache::InsertAttrs mig_attrs;
+        mig_attrs.dirty = mig.dirty;
+        mig_attrs.loopBit = mig.loopBit;
+        mig_attrs.version = mig.version;
+        mig_attrs.fillState = mig.fillState;
+        mig_attrs.coh = mig.coh;
+        const Addr mig_addr = mig.blockAddr;
+        llc.countDataRead(MemTech::SRAM);
+        llc.invalidateBlock(mig);
+        PlacementOutcome stt = insertStt(llc, mig_addr, mig_attrs);
+        lap_assert(!stt.eviction.valid,
+                   "invalid STT way vanished during migration");
+        out.migrations = 1;
+
+        auto result = llc.insert(block_addr, attrs, 0, sram_ways);
+        lap_assert(!result.eviction.valid,
+                   "SRAM way freed by migration was not reused");
+        return out;
+    }
+    auto result = llc.insert(block_addr, attrs, 0, sram_ways);
+    out.eviction = result.eviction;
+    return out;
+}
+
+PlacementOutcome
+LhybridPlacement::insert(Cache &llc, Addr block_addr,
+                         const Cache::InsertAttrs &attrs)
+{
+    if (!llc.isHybrid())
+        return insertUniform(llc, block_addr, attrs);
+
+    if (flags_.loopToStt && flags_.nloopToSram) {
+        // Full Lhybrid: everything lands in SRAM first; loop-blocks
+        // are migrated (or routed) to STT-RAM under pressure.
+        return insertSram(llc, block_addr, attrs,
+                          /*allow_loop_migration=*/true);
+    }
+    if (flags_.loopToStt && attrs.loopBit)
+        return insertStt(llc, block_addr, attrs);
+    if (flags_.nloopToSram && !attrs.loopBit) {
+        return insertSram(llc, block_addr, attrs,
+                          /*allow_loop_migration=*/false);
+    }
+    return insertUniform(llc, block_addr, attrs);
+}
+
+bool
+LhybridPlacement::handleDirtyVictimHit(Cache &llc, CacheBlock &dup,
+                                       const Cache::InsertAttrs &attrs,
+                                       PlacementOutcome &out)
+{
+    if (!flags_.winv || !llc.isHybrid())
+        return false;
+    if (llc.wayTech(llc.wayOf(dup)) != MemTech::STTRAM)
+        return false; // SRAM duplicates are cheap to update in place
+
+    // Fig 11(a): invalidate the STT copy and insert the dirty block
+    // into SRAM.
+    const Addr block_addr = dup.blockAddr;
+    llc.invalidateBlock(dup);
+    out = insertSram(llc, block_addr, attrs,
+                     /*allow_loop_migration=*/flags_.loopToStt);
+    return true;
+}
+
+} // namespace lap

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Loop-block-aware data placement for hybrid SRAM/STT-RAM LLCs
+ * (paper Section IV, Fig 11), plus the staged ablation variants of
+ * Fig 25.
+ *
+ * The full Lhybrid flow:
+ *  - (a) Winv: a dirty L2 victim that hits a duplicate in STT-RAM
+ *    invalidates the STT copy and lands in SRAM, keeping write
+ *    traffic off the expensive technology.
+ *  - New insertions target SRAM. When SRAM is full and either the
+ *    incoming block or some SRAM-resident block is a loop-block,
+ *    (b) the MRU loop-block migrates from SRAM to STT-RAM (its next
+ *    evictions will be free tag updates) to make room; the STT
+ *    victim is chosen loop-aware (invalid, then LRU non-loop, then
+ *    LRU loop).
+ *  - (c) With no loop-blocks involved, the SRAM LRU block is evicted
+ *    outright.
+ *
+ * The ablations LAP+Winv, LAP+LoopSTT and LAP+NloopSRAM enable the
+ * stages independently (Fig 25).
+ */
+
+#ifndef LAPSIM_CORE_HYBRID_PLACEMENT_HH
+#define LAPSIM_CORE_HYBRID_PLACEMENT_HH
+
+#include "hierarchy/placement.hh"
+
+namespace lap
+{
+
+/** Stage switches of the Lhybrid placement. */
+struct LhybridFlags
+{
+    /** Redirect dirty write-hits on STT blocks into SRAM. */
+    bool winv = false;
+    /** Steer loop-blocks into STT-RAM (incl. SRAM->STT migration). */
+    bool loopToStt = false;
+    /** Steer non-loop blocks into SRAM. */
+    bool nloopToSram = false;
+};
+
+/** Flag-configurable loop-block-aware placement for hybrid LLCs. */
+class LhybridPlacement : public PlacementPolicy
+{
+  public:
+    LhybridPlacement(LhybridFlags flags, std::string name);
+
+    /** Full Lhybrid (all stages, Fig 11). */
+    static std::unique_ptr<LhybridPlacement> lhybrid();
+    /** LAP+Winv ablation. */
+    static std::unique_ptr<LhybridPlacement> winvOnly();
+    /** LAP+LoopSTT ablation. */
+    static std::unique_ptr<LhybridPlacement> loopSttOnly();
+    /** LAP+NloopSRAM ablation. */
+    static std::unique_ptr<LhybridPlacement> nloopSramOnly();
+
+    std::string name() const override { return name_; }
+    const LhybridFlags &flags() const { return flags_; }
+
+    PlacementOutcome insert(Cache &llc, Addr block_addr,
+                            const Cache::InsertAttrs &attrs) override;
+
+    bool handleDirtyVictimHit(Cache &llc, CacheBlock &dup,
+                              const Cache::InsertAttrs &attrs,
+                              PlacementOutcome &out) override;
+
+  private:
+    PlacementOutcome insertUniform(Cache &llc, Addr block_addr,
+                                   Cache::InsertAttrs attrs);
+    PlacementOutcome insertStt(Cache &llc, Addr block_addr,
+                               Cache::InsertAttrs attrs);
+    PlacementOutcome insertSram(Cache &llc, Addr block_addr,
+                                Cache::InsertAttrs attrs,
+                                bool allow_loop_migration);
+
+    LhybridFlags flags_;
+    std::string name_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CORE_HYBRID_PLACEMENT_HH

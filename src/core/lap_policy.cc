@@ -1,0 +1,58 @@
+#include "core/lap_policy.hh"
+
+namespace lap
+{
+
+const char *
+toString(LapVariant variant)
+{
+    switch (variant) {
+      case LapVariant::Lru: return "LAP-LRU";
+      case LapVariant::Loop: return "LAP-Loop";
+      case LapVariant::Dueling: return "LAP";
+    }
+    return "?";
+}
+
+LapPolicy::LapPolicy(std::uint64_t num_sets, Cycle epoch_cycles,
+                     LapVariant variant, std::uint32_t leader_period)
+    : variant_(variant),
+      duel_(num_sets, leader_period, epoch_cycles, /*initial_winner=*/0)
+{
+}
+
+std::string
+LapPolicy::name() const
+{
+    return toString(variant_);
+}
+
+bool
+LapPolicy::loopAwareVictim(std::uint64_t set)
+{
+    switch (variant_) {
+      case LapVariant::Lru:
+        return false;
+      case LapVariant::Loop:
+        return true;
+      case LapVariant::Dueling:
+        return duel_.choiceIsA(set); // team A = loop-aware
+    }
+    return false;
+}
+
+void
+LapPolicy::noteLlcMiss(std::uint64_t set)
+{
+    if (variant_ == LapVariant::Dueling)
+        duel_.addCost(set, 1.0);
+}
+
+void
+LapPolicy::tick(Cycle now)
+{
+    if (variant_ == LapVariant::Dueling)
+        duel_.tick(now);
+}
+
+} // namespace lap

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * LAP: the Loop-block-Aware inclusion Policy (paper Section III).
+ *
+ * LAP is a *new* inclusion model, not a switch between existing
+ * ones:
+ *
+ *  - No LLC fill on misses (like exclusion): eliminates redundant
+ *    data-fills (Fig 5).
+ *  - No invalidation on LLC hits (like non-inclusion): loop-blocks
+ *    keep their duplicate, so their next clean eviction is a free
+ *    tag update rather than a redundant data insertion (Fig 3).
+ *  - Clean victims are inserted only when no duplicate exists, so
+ *    LLC write traffic = exclusive clean victims + dirty victims.
+ *  - A loop-block-aware replacement policy (Fig 9) keeps identified
+ *    loop-blocks resident, evicting non-loop blocks first; set
+ *    dueling against plain LRU bounds the miss cost.
+ *
+ * Three variants are evaluated in the paper (Table IV / Fig 19):
+ * LAP-LRU (always base replacement), LAP-Loop (always loop-aware),
+ * and LAP (set-dueling picks per epoch).
+ */
+
+#ifndef LAPSIM_CORE_LAP_POLICY_HH
+#define LAPSIM_CORE_LAP_POLICY_HH
+
+#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/set_dueling.hh"
+
+namespace lap
+{
+
+/** Replacement selection mode for LAP. */
+enum class LapVariant : std::uint8_t
+{
+    Lru,     //!< LAP-LRU: always the base replacement policy.
+    Loop,    //!< LAP-Loop: always loop-block-aware replacement.
+    Dueling, //!< LAP: set-dueling between the two (the paper's LAP).
+};
+
+const char *toString(LapVariant variant);
+
+/** The LAP selective inclusion policy. */
+class LapPolicy : public InclusionPolicy
+{
+  public:
+    /**
+     * @param num_sets      LLC set count.
+     * @param epoch_cycles  Dueling epoch (paper: 10M cycles).
+     * @param variant       Replacement selection mode.
+     * @param leader_period One leader set per team every this many
+     *                      sets (paper: 64 => 1/64 + 1/64 of sets).
+     */
+    LapPolicy(std::uint64_t num_sets, Cycle epoch_cycles,
+              LapVariant variant = LapVariant::Dueling,
+              std::uint32_t leader_period = 64);
+
+    std::string name() const override;
+
+    // Fig 8 decision table, LAP row.
+    bool fillLlcOnMiss(std::uint64_t) override { return false; }
+    bool invalidateOnLlcHit(std::uint64_t) override { return false; }
+    bool insertCleanVictim(std::uint64_t) override { return true; }
+
+    bool loopAwareVictim(std::uint64_t set) override;
+
+    void noteLlcMiss(std::uint64_t set) override;
+    void tick(Cycle now) override;
+
+    LapVariant variant() const { return variant_; }
+    SetDueling &duel() { return duel_; }
+
+  private:
+    LapVariant variant_;
+    SetDueling duel_; // team A = loop-aware, team B = base LRU
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CORE_LAP_POLICY_HH

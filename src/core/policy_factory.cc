@@ -1,0 +1,99 @@
+#include "core/policy_factory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/lap_policy.hh"
+#include "hierarchy/baseline_policies.hh"
+#include "hierarchy/switching_policies.hh"
+
+namespace lap
+{
+
+const char *
+toString(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Inclusive: return "Inclusive";
+      case PolicyKind::NonInclusive: return "Non-inclusive";
+      case PolicyKind::Exclusive: return "Exclusive";
+      case PolicyKind::Flexclusion: return "FLEXclusion";
+      case PolicyKind::Dswitch: return "Dswitch";
+      case PolicyKind::LapLru: return "LAP-LRU";
+      case PolicyKind::LapLoop: return "LAP-Loop";
+      case PolicyKind::Lap: return "LAP";
+    }
+    return "?";
+}
+
+std::vector<PolicyKind>
+allPolicyKinds()
+{
+    return {PolicyKind::Inclusive,   PolicyKind::NonInclusive,
+            PolicyKind::Exclusive,   PolicyKind::Flexclusion,
+            PolicyKind::Dswitch,     PolicyKind::LapLru,
+            PolicyKind::LapLoop,     PolicyKind::Lap};
+}
+
+PolicyKind
+policyKindFromString(const std::string &name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (lower == "inclusive")
+        return PolicyKind::Inclusive;
+    if (lower == "non-inclusive" || lower == "noninclusive"
+        || lower == "noni")
+        return PolicyKind::NonInclusive;
+    if (lower == "exclusive" || lower == "ex")
+        return PolicyKind::Exclusive;
+    if (lower == "flexclusion" || lower == "flex")
+        return PolicyKind::Flexclusion;
+    if (lower == "dswitch")
+        return PolicyKind::Dswitch;
+    if (lower == "lap-lru" || lower == "laplru")
+        return PolicyKind::LapLru;
+    if (lower == "lap-loop" || lower == "laploop")
+        return PolicyKind::LapLoop;
+    if (lower == "lap")
+        return PolicyKind::Lap;
+    lap_fatal("unknown inclusion policy '%s'", name.c_str());
+}
+
+std::unique_ptr<InclusionPolicy>
+makeInclusionPolicy(PolicyKind kind, std::uint64_t num_sets,
+                    const PolicyTuning &tuning)
+{
+    switch (kind) {
+      case PolicyKind::Inclusive:
+        return std::make_unique<InclusivePolicy>();
+      case PolicyKind::NonInclusive:
+        return std::make_unique<NonInclusivePolicy>();
+      case PolicyKind::Exclusive:
+        return std::make_unique<ExclusivePolicy>();
+      case PolicyKind::Flexclusion:
+        return std::make_unique<FlexclusionPolicy>(
+            num_sets, tuning.epochCycles, tuning.flexMissMargin,
+            tuning.leaderPeriod);
+      case PolicyKind::Dswitch:
+        return std::make_unique<DswitchPolicy>(
+            num_sets, tuning.epochCycles, tuning.dswitchWriteEnergyNj,
+            tuning.dswitchMissEnergyNj, tuning.leaderPeriod);
+      case PolicyKind::LapLru:
+        return std::make_unique<LapPolicy>(num_sets, tuning.epochCycles,
+                                           LapVariant::Lru,
+                                           tuning.leaderPeriod);
+      case PolicyKind::LapLoop:
+        return std::make_unique<LapPolicy>(num_sets, tuning.epochCycles,
+                                           LapVariant::Loop,
+                                           tuning.leaderPeriod);
+      case PolicyKind::Lap:
+        return std::make_unique<LapPolicy>(num_sets, tuning.epochCycles,
+                                           LapVariant::Dueling,
+                                           tuning.leaderPeriod);
+    }
+    lap_panic("unknown policy kind");
+}
+
+} // namespace lap

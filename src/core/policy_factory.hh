@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Factory for every inclusion policy evaluated in the paper
+ * (Table IV), so benches and examples can select them by name.
+ */
+
+#ifndef LAPSIM_CORE_POLICY_FACTORY_HH
+#define LAPSIM_CORE_POLICY_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hierarchy/inclusion_policy.hh"
+
+namespace lap
+{
+
+/** The evaluated policies (paper Table IV). */
+enum class PolicyKind : std::uint8_t
+{
+    Inclusive,
+    NonInclusive,
+    Exclusive,
+    Flexclusion,
+    Dswitch,
+    LapLru,
+    LapLoop,
+    Lap,
+};
+
+const char *toString(PolicyKind kind);
+
+/** All kinds, in Table IV order. */
+std::vector<PolicyKind> allPolicyKinds();
+
+/** Parses a policy name ("lap", "exclusive", ...); fatal on error. */
+PolicyKind policyKindFromString(const std::string &name);
+
+/** Tunables for the adaptive policies. */
+struct PolicyTuning
+{
+    Cycle epochCycles = 250'000;
+    std::uint32_t leaderPeriod = 64;
+    /** FLEXclusion: miss-reduction margin exclusion must show. */
+    double flexMissMargin = 0.05;
+    /** Dswitch: per-LLC-write energy cost (nJ). */
+    double dswitchWriteEnergyNj = 0.436;
+    /** Dswitch: per-LLC-miss energy cost (nJ). */
+    double dswitchMissEnergyNj = 1.2;
+};
+
+/** Builds a policy instance for an LLC with @p num_sets sets. */
+std::unique_ptr<InclusionPolicy> makeInclusionPolicy(
+    PolicyKind kind, std::uint64_t num_sets,
+    const PolicyTuning &tuning = {});
+
+} // namespace lap
+
+#endif // LAPSIM_CORE_POLICY_FACTORY_HH

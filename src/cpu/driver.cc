@@ -1,0 +1,95 @@
+#include "cpu/driver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+MultiCoreDriver::MultiCoreDriver(CacheHierarchy &hierarchy,
+                                 std::vector<TraceSource *> traces,
+                                 const std::vector<CoreParams> &cores)
+    : hierarchy_(hierarchy), traces_(std::move(traces))
+{
+    lap_assert(traces_.size() == hierarchy_.params().numCores,
+               "need exactly one trace per core (%zu vs %u)",
+               traces_.size(), hierarchy_.params().numCores);
+    lap_assert(cores.size() == traces_.size(),
+               "need exactly one CoreParams per core");
+    for (std::size_t i = 0; i < traces_.size(); ++i) {
+        lap_assert(traces_[i] != nullptr, "trace %zu is null", i);
+        cores_.emplace_back(cores[i]);
+    }
+}
+
+MultiCoreDriver::MultiCoreDriver(CacheHierarchy &hierarchy,
+                                 std::vector<TraceSource *> traces,
+                                 const CoreParams &core)
+    : MultiCoreDriver(
+          hierarchy, traces,
+          std::vector<CoreParams>(hierarchy.params().numCores, core))
+{
+}
+
+void
+MultiCoreDriver::run(std::uint64_t refs_per_core)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(cores_.size());
+    std::vector<std::uint64_t> remaining(n, refs_per_core);
+
+    for (;;) {
+        // Pick the lagging core that still has work.
+        std::uint32_t pick = n;
+        Cycle best = 0;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            if (remaining[c] == 0)
+                continue;
+            if (pick == n || cores_[c].now() < best) {
+                pick = c;
+                best = cores_[c].now();
+            }
+        }
+        if (pick == n)
+            break;
+
+        const MemRef ref = traces_[pick]->next();
+        const auto result = hierarchy_.access(
+            pick, ref.addr, ref.type, cores_[pick].now(), ref.site);
+        cores_[pick].advance(ref.gapInstrs, result.doneAt);
+        remaining[pick]--;
+    }
+}
+
+RunResult
+MultiCoreDriver::measure(std::uint64_t warmup_refs,
+                         std::uint64_t measure_refs)
+{
+    if (warmup_refs > 0)
+        run(warmup_refs);
+
+    hierarchy_.resetStats();
+    for (auto &core : cores_)
+        core.beginMeasurement();
+
+    run(measure_refs);
+    hierarchy_.finishMeasurement();
+
+    RunResult result;
+    Cycle max_cycles = 0;
+    for (auto &core : cores_) {
+        CoreRunStats s;
+        s.instructions = core.measuredInstructions();
+        s.cycles = core.measuredCycles();
+        s.memRefs = core.memRefs();
+        s.ipc = core.ipc();
+        result.throughput += s.ipc;
+        result.instructions += s.instructions;
+        max_cycles = std::max(max_cycles, s.cycles);
+        result.cores.push_back(s);
+    }
+    result.elapsedCycles = max_cycles;
+    return result;
+}
+
+} // namespace lap

@@ -1,0 +1,62 @@
+#include "cpu/file_trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+FileTrace::FileTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        lap_fatal("cannot open trace file '%s'", path.c_str());
+
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string op;
+        std::string addr_text;
+        std::uint32_t gap = 0;
+        std::uint32_t site = 0;
+        ss >> op >> addr_text;
+        if (op.empty() || addr_text.empty()) {
+            lap_fatal("%s:%zu: malformed trace line '%s'", path.c_str(),
+                      lineno, line.c_str());
+        }
+        ss >> gap >> site; // optional columns
+
+        MemRef ref;
+        if (op == "R" || op == "r") {
+            ref.type = AccessType::Read;
+        } else if (op == "W" || op == "w") {
+            ref.type = AccessType::Write;
+        } else {
+            lap_fatal("%s:%zu: unknown op '%s' (expected R or W)",
+                      path.c_str(), lineno, op.c_str());
+        }
+        ref.addr = std::stoull(addr_text, nullptr, 0);
+        ref.gapInstrs = gap;
+        ref.site = site;
+        refs_.push_back(ref);
+    }
+    if (refs_.empty())
+        lap_fatal("trace file '%s' contains no references", path.c_str());
+}
+
+MemRef
+FileTrace::next()
+{
+    MemRef ref = refs_[cursor_];
+    cursor_ = (cursor_ + 1) % refs_.size();
+    return ref;
+}
+
+} // namespace lap

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Replays a memory trace from a text file.
+ *
+ * Format: one reference per line, `R|W <hex-or-dec address> [gap]`,
+ * where gap is the number of non-memory instructions preceding the
+ * reference (default 0). Lines starting with '#' are comments. The
+ * trace wraps around at EOF so it can drive arbitrarily long runs.
+ */
+
+#ifndef LAPSIM_CPU_FILE_TRACE_HH
+#define LAPSIM_CPU_FILE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+
+namespace lap
+{
+
+/** File-backed trace source (wraps at EOF). */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+
+    MemRef next() override;
+    void reset() override { cursor_ = 0; }
+
+    std::size_t size() const { return refs_.size(); }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CPU_FILE_TRACE_HH

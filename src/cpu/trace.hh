@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Memory-reference trace abstraction.
+ *
+ * Cores consume an infinite stream of MemRefs; synthetic workload
+ * generators (src/workloads) and the file-based replayer implement
+ * the interface.
+ */
+
+#ifndef LAPSIM_CPU_TRACE_HH
+#define LAPSIM_CPU_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** One memory reference plus the non-memory work preceding it. */
+struct MemRef
+{
+    Addr addr = 0;
+    AccessType type = AccessType::Read;
+    /** Non-memory instructions executed before this reference. */
+    std::uint32_t gapInstrs = 0;
+    /**
+     * Access site (pseudo-PC): identifies the instruction/loop that
+     * issued the reference. Synthetic generators emit one site per
+     * region; trace files may supply one. Consumed by PC-indexed
+     * predictors such as the DASCA-style dead-write bypass.
+     */
+    std::uint32_t site = 0;
+};
+
+/** Infinite stream of memory references. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produces the next reference. */
+    virtual MemRef next() = 0;
+
+    /** Restarts the stream from the beginning (optional). */
+    virtual void reset() {}
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CPU_TRACE_HH

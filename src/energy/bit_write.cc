@@ -1,0 +1,90 @@
+#include "energy/bit_write.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+const char *
+toString(BitWriteScheme scheme)
+{
+    switch (scheme) {
+      case BitWriteScheme::FullWrite: return "full-write";
+      case BitWriteScheme::WriteMask: return "write-mask";
+      case BitWriteScheme::FlipNWrite: return "flip-n-write";
+    }
+    return "?";
+}
+
+double
+expectedWriteFraction(const BitWriteParams &params, BitWriteScheme scheme,
+                      double flip_fraction)
+{
+    lap_assert(flip_fraction >= 0.0 && flip_fraction <= 1.0,
+               "flip fraction %f out of range", flip_fraction);
+    switch (scheme) {
+      case BitWriteScheme::FullWrite:
+        return 1.0;
+      case BitWriteScheme::WriteMask:
+        return flip_fraction;
+      case BitWriteScheme::FlipNWrite: {
+        // Per word of w cells with per-cell change probability p, the
+        // number of changed cells k ~ Binomial(w, p); Flip-N-Write
+        // programs min(k, w - k) cells plus the flag bit whenever the
+        // word is touched at all. Compute the expectation exactly.
+        const std::uint32_t w = params.wordBits;
+        const double p = flip_fraction;
+        if (p == 0.0)
+            return 0.0;
+        if (p == 1.0) {
+            // Every word fully flips: inversion programs only the
+            // flag cell.
+            return 1.0 / static_cast<double>(w);
+        }
+        double expect_cells = 0.0;
+        double p_touched = 0.0;
+        // Binomial pmf via incremental recurrence to avoid overflow.
+        double pmf = std::pow(1.0 - p, w); // k = 0
+        for (std::uint32_t k = 0; k <= w; ++k) {
+            if (k > 0) {
+                pmf *= (static_cast<double>(w - k + 1)
+                        / static_cast<double>(k))
+                    * (p / (1.0 - p));
+            }
+            if (k > 0) {
+                expect_cells += pmf
+                    * static_cast<double>(std::min(k, w - k));
+                p_touched += pmf;
+            }
+        }
+        // Changed words also program their flag cell.
+        const double per_word = expect_cells + p_touched;
+        return per_word / static_cast<double>(w);
+      }
+    }
+    lap_panic("unknown bit-write scheme");
+}
+
+NanoJoule
+bitAwareWriteEnergy(const BitWriteParams &params, BitWriteScheme scheme,
+                    const WriteClassCounts &counts,
+                    NanoJoule write_energy_nj)
+{
+    const double fill_frac = expectedWriteFraction(
+        params, scheme, params.fillFlipFraction);
+    const double update_frac = expectedWriteFraction(
+        params, scheme, params.updateFlipFraction);
+
+    // Fills, clean insertions and migrations write unrelated content;
+    // dirty victims rewrite mostly-identical content.
+    const double unrelated = static_cast<double>(
+        counts.fills + counts.cleanVictims + counts.migrations);
+    const double updates = static_cast<double>(counts.dirtyInserts);
+    return write_energy_nj
+        * (unrelated * fill_frac + updates * update_frac);
+}
+
+} // namespace lap

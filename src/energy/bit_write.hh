@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bit-level write-energy modelling (Flip-N-Write and write masking).
+ *
+ * The paper states LAP "is orthogonal to and compatible with
+ * data-driven bit-level write reducing schemes for NVMs [20, 21]".
+ * This module models those schemes analytically so the composition
+ * can be evaluated (bench/ext_flip_n_write): the simulator does not
+ * carry data payloads, so the expected fraction of cells written per
+ * block write is parameterized by the *kind* of write, which the
+ * hierarchy already classifies (paper Fig 15):
+ *
+ *  - data fills and clean-victim insertions overwrite a victim with
+ *    unrelated content: ~50% of cells differ on average;
+ *  - dirty-victim updates rewrite a block with a newer version of
+ *    itself: stores touch a minority of words, so far fewer cells
+ *    change;
+ *  - migrations copy unrelated content like fills.
+ *
+ * Write masking (differential write) only programs the cells that
+ * change. Flip-N-Write (Cho & Lee, MICRO'09) additionally inverts
+ * each w-bit word when more than w/2 cells would change, bounding
+ * the per-word cost at w/2 + 1 (the flag bit) and saving energy on
+ * top of masking for high-flip writes.
+ */
+
+#ifndef LAPSIM_ENERGY_BIT_WRITE_HH
+#define LAPSIM_ENERGY_BIT_WRITE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** Bit-level write-reduction schemes. */
+enum class BitWriteScheme : std::uint8_t
+{
+    FullWrite,   //!< Program every cell of the block (baseline).
+    WriteMask,   //!< Differential write: changed cells only.
+    FlipNWrite,  //!< Masking + word inversion (w/2 + 1 bound).
+};
+
+const char *toString(BitWriteScheme scheme);
+
+/** Parameters of the bit-level model. */
+struct BitWriteParams
+{
+    std::uint32_t blockBits = 512; //!< 64B blocks.
+    std::uint32_t wordBits = 32;   //!< Flip-N-Write word granularity.
+    /** Expected changed-cell fraction for unrelated content. */
+    double fillFlipFraction = 0.5;
+    /** Expected changed-cell fraction for dirty self-updates. */
+    double updateFlipFraction = 0.15;
+};
+
+/**
+ * Expected cells programmed per block write, as a fraction of
+ * blockBits, for a write whose raw changed-cell fraction is
+ * @p flip_fraction.
+ */
+double expectedWriteFraction(const BitWriteParams &params,
+                             BitWriteScheme scheme,
+                             double flip_fraction);
+
+/** Per-write-class counts (from HierarchyStats, Fig 15 classes). */
+struct WriteClassCounts
+{
+    std::uint64_t fills = 0;        //!< Data fills.
+    std::uint64_t cleanVictims = 0; //!< Clean-victim insertions.
+    std::uint64_t dirtyInserts = 0; //!< Dirty victims (insert/update).
+    std::uint64_t migrations = 0;   //!< Hybrid migrations.
+};
+
+/**
+ * Total write energy in nJ under a bit-level scheme, given the
+ * full-block write energy @p write_energy_nj. Energy is assumed
+ * proportional to the number of programmed cells (bitline dynamic
+ * energy dominates NVM writes).
+ */
+NanoJoule bitAwareWriteEnergy(const BitWriteParams &params,
+                              BitWriteScheme scheme,
+                              const WriteClassCounts &counts,
+                              NanoJoule write_energy_nj);
+
+} // namespace lap
+
+#endif // LAPSIM_ENERGY_BIT_WRITE_HH

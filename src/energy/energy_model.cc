@@ -1,0 +1,57 @@
+#include "energy/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+constexpr double kBytesPerTwoMb = 2.0 * 1024.0 * 1024.0;
+constexpr double kBytesPerEightMb = 8.0 * 1024.0 * 1024.0;
+
+} // namespace
+
+EnergyModel::EnergyModel(double clock_ghz, TagParams tag)
+    : clockGhz_(clock_ghz), tag_(tag)
+{
+    lap_assert(clock_ghz > 0.0, "clock must be positive");
+}
+
+NanoJoule
+EnergyModel::leakageNj(MilliWatt power, Cycle cycles) const
+{
+    // mW * s = mJ = 1e6 nJ; seconds = cycles / (GHz * 1e9).
+    return power * static_cast<double>(cycles) / (clockGhz_ * 1000.0);
+}
+
+EnergyBreakdown
+EnergyModel::dataArray(const TechParams &params,
+                       std::uint64_t capacity_bytes,
+                       const EnergyCounters &counters,
+                       Cycle cycles) const
+{
+    const double scale = static_cast<double>(capacity_bytes)
+        / kBytesPerTwoMb;
+    EnergyBreakdown e;
+    e.staticNj = leakageNj(params.leakagePerTwoMb * scale, cycles);
+    e.dynamicNj = static_cast<double>(counters.dataReads)
+            * params.readEnergy
+        + static_cast<double>(counters.dataWrites) * params.writeEnergy;
+    return e;
+}
+
+EnergyBreakdown
+EnergyModel::tagArray(std::uint64_t capacity_bytes,
+                      std::uint64_t tag_accesses, Cycle cycles) const
+{
+    const double scale = static_cast<double>(capacity_bytes)
+        / kBytesPerEightMb;
+    EnergyBreakdown e;
+    e.staticNj = leakageNj(tag_.leakagePerEightMb * scale, cycles);
+    e.dynamicNj = static_cast<double>(tag_accesses) * tag_.accessEnergy;
+    return e;
+}
+
+} // namespace lap

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Energy accounting for cache arrays.
+ *
+ * The paper's primary metric is LLC energy-per-instruction (EPI):
+ * static (leakage x time) plus dynamic (per-access read/write/tag
+ * energy). This model converts raw event counters and elapsed cycles
+ * into nanojoules given a TechParams design point.
+ */
+
+#ifndef LAPSIM_ENERGY_ENERGY_MODEL_HH
+#define LAPSIM_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "energy/tech_params.hh"
+
+namespace lap
+{
+
+/** Raw energy-relevant event counts for one cache data region. */
+struct EnergyCounters
+{
+    std::uint64_t dataReads = 0;   //!< Block-sized data-array reads.
+    std::uint64_t dataWrites = 0;  //!< Block-sized data-array writes.
+    std::uint64_t tagAccesses = 0; //!< Tag-array lookups/updates.
+
+    EnergyCounters &
+    operator+=(const EnergyCounters &other)
+    {
+        dataReads += other.dataReads;
+        dataWrites += other.dataWrites;
+        tagAccesses += other.tagAccesses;
+        return *this;
+    }
+};
+
+/** Static/dynamic energy split in nanojoules. */
+struct EnergyBreakdown
+{
+    NanoJoule staticNj = 0.0;
+    NanoJoule dynamicNj = 0.0;
+
+    NanoJoule totalNj() const { return staticNj + dynamicNj; }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &other)
+    {
+        staticNj += other.staticNj;
+        dynamicNj += other.dynamicNj;
+        return *this;
+    }
+};
+
+/**
+ * Converts event counters into energy for data and tag arrays.
+ *
+ * Leakage scales linearly with capacity from the per-2MB (data) and
+ * per-8MB (tag) figures of Tables I/II.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(double clock_ghz = 3.0, TagParams tag = {});
+
+    /** Energy of a data array of @p capacity_bytes over @p cycles. */
+    EnergyBreakdown dataArray(const TechParams &params,
+                              std::uint64_t capacity_bytes,
+                              const EnergyCounters &counters,
+                              Cycle cycles) const;
+
+    /** Energy of the SRAM tag array backing @p capacity_bytes. */
+    EnergyBreakdown tagArray(std::uint64_t capacity_bytes,
+                             std::uint64_t tag_accesses,
+                             Cycle cycles) const;
+
+    /** Converts leakage power in mW over cycles into nanojoules. */
+    NanoJoule leakageNj(MilliWatt power, Cycle cycles) const;
+
+    double clockGhz() const { return clockGhz_; }
+
+  private:
+    double clockGhz_;
+    TagParams tag_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,117 @@
+#include "energy/tech_params.hh"
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+TechParams
+TechParams::withWriteReadRatio(double ratio) const
+{
+    lap_assert(ratio > 0.0, "write/read ratio must be positive");
+    TechParams scaled = *this;
+    scaled.writeEnergy = readEnergy * ratio;
+    return scaled;
+}
+
+TechParams
+sramTechParams()
+{
+    TechParams p;
+    p.tech = MemTech::SRAM;
+    p.areaMm2 = 1.65;
+    // Table I reports 2.09ns read / 1.73ns write; Table II models the
+    // LLC pipeline as 8 cycles each at 3GHz.
+    p.readLatency = 8;
+    p.writeLatency = 8;
+    p.readEnergy = 0.072;
+    p.writeEnergy = 0.056;
+    p.leakagePerTwoMb = 50.736;
+    return p;
+}
+
+TechParams
+sttTechParams()
+{
+    TechParams p;
+    p.tech = MemTech::STTRAM;
+    p.areaMm2 = 0.62;
+    // Table II: 8-cycle read, 33-cycle write at 3GHz (10.91ns write).
+    p.readLatency = 8;
+    p.writeLatency = 33;
+    p.readEnergy = 0.133;
+    p.writeEnergy = 0.436;
+    p.leakagePerTwoMb = 7.108;
+    return p;
+}
+
+TechParams
+pcmTechParams()
+{
+    TechParams p;
+    p.tech = MemTech::STTRAM; // modelled as the non-SRAM region kind
+    p.areaMm2 = 0.35;
+    p.readLatency = 12;
+    p.writeLatency = 90;
+    p.readEnergy = 0.160;
+    p.writeEnergy = 1.920; // ~12x read: PCM SET/RESET is expensive
+    p.leakagePerTwoMb = 3.2;
+    return p;
+}
+
+TechParams
+rramTechParams()
+{
+    TechParams p;
+    p.tech = MemTech::STTRAM;
+    p.areaMm2 = 0.30;
+    p.readLatency = 10;
+    p.writeLatency = 50;
+    p.readEnergy = 0.110;
+    p.writeEnergy = 0.770; // ~7x read
+    p.leakagePerTwoMb = 4.1;
+    return p;
+}
+
+TagParams
+defaultTagParams()
+{
+    return TagParams{};
+}
+
+std::vector<PublishedDesignPoint>
+publishedSttDesignPoints()
+{
+    // The citation tags below follow the paper's Fig 23. Exact nJ
+    // figures are not published in a common format; each point keeps
+    // the baseline read energy scale but reproduces the publication's
+    // approximate write/read energy ratio and, where known, its
+    // latency/leakage character. Fig 23's conclusion — savings are a
+    // function of the ratio, with small scatter from latency/leakage
+    // differences — is what these points exercise.
+    const TechParams base = sttTechParams();
+    auto point = [&](const char *label, double ratio, Cycle write_lat,
+                     double leak_scale) {
+        PublishedDesignPoint p;
+        p.label = label;
+        p.params = base.withWriteReadRatio(ratio);
+        p.params.writeLatency = write_lat;
+        p.params.leakagePerTwoMb = base.leakagePerTwoMb * leak_scale;
+        return p;
+    };
+    return {
+        point("[34] DASCA", 2.3, 22, 1.0),
+        point("[17] APM", 3.3, 25, 1.0),
+        point("[41] L3C", 4.4, 28, 1.3),
+        point("[12] Noguchi14", 5.4, 18, 0.8),
+        point("[13]-1 Smullen-relaxed", 7.0, 16, 0.9),
+        point("[13]-2 Smullen-base", 9.4, 30, 1.0),
+        point("[42] Halupka", 11.0, 34, 1.1),
+        point("[11] Noguchi15", 13.0, 20, 0.7),
+        point("[43] Ohsawa", 15.5, 26, 1.2),
+        point("[14] Noguchi13", 18.0, 30, 1.0),
+        point("[16] Tsuchida", 22.0, 38, 1.1),
+    };
+}
+
+} // namespace lap

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Memory-technology parameter library.
+ *
+ * Mirrors the paper's Table I (CACTI/NVSim models of a 2MB cache
+ * bank at 22nm, 350K) and Table II (per-LLC tag/data energy), plus
+ * the published STT-RAM design points the paper replays in Fig 23
+ * and a write/read-energy-ratio scaling knob.
+ */
+
+#ifndef LAPSIM_ENERGY_TECH_PARAMS_HH
+#define LAPSIM_ENERGY_TECH_PARAMS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** Electrical/timing parameters of one cache data array technology. */
+struct TechParams
+{
+    MemTech tech = MemTech::SRAM;
+    /** Area of a 2MB bank in mm^2 (reported only, Table I). */
+    double areaMm2 = 0.0;
+    /** Data-array access latencies in core cycles at 3GHz. */
+    Cycle readLatency = 0;
+    Cycle writeLatency = 0;
+    /** Data-array access energy in nJ per block access. */
+    NanoJoule readEnergy = 0.0;
+    NanoJoule writeEnergy = 0.0;
+    /** Data-array leakage in mW per 2MB of capacity. */
+    MilliWatt leakagePerTwoMb = 0.0;
+
+    /** Write/read dynamic-energy asymmetry of this design point. */
+    double writeReadRatio() const { return writeEnergy / readEnergy; }
+
+    /**
+     * Returns a copy with the write energy scaled so that the
+     * write/read ratio equals @p ratio (read energy and leakage are
+     * held fixed, as in the paper's Fig 23 sweep).
+     */
+    TechParams withWriteReadRatio(double ratio) const;
+};
+
+/** Tag-array parameters; tags are SRAM even for STT-RAM data arrays. */
+struct TagParams
+{
+    /** Leakage of the tag array for an 8MB LLC, in mW. */
+    MilliWatt leakagePerEightMb = 17.73;
+    /** Dynamic energy per tag access in nJ. */
+    NanoJoule accessEnergy = 0.015;
+};
+
+/** Table I SRAM 2MB bank (22nm, 350K). */
+TechParams sramTechParams();
+
+/** Table I STT-RAM 2MB bank (22nm, 350K). */
+TechParams sttTechParams();
+
+/**
+ * Phase-change-memory LLC design point. PCM is denser and slower
+ * than STT-RAM with a harsher write/read asymmetry; parameters
+ * follow the characteristics cited in the paper's introduction
+ * (Lee et al., ISCA'09 scaled to an LLC array).
+ */
+TechParams pcmTechParams();
+
+/**
+ * Resistive-RAM (crossbar) LLC design point, after the crossbar
+ * characteristics cited in the paper's introduction (Xu et al.,
+ * HPCA'15).
+ */
+TechParams rramTechParams();
+
+/** Default SRAM tag-array parameters (Table II). */
+TagParams defaultTagParams();
+
+/**
+ * A published STT-RAM design point replayed in the paper's Fig 23.
+ * Values are reconstructed from each publication's headline
+ * characteristics; what matters for the experiment is the spread of
+ * write/read energy ratios and the latency/leakage variation.
+ */
+struct PublishedDesignPoint
+{
+    std::string label;     //!< Citation tag used in Fig 23.
+    TechParams params;
+};
+
+/** Design points for the Fig 23 scalability study. */
+std::vector<PublishedDesignPoint> publishedSttDesignPoints();
+
+} // namespace lap
+
+#endif // LAPSIM_ENERGY_TECH_PARAMS_HH

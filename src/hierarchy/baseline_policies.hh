@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The three traditional inclusion properties (paper Fig 1).
+ */
+
+#ifndef LAPSIM_HIERARCHY_BASELINE_POLICIES_HH
+#define LAPSIM_HIERARCHY_BASELINE_POLICIES_HH
+
+#include "hierarchy/inclusion_policy.hh"
+
+namespace lap
+{
+
+/**
+ * Strictly inclusive LLC: filled on every miss, duplicates retained,
+ * upper-level copies back-invalidated when the LLC evicts. Included
+ * for completeness; the paper's evaluation focuses on non-inclusion
+ * and exclusion since bypassing writes is impossible under strict
+ * inclusion.
+ */
+class InclusivePolicy : public InclusionPolicy
+{
+  public:
+    std::string name() const override { return "Inclusive"; }
+    bool fillLlcOnMiss(std::uint64_t) override { return true; }
+    bool invalidateOnLlcHit(std::uint64_t) override { return false; }
+    bool insertCleanVictim(std::uint64_t) override { return false; }
+    bool backInvalidate() const override { return true; }
+};
+
+/**
+ * Non-inclusive LLC (the paper's baseline): filled on misses, no
+ * back-invalidation, clean victims dropped. Writes to the LLC =
+ * data-fills + dirty victims.
+ */
+class NonInclusivePolicy : public InclusionPolicy
+{
+  public:
+    std::string name() const override { return "Non-inclusive"; }
+    bool fillLlcOnMiss(std::uint64_t) override { return true; }
+    bool invalidateOnLlcHit(std::uint64_t) override { return false; }
+    bool insertCleanVictim(std::uint64_t) override { return false; }
+};
+
+/**
+ * Exclusive LLC: holds only upper-level victims; hits are
+ * invalidated (the block moves up), every L2 victim is inserted.
+ * Writes to the LLC = clean victims + dirty victims.
+ */
+class ExclusivePolicy : public InclusionPolicy
+{
+  public:
+    std::string name() const override { return "Exclusive"; }
+    bool fillLlcOnMiss(std::uint64_t) override { return false; }
+    bool invalidateOnLlcHit(std::uint64_t) override { return true; }
+    bool insertCleanVictim(std::uint64_t) override { return true; }
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_BASELINE_POLICIES_HH

@@ -1,0 +1,734 @@
+#include "hierarchy/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+/** Strength order of MOESI states (enum order is I<S<E<O<M). */
+CohState
+strongerState(CohState a, CohState b)
+{
+    return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b)
+        ? a
+        : b;
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
+                               std::unique_ptr<InclusionPolicy> policy,
+                               std::unique_ptr<PlacementPolicy> placement,
+                               std::unique_ptr<WriteFilter> write_filter)
+    : params_(params),
+      dram_(params.dram),
+      policy_(std::move(policy)),
+      placement_(placement ? std::move(placement)
+                           : std::make_unique<DefaultPlacement>()),
+      writeFilter_(std::move(write_filter))
+{
+    lap_assert(params_.numCores >= 1, "need at least one core");
+    lap_assert(policy_ != nullptr, "inclusion policy required");
+    lap_assert(params_.l1.blockBytes == params_.llc.blockBytes
+                   && params_.l2.blockBytes == params_.llc.blockBytes,
+               "block size must match across levels");
+
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        CacheParams l1p = params_.l1;
+        l1p.name += ".core" + std::to_string(c);
+        l1p.seed += c;
+        l1s_.push_back(std::make_unique<Cache>(l1p));
+
+        CacheParams l2p = params_.l2;
+        l2p.name += ".core" + std::to_string(c);
+        l2p.seed += c;
+        l2s_.push_back(std::make_unique<Cache>(l2p));
+    }
+    llc_ = std::make_unique<Cache>(params_.llc);
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    stats_.reset();
+    loopTracker_.reset();
+    llc_->resetStats();
+    dram_.resetStats();
+    for (auto &c : l1s_)
+        c->resetStats();
+    for (auto &c : l2s_)
+        c->resetStats();
+}
+
+void
+CacheHierarchy::flushPrivate(CoreId core, Cycle now)
+{
+    lap_assert(core < params_.numCores, "core %u out of range", core);
+    auto drain = [&](Cache &cache, auto &&victim_handler) {
+        // Snapshot first: victim handling may insert into lower
+        // private levels while we iterate.
+        std::vector<CacheBlock *> blocks;
+        cache.forEachBlock([&](CacheBlock &blk) { blocks.push_back(&blk); });
+        for (CacheBlock *blk : blocks) {
+            if (!blk->valid)
+                continue; // invalidated by an earlier handler
+            Cache::Eviction ev;
+            ev.valid = true;
+            ev.blockAddr = blk->blockAddr;
+            ev.dirty = blk->dirty;
+            ev.loopBit = blk->loopBit;
+            ev.version = blk->version;
+            ev.fillState = blk->fillState;
+            ev.coh = blk->coh;
+            ev.site = blk->site;
+            ev.referenced = blk->referenced;
+            cache.invalidateBlock(*blk);
+            victim_handler(ev);
+        }
+    };
+    drain(*l1s_[core], [&](const Cache::Eviction &ev) {
+        handleL1Victim(core, ev, now);
+    });
+    drain(*l2s_[core], [&](const Cache::Eviction &ev) {
+        handleL2Victim(core, ev, now);
+    });
+}
+
+double
+CacheHierarchy::llcLoopResidency() const
+{
+    std::uint64_t valid = 0;
+    std::uint64_t loops = 0;
+    llc_->forEachBlock([&](const CacheBlock &blk) {
+        valid++;
+        if (blk.loopBit)
+            loops++;
+    });
+    return valid == 0 ? 0.0
+                      : static_cast<double>(loops)
+            / static_cast<double>(valid);
+}
+
+double
+CacheHierarchy::llcDirtyFraction() const
+{
+    std::uint64_t valid = 0;
+    std::uint64_t dirty = 0;
+    llc_->forEachBlock([&](const CacheBlock &blk) {
+        valid++;
+        if (blk.dirty)
+            dirty++;
+    });
+    return valid == 0 ? 0.0
+                      : static_cast<double>(dirty)
+            / static_cast<double>(valid);
+}
+
+CacheHierarchy::AccessResult
+CacheHierarchy::access(CoreId core, Addr byte_addr, AccessType type,
+                       Cycle now, std::uint32_t site)
+{
+    lap_assert(core < params_.numCores, "core %u out of range", core);
+    policy_->tick(now);
+    stats_.demandAccesses++;
+    if (type == AccessType::Read)
+        stats_.demandReads++;
+    else
+        stats_.demandWrites++;
+
+    const Addr ba = llc_->blockAddrOf(byte_addr);
+    Cache &l1c = *l1s_[core];
+
+    // ---- L1 ---------------------------------------------------------
+    if (CacheBlock *b1 = l1c.access(ba, type)) {
+        stats_.l1Hits++;
+        b1->site = site;
+        if (CacheBlock *d2 = l2s_[core]->probe(ba))
+            d2->site = site;
+        if (type == AccessType::Write) {
+            if (params_.coherence)
+                upgradeForWrite(core, ba);
+            b1->version = verifier_.recordWrite(ba);
+            loopTracker_.onWrite(ba);
+            // Fig 10(a): a write ends the block's clean-trip streak;
+            // clear the loop-bit on the L2 duplicate as well.
+            if (CacheBlock *d2 = l2s_[core]->probe(ba))
+                d2->loopBit = false;
+            if (params_.coherence)
+                setPrivateState(core, ba, CohState::Modified);
+        } else {
+            verifier_.checkRead(ba, b1->version, "L1");
+        }
+        return {now + l1c.params().readLatency, ServiceLevel::L1};
+    }
+
+    // ---- L2 ---------------------------------------------------------
+    Cache &l2c = *l2s_[core];
+    if (CacheBlock *b2 = l2c.access(ba, AccessType::Read)) {
+        stats_.l2Hits++;
+        b2->site = site;
+        const Cycle done =
+            now + l1c.params().readLatency + l2c.params().readLatency;
+        verifier_.checkRead(ba, b2->version, "L2");
+
+        const bool loop = b2->loopBit;
+        const std::uint64_t version = b2->version;
+        const CohState coh = b2->coh;
+
+        std::uint64_t l1_version = version;
+        bool l1_dirty = false;
+        bool l1_loop = loop;
+        CohState l1_coh = coh;
+        if (type == AccessType::Write) {
+            if (params_.coherence)
+                upgradeForWrite(core, ba);
+            l1_version = verifier_.recordWrite(ba);
+            loopTracker_.onWrite(ba);
+            l1_dirty = true;
+            l1_loop = false;
+            l1_coh = CohState::Modified;
+            b2->loopBit = false;
+        }
+        Cache::InsertAttrs attrs;
+        attrs.dirty = l1_dirty;
+        attrs.loopBit = l1_loop;
+        attrs.version = l1_version;
+        attrs.coh = l1_coh;
+        attrs.site = site;
+        auto res = l1c.insert(ba, attrs);
+        handleL1Victim(core, res.eviction, now);
+        if (type == AccessType::Write && params_.coherence)
+            setPrivateState(core, ba, CohState::Modified);
+        return {done, ServiceLevel::L2};
+    }
+
+    // ---- LLC --------------------------------------------------------
+    const std::uint64_t set = llc_->setIndexOf(ba);
+    if (CacheBlock *b3 = llc_->access(ba, AccessType::Read)) {
+        stats_.llcHits++;
+        return serviceFromLlcHit(core, ba, type, now, *b3, site);
+    }
+    stats_.llcMisses++;
+    policy_->noteLlcMiss(set);
+    return serviceFromMemory(core, ba, type, now, site);
+}
+
+CacheHierarchy::AccessResult
+CacheHierarchy::serviceFromLlcHit(CoreId core, Addr ba, AccessType type,
+                                  Cycle now, CacheBlock &blk,
+                                  std::uint32_t site)
+{
+    const std::uint64_t set = llc_->setIndexOf(ba);
+    const Cycle base = now + l1s_[core]->params().readLatency
+        + l2s_[core]->params().readLatency;
+    const Cycle start =
+        llc_->reserveBank(ba, base, llc_->params().readLatency);
+    Cycle done = start + llc_->params().readLatency;
+    ServiceLevel level = ServiceLevel::Llc;
+
+    std::uint64_t version = blk.version;
+    bool peer_supplied = false;
+    CohState req_state = CohState::Invalid;
+    if (params_.coherence) {
+        auto res =
+            resolveOnLlcHit(core, ba, type == AccessType::Write, version);
+        version = res.version;
+        req_state = res.requesterState;
+        peer_supplied = res.peerSupplied;
+        if (peer_supplied) {
+            done += params_.snoopLatency;
+            level = ServiceLevel::Peer;
+        }
+    }
+    verifier_.checkRead(ba, version, "LLC");
+
+    noteFillTouched(blk);
+    blk.referenced = true;
+
+    // A peer owner keeps writeback responsibility; otherwise an
+    // invalidate-on-hit policy transfers the dirty state upward.
+    bool dirty_to_l2 = false;
+    if (policy_->invalidateOnLlcHit(set)) {
+        dirty_to_l2 = blk.dirty && !peer_supplied;
+        // The insertion ends its residency having been useful.
+        observeInsertionOutcome(blk.site, /*referenced=*/true);
+        llc_->invalidateBlock(blk);
+        stats_.llcInvalidationsOnHit++;
+    }
+    fillUpper(core, ba, dirty_to_l2, /*loop_bit=*/!dirty_to_l2, version,
+              type, req_state, now, site);
+    return {done, level};
+}
+
+CacheHierarchy::AccessResult
+CacheHierarchy::serviceFromMemory(CoreId core, Addr ba, AccessType type,
+                                  Cycle now, std::uint32_t site)
+{
+    const std::uint64_t set = llc_->setIndexOf(ba);
+    const Cycle base = now + l1s_[core]->params().readLatency
+        + l2s_[core]->params().readLatency + llc_->params().readLatency;
+
+    Cycle done = 0;
+    std::uint64_t version = 0;
+    CohState req_state = CohState::Invalid;
+    ServiceLevel level = ServiceLevel::Memory;
+    bool peer = false;
+
+    if (params_.coherence) {
+        auto res = snoopOnLlcMiss(core, ba, type == AccessType::Write);
+        req_state = res.requesterState;
+        if (res.peerSupplied) {
+            version = res.version;
+            done = base + params_.snoopLatency;
+            level = ServiceLevel::Peer;
+            peer = true;
+        }
+    }
+    if (!peer) {
+        version = verifier_.memVersion(ba);
+        done = dram_.read(ba, base);
+    }
+    verifier_.checkRead(ba, version, "memory");
+
+    if (policy_->fillLlcOnMiss(set)) {
+        stats_.llcDemandFills++;
+        Cache::InsertAttrs attrs;
+        attrs.dirty = false;
+        attrs.loopBit = false;
+        attrs.version = version;
+        attrs.fillState = FillState::FillUntouched;
+        attrs.site = site;
+        insertIntoLlc(ba, attrs, WriteClass::DataFill, now);
+    }
+    fillUpper(core, ba, /*dirty=*/false, /*loop_bit=*/false, version, type,
+              req_state, now, site);
+    return {done, level};
+}
+
+void
+CacheHierarchy::fillUpper(CoreId core, Addr ba, bool dirty, bool loop_bit,
+                          std::uint64_t version, AccessType type,
+                          CohState coh, Cycle now, std::uint32_t site)
+{
+    // L2 first so the L1 copy installed below stays untouched by the
+    // L2 victim flow.
+    Cache::InsertAttrs l2_attrs;
+    l2_attrs.dirty = dirty;
+    l2_attrs.loopBit = loop_bit && !dirty;
+    l2_attrs.version = version;
+    l2_attrs.coh = coh;
+    l2_attrs.site = site;
+    auto res2 = l2s_[core]->insert(ba, l2_attrs);
+    handleL2Victim(core, res2.eviction, now);
+
+    std::uint64_t l1_version = version;
+    bool l1_dirty = false;
+    bool l1_loop = l2_attrs.loopBit;
+    CohState l1_coh = coh;
+    if (type == AccessType::Write) {
+        l1_version = verifier_.recordWrite(ba);
+        loopTracker_.onWrite(ba);
+        l1_dirty = true;
+        l1_loop = false;
+        l1_coh = CohState::Modified;
+        if (CacheBlock *d2 = l2s_[core]->probe(ba))
+            d2->loopBit = false;
+    }
+    Cache::InsertAttrs l1_attrs;
+    l1_attrs.dirty = l1_dirty;
+    l1_attrs.loopBit = l1_loop;
+    l1_attrs.version = l1_version;
+    l1_attrs.coh = l1_coh;
+    l1_attrs.site = site;
+    auto res1 = l1s_[core]->insert(ba, l1_attrs);
+    handleL1Victim(core, res1.eviction, now);
+
+    if (type == AccessType::Write && params_.coherence)
+        setPrivateState(core, ba, CohState::Modified);
+}
+
+void
+CacheHierarchy::handleL1Victim(CoreId core, const Cache::Eviction &ev,
+                               Cycle now)
+{
+    if (!ev.valid || !ev.dirty)
+        return; // clean L1 victims are always backed below
+    Cache &l2c = *l2s_[core];
+    if (CacheBlock *dup = l2c.probe(ev.blockAddr)) {
+        l2c.countTagAccess();
+        l2c.writeBlock(*dup, ev.version);
+        dup->coh = strongerState(dup->coh, ev.coh);
+    } else {
+        Cache::InsertAttrs attrs;
+        attrs.dirty = true;
+        attrs.loopBit = false;
+        attrs.version = ev.version;
+        attrs.coh = ev.coh;
+        attrs.site = ev.site;
+        auto res = l2c.insert(ev.blockAddr, attrs);
+        handleL2Victim(core, res.eviction, now);
+    }
+}
+
+void
+CacheHierarchy::handleL2Victim(CoreId core, const Cache::Eviction &ev,
+                               Cycle now)
+{
+    (void)core;
+    if (!ev.valid)
+        return;
+    const Addr ba = ev.blockAddr;
+    const std::uint64_t set = llc_->setIndexOf(ba);
+
+    if (ev.dirty)
+        loopTracker_.onDirtyEviction(ba);
+    else
+        loopTracker_.onCleanEviction(ba, ev.loopBit);
+
+    llc_->countTagAccess(); // duplicate check
+    CacheBlock *dup = llc_->probe(ba);
+
+    if (ev.dirty) {
+        Cache::InsertAttrs attrs;
+        attrs.dirty = true;
+        attrs.loopBit = false;
+        attrs.version = ev.version;
+        attrs.site = ev.site;
+        if (dup) {
+            if (dup->fillState == FillState::FillUntouched)
+                stats_.llcRedundantFills++; // Fig 5: fill overwritten
+            // The previous insertion's residency ends here.
+            observeInsertionOutcome(dup->site, dup->referenced);
+            dup->fillState = FillState::NotFill;
+            dup->site = ev.site;
+            dup->referenced = false;
+            PlacementOutcome out;
+            if (placement_->handleDirtyVictimHit(*llc_, *dup, attrs,
+                                                 out)) {
+                countLlcWrite(set, WriteClass::DirtyVictim);
+                for (std::uint32_t i = 0; i < out.migrations; ++i)
+                    countLlcWrite(set, WriteClass::Migration);
+                llc_->reserveBank(ba, now,
+                                  llc_->writeOccupancy(out.writeRegion));
+                handleLlcEviction(out.eviction, now);
+            } else {
+                const MemTech region = llc_->wayTech(llc_->wayOf(*dup));
+                llc_->writeBlock(*dup, ev.version);
+                countLlcWrite(set, WriteClass::DirtyVictim);
+                llc_->reserveBank(ba, now, llc_->writeOccupancy(region));
+            }
+        } else {
+            insertIntoLlc(ba, attrs, WriteClass::DirtyVictim, now);
+        }
+        return;
+    }
+
+    // Clean victim.
+    if (dup) {
+        // Fig 10(b): data dropped, loop-bit refreshed in the LLC tag.
+        // Note: the dedup match keeps the fill out of the dead-fill
+        // statistics (noteFillTouched) but is NOT a re-reference for
+        // dead-write training — only demand hits read the data.
+        dup->loopBit = ev.loopBit;
+        llc_->countTagAccess();
+        noteFillTouched(*dup);
+        stats_.llcCleanVictimsDropped++;
+        return;
+    }
+    if (policy_->insertCleanVictim(set)) {
+        if (ev.loopBit)
+            stats_.llcLoopBlockInsertions++;
+        Cache::InsertAttrs attrs;
+        attrs.dirty = false;
+        attrs.loopBit = ev.loopBit;
+        attrs.version = ev.version;
+        attrs.site = ev.site;
+        insertIntoLlc(ba, attrs, WriteClass::CleanVictim, now);
+    }
+    // else: silently dropped (non-inclusion without a duplicate).
+}
+
+void
+CacheHierarchy::insertIntoLlc(Addr ba, Cache::InsertAttrs attrs,
+                              WriteClass cls, Cycle now)
+{
+    const std::uint64_t set = llc_->setIndexOf(ba);
+    if (writeFilter_ && cls != WriteClass::Migration
+        && writeFilter_->shouldBypass(attrs.site, attrs.dirty)) {
+        // Dead-write bypass: clean data is backed below; dirty data
+        // goes straight to DRAM.
+        stats_.llcBypassedWrites++;
+        if (attrs.dirty) {
+            dram_.write(ba, now);
+            verifier_.writeback(ba, attrs.version);
+        }
+        return;
+    }
+    attrs.loopAwareVictim = policy_->loopAwareVictim(set);
+    PlacementOutcome out = placement_->insert(*llc_, ba, attrs);
+    countLlcWrite(set, cls);
+    for (std::uint32_t i = 0; i < out.migrations; ++i)
+        countLlcWrite(set, WriteClass::Migration);
+    llc_->reserveBank(ba, now, llc_->writeOccupancy(out.writeRegion));
+    handleLlcEviction(out.eviction, now);
+}
+
+void
+CacheHierarchy::handleLlcEviction(const Cache::Eviction &ev, Cycle now)
+{
+    if (!ev.valid)
+        return;
+    if (ev.fillState == FillState::FillUntouched)
+        stats_.llcDeadFills++;
+    observeInsertionOutcome(ev.site, ev.referenced);
+    if (ev.dirty) {
+        dram_.write(ev.blockAddr, now);
+        verifier_.writeback(ev.blockAddr, ev.version);
+    }
+    if (policy_->backInvalidate())
+        backInvalidate(ev.blockAddr, now);
+}
+
+void
+CacheHierarchy::backInvalidate(Addr ba, Cycle now)
+{
+    std::uint64_t dirty_version = 0;
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        for (Cache *cache : {l1s_[c].get(), l2s_[c].get()}) {
+            if (CacheBlock *blk = cache->probe(ba)) {
+                if (blk->dirty)
+                    dirty_version = std::max(dirty_version, blk->version);
+                cache->invalidateBlock(*blk);
+                stats_.llcBackInvalidations++;
+            }
+        }
+    }
+    if (dirty_version != 0) {
+        dram_.write(ba, now);
+        verifier_.writeback(ba, dirty_version);
+    }
+}
+
+void
+CacheHierarchy::countLlcWrite(std::uint64_t set, WriteClass cls)
+{
+    switch (cls) {
+      case WriteClass::DataFill:
+        stats_.llcWritesDataFill++;
+        break;
+      case WriteClass::CleanVictim:
+        stats_.llcWritesCleanVictim++;
+        break;
+      case WriteClass::DirtyVictim:
+        stats_.llcWritesDirtyVictim++;
+        break;
+      case WriteClass::Migration:
+        stats_.llcWritesMigration++;
+        break;
+    }
+    policy_->noteLlcWrite(set);
+}
+
+void
+CacheHierarchy::noteFillTouched(CacheBlock &blk)
+{
+    if (blk.fillState == FillState::FillUntouched)
+        blk.fillState = FillState::Touched;
+}
+
+void
+CacheHierarchy::observeInsertionOutcome(std::uint32_t site,
+                                        bool referenced)
+{
+    if (writeFilter_)
+        writeFilter_->observeOutcome(site, !referenced);
+}
+
+// --- Coherence -------------------------------------------------------
+
+void
+CacheHierarchy::setPrivateState(CoreId core, Addr ba, CohState state)
+{
+    if (CacheBlock *b1 = l1s_[core]->probe(ba))
+        b1->coh = state;
+    if (CacheBlock *b2 = l2s_[core]->probe(ba))
+        b2->coh = state;
+}
+
+CohState
+CacheHierarchy::pairState(CoreId core, Addr ba) const
+{
+    CohState st = CohState::Invalid;
+    if (const CacheBlock *b1 = l1s_[core]->probe(ba))
+        st = strongerState(st, b1->coh);
+    if (const CacheBlock *b2 = l2s_[core]->probe(ba))
+        st = strongerState(st, b2->coh);
+    return st;
+}
+
+void
+CacheHierarchy::upgradeForWrite(CoreId core, Addr ba)
+{
+    const CohState st = pairState(core, ba);
+    if (!needsUpgrade(st))
+        return; // M is already exclusive-dirty; E upgrades silently.
+
+    std::uint32_t holders = 0;
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        if (c == core)
+            continue;
+        bool held = false;
+        for (Cache *cache : {l1s_[c].get(), l2s_[c].get()}) {
+            if (CacheBlock *blk = cache->probe(ba)) {
+                // Copies share the version the upgrading core already
+                // holds (it is at least S), so no data is lost.
+                cache->invalidateBlock(*blk);
+                held = true;
+            }
+        }
+        if (held) {
+            holders++;
+            stats_.snoop.invalidations++;
+        }
+    }
+    if (holders > 0)
+        stats_.snoop.upgrades++;
+}
+
+CacheHierarchy::CohResolution
+CacheHierarchy::snoopOnLlcMiss(CoreId core, Addr ba, bool is_write)
+{
+    CohResolution res;
+    stats_.snoop.broadcasts++;
+    stats_.snoop.messages += params_.numCores - 1;
+
+    std::uint64_t best_version = 0;
+    bool dirty_found = false;
+    std::uint64_t clean_version = 0;
+    bool clean_found = false;
+
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        if (c == core)
+            continue;
+        CacheBlock *c1 = l1s_[c]->probe(ba);
+        CacheBlock *c2 = l2s_[c]->probe(ba);
+        if (!c1 && !c2)
+            continue;
+        res.anyPeerHeld = true;
+
+        std::uint64_t ver = 0;
+        bool dirty = false;
+        for (CacheBlock *blk : {c1, c2}) {
+            if (!blk)
+                continue;
+            ver = std::max(ver, blk->version);
+            dirty = dirty || blk->dirty;
+        }
+
+        if (is_write) {
+            if (dirty) {
+                dirty_found = true;
+                best_version = std::max(best_version, ver);
+                stats_.snoop.dataTransfers++;
+            }
+            for (Cache *cache : {l1s_[c].get(), l2s_[c].get()}) {
+                if (CacheBlock *blk = cache->probe(ba))
+                    cache->invalidateBlock(*blk);
+            }
+            stats_.snoop.invalidations++;
+        } else {
+            if (dirty) {
+                dirty_found = true;
+                best_version = std::max(best_version, ver);
+                stats_.snoop.dataTransfers++;
+            } else {
+                clean_found = true;
+                clean_version = std::max(clean_version, ver);
+            }
+            for (CacheBlock *blk : {c1, c2}) {
+                if (blk)
+                    blk->coh = peerStateAfterRemoteRead(blk->coh);
+            }
+        }
+    }
+
+    if (is_write) {
+        res.requesterState = CohState::Modified;
+    } else if (res.anyPeerHeld) {
+        res.requesterState = CohState::Shared;
+    } else {
+        res.requesterState = CohState::Exclusive;
+    }
+
+    if (dirty_found) {
+        res.peerSupplied = true;
+        res.version = best_version;
+    } else if (clean_found && !is_write) {
+        // Clean cache-to-cache supply avoids the DRAM access.
+        res.peerSupplied = true;
+        res.version = clean_version;
+        stats_.snoop.dataTransfers++;
+    }
+    return res;
+}
+
+CacheHierarchy::CohResolution
+CacheHierarchy::resolveOnLlcHit(CoreId core, Addr ba, bool is_write,
+                                std::uint64_t llc_version)
+{
+    CohResolution res;
+    res.version = llc_version;
+
+    for (std::uint32_t c = 0; c < params_.numCores; ++c) {
+        if (c == core)
+            continue;
+        CacheBlock *c1 = l1s_[c]->probe(ba);
+        CacheBlock *c2 = l2s_[c]->probe(ba);
+        if (!c1 && !c2)
+            continue;
+        res.anyPeerHeld = true;
+
+        std::uint64_t ver = 0;
+        bool dirty = false;
+        for (CacheBlock *blk : {c1, c2}) {
+            if (!blk)
+                continue;
+            ver = std::max(ver, blk->version);
+            dirty = dirty || blk->dirty;
+        }
+
+        if (is_write) {
+            if (dirty && ver > res.version) {
+                res.version = ver;
+                res.peerSupplied = true;
+                stats_.snoop.dataTransfers++;
+            }
+            for (Cache *cache : {l1s_[c].get(), l2s_[c].get()}) {
+                if (CacheBlock *blk = cache->probe(ba))
+                    cache->invalidateBlock(*blk);
+            }
+            stats_.snoop.invalidations++;
+        } else {
+            if (dirty && ver > res.version) {
+                res.version = ver;
+                res.peerSupplied = true;
+                stats_.snoop.messages++; // directed intervention
+                stats_.snoop.dataTransfers++;
+            }
+            for (CacheBlock *blk : {c1, c2}) {
+                if (blk)
+                    blk->coh = peerStateAfterRemoteRead(blk->coh);
+            }
+        }
+    }
+    res.requesterState =
+        is_write ? CohState::Modified : CohState::Shared;
+    return res;
+}
+
+} // namespace lap

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Three-level cache hierarchy engine.
+ *
+ * Owns per-core L1D and private L2 caches, the shared banked LLC,
+ * and DRAM, and drives the data flows of whatever inclusion policy
+ * and placement policy it is given: demand lookups, fills, victim
+ * handling (Fig 1/8), loop-bit maintenance (Fig 10), write
+ * classification (Fig 15), redundant-fill tracking (Fig 5/6),
+ * back-invalidation for strict inclusion, and an MOESI snooping
+ * model for multi-threaded runs (Fig 20(c)). Every read is checked
+ * against the data-integrity verifier.
+ */
+
+#ifndef LAPSIM_HIERARCHY_HIERARCHY_HH
+#define LAPSIM_HIERARCHY_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "coherence/moesi.hh"
+#include "common/types.hh"
+#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/loop_tracker.hh"
+#include "hierarchy/placement.hh"
+#include "hierarchy/write_filter.hh"
+#include "mem/dram.hh"
+#include "mem/verifier.hh"
+
+namespace lap
+{
+
+/** Static configuration of the whole hierarchy. */
+struct HierarchyParams
+{
+    std::uint32_t numCores = 4;
+    CacheParams l1;   //!< Per-core L1D template.
+    CacheParams l2;   //!< Per-core private L2 template.
+    CacheParams llc;  //!< Shared LLC.
+    DramParams dram;
+    /** Model MOESI snooping between private caches. */
+    bool coherence = false;
+    /** Latency of a snoop resolution / cache-to-cache transfer. */
+    Cycle snoopLatency = 30;
+};
+
+/** Level that serviced a demand access. */
+enum class ServiceLevel : std::uint8_t
+{
+    L1,
+    L2,
+    Llc,
+    Peer,
+    Memory,
+};
+
+/** Classification of LLC data-array writes (paper Fig 15). */
+enum class WriteClass : std::uint8_t
+{
+    DataFill,    //!< Fill from memory on an LLC miss (non-inclusion).
+    CleanVictim, //!< Clean L2 victim insertion (exclusion / LAP).
+    DirtyVictim, //!< Dirty L2 victim insertion or in-place update.
+    Migration,   //!< SRAM -> STT-RAM migration (hybrid LLC).
+};
+
+/** Hierarchy-level statistics beyond the per-cache counters. */
+struct HierarchyStats
+{
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandReads = 0;
+    std::uint64_t demandWrites = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+
+    std::uint64_t llcWritesDataFill = 0;
+    std::uint64_t llcWritesCleanVictim = 0;
+    std::uint64_t llcWritesDirtyVictim = 0;
+    std::uint64_t llcWritesMigration = 0;
+
+    /** Clean victims dropped because a duplicate was present. */
+    std::uint64_t llcCleanVictimsDropped = 0;
+    /** Clean-victim insertions whose loop-bit was set (redundant
+     *  re-insertions of identified loop-blocks, Fig 16). */
+    std::uint64_t llcLoopBlockInsertions = 0;
+
+    std::uint64_t llcDemandFills = 0;
+    /** Fills overwritten by a dirty victim before any reuse. */
+    std::uint64_t llcRedundantFills = 0;
+    /** Fills evicted without ever being reused. */
+    std::uint64_t llcDeadFills = 0;
+
+    std::uint64_t llcBackInvalidations = 0;
+    std::uint64_t llcInvalidationsOnHit = 0;
+
+    /** Insertions vetoed by the write filter (dead-write bypass). */
+    std::uint64_t llcBypassedWrites = 0;
+
+    SnoopStats snoop;
+
+    std::uint64_t
+    llcWritesTotal() const
+    {
+        return llcWritesDataFill + llcWritesCleanVictim
+            + llcWritesDirtyVictim + llcWritesMigration;
+    }
+
+    void reset() { *this = HierarchyStats{}; }
+};
+
+/**
+ * The hierarchy engine. See file comment.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const HierarchyParams &params,
+                   std::unique_ptr<InclusionPolicy> policy,
+                   std::unique_ptr<PlacementPolicy> placement = nullptr,
+                   std::unique_ptr<WriteFilter> write_filter = nullptr);
+
+    /** Result of one demand access. */
+    struct AccessResult
+    {
+        Cycle doneAt = 0;
+        ServiceLevel level = ServiceLevel::L1;
+    };
+
+    /**
+     * Performs one demand access for a core at cycle @p now and
+     * returns its completion time and service level.
+     */
+    AccessResult access(CoreId core, Addr byte_addr, AccessType type,
+                        Cycle now, std::uint32_t site = 0);
+
+    // --- Component access -------------------------------------------
+    Cache &l1(CoreId core) { return *l1s_.at(core); }
+    Cache &l2(CoreId core) { return *l2s_.at(core); }
+    Cache &llc() { return *llc_; }
+    const Cache &llc() const { return *llc_; }
+    Dram &dram() { return dram_; }
+    Verifier &verifier() { return verifier_; }
+    LoopTracker &loopTracker() { return loopTracker_; }
+    InclusionPolicy &policy() { return *policy_; }
+    PlacementPolicy &placement() { return *placement_; }
+    WriteFilter *writeFilter() { return writeFilter_.get(); }
+    const HierarchyParams &params() const { return params_; }
+
+    HierarchyStats &stats() { return stats_; }
+    const HierarchyStats &stats() const { return stats_; }
+
+    /** Resets all counters (cache contents are preserved). */
+    void resetStats();
+
+    /**
+     * Flushes a core's private caches through the normal victim
+     * flows (as a context switch or cache-flush instruction would):
+     * every L1 block is evicted into the L2 path, then every L2
+     * block through the policy-governed LLC path.
+     */
+    void flushPrivate(CoreId core, Cycle now = 0);
+
+    /** Finalizes streak-based statistics at end of measurement. */
+    void finishMeasurement() { loopTracker_.flush(); }
+
+    /** Fraction of valid LLC blocks whose loop-bit is set. */
+    double llcLoopResidency() const;
+
+    /** Fraction of valid LLC blocks that are dirty. */
+    double llcDirtyFraction() const;
+
+  private:
+    // --- Demand path helpers ---------------------------------------
+    AccessResult serviceFromLlcHit(CoreId core, Addr ba, AccessType type,
+                                   Cycle now, CacheBlock &blk,
+                                   std::uint32_t site);
+    AccessResult serviceFromMemory(CoreId core, Addr ba, AccessType type,
+                                   Cycle now, std::uint32_t site);
+
+    /** Fills L2 then L1 with a block arriving from below. */
+    void fillUpper(CoreId core, Addr ba, bool dirty, bool loop_bit,
+                   std::uint64_t version, AccessType type, CohState coh,
+                   Cycle now, std::uint32_t site);
+
+    // --- Victim flows ------------------------------------------------
+    void handleL1Victim(CoreId core, const Cache::Eviction &ev,
+                        Cycle now);
+    void handleL2Victim(CoreId core, const Cache::Eviction &ev,
+                        Cycle now);
+    void insertIntoLlc(Addr ba, Cache::InsertAttrs attrs, WriteClass cls,
+                       Cycle now);
+    void handleLlcEviction(const Cache::Eviction &ev, Cycle now);
+    void backInvalidate(Addr ba, Cycle now);
+
+    void countLlcWrite(std::uint64_t set, WriteClass cls);
+    void noteFillTouched(CacheBlock &blk);
+
+    /** Trains the write filter with an ended insertion's outcome. */
+    void observeInsertionOutcome(std::uint32_t site, bool referenced);
+
+    // --- Coherence helpers -------------------------------------------
+    struct CohResolution
+    {
+        bool peerSupplied = false;
+        bool anyPeerHeld = false;
+        std::uint64_t version = 0;
+        CohState requesterState = CohState::Invalid;
+    };
+
+    /** Snoop broadcast after an LLC miss. */
+    CohResolution snoopOnLlcMiss(CoreId core, Addr ba, bool is_write);
+
+    /** Ideal-filter peer resolution on an LLC hit. */
+    CohResolution resolveOnLlcHit(CoreId core, Addr ba, bool is_write,
+                                  std::uint64_t llc_version);
+
+    /** Ownership upgrade for a write hitting a shared private copy. */
+    void upgradeForWrite(CoreId core, Addr ba);
+
+    /** Sets the coherence state on both private copies of a core. */
+    void setPrivateState(CoreId core, Addr ba, CohState state);
+
+    /** Strongest coherence state among a core's private copies. */
+    CohState pairState(CoreId core, Addr ba) const;
+
+    HierarchyParams params_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::vector<std::unique_ptr<Cache>> l2s_;
+    std::unique_ptr<Cache> llc_;
+    Dram dram_;
+    std::unique_ptr<InclusionPolicy> policy_;
+    std::unique_ptr<PlacementPolicy> placement_;
+    std::unique_ptr<WriteFilter> writeFilter_;
+    Verifier verifier_;
+    LoopTracker loopTracker_;
+    HierarchyStats stats_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_HIERARCHY_HH

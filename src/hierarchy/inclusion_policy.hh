@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Inclusion-property strategy interface.
+ *
+ * The paper (Fig 8) characterizes an inclusion property by three
+ * decisions: whether the LLC copy is invalidated on an LLC hit,
+ * whether the LLC is filled on an LLC miss, and whether a clean L2
+ * victim is written into the LLC. Adaptive policies (FLEXclusion,
+ * Dswitch, LAP with set-dueling) answer per LLC set so that leader
+ * sets can statically exercise each alternative, and receive
+ * miss/write notifications plus a cycle tick to rotate epochs.
+ *
+ *                 | invalidate on hit | fill on miss | clean writeback
+ *   non-inclusive |        no         |     yes      |       no
+ *   exclusive     |        yes        |     no       |       yes
+ *   LAP           |        no         |     no       |  yes if absent
+ */
+
+#ifndef LAPSIM_HIERARCHY_INCLUSION_POLICY_HH
+#define LAPSIM_HIERARCHY_INCLUSION_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** Strategy consulted by CacheHierarchy at the L2<->LLC boundary. */
+class InclusionPolicy
+{
+  public:
+    virtual ~InclusionPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Fill the LLC with the block fetched on an LLC miss? */
+    virtual bool fillLlcOnMiss(std::uint64_t set) = 0;
+
+    /** Invalidate the LLC copy when it services an L2 miss? */
+    virtual bool invalidateOnLlcHit(std::uint64_t set) = 0;
+
+    /**
+     * Insert a clean L2 victim that has no LLC duplicate? (A clean
+     * victim with a duplicate is always dropped: rewriting identical
+     * data is never useful.)
+     */
+    virtual bool insertCleanVictim(std::uint64_t set) = 0;
+
+    /** Strict inclusion: back-invalidate upper copies on LLC evict. */
+    virtual bool backInvalidate() const { return false; }
+
+    /**
+     * Use the loop-block-aware victim priority (invalid, then LRU
+     * non-loop, then LRU loop — paper Fig 9) when evicting in this
+     * LLC set?
+     */
+    virtual bool loopAwareVictim(std::uint64_t set)
+    {
+        (void)set;
+        return false;
+    }
+
+    /** Notification: a demand access missed in this LLC set. */
+    virtual void noteLlcMiss(std::uint64_t set) { (void)set; }
+
+    /** Notification: a block-sized write was performed in this set. */
+    virtual void noteLlcWrite(std::uint64_t set) { (void)set; }
+
+    /** Periodic tick with the current maximum core cycle. */
+    virtual void tick(Cycle now) { (void)now; }
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_INCLUSION_POLICY_HH

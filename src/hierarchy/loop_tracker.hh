@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Loop-block instrumentation (paper Section II-C1, Fig 4).
+ *
+ * A *loop-block* is a block that travels between L2 and the LLC
+ * without being modified; its clean trip count (CTC) is the number
+ * of consecutive clean L2 evictions it experiences before a write
+ * ends the streak. This tracker records, for every address, the
+ * current streak of clean trips, and on streak end (a write, or the
+ * end of simulation) samples the streak into CTC buckets
+ * {CTC=1, 1<CTC<5, CTC>=5} weighted by the number of evictions the
+ * streak contributed. Dividing by total L2 evictions yields the
+ * paper's loop-block distribution: the share of L2 eviction traffic
+ * that an exclusive LLC turns into redundant clean insertions.
+ */
+
+#ifndef LAPSIM_HIERARCHY_LOOP_TRACKER_HH
+#define LAPSIM_HIERARCHY_LOOP_TRACKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** Clean-trip-count statistics collector. */
+class LoopTracker
+{
+  public:
+    /**
+     * Records a clean L2 eviction.
+     *
+     * Only an eviction of a block that returned to L2 through an LLC
+     * hit (loop-bit set, Fig 10(c)) completes a clean *trip*: the
+     * first clean descent of a fresh block is not a loop. A clean
+     * eviction of a from-memory incarnation ends any earlier streak.
+     */
+    void
+    onCleanEviction(Addr block_addr, bool from_llc_hit)
+    {
+        totalEvictions_++;
+        if (from_llc_hit) {
+            streak_[block_addr]++;
+        } else {
+            endStreak(block_addr);
+        }
+    }
+
+    /** Records a dirty L2 eviction (never part of a clean streak). */
+    void onDirtyEviction(Addr) { totalEvictions_++; }
+
+    /** Records a demand write: ends the block's clean streak. */
+    void onWrite(Addr block_addr) { endStreak(block_addr); }
+
+    /** Flushes all outstanding streaks (call at end of measurement). */
+    void
+    flush()
+    {
+        for (auto &[addr, len] : streak_) {
+            if (len > 0)
+                sample(len);
+        }
+        streak_.clear();
+    }
+
+    /** Clears all statistics and outstanding streaks. */
+    void
+    reset()
+    {
+        streak_.clear();
+        evictionsCtc1_ = 0;
+        evictionsCtcMid_ = 0;
+        evictionsCtcHigh_ = 0;
+        totalEvictions_ = 0;
+    }
+
+    // --- Results (valid after flush()) -----------------------------
+    std::uint64_t totalEvictions() const { return totalEvictions_; }
+
+    /** Eviction share from streaks with CTC == 1. */
+    double ctc1Fraction() const { return frac(evictionsCtc1_); }
+
+    /** Eviction share from streaks with 1 < CTC < 5. */
+    double ctcMidFraction() const { return frac(evictionsCtcMid_); }
+
+    /** Eviction share from streaks with CTC >= 5. */
+    double ctcHighFraction() const { return frac(evictionsCtcHigh_); }
+
+    /** Total loop-block share of L2 eviction traffic. */
+    double
+    loopFraction() const
+    {
+        return frac(evictionsCtc1_ + evictionsCtcMid_
+                    + evictionsCtcHigh_);
+    }
+
+  private:
+    void
+    endStreak(Addr block_addr)
+    {
+        auto it = streak_.find(block_addr);
+        if (it == streak_.end())
+            return;
+        if (it->second > 0)
+            sample(it->second);
+        streak_.erase(it);
+    }
+
+    void
+    sample(std::uint32_t streak)
+    {
+        if (streak == 1)
+            evictionsCtc1_ += 1;
+        else if (streak < 5)
+            evictionsCtcMid_ += streak;
+        else
+            evictionsCtcHigh_ += streak;
+    }
+
+    double
+    frac(std::uint64_t n) const
+    {
+        return totalEvictions_ == 0
+            ? 0.0
+            : static_cast<double>(n)
+                / static_cast<double>(totalEvictions_);
+    }
+
+    std::unordered_map<Addr, std::uint32_t> streak_;
+    std::uint64_t evictionsCtc1_ = 0;
+    std::uint64_t evictionsCtcMid_ = 0;
+    std::uint64_t evictionsCtcHigh_ = 0;
+    std::uint64_t totalEvictions_ = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_LOOP_TRACKER_HH

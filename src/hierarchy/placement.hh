@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Data-placement strategy for the (optionally hybrid) LLC.
+ *
+ * Uniform LLCs use DefaultPlacement, which simply installs blocks
+ * across all ways. Hybrid SRAM/STT-RAM LLCs may use the Lhybrid
+ * placement family from src/core, which decides which technology
+ * region receives a block, performs SRAM->STT migrations of
+ * loop-blocks, and redirects dirty write-hits away from STT-RAM
+ * (paper Section IV, Fig 11).
+ */
+
+#ifndef LAPSIM_HIERARCHY_PLACEMENT_HH
+#define LAPSIM_HIERARCHY_PLACEMENT_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+
+namespace lap
+{
+
+/** Result of a placement decision. */
+struct PlacementOutcome
+{
+    /** Final eviction leaving the LLC (possibly invalid). */
+    Cache::Eviction eviction;
+    /** Region the incoming block's data was written into. */
+    MemTech writeRegion = MemTech::SRAM;
+    /** SRAM->STT migrations performed while making room. */
+    std::uint32_t migrations = 0;
+};
+
+/** Strategy deciding where an LLC insertion lands. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Installs a block (the block is absent from the LLC). */
+    virtual PlacementOutcome insert(Cache &llc, Addr block_addr,
+                                    const Cache::InsertAttrs &attrs) = 0;
+
+    /**
+     * Optionally intercepts a dirty L2 victim that hit a duplicate.
+     * Returning true means the placement handled the write (e.g.
+     * Winv: invalidate the STT copy and re-insert into SRAM) and
+     * filled @p out; returning false lets the hierarchy update the
+     * duplicate in place.
+     */
+    virtual bool
+    handleDirtyVictimHit(Cache &llc, CacheBlock &dup,
+                         const Cache::InsertAttrs &attrs,
+                         PlacementOutcome &out)
+    {
+        (void)llc;
+        (void)dup;
+        (void)attrs;
+        (void)out;
+        return false;
+    }
+};
+
+/** Installs across all ways; the only choice for uniform LLCs. */
+class DefaultPlacement : public PlacementPolicy
+{
+  public:
+    std::string name() const override { return "default"; }
+
+    PlacementOutcome
+    insert(Cache &llc, Addr block_addr,
+           const Cache::InsertAttrs &attrs) override
+    {
+        PlacementOutcome out;
+        auto result = llc.insert(block_addr, attrs);
+        out.eviction = result.eviction;
+        out.writeRegion = result.region;
+        return out;
+    }
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_PLACEMENT_HH

@@ -1,0 +1,50 @@
+#include "hierarchy/set_dueling.hh"
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+SetDueling::SetDueling(std::uint64_t num_sets, std::uint32_t leader_period,
+                       Cycle epoch_cycles, int initial_winner)
+    : leaderPeriod_(leader_period),
+      epochCycles_(epoch_cycles),
+      nextEpoch_(epoch_cycles),
+      winner_(initial_winner)
+{
+    lap_assert(leader_period >= 2, "need at least two leader slots");
+    lap_assert(num_sets >= leader_period,
+               "cache too small for leader period %u", leader_period);
+    lap_assert(epoch_cycles > 0, "epoch must be positive");
+    lap_assert(initial_winner == 0 || initial_winner == 1,
+               "winner must be 0 or 1");
+}
+
+void
+SetDueling::evaluateNow()
+{
+    if (costB_ < costA_ * (1.0 - margin_)) {
+        winner_ = 1;
+    } else if (costA_ < costB_ * (1.0 - margin_)) {
+        winner_ = 0;
+    } else if (margin_ > 0.0) {
+        // Within the hysteresis band, fall back to team A (the
+        // bandwidth-conserving alternative for FLEXclusion).
+        winner_ = 0;
+    }
+    costA_ = 0.0;
+    costB_ = 0.0;
+    epochs_++;
+}
+
+void
+SetDueling::tick(Cycle now)
+{
+    if (now < nextEpoch_)
+        return;
+    evaluateNow();
+    while (nextEpoch_ <= now)
+        nextEpoch_ += epochCycles_;
+}
+
+} // namespace lap

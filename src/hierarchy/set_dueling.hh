@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Set-dueling monitor (Qureshi et al., ISCA'07), shared by every
+ * adaptive policy in the simulator.
+ *
+ * Sets with index % leaderPeriod == 0 are leaders for alternative A,
+ * index % leaderPeriod == 1 leaders for alternative B (the paper
+ * dedicates 1/64 of sets to each team), and all remaining sets
+ * follow the current winner. Each leader team accumulates a cost
+ * (misses, or estimated energy); at the end of every epoch the
+ * follower choice switches to the cheaper team and the counters
+ * reset.
+ */
+
+#ifndef LAPSIM_HIERARCHY_SET_DUELING_HH
+#define LAPSIM_HIERARCHY_SET_DUELING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** Two-alternative set-dueling controller. */
+class SetDueling
+{
+  public:
+    enum class Team : std::uint8_t
+    {
+        LeaderA,
+        LeaderB,
+        Follower,
+    };
+
+    /**
+     * @param num_sets       Number of LLC sets.
+     * @param leader_period  One leader per team every this many sets
+     *                       (64 gives the paper's 1/64 + 1/64 split).
+     * @param epoch_cycles   Duel evaluation period (paper: 10M
+     *                       cycles; scaled down by default configs).
+     * @param initial_winner Team followers start on (0 = A).
+     */
+    SetDueling(std::uint64_t num_sets, std::uint32_t leader_period,
+               Cycle epoch_cycles, int initial_winner = 0);
+
+    /** Team of an LLC set. */
+    Team
+    teamOf(std::uint64_t set) const
+    {
+        const std::uint64_t slot = set % leaderPeriod_;
+        if (slot == 0)
+            return Team::LeaderA;
+        if (slot == 1)
+            return Team::LeaderB;
+        return Team::Follower;
+    }
+
+    /** True when followers should currently behave like team A. */
+    bool aWins() const { return winner_ == 0; }
+
+    /** Effective choice for a set: true = behave like team A. */
+    bool
+    choiceIsA(std::uint64_t set) const
+    {
+        switch (teamOf(set)) {
+          case Team::LeaderA: return true;
+          case Team::LeaderB: return false;
+          case Team::Follower: return aWins();
+        }
+        return true;
+    }
+
+    /** Accumulates cost against the set's team (leaders only). */
+    void
+    addCost(std::uint64_t set, double cost)
+    {
+        switch (teamOf(set)) {
+          case Team::LeaderA:
+            costA_ += cost;
+            break;
+          case Team::LeaderB:
+            costB_ += cost;
+            break;
+          case Team::Follower:
+            break;
+        }
+    }
+
+    /** Rotates the epoch when `now` passed the epoch boundary. */
+    void tick(Cycle now);
+
+    /** Forces an immediate epoch evaluation (used by tests). */
+    void evaluateNow();
+
+    double costA() const { return costA_; }
+    double costB() const { return costB_; }
+    int winner() const { return winner_; }
+    std::uint64_t epochsElapsed() const { return epochs_; }
+
+    /**
+     * Hysteresis margin: team B must beat team A by this relative
+     * margin to win (and vice versa), damping oscillation. 0 by
+     * default; FLEXclusion configures a bandwidth-guard margin.
+     */
+    void setMargin(double margin) { margin_ = margin; }
+
+  private:
+    std::uint32_t leaderPeriod_;
+    Cycle epochCycles_;
+    Cycle nextEpoch_;
+    double costA_ = 0.0;
+    double costB_ = 0.0;
+    double margin_ = 0.0;
+    int winner_;
+    std::uint64_t epochs_ = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_SET_DUELING_HH

@@ -1,0 +1,31 @@
+#include "hierarchy/switching_policies.hh"
+
+namespace lap
+{
+
+SwitchingPolicy::SwitchingPolicy(std::uint64_t num_sets,
+                                 Cycle epoch_cycles,
+                                 std::uint32_t leader_period)
+    : duel_(num_sets, leader_period, epoch_cycles, /*initial_winner=*/0)
+{
+}
+
+FlexclusionPolicy::FlexclusionPolicy(std::uint64_t num_sets,
+                                     Cycle epoch_cycles,
+                                     double miss_margin,
+                                     std::uint32_t leader_period)
+    : SwitchingPolicy(num_sets, epoch_cycles, leader_period)
+{
+    duel_.setMargin(miss_margin);
+}
+
+DswitchPolicy::DswitchPolicy(std::uint64_t num_sets, Cycle epoch_cycles,
+                             double write_energy_nj, double miss_energy_nj,
+                             std::uint32_t leader_period)
+    : SwitchingPolicy(num_sets, epoch_cycles, leader_period),
+      writeEnergyNj_(write_energy_nj),
+      missEnergyNj_(miss_energy_nj)
+{
+}
+
+} // namespace lap

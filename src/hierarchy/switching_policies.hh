@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Dynamic inclusion-switching baselines the paper compares against.
+ *
+ * FLEXclusion (Sim et al., ISCA'12) switches the LLC between
+ * non-inclusion and exclusion to balance capacity benefit against
+ * on-chip bandwidth: exclusion is selected only when the sampled
+ * miss reduction is significant, otherwise non-inclusion is kept to
+ * avoid the clean-victim insertion traffic. It is performance/
+ * bandwidth-driven and unaware of asymmetric write energy.
+ *
+ * Dswitch (Cheng et al., tech report PSU-CSE-16-004) also duels
+ * non-inclusion against exclusion but scores leader sets by
+ * estimated LLC *energy* (misses weighted by a per-miss energy cost
+ * plus writes weighted by the technology's write energy), making it
+ * write-aware.
+ *
+ * Both are implemented on the shared SetDueling monitor with leader
+ * sets statically pinned to one mode, exactly like the original
+ * proposals' sampling sets.
+ */
+
+#ifndef LAPSIM_HIERARCHY_SWITCHING_POLICIES_HH
+#define LAPSIM_HIERARCHY_SWITCHING_POLICIES_HH
+
+#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/set_dueling.hh"
+
+namespace lap
+{
+
+/** Common scaffolding for noni-vs-ex switching policies. */
+class SwitchingPolicy : public InclusionPolicy
+{
+  public:
+    SwitchingPolicy(std::uint64_t num_sets, Cycle epoch_cycles,
+                    std::uint32_t leader_period = 64);
+
+    /** True when this set currently behaves non-inclusively. */
+    bool
+    nonInclusiveAt(std::uint64_t set) const
+    {
+        return duel_.choiceIsA(set); // team A = non-inclusion
+    }
+
+    bool fillLlcOnMiss(std::uint64_t set) override
+    {
+        return nonInclusiveAt(set);
+    }
+
+    bool invalidateOnLlcHit(std::uint64_t set) override
+    {
+        return !nonInclusiveAt(set);
+    }
+
+    bool insertCleanVictim(std::uint64_t set) override
+    {
+        return !nonInclusiveAt(set);
+    }
+
+    void tick(Cycle now) override { duel_.tick(now); }
+
+    SetDueling &duel() { return duel_; }
+
+  protected:
+    SetDueling duel_;
+};
+
+/** FLEXclusion: capacity-vs-bandwidth dueling on miss counts. */
+class FlexclusionPolicy : public SwitchingPolicy
+{
+  public:
+    /**
+     * @param miss_margin  Relative miss reduction exclusion must
+     *                     demonstrate to be selected (bandwidth
+     *                     guard).
+     */
+    FlexclusionPolicy(std::uint64_t num_sets, Cycle epoch_cycles,
+                      double miss_margin = 0.05,
+                      std::uint32_t leader_period = 64);
+
+    std::string name() const override { return "FLEXclusion"; }
+
+    void noteLlcMiss(std::uint64_t set) override
+    {
+        duel_.addCost(set, 1.0);
+    }
+};
+
+/** Dswitch: write-aware energy dueling. */
+class DswitchPolicy : public SwitchingPolicy
+{
+  public:
+    /**
+     * @param write_energy_nj  LLC write energy (technology-derived).
+     * @param miss_energy_nj   Estimated energy cost of an LLC miss
+     *                         (DRAM dynamic energy plus the leakage
+     *                         burned over the added latency).
+     */
+    DswitchPolicy(std::uint64_t num_sets, Cycle epoch_cycles,
+                  double write_energy_nj, double miss_energy_nj,
+                  std::uint32_t leader_period = 64);
+
+    std::string name() const override { return "Dswitch"; }
+
+    void noteLlcMiss(std::uint64_t set) override
+    {
+        duel_.addCost(set, missEnergyNj_);
+    }
+
+    void noteLlcWrite(std::uint64_t set) override
+    {
+        duel_.addCost(set, writeEnergyNj_);
+    }
+
+  private:
+    double writeEnergyNj_;
+    double missEnergyNj_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_SWITCHING_POLICIES_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * LLC write-filter interface.
+ *
+ * A write filter can veto LLC insertions (bypassing clean data, or
+ * sending dirty data straight to DRAM) and receives outcome feedback
+ * when an insertion ends its residency. The DASCA-style dead-write
+ * predictor in src/core implements this interface; the hierarchy
+ * only knows the abstraction.
+ */
+
+#ifndef LAPSIM_HIERARCHY_WRITE_FILTER_HH
+#define LAPSIM_HIERARCHY_WRITE_FILTER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lap
+{
+
+/** Strategy consulted before every LLC insertion. */
+class WriteFilter
+{
+  public:
+    virtual ~WriteFilter() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Should the insertion from this access site be bypassed? */
+    virtual bool shouldBypass(std::uint32_t site, bool dirty) = 0;
+
+    /**
+     * Outcome of a completed insertion: @p was_dead when the data
+     * was never re-referenced while resident.
+     */
+    virtual void observeOutcome(std::uint32_t site, bool was_dead) = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_WRITE_FILTER_HH

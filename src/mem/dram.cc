@@ -1,0 +1,42 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+Dram::Dram(const DramParams &params)
+    : params_(params)
+{
+    lap_assert(params_.channels >= 1, "need at least one DRAM channel");
+    channelBusyUntil_.assign(params_.channels, 0);
+}
+
+Cycle
+Dram::reserveChannel(Addr block_addr, Cycle now)
+{
+    auto &busy = channelBusyUntil_[block_addr % params_.channels];
+    const Cycle start = std::max(now, busy);
+    busy = start + params_.channelOccupancy;
+    return start;
+}
+
+Cycle
+Dram::read(Addr block_addr, Cycle now)
+{
+    stats_.reads++;
+    const Cycle start = reserveChannel(block_addr, now);
+    return start + params_.accessLatency;
+}
+
+Cycle
+Dram::write(Addr block_addr, Cycle now)
+{
+    stats_.writes++;
+    return reserveChannel(block_addr, now);
+}
+
+} // namespace lap

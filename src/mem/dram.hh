@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Main-memory model: fixed access latency plus a channel-occupancy
+ * bandwidth model (DDR3-1600 x64 by default, paper Table II).
+ */
+
+#ifndef LAPSIM_MEM_DRAM_HH
+#define LAPSIM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** DRAM timing parameters. */
+struct DramParams
+{
+    /** Idle access latency in core cycles (row activate + CAS + bus). */
+    Cycle accessLatency = 200;
+    /**
+     * Channel occupancy per 64B transfer in core cycles. DDR3-1600
+     * x64 moves 64B in 5ns => 15 cycles at 3GHz; banking/interleaving
+     * hides part of it, so the default charges half.
+     */
+    Cycle channelOccupancy = 8;
+    std::uint32_t channels = 2;
+};
+
+/** Per-run DRAM statistics. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    void reset() { *this = DramStats{}; }
+};
+
+/**
+ * Main memory: services fills and accepts writebacks, modelling
+ * contention as per-channel busy intervals.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params);
+
+    /**
+     * Issues a read for a block; returns the cycle the data is
+     * available to the LLC.
+     */
+    Cycle read(Addr block_addr, Cycle now);
+
+    /**
+     * Issues a writeback; returns the cycle the channel accepted it
+     * (writes are posted and do not stall the requester, but they do
+     * occupy channel bandwidth).
+     */
+    Cycle write(Addr block_addr, Cycle now);
+
+    DramStats &stats() { return stats_; }
+    const DramStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    const DramParams &params() const { return params_; }
+
+  private:
+    Cycle reserveChannel(Addr block_addr, Cycle now);
+
+    DramParams params_;
+    std::vector<Cycle> channelBusyUntil_;
+    DramStats stats_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_MEM_DRAM_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * System configuration (paper Table II) and experiment knobs.
+ */
+
+#ifndef LAPSIM_SIM_CONFIG_HH
+#define LAPSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "core/policy_factory.hh"
+#include "energy/tech_params.hh"
+#include "hierarchy/hierarchy.hh"
+
+namespace lap
+{
+
+/** Data-placement variants for the (hybrid) LLC. */
+enum class PlacementKind : std::uint8_t
+{
+    Default,   //!< Uniform across all ways.
+    Winv,      //!< LAP+Winv ablation (Fig 25).
+    LoopStt,   //!< LAP+LoopSTT ablation.
+    NloopSram, //!< LAP+NloopSRAM ablation.
+    Lhybrid,   //!< Full Lhybrid (Fig 11).
+};
+
+const char *toString(PlacementKind kind);
+
+/** Complete experiment configuration; defaults follow Table II. */
+struct SimConfig
+{
+    std::uint32_t numCores = 4;
+
+    // L1D: private 32KB 4-way, 2-cycle.
+    std::uint64_t l1Size = 32 * 1024;
+    std::uint32_t l1Assoc = 4;
+    Cycle l1Latency = 2;
+
+    // L2: private 512KB 8-way, 4-cycle.
+    std::uint64_t l2Size = 512 * 1024;
+    std::uint32_t l2Assoc = 8;
+    Cycle l2Latency = 4;
+
+    // LLC: shared 8MB 16-way, 4 banks.
+    std::uint64_t llcSize = 8 * 1024 * 1024;
+    std::uint32_t llcAssoc = 16;
+    std::uint32_t llcBanks = 4;
+    MemTech llcTech = MemTech::STTRAM;
+    /** Base replacement policy of the LLC (the paper notes LAP's
+     *  loop-aware priority composes with RRIP as well as LRU). */
+    ReplKind llcRepl = ReplKind::Lru;
+    /** Hybrid LLC: 2MB SRAM (4 ways) + 6MB STT-RAM (12 ways). */
+    bool hybridLlc = false;
+    std::uint32_t llcSramWays = 4;
+
+    /** Technology design points (Table I by default). */
+    TechParams sram = sramTechParams();
+    TechParams stt = sttTechParams();
+
+    PolicyKind policy = PolicyKind::NonInclusive;
+    PolicyTuning tuning;
+    PlacementKind placement = PlacementKind::Default;
+
+    /** Combine the policy with DASCA-style dead-write bypassing
+     *  (orthogonal per the paper's related-work discussion). */
+    bool deadWriteBypass = false;
+
+    /** MOESI snooping between private caches (PARSEC runs). */
+    bool coherence = false;
+
+    DramParams dram;
+
+    double issueWidth = 4.0;
+    double clockGhz = 3.0;
+
+    /** Warmup / measured references per core (scaled-down from the
+     *  paper's 6B-instruction fast-forward + 2B-cycle window). */
+    std::uint64_t warmupRefs = 160'000;
+    std::uint64_t measureRefs = 640'000;
+
+    std::uint64_t seedSalt = 0;
+};
+
+/** Reference-count scaling from the environment:
+ *  LAPSIM_FAST=1 quarters the run lengths; LAPSIM_REFS_SCALE=<f>
+ *  multiplies them. Benches apply this to their configs. */
+SimConfig applyEnvScaling(SimConfig config);
+
+} // namespace lap
+
+#endif // LAPSIM_SIM_CONFIG_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Aggregated per-run metrics: everything the paper's tables and
+ * figures report, extracted from one simulation.
+ */
+
+#ifndef LAPSIM_SIM_METRICS_HH
+#define LAPSIM_SIM_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/energy_model.hh"
+
+namespace lap
+{
+
+/** Results of one measured simulation run. */
+struct Metrics
+{
+    // --- Performance -------------------------------------------------
+    double throughput = 0.0; //!< Sum of per-core IPCs.
+    std::vector<double> coreIpc;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0; //!< Wall-clock measurement window.
+
+    // --- LLC energy ----------------------------------------------------
+    EnergyBreakdown llcEnergy;     //!< Data arrays + tag array.
+    EnergyBreakdown llcSramEnergy; //!< Hybrid: SRAM portion only.
+    EnergyBreakdown llcSttEnergy;  //!< Hybrid: STT portion only.
+    double epi = 0.0;              //!< nJ per instruction.
+    double epiStatic = 0.0;
+    double epiDynamic = 0.0;
+
+    // --- LLC behaviour ---------------------------------------------
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+    double llcMpki = 0.0;
+
+    std::uint64_t llcWritesFill = 0;
+    std::uint64_t llcWritesCleanVictim = 0;
+    std::uint64_t llcWritesDirtyVictim = 0;
+    std::uint64_t llcWritesMigration = 0;
+    std::uint64_t llcWritesTotal = 0;
+
+    /** Redundant data-fills / demand fills (Figs 6/17). */
+    double redundantFillFraction = 0.0;
+    std::uint64_t llcDemandFills = 0;
+    std::uint64_t llcDeadFills = 0;
+
+    /** Loop-block share of L2 eviction traffic (Fig 4). */
+    double loopEvictionFraction = 0.0;
+    double ctc1Fraction = 0.0;
+    double ctcMidFraction = 0.0;
+    double ctcHighFraction = 0.0;
+
+    /** Loop-block insertions / total LLC writes (Fig 16). */
+    double loopInsertionFraction = 0.0;
+    /** Fraction of resident LLC blocks flagged as loop-blocks. */
+    double llcLoopResidency = 0.0;
+
+    // --- Coherence / memory ------------------------------------------
+    std::uint64_t snoopMessages = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+
+    double
+    ipcOf(std::size_t core) const
+    {
+        return core < coreIpc.size() ? coreIpc[core] : 0.0;
+    }
+};
+
+} // namespace lap
+
+#endif // LAPSIM_SIM_METRICS_HH

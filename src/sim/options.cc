@@ -1,0 +1,203 @@
+#include "sim/options.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+std::uint64_t
+parseUint(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const auto parsed = std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0')
+        lap_fatal("%s: expected a number, got '%s'", flag.c_str(),
+                  value.c_str());
+    return parsed;
+}
+
+double
+parseDouble(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || parsed <= 0.0)
+        lap_fatal("%s: expected a positive number, got '%s'",
+                  flag.c_str(), value.c_str());
+    return parsed;
+}
+
+PlacementKind
+parsePlacement(const std::string &value)
+{
+    if (value == "default")
+        return PlacementKind::Default;
+    if (value == "winv")
+        return PlacementKind::Winv;
+    if (value == "loopstt")
+        return PlacementKind::LoopStt;
+    if (value == "nloopsram")
+        return PlacementKind::NloopSram;
+    if (value == "lhybrid")
+        return PlacementKind::Lhybrid;
+    lap_fatal("unknown placement '%s' (default|winv|loopstt|nloopsram|"
+              "lhybrid)",
+              value.c_str());
+}
+
+ReplKind
+parseRepl(const std::string &value)
+{
+    if (value == "lru")
+        return ReplKind::Lru;
+    if (value == "rrip")
+        return ReplKind::Rrip;
+    if (value == "random")
+        return ReplKind::Random;
+    lap_fatal("unknown replacement '%s' (lru|rrip|random)",
+              value.c_str());
+}
+
+} // namespace
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char ch : text) {
+        if (ch == ',') {
+            if (!current.empty())
+                parts.push_back(current);
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    if (!current.empty())
+        parts.push_back(current);
+    return parts;
+}
+
+CliOptions
+parseCliOptions(const std::vector<std::string> &args)
+{
+    CliOptions opts;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                lap_fatal("%s requires a value", flag.c_str());
+            return args[++i];
+        };
+
+        if (flag == "--help" || flag == "-h") {
+            opts.showHelp = true;
+        } else if (flag == "--policy") {
+            opts.config.policy = policyKindFromString(next());
+        } else if (flag == "--placement") {
+            opts.config.placement = parsePlacement(next());
+            if (opts.config.placement != PlacementKind::Default)
+                opts.config.hybridLlc = true;
+        } else if (flag == "--mix") {
+            opts.workload = CliOptions::WorkloadKind::Mix;
+            opts.mixName = next();
+        } else if (flag == "--benchmarks") {
+            opts.workload = CliOptions::WorkloadKind::Benchmarks;
+            opts.benchmarks = splitList(next());
+            if (opts.benchmarks.empty())
+                lap_fatal("--benchmarks: empty list");
+        } else if (flag == "--parsec") {
+            opts.workload = CliOptions::WorkloadKind::Parsec;
+            opts.parsec = next();
+            opts.config.coherence = true;
+        } else if (flag == "--cores") {
+            opts.config.numCores =
+                static_cast<std::uint32_t>(parseUint(flag, next()));
+        } else if (flag == "--llc-mb") {
+            opts.config.llcSize = parseUint(flag, next()) * 1024 * 1024;
+        } else if (flag == "--llc-assoc") {
+            opts.config.llcAssoc =
+                static_cast<std::uint32_t>(parseUint(flag, next()));
+        } else if (flag == "--l2-kb") {
+            opts.config.l2Size = parseUint(flag, next()) * 1024;
+        } else if (flag == "--tech") {
+            const std::string value = next();
+            if (value == "sram")
+                opts.config.llcTech = MemTech::SRAM;
+            else if (value == "stt" || value == "stt-ram")
+                opts.config.llcTech = MemTech::STTRAM;
+            else
+                lap_fatal("unknown tech '%s' (sram|stt)", value.c_str());
+        } else if (flag == "--hybrid") {
+            opts.config.hybridLlc = true;
+        } else if (flag == "--sram-ways") {
+            opts.config.llcSramWays =
+                static_cast<std::uint32_t>(parseUint(flag, next()));
+        } else if (flag == "--wr-ratio") {
+            opts.config.stt = opts.config.stt.withWriteReadRatio(
+                parseDouble(flag, next()));
+        } else if (flag == "--repl") {
+            opts.config.llcRepl = parseRepl(next());
+        } else if (flag == "--dasca") {
+            opts.config.deadWriteBypass = true;
+        } else if (flag == "--refs") {
+            opts.config.measureRefs = parseUint(flag, next());
+        } else if (flag == "--warmup") {
+            opts.config.warmupRefs = parseUint(flag, next());
+        } else if (flag == "--seed") {
+            opts.config.seedSalt = parseUint(flag, next());
+        } else if (flag == "--stats") {
+            opts.dumpStats = true;
+        } else if (flag == "--json") {
+            opts.jsonPath = next();
+        } else {
+            lap_fatal("unknown flag '%s' (see --help)", flag.c_str());
+        }
+    }
+    return opts;
+}
+
+std::string
+cliHelpText()
+{
+    return
+        "lapsim — selective-inclusion LLC simulator (LAP, ISCA'16)\n"
+        "\n"
+        "workload selection:\n"
+        "  --mix <WL1..WH5>        Table III mix (default WH1)\n"
+        "  --benchmarks a,b,c,d    SPEC2006 models, one per core\n"
+        "                          (cycled if fewer than --cores)\n"
+        "  --parsec <name>         multi-threaded PARSEC model\n"
+        "\n"
+        "system configuration (defaults: paper Table II):\n"
+        "  --cores N               number of cores (default 4)\n"
+        "  --l2-kb N               private L2 size in KB (512)\n"
+        "  --llc-mb N              shared LLC size in MB (8)\n"
+        "  --llc-assoc N           LLC associativity (16)\n"
+        "  --tech sram|stt         LLC technology (stt)\n"
+        "  --hybrid                2MB SRAM + 6MB STT hybrid LLC\n"
+        "  --sram-ways N           hybrid SRAM ways (4)\n"
+        "  --wr-ratio F            scale STT write/read energy ratio\n"
+        "  --repl lru|rrip|random  LLC base replacement (lru)\n"
+        "\n"
+        "policy selection:\n"
+        "  --policy P              inclusive|noni|ex|flex|dswitch|\n"
+        "                          lap-lru|lap-loop|lap (default noni)\n"
+        "  --placement P           default|winv|loopstt|nloopsram|\n"
+        "                          lhybrid (implies --hybrid)\n"
+        "  --dasca                 add dead-write bypass filter\n"
+        "\n"
+        "run control:\n"
+        "  --refs N / --warmup N   measured / warmup refs per core\n"
+        "  --seed N                workload seed salt\n"
+        "  --json PATH             write config+metrics as JSON\n"
+        "  --stats                 print the full counter dump\n";
+}
+
+} // namespace lap

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Command-line option parsing for the lapsim CLI tool.
+ *
+ * Kept in the library (rather than the app) so the mapping from
+ * flags to SimConfig is unit-testable.
+ */
+
+#ifndef LAPSIM_SIM_OPTIONS_HH
+#define LAPSIM_SIM_OPTIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace lap
+{
+
+/** Parsed command line of the lapsim tool. */
+struct CliOptions
+{
+    enum class WorkloadKind : std::uint8_t
+    {
+        Mix,        //!< A named Table III mix (--mix WH1).
+        Benchmarks, //!< Explicit benchmark list (--benchmarks a,b).
+        Parsec,     //!< Multi-threaded PARSEC run (--parsec name).
+    };
+
+    SimConfig config;
+    WorkloadKind workload = WorkloadKind::Mix;
+    std::string mixName = "WH1";
+    std::vector<std::string> benchmarks;
+    std::string parsec;
+    std::string jsonPath; //!< Optional JSON result file.
+    bool dumpStats = false; //!< Print the full counter dump.
+    bool showHelp = false;
+};
+
+/**
+ * Parses the argument vector (without argv[0]); fatal on malformed
+ * or unknown flags.
+ */
+CliOptions parseCliOptions(const std::vector<std::string> &args);
+
+/** Usage text for --help. */
+std::string cliHelpText();
+
+/** Splits "a,b,c" into components (empty parts dropped). */
+std::vector<std::string> splitList(const std::string &text);
+
+} // namespace lap
+
+#endif // LAPSIM_SIM_OPTIONS_HH

@@ -1,0 +1,242 @@
+#include "sim/report.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+JsonWriter &
+JsonWriter::field(const std::string &key, const std::string &value)
+{
+    return raw(key, "\"" + escape(value) + "\"");
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, const char *value)
+{
+    return field(key, std::string(value));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return raw(key, buf);
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, std::uint64_t value)
+{
+    return raw(key, std::to_string(value));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, bool value)
+{
+    return raw(key, value ? "true" : "false");
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &key, const std::string &json)
+{
+    if (!body_.empty())
+        body_ += ",";
+    body_ += "\"" + escape(key) + "\":" + json;
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    return "{" + body_ + "}";
+}
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+configToJson(const SimConfig &config)
+{
+    JsonWriter w;
+    w.field("numCores", std::uint64_t{config.numCores})
+        .field("l1Size", config.l1Size)
+        .field("l2Size", config.l2Size)
+        .field("llcSize", config.llcSize)
+        .field("llcAssoc", std::uint64_t{config.llcAssoc})
+        .field("llcTech", toString(config.llcTech))
+        .field("llcRepl", toString(config.llcRepl))
+        .field("hybridLlc", config.hybridLlc)
+        .field("policy", toString(config.policy))
+        .field("placement", toString(config.placement))
+        .field("deadWriteBypass", config.deadWriteBypass)
+        .field("coherence", config.coherence)
+        .field("sttWriteReadRatio", config.stt.writeReadRatio())
+        .field("warmupRefs", config.warmupRefs)
+        .field("measureRefs", config.measureRefs);
+    return w.str();
+}
+
+std::string
+metricsToJson(const Metrics &m)
+{
+    JsonWriter w;
+    w.field("instructions", m.instructions)
+        .field("cycles", m.cycles)
+        .field("throughput", m.throughput)
+        .field("epi", m.epi)
+        .field("epiStatic", m.epiStatic)
+        .field("epiDynamic", m.epiDynamic)
+        .field("llcHits", m.llcHits)
+        .field("llcMisses", m.llcMisses)
+        .field("llcMpki", m.llcMpki)
+        .field("llcWritesTotal", m.llcWritesTotal)
+        .field("llcWritesFill", m.llcWritesFill)
+        .field("llcWritesCleanVictim", m.llcWritesCleanVictim)
+        .field("llcWritesDirtyVictim", m.llcWritesDirtyVictim)
+        .field("llcWritesMigration", m.llcWritesMigration)
+        .field("redundantFillFraction", m.redundantFillFraction)
+        .field("loopEvictionFraction", m.loopEvictionFraction)
+        .field("loopInsertionFraction", m.loopInsertionFraction)
+        .field("llcLoopResidency", m.llcLoopResidency)
+        .field("snoopMessages", m.snoopMessages)
+        .field("dramReads", m.dramReads)
+        .field("dramWrites", m.dramWrites);
+    return w.str();
+}
+
+std::string
+experimentToJson(const std::string &label, const SimConfig &config,
+                 const Metrics &metrics)
+{
+    JsonWriter w;
+    w.field("label", label)
+        .raw("config", configToJson(config))
+        .raw("metrics", metricsToJson(metrics));
+    return w.str();
+}
+
+namespace
+{
+
+void
+dumpCacheStats(std::string &out, const std::string &prefix,
+               const Cache &cache)
+{
+    const CacheStats &s = cache.stats();
+    auto line = [&](const char *name, std::uint64_t value) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%-44s %20llu\n",
+                      (prefix + "." + name).c_str(),
+                      static_cast<unsigned long long>(value));
+        out += buf;
+    };
+    line("readHits", s.readHits);
+    line("readMisses", s.readMisses);
+    line("writeHits", s.writeHits);
+    line("writeMisses", s.writeMisses);
+    line("fills", s.fills);
+    line("evictionsClean", s.evictionsClean);
+    line("evictionsDirty", s.evictionsDirty);
+    line("invalidations", s.invalidations);
+    line("tagAccesses", s.tagAccesses);
+    line("dataReads.sram", s.dataReads[0]);
+    line("dataReads.stt", s.dataReads[1]);
+    line("dataWrites.sram", s.dataWrites[0]);
+    line("dataWrites.stt", s.dataWrites[1]);
+}
+
+} // namespace
+
+std::string
+dumpStats(CacheHierarchy &h)
+{
+    std::string out;
+    auto line = [&](const char *name, std::uint64_t value) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%-44s %20llu\n", name,
+                      static_cast<unsigned long long>(value));
+        out += buf;
+    };
+
+    const HierarchyStats &hs = h.stats();
+    line("system.demandAccesses", hs.demandAccesses);
+    line("system.demandReads", hs.demandReads);
+    line("system.demandWrites", hs.demandWrites);
+    line("system.l1Hits", hs.l1Hits);
+    line("system.l2Hits", hs.l2Hits);
+    line("system.llcHits", hs.llcHits);
+    line("system.llcMisses", hs.llcMisses);
+    line("system.llcWrites.dataFill", hs.llcWritesDataFill);
+    line("system.llcWrites.cleanVictim", hs.llcWritesCleanVictim);
+    line("system.llcWrites.dirtyVictim", hs.llcWritesDirtyVictim);
+    line("system.llcWrites.migration", hs.llcWritesMigration);
+    line("system.llcWrites.total", hs.llcWritesTotal());
+    line("system.llcCleanVictimsDropped", hs.llcCleanVictimsDropped);
+    line("system.llcLoopBlockInsertions", hs.llcLoopBlockInsertions);
+    line("system.llcDemandFills", hs.llcDemandFills);
+    line("system.llcRedundantFills", hs.llcRedundantFills);
+    line("system.llcDeadFills", hs.llcDeadFills);
+    line("system.llcBackInvalidations", hs.llcBackInvalidations);
+    line("system.llcInvalidationsOnHit", hs.llcInvalidationsOnHit);
+    line("system.llcBypassedWrites", hs.llcBypassedWrites);
+    line("system.snoop.broadcasts", hs.snoop.broadcasts);
+    line("system.snoop.messages", hs.snoop.messages);
+    line("system.snoop.dataTransfers", hs.snoop.dataTransfers);
+    line("system.snoop.invalidations", hs.snoop.invalidations);
+    line("system.snoop.upgrades", hs.snoop.upgrades);
+    line("dram.reads", h.dram().stats().reads);
+    line("dram.writes", h.dram().stats().writes);
+
+    for (std::uint32_t c = 0; c < h.params().numCores; ++c) {
+        dumpCacheStats(out, "l1.core" + std::to_string(c), h.l1(c));
+        dumpCacheStats(out, "l2.core" + std::to_string(c), h.l2(c));
+    }
+    dumpCacheStats(out, "llc", h.llc());
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        lap_fatal("cannot open '%s' for writing", path.c_str());
+    out << text;
+    if (!out)
+        lap_fatal("write to '%s' failed", path.c_str());
+}
+
+} // namespace lap

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable experiment reporting.
+ *
+ * Serializes SimConfig and Metrics into JSON so experiment results
+ * can be archived and plotted without screen-scraping the bench
+ * tables. No external JSON dependency: the writer emits a small,
+ * well-formed subset.
+ */
+
+#ifndef LAPSIM_SIM_REPORT_HH
+#define LAPSIM_SIM_REPORT_HH
+
+#include <string>
+
+#include "hierarchy/hierarchy.hh"
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+
+namespace lap
+{
+
+/** Minimal JSON object builder (string/number/bool fields). */
+class JsonWriter
+{
+  public:
+    JsonWriter &field(const std::string &key, const std::string &value);
+    JsonWriter &field(const std::string &key, const char *value);
+    JsonWriter &field(const std::string &key, double value);
+    JsonWriter &field(const std::string &key, std::uint64_t value);
+    JsonWriter &field(const std::string &key, bool value);
+    /** Inserts a nested raw JSON value (object or array). */
+    JsonWriter &raw(const std::string &key, const std::string &json);
+
+    /** Finishes and returns the object. */
+    std::string str() const;
+
+    /** Escapes a string per JSON rules. */
+    static std::string escape(const std::string &text);
+
+  private:
+    std::string body_;
+};
+
+/** Serializes a configuration to JSON. */
+std::string configToJson(const SimConfig &config);
+
+/** Serializes run metrics to JSON. */
+std::string metricsToJson(const Metrics &metrics);
+
+/** Serializes a full experiment (config + metrics + label). */
+std::string experimentToJson(const std::string &label,
+                             const SimConfig &config,
+                             const Metrics &metrics);
+
+/** Writes text to a file; fatal on I/O errors. */
+void writeFile(const std::string &path, const std::string &text);
+
+/**
+ * gem5-style flat statistics dump of every counter in the hierarchy
+ * (per-cache hit/miss/fill/eviction/energy events, hierarchy write
+ * classes, loop/fill tracking, coherence, DRAM).
+ */
+std::string dumpStats(CacheHierarchy &hierarchy);
+
+} // namespace lap
+
+#endif // LAPSIM_SIM_REPORT_HH

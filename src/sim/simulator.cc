@@ -1,0 +1,266 @@
+#include "sim/simulator.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/dasca_filter.hh"
+#include "core/hybrid_placement.hh"
+
+namespace lap
+{
+
+const char *
+toString(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::Default: return "default";
+      case PlacementKind::Winv: return "LAP+Winv";
+      case PlacementKind::LoopStt: return "LAP+LoopSTT";
+      case PlacementKind::NloopSram: return "LAP+NloopSRAM";
+      case PlacementKind::Lhybrid: return "Lhybrid";
+    }
+    return "?";
+}
+
+SimConfig
+applyEnvScaling(SimConfig config)
+{
+    double scale = 1.0;
+    if (const char *fast = std::getenv("LAPSIM_FAST");
+        fast && fast[0] == '1')
+        scale = 0.25;
+    if (const char *env = std::getenv("LAPSIM_REFS_SCALE")) {
+        const double parsed = std::atof(env);
+        if (parsed > 0.0)
+            scale = parsed;
+    }
+    config.warmupRefs =
+        static_cast<std::uint64_t>(config.warmupRefs * scale);
+    config.measureRefs = std::max<std::uint64_t>(
+        1000, static_cast<std::uint64_t>(config.measureRefs * scale));
+    return config;
+}
+
+HierarchyParams
+buildHierarchyParams(const SimConfig &config)
+{
+    HierarchyParams hp;
+    hp.numCores = config.numCores;
+
+    hp.l1.name = "l1";
+    hp.l1.sizeBytes = config.l1Size;
+    hp.l1.assoc = config.l1Assoc;
+    hp.l1.readLatency = config.l1Latency;
+    hp.l1.writeLatency = config.l1Latency;
+    hp.l1.dataTech = MemTech::SRAM;
+
+    hp.l2.name = "l2";
+    hp.l2.sizeBytes = config.l2Size;
+    hp.l2.assoc = config.l2Assoc;
+    hp.l2.readLatency = config.l2Latency;
+    hp.l2.writeLatency = config.l2Latency;
+    hp.l2.dataTech = MemTech::SRAM;
+
+    hp.llc.name = "llc";
+    hp.llc.sizeBytes = config.llcSize;
+    hp.llc.assoc = config.llcAssoc;
+    hp.llc.banks = config.llcBanks;
+    hp.llc.repl = config.llcRepl;
+    if (config.hybridLlc) {
+        hp.llc.sramWays = config.llcSramWays;
+        hp.llc.dataTech = MemTech::STTRAM;
+        hp.llc.readLatency = config.sram.readLatency;
+        hp.llc.writeLatency = config.sram.writeLatency;
+        hp.llc.sttWriteLatency = config.stt.writeLatency;
+    } else if (config.llcTech == MemTech::STTRAM) {
+        hp.llc.dataTech = MemTech::STTRAM;
+        hp.llc.readLatency = config.stt.readLatency;
+        hp.llc.writeLatency = config.stt.writeLatency;
+    } else {
+        hp.llc.dataTech = MemTech::SRAM;
+        hp.llc.readLatency = config.sram.readLatency;
+        hp.llc.writeLatency = config.sram.writeLatency;
+    }
+
+    hp.dram = config.dram;
+    hp.coherence = config.coherence;
+    return hp;
+}
+
+std::unique_ptr<InclusionPolicy>
+buildPolicy(const SimConfig &config)
+{
+    const std::uint64_t num_sets = config.llcSize
+        / (static_cast<std::uint64_t>(config.llcAssoc) * 64);
+    PolicyTuning tuning = config.tuning;
+    // Dswitch's write-cost input tracks the configured technology.
+    tuning.dswitchWriteEnergyNj = config.hybridLlc
+        ? config.stt.writeEnergy
+        : (config.llcTech == MemTech::STTRAM ? config.stt.writeEnergy
+                                             : config.sram.writeEnergy);
+    return makeInclusionPolicy(config.policy, num_sets, tuning);
+}
+
+std::unique_ptr<PlacementPolicy>
+buildPlacement(const SimConfig &config)
+{
+    switch (config.placement) {
+      case PlacementKind::Default:
+        return std::make_unique<DefaultPlacement>();
+      case PlacementKind::Winv:
+        return LhybridPlacement::winvOnly();
+      case PlacementKind::LoopStt:
+        return LhybridPlacement::loopSttOnly();
+      case PlacementKind::NloopSram:
+        return LhybridPlacement::nloopSramOnly();
+      case PlacementKind::Lhybrid:
+        return LhybridPlacement::lhybrid();
+    }
+    lap_panic("unknown placement kind");
+}
+
+Simulator::Simulator(const SimConfig &config)
+    : config_(config)
+{
+    if (config_.placement != PlacementKind::Default)
+        lap_assert(config_.hybridLlc,
+                   "loop-aware placements require a hybrid LLC");
+    std::unique_ptr<WriteFilter> filter;
+    if (config_.deadWriteBypass)
+        filter = std::make_unique<DascaFilter>();
+    hierarchy_ = std::make_unique<CacheHierarchy>(
+        buildHierarchyParams(config_), buildPolicy(config_),
+        buildPlacement(config_), std::move(filter));
+}
+
+Metrics
+Simulator::run(const std::vector<WorkloadSpec> &per_core)
+{
+    lap_assert(per_core.size() == config_.numCores,
+               "expected %u workloads, got %zu", config_.numCores,
+               per_core.size());
+    auto traces = buildMultiProgrammed(per_core, config_.seedSalt);
+    std::vector<TraceSource *> raw;
+    std::vector<CoreParams> cores;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        raw.push_back(traces[i].get());
+        CoreParams cp;
+        cp.issueWidth = config_.issueWidth;
+        cp.mlp = per_core[i].mlp;
+        cp.l1Latency = config_.l1Latency;
+        cores.push_back(cp);
+    }
+    return runTraces(raw, cores);
+}
+
+Metrics
+Simulator::runMultiThreaded(const WorkloadSpec &workload)
+{
+    auto traces =
+        buildMultiThreaded(workload, config_.numCores, config_.seedSalt);
+    std::vector<TraceSource *> raw;
+    std::vector<CoreParams> cores;
+    for (auto &t : traces) {
+        raw.push_back(t.get());
+        CoreParams cp;
+        cp.issueWidth = config_.issueWidth;
+        cp.mlp = workload.mlp;
+        cp.l1Latency = config_.l1Latency;
+        cores.push_back(cp);
+    }
+    return runTraces(raw, cores);
+}
+
+Metrics
+Simulator::runTraces(const std::vector<TraceSource *> &traces,
+                     const std::vector<CoreParams> &cores)
+{
+    MultiCoreDriver driver(*hierarchy_, traces, cores);
+    const RunResult result =
+        driver.measure(config_.warmupRefs, config_.measureRefs);
+    return extractMetrics(result);
+}
+
+Metrics
+Simulator::extractMetrics(const RunResult &run_result) const
+{
+    Metrics m;
+    m.throughput = run_result.throughput;
+    m.instructions = run_result.instructions;
+    m.cycles = run_result.elapsedCycles;
+    for (const auto &core : run_result.cores)
+        m.coreIpc.push_back(core.ipc);
+
+    CacheHierarchy &h = *hierarchy_;
+    const HierarchyStats &hs = h.stats();
+    const Cache &llc = h.llc();
+    const CacheStats &ls = llc.stats();
+
+    // --- Energy -------------------------------------------------------
+    EnergyModel em(config_.clockGhz);
+    const Cycle cycles = m.cycles;
+
+    EnergyBreakdown tag =
+        em.tagArray(config_.llcSize, ls.tagAccesses, cycles);
+    if (config_.hybridLlc) {
+        EnergyCounters sram_c = ls.energyCounters(MemTech::SRAM);
+        EnergyCounters stt_c = ls.energyCounters(MemTech::STTRAM);
+        m.llcSramEnergy = em.dataArray(
+            config_.sram, llc.regionBytes(MemTech::SRAM), sram_c, cycles);
+        m.llcSttEnergy = em.dataArray(
+            config_.stt, llc.regionBytes(MemTech::STTRAM), stt_c, cycles);
+        m.llcEnergy = m.llcSramEnergy;
+        m.llcEnergy += m.llcSttEnergy;
+    } else {
+        const TechParams &tech = config_.llcTech == MemTech::STTRAM
+            ? config_.stt
+            : config_.sram;
+        EnergyCounters c = ls.energyCounters(config_.llcTech);
+        m.llcEnergy = em.dataArray(tech, config_.llcSize, c, cycles);
+    }
+    m.llcEnergy += tag;
+
+    const double instr = std::max<double>(1.0,
+                                          static_cast<double>(
+                                              m.instructions));
+    m.epi = m.llcEnergy.totalNj() / instr;
+    m.epiStatic = m.llcEnergy.staticNj / instr;
+    m.epiDynamic = m.llcEnergy.dynamicNj / instr;
+
+    // --- LLC behaviour ---------------------------------------------
+    m.llcHits = hs.llcHits;
+    m.llcMisses = hs.llcMisses;
+    m.llcMpki = 1000.0 * static_cast<double>(hs.llcMisses) / instr;
+
+    m.llcWritesFill = hs.llcWritesDataFill;
+    m.llcWritesCleanVictim = hs.llcWritesCleanVictim;
+    m.llcWritesDirtyVictim = hs.llcWritesDirtyVictim;
+    m.llcWritesMigration = hs.llcWritesMigration;
+    m.llcWritesTotal = hs.llcWritesTotal();
+
+    m.llcDemandFills = hs.llcDemandFills;
+    m.llcDeadFills = hs.llcDeadFills;
+    m.redundantFillFraction = hs.llcDemandFills == 0
+        ? 0.0
+        : static_cast<double>(hs.llcRedundantFills)
+            / static_cast<double>(hs.llcDemandFills);
+
+    const LoopTracker &lt = h.loopTracker();
+    m.loopEvictionFraction = lt.loopFraction();
+    m.ctc1Fraction = lt.ctc1Fraction();
+    m.ctcMidFraction = lt.ctcMidFraction();
+    m.ctcHighFraction = lt.ctcHighFraction();
+
+    m.loopInsertionFraction = hs.llcWritesTotal() == 0
+        ? 0.0
+        : static_cast<double>(hs.llcLoopBlockInsertions)
+            / static_cast<double>(hs.llcWritesTotal());
+    m.llcLoopResidency = h.llcLoopResidency();
+
+    m.snoopMessages = hs.snoop.totalMessages();
+    m.dramReads = h.dram().stats().reads;
+    m.dramWrites = h.dram().stats().writes;
+    return m;
+}
+
+} // namespace lap

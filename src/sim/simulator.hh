@@ -1,0 +1,60 @@
+/**
+ * @file
+ * One-call experiment runner used by benches, examples and
+ * integration tests: builds a hierarchy from a SimConfig, drives a
+ * workload through it (warmup + measured window), and extracts
+ * Metrics.
+ */
+
+#ifndef LAPSIM_SIM_SIMULATOR_HH
+#define LAPSIM_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/driver.hh"
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+#include "workloads/regions.hh"
+
+namespace lap
+{
+
+/** Builds hierarchy parameters from a SimConfig. */
+HierarchyParams buildHierarchyParams(const SimConfig &config);
+
+/** Builds the configured inclusion policy. */
+std::unique_ptr<InclusionPolicy> buildPolicy(const SimConfig &config);
+
+/** Builds the configured placement policy. */
+std::unique_ptr<PlacementPolicy> buildPlacement(const SimConfig &config);
+
+/** Experiment runner; one instance per simulated run. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+
+    /** Multi-programmed run: one workload per core. */
+    Metrics run(const std::vector<WorkloadSpec> &per_core);
+
+    /** Multi-threaded run: one workload on all cores, coherence on. */
+    Metrics runMultiThreaded(const WorkloadSpec &workload);
+
+    /** Run over externally built traces (file replay, tests). */
+    Metrics runTraces(const std::vector<TraceSource *> &traces,
+                      const std::vector<CoreParams> &cores);
+
+    CacheHierarchy &hierarchy() { return *hierarchy_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    Metrics extractMetrics(const RunResult &run_result) const;
+
+    SimConfig config_;
+    std::unique_ptr<CacheHierarchy> hierarchy_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,85 @@
+#include "workloads/mixes.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/spec2006.hh"
+
+namespace lap
+{
+
+std::vector<MixSpec>
+tableThreeWlMixes()
+{
+    // Paper Table III (WL: fewer writes under exclusion).
+    return {
+        {"WL1", {"zeusmp", "leslie3d", "omn", "dealII"}},
+        {"WL2", {"lbm", "xalan", "lib", "Gems"}},
+        {"WL3", {"Gems", "Gems", "Gems", "mcf"}},
+        {"WL4", {"milc", "lib", "leslie3d", "bwaves"}},
+        {"WL5", {"bzip2", "xalan", "Gems", "Gems"}},
+    };
+}
+
+std::vector<MixSpec>
+tableThreeWhMixes()
+{
+    // Paper Table III (WH: more writes under exclusion).
+    return {
+        {"WH1", {"omn", "xalan", "zeusmp", "lib"}},
+        {"WH2", {"milc", "omn", "bzip2", "xalan"}},
+        {"WH3", {"omn", "omn", "dealII", "leslie3d"}},
+        {"WH4", {"mcf", "omn", "leslie3d", "xalan"}},
+        {"WH5", {"xalan", "xalan", "xalan", "bzip2"}},
+    };
+}
+
+std::vector<MixSpec>
+tableThreeMixes()
+{
+    auto mixes = tableThreeWlMixes();
+    auto wh = tableThreeWhMixes();
+    mixes.insert(mixes.end(), wh.begin(), wh.end());
+    return mixes;
+}
+
+std::vector<MixSpec>
+randomMixes(std::uint32_t count, std::uint32_t cores, std::uint64_t seed)
+{
+    const auto names = spec2006Names();
+    Rng rng(seed);
+    std::vector<MixSpec> mixes;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        MixSpec mix;
+        mix.name = "MIX" + std::to_string(i + 1);
+        for (std::uint32_t c = 0; c < cores; ++c)
+            mix.benchmarks.push_back(names[rng.below(names.size())]);
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+MixSpec
+duplicateMix(const std::string &benchmark, std::uint32_t cores)
+{
+    MixSpec mix;
+    mix.name = benchmark + "x" + std::to_string(cores);
+    mix.benchmarks.assign(cores, benchmark);
+    return mix;
+}
+
+std::vector<WorkloadSpec>
+resolveMix(const MixSpec &mix)
+{
+    lap_assert(!mix.benchmarks.empty(), "mix '%s' is empty",
+               mix.name.c_str());
+    std::vector<WorkloadSpec> specs;
+    for (std::size_t i = 0; i < mix.benchmarks.size(); ++i) {
+        WorkloadSpec spec = spec2006Benchmark(mix.benchmarks[i]);
+        // Duplicate copies of a benchmark must not be phase-locked.
+        spec.seed += i * 7919;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+} // namespace lap

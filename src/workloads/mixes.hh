@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multi-programmed workload mixes.
+ *
+ * Provides the ten representative mixes of the paper's Table III
+ * (WL1-WL5 favour exclusion — fewer writes under exclusion than
+ * non-inclusion; WH1-WH5 favour non-inclusion) and the generator for
+ * the 50 random SPEC CPU2006 combinations the paper samples, plus
+ * "duplicate copies" mixes for the single-benchmark studies
+ * (Figs 2/4/6).
+ */
+
+#ifndef LAPSIM_WORKLOADS_MIXES_HH
+#define LAPSIM_WORKLOADS_MIXES_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/regions.hh"
+
+namespace lap
+{
+
+/** A named multi-programmed combination of benchmarks. */
+struct MixSpec
+{
+    std::string name;
+    std::vector<std::string> benchmarks; //!< One per core.
+};
+
+/** The ten representative mixes of Table III (4 cores). */
+std::vector<MixSpec> tableThreeMixes();
+
+/** Only the WL (exclusion-friendly) mixes of Table III. */
+std::vector<MixSpec> tableThreeWlMixes();
+
+/** Only the WH (non-inclusion-friendly) mixes of Table III. */
+std::vector<MixSpec> tableThreeWhMixes();
+
+/**
+ * Deterministic sample of @p count random SPEC combinations with
+ * @p cores slots each (the paper uses 50 combinations on 4 cores).
+ */
+std::vector<MixSpec> randomMixes(std::uint32_t count,
+                                 std::uint32_t cores,
+                                 std::uint64_t seed = 2016);
+
+/** `cores` duplicate copies of one benchmark (Figs 2/4/6 setup). */
+MixSpec duplicateMix(const std::string &benchmark, std::uint32_t cores);
+
+/** Resolves a mix's benchmarks into per-core workload specs. */
+std::vector<WorkloadSpec> resolveMix(const MixSpec &mix);
+
+} // namespace lap
+
+#endif // LAPSIM_WORKLOADS_MIXES_HH

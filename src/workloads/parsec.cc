@@ -1,0 +1,153 @@
+#include "workloads/parsec.hh"
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+RegionSpec
+region(RegionKind kind, std::uint64_t size, double weight,
+       double write_frac = 0.0, std::uint32_t apb = 4,
+       bool shared = false)
+{
+    RegionSpec r;
+    r.kind = kind;
+    r.sizeBytes = size;
+    r.weight = weight;
+    r.writeFrac = write_frac;
+    r.accessesPerBlock = apb;
+    r.shared = shared;
+    return r;
+}
+
+WorkloadSpec
+make(const char *name, std::vector<RegionSpec> regions,
+     std::uint32_t gap, double mlp)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.regions = std::move(regions);
+    spec.avgGapInstrs = gap;
+    spec.mlp = mlp;
+    spec.seed = 0;
+    for (const char *p = name; *p; ++p)
+        spec.seed = spec.seed * 131 + static_cast<std::uint64_t>(*p);
+    return spec;
+}
+
+} // namespace
+
+std::vector<std::string>
+parsecNames()
+{
+    return {"blackscholes", "bodytrack",  "canneal",      "dedup",
+            "ferret",       "fluidanimate", "freqmine",
+            "streamcluster", "swaptions",  "x264"};
+}
+
+WorkloadSpec
+parsecBenchmark(const std::string &name)
+{
+    if (name == "blackscholes") {
+        // Option pricing: tiny per-thread state, compute-bound.
+        return make("blackscholes",
+                    {region(RegionKind::Hot, 32 * KiB, 0.88, 0.30, 6),
+                     region(RegionKind::Stream, 2 * MiB, 0.12, 0.05, 4,
+                            true)},
+                    60, 2.0);
+    }
+    if (name == "bodytrack") {
+        // Vision pipeline: small hot state, shared frame data.
+        return make("bodytrack",
+                    {region(RegionKind::Hot, 64 * KiB, 0.68, 0.30, 5),
+                     region(RegionKind::Random, 1 * MiB, 0.22, 0.10, 3,
+                            true),
+                     region(RegionKind::Stream, 2 * MiB, 0.10, 0.05, 4,
+                            true)},
+                    40, 2.0);
+    }
+    if (name == "canneal") {
+        // Simulated annealing over a huge shared netlist.
+        return make("canneal",
+                    {region(RegionKind::Random, 24 * MiB, 0.58, 0.12, 2,
+                            true),
+                     region(RegionKind::Hot, 64 * KiB, 0.36, 0.25, 4),
+                     region(RegionKind::Loop, 768 * KiB, 0.06, 0.02, 4,
+                            true)},
+                    12, 1.3);
+    }
+    if (name == "dedup") {
+        // Deduplication pipeline: streaming input, shared hash table.
+        return make("dedup",
+                    {region(RegionKind::Stream, 16 * MiB, 0.36, 0.22, 4),
+                     region(RegionKind::Random, 4 * MiB, 0.22, 0.30, 3,
+                            true),
+                     region(RegionKind::Hot, 96 * KiB, 0.42, 0.25, 5)},
+                    18, 2.5);
+    }
+    if (name == "ferret") {
+        // Similarity search: shared index tables, mixed access.
+        return make("ferret",
+                    {region(RegionKind::Random, 8 * MiB, 0.36, 0.08, 3,
+                            true),
+                     region(RegionKind::Hot, 96 * KiB, 0.42, 0.25, 5),
+                     region(RegionKind::Stream, 4 * MiB, 0.22, 0.18, 4)},
+                    20, 2.0);
+    }
+    if (name == "fluidanimate") {
+        // SPH fluid: neighbour lists with write sharing.
+        return make("fluidanimate",
+                    {region(RegionKind::Random, 6 * MiB, 0.32, 0.35, 3,
+                            true),
+                     region(RegionKind::Hot, 128 * KiB, 0.52, 0.28, 5),
+                     region(RegionKind::Stream, 4 * MiB, 0.16, 0.10, 4)},
+                    20, 2.2);
+    }
+    if (name == "freqmine") {
+        // FP-growth: shared FP-tree read-mostly, medium footprint.
+        return make("freqmine",
+                    {region(RegionKind::Loop, 1536 * KiB, 0.30, 0.02, 4,
+                            true),
+                     region(RegionKind::Random, 6 * MiB, 0.24, 0.18, 3,
+                            true),
+                     region(RegionKind::Hot, 128 * KiB, 0.46, 0.22, 5)},
+                    20, 1.8);
+    }
+    if (name == "streamcluster") {
+        // Online clustering: the whole point set is re-read every
+        // iteration — a shared clean working set between L2 and LLC.
+        return make("streamcluster",
+                    {region(RegionKind::Loop, 7 * MiB, 0.74, 0.0, 5,
+                            true),
+                     region(RegionKind::Hot, 32 * KiB, 0.20, 0.20, 5),
+                     region(RegionKind::Random, 8 * MiB, 0.06, 0.10, 2,
+                            true)},
+                    15, 2.0);
+    }
+    if (name == "swaptions") {
+        // Monte-Carlo pricing: essentially cache-resident.
+        return make("swaptions",
+                    {region(RegionKind::Hot, 48 * KiB, 0.94, 0.35, 6),
+                     region(RegionKind::Loop, 256 * KiB, 0.06, 0.02, 5,
+                            true)},
+                    70, 2.0);
+    }
+    if (name == "x264") {
+        // Video encoding: streaming frames, shared reference frames.
+        return make("x264",
+                    {region(RegionKind::Stream, 8 * MiB, 0.32, 0.28, 4),
+                     region(RegionKind::Loop, 1 * MiB, 0.22, 0.02, 4,
+                            true),
+                     region(RegionKind::Hot, 96 * KiB, 0.46, 0.25, 5)},
+                    25, 3.0);
+    }
+    lap_fatal("unknown PARSEC benchmark '%s'", name.c_str());
+}
+
+} // namespace lap

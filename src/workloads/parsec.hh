@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Synthetic models of the PARSEC multi-threaded benchmarks
+ * (paper Section VI-C, Fig 20).
+ *
+ * Shared regions produce coherence sharing between threads; the
+ * calibration anchors from the paper: blackscholes/bodytrack/
+ * swaptions are compute-bound with small footprints, streamcluster
+ * frequently reuses clean shared data with a footprint between L2
+ * and the LLC (the best case for LAP: 53%/18% savings), canneal has
+ * a huge random footprint, swaptions has a very high LLC hit rate.
+ */
+
+#ifndef LAPSIM_WORKLOADS_PARSEC_HH
+#define LAPSIM_WORKLOADS_PARSEC_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/regions.hh"
+
+namespace lap
+{
+
+/** Names of the modelled PARSEC benchmarks. */
+std::vector<std::string> parsecNames();
+
+/** Returns the model for a benchmark; fatal for unknown names. */
+WorkloadSpec parsecBenchmark(const std::string &name);
+
+} // namespace lap
+
+#endif // LAPSIM_WORKLOADS_PARSEC_HH

@@ -1,0 +1,184 @@
+#include "workloads/regions.hh"
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+constexpr std::uint64_t kBlockBytes = 64;
+/** Spacing between regions of one workload instance. */
+constexpr Addr kRegionStride = 1ULL << 34; // 16 GB
+/** Spacing between private address spaces of threads/cores. */
+constexpr Addr kThreadStride = 1ULL << 40; // 1 TB
+/** Base of the shared address range for multi-threaded runs. */
+constexpr Addr kSharedBase = 1ULL << 50;
+
+} // namespace
+
+const char *
+toString(RegionKind kind)
+{
+    switch (kind) {
+      case RegionKind::Loop: return "loop";
+      case RegionKind::Stream: return "stream";
+      case RegionKind::StreamRmw: return "stream-rmw";
+      case RegionKind::Random: return "random";
+      case RegionKind::Hot: return "hot";
+    }
+    return "?";
+}
+
+SyntheticTrace::SyntheticTrace(const WorkloadSpec &spec,
+                               std::uint32_t thread_id, Addr base,
+                               Addr shared_base)
+    : spec_(spec),
+      threadId_(thread_id),
+      rng_(spec.seed * 0x9e3779b97f4a7c15ULL + thread_id + 1)
+{
+    lap_assert(!spec_.regions.empty(), "workload '%s' has no regions",
+               spec_.name.c_str());
+    double cum = 0.0;
+    std::uint32_t private_index = 0;
+    std::uint32_t shared_index = 0;
+    for (const auto &rspec : spec_.regions) {
+        lap_assert(rspec.sizeBytes >= kBlockBytes,
+                   "region smaller than a block in '%s'",
+                   spec_.name.c_str());
+        lap_assert(rspec.weight > 0.0, "non-positive region weight");
+        RegionState state;
+        state.spec = rspec;
+        state.blocks = rspec.sizeBytes / kBlockBytes;
+        if (rspec.shared) {
+            state.base = shared_base + shared_index * kRegionStride;
+            shared_index++;
+            // Phase-shift thread cursors so shared loops are not in
+            // lockstep.
+            state.cursor = (state.blocks / 8) * thread_id % state.blocks;
+        } else {
+            state.base = base + private_index * kRegionStride;
+            private_index++;
+        }
+        cum += rspec.weight;
+        state.cumWeight = cum;
+        regions_.push_back(state);
+    }
+    totalWeight_ = cum;
+}
+
+void
+SyntheticTrace::reset()
+{
+    rng_.reseed(spec_.seed * 0x9e3779b97f4a7c15ULL + threadId_ + 1);
+    for (auto &r : regions_)
+        r.cursor = 0;
+    remainingInBlock_ = 0;
+    rmwWritePending_ = false;
+}
+
+void
+SyntheticTrace::startBlockVisit()
+{
+    const double x = rng_.uniform() * totalWeight_;
+    activeRegion_ = regions_.size() - 1;
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        if (x < regions_[i].cumWeight) {
+            activeRegion_ = i;
+            break;
+        }
+    }
+    RegionState &r = regions_[activeRegion_];
+    std::uint64_t block = 0;
+    switch (r.spec.kind) {
+      case RegionKind::Loop:
+      case RegionKind::Stream:
+      case RegionKind::StreamRmw:
+        r.cursor = (r.cursor + 1) % r.blocks;
+        block = r.cursor;
+        break;
+      case RegionKind::Random:
+      case RegionKind::Hot:
+        block = rng_.below(r.blocks);
+        break;
+    }
+    activeBlockByte_ = r.base + block * kBlockBytes;
+    remainingInBlock_ = r.spec.accessesPerBlock;
+    rmwWritePending_ = r.spec.kind == RegionKind::StreamRmw;
+}
+
+MemRef
+SyntheticTrace::next()
+{
+    if (remainingInBlock_ == 0)
+        startBlockVisit();
+
+    const RegionState &r = regions_[activeRegion_];
+    const std::uint32_t index =
+        r.spec.accessesPerBlock - remainingInBlock_;
+
+    MemRef ref;
+    ref.addr = activeBlockByte_ + (index * 8) % kBlockBytes;
+    // One access site per region, salted by the workload: region
+    // archetypes stand in for the static load/store sites of the
+    // benchmark's loops.
+    ref.site = static_cast<std::uint32_t>(
+        spec_.seed * 31 + activeRegion_ + 1);
+
+    bool is_write;
+    if (rmwWritePending_) {
+        // StreamRmw: read the block, then write it on the last access
+        // of the visit. writeFrac (0 = always) sets the probability
+        // the final write actually happens, so a workload can be
+        // "mostly RMW" (libquantum skips untouched states).
+        if (remainingInBlock_ == 1) {
+            const double p =
+                r.spec.writeFrac > 0.0 ? r.spec.writeFrac : 1.0;
+            is_write = rng_.chance(p);
+        } else {
+            is_write = false;
+        }
+    } else {
+        is_write = rng_.chance(r.spec.writeFrac);
+    }
+    ref.type = is_write ? AccessType::Write : AccessType::Read;
+
+    const std::uint32_t half = spec_.avgGapInstrs / 2;
+    ref.gapInstrs = half
+        + static_cast<std::uint32_t>(
+              rng_.below(spec_.avgGapInstrs - half + 1));
+
+    remainingInBlock_--;
+    return ref;
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+buildMultiProgrammed(const std::vector<WorkloadSpec> &specs,
+                     std::uint64_t seed_salt)
+{
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (std::uint32_t i = 0; i < specs.size(); ++i) {
+        WorkloadSpec spec = specs[i];
+        spec.seed += seed_salt;
+        traces.push_back(std::make_unique<SyntheticTrace>(
+            spec, i, (i + 1) * kThreadStride, kSharedBase));
+    }
+    return traces;
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+buildMultiThreaded(const WorkloadSpec &spec, std::uint32_t threads,
+                   std::uint64_t seed_salt)
+{
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        WorkloadSpec per_thread = spec;
+        per_thread.seed += seed_salt;
+        traces.push_back(std::make_unique<SyntheticTrace>(
+            per_thread, i, (i + 1) * kThreadStride, kSharedBase));
+    }
+    return traces;
+}
+
+} // namespace lap

@@ -1,0 +1,192 @@
+#include "workloads/spec2006.hh"
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+RegionSpec
+region(RegionKind kind, std::uint64_t size, double weight,
+       double write_frac = 0.0, std::uint32_t apb = 4)
+{
+    RegionSpec r;
+    r.kind = kind;
+    r.sizeBytes = size;
+    r.weight = weight;
+    r.writeFrac = write_frac;
+    r.accessesPerBlock = apb;
+    return r;
+}
+
+WorkloadSpec
+make(const char *name, std::vector<RegionSpec> regions,
+     std::uint32_t gap, double mlp)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.regions = std::move(regions);
+    spec.avgGapInstrs = gap;
+    spec.mlp = mlp;
+    spec.seed = 0;
+    for (const char *p = name; *p; ++p)
+        spec.seed = spec.seed * 131 + static_cast<std::uint64_t>(*p);
+    return spec;
+}
+
+} // namespace
+
+std::vector<std::string>
+spec2006Names()
+{
+    return {"astar",  "zeusmp",   "dealII", "omnetpp", "xalancbmk",
+            "bzip2",  "GemsFDTD", "mcf",    "milc",    "leslie3d",
+            "lbm",    "bwaves",   "libquantum"};
+}
+
+std::string
+spec2006Canonical(const std::string &alias)
+{
+    if (alias == "omn")
+        return "omnetpp";
+    if (alias == "xalan")
+        return "xalancbmk";
+    if (alias == "Gems")
+        return "GemsFDTD";
+    if (alias == "lib")
+        return "libquantum";
+    return alias;
+}
+
+WorkloadSpec
+spec2006Benchmark(const std::string &name_or_alias)
+{
+    const std::string name = spec2006Canonical(name_or_alias);
+
+    if (name == "omnetpp") {
+        // Discrete-event simulator: a frequently read event/object
+        // heap larger than L2, smaller than an LLC share.
+        return make("omnetpp",
+                    {region(RegionKind::Loop, 1536 * KiB, 0.62, 0.0, 6),
+                     region(RegionKind::Hot, 64 * KiB, 0.18, 0.30, 6),
+                     region(RegionKind::Random, 8 * MiB, 0.20, 0.05, 2)},
+                    24, 1.6);
+    }
+    if (name == "xalancbmk") {
+        // XSLT processor: hot DOM tables cycled read-mostly.
+        return make("xalancbmk",
+                    {region(RegionKind::Loop, 1280 * KiB, 0.56, 0.0, 5),
+                     region(RegionKind::Hot, 48 * KiB, 0.20, 0.25, 5),
+                     region(RegionKind::Stream, 16 * MiB, 0.16, 0.02, 3),
+                     region(RegionKind::Random, 2560 * KiB, 0.10, 0.01,
+                            3)},
+                    22, 1.6);
+    }
+    if (name == "bzip2") {
+        // Block compression: medium reused dictionary + output writes.
+        return make("bzip2",
+                    {region(RegionKind::Loop, 1 * MiB, 0.56, 0.03, 5),
+                     region(RegionKind::Hot, 128 * KiB, 0.22, 0.30, 6),
+                     region(RegionKind::Stream, 8 * MiB, 0.14, 0.04, 4),
+                     region(RegionKind::Random, 2304 * KiB, 0.08, 0.02,
+                            3)},
+                    18, 2.0);
+    }
+    if (name == "libquantum") {
+        // Quantum register streaming: sequential read-modify-write
+        // over a large array; nearly every LLC fill is redundant.
+        return make("libquantum",
+                    {region(RegionKind::StreamRmw, 32 * MiB, 0.90, 0.88, 4),
+                     region(RegionKind::Hot, 16 * KiB, 0.10, 0.20, 6)},
+                    30, 4.0);
+    }
+    if (name == "astar") {
+        // Path-finding over a large graph with node updates.
+        return make("astar",
+                    {region(RegionKind::Random, 12 * MiB, 0.48, 0.18, 3),
+                     region(RegionKind::Hot, 96 * KiB, 0.38, 0.30, 5),
+                     region(RegionKind::Loop, 512 * KiB, 0.14, 0.02, 4)},
+                    15, 1.3);
+    }
+    if (name == "mcf") {
+        // Network simplex: pointer-chasing over a huge arc array.
+        return make("mcf",
+                    {region(RegionKind::Random, 24 * MiB, 0.62, 0.15, 2),
+                     region(RegionKind::Hot, 64 * KiB, 0.30, 0.30, 4),
+                     region(RegionKind::Loop, 640 * KiB, 0.08, 0.02, 3)},
+                    8, 1.3);
+    }
+    if (name == "GemsFDTD") {
+        // Finite-difference time domain: field arrays updated in
+        // sweeps (stream-RMW) plus reused stencil coefficients.
+        return make("GemsFDTD",
+                    {region(RegionKind::StreamRmw, 16 * MiB, 0.20, 0.0, 4),
+                     region(RegionKind::Stream, 16 * MiB, 0.30, 0.02, 4),
+                     region(RegionKind::Hot, 128 * KiB, 0.38, 0.20, 5),
+                     region(RegionKind::Loop, 512 * KiB, 0.12, 0.02, 4)},
+                    20, 3.0);
+    }
+    if (name == "milc") {
+        // Lattice QCD: streaming through large gauge fields.
+        return make("milc",
+                    {region(RegionKind::Stream, 16 * MiB, 0.44, 0.025, 4),
+                     region(RegionKind::Hot, 64 * KiB, 0.46, 0.25, 5),
+                     region(RegionKind::StreamRmw, 8 * MiB, 0.03, 0.0, 4)},
+                    24, 3.0);
+    }
+    if (name == "leslie3d") {
+        // CFD solver: streaming sweeps with moderate reuse.
+        return make("leslie3d",
+                    {region(RegionKind::Stream, 12 * MiB, 0.40, 0.02, 4),
+                     region(RegionKind::Hot, 192 * KiB, 0.42, 0.25, 5),
+                     region(RegionKind::Loop, 640 * KiB, 0.12, 0.12, 4),
+                     region(RegionKind::StreamRmw, 6 * MiB, 0.06, 0.0, 4)},
+                    22, 3.0);
+    }
+    if (name == "lbm") {
+        // Lattice-Boltzmann: full-grid read-modify-write every step.
+        return make("lbm",
+                    {region(RegionKind::StreamRmw, 24 * MiB, 0.10, 0.0, 4),
+                     region(RegionKind::Stream, 8 * MiB, 0.52, 0.015, 4),
+                     region(RegionKind::Hot, 64 * KiB, 0.38, 0.25, 5)},
+                    26, 4.0);
+    }
+    if (name == "bwaves") {
+        // Blast-wave solver: streaming reads, fewer writes.
+        return make("bwaves",
+                    {region(RegionKind::Stream, 16 * MiB, 0.46, 0.015, 4),
+                     region(RegionKind::Hot, 128 * KiB, 0.40, 0.20, 5),
+                     region(RegionKind::Loop, 512 * KiB, 0.08, 0.02, 4),
+                     region(RegionKind::StreamRmw, 6 * MiB, 0.06, 0.0, 4)},
+                    25, 3.5);
+    }
+    if (name == "zeusmp") {
+        // Astrophysical CMHD: grid sweeps, decent locality.
+        return make("zeusmp",
+                    {region(RegionKind::Stream, 6 * MiB, 0.26, 0.02, 4),
+                     region(RegionKind::Hot, 256 * KiB, 0.35, 0.25, 5),
+                     region(RegionKind::Loop, 1 * MiB, 0.16, 0.18, 4),
+                     region(RegionKind::Random, 2560 * KiB, 0.10, 0.05,
+                            3),
+                     region(RegionKind::StreamRmw, 4 * MiB, 0.03, 0.0,
+                            4)},
+                    20, 2.5);
+    }
+    if (name == "dealII") {
+        // Finite elements: sparse structures with medium reuse.
+        return make("dealII",
+                    {region(RegionKind::Loop, 1152 * KiB, 0.14, 0.15, 4),
+                     region(RegionKind::Hot, 128 * KiB, 0.46, 0.25, 5),
+                     region(RegionKind::Random, 4 * MiB, 0.40, 0.03, 3)},
+                    18, 1.8);
+    }
+
+    lap_fatal("unknown SPEC2006 benchmark '%s'", name_or_alias.c_str());
+}
+
+} // namespace lap

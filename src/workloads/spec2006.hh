@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic models of the SPEC CPU2006 benchmarks the paper
+ * evaluates (astar, zeusmp, dealII, omnetpp, xalancbmk, bzip2,
+ * GemsFDTD, mcf, milc, leslie3d, lbm, bwaves, libquantum).
+ *
+ * Calibration targets, from the paper's own characterization:
+ *  - Fig 4: omnetpp/xalancbmk have >60% loop-blocks (a frequently
+ *    read working set larger than L2 but smaller than the LLC),
+ *    bzip2 >20%, others small; most loop-blocks have CTC >= 5.
+ *  - Fig 6: libquantum >80% redundant LLC data-fills (streaming
+ *    read-modify-write), astar/GemsFDTD/mcf large, omnetpp/xalan
+ *    small.
+ *  - Fig 2: astar/zeusmp/libquantum favour exclusion; omnetpp and
+ *    xalancbmk favour non-inclusion.
+ */
+
+#ifndef LAPSIM_WORKLOADS_SPEC2006_HH
+#define LAPSIM_WORKLOADS_SPEC2006_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/regions.hh"
+
+namespace lap
+{
+
+/** Names of the modelled SPEC CPU2006 benchmarks (paper order). */
+std::vector<std::string> spec2006Names();
+
+/** Returns the model for a benchmark; fatal for unknown names. */
+WorkloadSpec spec2006Benchmark(const std::string &name);
+
+/** Short display aliases used in the paper's tables (e.g. "lib"). */
+std::string spec2006Canonical(const std::string &alias);
+
+} // namespace lap
+
+#endif // LAPSIM_WORKLOADS_SPEC2006_HH

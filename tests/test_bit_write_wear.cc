@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the bit-level write-energy model and the cache wear
+ * (endurance) tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "energy/bit_write.hh"
+#include "test_util.hh"
+
+namespace lap
+{
+namespace
+{
+
+// --- Bit-write model ---------------------------------------------------
+
+TEST(BitWrite, FullWriteProgramsEverything)
+{
+    BitWriteParams p;
+    EXPECT_DOUBLE_EQ(
+        expectedWriteFraction(p, BitWriteScheme::FullWrite, 0.1), 1.0);
+    EXPECT_DOUBLE_EQ(
+        expectedWriteFraction(p, BitWriteScheme::FullWrite, 0.9), 1.0);
+}
+
+TEST(BitWrite, MaskWritesChangedCellsOnly)
+{
+    BitWriteParams p;
+    EXPECT_DOUBLE_EQ(
+        expectedWriteFraction(p, BitWriteScheme::WriteMask, 0.3), 0.3);
+    EXPECT_DOUBLE_EQ(
+        expectedWriteFraction(p, BitWriteScheme::WriteMask, 0.0), 0.0);
+}
+
+TEST(BitWrite, FlipNWriteNeverWorseThanMask)
+{
+    BitWriteParams p;
+    for (double f : {0.05, 0.15, 0.3, 0.5, 0.7, 0.9}) {
+        const double mask =
+            expectedWriteFraction(p, BitWriteScheme::WriteMask, f);
+        const double fnw =
+            expectedWriteFraction(p, BitWriteScheme::FlipNWrite, f);
+        // The flag bit costs ~1/w; beyond that FNW bounds each word
+        // at half its cells.
+        EXPECT_LE(fnw, mask + 1.0 / p.wordBits + 1e-9) << f;
+        EXPECT_GT(fnw, 0.0);
+    }
+}
+
+TEST(BitWrite, FlipNWriteBoundsHighFlipWrites)
+{
+    BitWriteParams p;
+    // At 90% flips masking writes 90% of cells; FNW inverts words
+    // and writes ~10% + flags.
+    const double fnw =
+        expectedWriteFraction(p, BitWriteScheme::FlipNWrite, 0.9);
+    EXPECT_LT(fnw, 0.2);
+    // Degenerate extremes.
+    EXPECT_DOUBLE_EQ(
+        expectedWriteFraction(p, BitWriteScheme::FlipNWrite, 0.0), 0.0);
+    EXPECT_NEAR(
+        expectedWriteFraction(p, BitWriteScheme::FlipNWrite, 1.0),
+        1.0 / p.wordBits, 1e-12);
+}
+
+TEST(BitWrite, FlipNWriteMatchesBinomialHandCheck)
+{
+    // w = 2, p = 0.5: words have k~Binom(2,0.5); programmed cells =
+    // min(k, 2-k) = 0 except k=1 (prob 0.5) -> 1 cell + flag.
+    BitWriteParams p;
+    p.wordBits = 2;
+    const double fnw =
+        expectedWriteFraction(p, BitWriteScheme::FlipNWrite, 0.5);
+    // E[min] = 0.5, E[flag] = P(k>0) = 0.75 -> (0.5+0.75)/2 = 0.625.
+    EXPECT_NEAR(fnw, 0.625, 1e-9);
+}
+
+TEST(BitWrite, EnergyUsesClassSpecificFlipFractions)
+{
+    BitWriteParams p;
+    WriteClassCounts counts;
+    counts.fills = 100;
+    counts.dirtyInserts = 100;
+    const double energy = bitAwareWriteEnergy(
+        p, BitWriteScheme::WriteMask, counts, 1.0);
+    // 100 unrelated at 0.5 + 100 updates at 0.15.
+    EXPECT_NEAR(energy, 100 * 0.5 + 100 * 0.15, 1e-9);
+}
+
+TEST(BitWrite, RejectsBadFraction)
+{
+    BitWriteParams p;
+    EXPECT_DEATH(
+        expectedWriteFraction(p, BitWriteScheme::WriteMask, 1.5), "");
+}
+
+// --- Wear tracking -----------------------------------------------------
+
+TEST(Wear, CountsAllDataWritePaths)
+{
+    CacheParams params;
+    params.sizeBytes = 4096;
+    params.assoc = 4;
+    params.dataTech = MemTech::STTRAM;
+    Cache c(params);
+
+    c.insert(5, {});                       // fill
+    c.access(5, AccessType::Write);        // write hit
+    c.writeBlock(*c.probe(5), 9);          // victim update
+    const auto wear = c.wearStats(MemTech::STTRAM);
+    EXPECT_EQ(wear.totalWrites, 3u);
+    EXPECT_EQ(wear.maxPerWay, 3u);
+}
+
+TEST(Wear, SurvivesStatsReset)
+{
+    CacheParams params;
+    params.sizeBytes = 4096;
+    params.assoc = 4;
+    params.dataTech = MemTech::STTRAM;
+    Cache c(params);
+    c.insert(5, {});
+    c.resetStats();
+    EXPECT_EQ(c.wearStats(MemTech::STTRAM).totalWrites, 1u);
+}
+
+TEST(Wear, SplitsByRegion)
+{
+    CacheParams params;
+    params.sizeBytes = 4096;
+    params.assoc = 4;
+    params.sramWays = 1;
+    Cache c(params);
+    c.insert(0, {}, 0, 1);                // SRAM way
+    c.insert(16, {}, 1, Cache::kAllWays); // STT way
+    c.insert(32, {}, 1, Cache::kAllWays);
+    EXPECT_EQ(c.wearStats(MemTech::SRAM).totalWrites, 1u);
+    EXPECT_EQ(c.wearStats(MemTech::STTRAM).totalWrites, 2u);
+}
+
+TEST(Wear, ImbalanceDetectsHotWays)
+{
+    CacheParams params;
+    params.sizeBytes = 4096;
+    params.assoc = 4;
+    params.dataTech = MemTech::STTRAM;
+    Cache c(params);
+    c.insert(5, {});
+    for (int i = 0; i < 99; ++i)
+        c.writeBlock(*c.probe(5), static_cast<std::uint64_t>(i));
+    const auto wear = c.wearStats(MemTech::STTRAM);
+    EXPECT_EQ(wear.maxPerWay, 100u);
+    EXPECT_GT(wear.imbalance, 10.0);
+}
+
+TEST(Wear, LapWritesLessThanBaselinesEndToEnd)
+{
+    auto wear_of = [&](PolicyKind kind) {
+        auto h = test::tinyHierarchy(kind);
+        for (int pass = 0; pass < 10; ++pass) {
+            for (std::uint64_t blk = 0; blk < 64; ++blk)
+                test::readBlock(*h, 0, blk);
+        }
+        return h->llc().wearStats(MemTech::STTRAM).totalWrites;
+    };
+    const auto lap = wear_of(PolicyKind::Lap);
+    EXPECT_LE(lap, wear_of(PolicyKind::NonInclusive));
+    EXPECT_LT(lap, wear_of(PolicyKind::Exclusive));
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for the Cache mechanism: geometry, lookups, insertion
+ * and eviction, loop-aware victim priority, hybrid way partitions,
+ * energy counters, and bank timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace lap
+{
+namespace
+{
+
+CacheParams
+smallParams()
+{
+    CacheParams p;
+    p.name = "t";
+    p.sizeBytes = 4096; // 16 sets x 4 ways x 64B
+    p.assoc = 4;
+    p.dataTech = MemTech::STTRAM;
+    return p;
+}
+
+CacheParams
+hybridParams()
+{
+    CacheParams p = smallParams();
+    p.sramWays = 1;
+    return p;
+}
+
+/** Block addresses mapping to set 0 of the small cache. */
+Addr
+set0Block(std::uint64_t i)
+{
+    return i * 16; // 16 sets
+}
+
+TEST(Cache, Geometry)
+{
+    Cache c(smallParams());
+    EXPECT_EQ(c.numSets(), 16u);
+    EXPECT_EQ(c.assoc(), 4u);
+    EXPECT_EQ(c.blockAddrOf(0x1000), 0x40u);
+    EXPECT_EQ(c.setIndexOf(0x40), 0u);
+    EXPECT_EQ(c.setIndexOf(0x41), 1u);
+    EXPECT_FALSE(c.isHybrid());
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    CacheParams p = smallParams();
+    p.blockBytes = 48;
+    EXPECT_DEATH(Cache{p}, "");
+    p = smallParams();
+    p.sramWays = 8; // > assoc
+    EXPECT_DEATH(Cache{p}, "");
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallParams());
+    EXPECT_EQ(c.access(5, AccessType::Read), nullptr);
+    EXPECT_EQ(c.stats().readMisses, 1u);
+
+    c.insert(5, {});
+    CacheBlock *blk = c.access(5, AccessType::Read);
+    ASSERT_NE(blk, nullptr);
+    EXPECT_EQ(blk->blockAddr, 5u);
+    EXPECT_EQ(c.stats().readHits, 1u);
+    EXPECT_EQ(c.stats().dataReads[1], 1u); // STT region
+}
+
+TEST(Cache, WriteHitSetsDirtyAndClearsLoopBit)
+{
+    Cache c(smallParams());
+    Cache::InsertAttrs attrs;
+    attrs.loopBit = true;
+    c.insert(5, attrs);
+    CacheBlock *blk = c.access(5, AccessType::Write);
+    ASSERT_NE(blk, nullptr);
+    EXPECT_TRUE(blk->dirty);
+    EXPECT_FALSE(blk->loopBit); // Fig 10(a)
+    EXPECT_EQ(c.stats().writeHits, 1u);
+    EXPECT_EQ(c.stats().dataWrites[1], 2u); // insert + write
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache c(smallParams());
+    c.insert(5, {});
+    const auto stats_before = c.stats().tagAccesses;
+    EXPECT_NE(c.probe(5), nullptr);
+    EXPECT_EQ(c.probe(6), nullptr);
+    EXPECT_EQ(c.stats().tagAccesses, stats_before);
+}
+
+TEST(Cache, InsertEvictsLruWhenFull)
+{
+    Cache c(smallParams());
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.insert(set0Block(i), {});
+    // Touch block 0 so block 1 is LRU.
+    c.access(set0Block(0), AccessType::Read);
+
+    auto result = c.insert(set0Block(9), {});
+    EXPECT_TRUE(result.eviction.valid);
+    EXPECT_EQ(result.eviction.blockAddr, set0Block(1));
+    EXPECT_EQ(c.stats().evictionsClean, 1u);
+}
+
+TEST(Cache, EvictionCarriesBlockState)
+{
+    Cache c(smallParams());
+    Cache::InsertAttrs attrs;
+    attrs.dirty = true;
+    attrs.loopBit = true;
+    attrs.version = 77;
+    attrs.fillState = FillState::FillUntouched;
+    c.insert(set0Block(0), attrs);
+    for (std::uint64_t i = 1; i < 4; ++i)
+        c.insert(set0Block(i), {});
+
+    auto result = c.insert(set0Block(4), {});
+    ASSERT_TRUE(result.eviction.valid);
+    EXPECT_TRUE(result.eviction.dirty);
+    EXPECT_TRUE(result.eviction.loopBit);
+    EXPECT_EQ(result.eviction.version, 77u);
+    EXPECT_EQ(result.eviction.fillState, FillState::FillUntouched);
+    EXPECT_EQ(c.stats().evictionsDirty, 1u);
+}
+
+TEST(Cache, InsertOfPresentBlockDies)
+{
+    Cache c(smallParams());
+    c.insert(5, {});
+    EXPECT_DEATH(c.insert(5, {}), "already-present");
+}
+
+TEST(Cache, LoopAwareVictimPriority)
+{
+    // Fig 9 priority: invalid, then LRU non-loop, then LRU loop.
+    Cache c(smallParams());
+    Cache::InsertAttrs loop;
+    loop.loopBit = true;
+    c.insert(set0Block(0), loop); // LRU, but a loop-block
+    c.insert(set0Block(1), {});   // non-loop
+    c.insert(set0Block(2), loop);
+    c.insert(set0Block(3), {}); // MRU non-loop
+
+    Cache::InsertAttrs incoming;
+    incoming.loopAwareVictim = true;
+    auto result = c.insert(set0Block(7), incoming);
+    ASSERT_TRUE(result.eviction.valid);
+    // LRU non-loop block is way 1, even though way 0 is older.
+    EXPECT_EQ(result.eviction.blockAddr, set0Block(1));
+}
+
+TEST(Cache, LoopAwareFallsBackToLoopBlocks)
+{
+    Cache c(smallParams());
+    Cache::InsertAttrs loop;
+    loop.loopBit = true;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.insert(set0Block(i), loop);
+    Cache::InsertAttrs incoming;
+    incoming.loopAwareVictim = true;
+    auto result = c.insert(set0Block(9), incoming);
+    ASSERT_TRUE(result.eviction.valid);
+    EXPECT_EQ(result.eviction.blockAddr, set0Block(0)); // LRU loop
+}
+
+TEST(Cache, InvalidWayPreferredOverVictim)
+{
+    Cache c(smallParams());
+    c.insert(set0Block(0), {});
+    auto result = c.insert(set0Block(1), {});
+    EXPECT_FALSE(result.eviction.valid);
+    EXPECT_EQ(c.stats().fills, 2u);
+}
+
+TEST(Cache, WriteBlockSemantics)
+{
+    Cache c(smallParams());
+    Cache::InsertAttrs attrs;
+    attrs.loopBit = true;
+    c.insert(5, attrs);
+    CacheBlock *blk = c.probe(5);
+    c.writeBlock(*blk, 42);
+    EXPECT_TRUE(blk->dirty);
+    EXPECT_EQ(blk->version, 42u);
+    EXPECT_FALSE(blk->loopBit);
+    EXPECT_EQ(c.stats().dataWrites[1], 2u);
+
+    blk->loopBit = true;
+    c.writeBlock(*blk, 43, /*keep_loop_bit=*/true);
+    EXPECT_TRUE(blk->loopBit);
+}
+
+TEST(Cache, InvalidateBlock)
+{
+    Cache c(smallParams());
+    c.insert(5, {});
+    c.invalidateBlock(*c.probe(5));
+    EXPECT_EQ(c.probe(5), nullptr);
+    EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, HybridRegions)
+{
+    Cache c(hybridParams());
+    EXPECT_TRUE(c.isHybrid());
+    EXPECT_EQ(c.wayTech(0), MemTech::SRAM);
+    EXPECT_EQ(c.wayTech(1), MemTech::STTRAM);
+    EXPECT_EQ(c.regionBytes(MemTech::SRAM), 1024u);
+    EXPECT_EQ(c.regionBytes(MemTech::STTRAM), 3072u);
+}
+
+TEST(Cache, UniformRegionBytes)
+{
+    Cache c(smallParams());
+    EXPECT_EQ(c.regionBytes(MemTech::STTRAM), 4096u);
+    EXPECT_EQ(c.regionBytes(MemTech::SRAM), 0u);
+}
+
+TEST(Cache, HybridInsertRangeTargetsRegion)
+{
+    Cache c(hybridParams());
+    auto result = c.insert(set0Block(0), {}, 0, 1); // SRAM way only
+    EXPECT_EQ(result.region, MemTech::SRAM);
+    EXPECT_EQ(c.stats().dataWrites[0], 1u);
+    EXPECT_EQ(c.stats().dataWrites[1], 0u);
+
+    result = c.insert(set0Block(1), {}, 1, Cache::kAllWays);
+    EXPECT_EQ(result.region, MemTech::STTRAM);
+    EXPECT_EQ(c.stats().dataWrites[1], 1u);
+}
+
+TEST(Cache, HybridRegionEvictionWithinRange)
+{
+    Cache c(hybridParams());
+    c.insert(set0Block(0), {}, 0, 1);
+    auto result = c.insert(set0Block(1), {}, 0, 1);
+    ASSERT_TRUE(result.eviction.valid);
+    EXPECT_EQ(result.eviction.blockAddr, set0Block(0));
+    EXPECT_EQ(result.eviction.region, MemTech::SRAM);
+}
+
+TEST(Cache, MruLoopWay)
+{
+    Cache c(smallParams());
+    Cache::InsertAttrs loop;
+    loop.loopBit = true;
+    c.insert(set0Block(0), loop);
+    c.insert(set0Block(1), {});
+    c.insert(set0Block(2), loop); // most recent loop-block
+    EXPECT_EQ(c.mruLoopWay(0, 0, 4), 2u);
+    EXPECT_EQ(c.mruLoopWay(1, 0, 4), Cache::kAllWays);
+}
+
+TEST(Cache, HasInvalidWay)
+{
+    Cache c(smallParams());
+    EXPECT_TRUE(c.hasInvalidWay(0, 0, 4));
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.insert(set0Block(i), {});
+    EXPECT_FALSE(c.hasInvalidWay(0, 0, 4));
+}
+
+TEST(Cache, BankReservationSerializes)
+{
+    CacheParams p = smallParams();
+    p.banks = 2;
+    Cache c(p);
+    // Set 0 -> bank 0; set 1 -> bank 1.
+    EXPECT_EQ(c.bankOf(0), 0u);
+    EXPECT_EQ(c.bankOf(1), 1u);
+
+    EXPECT_EQ(c.reserveBank(0, 100, 33), 100u);
+    EXPECT_EQ(c.reserveBank(0, 100, 33), 133u); // queued behind
+    EXPECT_EQ(c.reserveBank(1, 100, 33), 100u); // other bank free
+    EXPECT_EQ(c.reserveBank(0, 200, 8), 200u);  // after busy window
+}
+
+TEST(Cache, WriteOccupancyPerRegion)
+{
+    CacheParams p = hybridParams();
+    p.writeLatency = 8;
+    p.sttWriteLatency = 33;
+    Cache c(p);
+    EXPECT_EQ(c.writeOccupancy(MemTech::SRAM), 8u);
+    EXPECT_EQ(c.writeOccupancy(MemTech::STTRAM), 33u);
+
+    CacheParams stt = smallParams();
+    stt.writeLatency = 33;
+    Cache u(stt);
+    EXPECT_EQ(u.writeOccupancy(MemTech::STTRAM), 33u);
+}
+
+TEST(Cache, EnergyCountersSplit)
+{
+    Cache c(hybridParams());
+    c.insert(set0Block(0), {}, 0, 1);                // SRAM write
+    c.insert(set0Block(1), {}, 1, Cache::kAllWays);  // STT write
+    c.access(set0Block(0), AccessType::Read);        // SRAM read
+    c.access(set0Block(1), AccessType::Read);        // STT read
+
+    const auto sram = c.stats().energyCounters(MemTech::SRAM);
+    const auto stt = c.stats().energyCounters(MemTech::STTRAM);
+    EXPECT_EQ(sram.dataReads, 1u);
+    EXPECT_EQ(sram.dataWrites, 1u);
+    EXPECT_EQ(stt.dataReads, 1u);
+    EXPECT_EQ(stt.dataWrites, 1u);
+    EXPECT_EQ(sram.tagAccesses, 2u);
+    EXPECT_EQ(stt.tagAccesses, 0u); // tags counted once, SRAM side
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache c(smallParams());
+    c.insert(5, {});
+    c.resetStats();
+    EXPECT_EQ(c.stats().fills, 0u);
+    EXPECT_NE(c.probe(5), nullptr);
+}
+
+TEST(Cache, ForEachBlockVisitsValidOnly)
+{
+    Cache c(smallParams());
+    c.insert(1, {});
+    c.insert(2, {});
+    int count = 0;
+    c.forEachBlock([&](const CacheBlock &) { count++; });
+    EXPECT_EQ(count, 2);
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the MOESI transition rules and the multi-core coherence
+ * behaviour of the hierarchy (snoop-on-LLC-miss, upgrades,
+ * cache-to-cache transfer, stale-copy protection).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::readBlock;
+using test::tinyHierarchy;
+using test::tinyParams;
+using test::writeBlock;
+
+std::unique_ptr<CacheHierarchy>
+coherentHierarchy(PolicyKind kind = PolicyKind::NonInclusive)
+{
+    HierarchyParams hp = tinyParams(/*cores=*/2);
+    hp.coherence = true;
+    return tinyHierarchy(kind, hp);
+}
+
+// --- Pure transition rules --------------------------------------------
+
+TEST(Moesi, RemoteReadTransitions)
+{
+    EXPECT_EQ(peerStateAfterRemoteRead(CohState::Modified),
+              CohState::Owned);
+    EXPECT_EQ(peerStateAfterRemoteRead(CohState::Owned),
+              CohState::Owned);
+    EXPECT_EQ(peerStateAfterRemoteRead(CohState::Exclusive),
+              CohState::Shared);
+    EXPECT_EQ(peerStateAfterRemoteRead(CohState::Shared),
+              CohState::Shared);
+    EXPECT_EQ(peerStateAfterRemoteRead(CohState::Invalid),
+              CohState::Invalid);
+}
+
+TEST(Moesi, RemoteWriteInvalidates)
+{
+    for (auto s : {CohState::Modified, CohState::Owned,
+                   CohState::Exclusive, CohState::Shared}) {
+        EXPECT_EQ(peerStateAfterRemoteWrite(s), CohState::Invalid);
+    }
+}
+
+TEST(Moesi, RequesterStates)
+{
+    EXPECT_EQ(requesterStateAfterRead(SnoopResult::Miss),
+              CohState::Exclusive);
+    EXPECT_EQ(requesterStateAfterRead(SnoopResult::SharedClean),
+              CohState::Shared);
+    EXPECT_EQ(requesterStateAfterRead(SnoopResult::SharedDirty),
+              CohState::Shared);
+    EXPECT_EQ(requesterStateAfterWrite(), CohState::Modified);
+}
+
+TEST(Moesi, StatePredicates)
+{
+    EXPECT_TRUE(suppliesData(CohState::Modified));
+    EXPECT_TRUE(suppliesData(CohState::Owned));
+    EXPECT_FALSE(suppliesData(CohState::Shared));
+    EXPECT_TRUE(isDirtyState(CohState::Owned));
+    EXPECT_FALSE(isDirtyState(CohState::Exclusive));
+    EXPECT_TRUE(needsUpgrade(CohState::Shared));
+    EXPECT_TRUE(needsUpgrade(CohState::Owned));
+    EXPECT_FALSE(needsUpgrade(CohState::Modified));
+    EXPECT_FALSE(needsUpgrade(CohState::Exclusive));
+}
+
+// --- Hierarchy behaviour ----------------------------------------------
+
+TEST(Coherence, ReadMissBroadcastsSnoop)
+{
+    auto h = coherentHierarchy();
+    readBlock(*h, 0, 1);
+    EXPECT_EQ(h->stats().snoop.broadcasts, 1u);
+    EXPECT_EQ(h->stats().snoop.messages, 1u); // 2 cores - 1
+}
+
+TEST(Coherence, SoleReaderGetsExclusive)
+{
+    auto h = coherentHierarchy();
+    readBlock(*h, 0, 1);
+    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Exclusive);
+}
+
+TEST(Coherence, SecondReaderShares)
+{
+    auto h = coherentHierarchy(PolicyKind::Exclusive);
+    // Exclusive policy: no LLC copy after the private fill, so the
+    // second reader's miss finds the peer's copy via snoop.
+    readBlock(*h, 0, 1);
+    readBlock(*h, 1, 1);
+    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Shared);
+    EXPECT_EQ(h->l1(1).probe(1)->coh, CohState::Shared);
+    EXPECT_GE(h->stats().snoop.dataTransfers, 1u);
+}
+
+TEST(Coherence, DirtyPeerSuppliesAndBecomesOwner)
+{
+    auto h = coherentHierarchy(PolicyKind::Exclusive);
+    writeBlock(*h, 0, 1);
+    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Modified);
+
+    const auto result = readBlock(*h, 1, 1);
+    EXPECT_EQ(result.level, ServiceLevel::Peer);
+    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Owned);
+    EXPECT_EQ(h->l1(1).probe(1)->coh, CohState::Shared);
+    EXPECT_GE(h->stats().snoop.dataTransfers, 1u);
+    // Reader must observe core 0's written value (verifier checks).
+}
+
+TEST(Coherence, WriteInvalidatesPeerCopies)
+{
+    auto h = coherentHierarchy(PolicyKind::Exclusive);
+    readBlock(*h, 0, 1);
+    writeBlock(*h, 1, 1);
+    EXPECT_EQ(h->l1(0).probe(1), nullptr);
+    EXPECT_EQ(h->l2(0).probe(1), nullptr);
+    EXPECT_EQ(h->l1(1).probe(1)->coh, CohState::Modified);
+    EXPECT_GE(h->stats().snoop.invalidations, 1u);
+}
+
+TEST(Coherence, WriteHitOnSharedUpgrades)
+{
+    auto h = coherentHierarchy(PolicyKind::Exclusive);
+    readBlock(*h, 0, 1);
+    readBlock(*h, 1, 1); // both Shared now
+    const auto upgrades_before = h->stats().snoop.upgrades;
+    writeBlock(*h, 1, 1); // L1 hit on a Shared block
+    EXPECT_EQ(h->stats().snoop.upgrades, upgrades_before + 1);
+    EXPECT_EQ(h->l1(0).probe(1), nullptr);
+    EXPECT_EQ(h->l1(1).probe(1)->coh, CohState::Modified);
+}
+
+TEST(Coherence, SilentUpgradeFromExclusive)
+{
+    auto h = coherentHierarchy();
+    readBlock(*h, 0, 1); // Exclusive
+    const auto msgs = h->stats().snoop.totalMessages();
+    writeBlock(*h, 0, 1); // E -> M silently
+    EXPECT_EQ(h->stats().snoop.totalMessages(), msgs);
+    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Modified);
+}
+
+TEST(Coherence, PingPongWritesStayCorrect)
+{
+    auto h = coherentHierarchy();
+    // Alternating writers: every write must invalidate the other
+    // core and every read must see the newest version (verifier
+    // panics otherwise).
+    for (int i = 0; i < 50; ++i) {
+        writeBlock(*h, i % 2, 7);
+        readBlock(*h, (i + 1) % 2, 7);
+    }
+    EXPECT_GE(h->stats().snoop.invalidations, 25u);
+}
+
+TEST(Coherence, LlcHitWithDirtyPeerServesNewestData)
+{
+    // Core 0 writes (noni keeps a stale LLC copy after the dirty
+    // victim updates it... force the stale case: write after fill).
+    auto h = coherentHierarchy(PolicyKind::NonInclusive);
+    readBlock(*h, 0, 1);  // LLC filled (clean copy)
+    writeBlock(*h, 0, 1); // core 0's L1 now newer than the LLC copy
+    // Core 1 read: LLC hit would be stale; the ideal snoop filter
+    // must fetch from core 0. Verifier enforces freshness.
+    const auto result = readBlock(*h, 1, 1);
+    EXPECT_EQ(result.level, ServiceLevel::Peer);
+    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Owned);
+}
+
+TEST(Coherence, SnoopTrafficTracksLlcMisses)
+{
+    // The paper's Fig 20(c) premise: broadcasts happen at LLC misses.
+    auto h = coherentHierarchy();
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i)
+        readBlock(*h, rng.below(2), rng.below(512));
+    EXPECT_EQ(h->stats().snoop.broadcasts, h->stats().llcMisses);
+}
+
+TEST(Coherence, SharedReadsProduceNoInvalidations)
+{
+    auto h = coherentHierarchy();
+    for (int i = 0; i < 100; ++i) {
+        readBlock(*h, 0, i);
+        readBlock(*h, 1, i);
+    }
+    EXPECT_EQ(h->stats().snoop.invalidations, 0u);
+    EXPECT_EQ(h->stats().snoop.upgrades, 0u);
+}
+
+TEST(Coherence, RandomSharedTrafficIsCorrectUnderEveryPolicy)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        HierarchyParams hp = tinyParams(2);
+        hp.coherence = true;
+        auto h = tinyHierarchy(kind, hp);
+        Rng rng(kind == PolicyKind::Lap ? 11 : 13);
+        for (int i = 0; i < 20000; ++i) {
+            const CoreId core = static_cast<CoreId>(rng.below(2));
+            const std::uint64_t blk = rng.below(128);
+            // The verifier panics on any stale read or lost write.
+            if (rng.chance(0.3))
+                writeBlock(*h, core, blk);
+            else
+                readBlock(*h, core, blk);
+        }
+    }
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG, bit utilities, histogram, table
+ * formatting, and string formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.hh"
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace lap
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            equal++;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(99);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000003ULL}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(42);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(8);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_FALSE(rng.chance(-1.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_TRUE(rng.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(21);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.chance(0.3))
+            hits++;
+    }
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(BitUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(1ULL << 63), 63u);
+}
+
+TEST(BitUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    // Buckets: <=1, <=4, overflow — the paper's CTC buckets.
+    Histogram h({1, 4});
+    h.add(1);
+    h.add(2);
+    h.add(4);
+    h.add(5);
+    h.add(100);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 2u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, WeightedSamplesAndFractions)
+{
+    Histogram h({10});
+    h.add(5, 3);
+    h.add(50, 1);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, EmptyFractionIsZero)
+{
+    Histogram h({1});
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h({1});
+    h.add(0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "bb"});
+    t.addRow({"xxx", "y"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("a    bb"), std::string::npos);
+    EXPECT_NE(out.find("xxx  y"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"1"});
+    EXPECT_NO_THROW(t.toString());
+    EXPECT_NE(t.toCsv().find("1,,"), std::string::npos);
+}
+
+TEST(Table, CsvSkipsSeparators)
+{
+    Table t({"h1", "h2"});
+    t.addRow({"a", "b"});
+    t.addSeparator();
+    t.addRow({"c", "d"});
+    EXPECT_EQ(t.toCsv(), "h1,h2\na,b\nc,d\n");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+    EXPECT_EQ(Table::percent(0.123, 1), "12.3%");
+}
+
+TEST(Logging, Csprintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 3, "z"), "x=3 y=z");
+    EXPECT_EQ(csprintf("plain"), "plain");
+}
+
+TEST(Logging, AssertFiresOnViolation)
+{
+    EXPECT_DEATH(lap_assert(1 == 2, "boom %d", 42), "assertion failed");
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the multi-core driver, the file-trace replayer, and the
+ * Simulator integration layer (config -> hierarchy -> metrics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cpu/file_trace.hh"
+#include "sim/simulator.hh"
+#include "test_util.hh"
+#include "workloads/mixes.hh"
+#include "workloads/parsec.hh"
+#include "workloads/spec2006.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::ScriptTrace;
+
+// --- MultiCoreDriver ---------------------------------------------------
+
+TEST(Driver, RunsExactRefCounts)
+{
+    auto h = test::tinyHierarchy(PolicyKind::NonInclusive);
+    ScriptTrace t0({{0, AccessType::Read, 4}});
+    ScriptTrace t1({{64, AccessType::Read, 4}});
+    MultiCoreDriver driver(*h, {&t0, &t1}, CoreParams{});
+    driver.run(100);
+    EXPECT_EQ(driver.core(0).memRefs(), 100u);
+    EXPECT_EQ(driver.core(1).memRefs(), 100u);
+}
+
+TEST(Driver, InterleavesByLaggingCore)
+{
+    // Core 1's references stall on memory; core 0 hits L1. The
+    // driver must still run both to completion, with core 0 far
+    // ahead in retired references at equal cycle counts.
+    auto h = test::tinyHierarchy(PolicyKind::NonInclusive);
+    ScriptTrace fast({{0, AccessType::Read, 0}});
+    std::vector<MemRef> misses;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        misses.push_back({(1 << 20) + i * 64 * 8, AccessType::Read, 0});
+    ScriptTrace slow(misses);
+    MultiCoreDriver driver(*h, {&fast, &slow}, CoreParams{});
+    driver.run(200);
+    EXPECT_EQ(driver.core(0).memRefs(), 200u);
+    EXPECT_EQ(driver.core(1).memRefs(), 200u);
+    EXPECT_LT(driver.core(0).now(), driver.core(1).now());
+}
+
+TEST(Driver, MeasureResetsStatsAfterWarmup)
+{
+    auto h = test::tinyHierarchy(PolicyKind::NonInclusive);
+    ScriptTrace t0({{0, AccessType::Read, 4}});
+    ScriptTrace t1({{64, AccessType::Read, 4}});
+    MultiCoreDriver driver(*h, {&t0, &t1}, CoreParams{});
+    const RunResult result = driver.measure(50, 100);
+    // Warmup misses were wiped; the measured window is pure L1 hits.
+    EXPECT_EQ(h->stats().llcMisses, 0u);
+    EXPECT_EQ(h->stats().demandAccesses, 200u);
+    EXPECT_EQ(result.cores.size(), 2u);
+    EXPECT_GT(result.throughput, 0.0);
+    EXPECT_EQ(result.instructions,
+              result.cores[0].instructions + result.cores[1].instructions);
+}
+
+TEST(Driver, RejectsMismatchedTraces)
+{
+    auto h = test::tinyHierarchy(PolicyKind::NonInclusive);
+    ScriptTrace t0({{0, AccessType::Read, 0}});
+    EXPECT_DEATH(MultiCoreDriver(*h, {&t0}, CoreParams{}), "");
+}
+
+// --- FileTrace ---------------------------------------------------------
+
+class FileTraceTest : public ::testing::Test
+{
+  protected:
+    std::string
+    writeTrace(const std::string &content)
+    {
+        path_ = ::testing::TempDir() + "lapsim_trace_test.txt";
+        std::ofstream out(path_);
+        out << content;
+        return path_;
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(FileTraceTest, ParsesOpsAddressesAndGaps)
+{
+    FileTrace t(writeTrace("# comment\n"
+                           "R 0x1000 5\n"
+                           "W 4096\n"
+                           "r 0x40\n"));
+    EXPECT_EQ(t.size(), 3u);
+    MemRef a = t.next();
+    EXPECT_EQ(a.type, AccessType::Read);
+    EXPECT_EQ(a.addr, 0x1000u);
+    EXPECT_EQ(a.gapInstrs, 5u);
+    MemRef b = t.next();
+    EXPECT_EQ(b.type, AccessType::Write);
+    EXPECT_EQ(b.addr, 4096u);
+    EXPECT_EQ(b.gapInstrs, 0u);
+}
+
+TEST_F(FileTraceTest, WrapsAtEof)
+{
+    FileTrace t(writeTrace("R 0 1\nW 64 2\n"));
+    t.next();
+    t.next();
+    const MemRef again = t.next();
+    EXPECT_EQ(again.addr, 0u);
+    t.reset();
+    EXPECT_EQ(t.next().addr, 0u);
+}
+
+TEST_F(FileTraceTest, RejectsBadInput)
+{
+    EXPECT_DEATH(FileTrace(writeTrace("X 0x10\n")), "unknown op");
+    EXPECT_DEATH(FileTrace(writeTrace("")), "no references");
+    EXPECT_DEATH(FileTrace("/nonexistent/trace.txt"), "cannot open");
+}
+
+// --- Simulator ---------------------------------------------------------
+
+SimConfig
+tinySimConfig()
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 20'000;
+    cfg.measureRefs = 60'000;
+    cfg.tuning.epochCycles = 50'000;
+    return cfg;
+}
+
+TEST(Simulator, RunsEveryPolicyOnUniformStt)
+{
+    const auto specs = std::vector<WorkloadSpec>{
+        spec2006Benchmark("omnetpp"), spec2006Benchmark("libquantum")};
+    for (PolicyKind kind : allPolicyKinds()) {
+        SimConfig cfg = tinySimConfig();
+        cfg.policy = kind;
+        Simulator sim(cfg);
+        const Metrics m = sim.run(specs);
+        EXPECT_GT(m.instructions, 0u) << toString(kind);
+        EXPECT_GT(m.throughput, 0.0);
+        EXPECT_GT(m.epi, 0.0);
+        EXPECT_NEAR(m.epi, m.epiStatic + m.epiDynamic, 1e-9);
+        EXPECT_GT(m.llcMisses, 0u);
+    }
+}
+
+TEST(Simulator, LapEliminatesFillsExclusiveEliminatesNothingElse)
+{
+    const auto specs = std::vector<WorkloadSpec>{
+        spec2006Benchmark("omnetpp"), spec2006Benchmark("omnetpp")};
+    SimConfig cfg = tinySimConfig();
+
+    cfg.policy = PolicyKind::Lap;
+    Metrics lap = Simulator(cfg).run(specs);
+    EXPECT_EQ(lap.llcWritesFill, 0u);
+
+    cfg.policy = PolicyKind::Exclusive;
+    Metrics ex = Simulator(cfg).run(specs);
+    EXPECT_EQ(ex.llcWritesFill, 0u);
+    EXPECT_GT(ex.llcWritesCleanVictim, 0u);
+
+    cfg.policy = PolicyKind::NonInclusive;
+    Metrics noni = Simulator(cfg).run(specs);
+    EXPECT_GT(noni.llcWritesFill, 0u);
+    EXPECT_EQ(noni.llcWritesCleanVictim, 0u);
+
+    // The headline property: LAP writes less than both.
+    EXPECT_LT(lap.llcWritesTotal, noni.llcWritesTotal);
+    EXPECT_LT(lap.llcWritesTotal, ex.llcWritesTotal);
+}
+
+TEST(Simulator, HybridPlacementsRun)
+{
+    const auto specs = std::vector<WorkloadSpec>{
+        spec2006Benchmark("omnetpp"), spec2006Benchmark("mcf")};
+    for (PlacementKind placement :
+         {PlacementKind::Default, PlacementKind::Winv,
+          PlacementKind::LoopStt, PlacementKind::NloopSram,
+          PlacementKind::Lhybrid}) {
+        SimConfig cfg = tinySimConfig();
+        cfg.policy = PolicyKind::Lap;
+        cfg.hybridLlc = true;
+        cfg.llcSramWays = 4;
+        cfg.placement = placement;
+        const Metrics m = Simulator(cfg).run(specs);
+        EXPECT_GT(m.epi, 0.0) << toString(placement);
+        EXPECT_GT(m.llcSramEnergy.totalNj() + m.llcSttEnergy.totalNj(),
+                  0.0);
+    }
+}
+
+TEST(Simulator, NonHybridRejectsLoopPlacements)
+{
+    SimConfig cfg = tinySimConfig();
+    cfg.placement = PlacementKind::Lhybrid;
+    cfg.hybridLlc = false;
+    EXPECT_DEATH(Simulator{cfg}, "hybrid");
+}
+
+TEST(Simulator, MultiThreadedRunProducesCoherenceTraffic)
+{
+    SimConfig cfg = tinySimConfig();
+    cfg.coherence = true;
+    cfg.policy = PolicyKind::NonInclusive;
+    Simulator sim(cfg);
+    const Metrics m = sim.runMultiThreaded(parsecBenchmark("canneal"));
+    EXPECT_GT(m.snoopMessages, 0u);
+    EXPECT_GT(m.throughput, 0.0);
+}
+
+TEST(Simulator, SramLlcIsLeakageDominated)
+{
+    const auto specs = std::vector<WorkloadSpec>{
+        spec2006Benchmark("omnetpp"), spec2006Benchmark("omnetpp")};
+    SimConfig cfg = tinySimConfig();
+    cfg.llcTech = MemTech::SRAM;
+    const Metrics m = Simulator(cfg).run(specs);
+    EXPECT_GT(m.epiStatic, m.epiDynamic);
+}
+
+TEST(Simulator, DeterministicMetrics)
+{
+    const auto specs = std::vector<WorkloadSpec>{
+        spec2006Benchmark("astar"), spec2006Benchmark("milc")};
+    SimConfig cfg = tinySimConfig();
+    cfg.policy = PolicyKind::Lap;
+    const Metrics a = Simulator(cfg).run(specs);
+    const Metrics b = Simulator(cfg).run(specs);
+    EXPECT_EQ(a.llcWritesTotal, b.llcWritesTotal);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_DOUBLE_EQ(a.epi, b.epi);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(Simulator, EnvScaling)
+{
+    SimConfig cfg;
+    cfg.warmupRefs = 1000;
+    cfg.measureRefs = 100000;
+    setenv("LAPSIM_REFS_SCALE", "0.5", 1);
+    const SimConfig scaled = applyEnvScaling(cfg);
+    EXPECT_EQ(scaled.warmupRefs, 500u);
+    EXPECT_EQ(scaled.measureRefs, 50000u);
+    unsetenv("LAPSIM_REFS_SCALE");
+
+    setenv("LAPSIM_FAST", "1", 1);
+    const SimConfig fast = applyEnvScaling(cfg);
+    EXPECT_EQ(fast.measureRefs, 25000u);
+    unsetenv("LAPSIM_FAST");
+}
+
+TEST(Simulator, MpkiMatchesCounts)
+{
+    const auto specs = std::vector<WorkloadSpec>{
+        spec2006Benchmark("mcf"), spec2006Benchmark("mcf")};
+    SimConfig cfg = tinySimConfig();
+    const Metrics m = Simulator(cfg).run(specs);
+    EXPECT_NEAR(m.llcMpki,
+                1000.0 * static_cast<double>(m.llcMisses)
+                    / static_cast<double>(m.instructions),
+                1e-9);
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for src/energy: Table I parameters, write/read ratio
+ * scaling, published design points, and the EPI arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "energy/tech_params.hh"
+
+namespace lap
+{
+namespace
+{
+
+TEST(TechParams, TableOneSram)
+{
+    const TechParams p = sramTechParams();
+    EXPECT_EQ(p.tech, MemTech::SRAM);
+    EXPECT_DOUBLE_EQ(p.readEnergy, 0.072);
+    EXPECT_DOUBLE_EQ(p.writeEnergy, 0.056);
+    EXPECT_DOUBLE_EQ(p.leakagePerTwoMb, 50.736);
+    EXPECT_DOUBLE_EQ(p.areaMm2, 1.65);
+}
+
+TEST(TechParams, TableOneStt)
+{
+    const TechParams p = sttTechParams();
+    EXPECT_EQ(p.tech, MemTech::STTRAM);
+    EXPECT_DOUBLE_EQ(p.readEnergy, 0.133);
+    EXPECT_DOUBLE_EQ(p.writeEnergy, 0.436);
+    EXPECT_DOUBLE_EQ(p.leakagePerTwoMb, 7.108);
+    EXPECT_EQ(p.writeLatency, 33u);
+}
+
+TEST(TechParams, PaperAsymmetryAnchors)
+{
+    const TechParams sram = sramTechParams();
+    const TechParams stt = sttTechParams();
+    // STT write energy ~8x SRAM write energy (paper Section II-A).
+    EXPECT_NEAR(stt.writeEnergy / sram.writeEnergy, 8.0, 0.3);
+    // STT leakage ~1/7 of SRAM.
+    EXPECT_NEAR(sram.leakagePerTwoMb / stt.leakagePerTwoMb, 7.0, 0.2);
+    // Write/read ratio of the baseline STT design is ~3.3.
+    EXPECT_NEAR(stt.writeReadRatio(), 3.28, 0.05);
+}
+
+TEST(TechParams, WriteReadRatioScaling)
+{
+    const TechParams base = sttTechParams();
+    for (double ratio : {1.0, 2.0, 7.5, 23.0}) {
+        const TechParams scaled = base.withWriteReadRatio(ratio);
+        EXPECT_DOUBLE_EQ(scaled.readEnergy, base.readEnergy);
+        EXPECT_DOUBLE_EQ(scaled.leakagePerTwoMb, base.leakagePerTwoMb);
+        EXPECT_NEAR(scaled.writeReadRatio(), ratio, 1e-12);
+    }
+}
+
+TEST(TechParams, PublishedDesignPointsSpanRatios)
+{
+    const auto points = publishedSttDesignPoints();
+    ASSERT_GE(points.size(), 10u);
+    double prev = 0.0;
+    for (const auto &p : points) {
+        EXPECT_FALSE(p.label.empty());
+        EXPECT_GT(p.params.writeReadRatio(), prev);
+        prev = p.params.writeReadRatio();
+    }
+    // The paper's Fig 23 spans roughly 2x to >20x.
+    EXPECT_LT(points.front().params.writeReadRatio(), 3.0);
+    EXPECT_GT(points.back().params.writeReadRatio(), 20.0);
+}
+
+TEST(TechParams, OtherNvmPresets)
+{
+    const TechParams pcm = pcmTechParams();
+    const TechParams rram = rramTechParams();
+    const TechParams stt = sttTechParams();
+    // The paper's generality argument: asymmetry spans technologies.
+    EXPECT_GT(pcm.writeReadRatio(), rram.writeReadRatio());
+    EXPECT_GT(rram.writeReadRatio(), stt.writeReadRatio());
+    EXPECT_NEAR(pcm.writeReadRatio(), 12.0, 0.5);
+    EXPECT_NEAR(rram.writeReadRatio(), 7.0, 0.5);
+    // All NVMs leak far less than SRAM.
+    const TechParams sram = sramTechParams();
+    EXPECT_LT(pcm.leakagePerTwoMb, sram.leakagePerTwoMb / 5);
+    EXPECT_LT(rram.leakagePerTwoMb, sram.leakagePerTwoMb / 5);
+}
+
+TEST(EnergyModel, LeakageConversion)
+{
+    EnergyModel em(3.0);
+    // 3mW over 3e9 cycles at 3GHz = 3mW * 1s = 3mJ = 3e6 nJ.
+    EXPECT_NEAR(em.leakageNj(3.0, 3'000'000'000ULL), 3e6, 1.0);
+    EXPECT_DOUBLE_EQ(em.leakageNj(5.0, 0), 0.0);
+}
+
+TEST(EnergyModel, DataArrayDynamicEnergy)
+{
+    EnergyModel em(3.0);
+    EnergyCounters c;
+    c.dataReads = 100;
+    c.dataWrites = 10;
+    const auto e =
+        em.dataArray(sttTechParams(), 2 * 1024 * 1024, c, 0);
+    EXPECT_NEAR(e.dynamicNj, 100 * 0.133 + 10 * 0.436, 1e-9);
+    EXPECT_DOUBLE_EQ(e.staticNj, 0.0);
+}
+
+TEST(EnergyModel, LeakageScalesWithCapacity)
+{
+    EnergyModel em(3.0);
+    EnergyCounters none;
+    const Cycle cycles = 1'000'000;
+    const auto two =
+        em.dataArray(sttTechParams(), 2 * 1024 * 1024, none, cycles);
+    const auto eight =
+        em.dataArray(sttTechParams(), 8 * 1024 * 1024, none, cycles);
+    EXPECT_NEAR(eight.staticNj, 4.0 * two.staticNj, 1e-6);
+}
+
+TEST(EnergyModel, TagArray)
+{
+    EnergyModel em(3.0);
+    const auto e = em.tagArray(8 * 1024 * 1024, 1000, 0);
+    EXPECT_NEAR(e.dynamicNj, 1000 * 0.015, 1e-9);
+    const auto half = em.tagArray(4 * 1024 * 1024, 0, 3000);
+    const auto full = em.tagArray(8 * 1024 * 1024, 0, 3000);
+    EXPECT_NEAR(full.staticNj, 2.0 * half.staticNj, 1e-9);
+}
+
+TEST(EnergyModel, BreakdownAccumulates)
+{
+    EnergyBreakdown a{1.0, 2.0};
+    EnergyBreakdown b{10.0, 20.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.staticNj, 11.0);
+    EXPECT_DOUBLE_EQ(a.dynamicNj, 22.0);
+    EXPECT_DOUBLE_EQ(a.totalNj(), 33.0);
+}
+
+TEST(EnergyModel, PaperDynamicVsLeakagePremise)
+{
+    // The paper's premise: for STT-RAM, dynamic write energy can
+    // rival leakage. Sanity-check with plausible rates: an 8MB STT
+    // LLC leaking 4*7.108mW over 1 second vs 50M writes.
+    EnergyModel em(3.0);
+    const Cycle second = 3'000'000'000ULL;
+    EnergyCounters c;
+    c.dataWrites = 50'000'000;
+    const auto e =
+        em.dataArray(sttTechParams(), 8 * 1024 * 1024, c, second);
+    EXPECT_GT(e.dynamicNj, 0.5 * e.staticNj);
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Geometry-parameterized property tests for the Cache, and
+ * workload-parameterized property tests for all SPEC/PARSEC models
+ * (addresses stay inside declared regions, streams are
+ * deterministic, effective-capacity behaviour matches theory).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cache/cache.hh"
+#include "test_util.hh"
+#include "workloads/parsec.hh"
+#include "workloads/spec2006.hh"
+
+namespace lap
+{
+namespace
+{
+
+// --- Cache geometry sweep ----------------------------------------------
+
+using Geometry = std::tuple<std::uint64_t /*size*/, std::uint32_t /*assoc*/,
+                            ReplKind>;
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry>
+{
+  protected:
+    Cache
+    build() const
+    {
+        const auto [size, assoc, repl] = GetParam();
+        CacheParams p;
+        p.sizeBytes = size;
+        p.assoc = assoc;
+        p.repl = repl;
+        p.dataTech = MemTech::STTRAM;
+        return Cache(p);
+    }
+};
+
+TEST_P(CacheGeometry, ContentsNeverExceedCapacity)
+{
+    Cache c = build();
+    const std::uint64_t capacity = c.numSets() * c.assoc();
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr blk = rng.below(4 * capacity);
+        if (!c.probe(blk))
+            c.insert(blk, {});
+    }
+    std::uint64_t valid = 0;
+    c.forEachBlock([&](const CacheBlock &) { valid++; });
+    EXPECT_LE(valid, capacity);
+    EXPECT_GT(valid, capacity / 2); // heavily exercised
+}
+
+TEST_P(CacheGeometry, EveryResidentBlockIsFindable)
+{
+    Cache c = build();
+    Rng rng(2);
+    std::set<Addr> inserted;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr blk = rng.below(1000);
+        if (!c.probe(blk))
+            c.insert(blk, {});
+    }
+    c.forEachBlock([&](const CacheBlock &blk) {
+        EXPECT_EQ(c.probe(blk.blockAddr), &blk);
+        EXPECT_EQ(c.setIndexOf(blk.blockAddr), c.setOf(blk));
+    });
+}
+
+TEST_P(CacheGeometry, FillsEqualInsertions)
+{
+    Cache c = build();
+    Rng rng(3);
+    std::uint64_t insertions = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const Addr blk = rng.below(2000);
+        if (!c.probe(blk)) {
+            c.insert(blk, {});
+            insertions++;
+        }
+    }
+    EXPECT_EQ(c.stats().fills, insertions);
+    EXPECT_EQ(c.stats().evictionsClean + c.stats().evictionsDirty
+                  + [&] {
+                        std::uint64_t v = 0;
+                        c.forEachBlock([&](const CacheBlock &) { v++; });
+                        return v;
+                    }(),
+              insertions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometry,
+    ::testing::Values(
+        Geometry{1024, 1, ReplKind::Lru},   // direct-mapped
+        Geometry{4096, 4, ReplKind::Lru},
+        Geometry{4096, 4, ReplKind::Rrip},
+        Geometry{4096, 4, ReplKind::Random},
+        Geometry{8192, 16, ReplKind::Lru},  // single-set-heavy
+        Geometry{12288, 4, ReplKind::Lru},  // non-pow2 sets
+        Geometry{12288, 3, ReplKind::Rrip}),
+    [](const ::testing::TestParamInfo<Geometry> &info) {
+        return "s" + std::to_string(std::get<0>(info.param)) + "_a"
+            + std::to_string(std::get<1>(info.param)) + "_"
+            + std::string(toString(std::get<2>(info.param)));
+    });
+
+// --- Workload model properties ------------------------------------------
+
+class SpecModel : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SpecModel, AddressesStayInsideDeclaredRegions)
+{
+    const WorkloadSpec spec = spec2006Benchmark(GetParam());
+    const Addr base = 1ULL << 40;
+    SyntheticTrace trace(spec, 0, base, 1ULL << 50);
+    // Region r occupies [base + r*16GB, base + r*16GB + size).
+    for (int i = 0; i < 30000; ++i) {
+        const Addr addr = trace.next().addr;
+        const std::uint64_t region = (addr - base) >> 34;
+        ASSERT_LT(region, spec.regions.size());
+        const Addr offset = (addr - base) & ((1ULL << 34) - 1);
+        ASSERT_LT(offset, spec.regions[region].sizeBytes);
+    }
+}
+
+TEST_P(SpecModel, WeightsArePlausiblyHonored)
+{
+    const WorkloadSpec spec = spec2006Benchmark(GetParam());
+    const Addr base = 1ULL << 40;
+    SyntheticTrace trace(spec, 0, base, 1ULL << 50);
+    std::vector<std::uint64_t> hits(spec.regions.size(), 0);
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) {
+        const Addr addr = trace.next().addr;
+        hits[(addr - base) >> 34]++;
+    }
+    double total_weight = 0.0;
+    for (const auto &r : spec.regions)
+        total_weight += r.weight;
+    // Accesses per block visit vary per region, so compare visit
+    // shares loosely (within a factor of 2 of the weight share).
+    for (std::size_t r = 0; r < spec.regions.size(); ++r) {
+        const double expected = spec.regions[r].weight / total_weight;
+        const double seen =
+            static_cast<double>(hits[r]) / static_cast<double>(n);
+        EXPECT_GT(seen, expected * 0.3) << "region " << r;
+        EXPECT_LT(seen, expected * 3.0) << "region " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpec, SpecModel,
+                         ::testing::ValuesIn(spec2006Names()));
+
+class ParsecModel : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ParsecModel, SharedRegionsUseSharedBase)
+{
+    const WorkloadSpec spec = parsecBenchmark(GetParam());
+    const Addr base = 1ULL << 40;
+    const Addr shared = 1ULL << 50;
+    SyntheticTrace trace(spec, 0, base, shared);
+    bool saw_shared = false;
+    for (int i = 0; i < 50000; ++i) {
+        const Addr addr = trace.next().addr;
+        if (addr >= shared)
+            saw_shared = true;
+        else
+            ASSERT_GE(addr, base);
+    }
+    EXPECT_TRUE(saw_shared);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParsec, ParsecModel,
+                         ::testing::ValuesIn(parsecNames()));
+
+// --- Effective-capacity theory -------------------------------------------
+
+TEST(EffectiveCapacity, ExclusionExtendsReachBeyondLlcSize)
+{
+    // A read loop slightly larger than the LLC (8KB = 128 blocks)
+    // but within LLC + L2 (2KB = 32 blocks): exclusion can hold it
+    // entirely, non-inclusion (duplicates) cannot.
+    auto run = [&](PolicyKind kind) {
+        auto h = test::tinyHierarchy(kind);
+        std::uint64_t misses_last_pass = 0;
+        for (int pass = 0; pass < 8; ++pass) {
+            const auto before = h->stats().llcMisses;
+            for (std::uint64_t blk = 0; blk < 144; ++blk)
+                test::readBlock(*h, 0, blk);
+            misses_last_pass = h->stats().llcMisses - before;
+        }
+        return misses_last_pass;
+    };
+    EXPECT_LT(run(PolicyKind::Exclusive),
+              run(PolicyKind::NonInclusive));
+}
+
+} // namespace
+} // namespace lap

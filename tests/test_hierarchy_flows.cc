@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Directed tests of the inclusion-policy data flows, including
+ * block-exact reproductions of the paper's motivating examples:
+ * Fig 3 (redundant clean insertions under exclusion) and Fig 5
+ * (redundant LLC data-fills under non-inclusion).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::blockAddr;
+using test::readBlock;
+using test::tinyHierarchy;
+using test::tinyParams;
+using test::writeBlock;
+
+TEST(Flows, L1HitServesWithoutLowerTraffic)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    readBlock(*h, 0, 1);
+    const auto l2_before = h->l2(0).stats().accesses();
+    const auto result = readBlock(*h, 0, 1);
+    EXPECT_EQ(result.level, ServiceLevel::L1);
+    EXPECT_EQ(result.doneAt, 2u);
+    EXPECT_EQ(h->l2(0).stats().accesses(), l2_before);
+}
+
+TEST(Flows, MissFillsAllLevelsUnderNonInclusion)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    const auto result = readBlock(*h, 0, 1);
+    EXPECT_EQ(result.level, ServiceLevel::Memory);
+    EXPECT_NE(h->l1(0).probe(1), nullptr);
+    EXPECT_NE(h->l2(0).probe(1), nullptr);
+    EXPECT_NE(h->llc().probe(1), nullptr); // data-fill
+    EXPECT_EQ(h->stats().llcWritesDataFill, 1u);
+    EXPECT_EQ(h->stats().llcDemandFills, 1u);
+}
+
+TEST(Flows, MissBypassesLlcUnderExclusionAndLap)
+{
+    for (auto kind : {PolicyKind::Exclusive, PolicyKind::Lap}) {
+        auto h = tinyHierarchy(kind);
+        readBlock(*h, 0, 1);
+        EXPECT_EQ(h->llc().probe(1), nullptr) << toString(kind);
+        EXPECT_EQ(h->stats().llcWritesDataFill, 0u);
+    }
+}
+
+TEST(Flows, ExclusiveHitInvalidatesLlcCopy)
+{
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    readBlock(*h, 0, 1);
+    h->flushPrivate(0);                     // clean victim -> LLC
+    ASSERT_NE(h->llc().probe(1), nullptr);
+    const auto result = readBlock(*h, 0, 1); // LLC hit
+    EXPECT_EQ(result.level, ServiceLevel::Llc);
+    EXPECT_EQ(h->llc().probe(1), nullptr);
+    EXPECT_EQ(h->stats().llcInvalidationsOnHit, 1u);
+}
+
+TEST(Flows, LapAndNoniKeepLlcCopyOnHit)
+{
+    for (auto kind : {PolicyKind::NonInclusive, PolicyKind::Lap}) {
+        auto h = tinyHierarchy(kind);
+        readBlock(*h, 0, 1);
+        h->flushPrivate(0);
+        if (kind == PolicyKind::Lap) {
+            ASSERT_NE(h->llc().probe(1), nullptr); // clean victim kept
+        }
+        if (h->llc().probe(1) == nullptr)
+            continue;
+        readBlock(*h, 0, 1);
+        EXPECT_NE(h->llc().probe(1), nullptr) << toString(kind);
+        EXPECT_EQ(h->stats().llcInvalidationsOnHit, 0u);
+    }
+}
+
+TEST(Flows, ExclusiveHitTransfersDirtyState)
+{
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    writeBlock(*h, 0, 1);
+    h->flushPrivate(0); // dirty victim into LLC
+    ASSERT_NE(h->llc().probe(1), nullptr);
+    EXPECT_TRUE(h->llc().probe(1)->dirty);
+
+    readBlock(*h, 0, 1); // hit; dirty moves up with the block
+    EXPECT_EQ(h->llc().probe(1), nullptr);
+    ASSERT_NE(h->l2(0).probe(1), nullptr);
+    EXPECT_TRUE(h->l2(0).probe(1)->dirty);
+
+    // The dirty data must reach memory eventually.
+    h->flushPrivate(0);
+    ASSERT_NE(h->llc().probe(1), nullptr);
+    EXPECT_TRUE(h->llc().probe(1)->dirty);
+}
+
+TEST(Flows, CleanVictimDroppedWhenDuplicatePresent)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    readBlock(*h, 0, 1); // fills LLC and L2
+    h->resetStats();
+    h->flushPrivate(0); // clean victim, duplicate present
+    EXPECT_EQ(h->stats().llcCleanVictimsDropped, 1u);
+    EXPECT_EQ(h->stats().llcWritesTotal(), 0u); // tag update only
+}
+
+TEST(Flows, CleanVictimDroppedSilentlyUnderNonInclusionWhenAbsent)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    readBlock(*h, 0, 1);
+    // Remove the LLC duplicate directly to simulate its eviction.
+    h->llc().invalidateBlock(*h->llc().probe(1));
+    h->resetStats();
+    h->flushPrivate(0);
+    EXPECT_EQ(h->stats().llcWritesTotal(), 0u);
+    EXPECT_EQ(h->llc().probe(1), nullptr);
+}
+
+TEST(Flows, LapInsertsCleanVictimOnlyWhenAbsent)
+{
+    auto h = tinyHierarchy(PolicyKind::Lap);
+    readBlock(*h, 0, 1);
+    h->resetStats();
+    h->flushPrivate(0); // absent -> inserted
+    EXPECT_EQ(h->stats().llcWritesCleanVictim, 1u);
+
+    readBlock(*h, 0, 1); // LLC hit, copy stays
+    h->resetStats();
+    h->flushPrivate(0); // duplicate -> dropped
+    EXPECT_EQ(h->stats().llcWritesCleanVictim, 0u);
+    EXPECT_EQ(h->stats().llcCleanVictimsDropped, 1u);
+}
+
+TEST(Flows, DirtyVictimUpdatesDuplicateInPlace)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    readBlock(*h, 0, 1);  // LLC fill
+    writeBlock(*h, 0, 1); // dirty in L1
+    h->resetStats();
+    h->flushPrivate(0);
+    EXPECT_EQ(h->stats().llcWritesDirtyVictim, 1u);
+    ASSERT_NE(h->llc().probe(1), nullptr);
+    EXPECT_TRUE(h->llc().probe(1)->dirty);
+    EXPECT_EQ(h->llc().stats().fills, 0u); // no second allocation
+}
+
+TEST(Flows, LoopBitLifecycle)
+{
+    // Fig 10: reset on fill from memory and on write; set on the L2
+    // copy at an LLC hit; refreshed in the LLC tag on dedup drops.
+    auto h = tinyHierarchy(PolicyKind::Lap);
+    readBlock(*h, 0, 1);
+    EXPECT_FALSE(h->l2(0).probe(1)->loopBit); // from memory
+
+    h->flushPrivate(0);
+    ASSERT_NE(h->llc().probe(1), nullptr);
+    EXPECT_FALSE(h->llc().probe(1)->loopBit); // first descent
+
+    readBlock(*h, 0, 1); // LLC hit
+    ASSERT_NE(h->l2(0).probe(1), nullptr);
+    EXPECT_TRUE(h->l2(0).probe(1)->loopBit); // Fig 10(c)
+
+    h->flushPrivate(0); // clean dedup: tag loop-bit updated
+    EXPECT_TRUE(h->llc().probe(1)->loopBit); // Fig 10(b)
+
+    readBlock(*h, 0, 1);
+    writeBlock(*h, 0, 1); // write clears the loop bit
+    EXPECT_FALSE(h->l1(0).probe(1)->loopBit);
+    EXPECT_FALSE(h->l2(0).probe(1)->loopBit);
+    h->flushPrivate(0); // dirty victim updates duplicate, clears bit
+    EXPECT_FALSE(h->llc().probe(1)->loopBit);
+}
+
+TEST(Flows, InclusiveBackInvalidation)
+{
+    auto h = tinyHierarchy(PolicyKind::Inclusive);
+    // Occupy one LLC set (4 ways) with blocks resident in L2.
+    // LLC has 32 sets; blocks k*32 all map to LLC set 0.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        readBlock(*h, 0, i * 32);
+    // A fifth block in the same LLC set evicts one; its upper copies
+    // must be back-invalidated.
+    readBlock(*h, 0, 4 * 32);
+    EXPECT_GE(h->stats().llcBackInvalidations, 1u);
+    std::uint32_t upper_copies = 0;
+    for (std::uint64_t i = 0; i <= 4; ++i) {
+        if (h->l2(0).probe(i * 32) || h->l1(0).probe(i * 32))
+            upper_copies++;
+    }
+    // Inclusion invariant: every upper-level block is in the LLC.
+    for (std::uint64_t i = 0; i <= 4; ++i) {
+        if (h->l2(0).probe(i * 32) != nullptr
+            || h->l1(0).probe(i * 32) != nullptr) {
+            EXPECT_NE(h->llc().probe(i * 32), nullptr) << i;
+        }
+    }
+    EXPECT_LE(upper_copies, 4u);
+}
+
+TEST(Flows, InclusiveBackInvalidationWritesBackDirtyUpperData)
+{
+    auto h = tinyHierarchy(PolicyKind::Inclusive);
+    writeBlock(*h, 0, 0); // dirty in L1, resident in LLC set 0
+    const auto dram_before = h->dram().stats().writes;
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        readBlock(*h, 0, i * 32); // evict block 0 from the LLC
+    EXPECT_EQ(h->l1(0).probe(0), nullptr);
+    EXPECT_EQ(h->l2(0).probe(0), nullptr);
+    EXPECT_GT(h->dram().stats().writes, dram_before);
+    // The verifier would panic on a lost write; re-reading proves it.
+    readBlock(*h, 0, 0);
+}
+
+// ---------------------------------------------------------------------
+// Paper Fig 3: cache blocks A-D; A/B clean, C/D dirty in their first
+// L2 lifetime; all four hit in the LLC and return to L2; B and D are
+// written during the second lifetime. After the second eviction the
+// exclusive LLC performs two extra writes (re-inserting the clean
+// loop-blocks A and C) compared to non-inclusion; LAP avoids them.
+// ---------------------------------------------------------------------
+
+struct FigThreeCounts
+{
+    std::uint64_t second_phase_writes;
+    std::uint64_t total_writes;
+};
+
+FigThreeCounts
+runFigThree(PolicyKind kind)
+{
+    auto h = tinyHierarchy(kind);
+    const std::uint64_t A = 1, B = 2, C = 3, D = 4;
+
+    // First lifetime: A,B read; C,D written.
+    readBlock(*h, 0, A);
+    readBlock(*h, 0, B);
+    writeBlock(*h, 0, C);
+    writeBlock(*h, 0, D);
+    h->flushPrivate(0); // first eviction (Fig 3a)
+
+    // All four hit in the LLC and are brought back (Fig 3b).
+    readBlock(*h, 0, A);
+    readBlock(*h, 0, B);
+    readBlock(*h, 0, C);
+    readBlock(*h, 0, D);
+    writeBlock(*h, 0, B);
+    writeBlock(*h, 0, D);
+
+    const std::uint64_t before = h->stats().llcWritesTotal();
+    h->flushPrivate(0); // second eviction (Fig 3c)
+    return {h->stats().llcWritesTotal() - before,
+            h->stats().llcWritesTotal()};
+}
+
+TEST(FigThree, ExclusiveNeedsTwoRedundantCleanInsertions)
+{
+    const auto noni = runFigThree(PolicyKind::NonInclusive);
+    const auto ex = runFigThree(PolicyKind::Exclusive);
+    // Second eviction: noni writes dirty B and D only; exclusion
+    // additionally re-inserts clean A and C.
+    EXPECT_EQ(noni.second_phase_writes, 2u);
+    EXPECT_EQ(ex.second_phase_writes, 4u);
+}
+
+TEST(FigThree, LapMatchesNonInclusionOnSecondEviction)
+{
+    const auto lap = runFigThree(PolicyKind::Lap);
+    EXPECT_EQ(lap.second_phase_writes, 2u);
+}
+
+TEST(FigThree, LapTotalWritesLowest)
+{
+    // Over the whole Fig 3 sequence: noni pays 4 data-fills + 2 + 2
+    // dirty updates = 8; exclusion pays 4 + 4 victim inserts = 8;
+    // LAP pays 4 victim inserts + 2 dirty updates = 6.
+    const auto noni = runFigThree(PolicyKind::NonInclusive);
+    const auto ex = runFigThree(PolicyKind::Exclusive);
+    const auto lap = runFigThree(PolicyKind::Lap);
+    EXPECT_EQ(noni.total_writes, 8u);
+    EXPECT_EQ(ex.total_writes, 8u);
+    EXPECT_EQ(lap.total_writes, 6u);
+}
+
+// ---------------------------------------------------------------------
+// Paper Fig 5: blocks A,B,C are fetched; B and C are written during
+// their first L2 lifetime. Under non-inclusion the fills of B and C
+// were useless (overwritten before any reuse): two redundant writes
+// relative to exclusion.
+// ---------------------------------------------------------------------
+
+TEST(FigFive, NonInclusionSuffersRedundantDataFills)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    const std::uint64_t A = 1, B = 2, C = 3;
+    readBlock(*h, 0, A);
+    readBlock(*h, 0, B);
+    readBlock(*h, 0, C);
+    EXPECT_EQ(h->stats().llcDemandFills, 3u);
+
+    writeBlock(*h, 0, B);
+    writeBlock(*h, 0, C);
+    h->flushPrivate(0);
+
+    EXPECT_EQ(h->stats().llcRedundantFills, 2u);
+    // A's fill was useful: it let the clean victim be dropped.
+    EXPECT_EQ(h->stats().llcCleanVictimsDropped, 1u);
+    // noni total writes: 3 fills + 2 dirty updates = 5.
+    EXPECT_EQ(h->stats().llcWritesTotal(), 5u);
+}
+
+TEST(FigFive, ExclusionAvoidsRedundantFills)
+{
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    readBlock(*h, 0, 1);
+    readBlock(*h, 0, 2);
+    readBlock(*h, 0, 3);
+    writeBlock(*h, 0, 2);
+    writeBlock(*h, 0, 3);
+    h->flushPrivate(0);
+    EXPECT_EQ(h->stats().llcDemandFills, 0u);
+    EXPECT_EQ(h->stats().llcRedundantFills, 0u);
+    // ex total writes: 1 clean + 2 dirty victims = 3 (paper: two
+    // fewer than non-inclusion).
+    EXPECT_EQ(h->stats().llcWritesTotal(), 3u);
+}
+
+TEST(FigFive, DeadFillsCountedOnUntouchedEviction)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    // Fill LLC set 0 beyond capacity with blocks never reused.
+    for (std::uint64_t i = 0; i < 6; ++i)
+        readBlock(*h, 0, i * 32);
+    EXPECT_GE(h->stats().llcDeadFills, 1u);
+}
+
+TEST(Flows, WriteClassificationIsExhaustive)
+{
+    for (auto kind :
+         {PolicyKind::NonInclusive, PolicyKind::Exclusive,
+          PolicyKind::Lap}) {
+        auto h = tinyHierarchy(kind);
+        Rng rng(42);
+        for (int i = 0; i < 4000; ++i) {
+            const std::uint64_t blk = rng.below(256);
+            if (rng.chance(0.3))
+                writeBlock(*h, 0, blk);
+            else
+                readBlock(*h, 0, blk);
+        }
+        // Every LLC data write is classified into exactly one class.
+        const auto &hs = h->stats();
+        const auto &ls = h->llc().stats();
+        EXPECT_EQ(hs.llcWritesTotal(),
+                  ls.dataWrites[0] + ls.dataWrites[1])
+            << toString(kind);
+    }
+}
+
+TEST(Flows, ServiceLatenciesAreOrdered)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    const auto memory = readBlock(*h, 0, 1, 1000);
+    const auto l1 = readBlock(*h, 0, 1, 2000);
+    h->flushPrivate(0);
+    readBlock(*h, 0, 700); // unrelated
+    const auto llc = readBlock(*h, 0, 1, 3000);
+    EXPECT_GT(memory.doneAt - 1000, llc.doneAt - 3000);
+    EXPECT_GT(llc.doneAt - 3000, l1.doneAt - 2000);
+    EXPECT_EQ(l1.doneAt - 2000, 2u);
+}
+
+TEST(Flows, SttWritesOccupyBanksAndDelayReads)
+{
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    // Load two blocks in the same LLC bank (same set), flush so the
+    // victim writes reserve the bank at cycle 0.
+    readBlock(*h, 0, 0, 0);
+    readBlock(*h, 0, 32, 0);
+    h->flushPrivate(0, 0); // two 33-cycle writes to bank 0
+    // A demand LLC read to the same bank right after must queue.
+    const auto hit = readBlock(*h, 0, 0, 0);
+    // Base arrival at LLC = 2 (L1) + 4 (L2) = 6; writes hold the
+    // bank until 66; read starts at 66 and takes 8.
+    EXPECT_EQ(hit.doneAt, 74u);
+}
+
+} // namespace
+} // namespace lap

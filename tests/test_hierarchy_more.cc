@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Additional directed hierarchy tests: flush semantics, leader-set
+ * behaviour of the switching policies, epoch adaptation mid-run,
+ * RRIP-based LLCs, unusual geometries, larger core counts, and
+ * site propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lap_policy.hh"
+#include "hierarchy/switching_policies.hh"
+#include "test_util.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::readBlock;
+using test::tinyHierarchy;
+using test::tinyParams;
+using test::writeBlock;
+
+TEST(Flush, DrainsBothPrivateLevels)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    Rng rng(4);
+    for (int i = 0; i < 300; ++i) {
+        if (rng.chance(0.5))
+            writeBlock(*h, 0, rng.below(64));
+        else
+            readBlock(*h, 0, rng.below(64));
+    }
+    h->flushPrivate(0);
+    int l1_blocks = 0, l2_blocks = 0;
+    h->l1(0).forEachBlock([&](const CacheBlock &) { l1_blocks++; });
+    h->l2(0).forEachBlock([&](const CacheBlock &) { l2_blocks++; });
+    EXPECT_EQ(l1_blocks, 0);
+    EXPECT_EQ(l2_blocks, 0);
+}
+
+TEST(Flush, DirtyDataSurvivesFlush)
+{
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    for (std::uint64_t blk = 0; blk < 40; ++blk)
+        writeBlock(*h, 0, blk);
+    h->flushPrivate(0);
+    // Every write must be recoverable (verifier panics otherwise).
+    for (std::uint64_t blk = 0; blk < 40; ++blk)
+        readBlock(*h, 1, blk);
+}
+
+TEST(Flush, DoesNotTouchOtherCores)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    readBlock(*h, 1, 7);
+    h->flushPrivate(0);
+    EXPECT_NE(h->l1(1).probe(7), nullptr);
+}
+
+TEST(Flush, IsIdempotent)
+{
+    auto h = tinyHierarchy(PolicyKind::Lap);
+    writeBlock(*h, 0, 1);
+    h->flushPrivate(0);
+    const auto writes = h->stats().llcWritesTotal();
+    h->flushPrivate(0); // nothing left to drain
+    EXPECT_EQ(h->stats().llcWritesTotal(), writes);
+}
+
+TEST(SwitchingLeaders, FlexLeaderSetsBehaveDifferently)
+{
+    // tiny LLC has 32 sets; with leader period 2 even sets run
+    // non-inclusion (fill) and odd sets run exclusion (no fill).
+    auto h = tinyHierarchy(PolicyKind::Flexclusion);
+    readBlock(*h, 0, 32); // maps to LLC set 0 -> noni leader
+    readBlock(*h, 0, 33); // maps to LLC set 1 -> ex leader
+    EXPECT_NE(h->llc().probe(32), nullptr);
+    EXPECT_EQ(h->llc().probe(33), nullptr);
+}
+
+TEST(SwitchingLeaders, DswitchAdaptsAwayFromWriteHeavyExclusion)
+{
+    // Generate loop traffic whose clean re-insertions punish the
+    // exclusive leader sets; after an epoch the followers must run
+    // non-inclusively.
+    auto h = tinyHierarchy(PolicyKind::Dswitch);
+    auto &policy = dynamic_cast<DswitchPolicy &>(h->policy());
+    Cycle now = 0;
+    for (int pass = 0; pass < 40; ++pass) {
+        for (std::uint64_t blk = 0; blk < 64; ++blk) {
+            h->access(0, blk * 64, AccessType::Read, now);
+            now += 10;
+        }
+    }
+    EXPECT_GE(policy.duel().epochsElapsed(), 1u);
+    EXPECT_TRUE(policy.nonInclusiveAt(2)); // follower set
+}
+
+TEST(LapDueling, FollowerReplacementCanSwitchMidRun)
+{
+    auto h = tinyHierarchy(PolicyKind::Lap);
+    auto &policy = dynamic_cast<LapPolicy &>(h->policy());
+    // Drive past several epochs with mixed traffic.
+    Rng rng(6);
+    Cycle now = 0;
+    for (int i = 0; i < 30000; ++i) {
+        h->access(0, rng.below(400) * 64,
+                  rng.chance(0.2) ? AccessType::Write
+                                  : AccessType::Read,
+                  now);
+        now += 12;
+    }
+    EXPECT_GE(policy.duel().epochsElapsed(), 3u);
+}
+
+TEST(Geometry, RripLlcSupportsAllPolicies)
+{
+    for (PolicyKind kind :
+         {PolicyKind::NonInclusive, PolicyKind::Exclusive,
+          PolicyKind::Lap}) {
+        HierarchyParams hp = tinyParams();
+        hp.llc.repl = ReplKind::Rrip;
+        auto h = tinyHierarchy(kind, hp);
+        Rng rng(8);
+        for (int i = 0; i < 20000; ++i) {
+            const std::uint64_t blk = rng.below(300);
+            if (rng.chance(0.3))
+                writeBlock(*h, 0, blk);
+            else
+                readBlock(*h, 0, blk);
+        }
+        for (std::uint64_t blk = 0; blk < 300; ++blk)
+            readBlock(*h, 0, blk); // integrity re-read
+    }
+}
+
+TEST(Geometry, NonPowerOfTwoSetCount)
+{
+    // A 24MB-style geometry scaled down: 12KB, 4-way => 48 sets.
+    HierarchyParams hp = tinyParams();
+    hp.llc.sizeBytes = 12 * 1024;
+    hp.coherence = true; // the final re-read comes from core 1
+    auto h = tinyHierarchy(PolicyKind::NonInclusive, hp);
+    EXPECT_EQ(h->llc().numSets(), 48u);
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t blk = rng.below(500);
+        if (rng.chance(0.3))
+            writeBlock(*h, 0, blk);
+        else
+            readBlock(*h, 0, blk);
+    }
+    for (std::uint64_t blk = 0; blk < 500; ++blk)
+        readBlock(*h, 1, blk);
+}
+
+TEST(Geometry, EightCoreHierarchy)
+{
+    HierarchyParams hp = tinyParams(/*cores=*/8);
+    hp.coherence = true;
+    auto h = tinyHierarchy(PolicyKind::Lap, hp);
+    Rng rng(5);
+    for (int i = 0; i < 40000; ++i) {
+        const auto core = static_cast<CoreId>(rng.below(8));
+        const std::uint64_t blk = rng.below(256);
+        if (rng.chance(0.3))
+            writeBlock(*h, core, blk);
+        else
+            readBlock(*h, core, blk);
+    }
+    EXPECT_EQ(h->stats().snoop.broadcasts, h->stats().llcMisses);
+}
+
+TEST(Sites, PropagateToVictims)
+{
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    h->access(0, 64, AccessType::Read, 0, /*site=*/77);
+    h->flushPrivate(0);
+    ASSERT_NE(h->llc().probe(1), nullptr);
+    EXPECT_EQ(h->llc().probe(1)->site, 77u);
+}
+
+TEST(Sites, UpdatedOnRepeatedAccess)
+{
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    h->access(0, 64, AccessType::Read, 0, 1);
+    h->access(0, 64, AccessType::Read, 0, 2); // L1 hit, new site
+    EXPECT_EQ(h->l1(0).probe(1)->site, 2u);
+    EXPECT_EQ(h->l2(0).probe(1)->site, 2u);
+}
+
+TEST(Counters, L1EnergyEventsTracked)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    readBlock(*h, 0, 1);
+    readBlock(*h, 0, 1);
+    writeBlock(*h, 0, 1);
+    const auto &l1 = h->l1(0).stats();
+    EXPECT_EQ(l1.readHits, 1u);
+    EXPECT_EQ(l1.writeHits, 1u);
+    EXPECT_GE(l1.dataReads[0], 1u);
+    EXPECT_GE(l1.dataWrites[0], 2u); // fill + write hit
+}
+
+TEST(Counters, LoopResidencyAndDirtyFraction)
+{
+    auto h = tinyHierarchy(PolicyKind::Lap);
+    EXPECT_DOUBLE_EQ(h->llcLoopResidency(), 0.0); // empty cache
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t blk = 0; blk < 64; ++blk)
+            readBlock(*h, 0, blk);
+    }
+    EXPECT_GT(h->llcLoopResidency(), 0.3);
+    for (std::uint64_t blk = 0; blk < 64; ++blk)
+        writeBlock(*h, 0, blk);
+    h->flushPrivate(0);
+    EXPECT_GT(h->llcDirtyFraction(), 0.5);
+}
+
+TEST(Timing, DemandReadsQueueBehindEachOtherPerBank)
+{
+    auto h = tinyHierarchy(PolicyKind::NonInclusive);
+    readBlock(*h, 0, 0);  // warm: LLC set 0, bank 0
+    readBlock(*h, 0, 64); // warm: LLC set 0 too (64 % 32 == 0)
+    test::evictFromPrivate(*h, 0, 0, 2000);
+    test::evictFromPrivate(*h, 0, 64, 4000);
+    // Two back-to-back LLC hits to the same bank at the same cycle:
+    // the second one's service must start after the first.
+    const auto first = readBlock(*h, 0, 0, 10000);
+    const auto second = readBlock(*h, 1, 64, 10000);
+    EXPECT_GT(second.doneAt, first.doneAt);
+}
+
+TEST(Timing, WritesDoNotStallTheIssuer)
+{
+    // Victim writes are posted: the demand access that triggered
+    // them completes at its own latency.
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    for (std::uint64_t blk = 0; blk < 64; ++blk)
+        writeBlock(*h, 0, blk);
+    const auto result = readBlock(*h, 0, 2000, 50000);
+    // A clean DRAM fetch: ~ L1 + L2 + LLC lookup + 200.
+    EXPECT_LT(result.doneAt - 50000, 300u);
+}
+
+TEST(Policy, InclusiveNeverExceedsLlcContentsUpstairs)
+{
+    HierarchyParams hp = tinyParams();
+    hp.coherence = true; // cores share one address range below
+    auto h = tinyHierarchy(PolicyKind::Inclusive, hp);
+    Rng rng(12);
+    for (int i = 0; i < 20000; ++i) {
+        const auto core = static_cast<CoreId>(rng.below(2));
+        const std::uint64_t blk = rng.below(300);
+        if (rng.chance(0.3))
+            writeBlock(*h, core, blk);
+        else
+            readBlock(*h, core, blk);
+    }
+    // Inclusion invariant after heavy traffic.
+    for (CoreId core = 0; core < 2; ++core) {
+        for (Cache *cache : {&h->l1(core), &h->l2(core)}) {
+            cache->forEachBlock([&](const CacheBlock &blk) {
+                EXPECT_NE(h->llc().probe(blk.blockAddr), nullptr)
+                    << "upper block " << blk.blockAddr
+                    << " missing from inclusive LLC";
+            });
+        }
+    }
+}
+
+TEST(Policy, ExclusiveLlcHoldsNoUpperDuplicatesSteadyState)
+{
+    auto h = tinyHierarchy(PolicyKind::Exclusive);
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i)
+        readBlock(*h, 0, rng.below(200));
+    // Count duplicated blocks (present both in L2 and LLC): the
+    // exclusive flows never create them (duplicates could only
+    // appear transiently via mode switching, absent here).
+    std::uint64_t duplicates = 0;
+    h->l2(0).forEachBlock([&](const CacheBlock &blk) {
+        if (h->llc().probe(blk.blockAddr))
+            duplicates++;
+    });
+    EXPECT_EQ(duplicates, 0u);
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Property-based tests: random traffic through every inclusion
+ * policy and LLC organisation must preserve data integrity (the
+ * verifier panics on stale reads, lost writes, or memory-version
+ * regressions) and a set of structural invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/hybrid_placement.hh"
+#include "test_util.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::readBlock;
+using test::tinyHierarchy;
+using test::tinyHybridParams;
+using test::tinyParams;
+using test::writeBlock;
+
+enum class LlcShape
+{
+    UniformStt,
+    UniformSram,
+    Hybrid,
+};
+
+const char *
+toString(LlcShape s)
+{
+    switch (s) {
+      case LlcShape::UniformStt: return "stt";
+      case LlcShape::UniformSram: return "sram";
+      case LlcShape::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+using Combo = std::tuple<PolicyKind, LlcShape>;
+
+class PolicyProperty : public ::testing::TestWithParam<Combo>
+{
+  protected:
+    std::unique_ptr<CacheHierarchy>
+    build() const
+    {
+        const auto [kind, shape] = GetParam();
+        HierarchyParams hp =
+            shape == LlcShape::Hybrid ? tinyHybridParams() : tinyParams();
+        // Cores share one address range below, so coherence is on
+        // (without it only disjoint per-core spaces are legal).
+        hp.coherence = true;
+        if (shape == LlcShape::UniformSram) {
+            hp.llc.dataTech = MemTech::SRAM;
+            hp.llc.writeLatency = 8;
+        }
+        std::unique_ptr<PlacementPolicy> placement;
+        if (shape == LlcShape::Hybrid)
+            placement = LhybridPlacement::lhybrid();
+        return tinyHierarchy(kind, hp, std::move(placement));
+    }
+};
+
+TEST_P(PolicyProperty, RandomTrafficPreservesDataIntegrity)
+{
+    auto h = build();
+    Rng rng(1234);
+    for (int i = 0; i < 60000; ++i) {
+        const CoreId core = static_cast<CoreId>(rng.below(2));
+        const std::uint64_t blk = rng.below(400);
+        if (rng.chance(0.35))
+            writeBlock(*h, core, blk);
+        else
+            readBlock(*h, core, blk);
+    }
+    // Re-read everything once more: every value must be the newest.
+    for (std::uint64_t blk = 0; blk < 400; ++blk)
+        readBlock(*h, 0, blk);
+}
+
+TEST_P(PolicyProperty, StatsAreConsistent)
+{
+    auto h = build();
+    Rng rng(99);
+    for (int i = 0; i < 30000; ++i) {
+        const CoreId core = static_cast<CoreId>(rng.below(2));
+        const std::uint64_t blk = rng.below(300);
+        if (rng.chance(0.3))
+            writeBlock(*h, core, blk);
+        else
+            readBlock(*h, core, blk);
+    }
+    const auto &hs = h->stats();
+    const auto &ls = h->llc().stats();
+
+    // Demand accesses are partitioned across service levels.
+    EXPECT_EQ(hs.demandAccesses,
+              hs.l1Hits + hs.l2Hits + hs.llcHits + hs.llcMisses);
+    EXPECT_EQ(hs.demandAccesses, hs.demandReads + hs.demandWrites);
+
+    // Every LLC data write is classified exactly once.
+    EXPECT_EQ(hs.llcWritesTotal(), ls.dataWrites[0] + ls.dataWrites[1]);
+
+    // Fills at the cache level match classified insertions (in-place
+    // dirty updates are not fills).
+    EXPECT_LE(ls.fills, hs.llcWritesTotal());
+
+    // Redundant fills can never exceed demand fills.
+    EXPECT_LE(hs.llcRedundantFills, hs.llcDemandFills);
+    EXPECT_LE(hs.llcDeadFills, hs.llcDemandFills);
+}
+
+TEST_P(PolicyProperty, DrainRecoversEveryWrite)
+{
+    auto h = build();
+    Rng rng(7);
+    constexpr std::uint64_t kBlocks = 200;
+    for (int i = 0; i < 20000; ++i) {
+        const CoreId core = static_cast<CoreId>(rng.below(2));
+        const std::uint64_t blk = rng.below(kBlocks);
+        if (rng.chance(0.5))
+            writeBlock(*h, core, blk);
+        else
+            readBlock(*h, core, blk);
+    }
+    // Flush both cores; all dirty data funnels toward the LLC.
+    h->flushPrivate(0);
+    h->flushPrivate(1);
+    // Every block must still be readable at its newest version.
+    for (std::uint64_t blk = 0; blk < kBlocks; ++blk)
+        readBlock(*h, 1, blk);
+}
+
+TEST_P(PolicyProperty, NoDuplicateTagsWithinLlc)
+{
+    auto h = build();
+    Rng rng(31);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t blk = rng.below(256);
+        if (rng.chance(0.3))
+            writeBlock(*h, 0, blk);
+        else
+            readBlock(*h, 0, blk);
+    }
+    auto &llc = h->llc();
+    for (std::uint64_t set = 0; set < llc.numSets(); ++set) {
+        for (std::uint32_t w1 = 0; w1 < llc.assoc(); ++w1) {
+            const auto &a = llc.blockAt(set, w1);
+            if (!a.valid)
+                continue;
+            for (std::uint32_t w2 = w1 + 1; w2 < llc.assoc(); ++w2) {
+                const auto &b = llc.blockAt(set, w2);
+                if (b.valid) {
+                    EXPECT_NE(a.blockAddr, b.blockAddr);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(PolicyProperty, DeterministicAcrossRuns)
+{
+    auto run = [&] {
+        auto h = build();
+        Rng rng(555);
+        for (int i = 0; i < 10000; ++i) {
+            const std::uint64_t blk = rng.below(300);
+            if (rng.chance(0.4))
+                writeBlock(*h, 0, blk);
+            else
+                readBlock(*h, 0, blk);
+        }
+        return std::make_tuple(h->stats().llcWritesTotal(),
+                               h->stats().llcMisses,
+                               h->llc().stats().tagAccesses);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAndShapes, PolicyProperty,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::Inclusive, PolicyKind::NonInclusive,
+                          PolicyKind::Exclusive, PolicyKind::Flexclusion,
+                          PolicyKind::Dswitch, PolicyKind::LapLru,
+                          PolicyKind::LapLoop, PolicyKind::Lap),
+        ::testing::Values(LlcShape::UniformStt, LlcShape::UniformSram,
+                          LlcShape::Hybrid)),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        // Sanitize policy names ("Non-inclusive") into identifiers.
+        std::string name = lap::toString(std::get<0>(info.param));
+        for (auto &ch : name) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return name + "_" + toString(std::get<1>(info.param));
+    });
+
+// LAP-specific behavioural invariants under heavy loop traffic.
+TEST(LapProperty, FewerWritesThanBothBaselinesOnLoopTraffic)
+{
+    auto run = [&](PolicyKind kind) {
+        auto h = tinyHierarchy(kind);
+        for (int pass = 0; pass < 10; ++pass) {
+            for (std::uint64_t blk = 0; blk < 64; ++blk)
+                readBlock(*h, 0, blk); // loop working set > L2, < LLC
+        }
+        return h->stats().llcWritesTotal();
+    };
+    const auto noni = run(PolicyKind::NonInclusive);
+    const auto ex = run(PolicyKind::Exclusive);
+    const auto lap = run(PolicyKind::Lap);
+    // Pure clean loops: LAP matches non-inclusion's one write per
+    // block and avoids exclusion's per-pass re-insertions.
+    EXPECT_LE(lap, noni);
+    EXPECT_LT(lap, ex);
+}
+
+TEST(LapProperty, HalvesWritesOnWriteOnceSweeps)
+{
+    // Write-allocate sweep: non-inclusion pays fill + dirty update
+    // per block (the Fig 5 redundancy); LAP and exclusion pay one.
+    auto run = [&](PolicyKind kind) {
+        auto h = tinyHierarchy(kind);
+        for (std::uint64_t blk = 0; blk < 200; ++blk)
+            writeBlock(*h, 0, blk);
+        h->flushPrivate(0);
+        return h->stats().llcWritesTotal();
+    };
+    const auto noni = run(PolicyKind::NonInclusive);
+    const auto ex = run(PolicyKind::Exclusive);
+    const auto lap = run(PolicyKind::Lap);
+    EXPECT_EQ(noni, 400u);
+    EXPECT_EQ(ex, 200u);
+    EXPECT_EQ(lap, 200u);
+}
+
+TEST(LapProperty, NeverFillsAndNeverInvalidatesOnHit)
+{
+    auto h = tinyHierarchy(PolicyKind::Lap);
+    Rng rng(77);
+    for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t blk = rng.below(200);
+        if (rng.chance(0.25))
+            writeBlock(*h, 0, blk);
+        else
+            readBlock(*h, 0, blk);
+    }
+    EXPECT_EQ(h->stats().llcWritesDataFill, 0u);
+    EXPECT_EQ(h->stats().llcInvalidationsOnHit, 0u);
+}
+
+} // namespace
+} // namespace lap

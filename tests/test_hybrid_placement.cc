@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the Lhybrid data placement and its ablation stages
+ * (paper Fig 11 / Fig 25): Winv redirection, SRAM->STT loop-block
+ * migration, region-steering, and end-to-end residency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_placement.hh"
+#include "test_util.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::readBlock;
+using test::tinyHierarchy;
+using test::tinyHybridParams;
+using test::writeBlock;
+
+CacheParams
+hybridCacheParams()
+{
+    CacheParams p;
+    p.name = "hllc";
+    p.sizeBytes = 4096; // 16 sets x 4 ways
+    p.assoc = 4;
+    p.sramWays = 1;
+    p.writeLatency = 8;
+    p.sttWriteLatency = 33;
+    return p;
+}
+
+Addr
+set0Block(std::uint64_t i)
+{
+    return i * 16;
+}
+
+TEST(Lhybrid, FactoriesExposeStages)
+{
+    EXPECT_EQ(LhybridPlacement::lhybrid()->name(), "Lhybrid");
+    EXPECT_EQ(LhybridPlacement::winvOnly()->name(), "LAP+Winv");
+    EXPECT_EQ(LhybridPlacement::loopSttOnly()->name(), "LAP+LoopSTT");
+    EXPECT_EQ(LhybridPlacement::nloopSramOnly()->name(),
+              "LAP+NloopSRAM");
+    const auto full = LhybridPlacement::lhybrid();
+    EXPECT_TRUE(full->flags().winv);
+    EXPECT_TRUE(full->flags().loopToStt);
+    EXPECT_TRUE(full->flags().nloopToSram);
+}
+
+TEST(Lhybrid, InsertTargetsSramFirst)
+{
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::lhybrid();
+    const auto out = placement->insert(llc, set0Block(0), {});
+    EXPECT_EQ(out.writeRegion, MemTech::SRAM);
+    EXPECT_EQ(llc.wayTech(llc.wayOf(*llc.probe(set0Block(0)))),
+              MemTech::SRAM);
+}
+
+TEST(Lhybrid, SramPressureMigratesMruLoopBlock)
+{
+    // Fig 11(b): SRAM full with a loop-block; inserting a new block
+    // migrates the MRU loop-block to STT-RAM.
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::lhybrid();
+    Cache::InsertAttrs loop;
+    loop.loopBit = true;
+    placement->insert(llc, set0Block(0), loop); // SRAM way occupied
+
+    const auto out = placement->insert(llc, set0Block(1), {});
+    EXPECT_EQ(out.migrations, 1u);
+    EXPECT_FALSE(out.eviction.valid); // nothing left the cache
+    // Loop-block now in STT, incoming block in SRAM.
+    const CacheBlock *migrated = llc.probe(set0Block(0));
+    ASSERT_NE(migrated, nullptr);
+    EXPECT_EQ(llc.wayTech(llc.wayOf(*migrated)), MemTech::STTRAM);
+    EXPECT_TRUE(migrated->loopBit);
+    const CacheBlock *incoming = llc.probe(set0Block(1));
+    EXPECT_EQ(llc.wayTech(llc.wayOf(*incoming)), MemTech::SRAM);
+}
+
+TEST(Lhybrid, IncomingLoopBlockGoesToSttWhenSramHasNone)
+{
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::lhybrid();
+    placement->insert(llc, set0Block(0), {}); // non-loop in SRAM
+
+    Cache::InsertAttrs loop;
+    loop.loopBit = true;
+    const auto out = placement->insert(llc, set0Block(1), loop);
+    EXPECT_EQ(out.writeRegion, MemTech::STTRAM);
+    EXPECT_EQ(out.migrations, 0u);
+    EXPECT_EQ(llc.wayTech(llc.wayOf(*llc.probe(set0Block(1)))),
+              MemTech::STTRAM);
+}
+
+TEST(Lhybrid, NoLoopBlocksEvictsSramLruWhenSttFull)
+{
+    // Fig 11(c): SRAM and STT full of non-loop blocks and a
+    // non-loop incoming block: the SRAM LRU block leaves the cache.
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::lhybrid();
+    llc.insert(set0Block(10), {}, 1, Cache::kAllWays);
+    llc.insert(set0Block(11), {}, 1, Cache::kAllWays);
+    llc.insert(set0Block(12), {}, 1, Cache::kAllWays);
+    placement->insert(llc, set0Block(0), {});
+    const auto out = placement->insert(llc, set0Block(1), {});
+    EXPECT_TRUE(out.eviction.valid);
+    EXPECT_EQ(out.eviction.blockAddr, set0Block(0));
+    EXPECT_EQ(out.migrations, 0u);
+    EXPECT_EQ(llc.probe(set0Block(0)), nullptr);
+}
+
+TEST(Lhybrid, DisplacedSramBlockUsesInvalidSttEntry)
+{
+    // With spare STT capacity the displaced SRAM block migrates
+    // instead of leaving the cache.
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::lhybrid();
+    placement->insert(llc, set0Block(0), {});
+    const auto out = placement->insert(llc, set0Block(1), {});
+    EXPECT_FALSE(out.eviction.valid);
+    EXPECT_EQ(out.migrations, 1u);
+    const CacheBlock *moved = llc.probe(set0Block(0));
+    ASSERT_NE(moved, nullptr);
+    EXPECT_EQ(llc.wayTech(llc.wayOf(*moved)), MemTech::STTRAM);
+}
+
+TEST(Lhybrid, SttVictimSelectionIsLoopAware)
+{
+    // Fill STT ways with loop + non-loop blocks; the STT victim
+    // must be the LRU non-loop block.
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::lhybrid();
+    Cache::InsertAttrs loop;
+    loop.loopBit = true;
+    // Directly fill the three STT ways: oldest is a non-loop block.
+    llc.insert(set0Block(10), {}, 1, Cache::kAllWays);
+    llc.insert(set0Block(11), loop, 1, Cache::kAllWays);
+    llc.insert(set0Block(12), loop, 1, Cache::kAllWays);
+    // SRAM holds a loop block; a new insert migrates it into STT.
+    placement->insert(llc, set0Block(0), loop);
+    const auto out = placement->insert(llc, set0Block(1), {});
+    EXPECT_EQ(out.migrations, 1u);
+    ASSERT_TRUE(out.eviction.valid);
+    EXPECT_EQ(out.eviction.blockAddr, set0Block(10)); // non-loop LRU
+}
+
+TEST(Lhybrid, WinvRedirectsDirtyHitFromSttToSram)
+{
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::winvOnly();
+    // Duplicate lives in STT.
+    llc.insert(set0Block(3), {}, 1, Cache::kAllWays);
+    CacheBlock *dup = llc.probe(set0Block(3));
+    ASSERT_NE(dup, nullptr);
+
+    Cache::InsertAttrs dirty;
+    dirty.dirty = true;
+    dirty.version = 9;
+    PlacementOutcome out;
+    ASSERT_TRUE(placement->handleDirtyVictimHit(llc, *dup, dirty, out));
+    EXPECT_EQ(out.writeRegion, MemTech::SRAM);
+    const CacheBlock *moved = llc.probe(set0Block(3));
+    ASSERT_NE(moved, nullptr);
+    EXPECT_EQ(llc.wayTech(llc.wayOf(*moved)), MemTech::SRAM);
+    EXPECT_TRUE(moved->dirty);
+    EXPECT_EQ(moved->version, 9u);
+}
+
+TEST(Lhybrid, WinvLeavesSramDuplicatesAlone)
+{
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::winvOnly();
+    llc.insert(set0Block(3), {}, 0, 1); // SRAM duplicate
+    CacheBlock *dup = llc.probe(set0Block(3));
+    PlacementOutcome out;
+    EXPECT_FALSE(placement->handleDirtyVictimHit(llc, *dup, {}, out));
+}
+
+TEST(Lhybrid, LoopSttOnlySteersLoopBlocks)
+{
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::loopSttOnly();
+    Cache::InsertAttrs loop;
+    loop.loopBit = true;
+    placement->insert(llc, set0Block(0), loop);
+    EXPECT_EQ(llc.wayTech(llc.wayOf(*llc.probe(set0Block(0)))),
+              MemTech::STTRAM);
+    // Non-loop blocks use the whole set (uniform).
+    const auto out = placement->insert(llc, set0Block(1), {});
+    EXPECT_FALSE(out.eviction.valid);
+}
+
+TEST(Lhybrid, NloopSramOnlySteersNonLoopBlocks)
+{
+    Cache llc(hybridCacheParams());
+    auto placement = LhybridPlacement::nloopSramOnly();
+    placement->insert(llc, set0Block(0), {});
+    EXPECT_EQ(llc.wayTech(llc.wayOf(*llc.probe(set0Block(0)))),
+              MemTech::SRAM);
+    // With the single SRAM way full but STT capacity spare, the
+    // displaced block spills into STT; once STT is also full the
+    // SRAM LRU is evicted outright (no loop migration here).
+    llc.insert(set0Block(10), {}, 1, Cache::kAllWays);
+    llc.insert(set0Block(11), {}, 1, Cache::kAllWays);
+    llc.insert(set0Block(12), {}, 1, Cache::kAllWays);
+    const auto out = placement->insert(llc, set0Block(1), {});
+    EXPECT_TRUE(out.eviction.valid);
+    EXPECT_EQ(out.eviction.blockAddr, set0Block(0));
+}
+
+TEST(Lhybrid, UniformCacheFallsBackToDefault)
+{
+    CacheParams p = hybridCacheParams();
+    p.sramWays = 0;
+    p.dataTech = MemTech::STTRAM;
+    Cache llc(p);
+    auto placement = LhybridPlacement::lhybrid();
+    const auto out = placement->insert(llc, set0Block(0), {});
+    EXPECT_FALSE(out.eviction.valid);
+    EXPECT_EQ(out.migrations, 0u);
+}
+
+// --- End-to-end residency through the hierarchy ------------------------
+
+TEST(LhybridEndToEnd, LoopBlocksConcentrateInStt)
+{
+    auto h = tinyHierarchy(PolicyKind::Lap, tinyHybridParams(),
+                           LhybridPlacement::lhybrid());
+    // Cyclic read loop larger than L2 (2KB), nearly filling the LLC
+    // (8KB): produces loop-blocks cycling through the LLC with
+    // enough insertion pressure to exercise SRAM->STT migration.
+    for (int pass = 0; pass < 16; ++pass) {
+        for (std::uint64_t blk = 0; blk < 96; ++blk)
+            readBlock(*h, 0, blk);
+    }
+    std::uint64_t loop_stt = 0, loop_sram = 0;
+    auto &llc = h->llc();
+    llc.forEachBlock([&](const CacheBlock &blk) {
+        if (!blk.loopBit)
+            return;
+        if (llc.wayTech(llc.wayOf(blk)) == MemTech::STTRAM)
+            loop_stt++;
+        else
+            loop_sram++;
+    });
+    EXPECT_GT(loop_stt, loop_sram);
+    EXPECT_GT(h->stats().llcWritesMigration, 0u);
+}
+
+TEST(LhybridEndToEnd, WriteHeavyBlocksLandInSram)
+{
+    auto h = tinyHierarchy(PolicyKind::Lap, tinyHybridParams(),
+                           LhybridPlacement::lhybrid());
+    Rng rng(3);
+    // Write-intensive working set cycling through L2.
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t blk = rng.below(96);
+        if (rng.chance(0.6))
+            writeBlock(*h, 0, blk);
+        else
+            readBlock(*h, 0, blk);
+    }
+    const auto &ls = h->llc().stats();
+    // The SRAM region (1 of 4 ways) should absorb a disproportionate
+    // share of LLC data writes.
+    EXPECT_GT(ls.dataWrites[0], ls.dataWrites[1]);
+}
+
+TEST(LhybridEndToEnd, AllPlacementsPreserveDataIntegrity)
+{
+    const auto make_placements = [] {
+        std::vector<std::unique_ptr<PlacementPolicy>> v;
+        v.push_back(std::make_unique<DefaultPlacement>());
+        v.push_back(LhybridPlacement::winvOnly());
+        v.push_back(LhybridPlacement::loopSttOnly());
+        v.push_back(LhybridPlacement::nloopSramOnly());
+        v.push_back(LhybridPlacement::lhybrid());
+        return v;
+    };
+    for (auto &placement : make_placements()) {
+        auto h = tinyHierarchy(PolicyKind::Lap, tinyHybridParams(),
+                               std::move(placement));
+        Rng rng(17);
+        for (int i = 0; i < 30000; ++i) {
+            const std::uint64_t blk = rng.below(256);
+            // Verifier panics on stale/lost data.
+            if (rng.chance(0.4))
+                writeBlock(*h, 0, blk);
+            else
+                readBlock(*h, 0, blk);
+        }
+    }
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * End-to-end integration smoke tests: every SPEC model and every
+ * PARSEC model runs through the full Simulator under LAP with the
+ * data-integrity verifier armed, on a scaled-down system. Catches
+ * workload/policy interactions none of the unit tests construct.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+#include "workloads/parsec.hh"
+#include "workloads/spec2006.hh"
+
+namespace lap
+{
+namespace
+{
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 10'000;
+    cfg.measureRefs = 50'000;
+    cfg.tuning.epochCycles = 50'000;
+    return cfg;
+}
+
+class SpecIntegration : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SpecIntegration, RunsUnderLapWithVerification)
+{
+    SimConfig cfg = smallConfig();
+    cfg.policy = PolicyKind::Lap;
+    Simulator sim(cfg);
+    const WorkloadSpec spec = spec2006Benchmark(GetParam());
+    const Metrics m = sim.run({spec, spec});
+    EXPECT_GT(m.instructions, 100'000u);
+    EXPECT_GT(m.epi, 0.0);
+    EXPECT_EQ(m.llcWritesFill, 0u); // LAP never fills
+    EXPECT_GT(m.throughput, 0.0);
+}
+
+TEST_P(SpecIntegration, EnergyDecomposesExactly)
+{
+    SimConfig cfg = smallConfig();
+    cfg.policy = PolicyKind::NonInclusive;
+    Simulator sim(cfg);
+    const WorkloadSpec spec = spec2006Benchmark(GetParam());
+    const Metrics m = sim.run({spec, spec});
+    EXPECT_NEAR(m.epi, m.epiStatic + m.epiDynamic, 1e-12);
+    EXPECT_NEAR(m.llcEnergy.totalNj(),
+                m.llcEnergy.staticNj + m.llcEnergy.dynamicNj, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpec, SpecIntegration,
+                         ::testing::ValuesIn(spec2006Names()));
+
+class ParsecIntegration : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ParsecIntegration, RunsCoherentUnderLap)
+{
+    SimConfig cfg = smallConfig();
+    cfg.policy = PolicyKind::Lap;
+    cfg.coherence = true;
+    Simulator sim(cfg);
+    const Metrics m =
+        sim.runMultiThreaded(parsecBenchmark(GetParam()));
+    EXPECT_GT(m.instructions, 100'000u);
+    EXPECT_GT(m.epi, 0.0);
+    // Broadcast snooping means traffic whenever the LLC misses.
+    EXPECT_GE(m.snoopMessages, m.llcMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParsec, ParsecIntegration,
+                         ::testing::ValuesIn(parsecNames()));
+
+TEST(MixIntegration, RandomMixesRunUnderEveryAdaptivePolicy)
+{
+    const auto mixes = randomMixes(3, 2, 77);
+    for (PolicyKind kind : {PolicyKind::Flexclusion, PolicyKind::Dswitch,
+                            PolicyKind::Lap}) {
+        for (const auto &mix : mixes) {
+            SimConfig cfg = smallConfig();
+            cfg.policy = kind;
+            Simulator sim(cfg);
+            const Metrics m = sim.run(resolveMix(mix));
+            EXPECT_GT(m.llcWritesTotal, 0u)
+                << toString(kind) << " " << mix.name;
+        }
+    }
+}
+
+TEST(MixIntegration, SeedSaltChangesTheRunDeterministically)
+{
+    SimConfig a = smallConfig();
+    a.policy = PolicyKind::Lap;
+    SimConfig b = a;
+    b.seedSalt = 1;
+    const auto specs = resolveMix(duplicateMix("mcf", 2));
+    const Metrics ma = Simulator(a).run(specs);
+    const Metrics mb = Simulator(b).run(specs);
+    const Metrics ma2 = Simulator(a).run(specs);
+    EXPECT_NE(ma.llcMisses, mb.llcMisses); // salt changes the traffic
+    EXPECT_EQ(ma.llcMisses, ma2.llcMisses); // but stays deterministic
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for src/mem: DRAM timing/energy counters and the
+ * data-integrity verifier, plus the loop tracker and core model
+ * (small leaf components).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+#include "hierarchy/loop_tracker.hh"
+#include "mem/dram.hh"
+#include "mem/verifier.hh"
+
+namespace lap
+{
+namespace
+{
+
+// --- DRAM ------------------------------------------------------------
+
+TEST(Dram, ReadLatency)
+{
+    DramParams p;
+    p.accessLatency = 200;
+    p.channelOccupancy = 8;
+    p.channels = 1;
+    Dram d(p);
+    EXPECT_EQ(d.read(0, 100), 300u);
+    EXPECT_EQ(d.stats().reads, 1u);
+}
+
+TEST(Dram, ChannelContentionQueues)
+{
+    DramParams p;
+    p.accessLatency = 200;
+    p.channelOccupancy = 8;
+    p.channels = 1;
+    Dram d(p);
+    EXPECT_EQ(d.read(0, 0), 200u);
+    EXPECT_EQ(d.read(1, 0), 208u); // queued behind the first
+    EXPECT_EQ(d.read(2, 10), 216u); // arrives before channel free
+}
+
+TEST(Dram, ChannelsInterleaveByAddress)
+{
+    DramParams p;
+    p.accessLatency = 200;
+    p.channelOccupancy = 8;
+    p.channels = 2;
+    Dram d(p);
+    EXPECT_EQ(d.read(0, 0), 200u);
+    EXPECT_EQ(d.read(1, 0), 200u); // other channel
+    EXPECT_EQ(d.read(2, 0), 208u); // channel 0 again
+}
+
+TEST(Dram, WritesArePosted)
+{
+    Dram d(DramParams{});
+    const Cycle t = d.write(0, 50);
+    EXPECT_EQ(t, 50u);
+    EXPECT_EQ(d.stats().writes, 1u);
+}
+
+TEST(Dram, ResetStats)
+{
+    Dram d(DramParams{});
+    d.read(0, 0);
+    d.write(0, 0);
+    d.resetStats();
+    EXPECT_EQ(d.stats().reads, 0u);
+    EXPECT_EQ(d.stats().writes, 0u);
+}
+
+// --- Verifier ---------------------------------------------------------
+
+TEST(Verifier, VersionsAdvancePerAddress)
+{
+    Verifier v;
+    EXPECT_EQ(v.latest(10), 0u);
+    EXPECT_EQ(v.recordWrite(10), 1u);
+    EXPECT_EQ(v.recordWrite(10), 2u);
+    EXPECT_EQ(v.recordWrite(11), 1u);
+    EXPECT_EQ(v.latest(10), 2u);
+}
+
+TEST(Verifier, MemoryTracksWritebacks)
+{
+    Verifier v;
+    v.recordWrite(10);
+    v.recordWrite(10);
+    EXPECT_EQ(v.memVersion(10), 0u);
+    v.writeback(10, 2);
+    EXPECT_EQ(v.memVersion(10), 2u);
+}
+
+TEST(Verifier, CheckReadPassesOnLatest)
+{
+    Verifier v;
+    v.recordWrite(10);
+    v.checkRead(10, 1, "test");
+    v.checkRead(11, 0, "test"); // never written: version 0
+}
+
+TEST(Verifier, CheckReadPanicsOnStale)
+{
+    Verifier v;
+    v.recordWrite(10);
+    v.recordWrite(10);
+    EXPECT_DEATH(v.checkRead(10, 1, "test"), "stale read");
+}
+
+TEST(Verifier, WritebackRegressionPanics)
+{
+    Verifier v;
+    v.recordWrite(10);
+    v.recordWrite(10);
+    v.writeback(10, 2);
+    EXPECT_DEATH(v.writeback(10, 1), "regresses");
+}
+
+// --- LoopTracker ------------------------------------------------------
+
+TEST(LoopTracker, FreshCleanEvictionIsNotALoop)
+{
+    LoopTracker t;
+    t.onCleanEviction(1, /*from_llc_hit=*/false);
+    t.flush();
+    EXPECT_EQ(t.totalEvictions(), 1u);
+    EXPECT_DOUBLE_EQ(t.loopFraction(), 0.0);
+}
+
+TEST(LoopTracker, RoundTripCountsAsCtcOne)
+{
+    LoopTracker t;
+    t.onCleanEviction(1, false); // descent
+    t.onCleanEviction(1, true);  // returned via LLC hit, clean again
+    t.flush();
+    EXPECT_EQ(t.totalEvictions(), 2u);
+    EXPECT_DOUBLE_EQ(t.ctc1Fraction(), 0.5);
+    EXPECT_DOUBLE_EQ(t.loopFraction(), 0.5);
+}
+
+TEST(LoopTracker, LongStreakLandsInHighBucket)
+{
+    LoopTracker t;
+    t.onCleanEviction(1, false);
+    for (int i = 0; i < 6; ++i)
+        t.onCleanEviction(1, true);
+    t.flush();
+    EXPECT_EQ(t.totalEvictions(), 7u);
+    EXPECT_NEAR(t.ctcHighFraction(), 6.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(t.ctc1Fraction(), 0.0);
+}
+
+TEST(LoopTracker, MidBucketWeighting)
+{
+    LoopTracker t;
+    for (int i = 0; i < 3; ++i)
+        t.onCleanEviction(1, true); // streak of 3
+    t.onWrite(1);                   // ends it
+    t.onDirtyEviction(1);
+    t.flush();
+    // 4 evictions total, 3 of them in the 1<CTC<5 bucket.
+    EXPECT_EQ(t.totalEvictions(), 4u);
+    EXPECT_NEAR(t.ctcMidFraction(), 0.75, 1e-12);
+}
+
+TEST(LoopTracker, WriteEndsStreak)
+{
+    LoopTracker t;
+    t.onCleanEviction(1, true);
+    t.onWrite(1);
+    t.onCleanEviction(1, true); // new streak
+    t.flush();
+    EXPECT_DOUBLE_EQ(t.ctc1Fraction(), 1.0); // two streaks of 1
+}
+
+TEST(LoopTracker, FromMemoryEvictionEndsStreak)
+{
+    LoopTracker t;
+    t.onCleanEviction(1, true);
+    t.onCleanEviction(1, true);
+    // Block fell out of the LLC; next incarnation came from memory.
+    t.onCleanEviction(1, false);
+    t.onCleanEviction(1, true);
+    t.flush();
+    // Streak of 2 (mid) + streak of 1.
+    EXPECT_EQ(t.totalEvictions(), 4u);
+    EXPECT_DOUBLE_EQ(t.ctcMidFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(t.ctc1Fraction(), 0.25);
+}
+
+TEST(LoopTracker, WriteOfUntrackedBlockIsNoop)
+{
+    LoopTracker t;
+    t.onWrite(99);
+    t.flush();
+    EXPECT_EQ(t.totalEvictions(), 0u);
+}
+
+TEST(LoopTracker, Reset)
+{
+    LoopTracker t;
+    t.onCleanEviction(1, true);
+    t.reset();
+    t.flush();
+    EXPECT_EQ(t.totalEvictions(), 0u);
+    EXPECT_DOUBLE_EQ(t.loopFraction(), 0.0);
+}
+
+// --- CoreModel --------------------------------------------------------
+
+TEST(CoreModel, IssueWidthPacksInstructions)
+{
+    CoreParams p;
+    p.issueWidth = 4.0;
+    p.mlp = 1.0;
+    p.l1Latency = 2;
+    CoreModel core(p);
+    core.advance(8, 0); // 8 instrs / width 4 = 2 cycles, no stall
+    EXPECT_EQ(core.now(), 2u);
+    EXPECT_EQ(core.instructions(), 9u);
+    EXPECT_EQ(core.memRefs(), 1u);
+}
+
+TEST(CoreModel, FractionalIssueAccumulates)
+{
+    CoreParams p;
+    p.issueWidth = 4.0;
+    CoreModel core(p);
+    core.advance(2, 0);
+    core.advance(2, 0); // 0.5 + 0.5 = 1 cycle
+    EXPECT_EQ(core.now(), 1u);
+}
+
+TEST(CoreModel, MlpDiscountsStall)
+{
+    CoreParams p;
+    p.issueWidth = 4.0;
+    p.mlp = 2.0;
+    p.l1Latency = 2;
+    CoreModel core(p);
+    // Miss completing at cycle 202: stall = 2 + (200/2) = 102.
+    core.advance(0, 202);
+    EXPECT_EQ(core.now(), 102u);
+}
+
+TEST(CoreModel, L1HitNotDiscounted)
+{
+    CoreParams p;
+    p.mlp = 4.0;
+    p.l1Latency = 2;
+    CoreModel core(p);
+    core.advance(0, 2);
+    EXPECT_EQ(core.now(), 2u);
+}
+
+TEST(CoreModel, PastCompletionCostsNothing)
+{
+    CoreParams p;
+    CoreModel core(p);
+    core.advance(40, 1); // done_at long past after issue cycles
+    EXPECT_EQ(core.now(), 10u);
+}
+
+TEST(CoreModel, MeasurementWindow)
+{
+    CoreParams p;
+    p.issueWidth = 1.0;
+    p.mlp = 1.0;
+    CoreModel core(p);
+    core.advance(10, 0);
+    core.beginMeasurement();
+    core.advance(10, 0);
+    EXPECT_EQ(core.measuredInstructions(), 11u);
+    EXPECT_EQ(core.measuredCycles(), 10u);
+    EXPECT_NEAR(core.ipc(), 1.1, 1e-12);
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the inclusion policies: the Fig 8 decision table,
+ * the switching baselines' adaptation, and the LAP variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lap_policy.hh"
+#include "core/policy_factory.hh"
+#include "hierarchy/baseline_policies.hh"
+#include "hierarchy/switching_policies.hh"
+
+namespace lap
+{
+namespace
+{
+
+constexpr std::uint64_t kSets = 128;
+
+TEST(Baselines, InclusiveDecisions)
+{
+    InclusivePolicy p;
+    EXPECT_TRUE(p.fillLlcOnMiss(0));
+    EXPECT_FALSE(p.invalidateOnLlcHit(0));
+    EXPECT_FALSE(p.insertCleanVictim(0));
+    EXPECT_TRUE(p.backInvalidate());
+    EXPECT_FALSE(p.loopAwareVictim(0));
+}
+
+TEST(Baselines, NonInclusiveDecisions)
+{
+    // Fig 8: noni — invalidate N, fill Y, clean writeback N.
+    NonInclusivePolicy p;
+    EXPECT_TRUE(p.fillLlcOnMiss(0));
+    EXPECT_FALSE(p.invalidateOnLlcHit(0));
+    EXPECT_FALSE(p.insertCleanVictim(0));
+    EXPECT_FALSE(p.backInvalidate());
+}
+
+TEST(Baselines, ExclusiveDecisions)
+{
+    // Fig 8: ex — invalidate Y, fill N, clean writeback Y.
+    ExclusivePolicy p;
+    EXPECT_FALSE(p.fillLlcOnMiss(0));
+    EXPECT_TRUE(p.invalidateOnLlcHit(0));
+    EXPECT_TRUE(p.insertCleanVictim(0));
+    EXPECT_FALSE(p.backInvalidate());
+}
+
+TEST(Lap, Decisions)
+{
+    // Fig 8: LAP — invalidate N, fill N, clean writeback if absent.
+    LapPolicy p(kSets, 1000);
+    EXPECT_FALSE(p.fillLlcOnMiss(0));
+    EXPECT_FALSE(p.invalidateOnLlcHit(0));
+    EXPECT_TRUE(p.insertCleanVictim(0));
+    EXPECT_FALSE(p.backInvalidate());
+}
+
+TEST(Lap, VariantNames)
+{
+    EXPECT_EQ(LapPolicy(kSets, 1000, LapVariant::Lru).name(), "LAP-LRU");
+    EXPECT_EQ(LapPolicy(kSets, 1000, LapVariant::Loop).name(),
+              "LAP-Loop");
+    EXPECT_EQ(LapPolicy(kSets, 1000, LapVariant::Dueling).name(), "LAP");
+}
+
+TEST(Lap, LruVariantNeverLoopAware)
+{
+    LapPolicy p(kSets, 1000, LapVariant::Lru);
+    for (std::uint64_t s = 0; s < kSets; ++s)
+        EXPECT_FALSE(p.loopAwareVictim(s));
+}
+
+TEST(Lap, LoopVariantAlwaysLoopAware)
+{
+    LapPolicy p(kSets, 1000, LapVariant::Loop);
+    for (std::uint64_t s = 0; s < kSets; ++s)
+        EXPECT_TRUE(p.loopAwareVictim(s));
+}
+
+TEST(Lap, DuelingLeadersFixedFollowersSwing)
+{
+    LapPolicy p(kSets, 1000, LapVariant::Dueling, 64);
+    // Set 0 = loop-aware leader, set 1 = LRU leader.
+    EXPECT_TRUE(p.loopAwareVictim(0));
+    EXPECT_FALSE(p.loopAwareVictim(1));
+    EXPECT_TRUE(p.loopAwareVictim(2)); // follower, initial winner A
+
+    // Loop-aware leaders (team A) suffer more misses -> follow LRU.
+    for (int i = 0; i < 10; ++i)
+        p.noteLlcMiss(0);
+    p.noteLlcMiss(1);
+    p.duel().evaluateNow();
+    EXPECT_TRUE(p.loopAwareVictim(0));  // leader stays
+    EXPECT_FALSE(p.loopAwareVictim(1)); // leader stays
+    EXPECT_FALSE(p.loopAwareVictim(2)); // follower switched to LRU
+}
+
+TEST(Lap, TickRotatesEpoch)
+{
+    LapPolicy p(kSets, 1000, LapVariant::Dueling, 64);
+    for (int i = 0; i < 5; ++i)
+        p.noteLlcMiss(0);
+    p.tick(1000);
+    EXPECT_EQ(p.duel().epochsElapsed(), 1u);
+    EXPECT_FALSE(p.loopAwareVictim(2));
+}
+
+TEST(Flexclusion, LeaderModesAndFollowers)
+{
+    FlexclusionPolicy p(kSets, 1000, 0.05, 64);
+    // Team A leaders run non-inclusion, team B leaders exclusion.
+    EXPECT_TRUE(p.fillLlcOnMiss(0));
+    EXPECT_FALSE(p.insertCleanVictim(0));
+    EXPECT_FALSE(p.fillLlcOnMiss(1));
+    EXPECT_TRUE(p.insertCleanVictim(1));
+    EXPECT_TRUE(p.invalidateOnLlcHit(1));
+    // Followers start non-inclusive.
+    EXPECT_TRUE(p.fillLlcOnMiss(2));
+}
+
+TEST(Flexclusion, SwitchesToExclusionOnClearMissWin)
+{
+    FlexclusionPolicy p(kSets, 1000, 0.05, 64);
+    for (int i = 0; i < 100; ++i)
+        p.noteLlcMiss(0); // noni leaders miss a lot
+    for (int i = 0; i < 50; ++i)
+        p.noteLlcMiss(1); // ex leaders miss less
+    p.duel().evaluateNow();
+    EXPECT_FALSE(p.nonInclusiveAt(2));
+}
+
+TEST(Flexclusion, BandwidthGuardPrefersNonInclusion)
+{
+    FlexclusionPolicy p(kSets, 1000, 0.05, 64);
+    for (int i = 0; i < 100; ++i)
+        p.noteLlcMiss(0);
+    for (int i = 0; i < 98; ++i)
+        p.noteLlcMiss(1); // within the 5% margin
+    p.duel().evaluateNow();
+    EXPECT_TRUE(p.nonInclusiveAt(2));
+}
+
+TEST(Flexclusion, IgnoresWriteCosts)
+{
+    FlexclusionPolicy p(kSets, 1000, 0.05, 64);
+    // Writes don't influence FLEXclusion (the paper's criticism).
+    for (int i = 0; i < 1000; ++i)
+        p.noteLlcWrite(1);
+    p.duel().evaluateNow();
+    EXPECT_TRUE(p.nonInclusiveAt(2)); // ties keep non-inclusion
+    EXPECT_DOUBLE_EQ(p.duel().costB(), 0.0);
+}
+
+TEST(Dswitch, WeighsWritesAndMisses)
+{
+    // write = 0.436 nJ, miss = 1.2 nJ.
+    DswitchPolicy p(kSets, 1000, 0.436, 1.2, 64);
+    // Exclusion side: 10 extra writes; non-inclusion: 4 extra misses.
+    for (int i = 0; i < 10; ++i)
+        p.noteLlcWrite(1);
+    for (int i = 0; i < 4; ++i)
+        p.noteLlcMiss(0);
+    // costA = 4.8, costB = 4.36 -> exclusion (B) wins, barely.
+    p.duel().evaluateNow();
+    EXPECT_FALSE(p.nonInclusiveAt(2));
+
+    // Make exclusion write-heavy: 20 writes vs 4 misses -> noni wins.
+    for (int i = 0; i < 20; ++i)
+        p.noteLlcWrite(1);
+    for (int i = 0; i < 4; ++i)
+        p.noteLlcMiss(0);
+    p.duel().evaluateNow();
+    EXPECT_TRUE(p.nonInclusiveAt(2));
+}
+
+TEST(Factory, BuildsEveryKind)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        auto p = makeInclusionPolicy(kind, kSets);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), toString(kind));
+    }
+}
+
+TEST(Factory, ParsesNames)
+{
+    EXPECT_EQ(policyKindFromString("lap"), PolicyKind::Lap);
+    EXPECT_EQ(policyKindFromString("LAP-LRU"), PolicyKind::LapLru);
+    EXPECT_EQ(policyKindFromString("noni"), PolicyKind::NonInclusive);
+    EXPECT_EQ(policyKindFromString("ex"), PolicyKind::Exclusive);
+    EXPECT_EQ(policyKindFromString("FLEX"), PolicyKind::Flexclusion);
+    EXPECT_EQ(policyKindFromString("dswitch"), PolicyKind::Dswitch);
+    EXPECT_EQ(policyKindFromString("inclusive"), PolicyKind::Inclusive);
+}
+
+/** Decision-table coverage across all policies (Table IV). */
+struct PolicyRow
+{
+    PolicyKind kind;
+    bool fill;
+    bool invalidate;
+    bool clean_insert;
+};
+
+class DecisionTable : public ::testing::TestWithParam<PolicyRow>
+{
+};
+
+TEST_P(DecisionTable, MatchesFigEight)
+{
+    const PolicyRow row = GetParam();
+    auto p = makeInclusionPolicy(row.kind, kSets);
+    // Probe a follower set under initial conditions.
+    const std::uint64_t set = 2;
+    EXPECT_EQ(p->fillLlcOnMiss(set), row.fill) << toString(row.kind);
+    EXPECT_EQ(p->invalidateOnLlcHit(set), row.invalidate);
+    EXPECT_EQ(p->insertCleanVictim(set), row.clean_insert);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FigEight, DecisionTable,
+    ::testing::Values(
+        PolicyRow{PolicyKind::Inclusive, true, false, false},
+        PolicyRow{PolicyKind::NonInclusive, true, false, false},
+        PolicyRow{PolicyKind::Exclusive, false, true, true},
+        // Switching policies start in non-inclusive mode.
+        PolicyRow{PolicyKind::Flexclusion, true, false, false},
+        PolicyRow{PolicyKind::Dswitch, true, false, false},
+        PolicyRow{PolicyKind::LapLru, false, false, true},
+        PolicyRow{PolicyKind::LapLoop, false, false, true},
+        PolicyRow{PolicyKind::Lap, false, false, true}));
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the replacement policies, including the eligibility
+ * masks used by the loop-block-aware victim filter and the hybrid
+ * way partitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/replacement.hh"
+
+namespace lap
+{
+namespace
+{
+
+std::vector<CacheBlock>
+validSet(std::size_t ways)
+{
+    std::vector<CacheBlock> set(ways);
+    for (std::size_t i = 0; i < ways; ++i) {
+        set[i].valid = true;
+        set[i].blockAddr = i;
+    }
+    return set;
+}
+
+TEST(Lru, VictimIsLeastRecentlyTouched)
+{
+    LruPolicy lru;
+    auto set = validSet(4);
+    for (auto &blk : set)
+        lru.onFill(blk);
+    lru.onHit(set[0]); // order now: 1, 2, 3, 0
+    EXPECT_EQ(lru.victimAmong(set, 0b1111), 1u);
+    lru.onHit(set[1]);
+    EXPECT_EQ(lru.victimAmong(set, 0b1111), 2u);
+}
+
+TEST(Lru, VictimHonorsEligibilityMask)
+{
+    LruPolicy lru;
+    auto set = validSet(4);
+    for (auto &blk : set)
+        lru.onFill(blk); // LRU order = way 0 oldest
+    EXPECT_EQ(lru.victimAmong(set, 0b1100), 2u);
+    EXPECT_EQ(lru.victimAmong(set, 0b1000), 3u);
+}
+
+TEST(Lru, MruIsMostRecentlyTouched)
+{
+    LruPolicy lru;
+    auto set = validSet(4);
+    for (auto &blk : set)
+        lru.onFill(blk);
+    EXPECT_EQ(lru.mruAmong(set, 0b1111), 3u);
+    lru.onHit(set[1]);
+    EXPECT_EQ(lru.mruAmong(set, 0b1111), 1u);
+    EXPECT_EQ(lru.mruAmong(set, 0b1101), 3u);
+}
+
+TEST(Lru, ClockAdvancesOnTouch)
+{
+    LruPolicy lru;
+    CacheBlock blk;
+    const auto before = lru.clock();
+    lru.onFill(blk);
+    lru.onHit(blk);
+    EXPECT_EQ(lru.clock(), before + 2);
+}
+
+TEST(Rrip, FillInsertsLongReuse)
+{
+    RripPolicy rrip;
+    CacheBlock blk;
+    rrip.onFill(blk);
+    EXPECT_EQ(blk.rrpv, 2);
+    rrip.onHit(blk);
+    EXPECT_EQ(blk.rrpv, 0);
+}
+
+TEST(Rrip, VictimPrefersDistantRrpv)
+{
+    RripPolicy rrip;
+    auto set = validSet(4);
+    for (auto &blk : set)
+        rrip.onFill(blk);
+    set[2].rrpv = 3;
+    EXPECT_EQ(rrip.victimAmong(set, 0b1111), 2u);
+}
+
+TEST(Rrip, AgesUntilVictimFound)
+{
+    RripPolicy rrip;
+    auto set = validSet(4);
+    for (auto &blk : set) {
+        rrip.onFill(blk);
+        rrip.onHit(blk); // all rrpv = 0
+    }
+    const auto victim = rrip.victimAmong(set, 0b1111);
+    EXPECT_LT(victim, 4u);
+    // Aging must have advanced everyone to the max.
+    for (const auto &blk : set)
+        EXPECT_EQ(blk.rrpv, 3);
+}
+
+TEST(Rrip, MruIsSmallestRrpv)
+{
+    RripPolicy rrip;
+    auto set = validSet(4);
+    for (auto &blk : set)
+        rrip.onFill(blk);
+    set[3].rrpv = 0;
+    EXPECT_EQ(rrip.mruAmong(set, 0b1111), 3u);
+}
+
+TEST(Random, VictimAlwaysEligible)
+{
+    RandomPolicy rnd(7);
+    auto set = validSet(8);
+    for (int i = 0; i < 200; ++i) {
+        const auto v = rnd.victimAmong(set, 0b10100100);
+        EXPECT_TRUE(v == 2 || v == 5 || v == 7);
+    }
+}
+
+TEST(Random, SingleCandidate)
+{
+    RandomPolicy rnd(7);
+    auto set = validSet(4);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rnd.victimAmong(set, 0b0100), 2u);
+}
+
+TEST(Factory, BuildsEachKind)
+{
+    EXPECT_EQ(makeReplacementPolicy(ReplKind::Lru, 1)->name(), "LRU");
+    EXPECT_EQ(makeReplacementPolicy(ReplKind::Rrip, 1)->name(), "RRIP");
+    EXPECT_EQ(makeReplacementPolicy(ReplKind::Random, 1)->name(),
+              "Random");
+}
+
+/** Every policy must pick only eligible ways. */
+class AnyPolicy : public ::testing::TestWithParam<ReplKind>
+{
+};
+
+TEST_P(AnyPolicy, VictimRespectsMask)
+{
+    auto policy = makeReplacementPolicy(GetParam(), 11);
+    auto set = validSet(8);
+    for (auto &blk : set)
+        policy->onFill(blk);
+    for (std::uint64_t mask :
+         {0b1ULL, 0b10000000ULL, 0b01010101ULL, 0b11110000ULL}) {
+        const auto v = policy->victimAmong(set, mask);
+        EXPECT_TRUE(mask & (1ULL << v))
+            << toString(GetParam()) << " mask " << mask;
+        const auto m = policy->mruAmong(set, mask);
+        EXPECT_TRUE(mask & (1ULL << m));
+    }
+}
+
+TEST_P(AnyPolicy, DiesWithEmptyMask)
+{
+    auto policy = makeReplacementPolicy(GetParam(), 11);
+    auto set = validSet(4);
+    EXPECT_DEATH(policy->victimAmong(set, 0), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AnyPolicy,
+                         ::testing::Values(ReplKind::Lru, ReplKind::Rrip,
+                                           ReplKind::Random));
+
+} // namespace
+} // namespace lap

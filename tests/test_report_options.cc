@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the JSON report writer and the CLI option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include <algorithm>
+
+#include "sim/options.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/spec2006.hh"
+
+namespace lap
+{
+namespace
+{
+
+// --- JsonWriter --------------------------------------------------------
+
+TEST(JsonWriter, BuildsFlatObject)
+{
+    JsonWriter w;
+    w.field("name", "lap").field("x", std::uint64_t{3}).field("ok", true);
+    EXPECT_EQ(w.str(), "{\"name\":\"lap\",\"x\":3,\"ok\":true}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    JsonWriter w;
+    w.field("k", "v\"q");
+    EXPECT_EQ(w.str(), "{\"k\":\"v\\\"q\"}");
+}
+
+TEST(JsonWriter, NestsRawObjects)
+{
+    JsonWriter inner;
+    inner.field("a", std::uint64_t{1});
+    JsonWriter outer;
+    outer.raw("inner", inner.str());
+    EXPECT_EQ(outer.str(), "{\"inner\":{\"a\":1}}");
+}
+
+TEST(JsonWriter, FormatsDoubles)
+{
+    JsonWriter w;
+    w.field("pi", 3.25);
+    EXPECT_EQ(w.str(), "{\"pi\":3.25}");
+}
+
+TEST(Report, ConfigRoundTripsKeyFields)
+{
+    SimConfig config;
+    config.policy = PolicyKind::Lap;
+    config.hybridLlc = true;
+    const std::string json = configToJson(config);
+    EXPECT_NE(json.find("\"policy\":\"LAP\""), std::string::npos);
+    EXPECT_NE(json.find("\"hybridLlc\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"llcSize\":8388608"), std::string::npos);
+}
+
+TEST(Report, MetricsSerialize)
+{
+    Metrics m;
+    m.epi = 0.125;
+    m.llcMisses = 42;
+    const std::string json = metricsToJson(m);
+    EXPECT_NE(json.find("\"epi\":0.125"), std::string::npos);
+    EXPECT_NE(json.find("\"llcMisses\":42"), std::string::npos);
+}
+
+TEST(Report, ExperimentCombines)
+{
+    const std::string json =
+        experimentToJson("demo", SimConfig{}, Metrics{});
+    EXPECT_EQ(json.rfind("{\"label\":\"demo\",\"config\":{", 0), 0u);
+    EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+}
+
+TEST(Report, WriteFile)
+{
+    const std::string path = ::testing::TempDir() + "lapsim_report.json";
+    writeFile(path, "{\"x\":1}");
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "{\"x\":1}");
+    std::remove(path.c_str());
+}
+
+TEST(Report, WriteFileFatalOnBadPath)
+{
+    EXPECT_DEATH(writeFile("/nonexistent-dir/x.json", "{}"),
+                 "cannot open");
+}
+
+TEST(Report, DumpStatsListsAllComponents)
+{
+    SimConfig config;
+    config.numCores = 2;
+    config.l1Size = 4 * 1024;
+    config.l2Size = 32 * 1024;
+    config.llcSize = 256 * 1024;
+    config.warmupRefs = 1000;
+    config.measureRefs = 20000;
+    Simulator sim(config);
+    sim.run({spec2006Benchmark("mcf"), spec2006Benchmark("omnetpp")});
+    const std::string dump = dumpStats(sim.hierarchy());
+    for (const char *key :
+         {"system.demandAccesses", "system.llcWrites.total",
+          "l1.core0.readHits", "l1.core1.readHits",
+          "l2.core0.fills", "llc.tagAccesses", "dram.reads"}) {
+        EXPECT_NE(dump.find(key), std::string::npos) << key;
+    }
+    // The dump is line-oriented name/value pairs.
+    EXPECT_GT(std::count(dump.begin(), dump.end(), '\n'), 40);
+}
+
+// --- CLI options -------------------------------------------------------
+
+TEST(Options, Defaults)
+{
+    const CliOptions opts = parseCliOptions({});
+    EXPECT_EQ(opts.workload, CliOptions::WorkloadKind::Mix);
+    EXPECT_EQ(opts.mixName, "WH1");
+    EXPECT_EQ(opts.config.policy, PolicyKind::NonInclusive);
+    EXPECT_FALSE(opts.showHelp);
+}
+
+TEST(Options, PolicyAndMix)
+{
+    const CliOptions opts =
+        parseCliOptions({"--policy", "lap", "--mix", "WL3"});
+    EXPECT_EQ(opts.config.policy, PolicyKind::Lap);
+    EXPECT_EQ(opts.mixName, "WL3");
+}
+
+TEST(Options, BenchmarksList)
+{
+    const CliOptions opts =
+        parseCliOptions({"--benchmarks", "omnetpp,mcf"});
+    EXPECT_EQ(opts.workload, CliOptions::WorkloadKind::Benchmarks);
+    EXPECT_EQ(opts.benchmarks,
+              (std::vector<std::string>{"omnetpp", "mcf"}));
+}
+
+TEST(Options, ParsecEnablesCoherence)
+{
+    const CliOptions opts =
+        parseCliOptions({"--parsec", "streamcluster"});
+    EXPECT_EQ(opts.workload, CliOptions::WorkloadKind::Parsec);
+    EXPECT_TRUE(opts.config.coherence);
+}
+
+TEST(Options, SystemGeometry)
+{
+    const CliOptions opts = parseCliOptions(
+        {"--cores", "8", "--llc-mb", "16", "--l2-kb", "256",
+         "--llc-assoc", "8"});
+    EXPECT_EQ(opts.config.numCores, 8u);
+    EXPECT_EQ(opts.config.llcSize, 16u * 1024 * 1024);
+    EXPECT_EQ(opts.config.l2Size, 256u * 1024);
+    EXPECT_EQ(opts.config.llcAssoc, 8u);
+}
+
+TEST(Options, PlacementImpliesHybrid)
+{
+    const CliOptions opts =
+        parseCliOptions({"--placement", "lhybrid"});
+    EXPECT_EQ(opts.config.placement, PlacementKind::Lhybrid);
+    EXPECT_TRUE(opts.config.hybridLlc);
+}
+
+TEST(Options, TechAndRatio)
+{
+    const CliOptions opts =
+        parseCliOptions({"--tech", "sram", "--wr-ratio", "8"});
+    EXPECT_EQ(opts.config.llcTech, MemTech::SRAM);
+    EXPECT_NEAR(opts.config.stt.writeReadRatio(), 8.0, 1e-12);
+}
+
+TEST(Options, DascaAndRepl)
+{
+    const CliOptions opts =
+        parseCliOptions({"--dasca", "--repl", "rrip"});
+    EXPECT_TRUE(opts.config.deadWriteBypass);
+    EXPECT_EQ(opts.config.llcRepl, ReplKind::Rrip);
+}
+
+TEST(Options, RunControl)
+{
+    const CliOptions opts = parseCliOptions(
+        {"--refs", "123", "--warmup", "45", "--seed", "7", "--json",
+         "out.json"});
+    EXPECT_EQ(opts.config.measureRefs, 123u);
+    EXPECT_EQ(opts.config.warmupRefs, 45u);
+    EXPECT_EQ(opts.config.seedSalt, 7u);
+    EXPECT_EQ(opts.jsonPath, "out.json");
+}
+
+TEST(Options, StatsFlag)
+{
+    EXPECT_TRUE(parseCliOptions({"--stats"}).dumpStats);
+    EXPECT_FALSE(parseCliOptions({}).dumpStats);
+}
+
+TEST(Options, Help)
+{
+    EXPECT_TRUE(parseCliOptions({"--help"}).showHelp);
+    EXPECT_TRUE(parseCliOptions({"-h"}).showHelp);
+    EXPECT_NE(cliHelpText().find("--policy"), std::string::npos);
+}
+
+TEST(Options, RejectsUnknownFlag)
+{
+    EXPECT_DEATH(parseCliOptions({"--bogus"}), "unknown flag");
+}
+
+TEST(Options, RejectsMissingValue)
+{
+    EXPECT_DEATH(parseCliOptions({"--policy"}), "requires a value");
+}
+
+TEST(Options, RejectsBadNumbers)
+{
+    EXPECT_DEATH(parseCliOptions({"--cores", "abc"}), "expected a");
+    EXPECT_DEATH(parseCliOptions({"--wr-ratio", "-1"}), "positive");
+}
+
+TEST(Options, SplitList)
+{
+    EXPECT_EQ(splitList("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(splitList(",a,,b,"),
+              (std::vector<std::string>{"a", "b"}));
+    EXPECT_TRUE(splitList("").empty());
+}
+
+} // namespace
+} // namespace lap

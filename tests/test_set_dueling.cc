@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the set-dueling monitor used by LAP, FLEXclusion
+ * and Dswitch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/set_dueling.hh"
+
+namespace lap
+{
+namespace
+{
+
+TEST(SetDueling, TeamAssignment)
+{
+    SetDueling duel(128, 64, 1000);
+    EXPECT_EQ(duel.teamOf(0), SetDueling::Team::LeaderA);
+    EXPECT_EQ(duel.teamOf(1), SetDueling::Team::LeaderB);
+    EXPECT_EQ(duel.teamOf(2), SetDueling::Team::Follower);
+    EXPECT_EQ(duel.teamOf(64), SetDueling::Team::LeaderA);
+    EXPECT_EQ(duel.teamOf(65), SetDueling::Team::LeaderB);
+    EXPECT_EQ(duel.teamOf(127), SetDueling::Team::Follower);
+}
+
+TEST(SetDueling, PaperLeaderShare)
+{
+    // 1/64 of sets per team (paper Section III-B).
+    SetDueling duel(8192, 64, 1000);
+    int a = 0, b = 0;
+    for (std::uint64_t s = 0; s < 8192; ++s) {
+        if (duel.teamOf(s) == SetDueling::Team::LeaderA)
+            a++;
+        else if (duel.teamOf(s) == SetDueling::Team::LeaderB)
+            b++;
+    }
+    EXPECT_EQ(a, 8192 / 64);
+    EXPECT_EQ(b, 8192 / 64);
+}
+
+TEST(SetDueling, LeadersAlwaysPlayTheirTeam)
+{
+    SetDueling duel(128, 64, 1000);
+    EXPECT_TRUE(duel.choiceIsA(0));
+    EXPECT_FALSE(duel.choiceIsA(1));
+    // Force B to win; leaders unchanged.
+    duel.addCost(0, 100.0);
+    duel.evaluateNow();
+    EXPECT_FALSE(duel.aWins());
+    EXPECT_TRUE(duel.choiceIsA(0));
+    EXPECT_FALSE(duel.choiceIsA(1));
+    EXPECT_FALSE(duel.choiceIsA(2)); // follower follows B
+}
+
+TEST(SetDueling, FollowerCostsIgnored)
+{
+    SetDueling duel(128, 64, 1000);
+    duel.addCost(2, 1e9); // follower set
+    duel.evaluateNow();
+    EXPECT_EQ(duel.winner(), 0); // unchanged
+}
+
+TEST(SetDueling, WinnerIsCheaperTeam)
+{
+    SetDueling duel(128, 64, 1000);
+    duel.addCost(0, 10.0); // team A
+    duel.addCost(1, 5.0);  // team B
+    duel.evaluateNow();
+    EXPECT_EQ(duel.winner(), 1);
+
+    duel.addCost(0, 1.0);
+    duel.addCost(1, 2.0);
+    duel.evaluateNow();
+    EXPECT_EQ(duel.winner(), 0);
+}
+
+TEST(SetDueling, EpochRotationOnTick)
+{
+    SetDueling duel(128, 64, 1000);
+    duel.addCost(0, 10.0);
+    duel.addCost(1, 1.0);
+    duel.tick(999);
+    EXPECT_EQ(duel.winner(), 0); // not yet
+    duel.tick(1000);
+    EXPECT_EQ(duel.winner(), 1);
+    EXPECT_EQ(duel.epochsElapsed(), 1u);
+    // Counters reset at the boundary.
+    EXPECT_DOUBLE_EQ(duel.costA(), 0.0);
+    EXPECT_DOUBLE_EQ(duel.costB(), 0.0);
+}
+
+TEST(SetDueling, TickSkipsMissedEpochs)
+{
+    SetDueling duel(128, 64, 1000);
+    duel.tick(5500);
+    EXPECT_EQ(duel.epochsElapsed(), 1u);
+    duel.tick(5999);
+    EXPECT_EQ(duel.epochsElapsed(), 1u);
+    duel.tick(6000);
+    EXPECT_EQ(duel.epochsElapsed(), 2u);
+}
+
+TEST(SetDueling, MarginGuardsSwitchToB)
+{
+    SetDueling duel(128, 64, 1000);
+    duel.setMargin(0.10);
+    // B better but within the margin: stay with A.
+    duel.addCost(0, 100.0);
+    duel.addCost(1, 95.0);
+    duel.evaluateNow();
+    EXPECT_EQ(duel.winner(), 0);
+    // B clearly better: switch.
+    duel.addCost(0, 100.0);
+    duel.addCost(1, 80.0);
+    duel.evaluateNow();
+    EXPECT_EQ(duel.winner(), 1);
+    // Near-tie falls back to A (bandwidth-conserving default).
+    duel.addCost(0, 100.0);
+    duel.addCost(1, 99.0);
+    duel.evaluateNow();
+    EXPECT_EQ(duel.winner(), 0);
+}
+
+TEST(SetDueling, InitialWinnerConfigurable)
+{
+    SetDueling duel(128, 64, 1000, /*initial_winner=*/1);
+    EXPECT_FALSE(duel.aWins());
+    EXPECT_FALSE(duel.choiceIsA(2));
+}
+
+TEST(SetDueling, RejectsBadConfig)
+{
+    EXPECT_DEATH(SetDueling(1, 64, 1000), "");
+    EXPECT_DEATH(SetDueling(128, 1, 1000), "");
+    EXPECT_DEATH(SetDueling(128, 64, 0), "");
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared helpers for the test suite: tiny hierarchies whose flows
+ * can be reasoned about block-by-block, and a scripted trace source.
+ */
+
+#ifndef LAPSIM_TESTS_TEST_UTIL_HH
+#define LAPSIM_TESTS_TEST_UTIL_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/policy_factory.hh"
+#include "cpu/trace.hh"
+#include "hierarchy/hierarchy.hh"
+
+namespace lap::test
+{
+
+/**
+ * A small hierarchy: 2 cores, 512B 2-way L1, 2KB 4-way L2, 8KB
+ * 4-way LLC (2 banks). Small enough that eviction behaviour is easy
+ * to force, large enough to be a real three-level hierarchy.
+ */
+inline HierarchyParams
+tinyParams(std::uint32_t cores = 2)
+{
+    HierarchyParams hp;
+    hp.numCores = cores;
+    hp.l1.name = "l1";
+    hp.l1.sizeBytes = 512;
+    hp.l1.assoc = 2;
+    hp.l1.readLatency = 2;
+    hp.l1.writeLatency = 2;
+
+    hp.l2.name = "l2";
+    hp.l2.sizeBytes = 2048;
+    hp.l2.assoc = 4;
+    hp.l2.readLatency = 4;
+    hp.l2.writeLatency = 4;
+
+    hp.llc.name = "llc";
+    hp.llc.sizeBytes = 8192;
+    hp.llc.assoc = 4;
+    hp.llc.banks = 2;
+    hp.llc.dataTech = MemTech::STTRAM;
+    hp.llc.readLatency = 8;
+    hp.llc.writeLatency = 33;
+    return hp;
+}
+
+/** tinyParams with a hybrid LLC: 1 SRAM way + 3 STT ways per set. */
+inline HierarchyParams
+tinyHybridParams(std::uint32_t cores = 2)
+{
+    HierarchyParams hp = tinyParams(cores);
+    hp.llc.sramWays = 1;
+    hp.llc.readLatency = 8;
+    hp.llc.writeLatency = 8;
+    hp.llc.sttWriteLatency = 33;
+    return hp;
+}
+
+/** Builds a tiny hierarchy with the given policy. */
+inline std::unique_ptr<CacheHierarchy>
+tinyHierarchy(PolicyKind kind, HierarchyParams hp = tinyParams(),
+              std::unique_ptr<PlacementPolicy> placement = nullptr)
+{
+    PolicyTuning tuning;
+    tuning.epochCycles = 10'000;
+    tuning.leaderPeriod = 2; // tiny caches: every set is a leader
+    const std::uint64_t sets = hp.llc.sizeBytes
+        / (static_cast<std::uint64_t>(hp.llc.assoc) * hp.llc.blockBytes);
+    return std::make_unique<CacheHierarchy>(
+        hp, makeInclusionPolicy(kind, sets, tuning),
+        std::move(placement));
+}
+
+/** Block-granular address helper: block index -> byte address. */
+inline Addr
+blockAddr(std::uint64_t block_index)
+{
+    return block_index * 64;
+}
+
+/** Issues a demand read of block @p index on @p core. */
+inline CacheHierarchy::AccessResult
+readBlock(CacheHierarchy &h, CoreId core, std::uint64_t index,
+          Cycle now = 0)
+{
+    return h.access(core, blockAddr(index), AccessType::Read, now);
+}
+
+/** Issues a demand write of block @p index on @p core. */
+inline CacheHierarchy::AccessResult
+writeBlock(CacheHierarchy &h, CoreId core, std::uint64_t index,
+           Cycle now = 0)
+{
+    return h.access(core, blockAddr(index), AccessType::Write, now);
+}
+
+/**
+ * Touches enough distinct blocks mapping to the same L1/L2 sets to
+ * force @p index out of both private levels of @p core, without
+ * touching the LLC set of @p index more than necessary. With the
+ * tiny geometry every level is small, so simply reading a window of
+ * other blocks congruent modulo the L2 set count works.
+ */
+inline void
+evictFromPrivate(CacheHierarchy &h, CoreId core, std::uint64_t index,
+                 std::uint64_t scratch_base = 1000)
+{
+    const std::uint64_t l2_sets = h.l2(core).numSets();
+    const std::uint32_t ways =
+        h.l2(core).assoc() + h.l1(core).assoc() + 1;
+    for (std::uint32_t i = 1; i <= ways; ++i) {
+        // Congruent to `index` mod the L2 (and L1) set count, far
+        // away in the address space.
+        const std::uint64_t other = index + (scratch_base + i) * l2_sets;
+        readBlock(h, core, other);
+    }
+}
+
+/** Scripted trace source for driver tests. */
+class ScriptTrace : public TraceSource
+{
+  public:
+    explicit ScriptTrace(std::vector<MemRef> refs)
+        : refs_(std::move(refs))
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        MemRef ref = refs_[cursor_ % refs_.size()];
+        cursor_++;
+        return ref;
+    }
+
+    void reset() override { cursor_ = 0; }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace lap::test
+
+#endif // LAPSIM_TESTS_TEST_UTIL_HH

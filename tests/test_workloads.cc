@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators: determinism, address
+ * layout (disjoint private spaces, common shared ranges), region
+ * behaviour, write fractions, and the benchmark/mix catalogues.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/mixes.hh"
+#include "workloads/parsec.hh"
+#include "workloads/regions.hh"
+#include "workloads/spec2006.hh"
+
+namespace lap
+{
+namespace
+{
+
+WorkloadSpec
+loopOnlySpec(std::uint64_t size = 64 * 1024)
+{
+    WorkloadSpec spec;
+    spec.name = "loop-only";
+    RegionSpec r;
+    r.kind = RegionKind::Loop;
+    r.sizeBytes = size;
+    r.weight = 1.0;
+    r.accessesPerBlock = 2;
+    spec.regions = {r};
+    spec.seed = 9;
+    return spec;
+}
+
+TEST(SyntheticTrace, DeterministicPerSeed)
+{
+    const WorkloadSpec spec = spec2006Benchmark("omnetpp");
+    SyntheticTrace a(spec, 0, 1 << 30, 1ULL << 50);
+    SyntheticTrace b(spec, 0, 1 << 30, 1ULL << 50);
+    for (int i = 0; i < 5000; ++i) {
+        const MemRef ra = a.next();
+        const MemRef rb = b.next();
+        EXPECT_EQ(ra.addr, rb.addr);
+        EXPECT_EQ(ra.type, rb.type);
+        EXPECT_EQ(ra.gapInstrs, rb.gapInstrs);
+    }
+}
+
+TEST(SyntheticTrace, ResetRestartsStream)
+{
+    const WorkloadSpec spec = spec2006Benchmark("mcf");
+    SyntheticTrace t(spec, 0, 1 << 30, 1ULL << 50);
+    std::vector<Addr> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(t.next().addr);
+    t.reset();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(t.next().addr, first[i]);
+}
+
+TEST(SyntheticTrace, ThreadsDiverge)
+{
+    const WorkloadSpec spec = spec2006Benchmark("omnetpp");
+    SyntheticTrace a(spec, 0, 1 << 30, 1ULL << 50);
+    SyntheticTrace b(spec, 1, 1 << 30, 1ULL << 50);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next().addr == b.next().addr)
+            equal++;
+    }
+    EXPECT_LT(equal, 100);
+}
+
+TEST(SyntheticTrace, LoopRegionWrapsWithinBounds)
+{
+    const WorkloadSpec spec = loopOnlySpec(64 * 1024);
+    const Addr base = 1 << 30;
+    SyntheticTrace t(spec, 0, base, 1ULL << 50);
+    std::set<Addr> blocks;
+    for (int i = 0; i < 10000; ++i) {
+        const Addr addr = t.next().addr;
+        ASSERT_GE(addr, base);
+        ASSERT_LT(addr, base + 64 * 1024);
+        blocks.insert(addr >> 6);
+    }
+    // 1024 blocks, 2 accesses each: 10000 refs cover them all.
+    EXPECT_EQ(blocks.size(), 1024u);
+}
+
+TEST(SyntheticTrace, WriteFractionApproximatelyHonored)
+{
+    WorkloadSpec spec = loopOnlySpec();
+    spec.regions[0].writeFrac = 0.25;
+    SyntheticTrace t(spec, 0, 1 << 30, 1ULL << 50);
+    int writes = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        if (t.next().type == AccessType::Write)
+            writes++;
+    }
+    EXPECT_NEAR(writes / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(SyntheticTrace, StreamRmwWritesOncePerBlock)
+{
+    WorkloadSpec spec;
+    spec.name = "rmw";
+    RegionSpec r;
+    r.kind = RegionKind::StreamRmw;
+    r.sizeBytes = 1 << 20;
+    r.weight = 1.0;
+    r.accessesPerBlock = 4;
+    spec.regions = {r};
+    SyntheticTrace t(spec, 0, 1 << 30, 1ULL << 50);
+    for (int blk = 0; blk < 1000; ++blk) {
+        for (int i = 0; i < 4; ++i) {
+            const MemRef ref = t.next();
+            if (i < 3)
+                EXPECT_EQ(ref.type, AccessType::Read);
+            else
+                EXPECT_EQ(ref.type, AccessType::Write);
+        }
+    }
+}
+
+TEST(SyntheticTrace, GapsWithinConfiguredRange)
+{
+    WorkloadSpec spec = loopOnlySpec();
+    spec.avgGapInstrs = 20;
+    SyntheticTrace t(spec, 0, 1 << 30, 1ULL << 50);
+    for (int i = 0; i < 5000; ++i) {
+        const auto gap = t.next().gapInstrs;
+        EXPECT_GE(gap, 10u);
+        EXPECT_LE(gap, 30u);
+    }
+}
+
+TEST(Builders, MultiProgrammedSpacesAreDisjoint)
+{
+    const auto traces = buildMultiProgrammed(
+        {spec2006Benchmark("mcf"), spec2006Benchmark("mcf"),
+         spec2006Benchmark("lbm"), spec2006Benchmark("astar")});
+    ASSERT_EQ(traces.size(), 4u);
+    std::vector<std::set<Addr>> tops(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+        for (int i = 0; i < 3000; ++i)
+            tops[c].insert(traces[c]->next().addr >> 40);
+    }
+    for (std::size_t a = 0; a < 4; ++a) {
+        for (std::size_t b = a + 1; b < 4; ++b) {
+            for (Addr t : tops[a])
+                EXPECT_EQ(tops[b].count(t), 0u);
+        }
+    }
+}
+
+TEST(Builders, MultiThreadedSharesMarkedRegions)
+{
+    // canneal's dominant region is shared random traffic: every
+    // thread draws blocks from one common address range.
+    const auto spec = parsecBenchmark("canneal");
+    auto traces = buildMultiThreaded(spec, 4);
+    ASSERT_EQ(traces.size(), 4u);
+    std::vector<std::set<Addr>> blocks(4);
+    for (std::size_t t = 0; t < 4; ++t) {
+        for (int i = 0; i < 40000; ++i) {
+            const Addr a = traces[t]->next().addr;
+            if (a >= (1ULL << 50)) // shared range
+                blocks[t].insert(a >> 6);
+        }
+        EXPECT_FALSE(blocks[t].empty());
+    }
+    // Same address range...
+    EXPECT_EQ(*blocks[0].begin() >> 20, *blocks[1].begin() >> 20);
+    // ...and actually overlapping block sets.
+    int common = 0;
+    for (Addr b : blocks[0]) {
+        if (blocks[1].count(b))
+            common++;
+    }
+    EXPECT_GT(common, 10);
+}
+
+TEST(Catalogue, AllSpecBenchmarksResolve)
+{
+    const auto names = spec2006Names();
+    EXPECT_EQ(names.size(), 13u);
+    for (const auto &name : names) {
+        const WorkloadSpec spec = spec2006Benchmark(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_FALSE(spec.regions.empty());
+        EXPECT_GT(spec.mlp, 0.0);
+    }
+}
+
+TEST(Catalogue, AliasesResolve)
+{
+    EXPECT_EQ(spec2006Benchmark("omn").name, "omnetpp");
+    EXPECT_EQ(spec2006Benchmark("xalan").name, "xalancbmk");
+    EXPECT_EQ(spec2006Benchmark("Gems").name, "GemsFDTD");
+    EXPECT_EQ(spec2006Benchmark("lib").name, "libquantum");
+}
+
+TEST(Catalogue, UnknownBenchmarkIsFatal)
+{
+    EXPECT_DEATH(spec2006Benchmark("specjbb"), "unknown");
+}
+
+TEST(Catalogue, AllParsecBenchmarksResolve)
+{
+    const auto names = parsecNames();
+    EXPECT_EQ(names.size(), 10u);
+    for (const auto &name : names) {
+        const WorkloadSpec spec = parsecBenchmark(name);
+        EXPECT_EQ(spec.name, name);
+        bool any_shared = false;
+        for (const auto &r : spec.regions)
+            any_shared |= r.shared;
+        EXPECT_TRUE(any_shared) << name;
+    }
+}
+
+TEST(Catalogue, LoopHeavyBenchmarksHaveLoopRegions)
+{
+    // The paper's loop-block champions must be modelled with a
+    // dominant loop region between L2 (512KB) and an LLC share.
+    for (const char *name : {"omnetpp", "xalancbmk"}) {
+        const WorkloadSpec spec = spec2006Benchmark(name);
+        double loop_weight = 0.0, total = 0.0;
+        for (const auto &r : spec.regions) {
+            total += r.weight;
+            if (r.kind == RegionKind::Loop) {
+                loop_weight += r.weight;
+                EXPECT_GT(r.sizeBytes, 512u * 1024u);
+                EXPECT_LT(r.sizeBytes, 2u * 1024u * 1024u);
+            }
+        }
+        EXPECT_GT(loop_weight / total, 0.5) << name;
+    }
+}
+
+TEST(Mixes, TableThreeMatchesPaper)
+{
+    const auto mixes = tableThreeMixes();
+    ASSERT_EQ(mixes.size(), 10u);
+    EXPECT_EQ(mixes[0].name, "WL1");
+    EXPECT_EQ(mixes[9].name, "WH5");
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.benchmarks.size(), 4u);
+        for (const auto &b : mix.benchmarks)
+            EXPECT_NO_FATAL_FAILURE(spec2006Benchmark(b));
+    }
+    // Spot checks against Table III.
+    EXPECT_EQ(mixes[2].benchmarks,
+              (std::vector<std::string>{"Gems", "Gems", "Gems", "mcf"}));
+    EXPECT_EQ(mixes[9].benchmarks,
+              (std::vector<std::string>{"xalan", "xalan", "xalan",
+                                        "bzip2"}));
+}
+
+TEST(Mixes, RandomMixesDeterministicAndValid)
+{
+    const auto a = randomMixes(50, 4, 2016);
+    const auto b = randomMixes(50, 4, 2016);
+    ASSERT_EQ(a.size(), 50u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].benchmarks, b[i].benchmarks);
+        EXPECT_EQ(a[i].benchmarks.size(), 4u);
+    }
+    const auto c = randomMixes(50, 4, 999);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].benchmarks != c[i].benchmarks;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Mixes, DuplicateMix)
+{
+    const auto mix = duplicateMix("omnetpp", 4);
+    EXPECT_EQ(mix.benchmarks,
+              (std::vector<std::string>{"omnetpp", "omnetpp", "omnetpp",
+                                        "omnetpp"}));
+}
+
+TEST(Mixes, ResolveDesynchronizesDuplicates)
+{
+    const auto specs = resolveMix(duplicateMix("omnetpp", 4));
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_NE(specs[0].seed, specs[1].seed);
+    EXPECT_NE(specs[1].seed, specs[2].seed);
+}
+
+} // namespace
+} // namespace lap
