@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapsim.dir/lapsim.cc.o"
+  "CMakeFiles/lapsim.dir/lapsim.cc.o.d"
+  "lapsim"
+  "lapsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

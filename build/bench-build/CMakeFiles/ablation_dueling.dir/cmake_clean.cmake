@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dueling"
+  "../bench/ablation_dueling.pdb"
+  "CMakeFiles/ablation_dueling.dir/ablation_dueling.cc.o"
+  "CMakeFiles/ablation_dueling.dir/ablation_dueling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dueling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_inclusive"
+  "../bench/ablation_inclusive.pdb"
+  "CMakeFiles/ablation_inclusive.dir/ablation_inclusive.cc.o"
+  "CMakeFiles/ablation_inclusive.dir/ablation_inclusive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inclusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dasca_combination"
+  "../bench/ext_dasca_combination.pdb"
+  "CMakeFiles/ext_dasca_combination.dir/ext_dasca_combination.cc.o"
+  "CMakeFiles/ext_dasca_combination.dir/ext_dasca_combination.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dasca_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

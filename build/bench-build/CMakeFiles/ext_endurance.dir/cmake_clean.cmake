@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_endurance"
+  "../bench/ext_endurance.pdb"
+  "CMakeFiles/ext_endurance.dir/ext_endurance.cc.o"
+  "CMakeFiles/ext_endurance.dir/ext_endurance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_flip_n_write"
+  "../bench/ext_flip_n_write.pdb"
+  "CMakeFiles/ext_flip_n_write.dir/ext_flip_n_write.cc.o"
+  "CMakeFiles/ext_flip_n_write.dir/ext_flip_n_write.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_flip_n_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

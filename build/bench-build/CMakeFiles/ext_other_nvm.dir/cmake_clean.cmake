@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_other_nvm"
+  "../bench/ext_other_nvm.pdb"
+  "CMakeFiles/ext_other_nvm.dir/ext_other_nvm.cc.o"
+  "CMakeFiles/ext_other_nvm.dir/ext_other_nvm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_other_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

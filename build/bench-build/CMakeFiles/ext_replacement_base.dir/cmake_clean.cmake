@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_replacement_base"
+  "../bench/ext_replacement_base.pdb"
+  "CMakeFiles/ext_replacement_base.dir/ext_replacement_base.cc.o"
+  "CMakeFiles/ext_replacement_base.dir/ext_replacement_base.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_replacement_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

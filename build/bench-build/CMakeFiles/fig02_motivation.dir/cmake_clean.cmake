@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_motivation"
+  "../bench/fig02_motivation.pdb"
+  "CMakeFiles/fig02_motivation.dir/fig02_motivation.cc.o"
+  "CMakeFiles/fig02_motivation.dir/fig02_motivation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

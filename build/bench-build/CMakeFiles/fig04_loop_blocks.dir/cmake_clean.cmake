@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_loop_blocks"
+  "../bench/fig04_loop_blocks.pdb"
+  "CMakeFiles/fig04_loop_blocks.dir/fig04_loop_blocks.cc.o"
+  "CMakeFiles/fig04_loop_blocks.dir/fig04_loop_blocks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_loop_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

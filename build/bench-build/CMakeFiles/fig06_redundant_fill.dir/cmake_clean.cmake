@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_redundant_fill"
+  "../bench/fig06_redundant_fill.pdb"
+  "CMakeFiles/fig06_redundant_fill.dir/fig06_redundant_fill.cc.o"
+  "CMakeFiles/fig06_redundant_fill.dir/fig06_redundant_fill.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_redundant_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_noni_vs_ex"
+  "../bench/fig12_noni_vs_ex.pdb"
+  "CMakeFiles/fig12_noni_vs_ex.dir/fig12_noni_vs_ex.cc.o"
+  "CMakeFiles/fig12_noni_vs_ex.dir/fig12_noni_vs_ex.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_noni_vs_ex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_workload_space"
+  "../bench/fig13_workload_space.pdb"
+  "CMakeFiles/fig13_workload_space.dir/fig13_workload_space.cc.o"
+  "CMakeFiles/fig13_workload_space.dir/fig13_workload_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_workload_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

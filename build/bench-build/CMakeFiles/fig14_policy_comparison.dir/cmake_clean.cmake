@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_policy_comparison"
+  "../bench/fig14_policy_comparison.pdb"
+  "CMakeFiles/fig14_policy_comparison.dir/fig14_policy_comparison.cc.o"
+  "CMakeFiles/fig14_policy_comparison.dir/fig14_policy_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

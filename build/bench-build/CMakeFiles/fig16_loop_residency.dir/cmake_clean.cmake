@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_loop_residency"
+  "../bench/fig16_loop_residency.pdb"
+  "CMakeFiles/fig16_loop_residency.dir/fig16_loop_residency.cc.o"
+  "CMakeFiles/fig16_loop_residency.dir/fig16_loop_residency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_loop_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

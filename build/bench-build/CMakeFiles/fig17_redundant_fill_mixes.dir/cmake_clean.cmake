@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_redundant_fill_mixes"
+  "../bench/fig17_redundant_fill_mixes.pdb"
+  "CMakeFiles/fig17_redundant_fill_mixes.dir/fig17_redundant_fill_mixes.cc.o"
+  "CMakeFiles/fig17_redundant_fill_mixes.dir/fig17_redundant_fill_mixes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_redundant_fill_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_mpki"
+  "../bench/fig18_mpki.pdb"
+  "CMakeFiles/fig18_mpki.dir/fig18_mpki.cc.o"
+  "CMakeFiles/fig18_mpki.dir/fig18_mpki.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_lap_variants"
+  "../bench/fig19_lap_variants.pdb"
+  "CMakeFiles/fig19_lap_variants.dir/fig19_lap_variants.cc.o"
+  "CMakeFiles/fig19_lap_variants.dir/fig19_lap_variants.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_lap_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

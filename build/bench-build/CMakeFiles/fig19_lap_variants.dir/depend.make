@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_lap_variants.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_parsec"
+  "../bench/fig20_parsec.pdb"
+  "CMakeFiles/fig20_parsec.dir/fig20_parsec.cc.o"
+  "CMakeFiles/fig20_parsec.dir/fig20_parsec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_cache_ratio"
+  "../bench/fig21_cache_ratio.pdb"
+  "CMakeFiles/fig21_cache_ratio.dir/fig21_cache_ratio.cc.o"
+  "CMakeFiles/fig21_cache_ratio.dir/fig21_cache_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_cache_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_core_count"
+  "../bench/fig22_core_count.pdb"
+  "CMakeFiles/fig22_core_count.dir/fig22_core_count.cc.o"
+  "CMakeFiles/fig22_core_count.dir/fig22_core_count.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_core_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_energy_ratio"
+  "../bench/fig23_energy_ratio.pdb"
+  "CMakeFiles/fig23_energy_ratio.dir/fig23_energy_ratio.cc.o"
+  "CMakeFiles/fig23_energy_ratio.dir/fig23_energy_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_energy_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

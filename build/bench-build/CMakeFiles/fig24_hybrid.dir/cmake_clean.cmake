@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig24_hybrid"
+  "../bench/fig24_hybrid.pdb"
+  "CMakeFiles/fig24_hybrid.dir/fig24_hybrid.cc.o"
+  "CMakeFiles/fig24_hybrid.dir/fig24_hybrid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig25_lhybrid_ablation"
+  "../bench/fig25_lhybrid_ablation.pdb"
+  "CMakeFiles/fig25_lhybrid_ablation.dir/fig25_lhybrid_ablation.cc.o"
+  "CMakeFiles/fig25_lhybrid_ablation.dir/fig25_lhybrid_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_lhybrid_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_cache_ops"
+  "../bench/micro_cache_ops.pdb"
+  "CMakeFiles/micro_cache_ops.dir/micro_cache_ops.cc.o"
+  "CMakeFiles/micro_cache_ops.dir/micro_cache_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cache_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table01_technology"
+  "../bench/table01_technology.pdb"
+  "CMakeFiles/table01_technology.dir/table01_technology.cc.o"
+  "CMakeFiles/table01_technology.dir/table01_technology.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table02_04_configs"
+  "../bench/table02_04_configs.pdb"
+  "CMakeFiles/table02_04_configs.dir/table02_04_configs.cc.o"
+  "CMakeFiles/table02_04_configs.dir/table02_04_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_04_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_file_replay.dir/trace_file_replay.cpp.o"
+  "CMakeFiles/trace_file_replay.dir/trace_file_replay.cpp.o.d"
+  "trace_file_replay"
+  "trace_file_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_file_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

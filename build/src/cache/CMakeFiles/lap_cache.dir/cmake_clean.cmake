@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_cache.dir/cache.cc.o"
+  "CMakeFiles/lap_cache.dir/cache.cc.o.d"
+  "CMakeFiles/lap_cache.dir/replacement.cc.o"
+  "CMakeFiles/lap_cache.dir/replacement.cc.o.d"
+  "liblap_cache.a"
+  "liblap_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

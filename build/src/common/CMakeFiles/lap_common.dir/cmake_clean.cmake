@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_common.dir/logging.cc.o"
+  "CMakeFiles/lap_common.dir/logging.cc.o.d"
+  "CMakeFiles/lap_common.dir/table.cc.o"
+  "CMakeFiles/lap_common.dir/table.cc.o.d"
+  "liblap_common.a"
+  "liblap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

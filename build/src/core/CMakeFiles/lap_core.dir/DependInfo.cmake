@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dead_write_predictor.cc" "src/core/CMakeFiles/lap_core.dir/dead_write_predictor.cc.o" "gcc" "src/core/CMakeFiles/lap_core.dir/dead_write_predictor.cc.o.d"
+  "/root/repo/src/core/hybrid_placement.cc" "src/core/CMakeFiles/lap_core.dir/hybrid_placement.cc.o" "gcc" "src/core/CMakeFiles/lap_core.dir/hybrid_placement.cc.o.d"
+  "/root/repo/src/core/lap_policy.cc" "src/core/CMakeFiles/lap_core.dir/lap_policy.cc.o" "gcc" "src/core/CMakeFiles/lap_core.dir/lap_policy.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/lap_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/lap_core.dir/policy_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hierarchy/CMakeFiles/lap_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/lap_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

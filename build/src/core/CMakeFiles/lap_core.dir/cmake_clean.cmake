@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_core.dir/dead_write_predictor.cc.o"
+  "CMakeFiles/lap_core.dir/dead_write_predictor.cc.o.d"
+  "CMakeFiles/lap_core.dir/hybrid_placement.cc.o"
+  "CMakeFiles/lap_core.dir/hybrid_placement.cc.o.d"
+  "CMakeFiles/lap_core.dir/lap_policy.cc.o"
+  "CMakeFiles/lap_core.dir/lap_policy.cc.o.d"
+  "CMakeFiles/lap_core.dir/policy_factory.cc.o"
+  "CMakeFiles/lap_core.dir/policy_factory.cc.o.d"
+  "liblap_core.a"
+  "liblap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblap_core.a"
+)

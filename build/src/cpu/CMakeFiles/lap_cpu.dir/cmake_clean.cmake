@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_cpu.dir/driver.cc.o"
+  "CMakeFiles/lap_cpu.dir/driver.cc.o.d"
+  "CMakeFiles/lap_cpu.dir/file_trace.cc.o"
+  "CMakeFiles/lap_cpu.dir/file_trace.cc.o.d"
+  "liblap_cpu.a"
+  "liblap_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/bit_write.cc" "src/energy/CMakeFiles/lap_energy.dir/bit_write.cc.o" "gcc" "src/energy/CMakeFiles/lap_energy.dir/bit_write.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/energy/CMakeFiles/lap_energy.dir/energy_model.cc.o" "gcc" "src/energy/CMakeFiles/lap_energy.dir/energy_model.cc.o.d"
+  "/root/repo/src/energy/tech_params.cc" "src/energy/CMakeFiles/lap_energy.dir/tech_params.cc.o" "gcc" "src/energy/CMakeFiles/lap_energy.dir/tech_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

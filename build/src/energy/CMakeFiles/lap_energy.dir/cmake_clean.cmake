@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_energy.dir/bit_write.cc.o"
+  "CMakeFiles/lap_energy.dir/bit_write.cc.o.d"
+  "CMakeFiles/lap_energy.dir/energy_model.cc.o"
+  "CMakeFiles/lap_energy.dir/energy_model.cc.o.d"
+  "CMakeFiles/lap_energy.dir/tech_params.cc.o"
+  "CMakeFiles/lap_energy.dir/tech_params.cc.o.d"
+  "liblap_energy.a"
+  "liblap_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/hierarchy.cc" "src/hierarchy/CMakeFiles/lap_hierarchy.dir/hierarchy.cc.o" "gcc" "src/hierarchy/CMakeFiles/lap_hierarchy.dir/hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/set_dueling.cc" "src/hierarchy/CMakeFiles/lap_hierarchy.dir/set_dueling.cc.o" "gcc" "src/hierarchy/CMakeFiles/lap_hierarchy.dir/set_dueling.cc.o.d"
+  "/root/repo/src/hierarchy/switching_policies.cc" "src/hierarchy/CMakeFiles/lap_hierarchy.dir/switching_policies.cc.o" "gcc" "src/hierarchy/CMakeFiles/lap_hierarchy.dir/switching_policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/lap_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

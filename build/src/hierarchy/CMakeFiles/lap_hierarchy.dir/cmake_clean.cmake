@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_hierarchy.dir/hierarchy.cc.o"
+  "CMakeFiles/lap_hierarchy.dir/hierarchy.cc.o.d"
+  "CMakeFiles/lap_hierarchy.dir/set_dueling.cc.o"
+  "CMakeFiles/lap_hierarchy.dir/set_dueling.cc.o.d"
+  "CMakeFiles/lap_hierarchy.dir/switching_policies.cc.o"
+  "CMakeFiles/lap_hierarchy.dir/switching_policies.cc.o.d"
+  "liblap_hierarchy.a"
+  "liblap_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_mem.dir/dram.cc.o"
+  "CMakeFiles/lap_mem.dir/dram.cc.o.d"
+  "liblap_mem.a"
+  "liblap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

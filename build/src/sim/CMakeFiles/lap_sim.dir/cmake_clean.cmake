@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_sim.dir/options.cc.o"
+  "CMakeFiles/lap_sim.dir/options.cc.o.d"
+  "CMakeFiles/lap_sim.dir/report.cc.o"
+  "CMakeFiles/lap_sim.dir/report.cc.o.d"
+  "CMakeFiles/lap_sim.dir/simulator.cc.o"
+  "CMakeFiles/lap_sim.dir/simulator.cc.o.d"
+  "liblap_sim.a"
+  "liblap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

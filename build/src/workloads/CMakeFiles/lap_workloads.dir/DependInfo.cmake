@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/mixes.cc" "src/workloads/CMakeFiles/lap_workloads.dir/mixes.cc.o" "gcc" "src/workloads/CMakeFiles/lap_workloads.dir/mixes.cc.o.d"
+  "/root/repo/src/workloads/parsec.cc" "src/workloads/CMakeFiles/lap_workloads.dir/parsec.cc.o" "gcc" "src/workloads/CMakeFiles/lap_workloads.dir/parsec.cc.o.d"
+  "/root/repo/src/workloads/regions.cc" "src/workloads/CMakeFiles/lap_workloads.dir/regions.cc.o" "gcc" "src/workloads/CMakeFiles/lap_workloads.dir/regions.cc.o.d"
+  "/root/repo/src/workloads/spec2006.cc" "src/workloads/CMakeFiles/lap_workloads.dir/spec2006.cc.o" "gcc" "src/workloads/CMakeFiles/lap_workloads.dir/spec2006.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/lap_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/lap_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

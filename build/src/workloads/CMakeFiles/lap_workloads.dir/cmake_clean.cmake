@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lap_workloads.dir/mixes.cc.o"
+  "CMakeFiles/lap_workloads.dir/mixes.cc.o.d"
+  "CMakeFiles/lap_workloads.dir/parsec.cc.o"
+  "CMakeFiles/lap_workloads.dir/parsec.cc.o.d"
+  "CMakeFiles/lap_workloads.dir/regions.cc.o"
+  "CMakeFiles/lap_workloads.dir/regions.cc.o.d"
+  "CMakeFiles/lap_workloads.dir/spec2006.cc.o"
+  "CMakeFiles/lap_workloads.dir/spec2006.cc.o.d"
+  "liblap_workloads.a"
+  "liblap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

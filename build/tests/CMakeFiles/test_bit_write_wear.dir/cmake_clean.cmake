@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_write_wear.dir/test_bit_write_wear.cc.o"
+  "CMakeFiles/test_bit_write_wear.dir/test_bit_write_wear.cc.o.d"
+  "test_bit_write_wear"
+  "test_bit_write_wear.pdb"
+  "test_bit_write_wear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_write_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

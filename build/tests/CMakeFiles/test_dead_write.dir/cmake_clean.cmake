@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dead_write.dir/test_dead_write.cc.o"
+  "CMakeFiles/test_dead_write.dir/test_dead_write.cc.o.d"
+  "test_dead_write"
+  "test_dead_write.pdb"
+  "test_dead_write[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dead_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_property.dir/test_geometry_property.cc.o"
+  "CMakeFiles/test_geometry_property.dir/test_geometry_property.cc.o.d"
+  "test_geometry_property"
+  "test_geometry_property.pdb"
+  "test_geometry_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchy_flows.dir/test_hierarchy_flows.cc.o"
+  "CMakeFiles/test_hierarchy_flows.dir/test_hierarchy_flows.cc.o.d"
+  "test_hierarchy_flows"
+  "test_hierarchy_flows.pdb"
+  "test_hierarchy_flows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchy_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

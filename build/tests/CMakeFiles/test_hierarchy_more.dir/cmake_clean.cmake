@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchy_more.dir/test_hierarchy_more.cc.o"
+  "CMakeFiles/test_hierarchy_more.dir/test_hierarchy_more.cc.o.d"
+  "test_hierarchy_more"
+  "test_hierarchy_more.pdb"
+  "test_hierarchy_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchy_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

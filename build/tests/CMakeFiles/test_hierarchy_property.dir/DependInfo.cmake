@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hierarchy_property.cc" "tests/CMakeFiles/test_hierarchy_property.dir/test_hierarchy_property.cc.o" "gcc" "tests/CMakeFiles/test_hierarchy_property.dir/test_hierarchy_property.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/lap_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/lap_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

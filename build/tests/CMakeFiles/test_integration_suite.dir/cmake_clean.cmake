@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_suite.dir/test_integration_suite.cc.o"
+  "CMakeFiles/test_integration_suite.dir/test_integration_suite.cc.o.d"
+  "test_integration_suite"
+  "test_integration_suite.pdb"
+  "test_integration_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

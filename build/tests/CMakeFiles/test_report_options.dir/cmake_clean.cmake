@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_options.dir/test_report_options.cc.o"
+  "CMakeFiles/test_report_options.dir/test_report_options.cc.o.d"
+  "test_report_options"
+  "test_report_options.pdb"
+  "test_report_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_dueling.dir/test_set_dueling.cc.o"
+  "CMakeFiles/test_set_dueling.dir/test_set_dueling.cc.o.d"
+  "test_set_dueling"
+  "test_set_dueling.pdb"
+  "test_set_dueling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_dueling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

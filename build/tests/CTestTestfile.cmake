@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_replacement[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_set_dueling[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy_flows[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy_property[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_driver_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_dead_write[1]_include.cmake")
+include("/root/repo/build/tests/test_report_options[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy_more[1]_include.cmake")
+include("/root/repo/build/tests/test_bit_write_wear[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry_property[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_suite[1]_include.cmake")
