@@ -254,6 +254,18 @@ class Cache
         }
     }
 
+    /** Number of valid blocks currently resident. */
+    std::uint64_t
+    validBlockCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &blk : blocks_) {
+            if (blk.valid)
+                n++;
+        }
+        return n;
+    }
+
     // --- Explicit energy accounting for flows the helpers above
     // --- do not cover (e.g. tag-only loop-bit updates).
     void countTagAccess() { stats_.tagAccesses++; }

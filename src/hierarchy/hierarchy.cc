@@ -63,6 +63,8 @@ CacheHierarchy::resetStats()
         c->resetStats();
     for (auto &c : l2s_)
         c->resetStats();
+    if (observer_)
+        observer_->onStatsReset();
 }
 
 void
@@ -97,6 +99,7 @@ CacheHierarchy::flushPrivate(CoreId core, Cycle now)
     drain(*l2s_[core], [&](const Cache::Eviction &ev) {
         handleL2Victim(core, ev, now);
     });
+    completeTransaction();
 }
 
 double
@@ -133,6 +136,31 @@ CacheHierarchy::AccessResult
 CacheHierarchy::access(CoreId core, Addr byte_addr, AccessType type,
                        Cycle now, std::uint32_t site)
 {
+    const AccessResult res = accessImpl(core, byte_addr, type, now, site);
+    completeTransaction();
+    return res;
+}
+
+void
+CacheHierarchy::completeTransaction()
+{
+    transactionId_++;
+    if (observer_)
+        observer_->onTransactionComplete(transactionId_);
+}
+
+void
+CacheHierarchy::noteDemandWrite(Addr ba)
+{
+    loopTracker_.onWrite(ba);
+    if (observer_)
+        observer_->onDemandWrite(ba);
+}
+
+CacheHierarchy::AccessResult
+CacheHierarchy::accessImpl(CoreId core, Addr byte_addr, AccessType type,
+                           Cycle now, std::uint32_t site)
+{
     lap_assert(core < params_.numCores, "core %u out of range", core);
     policy_->tick(now);
     stats_.demandAccesses++;
@@ -154,7 +182,7 @@ CacheHierarchy::access(CoreId core, Addr byte_addr, AccessType type,
             if (params_.coherence)
                 upgradeForWrite(core, ba);
             b1->version = verifier_.recordWrite(ba);
-            loopTracker_.onWrite(ba);
+            noteDemandWrite(ba);
             // Fig 10(a): a write ends the block's clean-trip streak;
             // clear the loop-bit on the L2 duplicate as well.
             if (CacheBlock *d2 = l2s_[core]->probe(ba))
@@ -188,10 +216,11 @@ CacheHierarchy::access(CoreId core, Addr byte_addr, AccessType type,
             if (params_.coherence)
                 upgradeForWrite(core, ba);
             l1_version = verifier_.recordWrite(ba);
-            loopTracker_.onWrite(ba);
+            noteDemandWrite(ba);
             l1_dirty = true;
             l1_loop = false;
-            l1_coh = CohState::Modified;
+            if (params_.coherence)
+                l1_coh = CohState::Modified;
             b2->loopBit = false;
         }
         Cache::InsertAttrs attrs;
@@ -332,10 +361,11 @@ CacheHierarchy::fillUpper(CoreId core, Addr ba, bool dirty, bool loop_bit,
     CohState l1_coh = coh;
     if (type == AccessType::Write) {
         l1_version = verifier_.recordWrite(ba);
-        loopTracker_.onWrite(ba);
+        noteDemandWrite(ba);
         l1_dirty = true;
         l1_loop = false;
-        l1_coh = CohState::Modified;
+        if (params_.coherence)
+            l1_coh = CohState::Modified;
         if (CacheBlock *d2 = l2s_[core]->probe(ba))
             d2->loopBit = false;
     }
@@ -385,10 +415,13 @@ CacheHierarchy::handleL2Victim(CoreId core, const Cache::Eviction &ev,
     const Addr ba = ev.blockAddr;
     const std::uint64_t set = llc_->setIndexOf(ba);
 
-    if (ev.dirty)
+    if (ev.dirty) {
         loopTracker_.onDirtyEviction(ba);
-    else
+    } else {
         loopTracker_.onCleanEviction(ba, ev.loopBit);
+        if (observer_)
+            observer_->onCleanL2Eviction(ba, ev.loopBit);
+    }
 
     llc_->countTagAccess(); // duplicate check
     CacheBlock *dup = llc_->probe(ba);

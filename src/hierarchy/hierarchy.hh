@@ -23,6 +23,7 @@
 #include "common/types.hh"
 #include "hierarchy/inclusion_policy.hh"
 #include "hierarchy/loop_tracker.hh"
+#include "hierarchy/observer.hh"
 #include "hierarchy/placement.hh"
 #include "hierarchy/write_filter.hh"
 #include "mem/dram.hh"
@@ -137,16 +138,36 @@ class CacheHierarchy
 
     // --- Component access -------------------------------------------
     Cache &l1(CoreId core) { return *l1s_.at(core); }
+    const Cache &l1(CoreId core) const { return *l1s_.at(core); }
     Cache &l2(CoreId core) { return *l2s_.at(core); }
+    const Cache &l2(CoreId core) const { return *l2s_.at(core); }
     Cache &llc() { return *llc_; }
     const Cache &llc() const { return *llc_; }
     Dram &dram() { return dram_; }
     Verifier &verifier() { return verifier_; }
+    const Verifier &verifier() const { return verifier_; }
     LoopTracker &loopTracker() { return loopTracker_; }
+    const LoopTracker &loopTracker() const { return loopTracker_; }
     InclusionPolicy &policy() { return *policy_; }
+    const InclusionPolicy &policy() const { return *policy_; }
     PlacementPolicy &placement() { return *placement_; }
     WriteFilter *writeFilter() { return writeFilter_.get(); }
+    const WriteFilter *writeFilter() const { return writeFilter_.get(); }
     const HierarchyParams &params() const { return params_; }
+
+    // --- Observation --------------------------------------------------
+    /**
+     * Registers (or, with nullptr, clears) the passive observer.
+     * At most one observer is attached at a time; registering a new
+     * one silently replaces the previous. The observer must outlive
+     * the hierarchy or deregister itself first.
+     */
+    void setObserver(HierarchyObserver *observer) { observer_ = observer; }
+    HierarchyObserver *observer() const { return observer_; }
+
+    /** Completed demand accesses / flushes since construction.
+     *  Never reset: diagnostic time base for the auditor. */
+    std::uint64_t transactionCount() const { return transactionId_; }
 
     HierarchyStats &stats() { return stats_; }
     const HierarchyStats &stats() const { return stats_; }
@@ -173,6 +194,8 @@ class CacheHierarchy
 
   private:
     // --- Demand path helpers ---------------------------------------
+    AccessResult accessImpl(CoreId core, Addr byte_addr, AccessType type,
+                            Cycle now, std::uint32_t site);
     AccessResult serviceFromLlcHit(CoreId core, Addr ba, AccessType type,
                                    Cycle now, CacheBlock &blk,
                                    std::uint32_t site);
@@ -196,6 +219,11 @@ class CacheHierarchy
 
     void countLlcWrite(std::uint64_t set, WriteClass cls);
     void noteFillTouched(CacheBlock &blk);
+
+    /** Records a demand write with the loop tracker and observer. */
+    void noteDemandWrite(Addr ba);
+    /** Marks the end of a transaction and notifies the observer. */
+    void completeTransaction();
 
     /** Trains the write filter with an ended insertion's outcome. */
     void observeInsertionOutcome(std::uint32_t site, bool referenced);
@@ -236,6 +264,8 @@ class CacheHierarchy
     Verifier verifier_;
     LoopTracker loopTracker_;
     HierarchyStats stats_;
+    HierarchyObserver *observer_ = nullptr;
+    std::uint64_t transactionId_ = 0;
 };
 
 } // namespace lap

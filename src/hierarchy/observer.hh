@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Passive observation hooks into the hierarchy engine.
+ *
+ * A HierarchyObserver is notified at well-defined points of the
+ * demand-access and victim flows so that analysis layers (the
+ * HierarchyAuditor in src/sim, tracing, statistics probes) can
+ * follow the hierarchy's evolution without the engine depending on
+ * them. Observers must not mutate the hierarchy from a callback:
+ * all hooks fire at points where the transaction's state is
+ * consistent, and re-entering the engine would invalidate that.
+ */
+
+#ifndef LAPSIM_HIERARCHY_OBSERVER_HH
+#define LAPSIM_HIERARCHY_OBSERVER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** Callback interface for passive hierarchy instrumentation. */
+class HierarchyObserver
+{
+  public:
+    virtual ~HierarchyObserver() = default;
+
+    /**
+     * A demand access (or a flushPrivate drain) finished and the
+     * hierarchy is in a consistent inter-transaction state.
+     * @p transaction is the 1-based count of completed transactions.
+     */
+    virtual void onTransactionComplete(std::uint64_t transaction)
+    {
+        (void)transaction;
+    }
+
+    /** A demand write dirtied @p block_addr (clean streak ends). */
+    virtual void onDemandWrite(Addr block_addr) { (void)block_addr; }
+
+    /**
+     * A clean L2 victim of @p block_addr left a private level.
+     * @p loop_trip is the victim's loop-bit: true when this eviction
+     * completes a clean L2<->LLC trip (paper Fig 10), which is the
+     * only event that may set (or refresh) an LLC loop-bit.
+     */
+    virtual void onCleanL2Eviction(Addr block_addr, bool loop_trip)
+    {
+        (void)block_addr;
+        (void)loop_trip;
+    }
+
+    /** All statistics counters were reset (warmup -> measure). */
+    virtual void onStatsReset() {}
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_OBSERVER_HH

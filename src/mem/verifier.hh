@@ -80,6 +80,19 @@ class Verifier
     }
 
     /**
+     * Applies @p fn(block_addr, latest_version) to every address that
+     * has ever been written. Iteration order is unspecified. Used by
+     * the hierarchy auditor's data-loss sweep.
+     */
+    template <typename Fn>
+    void
+    forEachLatest(Fn &&fn) const
+    {
+        for (const auto &[addr, version] : latest_)
+            fn(addr, version);
+    }
+
+    /**
      * Asserts a dirty block being dropped (never legal) — used to
      * flag code paths that would silently discard modified data.
      */

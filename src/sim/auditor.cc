@@ -1,0 +1,625 @@
+#include "sim/auditor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+/** Strength order of MOESI states (enum order is I<S<E<O<M). */
+CohState
+strongerState(CohState a, CohState b)
+{
+    return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b)
+        ? a
+        : b;
+}
+
+} // namespace
+
+const char *
+toString(AuditCheck check)
+{
+    switch (check) {
+      case AuditCheck::DuplicateTagInSet: return "DuplicateTagInSet";
+      case AuditCheck::WrongSetIndex: return "WrongSetIndex";
+      case AuditCheck::GhostState: return "GhostState";
+      case AuditCheck::BlockCountMismatch: return "BlockCountMismatch";
+      case AuditCheck::VersionAhead: return "VersionAhead";
+      case AuditCheck::DataLoss: return "DataLoss";
+      case AuditCheck::StatRegression: return "StatRegression";
+      case AuditCheck::InclusionHole: return "InclusionHole";
+      case AuditCheck::ExclusiveDuplicate: return "ExclusiveDuplicate";
+      case AuditCheck::UnexpectedFill: return "UnexpectedFill";
+      case AuditCheck::CleanBlockNotFilled: return "CleanBlockNotFilled";
+      case AuditCheck::PolicyStatMismatch: return "PolicyStatMismatch";
+      case AuditCheck::LoopBitUnclassified: return "LoopBitUnclassified";
+      case AuditCheck::CoherenceLeak: return "CoherenceLeak";
+      case AuditCheck::CoherenceExclusivity:
+        return "CoherenceExclusivity";
+      case AuditCheck::NumChecks: break;
+    }
+    return "UnknownCheck";
+}
+
+std::string
+AuditDiagnostic::format() const
+{
+    return csprintf(
+        "[audit] %s policy=%s txn=%llu cache=%s set=%llu way=%u "
+        "block=0x%llx: %s",
+        lap::toString(check), policy.c_str(),
+        static_cast<unsigned long long>(transaction),
+        cache.empty() ? "-" : cache.c_str(),
+        static_cast<unsigned long long>(set), way,
+        static_cast<unsigned long long>(blockAddr), detail.c_str());
+}
+
+HierarchyAuditor::HierarchyAuditor(CacheHierarchy &hierarchy,
+                                   PolicyKind kind, AuditorConfig config)
+    : hier_(hierarchy), kind_(kind), config_(config)
+{
+    lap_assert(hier_.observer() == nullptr,
+               "hierarchy already has an observer attached");
+    hier_.setObserver(this);
+    // The auditor may attach to a warm hierarchy: adopt the loop-bits
+    // already resident in the LLC as classified.
+    hier_.llc().forEachBlock([&](const CacheBlock &blk) {
+        if (blk.loopBit)
+            loopClassified_.insert(blk.blockAddr);
+    });
+    rebaseline();
+}
+
+HierarchyAuditor::~HierarchyAuditor()
+{
+    if (hier_.observer() == this)
+        hier_.setObserver(nullptr);
+}
+
+void
+HierarchyAuditor::onTransactionComplete(std::uint64_t transaction)
+{
+    if (config_.interval != 0 && transaction % config_.interval == 0)
+        auditNow();
+}
+
+void
+HierarchyAuditor::onDemandWrite(Addr block_addr)
+{
+    // A write ends the clean-trip streak: the next LLC loop-bit for
+    // this address must come from a fresh classifying trip. A stale
+    // LLC loop-bit may linger while the dirty copy lives upstream;
+    // checkLlcBlock() accounts for that case explicitly.
+    loopClassified_.erase(block_addr);
+}
+
+void
+HierarchyAuditor::onCleanL2Eviction(Addr block_addr, bool loop_trip)
+{
+    if (loop_trip)
+        loopClassified_.insert(block_addr);
+    else
+        loopClassified_.erase(block_addr);
+}
+
+void
+HierarchyAuditor::onStatsReset()
+{
+    rebaseline();
+}
+
+void
+HierarchyAuditor::rebaseline()
+{
+    occupancyBase_.clear();
+    for (const Cache *cache : allCaches()) {
+        const CacheStats &s = cache->stats();
+        const std::int64_t flux = static_cast<std::int64_t>(s.fills)
+            - static_cast<std::int64_t>(s.evictionsClean)
+            - static_cast<std::int64_t>(s.evictionsDirty)
+            - static_cast<std::int64_t>(s.invalidations);
+        occupancyBase_.push_back(
+            static_cast<std::int64_t>(cache->validBlockCount()) - flux);
+    }
+    statSnapshot_.clear();
+    haveSnapshot_ = false;
+}
+
+std::vector<const Cache *>
+HierarchyAuditor::allCaches() const
+{
+    const CacheHierarchy &h = hier_;
+    std::vector<const Cache *> caches;
+    for (CoreId c = 0; c < h.params().numCores; ++c)
+        caches.push_back(&h.l1(c));
+    for (CoreId c = 0; c < h.params().numCores; ++c)
+        caches.push_back(&h.l2(c));
+    caches.push_back(&h.llc());
+    return caches;
+}
+
+bool
+HierarchyAuditor::llcEverFills() const
+{
+    return kind_ == PolicyKind::Inclusive
+        || kind_ == PolicyKind::NonInclusive;
+}
+
+bool
+HierarchyAuditor::llcNeverFills() const
+{
+    return kind_ == PolicyKind::Exclusive || kind_ == PolicyKind::LapLru
+        || kind_ == PolicyKind::LapLoop || kind_ == PolicyKind::Lap;
+}
+
+AuditDiagnostic
+HierarchyAuditor::makeDiag(AuditCheck check, const Cache *cache,
+                           std::uint64_t set, std::uint32_t way,
+                           Addr block_addr, std::string detail) const
+{
+    AuditDiagnostic diag;
+    diag.check = check;
+    diag.cache = cache ? cache->params().name : "";
+    diag.set = set;
+    diag.way = way;
+    diag.blockAddr = block_addr;
+    diag.policy = lap::toString(kind_);
+    diag.transaction = hier_.transactionCount();
+    diag.detail = std::move(detail);
+    return diag;
+}
+
+void
+HierarchyAuditor::report(AuditDiagnostic diag)
+{
+    violations_++;
+    perCheck_[static_cast<std::size_t>(diag.check)]++;
+    if (config_.mode == AuditMode::FailFast)
+        lap_panic("%s", diag.format().c_str());
+    if (violations_ <= config_.maxLogged)
+        lap_warn("%s", diag.format().c_str());
+    if (diagnostics_.size() < config_.maxStored)
+        diagnostics_.push_back(std::move(diag));
+}
+
+void
+HierarchyAuditor::clearDiagnostics()
+{
+    diagnostics_.clear();
+    violations_ = 0;
+    std::fill(std::begin(perCheck_), std::end(perCheck_), 0);
+}
+
+void
+HierarchyAuditor::auditNow()
+{
+    auditsRun_++;
+    Sweep sweep;
+    const CacheHierarchy &h = hier_;
+
+    // Private levels first: the LLC checks consult what they found.
+    for (CoreId c = 0; c < h.params().numCores; ++c) {
+        scanCache(h.l1(c), /*is_private=*/true, c, sweep);
+        scanCache(h.l2(c), /*is_private=*/true, c, sweep);
+    }
+    scanCache(h.llc(), /*is_private=*/false, 0, sweep);
+
+    checkBlockCounts();
+    checkCoherenceGlobal(sweep);
+    checkDataLoss(sweep);
+    checkPolicyStats();
+    checkInclusionHoles();
+    checkExclusiveDuplicates();
+    checkStatMonotonicity();
+}
+
+void
+HierarchyAuditor::scanCache(const Cache &cache, bool is_private,
+                            CoreId core, Sweep &sweep)
+{
+    const bool coherence = hier_.params().coherence;
+    for (std::uint64_t set = 0; set < cache.numSets(); ++set) {
+        for (std::uint32_t way = 0; way < cache.assoc(); ++way) {
+            const CacheBlock &blk = cache.blockAt(set, way);
+            if (!blk.valid) {
+                if (blk.dirty || blk.loopBit
+                    || blk.coh != CohState::Invalid
+                    || blk.fillState != FillState::NotFill
+                    || blk.version != 0) {
+                    report(makeDiag(
+                        AuditCheck::GhostState, &cache, set, way,
+                        blk.blockAddr,
+                        csprintf("invalid entry retains state "
+                                 "(dirty=%d loop=%d coh=%s fill=%d "
+                                 "version=%llu)",
+                                 blk.dirty, blk.loopBit,
+                                 lap::toString(blk.coh),
+                                 static_cast<int>(blk.fillState),
+                                 static_cast<unsigned long long>(
+                                     blk.version))));
+                }
+                continue;
+            }
+
+            if (cache.setIndexOf(blk.blockAddr) != set) {
+                report(makeDiag(
+                    AuditCheck::WrongSetIndex, &cache, set, way,
+                    blk.blockAddr,
+                    csprintf("tag maps to set %llu",
+                             static_cast<unsigned long long>(
+                                 cache.setIndexOf(blk.blockAddr)))));
+            }
+            for (std::uint32_t prior = 0; prior < way; ++prior) {
+                const CacheBlock &other = cache.blockAt(set, prior);
+                if (other.valid && other.blockAddr == blk.blockAddr) {
+                    report(makeDiag(
+                        AuditCheck::DuplicateTagInSet, &cache, set, way,
+                        blk.blockAddr,
+                        csprintf("duplicate of way %u", prior)));
+                }
+            }
+
+            const std::uint64_t latest =
+                hier_.verifier().latest(blk.blockAddr);
+            if (blk.version > latest) {
+                report(makeDiag(
+                    AuditCheck::VersionAhead, &cache, set, way,
+                    blk.blockAddr,
+                    csprintf("cached v%llu, verifier latest v%llu",
+                             static_cast<unsigned long long>(blk.version),
+                             static_cast<unsigned long long>(latest))));
+            }
+            auto &max_version = sweep.cachedVersion[blk.blockAddr];
+            max_version = std::max(max_version, blk.version);
+
+            if (is_private) {
+                if (blk.dirty)
+                    sweep.privateDirty.insert(blk.blockAddr);
+                if (coherence && blk.coh == CohState::Invalid) {
+                    report(makeDiag(
+                        AuditCheck::CoherenceLeak, &cache, set, way,
+                        blk.blockAddr,
+                        "valid private block without coherence state"));
+                } else if (!coherence
+                           && blk.coh != CohState::Invalid) {
+                    report(makeDiag(
+                        AuditCheck::CoherenceLeak, &cache, set, way,
+                        blk.blockAddr,
+                        csprintf("coherence state %s with snooping "
+                                 "disabled",
+                                 lap::toString(blk.coh))));
+                }
+                if (coherence) {
+                    auto &states = sweep.privateState[blk.blockAddr];
+                    states.resize(hier_.params().numCores,
+                                  CohState::Invalid);
+                    states[core] = strongerState(states[core], blk.coh);
+                }
+            } else {
+                checkLlcBlock(blk, set, way, sweep);
+            }
+        }
+    }
+}
+
+void
+HierarchyAuditor::checkLlcBlock(const CacheBlock &blk, std::uint64_t set,
+                                std::uint32_t way, const Sweep &sweep)
+{
+    const Cache &llc = hier_.llc();
+    if (blk.coh != CohState::Invalid) {
+        report(makeDiag(AuditCheck::CoherenceLeak, &llc, set, way,
+                        blk.blockAddr,
+                        csprintf("LLC block carries coherence state %s",
+                                 lap::toString(blk.coh))));
+    }
+
+    // FLEXclusion/Dswitch sets migrate between modes mid-run, so a
+    // block's fill lifecycle may predate its set's current mode; the
+    // structural fill checks only apply to the static policies.
+    if (llcNeverFills() && blk.fillState != FillState::NotFill) {
+        report(makeDiag(
+            AuditCheck::UnexpectedFill, &llc, set, way, blk.blockAddr,
+            csprintf("demand-fill state %d under a no-fill policy",
+                     static_cast<int>(blk.fillState))));
+    }
+    if (llcEverFills() && !blk.dirty
+        && blk.fillState == FillState::NotFill) {
+        report(makeDiag(
+            AuditCheck::CleanBlockNotFilled, &llc, set, way,
+            blk.blockAddr,
+            "clean LLC block was never demand-filled under a "
+            "fill-on-miss policy"));
+    }
+
+    if (blk.loopBit && loopClassified_.count(blk.blockAddr) == 0
+        && sweep.privateDirty.count(blk.blockAddr) == 0) {
+        report(makeDiag(
+            AuditCheck::LoopBitUnclassified, &llc, set, way,
+            blk.blockAddr,
+            "LLC loop-bit without a classifying clean trip or an "
+            "upstream dirty copy"));
+    }
+}
+
+void
+HierarchyAuditor::checkBlockCounts()
+{
+    const std::vector<const Cache *> caches = allCaches();
+    lap_assert(caches.size() == occupancyBase_.size(),
+               "cache topology changed under the auditor");
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+        const Cache &cache = *caches[i];
+        const CacheStats &s = cache.stats();
+        const std::int64_t flux = static_cast<std::int64_t>(s.fills)
+            - static_cast<std::int64_t>(s.evictionsClean)
+            - static_cast<std::int64_t>(s.evictionsDirty)
+            - static_cast<std::int64_t>(s.invalidations);
+        const std::int64_t expect = occupancyBase_[i] + flux;
+        const std::int64_t actual =
+            static_cast<std::int64_t>(cache.validBlockCount());
+        if (actual != expect) {
+            report(makeDiag(
+                AuditCheck::BlockCountMismatch, &cache, 0, 0, 0,
+                csprintf("%lld valid blocks, counters explain %lld "
+                         "(fills=%llu evC=%llu evD=%llu inv=%llu)",
+                         static_cast<long long>(actual),
+                         static_cast<long long>(expect),
+                         static_cast<unsigned long long>(s.fills),
+                         static_cast<unsigned long long>(
+                             s.evictionsClean),
+                         static_cast<unsigned long long>(
+                             s.evictionsDirty),
+                         static_cast<unsigned long long>(
+                             s.invalidations))));
+        }
+    }
+}
+
+void
+HierarchyAuditor::checkCoherenceGlobal(const Sweep &sweep)
+{
+    if (!hier_.params().coherence)
+        return;
+    for (const auto &[addr, states] : sweep.privateState) {
+        std::uint32_t holders = 0;
+        std::uint32_t owners = 0; // cores in M or O
+        bool exclusive_claim = false;
+        for (CohState st : states) {
+            if (st == CohState::Invalid)
+                continue;
+            holders++;
+            if (st == CohState::Modified || st == CohState::Owned)
+                owners++;
+            if (st == CohState::Modified || st == CohState::Exclusive)
+                exclusive_claim = true;
+        }
+        if (exclusive_claim && holders > 1) {
+            report(makeDiag(
+                AuditCheck::CoherenceExclusivity, nullptr, 0, 0, addr,
+                csprintf("E/M copy coexists with %u other holder(s)",
+                         holders - 1)));
+        }
+        if (owners > 1) {
+            report(makeDiag(
+                AuditCheck::CoherenceExclusivity, nullptr, 0, 0, addr,
+                csprintf("%u cores hold the block in M/O", owners)));
+        }
+    }
+}
+
+void
+HierarchyAuditor::checkDataLoss(const Sweep &sweep)
+{
+    hier_.verifier().forEachLatest([&](Addr addr, std::uint64_t latest) {
+        std::uint64_t reachable = hier_.verifier().memVersion(addr);
+        auto it = sweep.cachedVersion.find(addr);
+        if (it != sweep.cachedVersion.end())
+            reachable = std::max(reachable, it->second);
+        if (reachable < latest) {
+            report(makeDiag(
+                AuditCheck::DataLoss, nullptr, 0, 0, addr,
+                csprintf("latest v%llu unreachable (best copy v%llu)",
+                         static_cast<unsigned long long>(latest),
+                         static_cast<unsigned long long>(reachable))));
+        }
+    });
+}
+
+void
+HierarchyAuditor::checkPolicyStats()
+{
+    const HierarchyStats &s = hier_.stats();
+    auto expect_zero = [&](std::uint64_t value, const char *name) {
+        if (value != 0) {
+            report(makeDiag(
+                AuditCheck::PolicyStatMismatch, nullptr, 0, 0, 0,
+                csprintf("%s=%llu but the policy forbids it", name,
+                         static_cast<unsigned long long>(value))));
+        }
+    };
+
+    switch (kind_) {
+      case PolicyKind::Inclusive:
+        expect_zero(s.llcWritesCleanVictim, "llcWritesCleanVictim");
+        expect_zero(s.llcInvalidationsOnHit, "llcInvalidationsOnHit");
+        expect_zero(s.llcLoopBlockInsertions, "llcLoopBlockInsertions");
+        break;
+      case PolicyKind::NonInclusive:
+        expect_zero(s.llcWritesCleanVictim, "llcWritesCleanVictim");
+        expect_zero(s.llcInvalidationsOnHit, "llcInvalidationsOnHit");
+        expect_zero(s.llcLoopBlockInsertions, "llcLoopBlockInsertions");
+        expect_zero(s.llcBackInvalidations, "llcBackInvalidations");
+        break;
+      case PolicyKind::Exclusive:
+        expect_zero(s.llcWritesDataFill, "llcWritesDataFill");
+        expect_zero(s.llcDemandFills, "llcDemandFills");
+        expect_zero(s.llcRedundantFills, "llcRedundantFills");
+        expect_zero(s.llcDeadFills, "llcDeadFills");
+        expect_zero(s.llcBackInvalidations, "llcBackInvalidations");
+        if (s.llcInvalidationsOnHit != s.llcHits) {
+            report(makeDiag(
+                AuditCheck::PolicyStatMismatch, nullptr, 0, 0, 0,
+                csprintf("exclusive LLC: %llu hits but %llu "
+                         "invalidations-on-hit",
+                         static_cast<unsigned long long>(s.llcHits),
+                         static_cast<unsigned long long>(
+                             s.llcInvalidationsOnHit))));
+        }
+        break;
+      case PolicyKind::LapLru:
+      case PolicyKind::LapLoop:
+      case PolicyKind::Lap:
+        expect_zero(s.llcWritesDataFill, "llcWritesDataFill");
+        expect_zero(s.llcDemandFills, "llcDemandFills");
+        expect_zero(s.llcRedundantFills, "llcRedundantFills");
+        expect_zero(s.llcDeadFills, "llcDeadFills");
+        expect_zero(s.llcBackInvalidations, "llcBackInvalidations");
+        expect_zero(s.llcInvalidationsOnHit, "llcInvalidationsOnHit");
+        break;
+      case PolicyKind::Flexclusion:
+      case PolicyKind::Dswitch:
+        expect_zero(s.llcBackInvalidations, "llcBackInvalidations");
+        break;
+    }
+}
+
+void
+HierarchyAuditor::checkInclusionHoles()
+{
+    if (kind_ != PolicyKind::Inclusive)
+        return;
+    // A dead-write filter legitimately bypasses LLC fills, punching
+    // holes strict inclusion would otherwise forbid.
+    if (hier_.writeFilter() != nullptr)
+        return;
+    const CacheHierarchy &h = hier_;
+    for (CoreId c = 0; c < h.params().numCores; ++c) {
+        for (const Cache *upper : {&h.l1(c), &h.l2(c)}) {
+            upper->forEachBlock([&](const CacheBlock &blk) {
+                if (h.llc().probe(blk.blockAddr) == nullptr) {
+                    report(makeDiag(
+                        AuditCheck::InclusionHole, upper,
+                        upper->setIndexOf(blk.blockAddr),
+                        upper->wayOf(blk), blk.blockAddr,
+                        "private block has no LLC copy under strict "
+                        "inclusion"));
+                }
+            });
+        }
+    }
+}
+
+void
+HierarchyAuditor::checkExclusiveDuplicates()
+{
+    // Exclusion is only strict per core: with multiple cores a block
+    // can legitimately live in one core's private caches and in the
+    // LLC via another core's victim, so the check is single-core.
+    if (kind_ != PolicyKind::Exclusive || hier_.params().numCores != 1)
+        return;
+    const CacheHierarchy &h = hier_;
+    const Cache &llc = h.llc();
+    llc.forEachBlock([&](const CacheBlock &blk) {
+        const CacheBlock *dup = h.l2(0).probe(blk.blockAddr);
+        if (dup == nullptr)
+            return;
+        // Legal transient: the L1 kept the block across its L2
+        // eviction into the LLC, was then written, and the dirty L1
+        // victim re-entered the L2 — newer dirty data above a stale
+        // LLC copy. Anything else is illegal duplication.
+        if (dup->dirty && dup->version > blk.version)
+            return;
+        report(makeDiag(
+            AuditCheck::ExclusiveDuplicate, &llc,
+            llc.setIndexOf(blk.blockAddr), llc.wayOf(blk),
+            blk.blockAddr,
+            csprintf("L2 duplicate (dirty=%d v%llu vs LLC v%llu) under "
+                     "exclusion",
+                     dup->dirty,
+                     static_cast<unsigned long long>(dup->version),
+                     static_cast<unsigned long long>(blk.version))));
+    });
+}
+
+void
+HierarchyAuditor::checkStatMonotonicity()
+{
+    const bool record_names = statNames_.empty();
+    std::vector<std::uint64_t> shot;
+    auto put = [&](const std::string &name, std::uint64_t value) {
+        if (record_names)
+            statNames_.push_back(name);
+        shot.push_back(value);
+    };
+    for (const Cache *cache : allCaches()) {
+        const CacheStats &s = cache->stats();
+        const std::string &n = cache->params().name;
+        put(n + ".readHits", s.readHits);
+        put(n + ".readMisses", s.readMisses);
+        put(n + ".writeHits", s.writeHits);
+        put(n + ".writeMisses", s.writeMisses);
+        put(n + ".fills", s.fills);
+        put(n + ".evictionsClean", s.evictionsClean);
+        put(n + ".evictionsDirty", s.evictionsDirty);
+        put(n + ".invalidations", s.invalidations);
+        put(n + ".tagAccesses", s.tagAccesses);
+        put(n + ".dataReads.sram", s.dataReads[0]);
+        put(n + ".dataReads.stt", s.dataReads[1]);
+        put(n + ".dataWrites.sram", s.dataWrites[0]);
+        put(n + ".dataWrites.stt", s.dataWrites[1]);
+    }
+    const HierarchyStats &hs = hier_.stats();
+    put("hier.demandAccesses", hs.demandAccesses);
+    put("hier.demandReads", hs.demandReads);
+    put("hier.demandWrites", hs.demandWrites);
+    put("hier.l1Hits", hs.l1Hits);
+    put("hier.l2Hits", hs.l2Hits);
+    put("hier.llcHits", hs.llcHits);
+    put("hier.llcMisses", hs.llcMisses);
+    put("hier.llcWritesDataFill", hs.llcWritesDataFill);
+    put("hier.llcWritesCleanVictim", hs.llcWritesCleanVictim);
+    put("hier.llcWritesDirtyVictim", hs.llcWritesDirtyVictim);
+    put("hier.llcWritesMigration", hs.llcWritesMigration);
+    put("hier.llcCleanVictimsDropped", hs.llcCleanVictimsDropped);
+    put("hier.llcLoopBlockInsertions", hs.llcLoopBlockInsertions);
+    put("hier.llcDemandFills", hs.llcDemandFills);
+    put("hier.llcRedundantFills", hs.llcRedundantFills);
+    put("hier.llcDeadFills", hs.llcDeadFills);
+    put("hier.llcBackInvalidations", hs.llcBackInvalidations);
+    put("hier.llcInvalidationsOnHit", hs.llcInvalidationsOnHit);
+    put("hier.llcBypassedWrites", hs.llcBypassedWrites);
+    put("hier.snoop.broadcasts", hs.snoop.broadcasts);
+    put("hier.snoop.messages", hs.snoop.messages);
+    put("hier.snoop.dataTransfers", hs.snoop.dataTransfers);
+    put("hier.snoop.invalidations", hs.snoop.invalidations);
+    put("hier.snoop.upgrades", hs.snoop.upgrades);
+    put("dram.reads", hier_.dram().stats().reads);
+    put("dram.writes", hier_.dram().stats().writes);
+
+    if (haveSnapshot_) {
+        lap_assert(shot.size() == statSnapshot_.size(),
+                   "stat snapshot layout changed under the auditor");
+        for (std::size_t i = 0; i < shot.size(); ++i) {
+            if (shot[i] < statSnapshot_[i]) {
+                report(makeDiag(
+                    AuditCheck::StatRegression, nullptr, 0, 0, 0,
+                    csprintf("%s fell from %llu to %llu",
+                             statNames_[i].c_str(),
+                             static_cast<unsigned long long>(
+                                 statSnapshot_[i]),
+                             static_cast<unsigned long long>(
+                                 shot[i]))));
+            }
+        }
+    }
+    statSnapshot_ = std::move(shot);
+    haveSnapshot_ = true;
+}
+
+} // namespace lap

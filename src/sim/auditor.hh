@@ -1,0 +1,218 @@
+/**
+ * @file
+ * HierarchyAuditor: runtime invariant checker for the cache
+ * hierarchy.
+ *
+ * After each transaction (or every N, configurable) the auditor
+ * walks the L1/L2/LLC tag arrays and the verifier's shadow store and
+ * checks that the hierarchy still satisfies both the
+ * policy-independent structural invariants (no duplicate tags in a
+ * set, no ghost state on invalid entries, block counts consistent
+ * with the event counters, versions never ahead of the verifier,
+ * monotone statistics) and the invariants implied by the active
+ * inclusion policy (inclusion holes, exclusive duplication, fills
+ * under no-fill policies, coherence-state legality). Violations are
+ * reported as structured diagnostics through src/common/logging,
+ * either aborting on the first one (fail-fast) or counting and
+ * continuing.
+ *
+ * The auditor is a passive HierarchyObserver: it registers itself on
+ * construction, never mutates the hierarchy, and maintains only
+ * shadow state of its own (the set of loop-classified addresses and
+ * per-cache occupancy baselines). See DESIGN.md for the invariant
+ * catalog and the per-policy carve-outs.
+ */
+
+#ifndef LAPSIM_SIM_AUDITOR_HH
+#define LAPSIM_SIM_AUDITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/policy_factory.hh"
+#include "hierarchy/hierarchy.hh"
+#include "hierarchy/observer.hh"
+
+namespace lap
+{
+
+/** What the auditor does when an invariant fails. */
+enum class AuditMode : std::uint8_t
+{
+    FailFast, //!< panic on the first violation (tests, fuzzing).
+    Count,    //!< record and keep simulating (diagnosis runs).
+};
+
+/** The invariant classes the auditor checks. */
+enum class AuditCheck : std::uint8_t
+{
+    // --- Policy-independent structural invariants --------------------
+    DuplicateTagInSet,    //!< Two valid ways of a set share a tag.
+    WrongSetIndex,        //!< A block sits in a set its tag denies.
+    GhostState,           //!< An invalid entry retains live state.
+    BlockCountMismatch,   //!< Occupancy disagrees with counters.
+    VersionAhead,         //!< A cached version the verifier never saw.
+    DataLoss,             //!< The newest version is nowhere anymore.
+    StatRegression,       //!< A monotone counter decreased.
+    // --- Inclusion-policy invariants ---------------------------------
+    InclusionHole,        //!< Inclusive: private block with no LLC copy.
+    ExclusiveDuplicate,   //!< Exclusive: illegal L2/LLC duplication.
+    UnexpectedFill,       //!< No-fill policy: a demand-fill landed.
+    CleanBlockNotFilled,  //!< Fill policy: clean LLC block never filled.
+    PolicyStatMismatch,   //!< A counter the policy forbids moved.
+    LoopBitUnclassified,  //!< LLC loop-bit without a classifying trip.
+    // --- Coherence invariants ----------------------------------------
+    CoherenceLeak,        //!< Coherence state where none may exist.
+    CoherenceExclusivity, //!< E/M/O held more widely than allowed.
+
+    NumChecks, // sentinel
+};
+
+const char *toString(AuditCheck check);
+
+/** One reported violation. */
+struct AuditDiagnostic
+{
+    AuditCheck check = AuditCheck::NumChecks;
+    /** Cache the violation was found in ("" = hierarchy-wide). */
+    std::string cache;
+    std::uint64_t set = 0;
+    std::uint32_t way = 0;
+    Addr blockAddr = 0;
+    std::string policy;
+    /** Transaction count when the audit ran. */
+    std::uint64_t transaction = 0;
+    std::string detail;
+
+    /** Renders the diagnostic as a single log line. */
+    std::string format() const;
+};
+
+/** Auditor knobs. */
+struct AuditorConfig
+{
+    AuditMode mode = AuditMode::FailFast;
+    /** Audit every N completed transactions; 0 = only on auditNow(). */
+    std::uint64_t interval = 1;
+    /** Diagnostics retained in Count mode (further ones only count). */
+    std::size_t maxStored = 256;
+    /** Diagnostics echoed through lap_warn in Count mode. */
+    std::size_t maxLogged = 16;
+};
+
+/**
+ * The invariant checker. Attaches to the hierarchy as its observer
+ * for the auditor's lifetime; at most one auditor (or other
+ * observer) per hierarchy. The audited hierarchy must outlive it.
+ */
+class HierarchyAuditor final : public HierarchyObserver
+{
+  public:
+    HierarchyAuditor(CacheHierarchy &hierarchy, PolicyKind kind,
+                     AuditorConfig config = {});
+    ~HierarchyAuditor() override;
+
+    HierarchyAuditor(const HierarchyAuditor &) = delete;
+    HierarchyAuditor &operator=(const HierarchyAuditor &) = delete;
+
+    /** Runs a full audit pass immediately. */
+    void auditNow();
+
+    std::uint64_t auditsRun() const { return auditsRun_; }
+    std::uint64_t violationCount() const { return violations_; }
+    const std::vector<AuditDiagnostic> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    /** Violations of one check recorded so far (Count mode). */
+    std::uint64_t
+    violationsOf(AuditCheck check) const
+    {
+        return perCheck_[static_cast<std::size_t>(check)];
+    }
+
+    bool hasViolation(AuditCheck check) const
+    {
+        return violationsOf(check) > 0;
+    }
+
+    /** Drops recorded diagnostics and counts (audit count stays). */
+    void clearDiagnostics();
+
+    const AuditorConfig &config() const { return config_; }
+    PolicyKind policyKind() const { return kind_; }
+
+    // --- HierarchyObserver -------------------------------------------
+    void onTransactionComplete(std::uint64_t transaction) override;
+    void onDemandWrite(Addr block_addr) override;
+    void onCleanL2Eviction(Addr block_addr, bool loop_trip) override;
+    void onStatsReset() override;
+
+  private:
+    /** Scratch assembled during one audit pass. */
+    struct Sweep
+    {
+        /** addr -> newest version found in any cache. */
+        std::unordered_map<Addr, std::uint64_t> cachedVersion;
+        /** addr -> a private cache holds a dirty copy. */
+        std::unordered_set<Addr> privateDirty;
+        /** addr -> strongest private coherence state per core. */
+        std::unordered_map<Addr, std::vector<CohState>> privateState;
+    };
+
+    void report(AuditDiagnostic diag);
+    AuditDiagnostic makeDiag(AuditCheck check, const Cache *cache,
+                             std::uint64_t set, std::uint32_t way,
+                             Addr block_addr, std::string detail) const;
+
+    void scanCache(const Cache &cache, bool is_private, CoreId core,
+                   Sweep &sweep);
+    void checkLlcBlock(const CacheBlock &blk, std::uint64_t set,
+                       std::uint32_t way, const Sweep &sweep);
+    void checkCoherenceGlobal(const Sweep &sweep);
+    void checkDataLoss(const Sweep &sweep);
+    void checkBlockCounts();
+    void checkPolicyStats();
+    void checkInclusionHoles();
+    void checkExclusiveDuplicates();
+    void checkStatMonotonicity();
+
+    /** Recomputes occupancy baselines and drops the stat snapshot. */
+    void rebaseline();
+
+    std::vector<const Cache *> allCaches() const;
+    bool llcEverFills() const;
+    bool llcNeverFills() const;
+
+    CacheHierarchy &hier_;
+    PolicyKind kind_;
+    AuditorConfig config_;
+
+    /** Addresses whose last clean L2 eviction completed a loop trip
+     *  (the only event that may set or refresh an LLC loop-bit). */
+    std::unordered_set<Addr> loopClassified_;
+
+    /** Per-cache occupancy baseline: valid blocks the cache held
+     *  beyond what its (possibly reset) counters explain. */
+    std::vector<std::int64_t> occupancyBase_;
+
+    /** Monotone-counter layout (fixed per topology) and last values. */
+    std::vector<std::string> statNames_;
+    std::vector<std::uint64_t> statSnapshot_;
+    bool haveSnapshot_ = false;
+
+    std::uint64_t auditsRun_ = 0;
+    std::uint64_t violations_ = 0;
+    std::uint64_t perCheck_[static_cast<std::size_t>(
+        AuditCheck::NumChecks)] = {};
+    std::vector<AuditDiagnostic> diagnostics_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_SIM_AUDITOR_HH

@@ -79,6 +79,10 @@ struct SimConfig
     std::uint64_t warmupRefs = 160'000;
     std::uint64_t measureRefs = 640'000;
 
+    /** Run the hierarchy auditor every N transactions in fail-fast
+     *  mode (0 disables auditing). */
+    std::uint64_t auditInterval = 0;
+
     std::uint64_t seedSalt = 0;
 };
 

@@ -152,6 +152,10 @@ parseCliOptions(const std::vector<std::string> &args)
             opts.config.warmupRefs = parseUint(flag, next());
         } else if (flag == "--seed") {
             opts.config.seedSalt = parseUint(flag, next());
+        } else if (flag == "--audit") {
+            opts.config.auditInterval = parseUint(flag, next());
+            if (opts.config.auditInterval == 0)
+                lap_fatal("--audit: interval must be >= 1");
         } else if (flag == "--stats") {
             opts.dumpStats = true;
         } else if (flag == "--json") {
@@ -196,6 +200,8 @@ cliHelpText()
         "run control:\n"
         "  --refs N / --warmup N   measured / warmup refs per core\n"
         "  --seed N                workload seed salt\n"
+        "  --audit N               fail-fast invariant audit of the\n"
+        "                          hierarchy every N transactions\n"
         "  --json PATH             write config+metrics as JSON\n"
         "  --stats                 print the full counter dump\n";
 }

@@ -34,10 +34,11 @@ applyEnvScaling(SimConfig config)
         if (parsed > 0.0)
             scale = parsed;
     }
-    config.warmupRefs =
-        static_cast<std::uint64_t>(config.warmupRefs * scale);
+    config.warmupRefs = static_cast<std::uint64_t>(
+        static_cast<double>(config.warmupRefs) * scale);
     config.measureRefs = std::max<std::uint64_t>(
-        1000, static_cast<std::uint64_t>(config.measureRefs * scale));
+        1000, static_cast<std::uint64_t>(
+                  static_cast<double>(config.measureRefs) * scale));
     return config;
 }
 
@@ -131,6 +132,13 @@ Simulator::Simulator(const SimConfig &config)
     hierarchy_ = std::make_unique<CacheHierarchy>(
         buildHierarchyParams(config_), buildPolicy(config_),
         buildPlacement(config_), std::move(filter));
+    if (config_.auditInterval != 0) {
+        AuditorConfig ac;
+        ac.mode = AuditMode::FailFast;
+        ac.interval = config_.auditInterval;
+        auditor_ = std::make_unique<HierarchyAuditor>(
+            *hierarchy_, config_.policy, ac);
+    }
 }
 
 Metrics

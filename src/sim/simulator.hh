@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cpu/driver.hh"
+#include "sim/auditor.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
 #include "workloads/regions.hh"
@@ -48,11 +49,16 @@ class Simulator
     CacheHierarchy &hierarchy() { return *hierarchy_; }
     const SimConfig &config() const { return config_; }
 
+    /** The attached auditor, or nullptr when auditInterval == 0. */
+    HierarchyAuditor *auditor() { return auditor_.get(); }
+
   private:
     Metrics extractMetrics(const RunResult &run_result) const;
 
     SimConfig config_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
+    /** Declared after hierarchy_: the auditor detaches first. */
+    std::unique_ptr<HierarchyAuditor> auditor_;
 };
 
 } // namespace lap

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * HierarchyAuditor diagnostics tests.
+ *
+ * Each test deliberately corrupts one aspect of an otherwise healthy
+ * hierarchy and asserts the auditor reports exactly that violation —
+ * proving every invariant class is actually detectable rather than
+ * vacuously green. A clean-traffic test pins down the zero-violation
+ * baseline the corruptions are measured against.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/auditor.hh"
+#include "test_util.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::blockAddr;
+using test::readBlock;
+using test::tinyParams;
+using test::writeBlock;
+
+/** A hierarchy with a count-and-continue auditor for inspection. */
+struct Audited
+{
+    std::unique_ptr<CacheHierarchy> h;
+    std::unique_ptr<HierarchyAuditor> auditor;
+};
+
+Audited
+makeAudited(PolicyKind kind, HierarchyParams hp = tinyParams(),
+            std::uint64_t interval = 0)
+{
+    PolicyTuning tuning;
+    tuning.epochCycles = 10'000;
+    tuning.leaderPeriod = 2;
+    const std::uint64_t sets = hp.llc.sizeBytes
+        / (static_cast<std::uint64_t>(hp.llc.assoc) * hp.llc.blockBytes);
+    Audited a;
+    a.h = std::make_unique<CacheHierarchy>(
+        hp, makeInclusionPolicy(kind, sets, tuning));
+    AuditorConfig ac;
+    ac.mode = AuditMode::Count;
+    ac.interval = interval;
+    ac.maxLogged = 0; // keep test output quiet
+    a.auditor = std::make_unique<HierarchyAuditor>(*a.h, kind, ac);
+    return a;
+}
+
+/** Asserts the auditor found @p check and nothing else. */
+void
+expectOnly(const HierarchyAuditor &auditor, AuditCheck check)
+{
+    EXPECT_TRUE(auditor.hasViolation(check))
+        << "expected a " << toString(check) << " violation";
+    EXPECT_EQ(auditor.violationCount(), auditor.violationsOf(check))
+        << "expected only " << toString(check) << " violations";
+    EXPECT_FALSE(auditor.diagnostics().empty());
+    if (!auditor.diagnostics().empty()) {
+        EXPECT_EQ(auditor.diagnostics().front().check, check);
+    }
+}
+
+// --- Baseline ---------------------------------------------------------
+
+TEST(Auditor, CleanTrafficHasNoViolations)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        auto a = makeAudited(kind);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t blk =
+                static_cast<std::uint64_t>(i * 7) % 300;
+            if (i % 3 == 0)
+                writeBlock(*a.h, 0, blk);
+            else
+                readBlock(*a.h, static_cast<CoreId>(i % 2), blk);
+        }
+        a.h->resetStats(); // exercise counter rebaselining
+        for (int i = 0; i < 500; ++i)
+            readBlock(*a.h, 0, static_cast<std::uint64_t>(i) % 100);
+        a.h->flushPrivate(0);
+        a.auditor->auditNow();
+        EXPECT_GT(a.auditor->auditsRun(), 0u);
+        EXPECT_EQ(a.auditor->violationCount(), 0u)
+            << "policy " << toString(kind) << ": "
+            << a.auditor->diagnostics().front().format();
+    }
+}
+
+TEST(Auditor, IntervalControlsAutoAudits)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive, tinyParams(),
+                         /*interval=*/4);
+    for (int i = 0; i < 8; ++i)
+        readBlock(*a.h, 0, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(a.auditor->auditsRun(), 2u);
+    EXPECT_EQ(a.auditor->violationCount(), 0u);
+}
+
+TEST(Auditor, RefusesSecondObserver)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    EXPECT_DEATH(HierarchyAuditor(*a.h, PolicyKind::NonInclusive, {}),
+                 "observer");
+}
+
+TEST(Auditor, FailFastPanicsOnCorruption)
+{
+    HierarchyParams hp = tinyParams();
+    PolicyTuning tuning;
+    tuning.epochCycles = 10'000;
+    tuning.leaderPeriod = 2;
+    CacheHierarchy h(hp, makeInclusionPolicy(PolicyKind::NonInclusive,
+                                             32, tuning));
+    AuditorConfig ac; // FailFast, every transaction
+    HierarchyAuditor auditor(h, PolicyKind::NonInclusive, ac);
+    readBlock(h, 0, 1);
+    h.l1(0).probe(1)->dirty = true;
+    h.l1(0).probe(1)->valid = false;
+    EXPECT_DEATH(readBlock(h, 0, 2), "GhostState");
+}
+
+// --- Structural corruptions -------------------------------------------
+
+TEST(Auditor, DetectsDuplicateTagInSet)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    const std::uint64_t sets = a.h->llc().numSets();
+    readBlock(*a.h, 0, 1);
+    readBlock(*a.h, 0, 1 + sets); // same LLC set, different tag
+    CacheBlock *blk = a.h->llc().probe(1 + sets);
+    ASSERT_NE(blk, nullptr);
+    blk->blockAddr = 1; // now two ways of the set claim tag 1
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::DuplicateTagInSet);
+}
+
+TEST(Auditor, DetectsWrongSetIndex)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    readBlock(*a.h, 0, 2);
+    CacheBlock *blk = a.h->llc().probe(2);
+    ASSERT_NE(blk, nullptr);
+    blk->blockAddr = 3; // tag that indexes a different set
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::WrongSetIndex);
+}
+
+TEST(Auditor, DetectsGhostState)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    readBlock(*a.h, 0, 1);
+    // A never-used way holding dirty state: an invalidation that
+    // forgot to clear the block.
+    a.h->llc().blockAt(0, 3).dirty = true;
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::GhostState);
+}
+
+TEST(Auditor, DetectsBlockCountMismatch)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    readBlock(*a.h, 0, 5);
+    // Vanishing block: valid dropped without an invalidation event.
+    CacheBlock *blk = a.h->l1(0).probe(5);
+    ASSERT_NE(blk, nullptr);
+    blk->valid = false;
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::BlockCountMismatch);
+}
+
+TEST(Auditor, DetectsVersionAhead)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    readBlock(*a.h, 0, 7);
+    CacheBlock *blk = a.h->llc().probe(7);
+    ASSERT_NE(blk, nullptr);
+    blk->version = 999; // a write the verifier never saw
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::VersionAhead);
+}
+
+TEST(Auditor, DetectsDataLoss)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    writeBlock(*a.h, 0, 9); // dirty v1 lives only in the L1
+    CacheBlock *blk = a.h->l1(0).probe(9);
+    ASSERT_NE(blk, nullptr);
+    ASSERT_TRUE(blk->dirty);
+    a.h->l1(0).invalidateBlock(*blk); // newest version gone everywhere
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::DataLoss);
+}
+
+TEST(Auditor, DetectsStatRegression)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    for (int i = 0; i < 50; ++i)
+        readBlock(*a.h, 0, static_cast<std::uint64_t>(i));
+    a.auditor->auditNow(); // snapshot
+    ASSERT_EQ(a.auditor->violationCount(), 0u);
+    a.h->llc().stats().tagAccesses -= 1;
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::StatRegression);
+}
+
+// --- Inclusion-policy corruptions -------------------------------------
+
+TEST(Auditor, DetectsInclusionHole)
+{
+    auto a = makeAudited(PolicyKind::Inclusive);
+    readBlock(*a.h, 0, 11);
+    CacheBlock *blk = a.h->llc().probe(11);
+    ASSERT_NE(blk, nullptr);
+    a.h->llc().invalidateBlock(*blk); // LLC copy gone, L1/L2 remain
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::InclusionHole);
+    // Both the L1 and the L2 copy are now uncovered.
+    EXPECT_EQ(a.auditor->violationsOf(AuditCheck::InclusionHole), 2u);
+}
+
+TEST(Auditor, DetectsExclusiveDuplicate)
+{
+    auto a = makeAudited(PolicyKind::Exclusive, tinyParams(/*cores=*/1));
+    readBlock(*a.h, 0, 13); // exclusive: lives in L1/L2 only
+    ASSERT_EQ(a.h->llc().probe(13), nullptr);
+    a.h->llc().insert(13, Cache::InsertAttrs{}); // illegal duplicate
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::ExclusiveDuplicate);
+}
+
+TEST(Auditor, AcceptsLegalExclusiveRedirty)
+{
+    // The one legal L2/LLC overlap under exclusion: L1 kept the block
+    // across its clean L2 eviction into the LLC, was written, and the
+    // dirty victim re-entered the L2 above the stale LLC copy.
+    auto a = makeAudited(PolicyKind::Exclusive, tinyParams(/*cores=*/1));
+    readBlock(*a.h, 0, 13);
+    test::evictFromPrivate(*a.h, 0, 13);
+    readBlock(*a.h, 0, 13); // back up from the LLC
+    a.auditor->auditNow();
+    EXPECT_EQ(a.auditor->violationCount(), 0u);
+}
+
+TEST(Auditor, DetectsUnexpectedFill)
+{
+    auto a = makeAudited(PolicyKind::Lap);
+    readBlock(*a.h, 0, 15);
+    Cache::InsertAttrs attrs;
+    attrs.fillState = FillState::FillUntouched; // a fill LAP forbids
+    a.h->llc().insert(999, attrs);
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::UnexpectedFill);
+}
+
+TEST(Auditor, DetectsCleanBlockNotFilled)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    readBlock(*a.h, 0, 17);
+    // A clean block that never came through the demand-fill path.
+    a.h->llc().insert(999, Cache::InsertAttrs{});
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::CleanBlockNotFilled);
+}
+
+TEST(Auditor, DetectsPolicyStatMismatch)
+{
+    auto a = makeAudited(PolicyKind::Lap);
+    readBlock(*a.h, 0, 19);
+    a.h->stats().llcDemandFills++; // LAP never demand-fills
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::PolicyStatMismatch);
+}
+
+TEST(Auditor, DetectsLoopBitUnclassified)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive);
+    readBlock(*a.h, 0, 21);
+    CacheBlock *blk = a.h->llc().probe(21);
+    ASSERT_NE(blk, nullptr);
+    blk->loopBit = true; // no clean trip ever classified this block
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::LoopBitUnclassified);
+}
+
+// --- Coherence corruptions --------------------------------------------
+
+TEST(Auditor, DetectsCoherenceLeak)
+{
+    auto a = makeAudited(PolicyKind::NonInclusive); // snooping off
+    readBlock(*a.h, 0, 23);
+    CacheBlock *blk = a.h->l1(0).probe(23);
+    ASSERT_NE(blk, nullptr);
+    blk->coh = CohState::Shared;
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::CoherenceLeak);
+}
+
+TEST(Auditor, DetectsCoherenceExclusivityViolation)
+{
+    HierarchyParams hp = tinyParams(/*cores=*/2);
+    hp.coherence = true;
+    auto a = makeAudited(PolicyKind::NonInclusive, hp);
+    readBlock(*a.h, 0, 25);
+    readBlock(*a.h, 1, 25); // both cores now Shared
+    CacheBlock *blk = a.h->l1(0).probe(25);
+    ASSERT_NE(blk, nullptr);
+    ASSERT_EQ(blk->coh, CohState::Shared);
+    blk->coh = CohState::Modified; // M while a peer still holds S
+    a.auditor->auditNow();
+    expectOnly(*a.auditor, AuditCheck::CoherenceExclusivity);
+}
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Randomized audit fuzzer: hammers every inclusion policy with
+ * seeded-random traffic while a fail-fast HierarchyAuditor rides
+ * along, so any transaction sequence that leaves the hierarchy in a
+ * state violating the invariant catalog aborts the test at the first
+ * bad audit. Each policy kind sees at least 100k transactions across
+ * single-core, coherent multi-core, and private multi-core shapes;
+ * the LAP policy additionally runs on the hybrid LLC under every
+ * Lhybrid placement variant.
+ *
+ * The traffic mix deliberately exercises the paths the auditor
+ * reasons about: a hot loop-like window (loop trips, loop-bit
+ * refreshes), a wider cold region (evictions, back-invalidations),
+ * demand writes (classification downgrades, dirty victims),
+ * occasional private-cache flushes, stat resets (rebaselining), and
+ * tracker flushes, with simulated time advancing so the set-dueling
+ * policies (FLEXclusion, Dswitch) cross epoch boundaries and switch
+ * per-set modes mid-run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "core/hybrid_placement.hh"
+#include "test_util.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::tinyHybridParams;
+using test::tinyParams;
+
+enum class Shape
+{
+    OneCore,       //!< single core, one address range.
+    SharedCoherent, //!< 2 cores, shared range, snooping on.
+    PrivateRanges, //!< 2 cores, disjoint ranges, snooping off.
+};
+
+enum class Placement
+{
+    None,
+    Lhybrid,
+    WinvOnly,
+    LoopSttOnly,
+    NloopSramOnly,
+};
+
+struct FuzzSpec
+{
+    PolicyKind kind;
+    Shape shape;
+    Placement placement;
+    /** Transactions to complete (the loop runs until the hierarchy's
+     *  transaction counter reaches this). */
+    std::uint64_t transactions;
+    std::uint64_t seed;
+};
+
+std::unique_ptr<PlacementPolicy>
+makePlacement(Placement p)
+{
+    switch (p) {
+      case Placement::None: return nullptr;
+      case Placement::Lhybrid: return LhybridPlacement::lhybrid();
+      case Placement::WinvOnly: return LhybridPlacement::winvOnly();
+      case Placement::LoopSttOnly: return LhybridPlacement::loopSttOnly();
+      case Placement::NloopSramOnly:
+        return LhybridPlacement::nloopSramOnly();
+    }
+    return nullptr;
+}
+
+const char *
+toString(Shape s)
+{
+    switch (s) {
+      case Shape::OneCore: return "1core";
+      case Shape::SharedCoherent: return "2coreShared";
+      case Shape::PrivateRanges: return "2corePrivate";
+    }
+    return "?";
+}
+
+const char *
+toString(Placement p)
+{
+    switch (p) {
+      case Placement::None: return "";
+      case Placement::Lhybrid: return "Lhybrid";
+      case Placement::WinvOnly: return "Winv";
+      case Placement::LoopSttOnly: return "LoopStt";
+      case Placement::NloopSramOnly: return "NloopSram";
+    }
+    return "?";
+}
+
+std::string
+specName(const ::testing::TestParamInfo<FuzzSpec> &info)
+{
+    std::string name = lap::toString(info.param.kind);
+    for (auto &ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    }
+    name += "_";
+    name += toString(info.param.shape);
+    if (info.param.placement != Placement::None) {
+        name += "_";
+        name += toString(info.param.placement);
+    }
+    return name;
+}
+
+class AuditFuzz : public ::testing::TestWithParam<FuzzSpec>
+{
+};
+
+TEST_P(AuditFuzz, RandomTrafficSatisfiesEveryInvariant)
+{
+    const FuzzSpec &spec = GetParam();
+    const std::uint32_t cores =
+        spec.shape == Shape::OneCore ? 1u : 2u;
+    HierarchyParams hp = spec.placement == Placement::None
+        ? tinyParams(cores)
+        : tinyHybridParams(cores);
+    hp.coherence = spec.shape == Shape::SharedCoherent;
+
+    PolicyTuning tuning;
+    tuning.epochCycles = 10'000;
+    tuning.leaderPeriod = 2;
+    const std::uint64_t sets = hp.llc.sizeBytes
+        / (static_cast<std::uint64_t>(hp.llc.assoc) * hp.llc.blockBytes);
+    CacheHierarchy hier(hp, makeInclusionPolicy(spec.kind, sets, tuning),
+                        makePlacement(spec.placement));
+
+    AuditorConfig ac;
+    ac.mode = AuditMode::FailFast;
+    ac.interval = 16;
+    HierarchyAuditor auditor(hier, spec.kind, ac);
+
+    Rng rng(spec.seed);
+    Cycle now = 0;
+    while (hier.transactionCount() < spec.transactions) {
+        const CoreId core = static_cast<CoreId>(rng.below(cores));
+        // Disjoint per-core ranges when snooping is off: without
+        // coherence, cross-core sharing would be a legitimate
+        // verifier failure, not an auditor bug.
+        const std::uint64_t base =
+            spec.shape == Shape::PrivateRanges
+                ? static_cast<std::uint64_t>(core) << 16
+                : 0;
+        // 60% of traffic in a hot loop-like window (fits the LLC,
+        // exceeds L2: loop trips and loop-bit refreshes); the rest
+        // in a wider region forcing LLC evictions.
+        const std::uint64_t idx =
+            rng.chance(0.6) ? rng.below(96) : rng.below(512);
+        const Addr addr = (base + idx) * 64;
+
+        if (rng.chance(1.0 / 4096)) {
+            hier.flushPrivate(core, now);
+        } else if (rng.chance(1.0 / 8192)) {
+            hier.resetStats();
+        } else if (rng.chance(1.0 / 8192)) {
+            hier.finishMeasurement();
+        } else {
+            const AccessType type = rng.chance(0.3) ? AccessType::Write
+                                                    : AccessType::Read;
+            hier.access(core, addr, type, now);
+        }
+        now += rng.below(16) + 1;
+    }
+
+    // One last full pass over the final state.
+    auditor.auditNow();
+
+    EXPECT_GE(auditor.auditsRun(), spec.transactions / ac.interval);
+    EXPECT_EQ(auditor.violationCount(), 0u);
+    // The run must have been long enough to cross set-dueling epoch
+    // boundaries (mid-run FLEXclusion/Dswitch mode switches).
+    EXPECT_GT(now, 10 * tuning.epochCycles);
+}
+
+constexpr std::uint64_t kFull = 100'000;
+constexpr std::uint64_t kMulti = 60'000;
+constexpr std::uint64_t kAblation = 40'000;
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, AuditFuzz,
+    ::testing::Values(
+        // Single core: the full 100k per policy kind.
+        FuzzSpec{PolicyKind::Inclusive, Shape::OneCore, Placement::None,
+                 kFull, 0xA001},
+        FuzzSpec{PolicyKind::NonInclusive, Shape::OneCore,
+                 Placement::None, kFull, 0xA002},
+        FuzzSpec{PolicyKind::Exclusive, Shape::OneCore, Placement::None,
+                 kFull, 0xA003},
+        FuzzSpec{PolicyKind::Flexclusion, Shape::OneCore,
+                 Placement::None, kFull, 0xA004},
+        FuzzSpec{PolicyKind::Dswitch, Shape::OneCore, Placement::None,
+                 kFull, 0xA005},
+        FuzzSpec{PolicyKind::LapLru, Shape::OneCore, Placement::None,
+                 kFull, 0xA006},
+        FuzzSpec{PolicyKind::LapLoop, Shape::OneCore, Placement::None,
+                 kFull, 0xA007},
+        FuzzSpec{PolicyKind::Lap, Shape::OneCore, Placement::None,
+                 kFull, 0xA008},
+        // Two cores sharing one range under MOESI snooping.
+        FuzzSpec{PolicyKind::Inclusive, Shape::SharedCoherent,
+                 Placement::None, kMulti, 0xB001},
+        FuzzSpec{PolicyKind::NonInclusive, Shape::SharedCoherent,
+                 Placement::None, kMulti, 0xB002},
+        FuzzSpec{PolicyKind::Exclusive, Shape::SharedCoherent,
+                 Placement::None, kMulti, 0xB003},
+        FuzzSpec{PolicyKind::Flexclusion, Shape::SharedCoherent,
+                 Placement::None, kMulti, 0xB004},
+        FuzzSpec{PolicyKind::Dswitch, Shape::SharedCoherent,
+                 Placement::None, kMulti, 0xB005},
+        FuzzSpec{PolicyKind::LapLru, Shape::SharedCoherent,
+                 Placement::None, kMulti, 0xB006},
+        FuzzSpec{PolicyKind::LapLoop, Shape::SharedCoherent,
+                 Placement::None, kMulti, 0xB007},
+        FuzzSpec{PolicyKind::Lap, Shape::SharedCoherent,
+                 Placement::None, kMulti, 0xB008},
+        // Two cores on disjoint ranges, snooping off.
+        FuzzSpec{PolicyKind::Inclusive, Shape::PrivateRanges,
+                 Placement::None, kMulti, 0xC001},
+        FuzzSpec{PolicyKind::NonInclusive, Shape::PrivateRanges,
+                 Placement::None, kMulti, 0xC002},
+        FuzzSpec{PolicyKind::Exclusive, Shape::PrivateRanges,
+                 Placement::None, kMulti, 0xC003},
+        FuzzSpec{PolicyKind::Flexclusion, Shape::PrivateRanges,
+                 Placement::None, kMulti, 0xC004},
+        FuzzSpec{PolicyKind::Dswitch, Shape::PrivateRanges,
+                 Placement::None, kMulti, 0xC005},
+        FuzzSpec{PolicyKind::LapLru, Shape::PrivateRanges,
+                 Placement::None, kMulti, 0xC006},
+        FuzzSpec{PolicyKind::LapLoop, Shape::PrivateRanges,
+                 Placement::None, kMulti, 0xC007},
+        FuzzSpec{PolicyKind::Lap, Shape::PrivateRanges, Placement::None,
+                 kMulti, 0xC008},
+        // LAP on the hybrid LLC: the paper's Lhybrid combination at
+        // full length, plus the three ablation placements.
+        FuzzSpec{PolicyKind::Lap, Shape::OneCore, Placement::Lhybrid,
+                 kFull, 0xD001},
+        FuzzSpec{PolicyKind::Lap, Shape::SharedCoherent,
+                 Placement::Lhybrid, kMulti, 0xD002},
+        FuzzSpec{PolicyKind::Lap, Shape::OneCore, Placement::WinvOnly,
+                 kAblation, 0xD003},
+        FuzzSpec{PolicyKind::Lap, Shape::OneCore, Placement::LoopSttOnly,
+                 kAblation, 0xD004},
+        FuzzSpec{PolicyKind::Lap, Shape::OneCore,
+                 Placement::NloopSramOnly, kAblation, 0xD005}),
+    specName);
+
+} // namespace
+} // namespace lap

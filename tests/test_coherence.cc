@@ -19,7 +19,7 @@ using test::tinyHierarchy;
 using test::tinyParams;
 using test::writeBlock;
 
-std::unique_ptr<CacheHierarchy>
+test::TestHierarchy
 coherentHierarchy(PolicyKind kind = PolicyKind::NonInclusive)
 {
     HierarchyParams hp = tinyParams(/*cores=*/2);

@@ -47,7 +47,7 @@ using Combo = std::tuple<PolicyKind, LlcShape>;
 class PolicyProperty : public ::testing::TestWithParam<Combo>
 {
   protected:
-    std::unique_ptr<CacheHierarchy>
+    test::TestHierarchy
     build() const
     {
         const auto [kind, shape] = GetParam();

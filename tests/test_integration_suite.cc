@@ -29,6 +29,8 @@ smallConfig()
     cfg.warmupRefs = 10'000;
     cfg.measureRefs = 50'000;
     cfg.tuning.epochCycles = 50'000;
+    // Fail-fast invariant audits ride along on every integration run.
+    cfg.auditInterval = 997;
     return cfg;
 }
 

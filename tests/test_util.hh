@@ -13,6 +13,7 @@
 #include "core/policy_factory.hh"
 #include "cpu/trace.hh"
 #include "hierarchy/hierarchy.hh"
+#include "sim/auditor.hh"
 
 namespace lap::test
 {
@@ -61,8 +62,28 @@ tinyHybridParams(std::uint32_t cores = 2)
     return hp;
 }
 
-/** Builds a tiny hierarchy with the given policy. */
-inline std::unique_ptr<CacheHierarchy>
+/**
+ * A hierarchy with a fail-fast HierarchyAuditor riding along, so
+ * every existing hierarchy test doubles as an invariant test.
+ * Behaves like the std::unique_ptr<CacheHierarchy> it replaced.
+ */
+struct TestHierarchy
+{
+    std::unique_ptr<CacheHierarchy> hierarchy;
+    std::unique_ptr<HierarchyAuditor> auditor;
+
+    CacheHierarchy &operator*() { return *hierarchy; }
+    const CacheHierarchy &operator*() const { return *hierarchy; }
+    CacheHierarchy *operator->() { return hierarchy.get(); }
+    const CacheHierarchy *operator->() const { return hierarchy.get(); }
+    CacheHierarchy *get() { return hierarchy.get(); }
+
+    /** Detaches the auditor (for tests that corrupt state on purpose). */
+    void dropAuditor() { auditor.reset(); }
+};
+
+/** Builds a tiny hierarchy with the given policy, under audit. */
+inline TestHierarchy
 tinyHierarchy(PolicyKind kind, HierarchyParams hp = tinyParams(),
               std::unique_ptr<PlacementPolicy> placement = nullptr)
 {
@@ -71,9 +92,20 @@ tinyHierarchy(PolicyKind kind, HierarchyParams hp = tinyParams(),
     tuning.leaderPeriod = 2; // tiny caches: every set is a leader
     const std::uint64_t sets = hp.llc.sizeBytes
         / (static_cast<std::uint64_t>(hp.llc.assoc) * hp.llc.blockBytes);
-    return std::make_unique<CacheHierarchy>(
+    TestHierarchy th;
+    th.hierarchy = std::make_unique<CacheHierarchy>(
         hp, makeInclusionPolicy(kind, sets, tuning),
         std::move(placement));
+    AuditorConfig ac;
+    ac.mode = AuditMode::FailFast;
+#ifdef NDEBUG
+    ac.interval = 8;
+#else
+    ac.interval = 1;
+#endif
+    th.auditor =
+        std::make_unique<HierarchyAuditor>(*th.hierarchy, kind, ac);
+    return th;
 }
 
 /** Block-granular address helper: block index -> byte address. */

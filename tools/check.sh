@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Full local static-analysis + dynamic-analysis gate:
+#   1. clang-tidy over the simulator sources (skipped with a notice
+#      if no clang-tidy binary is installed),
+#   2. an ASan+UBSan build with warnings-as-errors,
+#   3. the complete test suite (including the hierarchy-auditor
+#      corruption tests and the randomized audit fuzzer) under the
+#      sanitizers.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-check)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-check}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cd "$repo_root"
+
+cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DLAPSIM_WERROR=ON \
+    -DLAPSIM_SANITIZE="address;undefined"
+
+# --- 1. clang-tidy -----------------------------------------------------
+tidy_bin="$(command -v clang-tidy || command -v clang-tidy-14 || true)"
+runner="$(command -v run-clang-tidy || command -v run-clang-tidy-14 || true)"
+if [[ -n "$tidy_bin" ]]; then
+    echo "== clang-tidy ($tidy_bin)"
+    if [[ -n "$runner" ]]; then
+        "$runner" -p "$build_dir" -quiet "$repo_root/src/.*\.cc"
+    else
+        # shellcheck disable=SC2046
+        "$tidy_bin" -p "$build_dir" --quiet $(find "$repo_root/src" -name '*.cc')
+    fi
+else
+    echo "== clang-tidy not installed; skipping the static-analysis pass"
+    echo "   (apt install clang-tidy to enable it)"
+fi
+
+# --- 2. sanitizer build ------------------------------------------------
+echo "== building with -fsanitize=address,undefined -Werror"
+cmake --build "$build_dir" -j "$jobs"
+
+# --- 3. tests under the sanitizers -------------------------------------
+echo "== running the test suite under ASan+UBSan"
+ctest --test-dir "$build_dir" -j "$jobs" --output-on-failure
+
+echo "== all checks passed"
