@@ -1,0 +1,239 @@
+/**
+ * @file
+ * lapsim-campaign — parallel experiment sweeps with resumable
+ * JSONL results.
+ *
+ * Examples:
+ *   # 10 mixes x 5 policies on 8 workers, streaming results
+ *   lapsim-campaign --mix WL1,WL2,WL3,WL4,WL5,WH1,WH2,WH3,WH4,WH5 \
+ *       --policies noni,ex,flex,dswitch,lap \
+ *       --jobs 8 --out results.jsonl
+ *
+ *   # pick up where an interrupted sweep left off
+ *   lapsim-campaign --spec fig14.campaign --jobs 8 \
+ *       --out results.jsonl --resume
+ *
+ *   # regenerate the figure table from the archived rows
+ *   lapsim-campaign --aggregate results.jsonl \
+ *       --rows workload --cols config.policy \
+ *       --metric metrics.epi --normalize Non-inclusive
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/aggregate.hh"
+#include "campaign/engine.hh"
+#include "common/logging.hh"
+#include "sim/config_fields.hh"
+#include "sim/options.hh"
+
+using namespace lap;
+
+namespace
+{
+
+const char *kHelp =
+    "lapsim-campaign — parallel experiment sweeps (resumable JSONL)\n"
+    "\n"
+    "campaign definition (combine freely; see DESIGN.md §7):\n"
+    "  --spec FILE             load a campaign spec file\n"
+    "  --name NAME             campaign name (job-hash namespace)\n"
+    "  --seed N                campaign seed (mixed into job seeds)\n"
+    "  --mix A[,B..]           add Table III / MIXn mix workloads\n"
+    "  --duplicate A[,B..]     add duplicate-copies workloads\n"
+    "  --benchmarks a,b,c,d    add one explicit per-core workload\n"
+    "  --parsec A[,B..]        add PARSEC workloads (coherence on)\n"
+    "  --policies p1,p2,..     inclusion-policy axis\n"
+    "  --axis FIELD=V1,V2,..   sweep axis over a config field\n"
+    "  --set FIELD=VALUE       base-config override\n"
+    "\n"
+    "execution:\n"
+    "  --jobs N                worker threads (default 1)\n"
+    "  --out PATH              stream results to a JSONL file\n"
+    "  --resume                skip jobs already 'ok' in --out\n"
+    "  --list                  print the expanded grid and exit\n"
+    "\n"
+    "aggregation (reads JSONL, prints a table):\n"
+    "  --aggregate PATH        aggregate a results file and exit\n"
+    "  --rows FIELD            row key (default 'workload')\n"
+    "  --cols FIELD            column key (default 'config.policy')\n"
+    "  --metric FIELD          cell metric (default 'metrics.epi')\n"
+    "  --normalize COL         normalize rows to this column value\n"
+    "  --precision N           cell precision (default 3)\n"
+    "\n"
+    "config fields for --set/--axis:\n";
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        lap_fatal("cannot read spec file '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+std::pair<std::string, std::string>
+splitAssignment(const std::string &flag, const std::string &text)
+{
+    const auto eq = text.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= text.size())
+        lap_fatal("%s: expected FIELD=VALUE, got '%s'", flag.c_str(),
+                  text.c_str());
+    return {text.substr(0, eq), text.substr(eq + 1)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+
+    CampaignSpec spec;
+    EngineOptions engine;
+    AggregateSpec agg;
+    std::string aggregate_path;
+    bool list_only = false;
+    bool have_workloads = false;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                lap_fatal("%s requires a value", flag.c_str());
+            return args[++i];
+        };
+
+        if (flag == "--help" || flag == "-h") {
+            std::printf("%s%s", kHelp, configFieldsHelp().c_str());
+            return 0;
+        } else if (flag == "--spec") {
+            CampaignSpec parsed = parseCampaignSpec(readFile(next()));
+            // Inline flags compose on top of the file.
+            spec.name = parsed.name;
+            spec.seed = parsed.seed;
+            spec.base = parsed.base;
+            for (auto &w : parsed.workloads)
+                spec.workloads.push_back(std::move(w));
+            for (auto p : parsed.policies)
+                spec.policies.push_back(p);
+            for (auto &a : parsed.axes)
+                spec.axes.push_back(std::move(a));
+            have_workloads |= !spec.workloads.empty();
+        } else if (flag == "--name") {
+            spec.name = next();
+        } else if (flag == "--seed") {
+            char *end = nullptr;
+            const std::string &value = next();
+            spec.seed = std::strtoull(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                lap_fatal("--seed: expected a number, got '%s'",
+                          value.c_str());
+        } else if (flag == "--mix") {
+            for (const auto &name : splitList(next()))
+                spec.workloads.push_back(CampaignWorkload::mix(name));
+            have_workloads = true;
+        } else if (flag == "--duplicate") {
+            for (const auto &name : splitList(next()))
+                spec.workloads.push_back(
+                    CampaignWorkload::duplicate(name));
+            have_workloads = true;
+        } else if (flag == "--benchmarks") {
+            spec.workloads.push_back(
+                CampaignWorkload::benchmarkList(splitList(next())));
+            have_workloads = true;
+        } else if (flag == "--parsec") {
+            for (const auto &name : splitList(next()))
+                spec.workloads.push_back(
+                    CampaignWorkload::parsec(name));
+            have_workloads = true;
+        } else if (flag == "--policies") {
+            for (const auto &name : splitList(next()))
+                spec.policies.push_back(policyKindFromString(name));
+        } else if (flag == "--axis") {
+            const auto [field, values] =
+                splitAssignment(flag, next());
+            spec.axes.push_back({field, splitList(values)});
+        } else if (flag == "--set") {
+            const auto [field, value] = splitAssignment(flag, next());
+            if (!applyConfigField(spec.base, field, value))
+                lap_fatal("--set: unknown config field '%s'",
+                          field.c_str());
+        } else if (flag == "--jobs") {
+            char *end = nullptr;
+            const std::string &value = next();
+            const auto parsed =
+                std::strtoull(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0' || parsed == 0)
+                lap_fatal("--jobs: expected a positive number");
+            engine.jobs = static_cast<std::uint32_t>(parsed);
+        } else if (flag == "--out") {
+            engine.outPath = next();
+        } else if (flag == "--resume") {
+            engine.resume = true;
+        } else if (flag == "--list") {
+            list_only = true;
+        } else if (flag == "--aggregate") {
+            aggregate_path = next();
+        } else if (flag == "--rows") {
+            agg.rowField = next();
+        } else if (flag == "--cols") {
+            agg.colField = next();
+        } else if (flag == "--metric") {
+            agg.metric = next();
+        } else if (flag == "--normalize") {
+            agg.normalizeCol = next();
+        } else if (flag == "--precision") {
+            agg.precision = std::atoi(next().c_str());
+        } else {
+            lap_fatal("unknown flag '%s' (see --help)", flag.c_str());
+        }
+    }
+
+    if (!aggregate_path.empty()) {
+        aggregateJsonlFile(aggregate_path, agg).print();
+        return 0;
+    }
+
+    if (!have_workloads)
+        lap_fatal("no workloads; use --spec/--mix/--duplicate/"
+                  "--benchmarks/--parsec (see --help)");
+
+    if (list_only) {
+        Table table({"#", "hash", "label", "key"});
+        const auto jobs = expandCampaign(spec);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            table.addRow({std::to_string(i), jobs[i].hash,
+                          jobs[i].label, jobs[i].key});
+        table.print();
+        std::printf("\n%zu jobs\n", jobs.size());
+        return 0;
+    }
+
+    engine.onJobDone = [](const CampaignJob &job,
+                          const JobOutcome &outcome, std::size_t done,
+                          std::size_t total) {
+        std::printf("[%3zu/%3zu] %-8s %8.0fms  %s%s%s\n", done, total,
+                    toString(outcome.status), outcome.wallMs,
+                    job.label.c_str(),
+                    outcome.error.empty() ? "" : "  — ",
+                    outcome.error.c_str());
+        std::fflush(stdout);
+    };
+
+    const CampaignResult result = runCampaign(spec, engine);
+
+    std::printf("\ncampaign '%s': %zu jobs — %zu ok, %zu failed, "
+                "%zu skipped in %.1fs\n",
+                spec.name.c_str(), result.jobs.size(),
+                result.completed(), result.failed(), result.skipped(),
+                result.wallMs / 1000.0);
+    if (!engine.outPath.empty())
+        std::printf("results: %s\n", engine.outPath.c_str());
+    return result.failed() == 0 ? 0 : 1;
+}

@@ -7,10 +7,12 @@
  *   lapsim --benchmarks omnetpp,mcf,libquantum,astar --policy ex
  *   lapsim --parsec streamcluster --policy lap
  *   lapsim --hybrid --placement lhybrid --policy lap --json out.json
+ *   lapsim --mix WL1,WL2,WH1,WH2 --jobs 4 --json out.jsonl
  */
 
 #include <cstdio>
 
+#include "campaign/engine.hh"
 #include "common/table.hh"
 #include "sim/options.hh"
 #include "sim/report.hh"
@@ -68,6 +70,47 @@ printReport(const std::string &label, const Metrics &m)
     t.print();
 }
 
+/**
+ * Several mixes run as a mini-campaign over --jobs workers, each
+ * mix one job; identical metrics to running each mix alone.
+ */
+int
+runMixCampaign(const CliOptions &opts)
+{
+    CampaignSpec spec;
+    spec.name = "lapsim";
+    spec.base = opts.config;
+    for (const auto &name : opts.mixNames)
+        spec.workloads.push_back(CampaignWorkload::mix(name));
+
+    EngineOptions engine;
+    engine.jobs = opts.jobs;
+    engine.outPath = opts.jsonPath;
+
+    const CampaignResult result = runCampaign(spec, engine);
+
+    Table t({"mix", "status", "IPC", "EPI", "MPKI", "wall ms"});
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        const JobOutcome &outcome = result.outcomes[i];
+        const Metrics &m = outcome.metrics;
+        t.addRow({result.jobs[i].label, toString(outcome.status),
+                  Table::num(m.throughput, 3), Table::num(m.epi, 4),
+                  Table::num(m.llcMpki, 2),
+                  Table::num(outcome.wallMs, 0)});
+        if (!outcome.error.empty())
+            std::fprintf(stderr, "%s: %s\n",
+                         result.jobs[i].label.c_str(),
+                         outcome.error.c_str());
+    }
+    std::printf("policy: %s  (%u jobs, %.1fs)\n",
+                toString(opts.config.policy), opts.jobs,
+                result.wallMs / 1000.0);
+    t.print();
+    if (!opts.jsonPath.empty())
+        std::printf("\nJSONL written to %s\n", opts.jsonPath.c_str());
+    return result.failed() == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -79,6 +122,10 @@ main(int argc, char **argv)
         std::fputs(cliHelpText().c_str(), stdout);
         return 0;
     }
+
+    if (opts.workload == CliOptions::WorkloadKind::Mix
+        && opts.mixNames.size() > 1)
+        return runMixCampaign(opts);
 
     Simulator sim(opts.config);
     Metrics metrics;

@@ -7,9 +7,13 @@
 #define LAPSIM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "campaign/aggregate.hh"
+#include "campaign/engine.hh"
 #include "common/table.hh"
 #include "sim/simulator.hh"
 #include "workloads/mixes.hh"
@@ -51,6 +55,50 @@ runParsec(SimConfig config, const std::string &benchmark)
     config.coherence = true;
     Simulator sim(applyEnvScaling(config));
     return sim.runMultiThreaded(parsecBenchmark(benchmark));
+}
+
+/**
+ * Worker-pool width for campaign-backed benches: LAPSIM_JOBS when
+ * set, otherwise all hardware threads.
+ */
+inline std::uint32_t
+benchJobs()
+{
+    if (const char *env = std::getenv("LAPSIM_JOBS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0)
+            return static_cast<std::uint32_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/**
+ * Runs a figure's grid on the campaign engine and prints the sweep
+ * cost. Figure benches expect every grid point, so a failed job is
+ * fatal here.
+ */
+inline CampaignResult
+runGrid(const CampaignSpec &spec)
+{
+    EngineOptions opts;
+    opts.jobs = benchJobs();
+    CampaignResult result = runCampaign(spec, opts);
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        if (result.outcomes[i].status == JobStatus::Failed)
+            lap_fatal("campaign job '%s' failed: %s",
+                      result.jobs[i].label.c_str(),
+                      result.outcomes[i].error.c_str());
+    }
+    double serial_ms = 0.0;
+    for (const auto &outcome : result.outcomes)
+        serial_ms += outcome.wallMs;
+    std::printf("[campaign %s: %zu jobs on %u workers, %.1fs "
+                "wall (serial %.1fs, %.1fx)]\n",
+                spec.name.c_str(), result.jobs.size(), opts.jobs,
+                result.wallMs / 1000.0, serial_ms / 1000.0,
+                result.wallMs > 0.0 ? serial_ms / result.wallMs : 0.0);
+    return result;
 }
 
 /** Safe ratio (returns 0 when the denominator is 0). */

@@ -1,0 +1,131 @@
+#include "campaign/aggregate.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+ResultIndex::ResultIndex(const CampaignResult &result)
+{
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        if (result.outcomes[i].status != JobStatus::Ok)
+            continue;
+        const CampaignJob &job = result.jobs[i];
+        const Metrics *metrics = &result.outcomes[i].metrics;
+        const int policy = static_cast<int>(job.config.policy);
+        index_[{job.workload.key(), policy}] = metrics;
+        // Also index by the bare workload name for convenience.
+        index_.insert({{job.workload.name, policy}, metrics});
+    }
+}
+
+const Metrics *
+ResultIndex::find(const std::string &workload, PolicyKind policy) const
+{
+    const auto it =
+        index_.find({workload, static_cast<int>(policy)});
+    return it == index_.end() ? nullptr : it->second;
+}
+
+const Metrics &
+ResultIndex::get(const std::string &workload, PolicyKind policy) const
+{
+    const Metrics *metrics = find(workload, policy);
+    if (metrics == nullptr)
+        lap_fatal("no completed job for workload '%s' policy '%s'",
+                  workload.c_str(), toString(policy));
+    return *metrics;
+}
+
+Table
+aggregateRows(const std::vector<JsonRow> &rows,
+              const AggregateSpec &spec)
+{
+    // Orderings follow first appearance in the file, which for a
+    // fresh serial run is grid order.
+    std::vector<std::string> row_keys, col_keys;
+    std::map<std::pair<std::string, std::string>, double> cells;
+    for (const auto &row : rows) {
+        if (rowValue(row, "status") != "ok")
+            continue;
+        const std::string row_key = rowValue(row, spec.rowField);
+        const std::string col_key = rowValue(row, spec.colField);
+        const std::string value = rowValue(row, spec.metric);
+        if (row_key.empty() || col_key.empty() || value.empty())
+            continue;
+        if (std::find(row_keys.begin(), row_keys.end(), row_key)
+            == row_keys.end())
+            row_keys.push_back(row_key);
+        if (std::find(col_keys.begin(), col_keys.end(), col_key)
+            == col_keys.end())
+            col_keys.push_back(col_key);
+        cells[{row_key, col_key}] = std::atof(value.c_str());
+    }
+    if (row_keys.empty())
+        lap_fatal("aggregate: no usable rows (fields '%s'/'%s'/'%s')",
+                  spec.rowField.c_str(), spec.colField.c_str(),
+                  spec.metric.c_str());
+
+    std::vector<std::string> headers{spec.rowField};
+    for (const auto &col : col_keys)
+        headers.push_back(col);
+    Table table(headers);
+
+    std::map<std::string, std::vector<double>> col_values;
+    for (const auto &row_key : row_keys) {
+        std::vector<std::string> out{row_key};
+        double norm = 1.0;
+        if (!spec.normalizeCol.empty()) {
+            const auto it = cells.find({row_key, spec.normalizeCol});
+            if (it == cells.end()) {
+                lap_warn("aggregate: row '%s' lacks normalization "
+                         "column '%s'; emitting raw values",
+                         row_key.c_str(), spec.normalizeCol.c_str());
+            } else if (it->second != 0.0) {
+                norm = it->second;
+            }
+        }
+        for (const auto &col_key : col_keys) {
+            const auto it = cells.find({row_key, col_key});
+            if (it == cells.end()) {
+                out.push_back("-");
+                continue;
+            }
+            const double value = it->second / norm;
+            col_values[col_key].push_back(value);
+            out.push_back(Table::num(value, spec.precision));
+        }
+        table.addRow(out);
+    }
+
+    table.addSeparator();
+    std::vector<std::string> mean_row{"mean"};
+    for (const auto &col_key : col_keys) {
+        const auto &values = col_values[col_key];
+        if (values.empty()) {
+            mean_row.push_back("-");
+            continue;
+        }
+        double sum = 0.0;
+        for (double v : values)
+            sum += v;
+        mean_row.push_back(Table::num(
+            sum / static_cast<double>(values.size()), spec.precision));
+    }
+    table.addRow(mean_row);
+    return table;
+}
+
+Table
+aggregateJsonlFile(const std::string &path, const AggregateSpec &spec)
+{
+    const auto rows = loadJsonl(path);
+    if (rows.empty())
+        lap_fatal("no JSONL rows in '%s'", path.c_str());
+    return aggregateRows(rows, spec);
+}
+
+} // namespace lap

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Turning campaign results back into the paper's tables.
+ *
+ * Two consumers: the figure benches aggregate an in-memory
+ * CampaignResult through ResultIndex, and the CLI re-aggregates a
+ * results.jsonl file (possibly from several resumed runs) into a
+ * row×column metric table, optionally normalized to one column
+ * (e.g. every policy relative to "noni").
+ */
+
+#ifndef LAPSIM_CAMPAIGN_AGGREGATE_HH
+#define LAPSIM_CAMPAIGN_AGGREGATE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hh"
+#include "campaign/jsonl.hh"
+#include "common/table.hh"
+
+namespace lap
+{
+
+/** Lookup of completed outcomes by (workload key, policy). */
+class ResultIndex
+{
+  public:
+    explicit ResultIndex(const CampaignResult &result);
+
+    /**
+     * Metrics of the completed job for @p workload (a
+     * CampaignWorkload::key() string or a bare mix/benchmark name)
+     * under @p policy, or nullptr when that job is missing/failed.
+     */
+    const Metrics *find(const std::string &workload,
+                        PolicyKind policy) const;
+
+    /** As find(), but fatal when the job is missing or failed. */
+    const Metrics &get(const std::string &workload,
+                       PolicyKind policy) const;
+
+  private:
+    std::map<std::pair<std::string, int>, const Metrics *> index_;
+};
+
+/** Shape of a JSONL aggregation. */
+struct AggregateSpec
+{
+    /** Row key field, e.g. "workload" or "label". */
+    std::string rowField = "workload";
+    /** Column key field, e.g. "config.policy". */
+    std::string colField = "config.policy";
+    /** Metric field to tabulate. */
+    std::string metric = "metrics.epi";
+    /** Optional column value every row is normalized to. */
+    std::string normalizeCol;
+    int precision = 3;
+};
+
+/**
+ * Groups "ok" rows into a table: one row per rowField value, one
+ * column per colField value (both in first-appearance order), plus
+ * a mean row. Duplicate (row, col) cells keep the last occurrence,
+ * so re-run rows appended by --resume win over stale ones.
+ */
+Table aggregateRows(const std::vector<JsonRow> &rows,
+                    const AggregateSpec &spec);
+
+/** Loads @p path and aggregates it; fatal when no usable rows. */
+Table aggregateJsonlFile(const std::string &path,
+                         const AggregateSpec &spec);
+
+} // namespace lap
+
+#endif // LAPSIM_CAMPAIGN_AGGREGATE_HH

@@ -1,0 +1,229 @@
+#include "campaign/engine.hh"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "campaign/sink.hh"
+#include "common/logging.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+#include "workloads/parsec.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now()
+                                                     - start)
+        .count();
+}
+
+/** Finds a named mix (Table III or MIXn); fatal on unknown names. */
+MixSpec
+findMix(const std::string &name, std::uint32_t cores)
+{
+    MixSpec found;
+    bool ok = false;
+    for (const auto &mix : tableThreeMixes()) {
+        if (mix.name == name) {
+            found = mix;
+            ok = true;
+            break;
+        }
+    }
+    if (!ok) {
+        for (const auto &mix : randomMixes(50, 4)) {
+            if (mix.name == name) {
+                found = mix;
+                ok = true;
+                break;
+            }
+        }
+    }
+    if (!ok)
+        lap_fatal("unknown mix '%s' (WL1..WH5, MIX1..MIX50)",
+                  name.c_str());
+    // Wider machines cycle the combination (an 8-core run of a
+    // 4-benchmark mix doubles it up, as in the paper's Fig 22).
+    const std::size_t base = found.benchmarks.size();
+    lap_assert(base > 0, "mix '%s' has no benchmarks", name.c_str());
+    while (found.benchmarks.size() < cores)
+        found.benchmarks.push_back(
+            found.benchmarks[found.benchmarks.size() % base]);
+    return found;
+}
+
+/** Runs the job's workload on a fresh simulator. */
+Metrics
+executeJob(const CampaignJob &job)
+{
+    Simulator sim(job.config);
+    switch (job.workload.kind) {
+      case CampaignWorkload::Kind::Mix:
+        return sim.run(resolveMix(
+            findMix(job.workload.name, job.config.numCores)));
+      case CampaignWorkload::Kind::Duplicate:
+        return sim.run(resolveMix(duplicateMix(job.workload.name,
+                                               job.config.numCores)));
+      case CampaignWorkload::Kind::Benchmarks: {
+        if (job.workload.benchmarks.empty())
+            lap_fatal("benchmark-list workload is empty");
+        MixSpec mix;
+        mix.name = job.label;
+        for (std::uint32_t c = 0; c < job.config.numCores; ++c)
+            mix.benchmarks.push_back(
+                job.workload
+                    .benchmarks[c % job.workload.benchmarks.size()]);
+        return sim.run(resolveMix(mix));
+      }
+      case CampaignWorkload::Kind::Parsec:
+        return sim.runMultiThreaded(
+            parsecBenchmark(job.workload.name));
+    }
+    lap_panic("unknown workload kind");
+}
+
+} // namespace
+
+const char *
+toString(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+std::size_t
+CampaignResult::countWithStatus(JobStatus status) const
+{
+    std::size_t count = 0;
+    for (const auto &outcome : outcomes)
+        count += outcome.status == status ? 1 : 0;
+    return count;
+}
+
+JobOutcome
+runCampaignJob(const CampaignJob &job)
+{
+    const auto start = Clock::now();
+    JobOutcome outcome;
+    try {
+        // Confine this job's fatals (bad workload name, unsupported
+        // config) to this job; the rest of the grid keeps running.
+        const ScopedFatalThrow guard;
+        outcome.metrics = executeJob(job);
+        outcome.status = JobStatus::Ok;
+    } catch (const FatalError &err) {
+        outcome.status = JobStatus::Failed;
+        outcome.error = err.what();
+    }
+    outcome.wallMs = elapsedMs(start);
+    return outcome;
+}
+
+std::string
+jobToJsonRow(const std::string &campaign, const CampaignJob &job,
+             const JobOutcome &outcome)
+{
+    JsonWriter w;
+    w.field("hash", job.hash)
+        .field("campaign", campaign)
+        .field("label", job.label)
+        .field("workload", job.workload.key())
+        .field("status", toString(outcome.status))
+        .field("wallMs", outcome.wallMs);
+    if (outcome.status == JobStatus::Ok) {
+        w.raw("config", configToJson(job.config))
+            .raw("metrics", metricsToJson(outcome.metrics));
+    } else {
+        w.field("error", outcome.error)
+            .raw("config", configToJson(job.config));
+    }
+    return w.str();
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, const EngineOptions &options)
+{
+    const auto start = Clock::now();
+    lap_assert(options.jobs >= 1, "campaign needs >= 1 worker");
+
+    CampaignResult result;
+    result.jobs = expandCampaign(spec);
+    result.outcomes.resize(result.jobs.size());
+
+    std::set<std::string> done_hashes;
+    std::unique_ptr<JsonlSink> sink;
+    if (!options.outPath.empty()) {
+        if (options.resume)
+            done_hashes = loadCompletedHashes(options.outPath);
+        sink = std::make_unique<JsonlSink>(options.outPath,
+                                           options.resume);
+    }
+
+    std::atomic<std::size_t> next_job{0};
+    std::atomic<std::size_t> done_count{0};
+    std::mutex report_mutex;
+
+    auto report = [&](std::size_t index) {
+        const std::size_t done =
+            done_count.fetch_add(1, std::memory_order_relaxed) + 1;
+        const JobOutcome &outcome = result.outcomes[index];
+        if (sink && outcome.status != JobStatus::Skipped)
+            sink->write(jobToJsonRow(spec.name, result.jobs[index],
+                                     outcome));
+        if (options.onJobDone) {
+            const std::lock_guard<std::mutex> lock(report_mutex);
+            options.onJobDone(result.jobs[index], outcome, done,
+                              result.jobs.size());
+        }
+    };
+
+    auto worker = [&] {
+        while (true) {
+            const std::size_t index =
+                next_job.fetch_add(1, std::memory_order_relaxed);
+            if (index >= result.jobs.size())
+                return;
+            const CampaignJob &job = result.jobs[index];
+            if (done_hashes.count(job.hash) != 0) {
+                result.outcomes[index].status = JobStatus::Skipped;
+            } else {
+                result.outcomes[index] = runCampaignJob(job);
+            }
+            report(index);
+        }
+    };
+
+    const std::uint32_t workers = static_cast<std::uint32_t>(
+        std::min<std::size_t>(options.jobs, result.jobs.size()));
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::uint32_t w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    result.wallMs = elapsedMs(start);
+    return result;
+}
+
+} // namespace lap

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Parallel campaign execution.
+ *
+ * Expands a CampaignSpec and runs the jobs on a fixed-size
+ * std::thread worker pool. Every job constructs its own Simulator
+ * from its own (content-seeded) SimConfig, so there is no shared
+ * mutable state between jobs and an N-worker run produces metrics
+ * bit-identical to a serial run of the same grid. A job that hits
+ * lap_fatal() (bad config, unknown workload) is recorded as failed
+ * and the campaign continues; results stream to an optional
+ * thread-safe JSONL sink keyed by the stable job hash, which is
+ * what makes interrupted campaigns resumable.
+ */
+
+#ifndef LAPSIM_CAMPAIGN_ENGINE_HH
+#define LAPSIM_CAMPAIGN_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hh"
+#include "sim/metrics.hh"
+
+namespace lap
+{
+
+/** Terminal state of one grid point. */
+enum class JobStatus : std::uint8_t
+{
+    Ok,      //!< Ran to completion; metrics valid.
+    Failed,  //!< lap_fatal() inside the job; error holds the message.
+    Skipped, //!< Already completed in a previous (resumed) run.
+};
+
+const char *toString(JobStatus status);
+
+/** Per-job result record. */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Failed;
+    Metrics metrics;   //!< Valid only when status == Ok.
+    std::string error; //!< Non-empty only when status == Failed.
+    double wallMs = 0.0;
+};
+
+/** Execution knobs of one campaign run. */
+struct EngineOptions
+{
+    /** Worker threads (1 = serial). */
+    std::uint32_t jobs = 1;
+    /** JSONL result file; empty disables the sink. */
+    std::string outPath;
+    /** Skip jobs whose hash already has an "ok" row in outPath. */
+    bool resume = false;
+    /**
+     * Progress hook, invoked once per finished job under a lock
+     * (safe to print from). Skipped jobs are reported too.
+     */
+    std::function<void(const CampaignJob &, const JobOutcome &,
+                       std::size_t done, std::size_t total)>
+        onJobDone;
+};
+
+/** Everything a finished campaign produced, in grid order. */
+struct CampaignResult
+{
+    std::vector<CampaignJob> jobs;
+    std::vector<JobOutcome> outcomes; //!< Parallel to jobs.
+    double wallMs = 0.0;              //!< Whole-campaign wall clock.
+
+    std::size_t countWithStatus(JobStatus status) const;
+    std::size_t completed() const
+    {
+        return countWithStatus(JobStatus::Ok);
+    }
+    std::size_t failed() const
+    {
+        return countWithStatus(JobStatus::Failed);
+    }
+    std::size_t skipped() const
+    {
+        return countWithStatus(JobStatus::Skipped);
+    }
+};
+
+/**
+ * Runs one job in isolation (no threads, no sink); fatal errors in
+ * the job surface as a Failed outcome. Exposed for tests and for
+ * embedding jobs in other drivers.
+ */
+JobOutcome runCampaignJob(const CampaignJob &job);
+
+/** Serializes one job + outcome into a JSONL result row. */
+std::string jobToJsonRow(const std::string &campaign,
+                         const CampaignJob &job,
+                         const JobOutcome &outcome);
+
+/** Expands the spec and executes the grid. */
+CampaignResult runCampaign(const CampaignSpec &spec,
+                           const EngineOptions &options);
+
+} // namespace lap
+
+#endif // LAPSIM_CAMPAIGN_ENGINE_HH

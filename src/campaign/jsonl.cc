@@ -1,0 +1,244 @@
+#include "campaign/jsonl.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+/** Recursive-descent reader over one line of JSON. */
+class JsonReader
+{
+  public:
+    JsonReader(const std::string &text, JsonRow &row)
+        : text_(text), row_(row)
+    {
+    }
+
+    bool
+    parse()
+    {
+        skipSpace();
+        if (!parseObject(""))
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\r' || text_[pos_] == '\n'))
+            ++pos_;
+    }
+
+    bool
+    expect(char ch)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != ch)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_++];
+            if (ch == '"')
+                return true;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char hex = text_[pos_++];
+                    code <<= 4;
+                    if (hex >= '0' && hex <= '9')
+                        code |= static_cast<unsigned>(hex - '0');
+                    else if (hex >= 'a' && hex <= 'f')
+                        code |= static_cast<unsigned>(hex - 'a' + 10);
+                    else if (hex >= 'A' && hex <= 'F')
+                        code |= static_cast<unsigned>(hex - 'A' + 10);
+                    else
+                        return false;
+                }
+                // The writer only escapes control characters, so a
+                // single byte is sufficient here.
+                out += static_cast<char>(code & 0xff);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseScalar(const std::string &key)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        if (text_[pos_] == '"') {
+            std::string value;
+            if (!parseString(value))
+                return false;
+            row_[key] = value;
+            return true;
+        }
+        // number / true / false / null: copy the raw token.
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_];
+            if (ch == ',' || ch == '}' || ch == ']' || ch == ' '
+                || ch == '\t' || ch == '\r' || ch == '\n')
+                break;
+            ++pos_;
+        }
+        if (pos_ == start)
+            return false;
+        row_[key] = text_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    parseValue(const std::string &key)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '{')
+            return parseObject(key);
+        if (pos_ < text_.size() && text_[pos_] == '[')
+            return parseArray(key);
+        return parseScalar(key);
+    }
+
+    bool
+    parseObject(const std::string &prefix)
+    {
+        if (!expect('{'))
+            return false;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            std::string key;
+            if (!parseString(key) || !expect(':'))
+                return false;
+            const std::string full =
+                prefix.empty() ? key : prefix + "." + key;
+            if (!parseValue(full))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    bool
+    parseArray(const std::string &prefix)
+    {
+        if (!expect('['))
+            return false;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        std::size_t index = 0;
+        while (true) {
+            if (!parseValue(prefix + "." + std::to_string(index++)))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    const std::string &text_;
+    JsonRow &row_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parseJsonObject(const std::string &text, JsonRow &row)
+{
+    return JsonReader(text, row).parse();
+}
+
+std::vector<JsonRow>
+loadJsonl(const std::string &path)
+{
+    std::vector<JsonRow> rows;
+    std::ifstream in(path);
+    if (!in)
+        return rows;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonRow row;
+        if (parseJsonObject(line, row)) {
+            rows.push_back(std::move(row));
+        } else {
+            lap_warn("%s:%d: skipping malformed JSONL row",
+                     path.c_str(), line_no);
+        }
+    }
+    return rows;
+}
+
+std::string
+rowValue(const JsonRow &row, const std::string &key,
+         const std::string &fallback)
+{
+    const auto it = row.find(key);
+    return it == row.end() ? fallback : it->second;
+}
+
+} // namespace lap

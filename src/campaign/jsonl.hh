@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal JSON reading for campaign result rows.
+ *
+ * The campaign sink emits one JSON object per line through
+ * JsonWriter; this is the matching reader. It parses a single
+ * object into a flat map with dotted keys ("metrics.epi",
+ * "config.policy"), which is all the resume and aggregation paths
+ * need — it is not a general-purpose JSON library.
+ */
+
+#ifndef LAPSIM_CAMPAIGN_JSONL_HH
+#define LAPSIM_CAMPAIGN_JSONL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lap
+{
+
+/** One parsed JSONL row: flattened key → scalar value as text. */
+using JsonRow = std::map<std::string, std::string>;
+
+/**
+ * Parses one JSON object; nested objects flatten with dotted keys,
+ * array elements with numeric suffixes ("ipc.0"). Returns false on
+ * malformed input (the row is left partially filled).
+ */
+bool parseJsonObject(const std::string &text, JsonRow &row);
+
+/**
+ * Reads a JSONL file; malformed or truncated lines (e.g. a row cut
+ * short by an interrupted campaign) are skipped with a warning.
+ * Returns an empty vector when the file does not exist.
+ */
+std::vector<JsonRow> loadJsonl(const std::string &path);
+
+/** Returns row[key] or `fallback` when the key is absent. */
+std::string rowValue(const JsonRow &row, const std::string &key,
+                     const std::string &fallback = "");
+
+} // namespace lap
+
+#endif // LAPSIM_CAMPAIGN_JSONL_HH

@@ -1,0 +1,76 @@
+#include "campaign/sink.hh"
+
+#include "campaign/jsonl.hh"
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+/**
+ * An interrupted campaign can leave the file's last row cut short
+ * mid-write. Appending straight after it would merge the first new
+ * row into the partial line and lose both; terminating the stub
+ * keeps it a (skippable) malformed line of its own.
+ */
+bool
+endsMidLine(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return false;
+    bool mid_line = false;
+    if (std::fseek(file, -1, SEEK_END) == 0) {
+        const int last = std::fgetc(file);
+        mid_line = last != EOF && last != '\n';
+    }
+    std::fclose(file);
+    return mid_line;
+}
+
+} // namespace
+
+JsonlSink::JsonlSink(const std::string &path, bool append)
+    : path_(path)
+{
+    const bool repair = append && endsMidLine(path);
+    file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+    if (file_ == nullptr)
+        lap_fatal("cannot open '%s' for writing", path.c_str());
+    if (repair)
+        std::fputc('\n', file_);
+}
+
+JsonlSink::~JsonlSink()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+JsonlSink::write(const std::string &json_row)
+{
+    const std::string line = json_row + "\n";
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()
+        || std::fflush(file_) != 0)
+        lap_fatal("write to '%s' failed", path_.c_str());
+}
+
+std::set<std::string>
+loadCompletedHashes(const std::string &path)
+{
+    std::set<std::string> hashes;
+    for (const auto &row : loadJsonl(path)) {
+        if (rowValue(row, "status") != "ok")
+            continue;
+        const std::string hash = rowValue(row, "hash");
+        if (!hash.empty())
+            hashes.insert(hash);
+    }
+    return hashes;
+}
+
+} // namespace lap

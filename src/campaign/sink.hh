@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Thread-safe JSONL result sink.
+ *
+ * Workers hand in fully serialized rows; the sink appends each as
+ * one line with a single locked write+flush, so an interrupted
+ * campaign leaves at most one truncated trailing line (which the
+ * resume loader skips). Rows are keyed by the job hash, letting
+ * `--resume` skip grid points that already completed successfully.
+ */
+
+#ifndef LAPSIM_CAMPAIGN_SINK_HH
+#define LAPSIM_CAMPAIGN_SINK_HH
+
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace lap
+{
+
+/** Appends JSON rows to a file, one per line, thread-safely. */
+class JsonlSink
+{
+  public:
+    /**
+     * Opens @p path for writing; @p append preserves existing rows
+     * (resume), otherwise the file is truncated. Fatal on I/O
+     * errors.
+     */
+    JsonlSink(const std::string &path, bool append);
+    ~JsonlSink();
+
+    JsonlSink(const JsonlSink &) = delete;
+    JsonlSink &operator=(const JsonlSink &) = delete;
+
+    /** Appends one row and flushes; callable from any thread. */
+    void write(const std::string &json_row);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::mutex mutex_;
+};
+
+/**
+ * Job hashes of rows in @p path that completed with status "ok".
+ * Missing file yields an empty set; failed rows are not included,
+ * so resume re-runs them.
+ */
+std::set<std::string> loadCompletedHashes(const std::string &path);
+
+} // namespace lap
+
+#endif // LAPSIM_CAMPAIGN_SINK_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Declarative experiment campaigns.
+ *
+ * A CampaignSpec describes a grid: a base SimConfig, a set of
+ * workloads, an optional inclusion-policy axis and any number of
+ * generic axes over named SimConfig fields (see
+ * sim/config_fields.hh). expandCampaign() takes the cartesian
+ * product and yields independent CampaignJobs, each carrying a
+ * fully resolved SimConfig, a content-derived seed salt and a
+ * stable 64-bit job hash. The hash is a pure function of the job's
+ * parameters (never of its position in the grid), so adding or
+ * removing grid points does not invalidate completed results when
+ * resuming an interrupted campaign.
+ */
+
+#ifndef LAPSIM_CAMPAIGN_SPEC_HH
+#define LAPSIM_CAMPAIGN_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace lap
+{
+
+/** One workload slot of a campaign grid. */
+struct CampaignWorkload
+{
+    enum class Kind : std::uint8_t
+    {
+        Mix,        //!< Named Table III / MIXn mix.
+        Duplicate,  //!< N duplicate copies of one benchmark.
+        Benchmarks, //!< Explicit per-core benchmark list (cycled).
+        Parsec,     //!< Multi-threaded PARSEC run (coherence on).
+    };
+
+    Kind kind = Kind::Mix;
+    std::string name;                    //!< Mix/benchmark/app name.
+    std::vector<std::string> benchmarks; //!< Kind::Benchmarks only.
+
+    /** Stable serialization, e.g. "mix:WH1"; part of the job key. */
+    std::string key() const;
+
+    static CampaignWorkload mix(std::string name);
+    static CampaignWorkload duplicate(std::string benchmark);
+    static CampaignWorkload benchmarkList(
+        std::vector<std::string> benchmarks);
+    static CampaignWorkload parsec(std::string name);
+};
+
+/** One axis over a named SimConfig field. */
+struct ConfigAxis
+{
+    std::string field;               //!< Registry name, e.g. "llc-mb".
+    std::vector<std::string> values; //!< Parsed per job.
+};
+
+/** A declarative experiment grid. */
+struct CampaignSpec
+{
+    std::string name = "campaign";
+    /** Applied to every job before axes; env-scaled at expansion. */
+    SimConfig base;
+    /** Mixed into every job's content-derived seed salt. */
+    std::uint64_t seed = 0;
+    std::vector<CampaignWorkload> workloads;
+    /** Inclusion-policy axis; empty keeps base.policy. */
+    std::vector<PolicyKind> policies;
+    /** Generic field axes, applied in order. */
+    std::vector<ConfigAxis> axes;
+};
+
+/** One fully resolved, independently runnable grid point. */
+struct CampaignJob
+{
+    SimConfig config;
+    CampaignWorkload workload;
+    /** Human label, e.g. "WH1/lap" or "WH1/lap/llc-mb=4". */
+    std::string label;
+    /** Canonical field=value serialization the hash is taken over. */
+    std::string key;
+    /** FNV-1a 64 of key, as a fixed-width hex string. */
+    std::string hash;
+};
+
+/**
+ * Expands the grid (workloads × policies × axes) into jobs. Applies
+ * applyEnvScaling() to every job config and derives each job's
+ * seedSalt from (base seed, spec.seed, workload) — never from the
+ * policy/config axes, so every grid point of one workload replays
+ * the same trace and cross-policy ratios stay controlled. Fatal on
+ * unknown axis fields or malformed axis values.
+ */
+std::vector<CampaignJob> expandCampaign(const CampaignSpec &spec);
+
+/**
+ * Parses the line-oriented campaign spec format:
+ *
+ *   # comment
+ *   name fig14
+ *   seed 7
+ *   set warmup 160000          (base-config override)
+ *   axis llc-mb 4,8,16         (grid axis over a config field)
+ *   policies noni,ex,lap
+ *   mix WL1,WH1                (one workload per list entry)
+ *   duplicate omnetpp
+ *   benchmarks omnetpp,mcf,astar,lbm
+ *   parsec streamcluster
+ *
+ * Fatal on unknown keywords or fields.
+ */
+CampaignSpec parseCampaignSpec(const std::string &text);
+
+/** FNV-1a 64-bit hash of a string (stable across platforms). */
+std::uint64_t fnv1a64(const std::string &text);
+
+} // namespace lap
+
+#endif // LAPSIM_CAMPAIGN_SPEC_HH

@@ -1,11 +1,40 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
 namespace lap
 {
+
+namespace
+{
+
+/** Serializes stderr diagnostics across threads. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/**
+ * Emits one fully formatted line with a single stdio call, so
+ * messages from concurrent campaign jobs never interleave
+ * mid-line.
+ */
+void
+emitLine(const std::string &line)
+{
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+thread_local unsigned fatalThrowDepth = 0;
+
+} // namespace
 
 std::string
 csprintf(const char *fmt, ...)
@@ -26,26 +55,47 @@ csprintf(const char *fmt, ...)
     return std::string(buf.data(), static_cast<size_t>(needed));
 }
 
+FatalError::FatalError(const std::string &msg)
+    : std::runtime_error(msg)
+{
+}
+
+ScopedFatalThrow::ScopedFatalThrow()
+{
+    ++fatalThrowDepth;
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    --fatalThrowDepth;
+}
+
+bool
+fatalThrowsOnThisThread()
+{
+    return fatalThrowDepth > 0;
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    emitLine(csprintf("panic: %s (%s:%d)\n", msg.c_str(), file, line));
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    if (fatalThrowsOnThisThread())
+        throw FatalError(csprintf("%s (%s:%d)", msg.c_str(), file, line));
+    emitLine(csprintf("fatal: %s (%s:%d)\n", msg.c_str(), file, line));
     std::exit(1);
 }
 
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine(csprintf("warn: %s (%s:%d)\n", msg.c_str(), file, line));
 }
 
 } // namespace lap

@@ -7,6 +7,12 @@
  * fatal()  — the user asked for something unsupported (bad config);
  *            exits with an error code.
  * warn()   — something is approximated but the simulation continues.
+ *
+ * All diagnostics are emitted as one atomic write per message, so
+ * lines from concurrent campaign workers never interleave. A worker
+ * that must survive a fatal() (e.g. one job of a sweep hitting a bad
+ * config) installs a ScopedFatalThrow, which turns fatal() on that
+ * thread into a catchable FatalError instead of exit(1).
  */
 
 #ifndef LAPSIM_COMMON_LOGGING_HH
@@ -14,10 +20,34 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace lap
 {
+
+/** Thrown by fatal() while a ScopedFatalThrow is active. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg);
+};
+
+/**
+ * RAII guard: while alive, lap_fatal() on the constructing thread
+ * throws FatalError instead of terminating the process. Nests.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+};
+
+/** True when a ScopedFatalThrow is active on this thread. */
+bool fatalThrowsOnThisThread();
 
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);

@@ -1,0 +1,393 @@
+#include "sim/config_fields.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+std::uint64_t
+parseUint(const std::string &field, const std::string &value)
+{
+    char *end = nullptr;
+    const auto parsed = std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0')
+        lap_fatal("%s: expected a number, got '%s'", field.c_str(),
+                  value.c_str());
+    return parsed;
+}
+
+double
+parseDouble(const std::string &field, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || parsed <= 0.0)
+        lap_fatal("%s: expected a positive number, got '%s'",
+                  field.c_str(), value.c_str());
+    return parsed;
+}
+
+bool
+parseBool(const std::string &field, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on")
+        return true;
+    if (value == "0" || value == "false" || value == "off")
+        return false;
+    lap_fatal("%s: expected a boolean (1|0|true|false|on|off), got '%s'",
+              field.c_str(), value.c_str());
+}
+
+std::string
+fmtDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+MemTech
+techFromString(const std::string &field, const std::string &value)
+{
+    if (value == "sram")
+        return MemTech::SRAM;
+    if (value == "stt" || value == "stt-ram")
+        return MemTech::STTRAM;
+    lap_fatal("%s: unknown tech '%s' (sram|stt)", field.c_str(),
+              value.c_str());
+}
+
+/** One named SimConfig field: parse/apply and canonical formatting. */
+struct FieldEntry
+{
+    const char *name;
+    const char *help;
+    /** Part of the job-hash key (false for observe-only knobs). */
+    bool inKey;
+    std::function<void(SimConfig &, const std::string &,
+                       const std::string &)>
+        set;
+    std::function<std::string(const SimConfig &)> get;
+};
+
+const std::vector<FieldEntry> &
+registry()
+{
+    auto u32 = [](std::uint32_t SimConfig::*member, bool nonzero = true) {
+        return std::pair{
+            [member, nonzero](SimConfig &c, const std::string &f,
+                              const std::string &v) {
+                const auto parsed = parseUint(f, v);
+                if (nonzero && parsed == 0)
+                    lap_fatal("%s: must be >= 1", f.c_str());
+                c.*member = static_cast<std::uint32_t>(parsed);
+            },
+            [member](const SimConfig &c) {
+                return std::to_string(c.*member);
+            }};
+    };
+    auto u64 = [](std::uint64_t SimConfig::*member) {
+        return std::pair{[member](SimConfig &c, const std::string &f,
+                                  const std::string &v) {
+                             c.*member = parseUint(f, v);
+                         },
+                         [member](const SimConfig &c) {
+                             return std::to_string(c.*member);
+                         }};
+    };
+    auto boolean = [](bool SimConfig::*member) {
+        return std::pair{[member](SimConfig &c, const std::string &f,
+                                  const std::string &v) {
+                             c.*member = parseBool(f, v);
+                         },
+                         [member](const SimConfig &c) {
+                             return std::string(c.*member ? "1" : "0");
+                         }};
+    };
+    auto kb = [](std::uint64_t SimConfig::*member) {
+        return std::pair{[member](SimConfig &c, const std::string &f,
+                                  const std::string &v) {
+                             const auto parsed = parseUint(f, v);
+                             if (parsed == 0)
+                                 lap_fatal("%s: must be >= 1", f.c_str());
+                             c.*member = parsed * 1024;
+                         },
+                         [member](const SimConfig &c) {
+                             return std::to_string(c.*member / 1024);
+                         }};
+    };
+
+    static const std::vector<FieldEntry> entries = [&] {
+        std::vector<FieldEntry> r;
+        auto add = [&r](const char *name, const char *help, auto pair,
+                        bool in_key = true) {
+            r.push_back({name, help, in_key, pair.first, pair.second});
+        };
+
+        add("cores", "number of cores", u32(&SimConfig::numCores));
+        add("l1-kb", "private L1D size in KB", kb(&SimConfig::l1Size));
+        add("l1-assoc", "L1D associativity", u32(&SimConfig::l1Assoc));
+        add("l2-kb", "private L2 size in KB", kb(&SimConfig::l2Size));
+        add("l2-assoc", "L2 associativity", u32(&SimConfig::l2Assoc));
+        add("llc-kb", "shared LLC size in KB", kb(&SimConfig::llcSize));
+        add("llc-assoc", "LLC associativity", u32(&SimConfig::llcAssoc));
+        add("llc-banks", "LLC bank count", u32(&SimConfig::llcBanks));
+        add("tech", "LLC technology (sram|stt)",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          c.llcTech = techFromString(f, v);
+                      },
+                      [](const SimConfig &c) {
+                          return std::string(toString(c.llcTech));
+                      }});
+        add("repl", "LLC base replacement (lru|rrip|random)",
+            std::pair{[](SimConfig &c, const std::string &,
+                         const std::string &v) {
+                          c.llcRepl = replKindFromString(v);
+                      },
+                      [](const SimConfig &c) {
+                          return std::string(toString(c.llcRepl));
+                      }});
+        add("hybrid", "hybrid SRAM+STT LLC (bool)",
+            boolean(&SimConfig::hybridLlc));
+        add("sram-ways", "hybrid SRAM ways",
+            u32(&SimConfig::llcSramWays));
+        add("policy",
+            "inclusion policy (inclusive|noni|ex|flex|dswitch|lap-lru|"
+            "lap-loop|lap)",
+            std::pair{[](SimConfig &c, const std::string &,
+                         const std::string &v) {
+                          c.policy = policyKindFromString(v);
+                      },
+                      [](const SimConfig &c) {
+                          return std::string(toString(c.policy));
+                      }});
+        add("placement",
+            "LLC placement (default|winv|loopstt|nloopsram|lhybrid); "
+            "non-default implies hybrid",
+            std::pair{[](SimConfig &c, const std::string &,
+                         const std::string &v) {
+                          c.placement = placementKindFromString(v);
+                          if (c.placement != PlacementKind::Default)
+                              c.hybridLlc = true;
+                      },
+                      [](const SimConfig &c) {
+                          return std::string(toString(c.placement));
+                      }});
+        add("dasca", "dead-write bypass filter (bool)",
+            boolean(&SimConfig::deadWriteBypass));
+        add("coherence", "MOESI snooping (bool)",
+            boolean(&SimConfig::coherence));
+        add("wr-ratio", "STT write/read dynamic-energy ratio",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          c.stt = c.stt.withWriteReadRatio(
+                              parseDouble(f, v));
+                      },
+                      [](const SimConfig &c) {
+                          return fmtDouble(c.stt.writeReadRatio());
+                      }});
+        add("issue-width", "core issue width",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          c.issueWidth = parseDouble(f, v);
+                      },
+                      [](const SimConfig &c) {
+                          return fmtDouble(c.issueWidth);
+                      }});
+        add("clock-ghz", "core clock in GHz",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          c.clockGhz = parseDouble(f, v);
+                      },
+                      [](const SimConfig &c) {
+                          return fmtDouble(c.clockGhz);
+                      }});
+        add("warmup", "warmup references per core",
+            u64(&SimConfig::warmupRefs));
+        add("refs", "measured references per core",
+            u64(&SimConfig::measureRefs));
+        add("seed", "workload seed salt", u64(&SimConfig::seedSalt));
+        add("epoch-cycles", "adaptive-policy epoch length",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          c.tuning.epochCycles = parseUint(f, v);
+                      },
+                      [](const SimConfig &c) {
+                          return std::to_string(c.tuning.epochCycles);
+                      }});
+        add("leader-period", "set-dueling leader period",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          c.tuning.leaderPeriod = static_cast<
+                              std::uint32_t>(parseUint(f, v));
+                      },
+                      [](const SimConfig &c) {
+                          return std::to_string(c.tuning.leaderPeriod);
+                      }});
+        add("flex-margin", "FLEXclusion miss-reduction margin",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          c.tuning.flexMissMargin = parseDouble(f, v);
+                      },
+                      [](const SimConfig &c) {
+                          return fmtDouble(c.tuning.flexMissMargin);
+                      }});
+        add("dram-latency", "DRAM access latency (cycles)",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          c.dram.accessLatency = parseUint(f, v);
+                      },
+                      [](const SimConfig &c) {
+                          return std::to_string(c.dram.accessLatency);
+                      }});
+        add("dram-channels", "DRAM channel count",
+            std::pair{[](SimConfig &c, const std::string &f,
+                         const std::string &v) {
+                          const auto parsed = parseUint(f, v);
+                          if (parsed == 0)
+                              lap_fatal("%s: must be >= 1", f.c_str());
+                          c.dram.channels =
+                              static_cast<std::uint32_t>(parsed);
+                      },
+                      [](const SimConfig &c) {
+                          return std::to_string(c.dram.channels);
+                      }});
+        // Auditing changes failure behaviour, never metrics, so it
+        // does not invalidate completed jobs on resume.
+        add("audit", "fail-fast audit interval (0 = off)",
+            u64(&SimConfig::auditInterval), /*in_key=*/false);
+        return r;
+    }();
+    return entries;
+}
+
+const FieldEntry *
+findField(const std::string &field)
+{
+    // "llc-mb" stays as a CLI-compatible alias of the canonical
+    // "llc-kb" granularity.
+    for (const auto &entry : registry()) {
+        if (field == entry.name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+PlacementKind
+placementKindFromString(const std::string &name)
+{
+    if (name == "default")
+        return PlacementKind::Default;
+    if (name == "winv")
+        return PlacementKind::Winv;
+    if (name == "loopstt")
+        return PlacementKind::LoopStt;
+    if (name == "nloopsram")
+        return PlacementKind::NloopSram;
+    if (name == "lhybrid")
+        return PlacementKind::Lhybrid;
+    lap_fatal("unknown placement '%s' (default|winv|loopstt|nloopsram|"
+              "lhybrid)",
+              name.c_str());
+}
+
+ReplKind
+replKindFromString(const std::string &name)
+{
+    if (name == "lru")
+        return ReplKind::Lru;
+    if (name == "rrip")
+        return ReplKind::Rrip;
+    if (name == "random")
+        return ReplKind::Random;
+    lap_fatal("unknown replacement '%s' (lru|rrip|random)",
+              name.c_str());
+}
+
+bool
+applyConfigField(SimConfig &config, const std::string &field,
+                 const std::string &value)
+{
+    if (field == "llc-mb") {
+        const auto parsed = parseUint(field, value);
+        if (parsed == 0)
+            lap_fatal("llc-mb: must be >= 1");
+        config.llcSize = parsed * 1024 * 1024;
+        return true;
+    }
+    const FieldEntry *entry = findField(field);
+    if (entry == nullptr)
+        return false;
+    entry->set(config, field, value);
+    return true;
+}
+
+std::vector<std::string>
+configFieldNames()
+{
+    std::vector<std::string> names;
+    for (const auto &entry : registry())
+        names.push_back(entry.name);
+    return names;
+}
+
+std::string
+configFieldValue(const SimConfig &config, const std::string &field)
+{
+    const FieldEntry *entry = findField(field);
+    if (entry == nullptr)
+        lap_fatal("unknown config field '%s'", field.c_str());
+    return entry->get(config);
+}
+
+std::string
+configKey(const SimConfig &config)
+{
+    std::string key;
+    for (const auto &entry : registry()) {
+        if (!entry.inKey)
+            continue;
+        key += entry.name;
+        key += '=';
+        key += entry.get(config);
+        key += '|';
+    }
+    // Fields without registry setters that still shape results: the
+    // full technology design points and remaining tuning/DRAM knobs.
+    auto tech = [&key](const char *name, const TechParams &t) {
+        key += csprintf("%s=[%llu,%llu,%.9g,%.9g,%.9g]|", name,
+                        static_cast<unsigned long long>(t.readLatency),
+                        static_cast<unsigned long long>(t.writeLatency),
+                        t.readEnergy, t.writeEnergy,
+                        t.leakagePerTwoMb);
+    };
+    tech("sram-tech", config.sram);
+    tech("stt-tech", config.stt);
+    key += csprintf("dswitch-nj=[%.9g,%.9g]|dram-occ=%llu",
+                    config.tuning.dswitchWriteEnergyNj,
+                    config.tuning.dswitchMissEnergyNj,
+                    static_cast<unsigned long long>(
+                        config.dram.channelOccupancy));
+    return key;
+}
+
+std::string
+configFieldsHelp()
+{
+    std::string out;
+    for (const auto &entry : registry())
+        out += csprintf("  %-14s %s\n", entry.name, entry.help);
+    return out;
+}
+
+} // namespace lap

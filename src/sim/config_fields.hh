@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Named-field access to SimConfig.
+ *
+ * One registry maps stable kebab-case field names ("llc-mb",
+ * "policy", "wr-ratio", ...) onto SimConfig setters, so the lapsim
+ * CLI flags, campaign spec files and campaign sweep axes all share
+ * one parsing/validation path. The same names are used as the
+ * canonical serialization order for job hashing, so the registry is
+ * deliberately exhaustive over every field that can change metrics.
+ */
+
+#ifndef LAPSIM_SIM_CONFIG_FIELDS_HH
+#define LAPSIM_SIM_CONFIG_FIELDS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace lap
+{
+
+/**
+ * Applies `<field>=<value>` to a configuration. Returns false when
+ * the field name is unknown (callers decide whether that is fatal);
+ * fatal on a malformed value for a known field.
+ */
+bool applyConfigField(SimConfig &config, const std::string &field,
+                      const std::string &value);
+
+/** All registered field names, in canonical (hashing) order. */
+std::vector<std::string> configFieldNames();
+
+/** Current value of a registered field, formatted canonically. */
+std::string configFieldValue(const SimConfig &config,
+                             const std::string &field);
+
+/**
+ * Canonical `field=value|...` serialization of every registered
+ * field, used as the stable basis for campaign job keys.
+ */
+std::string configKey(const SimConfig &config);
+
+/** One-line-per-field help text for spec files / --set. */
+std::string configFieldsHelp();
+
+/** Parses a PlacementKind name; fatal on unknown names. */
+PlacementKind placementKindFromString(const std::string &name);
+
+/** Parses a ReplKind name; fatal on unknown names. */
+ReplKind replKindFromString(const std::string &name);
+
+} // namespace lap
+
+#endif // LAPSIM_SIM_CONFIG_FIELDS_HH

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "sim/config_fields.hh"
 
 namespace lap
 {
@@ -21,46 +22,13 @@ parseUint(const std::string &flag, const std::string &value)
     return parsed;
 }
 
-double
-parseDouble(const std::string &flag, const std::string &value)
+/** Applies a config-registry field, fatal when the name is unknown. */
+void
+setField(SimConfig &config, const std::string &field,
+         const std::string &value)
 {
-    char *end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0' || parsed <= 0.0)
-        lap_fatal("%s: expected a positive number, got '%s'",
-                  flag.c_str(), value.c_str());
-    return parsed;
-}
-
-PlacementKind
-parsePlacement(const std::string &value)
-{
-    if (value == "default")
-        return PlacementKind::Default;
-    if (value == "winv")
-        return PlacementKind::Winv;
-    if (value == "loopstt")
-        return PlacementKind::LoopStt;
-    if (value == "nloopsram")
-        return PlacementKind::NloopSram;
-    if (value == "lhybrid")
-        return PlacementKind::Lhybrid;
-    lap_fatal("unknown placement '%s' (default|winv|loopstt|nloopsram|"
-              "lhybrid)",
-              value.c_str());
-}
-
-ReplKind
-parseRepl(const std::string &value)
-{
-    if (value == "lru")
-        return ReplKind::Lru;
-    if (value == "rrip")
-        return ReplKind::Rrip;
-    if (value == "random")
-        return ReplKind::Random;
-    lap_fatal("unknown replacement '%s' (lru|rrip|random)",
-              value.c_str());
+    if (!applyConfigField(config, field, value))
+        lap_fatal("unknown config field '%s'", field.c_str());
 }
 
 } // namespace
@@ -95,18 +63,24 @@ parseCliOptions(const std::vector<std::string> &args)
                 lap_fatal("%s requires a value", flag.c_str());
             return args[++i];
         };
+        // Most value flags map 1:1 onto the shared config-field
+        // registry (the same names campaign specs use).
+        auto field = [&](const char *name) {
+            setField(opts.config, name, next());
+        };
 
         if (flag == "--help" || flag == "-h") {
             opts.showHelp = true;
         } else if (flag == "--policy") {
-            opts.config.policy = policyKindFromString(next());
+            field("policy");
         } else if (flag == "--placement") {
-            opts.config.placement = parsePlacement(next());
-            if (opts.config.placement != PlacementKind::Default)
-                opts.config.hybridLlc = true;
+            field("placement");
         } else if (flag == "--mix") {
             opts.workload = CliOptions::WorkloadKind::Mix;
-            opts.mixName = next();
+            opts.mixNames = splitList(next());
+            if (opts.mixNames.empty())
+                lap_fatal("--mix: empty list");
+            opts.mixName = opts.mixNames.front();
         } else if (flag == "--benchmarks") {
             opts.workload = CliOptions::WorkloadKind::Benchmarks;
             opts.benchmarks = splitList(next());
@@ -117,43 +91,47 @@ parseCliOptions(const std::vector<std::string> &args)
             opts.parsec = next();
             opts.config.coherence = true;
         } else if (flag == "--cores") {
-            opts.config.numCores =
-                static_cast<std::uint32_t>(parseUint(flag, next()));
+            field("cores");
         } else if (flag == "--llc-mb") {
-            opts.config.llcSize = parseUint(flag, next()) * 1024 * 1024;
+            field("llc-mb");
         } else if (flag == "--llc-assoc") {
-            opts.config.llcAssoc =
-                static_cast<std::uint32_t>(parseUint(flag, next()));
+            field("llc-assoc");
         } else if (flag == "--l2-kb") {
-            opts.config.l2Size = parseUint(flag, next()) * 1024;
+            field("l2-kb");
         } else if (flag == "--tech") {
-            const std::string value = next();
-            if (value == "sram")
-                opts.config.llcTech = MemTech::SRAM;
-            else if (value == "stt" || value == "stt-ram")
-                opts.config.llcTech = MemTech::STTRAM;
-            else
-                lap_fatal("unknown tech '%s' (sram|stt)", value.c_str());
+            field("tech");
         } else if (flag == "--hybrid") {
-            opts.config.hybridLlc = true;
+            setField(opts.config, "hybrid", "1");
         } else if (flag == "--sram-ways") {
-            opts.config.llcSramWays =
-                static_cast<std::uint32_t>(parseUint(flag, next()));
+            field("sram-ways");
         } else if (flag == "--wr-ratio") {
-            opts.config.stt = opts.config.stt.withWriteReadRatio(
-                parseDouble(flag, next()));
+            field("wr-ratio");
         } else if (flag == "--repl") {
-            opts.config.llcRepl = parseRepl(next());
+            field("repl");
         } else if (flag == "--dasca") {
-            opts.config.deadWriteBypass = true;
+            setField(opts.config, "dasca", "1");
         } else if (flag == "--refs") {
-            opts.config.measureRefs = parseUint(flag, next());
+            field("refs");
         } else if (flag == "--warmup") {
-            opts.config.warmupRefs = parseUint(flag, next());
+            field("warmup");
         } else if (flag == "--seed") {
-            opts.config.seedSalt = parseUint(flag, next());
+            field("seed");
+        } else if (flag == "--set") {
+            // Generic registry access: --set field=value.
+            const std::string &spec = next();
+            const auto eq = spec.find('=');
+            if (eq == std::string::npos)
+                lap_fatal("--set: expected field=value, got '%s'",
+                          spec.c_str());
+            setField(opts.config, spec.substr(0, eq),
+                     spec.substr(eq + 1));
+        } else if (flag == "--jobs") {
+            opts.jobs =
+                static_cast<std::uint32_t>(parseUint(flag, next()));
+            if (opts.jobs == 0)
+                lap_fatal("--jobs: must be >= 1");
         } else if (flag == "--audit") {
-            opts.config.auditInterval = parseUint(flag, next());
+            field("audit");
             if (opts.config.auditInterval == 0)
                 lap_fatal("--audit: interval must be >= 1");
         } else if (flag == "--stats") {
@@ -174,7 +152,8 @@ cliHelpText()
         "lapsim — selective-inclusion LLC simulator (LAP, ISCA'16)\n"
         "\n"
         "workload selection:\n"
-        "  --mix <WL1..WH5>        Table III mix (default WH1)\n"
+        "  --mix <WL1..WH5>[,..]   Table III mixes (default WH1); a\n"
+        "                          comma list runs each mix as one job\n"
         "  --benchmarks a,b,c,d    SPEC2006 models, one per core\n"
         "                          (cycled if fewer than --cores)\n"
         "  --parsec <name>         multi-threaded PARSEC model\n"
@@ -189,6 +168,7 @@ cliHelpText()
         "  --sram-ways N           hybrid SRAM ways (4)\n"
         "  --wr-ratio F            scale STT write/read energy ratio\n"
         "  --repl lru|rrip|random  LLC base replacement (lru)\n"
+        "  --set field=value       any registry field (see below)\n"
         "\n"
         "policy selection:\n"
         "  --policy P              inclusive|noni|ex|flex|dswitch|\n"
@@ -200,10 +180,15 @@ cliHelpText()
         "run control:\n"
         "  --refs N / --warmup N   measured / warmup refs per core\n"
         "  --seed N                workload seed salt\n"
+        "  --jobs N                worker threads for multi-mix runs\n"
         "  --audit N               fail-fast invariant audit of the\n"
         "                          hierarchy every N transactions\n"
-        "  --json PATH             write config+metrics as JSON\n"
-        "  --stats                 print the full counter dump\n";
+        "  --json PATH             write config+metrics as JSON (JSONL\n"
+        "                          when more than one mix is run)\n"
+        "  --stats                 print the full counter dump\n"
+        "\n"
+        "config-field registry (--set, campaign specs):\n"
+        + configFieldsHelp();
 }
 
 } // namespace lap

@@ -29,10 +29,14 @@ struct CliOptions
 
     SimConfig config;
     WorkloadKind workload = WorkloadKind::Mix;
-    std::string mixName = "WH1";
+    std::string mixName = "WH1"; //!< First of mixNames.
+    /** All requested mixes; more than one runs as a mini-campaign. */
+    std::vector<std::string> mixNames = {"WH1"};
     std::vector<std::string> benchmarks;
     std::string parsec;
     std::string jsonPath; //!< Optional JSON result file.
+    /** Worker threads for multi-mix runs (--jobs). */
+    std::uint32_t jobs = 1;
     bool dumpStats = false; //!< Print the full counter dump.
     bool showHelp = false;
 };

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Campaign engine tests: grid expansion and stable hashing,
+ * serial-vs-parallel determinism, JSONL resume, failure isolation,
+ * spec parsing and aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "campaign/aggregate.hh"
+#include "campaign/engine.hh"
+#include "campaign/jsonl.hh"
+#include "campaign/sink.hh"
+#include "common/logging.hh"
+#include "sim/config_fields.hh"
+
+using namespace lap;
+
+namespace
+{
+
+/**
+ * A 16-job grid (4 mixes x 4 policies) small enough for the test
+ * budget, large enough that 8 workers genuinely overlap.
+ */
+CampaignSpec
+smallGrid()
+{
+    CampaignSpec spec;
+    spec.name = "test-grid";
+    spec.base.warmupRefs = 1'000;
+    spec.base.measureRefs = 6'000;
+    for (const char *mix : {"WL1", "WL2", "WH1", "WH2"})
+        spec.workloads.push_back(CampaignWorkload::mix(mix));
+    spec.policies = {PolicyKind::NonInclusive, PolicyKind::Exclusive,
+                     PolicyKind::Dswitch, PolicyKind::Lap};
+    return spec;
+}
+
+/** Unique temp path; removed in the destructor. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_("/tmp/lapsim_test_" + tag + "_"
+                + std::to_string(::getpid()) + ".jsonl")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+void
+expectIdenticalMetrics(const Metrics &a, const Metrics &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.llcHits, b.llcHits);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(a.llcWritesTotal, b.llcWritesTotal);
+    EXPECT_EQ(a.llcWritesFill, b.llcWritesFill);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.snoopMessages, b.snoopMessages);
+    // Energy is computed per job from the counters above; exact
+    // double equality is expected, not approximate.
+    EXPECT_EQ(a.epi, b.epi);
+    EXPECT_EQ(a.epiStatic, b.epiStatic);
+    EXPECT_EQ(a.epiDynamic, b.epiDynamic);
+    EXPECT_EQ(a.throughput, b.throughput);
+}
+
+} // namespace
+
+TEST(CampaignSpecTest, ExpansionTakesCartesianProduct)
+{
+    CampaignSpec spec = smallGrid();
+    spec.axes.push_back({"llc-mb", {"4", "8"}});
+    const auto jobs = expandCampaign(spec);
+    EXPECT_EQ(jobs.size(), 4u * 4u * 2u);
+
+    // Axis values really land in the per-job configs.
+    std::size_t small = 0;
+    for (const auto &job : jobs)
+        small += job.config.llcSize == 4u * 1024 * 1024 ? 1 : 0;
+    EXPECT_EQ(small, jobs.size() / 2);
+}
+
+TEST(CampaignSpecTest, JobHashesAreStableAndUnique)
+{
+    const auto jobs_a = expandCampaign(smallGrid());
+    const auto jobs_b = expandCampaign(smallGrid());
+    ASSERT_EQ(jobs_a.size(), jobs_b.size());
+
+    std::set<std::string> hashes;
+    for (std::size_t i = 0; i < jobs_a.size(); ++i) {
+        EXPECT_EQ(jobs_a[i].hash, jobs_b[i].hash) << jobs_a[i].label;
+        EXPECT_EQ(jobs_a[i].hash.size(), 16u);
+        hashes.insert(jobs_a[i].hash);
+    }
+    EXPECT_EQ(hashes.size(), jobs_a.size()) << "hash collision";
+
+    // The hash is content-derived: changing a config knob changes
+    // it, renaming the campaign changes it.
+    CampaignSpec renamed = smallGrid();
+    renamed.name = "other";
+    EXPECT_NE(expandCampaign(renamed)[0].hash, jobs_a[0].hash);
+    CampaignSpec resized = smallGrid();
+    resized.base.llcAssoc = 8;
+    EXPECT_NE(expandCampaign(resized)[0].hash, jobs_a[0].hash);
+}
+
+TEST(CampaignSpecTest, SeedSaltIsPerWorkloadNotPerPolicy)
+{
+    CampaignSpec spec = smallGrid();
+    spec.seed = 7;
+    const auto jobs = expandCampaign(spec);
+    // Same workload, different policies: same trace seed.
+    EXPECT_EQ(jobs[0].config.seedSalt, jobs[1].config.seedSalt);
+    // Different workloads: decorrelated seeds under a nonzero
+    // campaign seed.
+    EXPECT_NE(jobs[0].config.seedSalt,
+              jobs[spec.policies.size()].config.seedSalt);
+
+    // seed 0 preserves the base salt for every job, matching a
+    // hand-rolled serial sweep of the same configs.
+    const auto plain = expandCampaign(smallGrid());
+    for (const auto &job : plain)
+        EXPECT_EQ(job.config.seedSalt, 0u);
+}
+
+TEST(CampaignEngineTest, EightWorkersMatchSerialBitExactly)
+{
+    const CampaignSpec spec = smallGrid();
+
+    EngineOptions serial;
+    serial.jobs = 1;
+    const CampaignResult a = runCampaign(spec, serial);
+
+    EngineOptions parallel;
+    parallel.jobs = 8;
+    const CampaignResult b = runCampaign(spec, parallel);
+
+    ASSERT_EQ(a.jobs.size(), 16u);
+    ASSERT_EQ(b.jobs.size(), 16u);
+    EXPECT_EQ(a.completed(), 16u);
+    EXPECT_EQ(b.completed(), 16u);
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+        SCOPED_TRACE(a.jobs[i].label);
+        EXPECT_EQ(a.jobs[i].hash, b.jobs[i].hash);
+        expectIdenticalMetrics(a.outcomes[i].metrics,
+                               b.outcomes[i].metrics);
+    }
+}
+
+TEST(CampaignEngineTest, ResumeSkipsCompletedJobs)
+{
+    const CampaignSpec spec = smallGrid();
+    TempFile out("resume");
+
+    EngineOptions first;
+    first.jobs = 4;
+    first.outPath = out.path();
+    const CampaignResult a = runCampaign(spec, first);
+    EXPECT_EQ(a.completed(), 16u);
+
+    EngineOptions again = first;
+    again.resume = true;
+    const CampaignResult b = runCampaign(spec, again);
+    EXPECT_EQ(b.skipped(), 16u);
+    EXPECT_EQ(b.completed(), 0u);
+
+    // Results survive the no-op resume: still 16 ok rows.
+    EXPECT_EQ(loadCompletedHashes(out.path()).size(), 16u);
+}
+
+TEST(CampaignEngineTest, ResumeAfterInterruptionRunsOnlyTheRest)
+{
+    const CampaignSpec spec = smallGrid();
+    TempFile out("interrupt");
+
+    EngineOptions full;
+    full.jobs = 2;
+    full.outPath = out.path();
+    runCampaign(spec, full);
+
+    // Simulate an interrupted campaign: keep the first 9 rows and
+    // truncate the 10th mid-line (a crash mid-write).
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(out.path());
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 16u);
+    {
+        std::ofstream trunc(out.path(), std::ios::trunc);
+        for (std::size_t i = 0; i < 9; ++i)
+            trunc << lines[i] << "\n";
+        trunc << lines[9].substr(0, lines[9].size() / 2);
+    }
+
+    EngineOptions resume = full;
+    resume.resume = true;
+    const CampaignResult b = runCampaign(spec, resume);
+    EXPECT_EQ(b.skipped(), 9u);
+    EXPECT_EQ(b.completed(), 7u);
+
+    // The finished file covers the whole grid again.
+    EXPECT_EQ(loadCompletedHashes(out.path()).size(), 16u);
+}
+
+TEST(CampaignEngineTest, FatalJobIsRecordedFailedWithoutKillingRun)
+{
+    CampaignSpec spec;
+    spec.name = "partial";
+    spec.base.warmupRefs = 500;
+    spec.base.measureRefs = 2'000;
+    spec.workloads.push_back(CampaignWorkload::mix("WL1"));
+    spec.workloads.push_back(CampaignWorkload::mix("NO_SUCH_MIX"));
+    spec.workloads.push_back(
+        CampaignWorkload::duplicate("omnetpp"));
+
+    TempFile out("failed");
+    EngineOptions opts;
+    opts.jobs = 3;
+    opts.outPath = out.path();
+    const CampaignResult result = runCampaign(spec, opts);
+
+    ASSERT_EQ(result.jobs.size(), 3u);
+    EXPECT_EQ(result.completed(), 2u);
+    EXPECT_EQ(result.failed(), 1u);
+    EXPECT_EQ(result.outcomes[1].status, JobStatus::Failed);
+    EXPECT_NE(result.outcomes[1].error.find("unknown mix"),
+              std::string::npos);
+
+    // The failed row is archived (status "failed") but not counted
+    // as completed, so a resume retries exactly that job.
+    EXPECT_EQ(loadCompletedHashes(out.path()).size(), 2u);
+    std::size_t failed_rows = 0;
+    for (const auto &row : loadJsonl(out.path()))
+        failed_rows += rowValue(row, "status") == "failed" ? 1 : 0;
+    EXPECT_EQ(failed_rows, 1u);
+
+    EngineOptions resume = opts;
+    resume.resume = true;
+    const CampaignResult second = runCampaign(spec, resume);
+    EXPECT_EQ(second.skipped(), 2u);
+    EXPECT_EQ(second.failed(), 1u);
+}
+
+TEST(CampaignEngineTest, AuditorRidesAlongPerJob)
+{
+    CampaignSpec spec;
+    spec.name = "audited";
+    spec.base.warmupRefs = 500;
+    spec.base.measureRefs = 2'000;
+    spec.base.auditInterval = 256; // fail-fast invariant checking
+    spec.workloads.push_back(CampaignWorkload::mix("WH1"));
+    spec.policies = {PolicyKind::Exclusive, PolicyKind::Lap};
+
+    EngineOptions opts;
+    opts.jobs = 2;
+    const CampaignResult result = runCampaign(spec, opts);
+    EXPECT_EQ(result.completed(), 2u);
+}
+
+TEST(CampaignSpecTest, ParsesSpecText)
+{
+    const std::string text =
+        "# fig14-style sweep\n"
+        "name demo\n"
+        "seed 3\n"
+        "set warmup 1000\n"
+        "set refs 4000\n"
+        "axis llc-mb 4,8\n"
+        "policies noni,lap\n"
+        "mix WL1,WH1\n"
+        "duplicate omnetpp\n"
+        "parsec streamcluster\n";
+    const CampaignSpec spec = parseCampaignSpec(text);
+    EXPECT_EQ(spec.name, "demo");
+    EXPECT_EQ(spec.seed, 3u);
+    EXPECT_EQ(spec.base.warmupRefs, 1'000u);
+    EXPECT_EQ(spec.base.measureRefs, 4'000u);
+    ASSERT_EQ(spec.axes.size(), 1u);
+    EXPECT_EQ(spec.axes[0].field, "llc-mb");
+    ASSERT_EQ(spec.workloads.size(), 4u);
+    EXPECT_EQ(spec.workloads[3].kind,
+              CampaignWorkload::Kind::Parsec);
+
+    // 4 workloads x 2 policies x 2 axis values.
+    EXPECT_EQ(expandCampaign(spec).size(), 16u);
+
+    // Parsec jobs get coherence switched on.
+    bool saw_parsec = false;
+    for (const auto &job : expandCampaign(spec)) {
+        if (job.workload.kind == CampaignWorkload::Kind::Parsec) {
+            saw_parsec = true;
+            EXPECT_TRUE(job.config.coherence);
+        }
+    }
+    EXPECT_TRUE(saw_parsec);
+}
+
+TEST(CampaignSpecTest, SpecRejectsUnknownKeywordsAndFields)
+{
+    const ScopedFatalThrow guard;
+    EXPECT_THROW(parseCampaignSpec("wibble 3\n"), FatalError);
+    EXPECT_THROW(parseCampaignSpec("set no-such-field 3\n"),
+                 FatalError);
+    EXPECT_THROW(
+        expandCampaign(parseCampaignSpec("mix WL1\naxis bogus 1,2\n")),
+        FatalError);
+    EXPECT_THROW(expandCampaign(CampaignSpec{}), FatalError);
+}
+
+TEST(ConfigFieldsTest, RegistryAppliesAndSerializes)
+{
+    SimConfig config;
+    EXPECT_TRUE(applyConfigField(config, "cores", "8"));
+    EXPECT_TRUE(applyConfigField(config, "llc-mb", "4"));
+    EXPECT_TRUE(applyConfigField(config, "policy", "lap"));
+    EXPECT_TRUE(applyConfigField(config, "tech", "sram"));
+    EXPECT_TRUE(applyConfigField(config, "placement", "lhybrid"));
+    EXPECT_TRUE(applyConfigField(config, "dasca", "on"));
+    EXPECT_FALSE(applyConfigField(config, "not-a-field", "1"));
+
+    EXPECT_EQ(config.numCores, 8u);
+    EXPECT_EQ(config.llcSize, 4u * 1024 * 1024);
+    EXPECT_EQ(config.policy, PolicyKind::Lap);
+    EXPECT_EQ(config.llcTech, MemTech::SRAM);
+    EXPECT_TRUE(config.hybridLlc) << "placement implies hybrid";
+    EXPECT_TRUE(config.deadWriteBypass);
+
+    EXPECT_EQ(configFieldValue(config, "cores"), "8");
+    EXPECT_EQ(configFieldValue(config, "llc-kb"), "4096");
+
+    // configKey covers every registered field and round-trips the
+    // values just set.
+    const std::string key = configKey(config);
+    EXPECT_NE(key.find("cores=8|"), std::string::npos);
+    EXPECT_NE(key.find("llc-kb=4096|"), std::string::npos);
+    // Audit is observe-only and deliberately excluded.
+    applyConfigField(config, "audit", "100");
+    EXPECT_EQ(configKey(config), key);
+}
+
+TEST(ConfigFieldsTest, MalformedValuesAreFatal)
+{
+    const ScopedFatalThrow guard;
+    SimConfig config;
+    EXPECT_THROW(applyConfigField(config, "cores", "zero"),
+                 FatalError);
+    EXPECT_THROW(applyConfigField(config, "cores", "0"), FatalError);
+    EXPECT_THROW(applyConfigField(config, "tech", "dram"),
+                 FatalError);
+    EXPECT_THROW(applyConfigField(config, "dasca", "maybe"),
+                 FatalError);
+}
+
+TEST(JsonlTest, ParsesWriterOutputRoundTrip)
+{
+    CampaignJob job;
+    job.hash = "0123456789abcdef";
+    job.label = "WH1/lap \"quoted\"";
+    job.workload = CampaignWorkload::mix("WH1");
+    JobOutcome outcome;
+    outcome.status = JobStatus::Ok;
+    outcome.metrics.instructions = 123456;
+    outcome.metrics.epi = 0.4375;
+    outcome.wallMs = 12.5;
+
+    JsonRow row;
+    ASSERT_TRUE(
+        parseJsonObject(jobToJsonRow("rt", job, outcome), row));
+    EXPECT_EQ(rowValue(row, "hash"), job.hash);
+    EXPECT_EQ(rowValue(row, "label"), job.label);
+    EXPECT_EQ(rowValue(row, "status"), "ok");
+    EXPECT_EQ(rowValue(row, "metrics.instructions"), "123456");
+    EXPECT_EQ(rowValue(row, "metrics.epi"), "0.4375");
+    EXPECT_EQ(rowValue(row, "config.numCores"), "4");
+
+    JsonRow bad;
+    EXPECT_FALSE(parseJsonObject("{\"a\":", bad));
+    EXPECT_FALSE(parseJsonObject("not json", bad));
+    JsonRow nested;
+    EXPECT_TRUE(parseJsonObject(
+        "{\"a\":{\"b\":[1,2]},\"c\":true}", nested));
+    EXPECT_EQ(rowValue(nested, "a.b.1"), "2");
+    EXPECT_EQ(rowValue(nested, "c"), "true");
+}
+
+TEST(AggregateTest, BuildsNormalizedTableFromRows)
+{
+    auto make_row = [](const std::string &mix, const std::string &pol,
+                       double epi) {
+        JsonRow row;
+        row["status"] = "ok";
+        row["workload"] = mix;
+        row["config.policy"] = pol;
+        row["metrics.epi"] = std::to_string(epi);
+        return row;
+    };
+    std::vector<JsonRow> rows{
+        make_row("WL1", "noni", 2.0), make_row("WL1", "lap", 1.0),
+        make_row("WH1", "noni", 4.0), make_row("WH1", "lap", 3.0),
+        // A stale duplicate earlier in the file loses to the
+        // re-run appended later (resume semantics).
+        make_row("WH1", "lap", 2.0),
+    };
+
+    AggregateSpec spec;
+    spec.normalizeCol = "noni";
+    const std::string table = aggregateRows(rows, spec).toCsv();
+    EXPECT_NE(table.find("WL1,1.000,0.500"), std::string::npos)
+        << table;
+    EXPECT_NE(table.find("WH1,1.000,0.500"), std::string::npos)
+        << table;
+    EXPECT_NE(table.find("mean,1.000,0.500"), std::string::npos)
+        << table;
+}
+
+TEST(LoggingTest, ScopedFatalThrowConfinesAndNests)
+{
+    EXPECT_FALSE(fatalThrowsOnThisThread());
+    {
+        const ScopedFatalThrow outer;
+        EXPECT_TRUE(fatalThrowsOnThisThread());
+        {
+            const ScopedFatalThrow inner;
+            EXPECT_TRUE(fatalThrowsOnThisThread());
+            try {
+                lap_fatal("boom %d", 42);
+                FAIL() << "fatal did not throw";
+            } catch (const FatalError &err) {
+                EXPECT_NE(std::string(err.what()).find("boom 42"),
+                          std::string::npos);
+            }
+        }
+        EXPECT_TRUE(fatalThrowsOnThisThread());
+    }
+    EXPECT_FALSE(fatalThrowsOnThisThread());
+}
