@@ -63,6 +63,10 @@ const char *kHelp =
     "  --metric FIELD          cell metric (default 'metrics.epi')\n"
     "  --normalize COL         normalize rows to this column value\n"
     "  --precision N           cell precision (default 3)\n"
+    "  --phases N              reduce each label's epoch stream (from\n"
+    "                          epoch-stats runs) into N time phases;\n"
+    "                          cells are per-phase means of --metric\n"
+    "                          (default metric then: 'llcMisses')\n"
     "\n"
     "config fields for --set/--axis:\n";
 
@@ -98,6 +102,9 @@ main(int argc, char **argv)
     EngineOptions engine;
     AggregateSpec agg;
     std::string aggregate_path;
+    int phases = 0;
+    bool metric_set = false;
+    bool rows_set = false;
     bool list_only = false;
     bool have_workloads = false;
 
@@ -182,21 +189,43 @@ main(int argc, char **argv)
             aggregate_path = next();
         } else if (flag == "--rows") {
             agg.rowField = next();
+            rows_set = true;
         } else if (flag == "--cols") {
             agg.colField = next();
         } else if (flag == "--metric") {
             agg.metric = next();
+            metric_set = true;
         } else if (flag == "--normalize") {
             agg.normalizeCol = next();
         } else if (flag == "--precision") {
             agg.precision = std::atoi(next().c_str());
+        } else if (flag == "--phases") {
+            phases = std::atoi(next().c_str());
+            if (phases < 1)
+                lap_fatal("--phases: expected a positive number");
         } else {
             lap_fatal("unknown flag '%s' (see --help)", flag.c_str());
         }
     }
 
     if (!aggregate_path.empty()) {
-        aggregateJsonlFile(aggregate_path, agg).print();
+        if (phases > 0) {
+            // Epoch rows carry raw counters, not end-of-run metrics,
+            // and one label is one job's stream (sharing a workload
+            // key across policies would interleave streams); adjust
+            // the defaults unless the user chose their own.
+            if (!metric_set)
+                agg.metric = "llcMisses";
+            if (!rows_set)
+                agg.rowField = "label";
+            const auto rows = loadJsonl(aggregate_path);
+            if (rows.empty())
+                lap_fatal("no JSONL rows in '%s'",
+                          aggregate_path.c_str());
+            aggregateEpochPhases(rows, agg, phases).print();
+        } else {
+            aggregateJsonlFile(aggregate_path, agg).print();
+        }
         return 0;
     }
 

@@ -17,6 +17,7 @@
 #include "sim/options.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "stats/stats_engine.hh"
 #include "workloads/mixes.hh"
 #include "workloads/parsec.hh"
 #include "workloads/spec2006.hh"
@@ -173,10 +174,26 @@ main(int argc, char **argv)
                     dumpStats(sim.hierarchy()).c_str());
     }
 
+    const StatsEngine *engine = sim.statsEngine();
+    if (engine != nullptr && engine->heat() != nullptr) {
+        std::printf("\n--- LLC heat histogram ---\n%s",
+                    engine->heat()->renderTable().c_str());
+    }
+
     if (!opts.jsonPath.empty()) {
-        writeFile(opts.jsonPath,
-                  experimentToJson(label, opts.config, metrics) + "\n");
+        std::string out =
+            experimentToJson(label, opts.config, metrics) + "\n";
+        // Epoch records ride along as JSONL rows after the
+        // experiment object, one per line.
+        if (engine != nullptr && engine->sampler() != nullptr) {
+            for (const auto &rec : engine->sampler()->records())
+                out += epochToJson(rec) + "\n";
+        }
+        writeFile(opts.jsonPath, out);
         std::printf("\nJSON written to %s\n", opts.jsonPath.c_str());
     }
+    if (!opts.config.traceEventsPath.empty())
+        std::printf("trace events written to %s\n",
+                    opts.config.traceEventsPath.c_str());
     return 0;
 }

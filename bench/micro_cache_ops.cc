@@ -11,6 +11,7 @@
 #include "cache/cache.hh"
 #include "core/policy_factory.hh"
 #include "hierarchy/hierarchy.hh"
+#include "stats/stats_engine.hh"
 #include "workloads/spec2006.hh"
 
 namespace lap
@@ -87,6 +88,62 @@ BENCHMARK(BM_HierarchyAccess)
     ->Arg(static_cast<int>(PolicyKind::NonInclusive))
     ->Arg(static_cast<int>(PolicyKind::Exclusive))
     ->Arg(static_cast<int>(PolicyKind::Lap));
+
+/**
+ * Same access loop with observability probes attached; the second
+ * argument is a probe mask (1 = epoch sampler every 10k
+ * transactions, 2 = heat histogram). Compare against
+ * BM_HierarchyAccess with the same policy argument: the gap is the
+ * probe overhead, which for the epoch sampler alone must stay
+ * within ~5%.
+ */
+void
+BM_HierarchyAccessObserved(benchmark::State &state)
+{
+    const auto kind = static_cast<PolicyKind>(state.range(0));
+    const auto mask = static_cast<std::uint32_t>(state.range(1));
+    HierarchyParams hp;
+    hp.numCores = 1;
+    hp.l1.sizeBytes = 32 * 1024;
+    hp.l1.assoc = 4;
+    hp.l2.sizeBytes = 512 * 1024;
+    hp.l2.assoc = 8;
+    hp.l2.readLatency = 4;
+    hp.llc.sizeBytes = 8 * 1024 * 1024;
+    hp.llc.assoc = 16;
+    hp.llc.banks = 4;
+    hp.llc.dataTech = MemTech::STTRAM;
+    hp.llc.readLatency = 8;
+    hp.llc.writeLatency = 33;
+    CacheHierarchy h(hp, makeInclusionPolicy(kind, 8192));
+
+    StatsOptions so;
+    so.epochInterval = (mask & 1) != 0 ? 10'000 : 0;
+    so.heat = (mask & 2) != 0;
+    StatsEngine engine(h, so);
+
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.below(1 << 20) * 64;
+        const AccessType type =
+            rng.chance(0.25) ? AccessType::Write : AccessType::Read;
+        benchmark::DoNotOptimize(h.access(0, addr, type, now));
+        now += 10;
+    }
+    engine.finish();
+    state.SetItemsProcessed(state.iterations());
+    std::string label = toString(kind);
+    if ((mask & 1) != 0)
+        label += "+epoch10k";
+    if ((mask & 2) != 0)
+        label += "+heat";
+    state.SetLabel(label);
+}
+BENCHMARK(BM_HierarchyAccessObserved)
+    ->Args({static_cast<int>(PolicyKind::NonInclusive), 1})
+    ->Args({static_cast<int>(PolicyKind::Lap), 1})
+    ->Args({static_cast<int>(PolicyKind::Lap), 3});
 
 void
 BM_SyntheticTraceGeneration(benchmark::State &state)

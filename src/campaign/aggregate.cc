@@ -51,6 +51,10 @@ aggregateRows(const std::vector<JsonRow> &rows,
     for (const auto &row : rows) {
         if (rowValue(row, "status") != "ok")
             continue;
+        // Epoch rows share the identity fields of their result row;
+        // only the end-of-run result rows belong in metric tables.
+        if (rowValue(row, "type", "result") != "result")
+            continue;
         const std::string row_key = rowValue(row, spec.rowField);
         const std::string col_key = rowValue(row, spec.colField);
         const std::string value = rowValue(row, spec.metric);
@@ -116,6 +120,62 @@ aggregateRows(const std::vector<JsonRow> &rows,
             sum / static_cast<double>(values.size()), spec.precision));
     }
     table.addRow(mean_row);
+    return table;
+}
+
+Table
+aggregateEpochPhases(const std::vector<JsonRow> &rows,
+                     const AggregateSpec &spec, int phases)
+{
+    lap_assert(phases >= 1, "need >= 1 phase, got %d", phases);
+    // Epoch streams per row key, in file order: the sink writes one
+    // job's epochs contiguously and in index order, and labels are
+    // unique per job, so file order is stream order.
+    std::vector<std::string> row_keys;
+    std::map<std::string, std::vector<double>> streams;
+    for (const auto &row : rows) {
+        if (rowValue(row, "type") != "epoch")
+            continue;
+        if (rowValue(row, "status") != "ok")
+            continue;
+        const std::string row_key = rowValue(row, spec.rowField);
+        const std::string value = rowValue(row, spec.metric);
+        if (row_key.empty() || value.empty())
+            continue;
+        if (streams.find(row_key) == streams.end())
+            row_keys.push_back(row_key);
+        streams[row_key].push_back(std::atof(value.c_str()));
+    }
+    if (row_keys.empty())
+        lap_fatal("aggregate: no epoch rows with metric '%s' (was the "
+                  "campaign run with epoch-stats?)",
+                  spec.metric.c_str());
+
+    std::vector<std::string> headers{spec.rowField};
+    for (int p = 0; p < phases; ++p)
+        headers.push_back("phase" + std::to_string(p));
+    Table table(headers);
+    for (const auto &row_key : row_keys) {
+        const auto &stream = streams[row_key];
+        const auto buckets = static_cast<std::size_t>(phases);
+        std::vector<double> sums(buckets, 0.0);
+        std::vector<std::size_t> counts(buckets, 0);
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            const std::size_t p = i * buckets / stream.size();
+            sums[p] += stream[i];
+            ++counts[p];
+        }
+        std::vector<std::string> out{row_key};
+        for (std::size_t p = 0; p < buckets; ++p) {
+            out.push_back(
+                counts[p] == 0
+                    ? "-"
+                    : Table::num(sums[p]
+                                     / static_cast<double>(counts[p]),
+                                 spec.precision));
+        }
+        table.addRow(out);
+    }
     return table;
 }
 

@@ -68,6 +68,16 @@ struct AggregateSpec
 Table aggregateRows(const std::vector<JsonRow> &rows,
                     const AggregateSpec &spec);
 
+/**
+ * Reduces `"type":"epoch"` rows into a per-phase table: one row per
+ * rowField value, columns phase0..phaseN-1 (each label's epoch
+ * stream split into @p phases equal position buckets), cells the
+ * mean of spec.metric over the bucket. Fatal when the rows hold no
+ * epoch stream (campaign run without epoch-stats).
+ */
+Table aggregateEpochPhases(const std::vector<JsonRow> &rows,
+                           const AggregateSpec &spec, int phases);
+
 /** Loads @p path and aggregates it; fatal when no usable rows. */
 Table aggregateJsonlFile(const std::string &path,
                          const AggregateSpec &spec);

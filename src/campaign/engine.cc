@@ -64,18 +64,22 @@ findMix(const std::string &name, std::uint32_t cores)
     return found;
 }
 
-/** Runs the job's workload on a fresh simulator. */
+/** Runs the job's workload on a fresh simulator; collects the
+ *  observability payloads into @p outcome. */
 Metrics
-executeJob(const CampaignJob &job)
+executeJob(const CampaignJob &job, JobOutcome &outcome)
 {
     Simulator sim(job.config);
+    Metrics metrics;
     switch (job.workload.kind) {
       case CampaignWorkload::Kind::Mix:
-        return sim.run(resolveMix(
+        metrics = sim.run(resolveMix(
             findMix(job.workload.name, job.config.numCores)));
+        break;
       case CampaignWorkload::Kind::Duplicate:
-        return sim.run(resolveMix(duplicateMix(job.workload.name,
-                                               job.config.numCores)));
+        metrics = sim.run(resolveMix(
+            duplicateMix(job.workload.name, job.config.numCores)));
+        break;
       case CampaignWorkload::Kind::Benchmarks: {
         if (job.workload.benchmarks.empty())
             lap_fatal("benchmark-list workload is empty");
@@ -85,13 +89,23 @@ executeJob(const CampaignJob &job)
             mix.benchmarks.push_back(
                 job.workload
                     .benchmarks[c % job.workload.benchmarks.size()]);
-        return sim.run(resolveMix(mix));
+        metrics = sim.run(resolveMix(mix));
+        break;
       }
       case CampaignWorkload::Kind::Parsec:
-        return sim.runMultiThreaded(
+        metrics = sim.runMultiThreaded(
             parsecBenchmark(job.workload.name));
+        break;
+      default:
+        lap_panic("unknown workload kind");
     }
-    lap_panic("unknown workload kind");
+    if (StatsEngine *engine = sim.statsEngine()) {
+        if (const EpochSampler *sampler = engine->sampler())
+            outcome.epochs = sampler->records();
+        if (const LlcHeatMap *heat = engine->heat())
+            outcome.heatJson = heat->renderJson();
+    }
+    return metrics;
 }
 
 } // namespace
@@ -125,7 +139,7 @@ runCampaignJob(const CampaignJob &job)
         // Confine this job's fatals (bad workload name, unsupported
         // config) to this job; the rest of the grid keeps running.
         const ScopedFatalThrow guard;
-        outcome.metrics = executeJob(job);
+        outcome.metrics = executeJob(job, outcome);
         outcome.status = JobStatus::Ok;
     } catch (const FatalError &err) {
         outcome.status = JobStatus::Failed;
@@ -140,7 +154,8 @@ jobToJsonRow(const std::string &campaign, const CampaignJob &job,
              const JobOutcome &outcome)
 {
     JsonWriter w;
-    w.field("hash", job.hash)
+    w.field("type", "result")
+        .field("hash", job.hash)
         .field("campaign", campaign)
         .field("label", job.label)
         .field("workload", job.workload.key())
@@ -149,11 +164,34 @@ jobToJsonRow(const std::string &campaign, const CampaignJob &job,
     if (outcome.status == JobStatus::Ok) {
         w.raw("config", configToJson(job.config))
             .raw("metrics", metricsToJson(outcome.metrics));
+        if (!outcome.heatJson.empty())
+            w.raw("heat", outcome.heatJson);
     } else {
         w.field("error", outcome.error)
             .raw("config", configToJson(job.config));
     }
     return w.str();
+}
+
+std::string
+epochToJsonRow(const std::string &campaign, const CampaignJob &job,
+               const EpochRecord &record)
+{
+    JsonWriter w;
+    w.field("type", "epoch")
+        .field("hash", job.hash)
+        .field("campaign", campaign)
+        .field("label", job.label)
+        .field("workload", job.workload.key())
+        .field("status", "ok")
+        .raw("config", configToJson(job.config));
+    // Splice the epoch counters into the top level so aggregation
+    // addresses them directly ("llcMisses", not "data.llcMisses").
+    std::string row = w.str();
+    row.pop_back(); // trailing '}'
+    row += ",";
+    row += epochToJson(record).substr(1); // skip leading '{'
+    return row;
 }
 
 CampaignResult
@@ -183,9 +221,15 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &options)
         const std::size_t done =
             done_count.fetch_add(1, std::memory_order_relaxed) + 1;
         const JobOutcome &outcome = result.outcomes[index];
-        if (sink && outcome.status != JobStatus::Skipped)
+        if (sink && outcome.status != JobStatus::Skipped) {
+            // Epoch rows land before their result row so a resumed
+            // campaign never sees a result whose epochs are missing.
+            for (const EpochRecord &rec : outcome.epochs)
+                sink->write(epochToJsonRow(spec.name,
+                                           result.jobs[index], rec));
             sink->write(jobToJsonRow(spec.name, result.jobs[index],
                                      outcome));
+        }
         if (options.onJobDone) {
             const std::lock_guard<std::mutex> lock(report_mutex);
             options.onJobDone(result.jobs[index], outcome, done,

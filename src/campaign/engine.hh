@@ -23,6 +23,7 @@
 
 #include "campaign/spec.hh"
 #include "sim/metrics.hh"
+#include "stats/epoch.hh"
 
 namespace lap
 {
@@ -44,6 +45,10 @@ struct JobOutcome
     Metrics metrics;   //!< Valid only when status == Ok.
     std::string error; //!< Non-empty only when status == Failed.
     double wallMs = 0.0;
+    /** Epoch stream of the run (epoch-stats enabled jobs only). */
+    std::vector<EpochRecord> epochs;
+    /** Heat-histogram summary JSON ("" unless heat enabled). */
+    std::string heatJson;
 };
 
 /** Execution knobs of one campaign run. */
@@ -93,10 +98,20 @@ struct CampaignResult
  */
 JobOutcome runCampaignJob(const CampaignJob &job);
 
-/** Serializes one job + outcome into a JSONL result row. */
+/** Serializes one job + outcome into a JSONL result row
+ *  (`"type":"result"`). */
 std::string jobToJsonRow(const std::string &campaign,
                          const CampaignJob &job,
                          const JobOutcome &outcome);
+
+/**
+ * Serializes one epoch record of a job into a JSONL epoch row
+ * (`"type":"epoch"`; epoch counters at the top level, job identity
+ * fields matching the result row).
+ */
+std::string epochToJsonRow(const std::string &campaign,
+                           const CampaignJob &job,
+                           const EpochRecord &record);
 
 /** Expands the spec and executes the grid. */
 CampaignResult runCampaign(const CampaignSpec &spec,

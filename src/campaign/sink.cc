@@ -66,6 +66,11 @@ loadCompletedHashes(const std::string &path)
     for (const auto &row : loadJsonl(path)) {
         if (rowValue(row, "status") != "ok")
             continue;
+        // Epoch rows stream out before their result row; only the
+        // result row marks the job complete. The fallback keeps
+        // pre-typed result files resumable.
+        if (rowValue(row, "type", "result") != "result")
+            continue;
         const std::string hash = rowValue(row, "hash");
         if (!hash.empty())
             hashes.insert(hash);

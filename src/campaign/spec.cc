@@ -176,6 +176,11 @@ expandCampaign(const CampaignSpec &spec)
                 job.key = "campaign=" + spec.name + "|"
                     + workload.key() + "|" + configKey(job.config);
                 job.hash = hashHex(fnv1a64(job.key));
+                // Parallel jobs must not clobber one trace file;
+                // suffix the path per job. Observe-only (inKey=false),
+                // so this never perturbs the hash just computed.
+                if (!job.config.traceEventsPath.empty())
+                    job.config.traceEventsPath += "-" + job.hash;
                 jobs.push_back(std::move(job));
             }
         }

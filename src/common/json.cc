@@ -1,0 +1,87 @@
+#include "common/json.hh"
+
+#include <cstdio>
+
+namespace lap
+{
+
+JsonWriter &
+JsonWriter::field(const std::string &key, const std::string &value)
+{
+    return raw(key, "\"" + escape(value) + "\"");
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, const char *value)
+{
+    return field(key, std::string(value));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return raw(key, buf);
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, std::uint64_t value)
+{
+    return raw(key, std::to_string(value));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, bool value)
+{
+    return raw(key, value ? "true" : "false");
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &key, const std::string &json)
+{
+    if (!body_.empty())
+        body_ += ",";
+    body_ += "\"" + escape(key) + "\":" + json;
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    return "{" + body_ + "}";
+}
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace lap

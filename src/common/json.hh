@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal JSON object building.
+ *
+ * No external JSON dependency: the writer emits a small, well-formed
+ * subset (string/number/bool fields plus nested raw values). Shared
+ * by experiment reporting (sim/report), the campaign JSONL sink and
+ * the observability layer (src/stats).
+ */
+
+#ifndef LAPSIM_COMMON_JSON_HH
+#define LAPSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lap
+{
+
+/** Minimal JSON object builder (string/number/bool fields). */
+class JsonWriter
+{
+  public:
+    JsonWriter &field(const std::string &key, const std::string &value);
+    JsonWriter &field(const std::string &key, const char *value);
+    JsonWriter &field(const std::string &key, double value);
+    JsonWriter &field(const std::string &key, std::uint64_t value);
+    JsonWriter &field(const std::string &key, bool value);
+    /** Inserts a nested raw JSON value (object or array). */
+    JsonWriter &raw(const std::string &key, const std::string &json);
+
+    /** Finishes and returns the object. */
+    std::string str() const;
+
+    /** Escapes a string per JSON rules. */
+    static std::string escape(const std::string &text);
+
+  private:
+    std::string body_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_COMMON_JSON_HH

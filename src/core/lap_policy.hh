@@ -69,6 +69,7 @@ class LapPolicy : public InclusionPolicy
 
     LapVariant variant() const { return variant_; }
     SetDueling &duel() { return duel_; }
+    const SetDueling *dueling() const override { return &duel_; }
 
   private:
     LapVariant variant_;

@@ -53,6 +53,30 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
 }
 
 void
+CacheHierarchy::addObserver(HierarchyObserver *observer)
+{
+    lap_assert(observer != nullptr, "observer must not be null");
+    if (hasObserver(observer))
+        return;
+    observers_.push_back(observer);
+}
+
+void
+CacheHierarchy::removeObserver(HierarchyObserver *observer)
+{
+    observers_.erase(
+        std::remove(observers_.begin(), observers_.end(), observer),
+        observers_.end());
+}
+
+bool
+CacheHierarchy::hasObserver(const HierarchyObserver *observer) const
+{
+    return std::find(observers_.begin(), observers_.end(), observer)
+        != observers_.end();
+}
+
+void
 CacheHierarchy::resetStats()
 {
     stats_.reset();
@@ -63,8 +87,8 @@ CacheHierarchy::resetStats()
         c->resetStats();
     for (auto &c : l2s_)
         c->resetStats();
-    if (observer_)
-        observer_->onStatsReset();
+    for (HierarchyObserver *obs : observers_)
+        obs->onStatsReset();
 }
 
 void
@@ -99,7 +123,7 @@ CacheHierarchy::flushPrivate(CoreId core, Cycle now)
     drain(*l2s_[core], [&](const Cache::Eviction &ev) {
         handleL2Victim(core, ev, now);
     });
-    completeTransaction();
+    completeTransaction(now);
 }
 
 double
@@ -137,24 +161,24 @@ CacheHierarchy::access(CoreId core, Addr byte_addr, AccessType type,
                        Cycle now, std::uint32_t site)
 {
     const AccessResult res = accessImpl(core, byte_addr, type, now, site);
-    completeTransaction();
+    completeTransaction(now);
     return res;
 }
 
 void
-CacheHierarchy::completeTransaction()
+CacheHierarchy::completeTransaction(Cycle now)
 {
     transactionId_++;
-    if (observer_)
-        observer_->onTransactionComplete(transactionId_);
+    for (HierarchyObserver *obs : observers_)
+        obs->onTransactionComplete(transactionId_, now);
 }
 
 void
 CacheHierarchy::noteDemandWrite(Addr ba)
 {
     loopTracker_.onWrite(ba);
-    if (observer_)
-        observer_->onDemandWrite(ba);
+    for (HierarchyObserver *obs : observers_)
+        obs->onDemandWrite(ba);
 }
 
 CacheHierarchy::AccessResult
@@ -240,9 +264,13 @@ CacheHierarchy::accessImpl(CoreId core, Addr byte_addr, AccessType type,
     const std::uint64_t set = llc_->setIndexOf(ba);
     if (CacheBlock *b3 = llc_->access(ba, AccessType::Read)) {
         stats_.llcHits++;
+        for (HierarchyObserver *obs : observers_)
+            obs->onLlcAccess(set, /*hit=*/true, now);
         return serviceFromLlcHit(core, ba, type, now, *b3, site);
     }
     stats_.llcMisses++;
+    for (HierarchyObserver *obs : observers_)
+        obs->onLlcAccess(set, /*hit=*/false, now);
     policy_->noteLlcMiss(set);
     return serviceFromMemory(core, ba, type, now, site);
 }
@@ -419,8 +447,8 @@ CacheHierarchy::handleL2Victim(CoreId core, const Cache::Eviction &ev,
         loopTracker_.onDirtyEviction(ba);
     } else {
         loopTracker_.onCleanEviction(ba, ev.loopBit);
-        if (observer_)
-            observer_->onCleanL2Eviction(ba, ev.loopBit);
+        for (HierarchyObserver *obs : observers_)
+            obs->onCleanL2Eviction(ba, ev.loopBit);
     }
 
     llc_->countTagAccess(); // duplicate check
@@ -443,16 +471,19 @@ CacheHierarchy::handleL2Victim(CoreId core, const Cache::Eviction &ev,
             PlacementOutcome out;
             if (placement_->handleDirtyVictimHit(*llc_, *dup, attrs,
                                                  out)) {
-                countLlcWrite(set, WriteClass::DirtyVictim);
+                countLlcWrite(set, WriteClass::DirtyVictim,
+                              /*loop_bit=*/false, now);
                 for (std::uint32_t i = 0; i < out.migrations; ++i)
-                    countLlcWrite(set, WriteClass::Migration);
+                    countLlcWrite(set, WriteClass::Migration,
+                                  /*loop_bit=*/false, now);
                 llc_->reserveBank(ba, now,
                                   llc_->writeOccupancy(out.writeRegion));
                 handleLlcEviction(out.eviction, now);
             } else {
                 const MemTech region = llc_->wayTech(llc_->wayOf(*dup));
                 llc_->writeBlock(*dup, ev.version);
-                countLlcWrite(set, WriteClass::DirtyVictim);
+                countLlcWrite(set, WriteClass::DirtyVictim,
+                              /*loop_bit=*/false, now);
                 llc_->reserveBank(ba, now, llc_->writeOccupancy(region));
             }
         } else {
@@ -504,9 +535,9 @@ CacheHierarchy::insertIntoLlc(Addr ba, Cache::InsertAttrs attrs,
     }
     attrs.loopAwareVictim = policy_->loopAwareVictim(set);
     PlacementOutcome out = placement_->insert(*llc_, ba, attrs);
-    countLlcWrite(set, cls);
+    countLlcWrite(set, cls, attrs.loopBit, now);
     for (std::uint32_t i = 0; i < out.migrations; ++i)
-        countLlcWrite(set, WriteClass::Migration);
+        countLlcWrite(set, WriteClass::Migration, /*loop_bit=*/false, now);
     llc_->reserveBank(ba, now, llc_->writeOccupancy(out.writeRegion));
     handleLlcEviction(out.eviction, now);
 }
@@ -548,7 +579,8 @@ CacheHierarchy::backInvalidate(Addr ba, Cycle now)
 }
 
 void
-CacheHierarchy::countLlcWrite(std::uint64_t set, WriteClass cls)
+CacheHierarchy::countLlcWrite(std::uint64_t set, WriteClass cls,
+                              bool loop_bit, Cycle now)
 {
     switch (cls) {
       case WriteClass::DataFill:
@@ -565,6 +597,10 @@ CacheHierarchy::countLlcWrite(std::uint64_t set, WriteClass cls)
         break;
     }
     policy_->noteLlcWrite(set);
+    const auto bank =
+        static_cast<std::uint32_t>(set % llc_->params().banks);
+    for (HierarchyObserver *obs : observers_)
+        obs->onLlcWrite(set, bank, cls, loop_bit, now);
 }
 
 void

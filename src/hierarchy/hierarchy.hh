@@ -56,15 +56,6 @@ enum class ServiceLevel : std::uint8_t
     Memory,
 };
 
-/** Classification of LLC data-array writes (paper Fig 15). */
-enum class WriteClass : std::uint8_t
-{
-    DataFill,    //!< Fill from memory on an LLC miss (non-inclusion).
-    CleanVictim, //!< Clean L2 victim insertion (exclusion / LAP).
-    DirtyVictim, //!< Dirty L2 victim insertion or in-place update.
-    Migration,   //!< SRAM -> STT-RAM migration (hybrid LLC).
-};
-
 /** Hierarchy-level statistics beyond the per-cache counters. */
 struct HierarchyStats
 {
@@ -157,13 +148,18 @@ class CacheHierarchy
 
     // --- Observation --------------------------------------------------
     /**
-     * Registers (or, with nullptr, clears) the passive observer.
-     * At most one observer is attached at a time; registering a new
-     * one silently replaces the previous. The observer must outlive
-     * the hierarchy or deregister itself first.
+     * Registers a passive observer. Observers are notified in
+     * registration order and must outlive the hierarchy or remove
+     * themselves first. Re-registering an attached observer is a
+     * no-op (it keeps its original position).
      */
-    void setObserver(HierarchyObserver *observer) { observer_ = observer; }
-    HierarchyObserver *observer() const { return observer_; }
+    void addObserver(HierarchyObserver *observer);
+
+    /** Removes an observer; unknown pointers are ignored. */
+    void removeObserver(HierarchyObserver *observer);
+
+    bool hasObserver(const HierarchyObserver *observer) const;
+    std::size_t observerCount() const { return observers_.size(); }
 
     /** Completed demand accesses / flushes since construction.
      *  Never reset: diagnostic time base for the auditor. */
@@ -217,13 +213,16 @@ class CacheHierarchy
     void handleLlcEviction(const Cache::Eviction &ev, Cycle now);
     void backInvalidate(Addr ba, Cycle now);
 
-    void countLlcWrite(std::uint64_t set, WriteClass cls);
+    /** Counts an LLC data-array write and notifies observers.
+     *  @p loop_bit is the written block's loop-bit. */
+    void countLlcWrite(std::uint64_t set, WriteClass cls, bool loop_bit,
+                       Cycle now);
     void noteFillTouched(CacheBlock &blk);
 
-    /** Records a demand write with the loop tracker and observer. */
+    /** Records a demand write with the loop tracker and observers. */
     void noteDemandWrite(Addr ba);
-    /** Marks the end of a transaction and notifies the observer. */
-    void completeTransaction();
+    /** Marks the end of a transaction and notifies observers. */
+    void completeTransaction(Cycle now);
 
     /** Trains the write filter with an ended insertion's outcome. */
     void observeInsertionOutcome(std::uint32_t site, bool referenced);
@@ -264,7 +263,7 @@ class CacheHierarchy
     Verifier verifier_;
     LoopTracker loopTracker_;
     HierarchyStats stats_;
-    HierarchyObserver *observer_ = nullptr;
+    std::vector<HierarchyObserver *> observers_;
     std::uint64_t transactionId_ = 0;
 };
 

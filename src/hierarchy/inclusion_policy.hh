@@ -27,6 +27,8 @@
 namespace lap
 {
 
+class SetDueling;
+
 /** Strategy consulted by CacheHierarchy at the L2<->LLC boundary. */
 class InclusionPolicy
 {
@@ -70,6 +72,10 @@ class InclusionPolicy
 
     /** Periodic tick with the current maximum core cycle. */
     virtual void tick(Cycle now) { (void)now; }
+
+    /** The policy's set-dueling monitor, if it has one (read-only
+     *  introspection for statistics probes). */
+    virtual const SetDueling *dueling() const { return nullptr; }
 };
 
 } // namespace lap

@@ -4,11 +4,12 @@
  *
  * A HierarchyObserver is notified at well-defined points of the
  * demand-access and victim flows so that analysis layers (the
- * HierarchyAuditor in src/sim, tracing, statistics probes) can
- * follow the hierarchy's evolution without the engine depending on
- * them. Observers must not mutate the hierarchy from a callback:
- * all hooks fire at points where the transaction's state is
- * consistent, and re-entering the engine would invalidate that.
+ * HierarchyAuditor in src/sim, the src/stats epoch sampler, trace
+ * emitter and heat histogram) can follow the hierarchy's evolution
+ * without the engine depending on them. Observers must not mutate
+ * the hierarchy from a callback: all hooks fire at points where the
+ * transaction's state is consistent, and re-entering the engine
+ * would invalidate that.
  */
 
 #ifndef LAPSIM_HIERARCHY_OBSERVER_HH
@@ -21,6 +22,15 @@
 namespace lap
 {
 
+/** Classification of LLC data-array writes (paper Fig 15). */
+enum class WriteClass : std::uint8_t
+{
+    DataFill,    //!< Fill from memory on an LLC miss (non-inclusion).
+    CleanVictim, //!< Clean L2 victim insertion (exclusion / LAP).
+    DirtyVictim, //!< Dirty L2 victim insertion or in-place update.
+    Migration,   //!< SRAM -> STT-RAM migration (hybrid LLC).
+};
+
 /** Callback interface for passive hierarchy instrumentation. */
 class HierarchyObserver
 {
@@ -30,11 +40,14 @@ class HierarchyObserver
     /**
      * A demand access (or a flushPrivate drain) finished and the
      * hierarchy is in a consistent inter-transaction state.
-     * @p transaction is the 1-based count of completed transactions.
+     * @p transaction is the 1-based count of completed transactions;
+     * @p now the cycle the transaction was issued at.
      */
-    virtual void onTransactionComplete(std::uint64_t transaction)
+    virtual void onTransactionComplete(std::uint64_t transaction,
+                                       Cycle now)
     {
         (void)transaction;
+        (void)now;
     }
 
     /** A demand write dirtied @p block_addr (clean streak ends). */
@@ -50,6 +63,33 @@ class HierarchyObserver
     {
         (void)block_addr;
         (void)loop_trip;
+    }
+
+    /**
+     * A demand access reached the LLC lookup and resolved to
+     * @p hit in @p set. Fires once per LLC-level lookup, before the
+     * servicing flows run.
+     */
+    virtual void onLlcAccess(std::uint64_t set, bool hit, Cycle now)
+    {
+        (void)set;
+        (void)hit;
+        (void)now;
+    }
+
+    /**
+     * The LLC data array was written in @p set / @p bank with write
+     * class @p cls. @p loop_bit is the inserted block's loop-bit
+     * (false for in-place dirty updates and migrations).
+     */
+    virtual void onLlcWrite(std::uint64_t set, std::uint32_t bank,
+                            WriteClass cls, bool loop_bit, Cycle now)
+    {
+        (void)set;
+        (void)bank;
+        (void)cls;
+        (void)loop_bit;
+        (void)now;
     }
 
     /** All statistics counters were reset (warmup -> measure). */

@@ -61,6 +61,7 @@ class SwitchingPolicy : public InclusionPolicy
     void tick(Cycle now) override { duel_.tick(now); }
 
     SetDueling &duel() { return duel_; }
+    const SetDueling *dueling() const override { return &duel_; }
 
   protected:
     SetDueling duel_;

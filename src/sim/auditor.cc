@@ -63,9 +63,7 @@ HierarchyAuditor::HierarchyAuditor(CacheHierarchy &hierarchy,
                                    PolicyKind kind, AuditorConfig config)
     : hier_(hierarchy), kind_(kind), config_(config)
 {
-    lap_assert(hier_.observer() == nullptr,
-               "hierarchy already has an observer attached");
-    hier_.setObserver(this);
+    hier_.addObserver(this);
     // The auditor may attach to a warm hierarchy: adopt the loop-bits
     // already resident in the LLC as classified.
     hier_.llc().forEachBlock([&](const CacheBlock &blk) {
@@ -77,13 +75,14 @@ HierarchyAuditor::HierarchyAuditor(CacheHierarchy &hierarchy,
 
 HierarchyAuditor::~HierarchyAuditor()
 {
-    if (hier_.observer() == this)
-        hier_.setObserver(nullptr);
+    hier_.removeObserver(this);
 }
 
 void
-HierarchyAuditor::onTransactionComplete(std::uint64_t transaction)
+HierarchyAuditor::onTransactionComplete(std::uint64_t transaction,
+                                        Cycle now)
 {
+    (void)now;
     if (config_.interval != 0 && transaction % config_.interval == 0)
         auditNow();
 }
@@ -216,6 +215,9 @@ HierarchyAuditor::auditNow()
     checkInclusionHoles();
     checkExclusiveDuplicates();
     checkStatMonotonicity();
+
+    if (onAuditPass_)
+        onAuditPass_(hier_.transactionCount(), violations_);
 }
 
 void

@@ -27,6 +27,7 @@
 #define LAPSIM_SIM_AUDITOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -105,9 +106,10 @@ struct AuditorConfig
 };
 
 /**
- * The invariant checker. Attaches to the hierarchy as its observer
- * for the auditor's lifetime; at most one auditor (or other
- * observer) per hierarchy. The audited hierarchy must outlive it.
+ * The invariant checker. Attaches to the hierarchy as one of its
+ * observers for the auditor's lifetime; at most one auditor per
+ * hierarchy, though it coexists with other observers (statistics
+ * probes). The audited hierarchy must outlive it.
  */
 class HierarchyAuditor final : public HierarchyObserver
 {
@@ -147,8 +149,21 @@ class HierarchyAuditor final : public HierarchyObserver
     const AuditorConfig &config() const { return config_; }
     PolicyKind policyKind() const { return kind_; }
 
+    /**
+     * Invoked after every completed audit pass with the transaction
+     * count and total violations so far (trace emission).
+     */
+    using AuditPassCallback =
+        std::function<void(std::uint64_t transaction,
+                           std::uint64_t violations)>;
+    void setAuditPassCallback(AuditPassCallback cb)
+    {
+        onAuditPass_ = std::move(cb);
+    }
+
     // --- HierarchyObserver -------------------------------------------
-    void onTransactionComplete(std::uint64_t transaction) override;
+    void onTransactionComplete(std::uint64_t transaction,
+                               Cycle now) override;
     void onDemandWrite(Addr block_addr) override;
     void onCleanL2Eviction(Addr block_addr, bool loop_trip) override;
     void onStatsReset() override;
@@ -205,6 +220,8 @@ class HierarchyAuditor final : public HierarchyObserver
     std::vector<std::string> statNames_;
     std::vector<std::uint64_t> statSnapshot_;
     bool haveSnapshot_ = false;
+
+    AuditPassCallback onAuditPass_;
 
     std::uint64_t auditsRun_ = 0;
     std::uint64_t violations_ = 0;

@@ -7,6 +7,7 @@
 #define LAPSIM_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "core/policy_factory.hh"
 #include "energy/tech_params.hh"
@@ -82,6 +83,17 @@ struct SimConfig
     /** Run the hierarchy auditor every N transactions in fail-fast
      *  mode (0 disables auditing). */
     std::uint64_t auditInterval = 0;
+
+    /** Sample per-epoch statistics every N transactions (0 = off).
+     *  Observe-only: never changes simulation results. */
+    std::uint64_t epochStatsInterval = 0;
+
+    /** Collect the per-set/bank LLC heat histogram. Observe-only. */
+    bool heatStats = false;
+
+    /** Write a Chrome trace_event JSON file here ("" = off).
+     *  Observe-only. */
+    std::string traceEventsPath;
 
     std::uint64_t seedSalt = 0;
 };

@@ -264,6 +264,23 @@ registry()
         // does not invalidate completed jobs on resume.
         add("audit", "fail-fast audit interval (0 = off)",
             u64(&SimConfig::auditInterval), /*in_key=*/false);
+        // The observability probes are passive (observer-freedom,
+        // tests/test_epoch_conservation.cc): like auditing they never
+        // change metrics and stay out of the job-hash key.
+        add("epoch-stats", "epoch-sampling interval in txns (0 = off)",
+            u64(&SimConfig::epochStatsInterval), /*in_key=*/false);
+        add("heat", "per-set/bank LLC heat histogram (bool)",
+            boolean(&SimConfig::heatStats), /*in_key=*/false);
+        add("trace-events",
+            "Chrome trace_event JSON output file ('' = off)",
+            std::pair{[](SimConfig &c, const std::string &,
+                         const std::string &v) {
+                          c.traceEventsPath = v;
+                      },
+                      [](const SimConfig &c) {
+                          return c.traceEventsPath;
+                      }},
+            /*in_key=*/false);
         return r;
     }();
     return entries;

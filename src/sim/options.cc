@@ -134,6 +134,16 @@ parseCliOptions(const std::vector<std::string> &args)
             field("audit");
             if (opts.config.auditInterval == 0)
                 lap_fatal("--audit: interval must be >= 1");
+        } else if (flag == "--epoch-stats") {
+            field("epoch-stats");
+            if (opts.config.epochStatsInterval == 0)
+                lap_fatal("--epoch-stats: interval must be >= 1");
+        } else if (flag == "--heat") {
+            setField(opts.config, "heat", "1");
+        } else if (flag == "--trace-events") {
+            field("trace-events");
+            if (opts.config.traceEventsPath.empty())
+                lap_fatal("--trace-events: path must be non-empty");
         } else if (flag == "--stats") {
             opts.dumpStats = true;
         } else if (flag == "--json") {
@@ -186,6 +196,14 @@ cliHelpText()
         "  --json PATH             write config+metrics as JSON (JSONL\n"
         "                          when more than one mix is run)\n"
         "  --stats                 print the full counter dump\n"
+        "\n"
+        "observability (passive; never changes results):\n"
+        "  --epoch-stats N         sample per-epoch statistics every N\n"
+        "                          transactions (appended to --json)\n"
+        "  --trace-events PATH     write Chrome trace_event JSON for\n"
+        "                          chrome://tracing / Perfetto\n"
+        "  --heat                  print the per-set/bank LLC heat\n"
+        "                          histogram\n"
         "\n"
         "config-field registry (--set, campaign specs):\n"
         + configFieldsHelp();

@@ -2,10 +2,9 @@
  * @file
  * Machine-readable experiment reporting.
  *
- * Serializes SimConfig and Metrics into JSON so experiment results
- * can be archived and plotted without screen-scraping the bench
- * tables. No external JSON dependency: the writer emits a small,
- * well-formed subset.
+ * Serializes SimConfig and Metrics into JSON (via the common
+ * JsonWriter) so experiment results can be archived and plotted
+ * without screen-scraping the bench tables.
  */
 
 #ifndef LAPSIM_SIM_REPORT_HH
@@ -13,34 +12,13 @@
 
 #include <string>
 
+#include "common/json.hh"
 #include "hierarchy/hierarchy.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
 
 namespace lap
 {
-
-/** Minimal JSON object builder (string/number/bool fields). */
-class JsonWriter
-{
-  public:
-    JsonWriter &field(const std::string &key, const std::string &value);
-    JsonWriter &field(const std::string &key, const char *value);
-    JsonWriter &field(const std::string &key, double value);
-    JsonWriter &field(const std::string &key, std::uint64_t value);
-    JsonWriter &field(const std::string &key, bool value);
-    /** Inserts a nested raw JSON value (object or array). */
-    JsonWriter &raw(const std::string &key, const std::string &json);
-
-    /** Finishes and returns the object. */
-    std::string str() const;
-
-    /** Escapes a string per JSON rules. */
-    static std::string escape(const std::string &text);
-
-  private:
-    std::string body_;
-};
 
 /** Serializes a configuration to JSON. */
 std::string configToJson(const SimConfig &config);

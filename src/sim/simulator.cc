@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "core/dasca_filter.hh"
 #include "core/hybrid_placement.hh"
+#include "sim/report.hh"
 
 namespace lap
 {
@@ -139,6 +140,20 @@ Simulator::Simulator(const SimConfig &config)
         auditor_ = std::make_unique<HierarchyAuditor>(
             *hierarchy_, config_.policy, ac);
     }
+    StatsOptions so;
+    so.epochInterval = config_.epochStatsInterval;
+    so.heat = config_.heatStats;
+    so.trace = !config_.traceEventsPath.empty();
+    if (so.any()) {
+        statsEngine_ = std::make_unique<StatsEngine>(*hierarchy_, so);
+        if (auditor_ && statsEngine_->trace()) {
+            StatsEngine *engine = statsEngine_.get();
+            auditor_->setAuditPassCallback(
+                [engine](std::uint64_t txn, std::uint64_t violations) {
+                    engine->noteAuditPass(txn, violations);
+                });
+        }
+    }
 }
 
 Metrics
@@ -186,6 +201,12 @@ Simulator::runTraces(const std::vector<TraceSource *> &traces,
     MultiCoreDriver driver(*hierarchy_, traces, cores);
     const RunResult result =
         driver.measure(config_.warmupRefs, config_.measureRefs);
+    if (statsEngine_) {
+        statsEngine_->finish();
+        if (statsEngine_->trace() && !config_.traceEventsPath.empty())
+            writeFile(config_.traceEventsPath,
+                      statsEngine_->trace()->render());
+    }
     return extractMetrics(result);
 }
 

@@ -16,6 +16,7 @@
 #include "sim/auditor.hh"
 #include "sim/config.hh"
 #include "sim/metrics.hh"
+#include "stats/stats_engine.hh"
 #include "workloads/regions.hh"
 
 namespace lap
@@ -52,6 +53,9 @@ class Simulator
     /** The attached auditor, or nullptr when auditInterval == 0. */
     HierarchyAuditor *auditor() { return auditor_.get(); }
 
+    /** The observability probes, or nullptr when all are off. */
+    StatsEngine *statsEngine() { return statsEngine_.get(); }
+
   private:
     Metrics extractMetrics(const RunResult &run_result) const;
 
@@ -59,6 +63,8 @@ class Simulator
     std::unique_ptr<CacheHierarchy> hierarchy_;
     /** Declared after hierarchy_: the auditor detaches first. */
     std::unique_ptr<HierarchyAuditor> auditor_;
+    /** Declared after hierarchy_ for the same reason. */
+    std::unique_ptr<StatsEngine> statsEngine_;
 };
 
 } // namespace lap

@@ -1,0 +1,205 @@
+#include "stats/epoch.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/set_dueling.hh"
+
+namespace lap
+{
+
+std::string
+epochToJson(const EpochRecord &r)
+{
+    JsonWriter w;
+    w.field("epoch", r.index)
+        .field("startTxn", r.startTxn)
+        .field("endTxn", r.endTxn)
+        .field("startCycle", r.startCycle)
+        .field("endCycle", r.endCycle)
+        .field("demandAccesses", r.demandAccesses)
+        .field("demandReads", r.demandReads)
+        .field("demandWrites", r.demandWrites)
+        .field("l1Hits", r.l1Hits)
+        .field("l2Hits", r.l2Hits)
+        .field("llcHits", r.llcHits)
+        .field("llcMisses", r.llcMisses)
+        .field("llcWritesDataFill", r.llcWritesDataFill)
+        .field("llcWritesCleanVictim", r.llcWritesCleanVictim)
+        .field("llcWritesDirtyVictim", r.llcWritesDirtyVictim)
+        .field("llcWritesMigration", r.llcWritesMigration)
+        .field("llcWritesTotal", r.llcWritesTotal())
+        .field("llcDemandFills", r.llcDemandFills)
+        .field("llcRedundantFills", r.llcRedundantFills)
+        .field("llcDeadFills", r.llcDeadFills)
+        .field("llcBackInvalidations", r.llcBackInvalidations)
+        .field("llcBypassedWrites", r.llcBypassedWrites)
+        .field("dramReads", r.dramReads)
+        .field("dramWrites", r.dramWrites)
+        .field("snoopMessages", r.snoopMessages)
+        .field("sampledSets", r.sampledSets)
+        .field("totalSets", r.totalSets)
+        .field("validBlocks", r.validBlocks)
+        .field("loopBlocks", r.loopBlocks)
+        .field("dirtyBlocks", r.dirtyBlocks)
+        .raw("duelWinner", std::to_string(r.duelWinner))
+        .field("duelCostA", r.duelCostA)
+        .field("duelCostB", r.duelCostB)
+        .field("duelEpochs", r.duelEpochs);
+
+    std::string banks = "[";
+    for (std::size_t b = 0; b < r.bankWrites.size(); ++b) {
+        if (b != 0)
+            banks += ",";
+        banks += std::to_string(r.bankWrites[b]);
+    }
+    banks += "]";
+    w.raw("bankWrites", banks);
+    return w.str();
+}
+
+EpochSampler::EpochSampler(CacheHierarchy &hierarchy,
+                           std::uint64_t interval)
+    : hier_(hierarchy), interval_(interval)
+{
+    lap_assert(interval_ > 0, "epoch interval must be positive");
+    bankWrites_.assign(hier_.llc().params().banks, 0);
+    rebaseline();
+    hier_.addObserver(this);
+}
+
+EpochSampler::~EpochSampler()
+{
+    hier_.removeObserver(this);
+}
+
+void
+EpochSampler::rebaseline()
+{
+    statsBase_ = hier_.stats();
+    dramBase_ = hier_.dram().stats();
+    std::fill(bankWrites_.begin(), bankWrites_.end(), 0);
+    txnsInEpoch_ = 0;
+    epochStartTxn_ = hier_.transactionCount();
+    epochStartCycle_ = lastCycle_;
+}
+
+void
+EpochSampler::onTransactionComplete(std::uint64_t transaction, Cycle now)
+{
+    (void)transaction;
+    lastCycle_ = std::max(lastCycle_, now);
+    txnsInEpoch_++;
+    if (txnsInEpoch_ >= interval_)
+        closeEpoch(lastCycle_);
+}
+
+void
+EpochSampler::onLlcWrite(std::uint64_t set, std::uint32_t bank,
+                         WriteClass cls, bool loop_bit, Cycle now)
+{
+    (void)set;
+    (void)cls;
+    (void)loop_bit;
+    (void)now;
+    bankWrites_[bank]++;
+}
+
+void
+EpochSampler::onStatsReset()
+{
+    // The measured window starts fresh: epoch records from warmup
+    // would double-count against the post-reset aggregates.
+    records_.clear();
+    epochIndex_ = 0;
+    rebaseline();
+}
+
+void
+EpochSampler::finish()
+{
+    if (txnsInEpoch_ > 0)
+        closeEpoch(lastCycle_);
+}
+
+void
+EpochSampler::closeEpoch(Cycle now)
+{
+    const HierarchyStats &s = hier_.stats();
+    const DramStats &d = hier_.dram().stats();
+
+    EpochRecord r;
+    r.index = epochIndex_++;
+    r.startTxn = epochStartTxn_;
+    r.endTxn = hier_.transactionCount();
+    r.startCycle = epochStartCycle_;
+    r.endCycle = now;
+
+    r.demandAccesses = s.demandAccesses - statsBase_.demandAccesses;
+    r.demandReads = s.demandReads - statsBase_.demandReads;
+    r.demandWrites = s.demandWrites - statsBase_.demandWrites;
+    r.l1Hits = s.l1Hits - statsBase_.l1Hits;
+    r.l2Hits = s.l2Hits - statsBase_.l2Hits;
+    r.llcHits = s.llcHits - statsBase_.llcHits;
+    r.llcMisses = s.llcMisses - statsBase_.llcMisses;
+    r.llcWritesDataFill =
+        s.llcWritesDataFill - statsBase_.llcWritesDataFill;
+    r.llcWritesCleanVictim =
+        s.llcWritesCleanVictim - statsBase_.llcWritesCleanVictim;
+    r.llcWritesDirtyVictim =
+        s.llcWritesDirtyVictim - statsBase_.llcWritesDirtyVictim;
+    r.llcWritesMigration =
+        s.llcWritesMigration - statsBase_.llcWritesMigration;
+    r.llcDemandFills = s.llcDemandFills - statsBase_.llcDemandFills;
+    r.llcRedundantFills =
+        s.llcRedundantFills - statsBase_.llcRedundantFills;
+    r.llcDeadFills = s.llcDeadFills - statsBase_.llcDeadFills;
+    r.llcBackInvalidations =
+        s.llcBackInvalidations - statsBase_.llcBackInvalidations;
+    r.llcBypassedWrites =
+        s.llcBypassedWrites - statsBase_.llcBypassedWrites;
+    r.dramReads = d.reads - dramBase_.reads;
+    r.dramWrites = d.writes - dramBase_.writes;
+    r.snoopMessages = s.snoop.messages - statsBase_.snoop.messages;
+
+    r.bankWrites = bankWrites_;
+
+    // Strided LLC walk: bounded so large LLCs stay cheap; stride 1
+    // (exact counts) whenever the LLC has at most kMaxSampledSets
+    // sets.
+    const Cache &llc = hier_.llc();
+    r.totalSets = llc.numSets();
+    const std::uint64_t stride =
+        std::max<std::uint64_t>(1,
+                                (r.totalSets + kMaxSampledSets - 1)
+                                    / kMaxSampledSets);
+    for (std::uint64_t set = 0; set < r.totalSets; set += stride) {
+        r.sampledSets++;
+        for (std::uint32_t way = 0; way < llc.assoc(); ++way) {
+            const CacheBlock &blk = llc.blockAt(set, way);
+            if (!blk.valid)
+                continue;
+            r.validBlocks++;
+            if (blk.loopBit)
+                r.loopBlocks++;
+            if (blk.dirty)
+                r.dirtyBlocks++;
+        }
+    }
+
+    if (const SetDueling *duel = hier_.policy().dueling()) {
+        r.duelWinner = duel->winner();
+        r.duelCostA = duel->costA();
+        r.duelCostB = duel->costB();
+        r.duelEpochs = duel->epochsElapsed();
+    }
+
+    records_.push_back(r);
+    rebaseline();
+    if (callback_)
+        callback_(records_.back());
+}
+
+} // namespace lap

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Epoch sampler: time-resolved hierarchy statistics.
+ *
+ * Snapshots the full hierarchy metric set every N completed
+ * transactions into a compact per-epoch record stream, turning the
+ * end-of-run aggregates (paper Figs 15/16) into time series. Every
+ * record holds the *delta* of each monotone counter over its epoch,
+ * so the records partition the run: summing any counter across all
+ * epochs reproduces the end-of-run aggregate bit-exactly (the
+ * conservation property tests/test_epoch_conservation.cc enforces).
+ *
+ * On top of the counter deltas each record samples state that cannot
+ * be reconstructed from counters: the LLC loop-bit/dirty population
+ * (strided walk, bounded per close), the set-dueling PSEL state of
+ * the active policy, and per-LLC-bank write pressure.
+ */
+
+#ifndef LAPSIM_STATS_EPOCH_HH
+#define LAPSIM_STATS_EPOCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "hierarchy/hierarchy.hh"
+#include "hierarchy/observer.hh"
+#include "mem/dram.hh"
+
+namespace lap
+{
+
+/** One epoch's worth of hierarchy activity (counter deltas). */
+struct EpochRecord
+{
+    std::uint64_t index = 0;
+    /** Global transaction ids spanned: (startTxn, endTxn]. */
+    std::uint64_t startTxn = 0;
+    std::uint64_t endTxn = 0;
+    Cycle startCycle = 0;
+    Cycle endCycle = 0;
+
+    // --- Counter deltas over the epoch -------------------------------
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandReads = 0;
+    std::uint64_t demandWrites = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t llcWritesDataFill = 0;
+    std::uint64_t llcWritesCleanVictim = 0;
+    std::uint64_t llcWritesDirtyVictim = 0;
+    std::uint64_t llcWritesMigration = 0;
+    std::uint64_t llcDemandFills = 0;
+    std::uint64_t llcRedundantFills = 0;
+    std::uint64_t llcDeadFills = 0;
+    std::uint64_t llcBackInvalidations = 0;
+    std::uint64_t llcBypassedWrites = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t snoopMessages = 0;
+
+    /** LLC writes per bank this epoch (channel/bank occupancy). */
+    std::vector<std::uint64_t> bankWrites;
+
+    // --- Sampled LLC population at epoch close -----------------------
+    /** Sets visited by the (possibly strided) walk. */
+    std::uint64_t sampledSets = 0;
+    std::uint64_t totalSets = 0;
+    std::uint64_t validBlocks = 0;
+    std::uint64_t loopBlocks = 0;
+    std::uint64_t dirtyBlocks = 0;
+
+    // --- Set-dueling PSEL state at epoch close -----------------------
+    /** Current duel winner (0 = A, 1 = B, -1 = no dueling policy). */
+    int duelWinner = -1;
+    double duelCostA = 0.0;
+    double duelCostB = 0.0;
+    std::uint64_t duelEpochs = 0;
+
+    std::uint64_t
+    llcWritesTotal() const
+    {
+        return llcWritesDataFill + llcWritesCleanVictim
+            + llcWritesDirtyVictim + llcWritesMigration;
+    }
+};
+
+/** Serializes one epoch record as a flat JSON object. */
+std::string epochToJson(const EpochRecord &record);
+
+/**
+ * The sampling observer. Attach with the hierarchy's addObserver via
+ * construction; detaches on destruction. finish() must be called at
+ * end of run to flush the final (possibly partial) epoch.
+ */
+class EpochSampler final : public HierarchyObserver
+{
+  public:
+    /** Sets the walk bound: at most this many sets per epoch close. */
+    static constexpr std::uint64_t kMaxSampledSets = 2048;
+
+    using EpochCallback = std::function<void(const EpochRecord &)>;
+
+    EpochSampler(CacheHierarchy &hierarchy, std::uint64_t interval);
+    ~EpochSampler() override;
+
+    EpochSampler(const EpochSampler &) = delete;
+    EpochSampler &operator=(const EpochSampler &) = delete;
+
+    /** Invoked with each record right after it closes. */
+    void setEpochCallback(EpochCallback cb) { callback_ = std::move(cb); }
+
+    /** Closes the in-flight epoch if it saw any transactions. */
+    void finish();
+
+    const std::vector<EpochRecord> &records() const { return records_; }
+    std::uint64_t interval() const { return interval_; }
+
+    // --- HierarchyObserver -------------------------------------------
+    void onTransactionComplete(std::uint64_t transaction,
+                               Cycle now) override;
+    void onLlcWrite(std::uint64_t set, std::uint32_t bank,
+                    WriteClass cls, bool loop_bit, Cycle now) override;
+    void onStatsReset() override;
+
+  private:
+    /** Re-anchors the epoch baseline at the current counters. */
+    void rebaseline();
+    void closeEpoch(Cycle now);
+
+    CacheHierarchy &hier_;
+    std::uint64_t interval_;
+    EpochCallback callback_;
+
+    std::uint64_t txnsInEpoch_ = 0;
+    std::uint64_t epochIndex_ = 0;
+    std::uint64_t epochStartTxn_ = 0;
+    Cycle epochStartCycle_ = 0;
+    Cycle lastCycle_ = 0;
+
+    HierarchyStats statsBase_;
+    DramStats dramBase_;
+    std::vector<std::uint64_t> bankWrites_;
+
+    std::vector<EpochRecord> records_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_STATS_EPOCH_HH

@@ -1,0 +1,176 @@
+#include "stats/heat.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace lap
+{
+
+LlcHeatMap::LlcHeatMap(CacheHierarchy &hierarchy) : hier_(hierarchy)
+{
+    sets_.assign(hier_.llc().numSets(), SetHeat{});
+    hier_.addObserver(this);
+}
+
+LlcHeatMap::~LlcHeatMap()
+{
+    hier_.removeObserver(this);
+}
+
+void
+LlcHeatMap::onLlcAccess(std::uint64_t set, bool hit, Cycle now)
+{
+    (void)now;
+    if (hit)
+        sets_[set].hits++;
+    else
+        sets_[set].misses++;
+}
+
+void
+LlcHeatMap::onLlcWrite(std::uint64_t set, std::uint32_t bank,
+                       WriteClass cls, bool loop_bit, Cycle now)
+{
+    (void)bank;
+    (void)now;
+    sets_[set].writes[static_cast<std::size_t>(cls)]++;
+    if (loop_bit)
+        sets_[set].loopWrites++;
+}
+
+void
+LlcHeatMap::onStatsReset()
+{
+    std::fill(sets_.begin(), sets_.end(), SetHeat{});
+}
+
+std::vector<BankHeat>
+LlcHeatMap::banks() const
+{
+    const std::uint32_t num_banks = hier_.llc().params().banks;
+    std::vector<BankHeat> out(num_banks);
+    for (std::uint64_t set = 0; set < sets_.size(); ++set) {
+        BankHeat &bank = out[set % num_banks];
+        const SetHeat &sh = sets_[set];
+        bank.hits += sh.hits;
+        bank.misses += sh.misses;
+        bank.writes += sh.writesTotal();
+        bank.migrations +=
+            sh.writes[static_cast<std::size_t>(WriteClass::Migration)];
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+LlcHeatMap::hottestSets(std::size_t count) const
+{
+    std::vector<std::uint64_t> idx(sets_.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    count = std::min(count, idx.size());
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(count),
+                      idx.end(), [&](std::uint64_t a, std::uint64_t b) {
+                          const std::uint64_t wa = sets_[a].writesTotal();
+                          const std::uint64_t wb = sets_[b].writesTotal();
+                          if (wa != wb)
+                              return wa > wb;
+                          return a < b; // deterministic tie-break
+                      });
+    idx.resize(count);
+    return idx;
+}
+
+double
+LlcHeatMap::bankImbalance() const
+{
+    const std::vector<BankHeat> bs = banks();
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (const BankHeat &b : bs) {
+        total += b.writes;
+        peak = std::max(peak, b.writes);
+    }
+    if (total == 0 || bs.empty())
+        return 1.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(bs.size());
+    return static_cast<double>(peak) / mean;
+}
+
+std::string
+LlcHeatMap::renderTable(std::size_t top_sets) const
+{
+    std::string out;
+    out += csprintf("%-6s %12s %12s %12s %12s\n", "bank", "hits",
+                    "misses", "writes", "migrations");
+    const std::vector<BankHeat> bs = banks();
+    for (std::size_t b = 0; b < bs.size(); ++b) {
+        out += csprintf("%-6zu %12llu %12llu %12llu %12llu\n", b,
+                        static_cast<unsigned long long>(bs[b].hits),
+                        static_cast<unsigned long long>(bs[b].misses),
+                        static_cast<unsigned long long>(bs[b].writes),
+                        static_cast<unsigned long long>(
+                            bs[b].migrations));
+    }
+    out += csprintf("bank write imbalance: %.3f\n", bankImbalance());
+    out += csprintf("%-10s %12s %12s %12s\n", "hot-set", "writes",
+                    "hits", "loopWrites");
+    for (std::uint64_t set : hottestSets(top_sets)) {
+        const SetHeat &sh = sets_[set];
+        out += csprintf(
+            "%-10llu %12llu %12llu %12llu\n",
+            static_cast<unsigned long long>(set),
+            static_cast<unsigned long long>(sh.writesTotal()),
+            static_cast<unsigned long long>(sh.hits),
+            static_cast<unsigned long long>(sh.loopWrites));
+    }
+    return out;
+}
+
+std::string
+LlcHeatMap::renderJson(std::size_t top_sets) const
+{
+    std::string banks_json = "[";
+    const std::vector<BankHeat> bs = banks();
+    for (std::size_t b = 0; b < bs.size(); ++b) {
+        if (b != 0)
+            banks_json += ",";
+        JsonWriter w;
+        w.field("bank", std::uint64_t{b})
+            .field("hits", bs[b].hits)
+            .field("misses", bs[b].misses)
+            .field("writes", bs[b].writes)
+            .field("migrations", bs[b].migrations);
+        banks_json += w.str();
+    }
+    banks_json += "]";
+
+    std::string hot_json = "[";
+    bool first = true;
+    for (std::uint64_t set : hottestSets(top_sets)) {
+        if (!first)
+            hot_json += ",";
+        first = false;
+        const SetHeat &sh = sets_[set];
+        JsonWriter w;
+        w.field("set", set)
+            .field("writes", sh.writesTotal())
+            .field("hits", sh.hits)
+            .field("misses", sh.misses)
+            .field("loopWrites", sh.loopWrites);
+        hot_json += w.str();
+    }
+    hot_json += "]";
+
+    JsonWriter w;
+    w.field("sets", std::uint64_t{sets_.size()})
+        .field("banks", std::uint64_t{hier_.llc().params().banks})
+        .field("imbalance", bankImbalance())
+        .raw("perBank", banks_json)
+        .raw("hottest", hot_json);
+    return w.str();
+}
+
+} // namespace lap

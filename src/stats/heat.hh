@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-set / per-bank LLC heat histogram.
+ *
+ * Counts demand hits/misses and data-array writes (per write class)
+ * for every LLC set, aggregated per bank on demand. Intended for
+ * hybrid-placement analysis (paper Figs 24/25): SRAM-way pressure
+ * and migration churn are set-local phenomena that whole-LLC
+ * counters average away.
+ */
+
+#ifndef LAPSIM_STATS_HEAT_HH
+#define LAPSIM_STATS_HEAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "hierarchy/hierarchy.hh"
+#include "hierarchy/observer.hh"
+
+namespace lap
+{
+
+/** Accumulated activity of one LLC set. */
+struct SetHeat
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Writes per WriteClass (DataFill, CleanVictim, DirtyVictim,
+     *  Migration). */
+    std::uint64_t writes[4] = {};
+    std::uint64_t loopWrites = 0;
+
+    std::uint64_t
+    writesTotal() const
+    {
+        return writes[0] + writes[1] + writes[2] + writes[3];
+    }
+};
+
+/** Per-bank aggregate of SetHeat. */
+struct BankHeat
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t migrations = 0;
+};
+
+/** The histogram observer; attaches/detaches like the sampler. */
+class LlcHeatMap final : public HierarchyObserver
+{
+  public:
+    explicit LlcHeatMap(CacheHierarchy &hierarchy);
+    ~LlcHeatMap() override;
+
+    LlcHeatMap(const LlcHeatMap &) = delete;
+    LlcHeatMap &operator=(const LlcHeatMap &) = delete;
+
+    const std::vector<SetHeat> &sets() const { return sets_; }
+
+    /** Aggregates the per-set counters into per-bank totals. */
+    std::vector<BankHeat> banks() const;
+
+    /** Indices of the @p count sets with the most writes. */
+    std::vector<std::uint64_t> hottestSets(std::size_t count) const;
+
+    /** Ratio of the hottest bank's writes to the mean (1 = even). */
+    double bankImbalance() const;
+
+    /** Human-readable bank table plus the hottest sets. */
+    std::string renderTable(std::size_t top_sets = 8) const;
+
+    /** Compact JSON summary (per-bank totals + hottest sets). */
+    std::string renderJson(std::size_t top_sets = 8) const;
+
+    // --- HierarchyObserver -------------------------------------------
+    void onLlcAccess(std::uint64_t set, bool hit, Cycle now) override;
+    void onLlcWrite(std::uint64_t set, std::uint32_t bank,
+                    WriteClass cls, bool loop_bit, Cycle now) override;
+    void onStatsReset() override;
+
+  private:
+    CacheHierarchy &hier_;
+    std::vector<SetHeat> sets_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_STATS_HEAT_HH

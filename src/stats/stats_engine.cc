@@ -1,0 +1,42 @@
+#include "stats/stats_engine.hh"
+
+namespace lap
+{
+
+StatsEngine::StatsEngine(CacheHierarchy &hierarchy,
+                         const StatsOptions &options)
+    : options_(options)
+{
+    if (options_.trace)
+        trace_ = std::make_unique<TraceEmitter>(hierarchy);
+    if (options_.heat)
+        heat_ = std::make_unique<LlcHeatMap>(hierarchy);
+    if (options_.epochInterval != 0) {
+        sampler_ = std::make_unique<EpochSampler>(
+            hierarchy, options_.epochInterval);
+        if (trace_) {
+            TraceEmitter *trace = trace_.get();
+            sampler_->setEpochCallback(
+                [trace](const EpochRecord &rec) {
+                    trace->noteEpoch(rec);
+                });
+        }
+    }
+}
+
+void
+StatsEngine::noteAuditPass(std::uint64_t transaction,
+                           std::uint64_t violations)
+{
+    if (trace_)
+        trace_->noteAuditPass(transaction, violations);
+}
+
+void
+StatsEngine::finish()
+{
+    if (sampler_)
+        sampler_->finish();
+}
+
+} // namespace lap

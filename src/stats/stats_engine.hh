@@ -1,0 +1,76 @@
+/**
+ * @file
+ * StatsEngine: bundles the observability probes behind one switch.
+ *
+ * The simulator (and tests) enable any combination of the epoch
+ * sampler, the trace-event emitter and the LLC heat histogram
+ * through StatsOptions; the engine owns the enabled probes,
+ * registers them with the hierarchy, and wires the sampler's
+ * epoch-close callback into the trace lane. All probes are passive
+ * observers: enabling them never changes simulation results
+ * (tests/test_epoch_conservation.cc).
+ */
+
+#ifndef LAPSIM_STATS_STATS_ENGINE_HH
+#define LAPSIM_STATS_STATS_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "hierarchy/hierarchy.hh"
+#include "stats/epoch.hh"
+#include "stats/heat.hh"
+#include "stats/trace_events.hh"
+
+namespace lap
+{
+
+/** Which probes to enable. */
+struct StatsOptions
+{
+    /** Epoch length in transactions; 0 disables the sampler. */
+    std::uint64_t epochInterval = 0;
+    /** Per-set/bank heat histogram. */
+    bool heat = false;
+    /** Chrome trace_event emission. */
+    bool trace = false;
+
+    bool any() const { return epochInterval != 0 || heat || trace; }
+};
+
+/** Owner/wiring of the enabled probes. */
+class StatsEngine
+{
+  public:
+    StatsEngine(CacheHierarchy &hierarchy, const StatsOptions &options);
+
+    StatsEngine(const StatsEngine &) = delete;
+    StatsEngine &operator=(const StatsEngine &) = delete;
+
+    /** nullptr when the corresponding probe is disabled. */
+    EpochSampler *sampler() { return sampler_.get(); }
+    const EpochSampler *sampler() const { return sampler_.get(); }
+    TraceEmitter *trace() { return trace_.get(); }
+    const TraceEmitter *trace() const { return trace_.get(); }
+    LlcHeatMap *heat() { return heat_.get(); }
+    const LlcHeatMap *heat() const { return heat_.get(); }
+
+    const StatsOptions &options() const { return options_; }
+
+    /** Forwards an auditor pass to the trace lane (if tracing). */
+    void noteAuditPass(std::uint64_t transaction,
+                       std::uint64_t violations);
+
+    /** Flushes the final partial epoch; call at end of run. */
+    void finish();
+
+  private:
+    StatsOptions options_;
+    std::unique_ptr<EpochSampler> sampler_;
+    std::unique_ptr<TraceEmitter> trace_;
+    std::unique_ptr<LlcHeatMap> heat_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_STATS_STATS_ENGINE_HH

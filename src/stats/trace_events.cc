@@ -1,0 +1,154 @@
+#include "stats/trace_events.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json.hh"
+#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/set_dueling.hh"
+
+namespace lap
+{
+
+TraceEmitter::TraceEmitter(CacheHierarchy &hierarchy) : hier_(hierarchy)
+{
+    hier_.addObserver(this);
+}
+
+TraceEmitter::~TraceEmitter()
+{
+    hier_.removeObserver(this);
+}
+
+void
+TraceEmitter::emit(std::uint32_t tid, char ph, std::string name,
+                   const char *cat, Cycle ts, std::string args)
+{
+    // Viewers require non-decreasing timestamps within a lane; test
+    // traffic (flushes at cycle 0, per-core clocks) does not
+    // guarantee that, so clamp.
+    ts = std::max(ts, laneTs_[tid]);
+    laneTs_[tid] = ts;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = cat;
+    ev.ph = ph;
+    ev.ts = ts;
+    ev.tid = tid;
+    ev.args = std::move(args);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceEmitter::onTransactionComplete(std::uint64_t transaction, Cycle now)
+{
+    lastNow_ = std::max(lastNow_, now);
+
+    if (migrationsInTxn_ > 0) {
+        JsonWriter args;
+        args.field("count", migrationsInTxn_)
+            .field("transaction", transaction);
+        emit(kLaneMigration, 'i', "migration-burst", "placement",
+             lastNow_, args.str());
+        migrationsInTxn_ = 0;
+    }
+
+    const SetDueling *duel = hier_.policy().dueling();
+    if (!duel)
+        return;
+    if (!duelSeen_) {
+        // Adopt the starting state silently: only changes are events.
+        duelSeen_ = true;
+        duelEpochsSeen_ = duel->epochsElapsed();
+        duelWinnerSeen_ = duel->winner();
+        return;
+    }
+    if (duel->epochsElapsed() != duelEpochsSeen_) {
+        duelEpochsSeen_ = duel->epochsElapsed();
+        JsonWriter args;
+        args.field("epochs", duel->epochsElapsed())
+            .field("costA", duel->costA())
+            .field("costB", duel->costB())
+            .raw("winner", std::to_string(duel->winner()));
+        emit(kLanePolicy, 'i', "duel-epoch", "dueling", lastNow_,
+             args.str());
+    }
+    if (duel->winner() != duelWinnerSeen_) {
+        duelWinnerSeen_ = duel->winner();
+        JsonWriter args;
+        args.raw("winner", std::to_string(duel->winner()))
+            .field("policy", hier_.policy().name());
+        emit(kLanePolicy, 'i', "policy-switch", "dueling", lastNow_,
+             args.str());
+    }
+}
+
+void
+TraceEmitter::onLlcWrite(std::uint64_t set, std::uint32_t bank,
+                         WriteClass cls, bool loop_bit, Cycle now)
+{
+    (void)set;
+    (void)bank;
+    (void)loop_bit;
+    (void)now;
+    if (cls == WriteClass::Migration)
+        migrationsInTxn_++;
+}
+
+void
+TraceEmitter::onStatsReset()
+{
+    emit(kLanePolicy, 'i', "stats-reset", "control", lastNow_);
+}
+
+void
+TraceEmitter::noteEpoch(const EpochRecord &record)
+{
+    JsonWriter args;
+    args.field("epoch", record.index)
+        .field("llcHits", record.llcHits)
+        .field("llcMisses", record.llcMisses)
+        .field("llcWritesTotal", record.llcWritesTotal())
+        .field("loopBlocks", record.loopBlocks);
+    emit(kLaneEpoch, 'B', "epoch", "epoch", record.startCycle);
+    emit(kLaneEpoch, 'E', "epoch", "epoch", record.endCycle,
+         args.str());
+}
+
+void
+TraceEmitter::noteAuditPass(std::uint64_t transaction,
+                            std::uint64_t violations)
+{
+    JsonWriter args;
+    args.field("transaction", transaction)
+        .field("violations", violations);
+    emit(kLaneAudit, 'i', "audit-pass", "audit", lastNow_, args.str());
+}
+
+std::string
+TraceEmitter::render() const
+{
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &ev : events_) {
+        if (!first)
+            out += ",";
+        first = false;
+        JsonWriter w;
+        w.field("name", ev.name)
+            .field("cat", ev.cat)
+            .field("ph", std::string(1, ev.ph))
+            .field("ts", ev.ts)
+            .field("pid", std::uint64_t{0})
+            .field("tid", std::uint64_t{ev.tid});
+        if (ev.ph == 'i')
+            w.field("s", "t");
+        if (!ev.args.empty())
+            w.raw("args", ev.args);
+        out += w.str();
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace lap

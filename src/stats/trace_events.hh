@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Chrome trace_event emitter.
+ *
+ * Records policy-level control events — set-dueling epoch
+ * evaluations, inclusion-policy switches, hybrid-placement migration
+ * bursts, auditor passes, statistics resets and epoch-sampler
+ * boundaries — as Chrome trace_event JSON, viewable directly in
+ * chrome://tracing or Perfetto. Events are laid out on fixed thread
+ * lanes (one per category) and timestamps are clamped monotone per
+ * lane, which the viewers require; timestamps are core cycles
+ * reported in the "ts" microsecond field (the scale is only used for
+ * display).
+ */
+
+#ifndef LAPSIM_STATS_TRACE_EVENTS_HH
+#define LAPSIM_STATS_TRACE_EVENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "hierarchy/hierarchy.hh"
+#include "hierarchy/observer.hh"
+#include "stats/epoch.hh"
+
+namespace lap
+{
+
+/** One recorded trace event. */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    char ph = 'i'; //!< 'B', 'E' or 'i' (instant).
+    Cycle ts = 0;
+    std::uint32_t tid = 0;
+    /** Raw JSON for the "args" member ("" = none). */
+    std::string args;
+};
+
+/**
+ * The emitter. Attaches to the hierarchy on construction and
+ * detaches on destruction; render() produces the JSON document.
+ */
+class TraceEmitter final : public HierarchyObserver
+{
+  public:
+    // Thread lanes (trace "tid" values).
+    static constexpr std::uint32_t kLaneEpoch = 0;
+    static constexpr std::uint32_t kLanePolicy = 1;
+    static constexpr std::uint32_t kLaneMigration = 2;
+    static constexpr std::uint32_t kLaneAudit = 3;
+    static constexpr std::uint32_t kNumLanes = 4;
+
+    explicit TraceEmitter(CacheHierarchy &hierarchy);
+    ~TraceEmitter() override;
+
+    TraceEmitter(const TraceEmitter &) = delete;
+    TraceEmitter &operator=(const TraceEmitter &) = delete;
+
+    /** Records an epoch-sampler record as a B/E pair on lane 0. */
+    void noteEpoch(const EpochRecord &record);
+
+    /** Records a completed audit pass (lane 3). */
+    void noteAuditPass(std::uint64_t transaction,
+                       std::uint64_t violations);
+
+    /** Renders the full Chrome trace_event JSON document. */
+    std::string render() const;
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    // --- HierarchyObserver -------------------------------------------
+    void onTransactionComplete(std::uint64_t transaction,
+                               Cycle now) override;
+    void onLlcWrite(std::uint64_t set, std::uint32_t bank,
+                    WriteClass cls, bool loop_bit, Cycle now) override;
+    void onStatsReset() override;
+
+  private:
+    /** Appends an event with its timestamp clamped per lane. */
+    void emit(std::uint32_t tid, char ph, std::string name,
+              const char *cat, Cycle ts, std::string args = "");
+
+    CacheHierarchy &hier_;
+    std::vector<TraceEvent> events_;
+    Cycle laneTs_[kNumLanes] = {};
+    Cycle lastNow_ = 0;
+
+    std::uint64_t migrationsInTxn_ = 0;
+    bool duelSeen_ = false;
+    std::uint64_t duelEpochsSeen_ = 0;
+    int duelWinnerSeen_ = -1;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_STATS_TRACE_EVENTS_HH

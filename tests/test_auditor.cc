@@ -101,11 +101,24 @@ TEST(Auditor, IntervalControlsAutoAudits)
     EXPECT_EQ(a.auditor->violationCount(), 0u);
 }
 
-TEST(Auditor, RefusesSecondObserver)
+TEST(Auditor, CoexistsWithOtherObservers)
 {
-    auto a = makeAudited(PolicyKind::NonInclusive);
-    EXPECT_DEATH(HierarchyAuditor(*a.h, PolicyKind::NonInclusive, {}),
-                 "observer");
+    auto a = makeAudited(PolicyKind::NonInclusive, tinyParams(),
+                         /*interval=*/1);
+    EXPECT_TRUE(a.h->hasObserver(a.auditor.get()));
+    EXPECT_EQ(a.h->observerCount(), 1u);
+    {
+        // A second observer (a statistics probe in production)
+        // attaches alongside the auditor and both get notified.
+        HierarchyAuditor second(*a.h, PolicyKind::NonInclusive, {});
+        EXPECT_EQ(a.h->observerCount(), 2u);
+        readBlock(*a.h, 0, 1);
+        EXPECT_GT(second.auditsRun(), 0u);
+        EXPECT_GT(a.auditor->auditsRun(), 0u);
+    }
+    // Destruction removes only the departing observer.
+    EXPECT_EQ(a.h->observerCount(), 1u);
+    EXPECT_TRUE(a.h->hasObserver(a.auditor.get()));
 }
 
 TEST(Auditor, FailFastPanicsOnCorruption)

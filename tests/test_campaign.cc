@@ -275,6 +275,54 @@ TEST(CampaignEngineTest, AuditorRidesAlongPerJob)
     EXPECT_EQ(result.completed(), 2u);
 }
 
+TEST(CampaignEngineTest, EpochRowsStreamThroughSinkAndResume)
+{
+    CampaignSpec spec;
+    spec.name = "epochs";
+    spec.base.warmupRefs = 1'000;
+    spec.base.measureRefs = 8'000;
+    spec.base.epochStatsInterval = 2'000; // several epochs per job
+    spec.workloads.push_back(CampaignWorkload::mix("WL1"));
+    spec.policies = {PolicyKind::NonInclusive, PolicyKind::Lap};
+
+    TempFile out("epochs");
+    EngineOptions opts;
+    opts.jobs = 2;
+    opts.outPath = out.path();
+    const CampaignResult result = runCampaign(spec, opts);
+    ASSERT_EQ(result.completed(), 2u);
+
+    // The sink interleaves typed rows: each job contributes its
+    // epoch rows plus exactly one result row, and every epoch row
+    // carries the owning job's hash and a parseable counter.
+    std::set<std::string> result_hashes;
+    std::size_t epoch_rows = 0;
+    for (const auto &row : loadJsonl(out.path())) {
+        const std::string type = rowValue(row, "type", "result");
+        if (type == "result") {
+            result_hashes.insert(rowValue(row, "hash"));
+            continue;
+        }
+        ASSERT_EQ(type, "epoch");
+        ++epoch_rows;
+        EXPECT_TRUE(result_hashes.count(rowValue(row, "hash")) == 0)
+            << "epoch row written after its result row";
+        EXPECT_FALSE(rowValue(row, "llcMisses").empty());
+        EXPECT_FALSE(rowValue(row, "label").empty());
+    }
+    EXPECT_EQ(result_hashes.size(), 2u);
+    EXPECT_GE(epoch_rows, 2u * 2u) << "expected multiple epochs/job";
+
+    // Only result rows count as completed work: a resume skips both
+    // jobs even though epoch rows outnumber them.
+    EXPECT_EQ(loadCompletedHashes(out.path()).size(), 2u);
+    EngineOptions resume = opts;
+    resume.resume = true;
+    const CampaignResult second = runCampaign(spec, resume);
+    EXPECT_EQ(second.skipped(), 2u);
+    EXPECT_EQ(second.completed(), 0u);
+}
+
 TEST(CampaignSpecTest, ParsesSpecText)
 {
     const std::string text =

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Conservation and observer-freedom tests of the epoch sampler.
+ *
+ * Two properties anchor the observability subsystem:
+ *
+ *  1. Observer-freedom: enabling the probes (epoch sampler, heat
+ *     map, trace emitter) never changes simulation results. A run
+ *     with every probe armed must produce counters and derived
+ *     metrics identical to the bare run.
+ *
+ *  2. Conservation: epoch records hold counter *deltas*, so summing
+ *     any counter across all epochs reproduces the end-of-run
+ *     aggregate bit-exactly — no transaction is lost at epoch
+ *     boundaries or the stats reset between warmup and measure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.hh"
+#include "stats/stats_engine.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+SimConfig
+baseConfig()
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 10'000;
+    cfg.measureRefs = 60'000;
+    cfg.tuning.epochCycles = 50'000;
+    return cfg;
+}
+
+/** One finished run, keeping the simulator alive for inspection. */
+struct SimRun
+{
+    std::unique_ptr<Simulator> sim;
+    Metrics metrics;
+};
+
+SimRun
+runWith(const SimConfig &cfg)
+{
+    SimRun r;
+    r.sim = std::make_unique<Simulator>(cfg);
+    r.metrics = r.sim->run(resolveMix(duplicateMix("mcf", 2)));
+    return r;
+}
+
+void
+expectIdenticalMetrics(const Metrics &a, const Metrics &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.llcHits, b.llcHits);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(a.llcWritesFill, b.llcWritesFill);
+    EXPECT_EQ(a.llcWritesCleanVictim, b.llcWritesCleanVictim);
+    EXPECT_EQ(a.llcWritesDirtyVictim, b.llcWritesDirtyVictim);
+    EXPECT_EQ(a.llcWritesMigration, b.llcWritesMigration);
+    EXPECT_EQ(a.llcDemandFills, b.llcDemandFills);
+    EXPECT_EQ(a.llcDeadFills, b.llcDeadFills);
+    EXPECT_EQ(a.snoopMessages, b.snoopMessages);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    // Derived doubles come from identical integer inputs, so they
+    // must be bit-identical too — no tolerance.
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.epi, b.epi);
+    EXPECT_EQ(a.llcMpki, b.llcMpki);
+}
+
+class EpochConservation : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(EpochConservation, ObserversNeverChangeResults)
+{
+    SimConfig bare = baseConfig();
+    bare.policy = GetParam();
+    const Metrics without = runWith(bare).metrics;
+
+    SimConfig observed = bare;
+    observed.epochStatsInterval = 7'000; // deliberately unaligned
+    observed.heatStats = true;
+    const Metrics with = runWith(observed).metrics;
+
+    expectIdenticalMetrics(without, with);
+}
+
+TEST_P(EpochConservation, EpochSumsMatchEndOfRunAggregates)
+{
+    SimConfig cfg = baseConfig();
+    cfg.policy = GetParam();
+    cfg.epochStatsInterval = 7'000;
+
+    const SimRun run = runWith(cfg);
+    Simulator *sim = run.sim.get();
+    const Metrics &m = run.metrics;
+    ASSERT_NE(sim->statsEngine(), nullptr);
+    const EpochSampler *sampler = sim->statsEngine()->sampler();
+    ASSERT_NE(sampler, nullptr);
+    const auto &records = sampler->records();
+    ASSERT_GE(records.size(), 2u) << "expected a multi-epoch run";
+
+    EpochRecord sum;
+    std::uint64_t bank_writes = 0;
+    for (const EpochRecord &rec : records) {
+        sum.demandAccesses += rec.demandAccesses;
+        sum.demandReads += rec.demandReads;
+        sum.demandWrites += rec.demandWrites;
+        sum.l1Hits += rec.l1Hits;
+        sum.l2Hits += rec.l2Hits;
+        sum.llcHits += rec.llcHits;
+        sum.llcMisses += rec.llcMisses;
+        sum.llcWritesDataFill += rec.llcWritesDataFill;
+        sum.llcWritesCleanVictim += rec.llcWritesCleanVictim;
+        sum.llcWritesDirtyVictim += rec.llcWritesDirtyVictim;
+        sum.llcWritesMigration += rec.llcWritesMigration;
+        sum.llcDemandFills += rec.llcDemandFills;
+        sum.llcRedundantFills += rec.llcRedundantFills;
+        sum.llcDeadFills += rec.llcDeadFills;
+        sum.llcBackInvalidations += rec.llcBackInvalidations;
+        sum.llcBypassedWrites += rec.llcBypassedWrites;
+        sum.dramReads += rec.dramReads;
+        sum.dramWrites += rec.dramWrites;
+        sum.snoopMessages += rec.snoopMessages;
+        for (std::uint64_t w : rec.bankWrites)
+            bank_writes += w;
+    }
+
+    const HierarchyStats &hs = sim->hierarchy().stats();
+    EXPECT_EQ(sum.demandAccesses, hs.demandAccesses);
+    EXPECT_EQ(sum.demandReads, hs.demandReads);
+    EXPECT_EQ(sum.demandWrites, hs.demandWrites);
+    EXPECT_EQ(sum.l1Hits, hs.l1Hits);
+    EXPECT_EQ(sum.l2Hits, hs.l2Hits);
+    EXPECT_EQ(sum.llcHits, hs.llcHits);
+    EXPECT_EQ(sum.llcMisses, hs.llcMisses);
+    EXPECT_EQ(sum.llcWritesDataFill, hs.llcWritesDataFill);
+    EXPECT_EQ(sum.llcWritesCleanVictim, hs.llcWritesCleanVictim);
+    EXPECT_EQ(sum.llcWritesDirtyVictim, hs.llcWritesDirtyVictim);
+    EXPECT_EQ(sum.llcWritesMigration, hs.llcWritesMigration);
+    EXPECT_EQ(sum.llcDemandFills, hs.llcDemandFills);
+    EXPECT_EQ(sum.llcRedundantFills, hs.llcRedundantFills);
+    EXPECT_EQ(sum.llcDeadFills, hs.llcDeadFills);
+    EXPECT_EQ(sum.llcBackInvalidations, hs.llcBackInvalidations);
+    EXPECT_EQ(sum.llcBypassedWrites, hs.llcBypassedWrites);
+    EXPECT_EQ(sum.snoopMessages, hs.snoop.totalMessages());
+    EXPECT_EQ(sum.dramReads, sim->hierarchy().dram().stats().reads);
+    EXPECT_EQ(sum.dramWrites, sim->hierarchy().dram().stats().writes);
+
+    // Per-bank write pressure partitions total LLC writes too.
+    EXPECT_EQ(bank_writes, hs.llcWritesTotal());
+
+    // Cross-check against the extracted Metrics as well.
+    EXPECT_EQ(sum.llcHits, m.llcHits);
+    EXPECT_EQ(sum.llcMisses, m.llcMisses);
+    EXPECT_EQ(sum.llcWritesTotal(), m.llcWritesTotal);
+}
+
+TEST_P(EpochConservation, EpochsPartitionTheTransactionStream)
+{
+    SimConfig cfg = baseConfig();
+    cfg.policy = GetParam();
+    cfg.epochStatsInterval = 5'000;
+
+    const SimRun run = runWith(cfg);
+    const auto &records =
+        run.sim->statsEngine()->sampler()->records();
+    ASSERT_FALSE(records.empty());
+
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const EpochRecord &rec = records[i];
+        EXPECT_EQ(rec.index, i);
+        EXPECT_LT(rec.startTxn, rec.endTxn);
+        EXPECT_LE(rec.startCycle, rec.endCycle);
+        if (i > 0) {
+            // Contiguous, gap-free coverage of (startTxn, endTxn].
+            EXPECT_EQ(rec.startTxn, records[i - 1].endTxn);
+            EXPECT_GE(rec.startCycle, records[i - 1].endCycle);
+        }
+        // Every epoch but the final partial one spans the interval.
+        if (i + 1 < records.size()) {
+            EXPECT_EQ(rec.endTxn - rec.startTxn,
+                      cfg.epochStatsInterval);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, EpochConservation,
+    ::testing::Values(PolicyKind::NonInclusive, PolicyKind::Inclusive,
+                      PolicyKind::Exclusive, PolicyKind::Dswitch,
+                      PolicyKind::Lap),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        switch (info.param) {
+          case PolicyKind::Inclusive: return "inclusive";
+          case PolicyKind::NonInclusive: return "noni";
+          case PolicyKind::Exclusive: return "ex";
+          case PolicyKind::Dswitch: return "dswitch";
+          case PolicyKind::Lap: return "lap";
+          default: return "other";
+        }
+    });
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Golden-metrics regression suite.
+ *
+ * One deterministic workload per inclusion policy (plus the hybrid
+ * Lhybrid placement) runs through the full Simulator and is compared
+ * against the committed baseline in tests/golden/<slug>.json.
+ * Integer counters must match bit-exactly; derived floating-point
+ * metrics (EPI, IPC, MPKI) get a relative tolerance so baselines
+ * survive benign float-formatting differences.
+ *
+ * The configs are built directly (never through applyEnvScaling), so
+ * LAPSIM_FAST / LAPSIM_REFS_SCALE cannot skew a golden run.
+ *
+ * Regenerate baselines after an intentional behaviour change with
+ *   tools/regen-golden.sh
+ * (equivalently: LAPSIM_REGEN_GOLDEN=1 ./build/tests/test_golden_metrics)
+ * and commit the diff alongside the change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/jsonl.hh"
+#include "common/json.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+struct GoldenCase
+{
+    const char *slug;     //!< Baseline file stem and test name.
+    PolicyKind policy;
+    PlacementKind placement;
+    bool hybrid;
+    const char *benchmark; //!< Duplicated across both cores.
+};
+
+const GoldenCase kCases[] = {
+    {"inclusive", PolicyKind::Inclusive, PlacementKind::Default, false,
+     "mcf"},
+    {"noni", PolicyKind::NonInclusive, PlacementKind::Default, false,
+     "mcf"},
+    {"ex", PolicyKind::Exclusive, PlacementKind::Default, false, "mcf"},
+    {"flex", PolicyKind::Flexclusion, PlacementKind::Default, false,
+     "omnetpp"},
+    {"dswitch", PolicyKind::Dswitch, PlacementKind::Default, false,
+     "omnetpp"},
+    {"lap", PolicyKind::Lap, PlacementKind::Default, false,
+     "libquantum"},
+    {"lhybrid", PolicyKind::Lap, PlacementKind::Lhybrid, true,
+     "libquantum"},
+};
+
+SimConfig
+goldenConfig(const GoldenCase &c)
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 10'000;
+    cfg.measureRefs = 50'000;
+    cfg.tuning.epochCycles = 50'000;
+    cfg.policy = c.policy;
+    cfg.placement = c.placement;
+    cfg.hybridLlc = c.hybrid;
+    return cfg;
+}
+
+Metrics
+runGolden(const GoldenCase &c)
+{
+    Simulator sim(goldenConfig(c));
+    return sim.run(resolveMix(duplicateMix(c.benchmark, 2)));
+}
+
+/** The compared metric set, serialized as one flat JSON object. */
+std::string
+goldenJson(const Metrics &m)
+{
+    JsonWriter w;
+    w.field("instructions", m.instructions)
+        .field("cycles", m.cycles)
+        .field("llcHits", m.llcHits)
+        .field("llcMisses", m.llcMisses)
+        .field("llcWritesFill", m.llcWritesFill)
+        .field("llcWritesCleanVictim", m.llcWritesCleanVictim)
+        .field("llcWritesDirtyVictim", m.llcWritesDirtyVictim)
+        .field("llcWritesMigration", m.llcWritesMigration)
+        .field("llcWritesTotal", m.llcWritesTotal)
+        .field("llcDemandFills", m.llcDemandFills)
+        .field("llcDeadFills", m.llcDeadFills)
+        .field("snoopMessages", m.snoopMessages)
+        .field("dramReads", m.dramReads)
+        .field("dramWrites", m.dramWrites)
+        .field("throughput", m.throughput)
+        .field("epi", m.epi)
+        .field("llcMpki", m.llcMpki);
+    return w.str();
+}
+
+const char *const kExactKeys[] = {
+    "instructions",          "cycles",
+    "llcHits",               "llcMisses",
+    "llcWritesFill",         "llcWritesCleanVictim",
+    "llcWritesDirtyVictim",  "llcWritesMigration",
+    "llcWritesTotal",        "llcDemandFills",
+    "llcDeadFills",          "snoopMessages",
+    "dramReads",             "dramWrites",
+};
+
+const char *const kTolerantKeys[] = {"throughput", "epi", "llcMpki"};
+
+std::string
+goldenPath(const GoldenCase &c)
+{
+    return std::string(LAPSIM_GOLDEN_DIR) + "/" + c.slug + ".json";
+}
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("LAPSIM_REGEN_GOLDEN");
+    return env != nullptr && env[0] == '1';
+}
+
+class GoldenMetrics : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenMetrics, MatchesCommittedBaseline)
+{
+    const GoldenCase &c = GetParam();
+    const std::string path = goldenPath(c);
+    const std::string fresh = goldenJson(runGolden(c));
+
+    if (regenRequested()) {
+        writeFile(path, fresh + "\n");
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    const std::string baseline = readFileOrEmpty(path);
+    ASSERT_FALSE(baseline.empty())
+        << "missing baseline " << path
+        << " — run tools/regen-golden.sh and commit the result";
+
+    JsonRow want, got;
+    ASSERT_TRUE(parseJsonObject(baseline, want)) << path;
+    ASSERT_TRUE(parseJsonObject(fresh, got));
+
+    for (const char *key : kExactKeys) {
+        ASSERT_FALSE(rowValue(want, key).empty())
+            << "baseline " << path << " lacks '" << key
+            << "' — regenerate it";
+        // Integer counters print exactly, so text equality is the
+        // bit-exact comparison.
+        EXPECT_EQ(rowValue(want, key), rowValue(got, key))
+            << c.slug << ": counter '" << key << "' drifted";
+    }
+    for (const char *key : kTolerantKeys) {
+        const double expect = std::atof(rowValue(want, key).c_str());
+        const double actual = std::atof(rowValue(got, key).c_str());
+        const double tol =
+            1e-4 * std::max(1e-12, std::abs(expect));
+        EXPECT_NEAR(actual, expect, tol)
+            << c.slug << ": metric '" << key << "' drifted";
+    }
+}
+
+/** A golden run is self-deterministic: same config, same counters. */
+TEST(GoldenMetrics, RunsAreDeterministic)
+{
+    const GoldenCase &c = kCases[0];
+    EXPECT_EQ(goldenJson(runGolden(c)), goldenJson(runGolden(c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, GoldenMetrics, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<GoldenCase> &info) {
+        return std::string(info.param.slug);
+    });
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property tests of the Chrome trace_event emitter.
+ *
+ * Eight seeded-random configurations (policy, core count, coherence,
+ * epoch interval — same seeding style as test_auditor_fuzz) drive
+ * random traffic through a hierarchy with the full probe stack
+ * attached: trace emitter, epoch sampler feeding the epoch lane, and
+ * a fail-fast auditor feeding the audit lane. Whatever events come
+ * out must satisfy the trace_event contract the viewers rely on:
+ *
+ *  - timestamps are monotone non-decreasing per lane ("tid"),
+ *  - duration events are balanced ('E' never without an open 'B',
+ *    nothing left open at the end),
+ *  - every event sits on a known lane with a name and category,
+ *  - the rendered document is valid JSON (the campaign JSONL reader
+ *    must parse it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "campaign/jsonl.hh"
+#include "common/rng.hh"
+#include "sim/auditor.hh"
+#include "sim/simulator.hh"
+#include "stats/stats_engine.hh"
+#include "test_util.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+using test::tinyParams;
+
+/** Lane-by-lane trace_event contract check. */
+void
+expectWellFormed(const TraceEmitter &trace)
+{
+    Cycle last_ts[TraceEmitter::kNumLanes] = {};
+    int open[TraceEmitter::kNumLanes] = {};
+    for (const TraceEvent &ev : trace.events()) {
+        ASSERT_LT(ev.tid, TraceEmitter::kNumLanes);
+        ASSERT_TRUE(ev.ph == 'B' || ev.ph == 'E' || ev.ph == 'i')
+            << "unknown phase '" << ev.ph << "'";
+        EXPECT_FALSE(ev.name.empty());
+        EXPECT_FALSE(ev.cat.empty());
+        EXPECT_GE(ev.ts, last_ts[ev.tid])
+            << "lane " << ev.tid << " went backwards at '" << ev.name
+            << "'";
+        last_ts[ev.tid] = ev.ts;
+        if (ev.ph == 'B')
+            ++open[ev.tid];
+        if (ev.ph == 'E') {
+            ASSERT_GT(open[ev.tid], 0)
+                << "'E' without an open 'B' on lane " << ev.tid;
+            --open[ev.tid];
+        }
+    }
+    for (std::uint32_t lane = 0; lane < TraceEmitter::kNumLanes;
+         ++lane)
+        EXPECT_EQ(open[lane], 0)
+            << "unclosed 'B' left on lane " << lane;
+}
+
+constexpr PolicyKind kPolicies[] = {
+    PolicyKind::Inclusive, PolicyKind::NonInclusive,
+    PolicyKind::Exclusive, PolicyKind::Flexclusion,
+    PolicyKind::Dswitch,   PolicyKind::LapLru,
+    PolicyKind::LapLoop,   PolicyKind::Lap,
+};
+
+class TraceEventFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceEventFuzz, RandomConfigEmitsWellFormedTrace)
+{
+    Rng rng(GetParam());
+
+    // Seed-derived configuration, one policy per seed so all eight
+    // policies are covered across the suite.
+    const PolicyKind kind = kPolicies[rng.below(8)];
+    const std::uint32_t cores = rng.chance(0.5) ? 1u : 2u;
+    HierarchyParams hp = tinyParams(cores);
+    hp.coherence = cores == 2 && rng.chance(0.5);
+    const std::uint64_t epoch_interval = 500 + rng.below(2'000);
+
+    PolicyTuning tuning;
+    tuning.epochCycles = 10'000;
+    tuning.leaderPeriod = 2;
+    const std::uint64_t sets = hp.llc.sizeBytes
+        / (static_cast<std::uint64_t>(hp.llc.assoc)
+           * hp.llc.blockBytes);
+    CacheHierarchy hier(hp, makeInclusionPolicy(kind, sets, tuning));
+
+    TraceEmitter trace(hier);
+    EpochSampler sampler(hier, epoch_interval);
+    sampler.setEpochCallback(
+        [&trace](const EpochRecord &rec) { trace.noteEpoch(rec); });
+
+    AuditorConfig ac;
+    ac.mode = AuditMode::FailFast;
+    ac.interval = 64;
+    HierarchyAuditor auditor(hier, kind, ac);
+    auditor.setAuditPassCallback(
+        [&trace](std::uint64_t txn, std::uint64_t violations) {
+            trace.noteAuditPass(txn, violations);
+        });
+
+    Cycle now = 0;
+    while (hier.transactionCount() < 30'000) {
+        const CoreId core = static_cast<CoreId>(rng.below(cores));
+        const std::uint64_t base = hp.coherence || cores == 1
+            ? 0
+            : static_cast<std::uint64_t>(core) << 16;
+        const std::uint64_t idx =
+            rng.chance(0.6) ? rng.below(96) : rng.below(512);
+        if (rng.chance(1.0 / 8192)) {
+            hier.resetStats(); // emits a stats-reset instant
+        } else {
+            const AccessType type = rng.chance(0.3)
+                ? AccessType::Write
+                : AccessType::Read;
+            hier.access(core, (base + idx) * 64, type, now);
+        }
+        now += rng.below(16) + 1;
+    }
+    sampler.finish();
+
+    // The epoch lane must have fired: the run spans many intervals.
+    EXPECT_FALSE(sampler.records().empty());
+    EXPECT_FALSE(trace.events().empty());
+    expectWellFormed(trace);
+
+    // The rendered document is one valid JSON object the campaign
+    // reader can parse.
+    JsonRow doc;
+    ASSERT_TRUE(parseJsonObject(trace.render(), doc));
+    EXPECT_EQ(rowValue(doc, "displayTimeUnit"), "ms");
+    EXPECT_FALSE(rowValue(doc, "traceEvents.0.name").empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceEventFuzz,
+                         ::testing::Values(0xE001, 0xE002, 0xE003,
+                                           0xE004, 0xE005, 0xE006,
+                                           0xE007, 0xE008));
+
+/** End to end: --trace-events writes a parseable file. */
+TEST(TraceEvents, SimulatorWritesParseableTraceFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "lapsim_trace_test.json";
+
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 5'000;
+    cfg.measureRefs = 30'000;
+    cfg.policy = PolicyKind::Dswitch; // exercises the duel lane
+    cfg.epochStatsInterval = 5'000;
+    cfg.auditInterval = 997;
+    cfg.traceEventsPath = path;
+
+    Simulator sim(cfg);
+    sim.run(resolveMix(duplicateMix("mcf", 2)));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "trace file not written: " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    JsonRow doc;
+    ASSERT_TRUE(parseJsonObject(text.str(), doc));
+    EXPECT_EQ(rowValue(doc, "displayTimeUnit"), "ms");
+    EXPECT_FALSE(rowValue(doc, "traceEvents.0.ph").empty());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace lap

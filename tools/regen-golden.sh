@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates the committed golden-metrics baselines in tests/golden/
+# from the current simulator. Run this after an INTENTIONAL
+# behaviour change and commit the diff together with the change; a
+# diff you did not expect is a regression, not a new baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mkdir -p tests/golden
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target test_golden_metrics >/dev/null
+
+LAPSIM_REGEN_GOLDEN=1 ./build/tests/test_golden_metrics \
+    --gtest_filter='AllPolicies/*'
+
+echo "regenerated $(ls tests/golden/*.json | wc -l) baselines in tests/golden/"
+git --no-pager diff --stat -- tests/golden || true
