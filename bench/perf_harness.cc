@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Simulation-throughput harness: the numbers CI tracks.
+ *
+ * Runs pinned micro workloads (raw cache lookup / fill-evict loops)
+ * and end-to-end Simulator runs (one per golden policy) and reports
+ * transactions per second for each, plus their geometric mean as the
+ * aggregate figure. Unlike bench/micro_cache_ops.cc (google-benchmark
+ * exploration tool), this harness has a stable workload set and a
+ * machine-readable output contract: a flat JSON object written to
+ * BENCH_engine.json that tools/perf-baseline.sh commits and the CI
+ * perf job regresses against.
+ *
+ * Modes:
+ *   perf_harness [--json PATH]             measure, write results
+ *   perf_harness --baseline PATH ...       also embed PATH's numbers
+ *                                          as baseline.* and report
+ *                                          the aggregate speedup
+ *   perf_harness --check PATH [--tolerance F]
+ *                                          measure, then fail (exit 1)
+ *                                          if any workload is more
+ *                                          than F (default 0.10)
+ *                                          below PATH's number
+ *
+ * Wall-clock throughput is inherently noisy: every workload runs
+ * `--repeat` times (default 3) and the best run wins, which filters
+ * scheduler interference without hiding real regressions.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "campaign/jsonl.hh"
+#include "common/json.hh"
+#include "common/rng.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Options
+{
+    std::string jsonPath = "BENCH_engine.json";
+    std::string baselinePath;
+    std::string checkPath;
+    double tolerance = 0.10;
+    std::uint32_t repeat = 3;
+    /** Measured refs per core for the end-to-end runs. */
+    std::uint64_t refs = 150'000;
+};
+
+struct Result
+{
+    std::string name;
+    double txnsPerSec = 0.0;
+};
+
+/** Hot lookup loop: every access hits a resident block. */
+double
+microHit(const Options &opts)
+{
+    CacheParams p;
+    p.sizeBytes = 512 * 1024;
+    p.assoc = 8;
+    Cache cache(p);
+    constexpr Addr kResident = 1024;
+    for (Addr blk = 0; blk < kResident; ++blk)
+        cache.insert(blk, {});
+
+    constexpr std::uint64_t kOps = 4'000'000;
+    double best = 0.0;
+    for (std::uint32_t rep = 0; rep < opts.repeat; ++rep) {
+        std::uint64_t hits = 0;
+        Addr blk = 0;
+        const auto start = Clock::now();
+        for (std::uint64_t i = 0; i < kOps; ++i) {
+            const auto found = cache.access(blk, AccessType::Read);
+            hits += found ? 1 : 0;
+            blk = (blk + 1) % kResident;
+        }
+        const double rate =
+            static_cast<double>(kOps) / secondsSince(start);
+        if (hits != kOps)
+            lap_fatal("micro.hit: expected all hits, got %llu",
+                      static_cast<unsigned long long>(hits));
+        best = std::max(best, rate);
+    }
+    return best;
+}
+
+/** Fill/evict storm: every insert evicts a valid block. */
+double
+microFill(const Options &opts)
+{
+    constexpr std::uint64_t kOps = 1'000'000;
+    double best = 0.0;
+    for (std::uint32_t rep = 0; rep < opts.repeat; ++rep) {
+        CacheParams p;
+        p.sizeBytes = 64 * 1024;
+        p.assoc = 8;
+        Cache cache(p);
+        std::uint64_t ways = 0;
+        Addr blk = 0;
+        const auto start = Clock::now();
+        for (std::uint64_t i = 0; i < kOps; ++i) {
+            const auto res = cache.insert(blk, {});
+            ways += res.way;
+            blk += 1;
+        }
+        const double rate =
+            static_cast<double>(kOps) / secondsSince(start);
+        if (ways == 0)
+            lap_fatal("micro.fill: degenerate way sum");
+        best = std::max(best, rate);
+    }
+    return best;
+}
+
+struct E2eCase
+{
+    const char *slug;
+    PolicyKind policy;
+    PlacementKind placement;
+    bool hybrid;
+    const char *benchmark;
+};
+
+/** One end-to-end workload per golden policy (same matrix). */
+const E2eCase kE2eCases[] = {
+    {"inclusive", PolicyKind::Inclusive, PlacementKind::Default, false,
+     "mcf"},
+    {"noni", PolicyKind::NonInclusive, PlacementKind::Default, false,
+     "mcf"},
+    {"ex", PolicyKind::Exclusive, PlacementKind::Default, false, "mcf"},
+    {"flex", PolicyKind::Flexclusion, PlacementKind::Default, false,
+     "omnetpp"},
+    {"dswitch", PolicyKind::Dswitch, PlacementKind::Default, false,
+     "omnetpp"},
+    {"lap", PolicyKind::Lap, PlacementKind::Default, false,
+     "libquantum"},
+    {"lhybrid", PolicyKind::Lap, PlacementKind::Lhybrid, true,
+     "libquantum"},
+};
+
+double
+e2eRun(const E2eCase &c, const Options &opts)
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = opts.refs / 10;
+    cfg.measureRefs = opts.refs;
+    cfg.policy = c.policy;
+    cfg.placement = c.placement;
+    cfg.hybridLlc = c.hybrid;
+
+    const std::uint64_t txns =
+        (cfg.warmupRefs + cfg.measureRefs) * cfg.numCores;
+    double best = 0.0;
+    for (std::uint32_t rep = 0; rep < opts.repeat; ++rep) {
+        Simulator sim(cfg);
+        const auto start = Clock::now();
+        const Metrics m =
+            sim.run(resolveMix(duplicateMix(c.benchmark, 2)));
+        const double rate =
+            static_cast<double>(txns) / secondsSince(start);
+        if (m.instructions == 0)
+            lap_fatal("e2e.%s: empty run", c.slug);
+        best = std::max(best, rate);
+    }
+    return best;
+}
+
+double
+geomean(const std::vector<Result> &results)
+{
+    double log_sum = 0.0;
+    for (const Result &r : results)
+        log_sum += std::log(r.txnsPerSec);
+    return std::exp(log_sum / static_cast<double>(results.size()));
+}
+
+/**
+ * Regression gate: every workload in `committed` must be matched
+ * within `tolerance`. Extra workloads on either side are reported
+ * but do not fail, so the workload set can evolve.
+ */
+int
+check(const std::vector<Result> &results, double aggregate,
+      const Options &opts)
+{
+    std::vector<JsonRow> rows = loadJsonl(opts.checkPath);
+    if (rows.empty()) {
+        std::fprintf(stderr, "perf_harness: cannot read %s\n",
+                     opts.checkPath.c_str());
+        return 1;
+    }
+    const JsonRow &committed = rows.front();
+    int failures = 0;
+    auto gate = [&](const std::string &name, double current) {
+        const std::string want = rowValue(committed, name);
+        if (want.empty()) {
+            std::printf("  %-18s %12.3e  (no committed baseline)\n",
+                        name.c_str(), current);
+            return;
+        }
+        const double reference = std::atof(want.c_str());
+        const double floor = reference * (1.0 - opts.tolerance);
+        const bool ok = current >= floor;
+        std::printf("  %-18s %12.3e  vs %12.3e  %s\n", name.c_str(),
+                    current, reference, ok ? "ok" : "REGRESSED");
+        if (!ok)
+            failures++;
+    };
+    for (const Result &r : results)
+        gate(r.name, r.txnsPerSec);
+    gate("aggregate", aggregate);
+    if (failures != 0) {
+        std::fprintf(stderr,
+                     "perf_harness: %d workload(s) regressed more "
+                     "than %.0f%% vs %s\n",
+                     failures, opts.tolerance * 100.0,
+                     opts.checkPath.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int
+run(const Options &opts)
+{
+    std::vector<Result> results;
+    results.push_back({"micro.hit", microHit(opts)});
+    std::printf("  %-18s %12.3e txn/s\n", "micro.hit",
+                results.back().txnsPerSec);
+    results.push_back({"micro.fill", microFill(opts)});
+    std::printf("  %-18s %12.3e txn/s\n", "micro.fill",
+                results.back().txnsPerSec);
+    for (const E2eCase &c : kE2eCases) {
+        results.push_back(
+            {std::string("e2e.") + c.slug, e2eRun(c, opts)});
+        std::printf("  %-18s %12.3e txn/s\n",
+                    results.back().name.c_str(),
+                    results.back().txnsPerSec);
+    }
+    const double aggregate = geomean(results);
+    std::printf("  %-18s %12.3e txn/s\n", "aggregate", aggregate);
+
+    if (!opts.checkPath.empty()) {
+        const int rc = check(results, aggregate, opts);
+        // Keep the measurement around for CI artifact upload, but
+        // never clobber the committed file being gated against.
+        if (opts.jsonPath != opts.checkPath) {
+            JsonWriter w;
+            w.field("schema", "lapsim-bench-engine-v1")
+                .field("repeat",
+                       static_cast<std::uint64_t>(opts.repeat))
+                .field("e2eRefs", opts.refs);
+            for (const Result &r : results)
+                w.field(r.name, r.txnsPerSec);
+            w.field("aggregate", aggregate);
+            writeFile(opts.jsonPath, w.str() + "\n");
+            std::printf("wrote %s\n", opts.jsonPath.c_str());
+        }
+        return rc;
+    }
+
+    JsonWriter w;
+    w.field("schema", "lapsim-bench-engine-v1")
+        .field("repeat", static_cast<std::uint64_t>(opts.repeat))
+        .field("e2eRefs", opts.refs);
+    for (const Result &r : results)
+        w.field(r.name, r.txnsPerSec);
+    w.field("aggregate", aggregate);
+
+    if (!opts.baselinePath.empty()) {
+        std::vector<JsonRow> rows = loadJsonl(opts.baselinePath);
+        if (rows.empty())
+            lap_fatal("perf_harness: cannot read baseline %s",
+                      opts.baselinePath.c_str());
+        const JsonRow &base = rows.front();
+        for (const Result &r : results) {
+            const std::string prior = rowValue(base, r.name);
+            if (!prior.empty())
+                w.field("baseline." + r.name,
+                        std::atof(prior.c_str()));
+        }
+        const std::string prior = rowValue(base, "aggregate");
+        if (!prior.empty()) {
+            const double base_aggregate = std::atof(prior.c_str());
+            w.field("baseline.aggregate", base_aggregate);
+            w.field("speedup", aggregate / base_aggregate);
+            std::printf("  %-18s %12.3fx\n", "speedup",
+                        aggregate / base_aggregate);
+        }
+    }
+
+    writeFile(opts.jsonPath, w.str() + "\n");
+    std::printf("wrote %s\n", opts.jsonPath.c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace lap
+
+int
+main(int argc, char **argv)
+{
+    lap::Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                lap_fatal("%s requires a value", flag.c_str());
+            return argv[++i];
+        };
+        if (flag == "--json") {
+            opts.jsonPath = next();
+        } else if (flag == "--baseline") {
+            opts.baselinePath = next();
+        } else if (flag == "--check") {
+            opts.checkPath = next();
+        } else if (flag == "--tolerance") {
+            opts.tolerance = std::atof(next().c_str());
+        } else if (flag == "--repeat") {
+            opts.repeat = static_cast<std::uint32_t>(
+                std::atoi(next().c_str()));
+        } else if (flag == "--refs") {
+            opts.refs = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else {
+            lap_fatal("unknown flag '%s'", flag.c_str());
+        }
+    }
+    return lap::run(opts);
+}

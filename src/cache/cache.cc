@@ -8,6 +8,33 @@
 namespace lap
 {
 
+namespace
+{
+
+/** Validates the geometry and returns the set count. */
+std::uint64_t
+checkedNumSets(const CacheParams &p)
+{
+    lap_assert(isPowerOfTwo(p.blockBytes), "block size %u not pow2",
+               p.blockBytes);
+    lap_assert(p.assoc >= 1 && p.assoc <= 64,
+               "associativity %u out of range", p.assoc);
+    lap_assert(p.sizeBytes
+                   % (static_cast<std::uint64_t>(p.assoc)
+                      * p.blockBytes) == 0,
+               "size not a multiple of assoc*blockBytes");
+    lap_assert(p.banks >= 1, "need at least one bank");
+    lap_assert(p.sramWays <= p.assoc,
+               "sramWays %u exceeds associativity %u", p.sramWays,
+               p.assoc);
+    const std::uint64_t num_sets = p.sizeBytes
+        / (static_cast<std::uint64_t>(p.assoc) * p.blockBytes);
+    lap_assert(num_sets >= 1, "cache has no sets");
+    return num_sets;
+}
+
+} // namespace
+
 EnergyCounters
 CacheStats::energyCounters(MemTech tech) const
 {
@@ -23,31 +50,15 @@ CacheStats::energyCounters(MemTech tech) const
 }
 
 Cache::Cache(const CacheParams &params)
-    : params_(params)
+    : params_(params),
+      numSets_(checkedNumSets(params)),
+      setsArePow2_(isPowerOfTwo(numSets_)),
+      blockBits_(floorLog2(params.blockBytes)),
+      store_(numSets_, params.assoc),
+      wayWrites_(numSets_ * params.assoc, 0),
+      repl_(params.repl, params.seed),
+      bankBusyUntil_(params.banks, 0)
 {
-    lap_assert(isPowerOfTwo(params_.blockBytes), "block size %u not pow2",
-               params_.blockBytes);
-    lap_assert(params_.assoc >= 1 && params_.assoc <= 64,
-               "associativity %u out of range", params_.assoc);
-    lap_assert(params_.sizeBytes
-                   % (static_cast<std::uint64_t>(params_.assoc)
-                      * params_.blockBytes) == 0,
-               "size not a multiple of assoc*blockBytes");
-    lap_assert(params_.banks >= 1, "need at least one bank");
-    lap_assert(params_.sramWays <= params_.assoc,
-               "sramWays %u exceeds associativity %u", params_.sramWays,
-               params_.assoc);
-
-    blockBits_ = floorLog2(params_.blockBytes);
-    numSets_ = params_.sizeBytes
-        / (static_cast<std::uint64_t>(params_.assoc) * params_.blockBytes);
-    lap_assert(numSets_ >= 1, "cache has no sets");
-    setsArePow2_ = isPowerOfTwo(numSets_);
-
-    blocks_.resize(numSets_ * params_.assoc);
-    wayWrites_.assign(blocks_.size(), 0);
-    repl_ = makeReplacementPolicy(params_.repl, params_.seed);
-    bankBusyUntil_.assign(params_.banks, 0);
 }
 
 std::uint64_t
@@ -62,112 +73,27 @@ Cache::regionBytes(MemTech tech) const
     return per_way * ways;
 }
 
-std::span<CacheBlock>
-Cache::setSpan(std::uint64_t set)
-{
-    return {blocks_.data() + set * params_.assoc, params_.assoc};
-}
-
-CacheBlock *
-Cache::probe(Addr block_addr)
-{
-    auto set = setSpan(setIndexOf(block_addr));
-    for (auto &blk : set) {
-        if (blk.valid && blk.blockAddr == block_addr)
-            return &blk;
-    }
-    return nullptr;
-}
-
-const CacheBlock *
-Cache::probe(Addr block_addr) const
-{
-    return const_cast<Cache *>(this)->probe(block_addr);
-}
-
-CacheBlock *
-Cache::access(Addr block_addr, AccessType type)
-{
-    stats_.tagAccesses++;
-    CacheBlock *blk = probe(block_addr);
-    if (!blk) {
-        if (type == AccessType::Read)
-            stats_.readMisses++;
-        else
-            stats_.writeMisses++;
-        return nullptr;
-    }
-    const MemTech tech = wayTech(wayOf(*blk));
-    if (type == AccessType::Read) {
-        stats_.readHits++;
-        stats_.dataReads[idx(tech)]++;
-    } else {
-        stats_.writeHits++;
-        stats_.dataWrites[idx(tech)]++;
-        wayWrites_[static_cast<std::size_t>(blk - blocks_.data())]++;
-        blk->dirty = true;
-        // Writing a block ends its clean-trip streak (Fig 10(a)).
-        blk->loopBit = false;
-    }
-    repl_->onHit(*blk);
-    return blk;
-}
-
-std::uint64_t
-Cache::eligibleMask(std::uint64_t set, std::uint32_t way_begin,
-                    std::uint32_t way_end, bool non_loop_only) const
-{
-    std::uint64_t mask = 0;
-    for (std::uint32_t way = way_begin; way < way_end; ++way) {
-        const CacheBlock &blk = blocks_[set * params_.assoc + way];
-        if (!blk.valid)
-            continue;
-        if (non_loop_only && blk.loopBit)
-            continue;
-        mask |= 1ULL << way;
-    }
-    return mask;
-}
-
-std::uint32_t
-Cache::clampWayEnd(std::uint32_t way_end) const
-{
-    return std::min(way_end, params_.assoc);
-}
-
-bool
-Cache::hasInvalidWay(std::uint64_t set, std::uint32_t way_begin,
-                     std::uint32_t way_end) const
-{
-    way_end = clampWayEnd(way_end);
-    for (std::uint32_t way = way_begin; way < way_end; ++way) {
-        if (!blocks_[set * params_.assoc + way].valid)
-            return true;
-    }
-    return false;
-}
-
 std::uint32_t
 Cache::chooseVictimWay(std::uint64_t set, std::uint32_t way_begin,
                        std::uint32_t way_end, bool loop_aware)
 {
     way_end = clampWayEnd(way_end);
-    lap_assert(way_begin < way_end, "empty way range [%u,%u)", way_begin,
-               way_end);
-    for (std::uint32_t way = way_begin; way < way_end; ++way) {
-        if (!blocks_[set * params_.assoc + way].valid)
-            return way;
-    }
+    lap_assert(way_begin < way_end, "empty way range [%u,%u)",
+               way_begin, way_end);
+    const std::uint64_t range = rangeMask(way_begin, way_end);
+    const std::uint64_t valid = store_.validMask(set) & range;
+    const std::uint64_t invalid = ~valid & range;
+    // Lowest invalid way first (== the old ascending scan).
+    if (invalid != 0)
+        return static_cast<std::uint32_t>(std::countr_zero(invalid));
     // Loop-block-aware priority (Fig 9): invalid, then the base
     // policy's victim among non-loop blocks, then among loop blocks.
     if (loop_aware) {
-        const std::uint64_t non_loop =
-            eligibleMask(set, way_begin, way_end, true);
+        const std::uint64_t non_loop = valid & ~store_.loopMask(set);
         if (non_loop != 0)
-            return repl_->victimAmong(setSpan(set), non_loop);
+            return repl_.victimAmong(store_, set, non_loop);
     }
-    const std::uint64_t all = eligibleMask(set, way_begin, way_end, false);
-    return repl_->victimAmong(setSpan(set), all);
+    return repl_.victimAmong(store_, set, valid);
 }
 
 std::uint32_t
@@ -175,15 +101,11 @@ Cache::mruLoopWay(std::uint64_t set, std::uint32_t way_begin,
                   std::uint32_t way_end)
 {
     way_end = clampWayEnd(way_end);
-    std::uint64_t loop_mask = 0;
-    for (std::uint32_t way = way_begin; way < way_end; ++way) {
-        const CacheBlock &blk = blocks_[set * params_.assoc + way];
-        if (blk.valid && blk.loopBit)
-            loop_mask |= 1ULL << way;
-    }
-    if (loop_mask == 0)
+    const std::uint64_t loop =
+        store_.loopMask(set) & rangeMask(way_begin, way_end);
+    if (loop == 0)
         return kAllWays;
-    return repl_->mruAmong(setSpan(set), loop_mask);
+    return repl_.mruAmong(store_, set, loop);
 }
 
 Cache::InsertResult
@@ -192,108 +114,67 @@ Cache::insert(Addr block_addr, const InsertAttrs &attrs,
 {
     way_end = clampWayEnd(way_end);
     const std::uint64_t set = setIndexOf(block_addr);
-    lap_assert(probe(block_addr) == nullptr,
+    lap_assert(!probe(block_addr),
                "insert of already-present block %llx",
                static_cast<unsigned long long>(block_addr));
 
     const std::uint32_t way =
         chooseVictimWay(set, way_begin, way_end, attrs.loopAwareVictim);
-    CacheBlock &blk = blocks_[set * params_.assoc + way];
+    const std::uint64_t i = store_.indexOf(set, way);
 
     InsertResult result;
     result.way = way;
     result.region = wayTech(way);
 
     Eviction &ev = result.eviction;
-    if (blk.valid) {
+    if (store_.valid(i)) {
         ev.valid = true;
-        ev.blockAddr = blk.blockAddr;
-        ev.dirty = blk.dirty;
-        ev.loopBit = blk.loopBit;
-        ev.version = blk.version;
-        ev.fillState = blk.fillState;
-        ev.coh = blk.coh;
+        ev.blockAddr = store_.tag(i);
+        ev.dirty = store_.dirty(i);
+        ev.loopBit = store_.loopBit(i);
+        ev.version = store_.version(i);
+        ev.fillState = store_.fillState(i);
+        ev.coh = store_.coh(i);
         ev.region = wayTech(way);
-        ev.site = blk.site;
-        ev.referenced = blk.referenced;
-        if (blk.dirty)
+        ev.site = store_.site(i);
+        ev.referenced = store_.referenced(i);
+        if (ev.dirty)
             stats_.evictionsDirty++;
         else
             stats_.evictionsClean++;
     }
 
-    blk.blockAddr = block_addr;
-    blk.valid = true;
-    blk.dirty = attrs.dirty;
-    blk.loopBit = attrs.loopBit;
-    blk.version = attrs.version;
-    blk.fillState = attrs.fillState;
-    blk.coh = attrs.coh;
-    blk.site = attrs.site;
-    blk.referenced = false;
-    repl_->onFill(blk);
+    store_.install(i, block_addr, attrs.dirty, attrs.loopBit,
+                   attrs.version, attrs.fillState, attrs.coh,
+                   attrs.site);
+    repl_.onFill(store_, i);
 
     stats_.fills++;
     stats_.dataWrites[idx(wayTech(way))]++;
-    wayWrites_[set * params_.assoc + way]++;
+    wayWrites_[i]++;
     return result;
 }
 
 void
-Cache::writeBlock(CacheBlock &blk, std::uint64_t version,
+Cache::writeBlock(BlockView blk, std::uint64_t version,
                   bool keep_loop_bit)
 {
-    lap_assert(blk.valid, "write to invalid block");
-    blk.dirty = true;
-    blk.version = version;
+    lap_assert(blk.valid(), "write to invalid block");
+    blk.setDirty(true);
+    blk.setVersion(version);
     if (!keep_loop_bit)
-        blk.loopBit = false;
-    stats_.dataWrites[idx(wayTech(wayOf(blk)))]++;
-    wayWrites_[static_cast<std::size_t>(&blk - blocks_.data())]++;
-    repl_->onHit(blk);
+        blk.setLoopBit(false);
+    stats_.dataWrites[idx(wayTech(blk.way()))]++;
+    wayWrites_[blk.index()]++;
+    repl_.onHit(store_, blk.index());
 }
 
 void
-Cache::invalidateBlock(CacheBlock &blk)
+Cache::invalidateBlock(BlockView blk)
 {
-    lap_assert(blk.valid, "invalidate of invalid block");
+    lap_assert(blk.valid(), "invalidate of invalid block");
     blk.invalidate();
     stats_.invalidations++;
-}
-
-CacheBlock &
-Cache::blockAt(std::uint64_t set, std::uint32_t way)
-{
-    lap_assert(set < numSets_ && way < params_.assoc,
-               "blockAt(%lu, %u) out of range",
-               static_cast<unsigned long>(set), way);
-    return blocks_[set * params_.assoc + way];
-}
-
-const CacheBlock &
-Cache::blockAt(std::uint64_t set, std::uint32_t way) const
-{
-    return const_cast<Cache *>(this)->blockAt(set, way);
-}
-
-std::uint32_t
-Cache::wayOf(const CacheBlock &blk) const
-{
-    const std::ptrdiff_t offset = &blk - blocks_.data();
-    lap_assert(offset >= 0
-                   && offset < static_cast<std::ptrdiff_t>(blocks_.size()),
-               "block not owned by this cache");
-    return static_cast<std::uint32_t>(offset % params_.assoc);
-}
-
-std::uint64_t
-Cache::setOf(const CacheBlock &blk) const
-{
-    const std::ptrdiff_t offset = &blk - blocks_.data();
-    lap_assert(offset >= 0
-                   && offset < static_cast<std::ptrdiff_t>(blocks_.size()),
-               "block not owned by this cache");
-    return static_cast<std::uint64_t>(offset) / params_.assoc;
 }
 
 Cache::WearStats

@@ -2,12 +2,18 @@
  * @file
  * Set-associative cache mechanism.
  *
- * The Cache owns tags, replacement state, bank timing, and
- * energy-relevant event counters; all *policy* (inclusion data flow,
- * loop-bit semantics, hybrid placement) lives above it in
- * src/hierarchy and src/core. The ways of a set may be partitioned
- * into an SRAM region and an STT-RAM region to model the paper's
- * hybrid LLC; energy counters are kept per region.
+ * The Cache owns the packed tag store (cache/tag_store.hh), the
+ * replacement engine, bank timing, and energy-relevant event
+ * counters; all *policy* (inclusion data flow, loop-bit semantics,
+ * hybrid placement) lives above it in src/hierarchy and src/core.
+ * The ways of a set may be partitioned into an SRAM region and an
+ * STT-RAM region to model the paper's hybrid LLC; energy counters
+ * are kept per region.
+ *
+ * Lookups hand out BlockView handles (a null view on miss); direct
+ * iteration over the tag store is deliberately not part of this
+ * class's API — analysis code uses the read-only CacheInspector
+ * (cache/inspector.hh) instead.
  */
 
 #ifndef LAPSIM_CACHE_CACHE_HH
@@ -15,13 +21,12 @@
 
 #include <cstdint>
 #include <limits>
-#include <memory>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "cache/cache_block.hh"
 #include "cache/replacement.hh"
+#include "cache/tag_store.hh"
 #include "common/types.hh"
 #include "energy/energy_model.hh"
 
@@ -136,7 +141,10 @@ class Cache
     bool isHybrid() const { return params_.sramWays > 0; }
 
     /** Converts a byte address to a block-granular address. */
-    Addr blockAddrOf(Addr byte_addr) const { return byte_addr >> blockBits_; }
+    Addr blockAddrOf(Addr byte_addr) const
+    {
+        return byte_addr >> blockBits_;
+    }
 
     /** Set index of a block-granular address. */
     std::uint64_t setIndexOf(Addr block_addr) const
@@ -153,7 +161,8 @@ class Cache
     {
         if (!isHybrid())
             return params_.dataTech;
-        return way < params_.sramWays ? MemTech::SRAM : MemTech::STTRAM;
+        return way < params_.sramWays ? MemTech::SRAM
+                                      : MemTech::STTRAM;
     }
 
     /** Capacity in bytes of one technology region. */
@@ -163,19 +172,58 @@ class Cache
     /**
      * Finds a valid block without any statistics or replacement side
      * effects. Used for duplicate checks whose tag energy the caller
-     * accounts explicitly.
+     * accounts explicitly. Returns a null view on miss.
      */
-    CacheBlock *probe(Addr block_addr);
-    const CacheBlock *probe(Addr block_addr) const;
+    BlockView
+    probe(Addr block_addr)
+    {
+        const std::uint64_t set = setIndexOf(block_addr);
+        const std::uint64_t base = store_.indexOf(set, 0);
+        for (std::uint64_t m = store_.validMask(set); m != 0;
+             m &= m - 1) {
+            const std::uint64_t i =
+                base + static_cast<std::uint32_t>(std::countr_zero(m));
+            if (store_.tag(i) == block_addr)
+                return {&store_, i};
+        }
+        return {};
+    }
 
     /**
      * Demand access: counts a tag access and a hit or miss; on a hit
      * counts the data read (and data write for AccessType::Write),
      * updates replacement state, and marks the block dirty on
-     * writes. Returns the block or nullptr on miss. The caller stamps
+     * writes. Returns a null view on miss. The caller stamps
      * `version` on write hits.
      */
-    CacheBlock *access(Addr block_addr, AccessType type);
+    BlockView
+    access(Addr block_addr, AccessType type)
+    {
+        stats_.tagAccesses++;
+        BlockView blk = probe(block_addr);
+        if (!blk) {
+            if (type == AccessType::Read)
+                stats_.readMisses++;
+            else
+                stats_.writeMisses++;
+            return {};
+        }
+        const std::uint64_t i = blk.index();
+        const MemTech tech = wayTech(blk.way());
+        if (type == AccessType::Read) {
+            stats_.readHits++;
+            stats_.dataReads[idx(tech)]++;
+        } else {
+            stats_.writeHits++;
+            stats_.dataWrites[idx(tech)]++;
+            wayWrites_[i]++;
+            store_.setDirty(i, true);
+            // Writing a block ends its clean-trip streak (Fig 10(a)).
+            store_.setLoopBit(i, false);
+        }
+        repl_.onHit(store_, i);
+        return blk;
+    }
 
     // --- Mutation --------------------------------------------------
     /**
@@ -192,14 +240,14 @@ class Cache
      * updating its duplicate): counts a data write, sets dirty and
      * version, and clears the loop bit unless @p keep_loop_bit.
      */
-    void writeBlock(CacheBlock &blk, std::uint64_t version,
+    void writeBlock(BlockView blk, std::uint64_t version,
                     bool keep_loop_bit = false);
 
     /** Invalidates a block (no data-array energy; tag-side only). */
-    void invalidateBlock(CacheBlock &blk);
+    void invalidateBlock(BlockView blk);
 
     /** Replacement-state touch without energy accounting. */
-    void touch(CacheBlock &blk) { repl_->onHit(blk); }
+    void touch(BlockView blk) { repl_.onHit(store_, blk.index()); }
 
     /**
      * Picks the way insert() would use among [way_begin, way_end):
@@ -210,11 +258,18 @@ class Cache
      */
     std::uint32_t chooseVictimWay(std::uint64_t set,
                                   std::uint32_t way_begin,
-                                  std::uint32_t way_end, bool loop_aware);
+                                  std::uint32_t way_end,
+                                  bool loop_aware);
 
     /** True when [way_begin, way_end) has an invalid way. */
-    bool hasInvalidWay(std::uint64_t set, std::uint32_t way_begin,
-                       std::uint32_t way_end) const;
+    bool
+    hasInvalidWay(std::uint64_t set, std::uint32_t way_begin,
+                  std::uint32_t way_end) const
+    {
+        const std::uint64_t range =
+            rangeMask(way_begin, clampWayEnd(way_end));
+        return (~store_.validMask(set) & range) != 0;
+    }
 
     /**
      * The most-recently-used way holding a loop-block in
@@ -223,54 +278,24 @@ class Cache
     std::uint32_t mruLoopWay(std::uint64_t set, std::uint32_t way_begin,
                              std::uint32_t way_end);
 
-    /** Direct access to a way of a set. */
-    CacheBlock &blockAt(std::uint64_t set, std::uint32_t way);
-    const CacheBlock &blockAt(std::uint64_t set, std::uint32_t way) const;
-
-    /** Way index of a block owned by this cache. */
-    std::uint32_t wayOf(const CacheBlock &blk) const;
-
-    /** Set index of a block owned by this cache. */
-    std::uint64_t setOf(const CacheBlock &blk) const;
-
-    /** Applies @p fn to every valid block. */
-    template <typename Fn>
-    void
-    forEachBlock(Fn &&fn)
+    /** Handle to a way of a set (valid or not; check .valid()). */
+    BlockView
+    blockAt(std::uint64_t set, std::uint32_t way)
     {
-        for (auto &blk : blocks_) {
-            if (blk.valid)
-                fn(blk);
-        }
-    }
-
-    template <typename Fn>
-    void
-    forEachBlock(Fn &&fn) const
-    {
-        for (const auto &blk : blocks_) {
-            if (blk.valid)
-                fn(blk);
-        }
-    }
-
-    /** Number of valid blocks currently resident. */
-    std::uint64_t
-    validBlockCount() const
-    {
-        std::uint64_t n = 0;
-        for (const auto &blk : blocks_) {
-            if (blk.valid)
-                n++;
-        }
-        return n;
+        lap_assert(set < numSets_ && way < params_.assoc,
+                   "blockAt(%lu, %u) out of range",
+                   static_cast<unsigned long>(set), way);
+        return {&store_, store_.indexOf(set, way)};
     }
 
     // --- Explicit energy accounting for flows the helpers above
     // --- do not cover (e.g. tag-only loop-bit updates).
     void countTagAccess() { stats_.tagAccesses++; }
     void countDataRead(MemTech tech) { stats_.dataReads[idx(tech)]++; }
-    void countDataWrite(MemTech tech) { stats_.dataWrites[idx(tech)]++; }
+    void countDataWrite(MemTech tech)
+    {
+        stats_.dataWrites[idx(tech)]++;
+    }
 
     // --- Bank timing -----------------------------------------------
     std::uint32_t bankOf(Addr block_addr) const
@@ -293,7 +318,7 @@ class Cache
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
-    // --- Wear (endurance) tracking -----------------------------------
+    // --- Wear (endurance) tracking ---------------------------------
     /**
      * Lifetime data-writes absorbed by each physical way (never reset
      * by resetStats: wear is cumulative). NVM cells endure a bounded
@@ -312,28 +337,40 @@ class Cache
     /** Wear over one technology region (or the whole cache). */
     WearStats wearStats(MemTech tech) const;
 
-    ReplacementPolicy &replacement() { return *repl_; }
+    /** Recency clock of the replacement engine (LRU ordering). */
+    std::uint64_t replClock() const { return repl_.clock(); }
 
   private:
+    friend class CacheInspector;
+
     static std::size_t idx(MemTech tech)
     {
         return tech == MemTech::SRAM ? 0 : 1;
     }
 
-    std::span<CacheBlock> setSpan(std::uint64_t set);
-    std::uint64_t eligibleMask(std::uint64_t set, std::uint32_t way_begin,
-                               std::uint32_t way_end,
-                               bool non_loop_only) const;
-    std::uint32_t clampWayEnd(std::uint32_t way_end) const;
+    /** Bits [way_begin, way_end); way_end <= 64. */
+    static std::uint64_t
+    rangeMask(std::uint32_t way_begin, std::uint32_t way_end)
+    {
+        const std::uint64_t hi = way_end == 64
+            ? ~0ULL
+            : (1ULL << way_end) - 1;
+        return hi & ~((1ULL << way_begin) - 1);
+    }
+
+    std::uint32_t clampWayEnd(std::uint32_t way_end) const
+    {
+        return std::min(way_end, params_.assoc);
+    }
 
     CacheParams params_;
     std::uint64_t numSets_;
     bool setsArePow2_ = true;
     unsigned blockBits_;
-    std::vector<CacheBlock> blocks_;
+    TagStore store_;
     /** Cumulative data writes per physical way (wear). */
     std::vector<std::uint64_t> wayWrites_;
-    std::unique_ptr<ReplacementPolicy> repl_;
+    Replacement repl_;
     std::vector<Cycle> bankBusyUntil_;
     CacheStats stats_;
 };

@@ -1,14 +1,18 @@
 /**
  * @file
- * Per-block state for all caches in the hierarchy.
+ * Per-block state enums shared across the hierarchy.
+ *
+ * The block metadata itself (tag, flags, replacement state) lives in
+ * the packed column arrays of cache/tag_store.hh; this header keeps
+ * only the scalar state types that many layers name independently of
+ * the storage layout: the MOESI coherence state and the fill-state
+ * ledger used for redundant/dead-fill accounting (paper Fig 5/6).
  */
 
 #ifndef LAPSIM_CACHE_CACHE_BLOCK_HH
 #define LAPSIM_CACHE_CACHE_BLOCK_HH
 
 #include <cstdint>
-
-#include "common/types.hh"
 
 namespace lap
 {
@@ -43,60 +47,6 @@ enum class FillState : std::uint8_t
     NotFill,       //!< Block was not installed by a demand data-fill.
     FillUntouched, //!< Installed by a data-fill, not yet reused.
     Touched,       //!< The fill proved useful (hit or dedup target).
-};
-
-/**
- * One cache block (tag entry).
- *
- * The same structure serves L1/L2/L3; fields unused by a level stay
- * at their defaults. The paper's loop-bit (one bit per L2/L3 block,
- * Section III-C) is the `loopBit` member. `version` implements the
- * data-integrity verification described in DESIGN.md: it stands in
- * for the block's data payload.
- */
-struct CacheBlock
-{
-    Addr blockAddr = 0;  //!< Block-granular address (byte addr >> 6).
-    bool valid = false;
-    bool dirty = false;
-
-    /** Loop-bit: the block completed a clean L2<->LLC trip. */
-    bool loopBit = false;
-
-    /** MOESI state; meaningful only in private caches. */
-    CohState coh = CohState::Invalid;
-
-    /** Data-fill lifecycle for redundant-fill accounting (LLC). */
-    FillState fillState = FillState::NotFill;
-
-    /** LRU timestamp (global monotonic counter). */
-    std::uint64_t lastTouch = 0;
-
-    /** Re-reference prediction value for RRIP replacement. */
-    std::uint8_t rrpv = 3;
-
-    /** Version stamp standing in for the block's data payload. */
-    std::uint64_t version = 0;
-
-    /** Access site that caused the current LLC insertion. */
-    std::uint32_t site = 0;
-
-    /** Re-referenced since it was installed (dead-block training). */
-    bool referenced = false;
-
-    /** Resets the entry to the invalid state. */
-    void
-    invalidate()
-    {
-        valid = false;
-        dirty = false;
-        loopBit = false;
-        coh = CohState::Invalid;
-        fillState = FillState::NotFill;
-        version = 0;
-        site = 0;
-        referenced = false;
-    }
 };
 
 } // namespace lap

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Read-only view into a cache's tag store.
+ *
+ * Analysis layers (the runtime auditor, the epoch sampler, report
+ * generation, tests) need to enumerate resident blocks and sample
+ * occupancy without touching stats, replacement state or bank
+ * timing. The Cache itself exposes no iteration API — handing every
+ * caller mutable BlockViews made it too easy for instrumentation to
+ * perturb the engine; this inspector is the one sanctioned window.
+ * All results are value snapshots (BlockInfo), so holding them never
+ * aliases live engine state.
+ */
+
+#ifndef LAPSIM_CACHE_INSPECTOR_HH
+#define LAPSIM_CACHE_INSPECTOR_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "cache/cache.hh"
+
+namespace lap
+{
+
+/** Value snapshot of one valid tag-store entry. */
+struct BlockInfo
+{
+    Addr blockAddr = 0;
+    std::uint64_t set = 0;
+    std::uint32_t way = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool loopBit = false;
+    bool referenced = false;
+    CohState coh = CohState::Invalid;
+    FillState fillState = FillState::NotFill;
+    std::uint64_t lastTouch = 0;
+    std::uint8_t rrpv = 0;
+    std::uint64_t version = 0;
+    std::uint32_t site = 0;
+};
+
+/** Read-only window into one cache's contents. */
+class CacheInspector
+{
+  public:
+    explicit CacheInspector(const Cache &cache) : cache_(cache) {}
+
+    std::uint64_t numSets() const { return cache_.numSets(); }
+    std::uint32_t assoc() const { return cache_.assoc(); }
+
+    /** Occupancy mask of a set (bit w = way w valid). */
+    std::uint64_t validMask(std::uint64_t set) const
+    {
+        return cache_.store_.validMask(set);
+    }
+
+    /** Loop-block mask of a set (valid ways with the loop-bit). */
+    std::uint64_t loopMask(std::uint64_t set) const
+    {
+        return cache_.store_.loopMask(set);
+    }
+
+    bool validAt(std::uint64_t set, std::uint32_t way) const
+    {
+        return (validMask(set) >> way) & 1;
+    }
+
+    /** Snapshot of one way (valid=false when the way is empty). */
+    BlockInfo
+    block(std::uint64_t set, std::uint32_t way) const
+    {
+        const TagStore &ts = cache_.store_;
+        const std::uint64_t i = ts.indexOf(set, way);
+        BlockInfo info;
+        info.set = set;
+        info.way = way;
+        info.valid = ts.valid(i);
+        info.blockAddr = ts.tag(i);
+        info.dirty = ts.dirty(i);
+        info.loopBit = ts.loopBit(i);
+        info.referenced = ts.referenced(i);
+        info.coh = ts.coh(i);
+        info.fillState = ts.fillState(i);
+        info.lastTouch = ts.lastTouch(i);
+        info.rrpv = ts.rrpv(i);
+        info.version = ts.version(i);
+        info.site = ts.site(i);
+        return info;
+    }
+
+    /**
+     * Snapshot of the valid block holding @p block_addr, or a
+     * BlockInfo with valid=false when not resident.
+     */
+    BlockInfo
+    find(Addr block_addr) const
+    {
+        const std::uint64_t set = cache_.setIndexOf(block_addr);
+        const TagStore &ts = cache_.store_;
+        for (std::uint64_t m = ts.validMask(set); m != 0; m &= m - 1) {
+            const auto way =
+                static_cast<std::uint32_t>(std::countr_zero(m));
+            if (ts.tag(ts.indexOf(set, way)) == block_addr)
+                return block(set, way);
+        }
+        return {};
+    }
+
+    /** Number of valid blocks currently resident. */
+    std::uint64_t
+    validBlockCount() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t set = 0; set < numSets(); ++set)
+            n += static_cast<std::uint64_t>(
+                std::popcount(validMask(set)));
+        return n;
+    }
+
+    /** Fraction of valid blocks with the loop-bit set. */
+    double
+    loopResidency() const
+    {
+        std::uint64_t valid = 0;
+        std::uint64_t loop = 0;
+        for (std::uint64_t set = 0; set < numSets(); ++set) {
+            valid += static_cast<std::uint64_t>(
+                std::popcount(validMask(set)));
+            loop += static_cast<std::uint64_t>(
+                std::popcount(loopMask(set)));
+        }
+        return valid == 0
+            ? 0.0
+            : static_cast<double>(loop) / static_cast<double>(valid);
+    }
+
+    /** Fraction of valid blocks that are dirty. */
+    double
+    dirtyFraction() const
+    {
+        std::uint64_t valid = 0;
+        std::uint64_t dirty = 0;
+        forEachValid([&](const BlockInfo &info) {
+            valid++;
+            dirty += info.dirty ? 1 : 0;
+        });
+        return valid == 0
+            ? 0.0
+            : static_cast<double>(dirty) / static_cast<double>(valid);
+    }
+
+    /** Calls fn(const BlockInfo &) for every valid block. */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (std::uint64_t set = 0; set < numSets(); ++set) {
+            for (std::uint64_t m = validMask(set); m != 0;
+                 m &= m - 1) {
+                const auto way =
+                    static_cast<std::uint32_t>(std::countr_zero(m));
+                fn(block(set, way));
+            }
+        }
+    }
+
+  private:
+    const Cache &cache_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CACHE_INSPECTOR_HH

@@ -1,10 +1,5 @@
 #include "cache/replacement.hh"
 
-#include <bit>
-#include <limits>
-
-#include "common/logging.hh"
-
 namespace lap
 {
 
@@ -17,160 +12,6 @@ toString(ReplKind kind)
       case ReplKind::Random: return "Random";
     }
     return "?";
-}
-
-void
-LruPolicy::onFill(CacheBlock &blk)
-{
-    blk.lastTouch = ++clock_;
-}
-
-void
-LruPolicy::onHit(CacheBlock &blk)
-{
-    blk.lastTouch = ++clock_;
-}
-
-std::uint32_t
-LruPolicy::victimAmong(std::span<const CacheBlock> set,
-                       std::uint64_t eligible)
-{
-    lap_assert(eligible != 0, "LRU victim requested with no candidates");
-    std::uint32_t victim = 0;
-    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
-    for (std::uint32_t way = 0; way < set.size(); ++way) {
-        if (!(eligible & (1ULL << way)))
-            continue;
-        if (set[way].lastTouch < oldest) {
-            oldest = set[way].lastTouch;
-            victim = way;
-        }
-    }
-    return victim;
-}
-
-std::uint32_t
-LruPolicy::mruAmong(std::span<const CacheBlock> set, std::uint64_t eligible)
-{
-    lap_assert(eligible != 0, "LRU MRU requested with no candidates");
-    std::uint32_t mru = 0;
-    std::uint64_t newest = 0;
-    bool found = false;
-    for (std::uint32_t way = 0; way < set.size(); ++way) {
-        if (!(eligible & (1ULL << way)))
-            continue;
-        if (!found || set[way].lastTouch >= newest) {
-            newest = set[way].lastTouch;
-            mru = way;
-            found = true;
-        }
-    }
-    return mru;
-}
-
-void
-RripPolicy::onFill(CacheBlock &blk)
-{
-    // SRRIP inserts with a long (but not distant) prediction.
-    blk.rrpv = static_cast<std::uint8_t>(maxRrpv_ - 1);
-}
-
-void
-RripPolicy::onHit(CacheBlock &blk)
-{
-    blk.rrpv = 0;
-}
-
-std::uint32_t
-RripPolicy::victimAmong(std::span<const CacheBlock> set,
-                        std::uint64_t eligible)
-{
-    lap_assert(eligible != 0, "RRIP victim requested with no candidates");
-    // Note: aging mutates rrpv, so we cast away constness of the
-    // blocks we own logically; the cache passes its own storage.
-    auto *blocks = const_cast<CacheBlock *>(set.data());
-    for (;;) {
-        for (std::uint32_t way = 0; way < set.size(); ++way) {
-            if (!(eligible & (1ULL << way)))
-                continue;
-            if (blocks[way].rrpv >= maxRrpv_)
-                return way;
-        }
-        for (std::uint32_t way = 0; way < set.size(); ++way) {
-            if (!(eligible & (1ULL << way)))
-                continue;
-            if (blocks[way].rrpv < maxRrpv_)
-                ++blocks[way].rrpv;
-        }
-    }
-}
-
-std::uint32_t
-RripPolicy::mruAmong(std::span<const CacheBlock> set, std::uint64_t eligible)
-{
-    lap_assert(eligible != 0, "RRIP MRU requested with no candidates");
-    // Nearest predicted re-reference = smallest RRPV.
-    std::uint32_t mru = 0;
-    std::uint8_t best = 0xff;
-    for (std::uint32_t way = 0; way < set.size(); ++way) {
-        if (!(eligible & (1ULL << way)))
-            continue;
-        if (set[way].rrpv < best) {
-            best = set[way].rrpv;
-            mru = way;
-        }
-    }
-    return mru;
-}
-
-void
-RandomPolicy::onFill(CacheBlock &blk)
-{
-    (void)blk;
-}
-
-void
-RandomPolicy::onHit(CacheBlock &blk)
-{
-    (void)blk;
-}
-
-std::uint32_t
-RandomPolicy::victimAmong(std::span<const CacheBlock> set,
-                          std::uint64_t eligible)
-{
-    lap_assert(eligible != 0, "random victim requested with no candidates");
-    const int count = std::popcount(eligible);
-    std::uint64_t pick = rng_.below(static_cast<std::uint64_t>(count));
-    for (std::uint32_t way = 0; way < set.size(); ++way) {
-        if (!(eligible & (1ULL << way)))
-            continue;
-        if (pick == 0)
-            return way;
-        --pick;
-    }
-    lap_panic("unreachable: eligible mask exhausted");
-}
-
-std::uint32_t
-RandomPolicy::mruAmong(std::span<const CacheBlock> set,
-                       std::uint64_t eligible)
-{
-    return victimAmong(set, eligible);
-}
-
-std::unique_ptr<ReplacementPolicy>
-makeReplacementPolicy(ReplKind kind, std::uint64_t seed)
-{
-    switch (kind) {
-      case ReplKind::Lru:
-        return std::make_unique<LruPolicy>();
-      case ReplKind::Rrip:
-        return std::make_unique<RripPolicy>();
-      case ReplKind::Random:
-        return std::make_unique<RandomPolicy>(seed);
-    }
-    lap_panic("unknown replacement kind");
 }
 
 } // namespace lap

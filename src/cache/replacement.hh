@@ -1,23 +1,35 @@
 /**
  * @file
- * Replacement policies over a cache set.
+ * Replacement engine over the packed tag store.
  *
- * A policy updates per-block metadata on fills and hits and selects
- * a victim way among an eligible subset of a set (the subset enables
- * both the hybrid LLC's way partitions and the loop-block-aware
- * victim filter of LAP, which restricts candidates to non-loop
- * blocks first).
+ * One concrete class implements LRU, SRRIP and Random selection
+ * behind an enum switch. The cache used to dispatch through a
+ * virtual ReplacementPolicy on every fill and hit; the algorithm is
+ * fixed for the lifetime of a cache, so the indirect call bought
+ * nothing but a branch-predictor miss on the hottest edge in the
+ * simulator. The switch on `kind_` compiles to a predictable direct
+ * branch and lets the per-policy bodies inline into the cache's
+ * access path.
+ *
+ * victimAmong()/mruAmong() choose among the ways whose bit is set in
+ * `eligible`; all eligible ways are valid (the cache prefers invalid
+ * ways before consulting the policy). Candidates are scanned in
+ * ascending way order and tie-breaks are preserved exactly from the
+ * former per-policy classes: LRU victim takes the first-oldest
+ * (strict <), LRU MRU takes the last-newest (>=), RRIP ages only
+ * eligible ways, and Random consumes one Rng draw per selection.
  */
 
 #ifndef LAPSIM_CACHE_REPLACEMENT_HH
 #define LAPSIM_CACHE_REPLACEMENT_HH
 
+#include <bit>
 #include <cstdint>
-#include <memory>
-#include <span>
+#include <limits>
 #include <string>
 
-#include "cache/cache_block.hh"
+#include "cache/tag_store.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 
 namespace lap
@@ -33,35 +45,103 @@ enum class ReplKind : std::uint8_t
 
 const char *toString(ReplKind kind);
 
-/**
- * Base replacement policy interface.
- *
- * victimAmong() chooses among the ways whose bit is set in
- * `eligible`; all eligible ways are valid (the cache prefers invalid
- * ways before consulting the policy).
- */
-class ReplacementPolicy
+/** Devirtualized replacement: enum-dispatched LRU / RRIP / Random. */
+class Replacement final
 {
   public:
-    virtual ~ReplacementPolicy() = default;
+    explicit Replacement(ReplKind kind, std::uint64_t seed = 1,
+                         std::uint8_t max_rrpv = 3)
+        : rng_(seed), kind_(kind), maxRrpv_(max_rrpv)
+    {
+    }
 
-    virtual std::string name() const = 0;
+    ReplKind kind() const { return kind_; }
 
-    /** Called when a block is installed. */
-    virtual void onFill(CacheBlock &blk) = 0;
+    std::string name() const { return toString(kind_); }
+
+    /** Called when a block is installed. @p i is the flat index. */
+    void
+    onFill(TagStore &ts, std::uint64_t i)
+    {
+        switch (kind_) {
+          case ReplKind::Lru:
+            ts.setLastTouch(i, ++clock_);
+            break;
+          case ReplKind::Rrip:
+            // SRRIP inserts with a long (not distant) prediction.
+            ts.setRrpv(i, static_cast<std::uint8_t>(maxRrpv_ - 1));
+            break;
+          case ReplKind::Random:
+            break;
+        }
+    }
 
     /** Called when a block is hit by a demand access. */
-    virtual void onHit(CacheBlock &blk) = 0;
+    void
+    onHit(TagStore &ts, std::uint64_t i)
+    {
+        switch (kind_) {
+          case ReplKind::Lru:
+            ts.setLastTouch(i, ++clock_);
+            break;
+          case ReplKind::Rrip:
+            ts.setRrpv(i, 0);
+            break;
+          case ReplKind::Random:
+            break;
+        }
+    }
 
     /**
-     * Picks a victim way.
-     *
-     * @param set       All ways of the set.
-     * @param eligible  Bitmask of candidate ways (non-empty, valid).
-     * @return          Way index of the victim.
+     * Picks a victim way of @p set among the @p eligible candidates
+     * (non-empty mask of valid ways).
      */
-    virtual std::uint32_t victimAmong(std::span<const CacheBlock> set,
-                                      std::uint64_t eligible) = 0;
+    std::uint32_t
+    victimAmong(TagStore &ts, std::uint64_t set, std::uint64_t eligible)
+    {
+        lap_assert(eligible != 0,
+                   "victim requested with no candidates");
+        const std::uint64_t base = ts.indexOf(set, 0);
+        switch (kind_) {
+          case ReplKind::Lru: {
+            std::uint32_t victim = 0;
+            std::uint64_t oldest =
+                std::numeric_limits<std::uint64_t>::max();
+            for (std::uint64_t m = eligible; m != 0; m &= m - 1) {
+                const auto way = static_cast<std::uint32_t>(
+                    std::countr_zero(m));
+                const std::uint64_t touch = ts.lastTouch(base + way);
+                if (touch < oldest) {
+                    oldest = touch;
+                    victim = way;
+                }
+            }
+            return victim;
+          }
+          case ReplKind::Rrip: {
+            for (;;) {
+                for (std::uint64_t m = eligible; m != 0; m &= m - 1) {
+                    const auto way = static_cast<std::uint32_t>(
+                        std::countr_zero(m));
+                    if (ts.rrpv(base + way) >= maxRrpv_)
+                        return way;
+                }
+                for (std::uint64_t m = eligible; m != 0; m &= m - 1) {
+                    const auto way = static_cast<std::uint32_t>(
+                        std::countr_zero(m));
+                    const std::uint8_t v = ts.rrpv(base + way);
+                    if (v < maxRrpv_) {
+                        ts.setRrpv(base + way,
+                                   static_cast<std::uint8_t>(v + 1));
+                    }
+                }
+            }
+          }
+          case ReplKind::Random:
+            return nthEligible(eligible);
+        }
+        lap_panic("unknown replacement kind");
+    }
 
     /**
      * Picks the most-recently-useful way among the candidates (the
@@ -69,72 +149,72 @@ class ReplacementPolicy
      * the Lhybrid placement, which migrates the MRU loop-block from
      * the SRAM ways into STT-RAM (paper Fig 11(b)).
      */
-    virtual std::uint32_t mruAmong(std::span<const CacheBlock> set,
-                                   std::uint64_t eligible) = 0;
-};
-
-/** Classic least-recently-used via global timestamps. */
-class LruPolicy : public ReplacementPolicy
-{
-  public:
-    std::string name() const override { return "LRU"; }
-    void onFill(CacheBlock &blk) override;
-    void onHit(CacheBlock &blk) override;
-    std::uint32_t victimAmong(std::span<const CacheBlock> set,
-                              std::uint64_t eligible) override;
-    std::uint32_t mruAmong(std::span<const CacheBlock> set,
-                           std::uint64_t eligible) override;
+    std::uint32_t
+    mruAmong(TagStore &ts, std::uint64_t set, std::uint64_t eligible)
+    {
+        lap_assert(eligible != 0, "MRU requested with no candidates");
+        const std::uint64_t base = ts.indexOf(set, 0);
+        switch (kind_) {
+          case ReplKind::Lru: {
+            std::uint32_t mru = 0;
+            std::uint64_t newest = 0;
+            bool found = false;
+            for (std::uint64_t m = eligible; m != 0; m &= m - 1) {
+                const auto way = static_cast<std::uint32_t>(
+                    std::countr_zero(m));
+                const std::uint64_t touch = ts.lastTouch(base + way);
+                if (!found || touch >= newest) {
+                    newest = touch;
+                    mru = way;
+                    found = true;
+                }
+            }
+            return mru;
+          }
+          case ReplKind::Rrip: {
+            // Nearest predicted re-reference = smallest RRPV.
+            std::uint32_t mru = 0;
+            std::uint8_t best = 0xff;
+            for (std::uint64_t m = eligible; m != 0; m &= m - 1) {
+                const auto way = static_cast<std::uint32_t>(
+                    std::countr_zero(m));
+                if (ts.rrpv(base + way) < best) {
+                    best = ts.rrpv(base + way);
+                    mru = way;
+                }
+            }
+            return mru;
+          }
+          case ReplKind::Random:
+            return nthEligible(eligible);
+        }
+        lap_panic("unknown replacement kind");
+    }
 
     /** Exposes the recency clock so tests can reason about order. */
     std::uint64_t clock() const { return clock_; }
 
   private:
+    /** Random pick: same draw sequence as the former RandomPolicy. */
+    std::uint32_t
+    nthEligible(std::uint64_t eligible)
+    {
+        const int count = std::popcount(eligible);
+        std::uint64_t pick =
+            rng_.below(static_cast<std::uint64_t>(count));
+        std::uint64_t m = eligible;
+        while (pick > 0) {
+            m &= m - 1;
+            --pick;
+        }
+        return static_cast<std::uint32_t>(std::countr_zero(m));
+    }
+
+    Rng rng_;
     std::uint64_t clock_ = 0;
-};
-
-/**
- * Static RRIP (SRRIP) with 2-bit re-reference prediction values.
- * Referenced by the paper as an alternative base policy for the
- * loop-block-aware replacement and Lhybrid placement.
- */
-class RripPolicy : public ReplacementPolicy
-{
-  public:
-    explicit RripPolicy(std::uint8_t max_rrpv = 3) : maxRrpv_(max_rrpv) {}
-
-    std::string name() const override { return "RRIP"; }
-    void onFill(CacheBlock &blk) override;
-    void onHit(CacheBlock &blk) override;
-    std::uint32_t victimAmong(std::span<const CacheBlock> set,
-                              std::uint64_t eligible) override;
-    std::uint32_t mruAmong(std::span<const CacheBlock> set,
-                           std::uint64_t eligible) override;
-
-  private:
+    ReplKind kind_;
     std::uint8_t maxRrpv_;
 };
-
-/** Uniform-random victim selection (used as a testing baseline). */
-class RandomPolicy : public ReplacementPolicy
-{
-  public:
-    explicit RandomPolicy(std::uint64_t seed = 1) : rng_(seed) {}
-
-    std::string name() const override { return "Random"; }
-    void onFill(CacheBlock &blk) override;
-    void onHit(CacheBlock &blk) override;
-    std::uint32_t victimAmong(std::span<const CacheBlock> set,
-                              std::uint64_t eligible) override;
-    std::uint32_t mruAmong(std::span<const CacheBlock> set,
-                           std::uint64_t eligible) override;
-
-  private:
-    Rng rng_;
-};
-
-/** Factory for the base policies. */
-std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(ReplKind kind,
-                                                         std::uint64_t seed);
 
 } // namespace lap
 

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Packed structure-of-arrays tag store and the BlockView handle.
+ *
+ * The hot path of every simulated access is a set probe followed by
+ * a handful of metadata updates. Storing blocks as an array of
+ * structs made each probe stride over ~48 bytes of unrelated fields
+ * per way; the TagStore instead keeps each field in its own
+ * contiguous column (tags, packed flag bytes, RRPV, LRU stamps,
+ * versions, sites) indexed by `set * assoc + way`, plus two per-set
+ * 64-bit occupancy masks:
+ *
+ *   - validMask(set): bit w set iff way w holds a valid block,
+ *   - loopMask(set):  bit w set iff way w is valid with its loop-bit
+ *     set (paper Section III-C).
+ *
+ * Probes scan only the tag column for ways selected by the valid
+ * mask, victim selection intersects masks instead of iterating
+ * blocks, and the loop-aware policies get their eligible-way sets
+ * (non-loop ways, MRU loop way) as single mask expressions. The
+ * 64-bit masks are why the engine caps associativity at 64.
+ *
+ * Code that previously held a `CacheBlock *` holds a BlockView: a
+ * {store, index} pair exposing typed accessors. A default-constructed
+ * view is "null" (explicit operator bool), which replaces the old
+ * nullptr-on-miss convention.
+ */
+
+#ifndef LAPSIM_CACHE_TAG_STORE_HH
+#define LAPSIM_CACHE_TAG_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_block.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** Column-major storage for every block's metadata in one cache. */
+class TagStore
+{
+  public:
+    TagStore(std::uint64_t num_sets, std::uint32_t assoc)
+        : numSets_(num_sets), assoc_(assoc)
+    {
+        lap_assert(assoc >= 1 && assoc <= 64,
+                   "tag store packs way occupancy into 64-bit masks; "
+                   "associativity %u unsupported", assoc);
+        const std::size_t n =
+            static_cast<std::size_t>(num_sets) * assoc;
+        tags_.assign(n, 0);
+        flags_.assign(n, 0);
+        coh_.assign(n, static_cast<std::uint8_t>(CohState::Invalid));
+        fill_.assign(n, static_cast<std::uint8_t>(FillState::NotFill));
+        rrpv_.assign(n, 3);
+        lastTouch_.assign(n, 0);
+        version_.assign(n, 0);
+        site_.assign(n, 0);
+        validMask_.assign(num_sets, 0);
+        loopMask_.assign(num_sets, 0);
+    }
+
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+    std::uint64_t
+    indexOf(std::uint64_t set, std::uint32_t way) const
+    {
+        return set * assoc_ + way;
+    }
+
+    std::uint64_t setOf(std::uint64_t index) const
+    {
+        return index / assoc_;
+    }
+
+    std::uint32_t wayOf(std::uint64_t index) const
+    {
+        return static_cast<std::uint32_t>(index % assoc_);
+    }
+
+    /** Occupancy mask: bit w iff way w of @p set is valid. */
+    std::uint64_t validMask(std::uint64_t set) const
+    {
+        return validMask_[set];
+    }
+
+    /** Bit w iff way w of @p set is valid with its loop-bit set. */
+    std::uint64_t loopMask(std::uint64_t set) const
+    {
+        return loopMask_[set];
+    }
+
+    // Field columns, by flat index.
+
+    Addr tag(std::uint64_t i) const { return tags_[i]; }
+    void setTag(std::uint64_t i, Addr a) { tags_[i] = a; }
+
+    /** Tag column base for manual probe loops. */
+    const Addr *tagData() const { return tags_.data(); }
+
+    bool valid(std::uint64_t i) const { return flags_[i] & kValid; }
+
+    void
+    setValid(std::uint64_t i, bool v)
+    {
+        setFlag(i, kValid, v);
+        const std::uint64_t bit = bitOf(i);
+        if (v) {
+            validMask_[setOf(i)] |= bit;
+            if (flags_[i] & kLoop)
+                loopMask_[setOf(i)] |= bit;
+        } else {
+            validMask_[setOf(i)] &= ~bit;
+            loopMask_[setOf(i)] &= ~bit;
+        }
+    }
+
+    bool dirty(std::uint64_t i) const { return flags_[i] & kDirty; }
+    void setDirty(std::uint64_t i, bool v) { setFlag(i, kDirty, v); }
+
+    bool loopBit(std::uint64_t i) const { return flags_[i] & kLoop; }
+
+    void
+    setLoopBit(std::uint64_t i, bool v)
+    {
+        setFlag(i, kLoop, v);
+        if (flags_[i] & kValid) {
+            const std::uint64_t bit = bitOf(i);
+            if (v)
+                loopMask_[setOf(i)] |= bit;
+            else
+                loopMask_[setOf(i)] &= ~bit;
+        }
+    }
+
+    bool referenced(std::uint64_t i) const
+    {
+        return flags_[i] & kReferenced;
+    }
+
+    void setReferenced(std::uint64_t i, bool v)
+    {
+        setFlag(i, kReferenced, v);
+    }
+
+    CohState coh(std::uint64_t i) const
+    {
+        return static_cast<CohState>(coh_[i]);
+    }
+
+    void setCoh(std::uint64_t i, CohState s)
+    {
+        coh_[i] = static_cast<std::uint8_t>(s);
+    }
+
+    FillState fillState(std::uint64_t i) const
+    {
+        return static_cast<FillState>(fill_[i]);
+    }
+
+    void setFillState(std::uint64_t i, FillState s)
+    {
+        fill_[i] = static_cast<std::uint8_t>(s);
+    }
+
+    std::uint8_t rrpv(std::uint64_t i) const { return rrpv_[i]; }
+    void setRrpv(std::uint64_t i, std::uint8_t v) { rrpv_[i] = v; }
+
+    std::uint64_t lastTouch(std::uint64_t i) const
+    {
+        return lastTouch_[i];
+    }
+
+    void setLastTouch(std::uint64_t i, std::uint64_t v)
+    {
+        lastTouch_[i] = v;
+    }
+
+    std::uint64_t version(std::uint64_t i) const
+    {
+        return version_[i];
+    }
+
+    void setVersion(std::uint64_t i, std::uint64_t v)
+    {
+        version_[i] = v;
+    }
+
+    std::uint32_t site(std::uint64_t i) const { return site_[i]; }
+    void setSite(std::uint64_t i, std::uint32_t v) { site_[i] = v; }
+
+    /**
+     * Writes every field of a newly installed block in one shot
+     * (valid, not referenced) and updates the occupancy masks; the
+     * cache's insert path uses this instead of per-field setters.
+     */
+    void
+    install(std::uint64_t i, Addr tag, bool dirty, bool loop,
+            std::uint64_t version, FillState fill, CohState coh,
+            std::uint32_t site)
+    {
+        tags_[i] = tag;
+        flags_[i] = static_cast<std::uint8_t>(
+            kValid | (dirty ? kDirty : 0) | (loop ? kLoop : 0));
+        coh_[i] = static_cast<std::uint8_t>(coh);
+        fill_[i] = static_cast<std::uint8_t>(fill);
+        version_[i] = version;
+        site_[i] = site;
+        const std::uint64_t bit = bitOf(i);
+        const std::uint64_t set = setOf(i);
+        validMask_[set] |= bit;
+        if (loop)
+            loopMask_[set] |= bit;
+        else
+            loopMask_[set] &= ~bit;
+    }
+
+    /**
+     * Resets the entry to the invalid state. LRU stamp and RRPV are
+     * deliberately preserved (they carry no meaning while invalid
+     * and are rewritten on the next fill).
+     */
+    void
+    invalidate(std::uint64_t i)
+    {
+        flags_[i] = 0;
+        coh_[i] = static_cast<std::uint8_t>(CohState::Invalid);
+        fill_[i] = static_cast<std::uint8_t>(FillState::NotFill);
+        version_[i] = 0;
+        site_[i] = 0;
+        const std::uint64_t bit = bitOf(i);
+        validMask_[setOf(i)] &= ~bit;
+        loopMask_[setOf(i)] &= ~bit;
+    }
+
+  private:
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kDirty = 2;
+    static constexpr std::uint8_t kLoop = 4;
+    static constexpr std::uint8_t kReferenced = 8;
+
+    std::uint64_t bitOf(std::uint64_t i) const
+    {
+        return 1ULL << (i % assoc_);
+    }
+
+    void
+    setFlag(std::uint64_t i, std::uint8_t flag, bool v)
+    {
+        if (v)
+            flags_[i] = static_cast<std::uint8_t>(flags_[i] | flag);
+        else
+            flags_[i] = static_cast<std::uint8_t>(flags_[i] & ~flag);
+    }
+
+    std::uint64_t numSets_;
+    std::uint32_t assoc_;
+    std::vector<Addr> tags_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<std::uint8_t> coh_;
+    std::vector<std::uint8_t> fill_;
+    std::vector<std::uint8_t> rrpv_;
+    std::vector<std::uint64_t> lastTouch_;
+    std::vector<std::uint64_t> version_;
+    std::vector<std::uint32_t> site_;
+    std::vector<std::uint64_t> validMask_;
+    std::vector<std::uint64_t> loopMask_;
+};
+
+/**
+ * Mutable handle to one tag-store entry; the unit of exchange on the
+ * engine's hot path (what `CacheBlock *` used to be). Copyable and
+ * cheap; a default-constructed view is null and converts to false.
+ */
+class BlockView
+{
+  public:
+    BlockView() = default;
+
+    BlockView(TagStore *store, std::uint64_t index)
+        : store_(store), index_(index)
+    {
+    }
+
+    explicit operator bool() const { return store_ != nullptr; }
+
+    bool operator==(const BlockView &o) const
+    {
+        return store_ == o.store_ && index_ == o.index_;
+    }
+
+    bool operator!=(const BlockView &o) const { return !(*this == o); }
+
+    std::uint64_t index() const { return index_; }
+    std::uint64_t set() const { return store_->setOf(index_); }
+    std::uint32_t way() const { return store_->wayOf(index_); }
+
+    Addr blockAddr() const { return store_->tag(index_); }
+    bool valid() const { return store_->valid(index_); }
+    bool dirty() const { return store_->dirty(index_); }
+    bool loopBit() const { return store_->loopBit(index_); }
+    bool referenced() const { return store_->referenced(index_); }
+    CohState coh() const { return store_->coh(index_); }
+    FillState fillState() const { return store_->fillState(index_); }
+    std::uint8_t rrpv() const { return store_->rrpv(index_); }
+    std::uint64_t lastTouch() const
+    {
+        return store_->lastTouch(index_);
+    }
+    std::uint64_t version() const { return store_->version(index_); }
+    std::uint32_t site() const { return store_->site(index_); }
+
+    void setBlockAddr(Addr a) const { store_->setTag(index_, a); }
+    void setValid(bool v) const { store_->setValid(index_, v); }
+    void setDirty(bool v) const { store_->setDirty(index_, v); }
+    void setLoopBit(bool v) const { store_->setLoopBit(index_, v); }
+    void setReferenced(bool v) const
+    {
+        store_->setReferenced(index_, v);
+    }
+    void setCoh(CohState s) const { store_->setCoh(index_, s); }
+    void setFillState(FillState s) const
+    {
+        store_->setFillState(index_, s);
+    }
+    void setVersion(std::uint64_t v) const
+    {
+        store_->setVersion(index_, v);
+    }
+    void setSite(std::uint32_t v) const { store_->setSite(index_, v); }
+
+    void invalidate() const { store_->invalidate(index_); }
+
+  private:
+    TagStore *store_ = nullptr;
+    std::uint64_t index_ = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_CACHE_TAG_STORE_HH

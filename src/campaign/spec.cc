@@ -156,8 +156,10 @@ expandCampaign(const CampaignSpec &spec)
                     const auto &axis = spec.axes[a];
                     const auto &value = axis.values[selection[a]];
                     if (!applyConfigField(job.config, axis.field, value))
-                        lap_fatal("axis: unknown config field '%s'",
-                                  axis.field.c_str());
+                        lap_fatal("axis: unknown config field '%s' "
+                                  "(valid: %s)",
+                                  axis.field.c_str(),
+                                  configFieldNamesJoined().c_str());
                     job.label += "/" + axis.field + "=" + value;
                 }
 
@@ -260,8 +262,10 @@ parseCampaignSpec(const std::string &text)
                           keyword.c_str());
             if (keyword == "set") {
                 if (!applyConfigField(spec.base, field, values))
-                    lap_fatal("spec line %d: unknown config field '%s'",
-                              line_no, field.c_str());
+                    lap_fatal("spec line %d: unknown config field '%s' "
+                              "(valid: %s)",
+                              line_no, field.c_str(),
+                              configFieldNamesJoined().c_str());
             } else {
                 spec.axes.push_back({field, splitList(values)});
             }

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Open-addressing hash map keyed by block address.
+ *
+ * The verifier consults its version map on every demand read and the
+ * loop tracker updates a streak map on every clean eviction, so these
+ * lookups sit on the simulator's hot path. std::unordered_map's
+ * node-per-entry layout made them a steady source of allocator
+ * traffic and cache misses; this map stores interleaved
+ * {state, key, value} slots in one flat array with linear probing
+ * instead, so the common first-probe hit touches a single cache line
+ * (separate state/key/value columns would cost three). Erase is
+ * supported via tombstones (the loop tracker ends streaks by erasing
+ * them).
+ *
+ * Iteration order is unspecified (as it already was with
+ * unordered_map); all in-tree consumers fold or check entries
+ * order-independently.
+ */
+
+#ifndef LAPSIM_COMMON_FLAT_MAP_HH
+#define LAPSIM_COMMON_FLAT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lap
+{
+
+/** Flat open-addressing Addr -> Value map with tombstone erase. */
+template <typename Value>
+class AddrMap
+{
+  public:
+    AddrMap() { rehash(kInitialCapacity); }
+
+    /** Number of live entries. */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Reference to the value for @p key, default-constructed on
+     * first use. Invalidated by any later insertion (rehash).
+     */
+    Value &
+    operator[](Addr key)
+    {
+        // Grow 4x: the verifier maps reach millions of entries, and
+        // quadrupling bounds total rehash re-insert work at ~n/3
+        // moved entries (vs ~n for doubling) while keeping the
+        // steady-state load factor low enough for first-probe hits.
+        if ((used_ + 1) * 4 > slots_.size() * 3)
+            rehash(slots_.size() * 4);
+        std::size_t idx = indexOf(key);
+        std::size_t insert_at = slots_.size();
+        for (;;) {
+            Slot &s = slots_[idx];
+            if (s.state == kEmpty) {
+                if (insert_at == slots_.size()) {
+                    insert_at = idx;
+                    ++used_;
+                }
+                Slot &dst = slots_[insert_at];
+                dst.state = kFull;
+                dst.key = key;
+                dst.value = Value{};
+                ++size_;
+                return dst.value;
+            }
+            if (s.state == kFull && s.key == key)
+                return s.value;
+            if (s.state == kTombstone && insert_at == slots_.size())
+                insert_at = idx;
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    /** Pointer to the value for @p key, or nullptr. */
+    const Value *
+    find(Addr key) const
+    {
+        std::size_t idx = indexOf(key);
+        for (;;) {
+            const Slot &s = slots_[idx];
+            if (s.state == kEmpty)
+                return nullptr;
+            if (s.state == kFull && s.key == key)
+                return &s.value;
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    Value *
+    find(Addr key)
+    {
+        return const_cast<Value *>(
+            static_cast<const AddrMap *>(this)->find(key));
+    }
+
+    /** Removes @p key if present; no-op otherwise. */
+    void
+    erase(Addr key)
+    {
+        std::size_t idx = indexOf(key);
+        for (;;) {
+            Slot &s = slots_[idx];
+            if (s.state == kEmpty)
+                return;
+            if (s.state == kFull && s.key == key) {
+                s.state = kTombstone;
+                s.value = Value{};
+                --size_;
+                return;
+            }
+            idx = (idx + 1) & mask_;
+        }
+    }
+
+    /** Drops every entry but keeps the current capacity. */
+    void
+    clear()
+    {
+        for (Slot &s : slots_)
+            s = Slot{};
+        size_ = 0;
+        used_ = 0;
+    }
+
+    /** Calls fn(Addr, const Value &) for every live entry. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_) {
+            if (s.state == kFull)
+                fn(s.key, s.value);
+        }
+    }
+
+  private:
+    static constexpr std::size_t kInitialCapacity = 64;
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kFull = 1;
+    static constexpr std::uint8_t kTombstone = 2;
+
+    struct Slot
+    {
+        Addr key = 0;
+        Value value{};
+        std::uint8_t state = kEmpty;
+    };
+
+    static std::uint64_t
+    mix(Addr key)
+    {
+        std::uint64_t x = key;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ULL;
+        x ^= x >> 33;
+        return x;
+    }
+
+    std::size_t indexOf(Addr key) const { return mix(key) & mask_; }
+
+    void
+    rehash(std::size_t capacity)
+    {
+        lap_assert((capacity & (capacity - 1)) == 0,
+                   "AddrMap capacity %zu not a power of two", capacity);
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(capacity, Slot{});
+        mask_ = capacity - 1;
+        size_ = 0;
+        used_ = 0;
+        for (Slot &s : old) {
+            if (s.state == kFull)
+                (*this)[s.key] = std::move(s.value);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    std::size_t used_ = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_COMMON_FLAT_MAP_HH

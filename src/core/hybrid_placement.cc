@@ -90,14 +90,14 @@ LhybridPlacement::insertSram(Cache &llc, Addr block_addr,
         if (mru_loop != Cache::kAllWays) {
             // Fig 11(b): migrate the MRU loop-block SRAM -> STT to
             // make room, then install the incoming block in SRAM.
-            CacheBlock &mig = llc.blockAt(set, mru_loop);
+            BlockView mig = llc.blockAt(set, mru_loop);
             Cache::InsertAttrs mig_attrs;
-            mig_attrs.dirty = mig.dirty;
-            mig_attrs.loopBit = mig.loopBit;
-            mig_attrs.version = mig.version;
-            mig_attrs.fillState = mig.fillState;
-            mig_attrs.coh = mig.coh;
-            const Addr mig_addr = mig.blockAddr;
+            mig_attrs.dirty = mig.dirty();
+            mig_attrs.loopBit = mig.loopBit();
+            mig_attrs.version = mig.version();
+            mig_attrs.fillState = mig.fillState();
+            mig_attrs.coh = mig.coh();
+            const Addr mig_addr = mig.blockAddr();
             llc.countDataRead(MemTech::SRAM); // read out the migrant
             llc.invalidateBlock(mig);
 
@@ -118,14 +118,14 @@ LhybridPlacement::insertSram(Cache &llc, Addr block_addr,
     if (llc.hasInvalidWay(set, sram_ways, Cache::kAllWays)) {
         const std::uint32_t lru =
             llc.chooseVictimWay(set, 0, sram_ways, false);
-        CacheBlock &mig = llc.blockAt(set, lru);
+        BlockView mig = llc.blockAt(set, lru);
         Cache::InsertAttrs mig_attrs;
-        mig_attrs.dirty = mig.dirty;
-        mig_attrs.loopBit = mig.loopBit;
-        mig_attrs.version = mig.version;
-        mig_attrs.fillState = mig.fillState;
-        mig_attrs.coh = mig.coh;
-        const Addr mig_addr = mig.blockAddr;
+        mig_attrs.dirty = mig.dirty();
+        mig_attrs.loopBit = mig.loopBit();
+        mig_attrs.version = mig.version();
+        mig_attrs.fillState = mig.fillState();
+        mig_attrs.coh = mig.coh();
+        const Addr mig_addr = mig.blockAddr();
         llc.countDataRead(MemTech::SRAM);
         llc.invalidateBlock(mig);
         PlacementOutcome stt = insertStt(llc, mig_addr, mig_attrs);
@@ -166,18 +166,18 @@ LhybridPlacement::insert(Cache &llc, Addr block_addr,
 }
 
 bool
-LhybridPlacement::handleDirtyVictimHit(Cache &llc, CacheBlock &dup,
+LhybridPlacement::handleDirtyVictimHit(Cache &llc, BlockView dup,
                                        const Cache::InsertAttrs &attrs,
                                        PlacementOutcome &out)
 {
     if (!flags_.winv || !llc.isHybrid())
         return false;
-    if (llc.wayTech(llc.wayOf(dup)) != MemTech::STTRAM)
+    if (llc.wayTech(dup.way()) != MemTech::STTRAM)
         return false; // SRAM duplicates are cheap to update in place
 
     // Fig 11(a): invalidate the STT copy and insert the dirty block
     // into SRAM.
-    const Addr block_addr = dup.blockAddr;
+    const Addr block_addr = dup.blockAddr();
     llc.invalidateBlock(dup);
     out = insertSram(llc, block_addr, attrs,
                      /*allow_loop_migration=*/flags_.loopToStt);

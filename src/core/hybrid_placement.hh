@@ -24,6 +24,8 @@
 #ifndef LAPSIM_CORE_HYBRID_PLACEMENT_HH
 #define LAPSIM_CORE_HYBRID_PLACEMENT_HH
 
+#include <memory>
+
 #include "hierarchy/placement.hh"
 
 namespace lap
@@ -61,7 +63,7 @@ class LhybridPlacement : public PlacementPolicy
     PlacementOutcome insert(Cache &llc, Addr block_addr,
                             const Cache::InsertAttrs &attrs) override;
 
-    bool handleDirtyVictimHit(Cache &llc, CacheBlock &dup,
+    bool handleDirtyVictimHit(Cache &llc, BlockView dup,
                               const Cache::InsertAttrs &attrs,
                               PlacementOutcome &out) override;
 

@@ -3,9 +3,6 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "core/lap_policy.hh"
-#include "hierarchy/baseline_policies.hh"
-#include "hierarchy/switching_policies.hh"
 
 namespace lap
 {
@@ -35,6 +32,18 @@ allPolicyKinds()
             PolicyKind::LapLoop,     PolicyKind::Lap};
 }
 
+std::string
+policyKindNames()
+{
+    std::string names;
+    for (const PolicyKind kind : allPolicyKinds()) {
+        if (!names.empty())
+            names += ", ";
+        names += toString(kind);
+    }
+    return names;
+}
+
 PolicyKind
 policyKindFromString(const std::string &name)
 {
@@ -58,40 +67,41 @@ policyKindFromString(const std::string &name)
         return PolicyKind::LapLoop;
     if (lower == "lap")
         return PolicyKind::Lap;
-    lap_fatal("unknown inclusion policy '%s'", name.c_str());
+    lap_fatal("unknown inclusion policy '%s' (valid: %s)", name.c_str(),
+              policyKindNames().c_str());
 }
 
-std::unique_ptr<InclusionPolicy>
+InclusionEngine
 makeInclusionPolicy(PolicyKind kind, std::uint64_t num_sets,
                     const PolicyTuning &tuning)
 {
     switch (kind) {
       case PolicyKind::Inclusive:
-        return std::make_unique<InclusivePolicy>();
+        return InclusionEngine(InclusivePolicy{});
       case PolicyKind::NonInclusive:
-        return std::make_unique<NonInclusivePolicy>();
+        return InclusionEngine(NonInclusivePolicy{});
       case PolicyKind::Exclusive:
-        return std::make_unique<ExclusivePolicy>();
+        return InclusionEngine(ExclusivePolicy{});
       case PolicyKind::Flexclusion:
-        return std::make_unique<FlexclusionPolicy>(
+        return InclusionEngine(FlexclusionPolicy(
             num_sets, tuning.epochCycles, tuning.flexMissMargin,
-            tuning.leaderPeriod);
+            tuning.leaderPeriod));
       case PolicyKind::Dswitch:
-        return std::make_unique<DswitchPolicy>(
+        return InclusionEngine(DswitchPolicy(
             num_sets, tuning.epochCycles, tuning.dswitchWriteEnergyNj,
-            tuning.dswitchMissEnergyNj, tuning.leaderPeriod);
+            tuning.dswitchMissEnergyNj, tuning.leaderPeriod));
       case PolicyKind::LapLru:
-        return std::make_unique<LapPolicy>(num_sets, tuning.epochCycles,
-                                           LapVariant::Lru,
-                                           tuning.leaderPeriod);
+        return InclusionEngine(LapPolicy(num_sets, tuning.epochCycles,
+                                         LapVariant::Lru,
+                                         tuning.leaderPeriod));
       case PolicyKind::LapLoop:
-        return std::make_unique<LapPolicy>(num_sets, tuning.epochCycles,
-                                           LapVariant::Loop,
-                                           tuning.leaderPeriod);
+        return InclusionEngine(LapPolicy(num_sets, tuning.epochCycles,
+                                         LapVariant::Loop,
+                                         tuning.leaderPeriod));
       case PolicyKind::Lap:
-        return std::make_unique<LapPolicy>(num_sets, tuning.epochCycles,
-                                           LapVariant::Dueling,
-                                           tuning.leaderPeriod);
+        return InclusionEngine(LapPolicy(num_sets, tuning.epochCycles,
+                                         LapVariant::Dueling,
+                                         tuning.leaderPeriod));
     }
     lap_panic("unknown policy kind");
 }

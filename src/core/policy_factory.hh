@@ -7,11 +7,10 @@
 #ifndef LAPSIM_CORE_POLICY_FACTORY_HH
 #define LAPSIM_CORE_POLICY_FACTORY_HH
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/inclusion_engine.hh"
 
 namespace lap
 {
@@ -34,8 +33,12 @@ const char *toString(PolicyKind kind);
 /** All kinds, in Table IV order. */
 std::vector<PolicyKind> allPolicyKinds();
 
-/** Parses a policy name ("lap", "exclusive", ...); fatal on error. */
+/** Parses a policy name ("lap", "exclusive", ...); fatal on error,
+ *  listing the accepted names. */
 PolicyKind policyKindFromString(const std::string &name);
+
+/** Comma-separated accepted policy names (for error messages). */
+std::string policyKindNames();
 
 /** Tunables for the adaptive policies. */
 struct PolicyTuning
@@ -50,10 +53,10 @@ struct PolicyTuning
     double dswitchMissEnergyNj = 1.2;
 };
 
-/** Builds a policy instance for an LLC with @p num_sets sets. */
-std::unique_ptr<InclusionPolicy> makeInclusionPolicy(
-    PolicyKind kind, std::uint64_t num_sets,
-    const PolicyTuning &tuning = {});
+/** Builds a policy engine for an LLC with @p num_sets sets. */
+InclusionEngine makeInclusionPolicy(PolicyKind kind,
+                                    std::uint64_t num_sets,
+                                    const PolicyTuning &tuning = {});
 
 } // namespace lap
 

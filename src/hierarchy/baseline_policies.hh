@@ -1,12 +1,20 @@
 /**
  * @file
  * The three traditional inclusion properties (paper Fig 1).
+ *
+ * These are plain classes (no virtual base): the hierarchy holds
+ * whichever policy a run uses inside an InclusionEngine
+ * (hierarchy/inclusion_engine.hh) and dispatches on its mode enum.
+ * The decision methods keep the per-set signature even when the
+ * answer is constant so every policy answers the same questions as
+ * the adaptive ones.
  */
 
 #ifndef LAPSIM_HIERARCHY_BASELINE_POLICIES_HH
 #define LAPSIM_HIERARCHY_BASELINE_POLICIES_HH
 
-#include "hierarchy/inclusion_policy.hh"
+#include <cstdint>
+#include <string>
 
 namespace lap
 {
@@ -18,14 +26,14 @@ namespace lap
  * and exclusion since bypassing writes is impossible under strict
  * inclusion.
  */
-class InclusivePolicy : public InclusionPolicy
+class InclusivePolicy
 {
   public:
-    std::string name() const override { return "Inclusive"; }
-    bool fillLlcOnMiss(std::uint64_t) override { return true; }
-    bool invalidateOnLlcHit(std::uint64_t) override { return false; }
-    bool insertCleanVictim(std::uint64_t) override { return false; }
-    bool backInvalidate() const override { return true; }
+    std::string name() const { return "Inclusive"; }
+    bool fillLlcOnMiss(std::uint64_t) const { return true; }
+    bool invalidateOnLlcHit(std::uint64_t) const { return false; }
+    bool insertCleanVictim(std::uint64_t) const { return false; }
+    bool backInvalidate() const { return true; }
 };
 
 /**
@@ -33,13 +41,13 @@ class InclusivePolicy : public InclusionPolicy
  * back-invalidation, clean victims dropped. Writes to the LLC =
  * data-fills + dirty victims.
  */
-class NonInclusivePolicy : public InclusionPolicy
+class NonInclusivePolicy
 {
   public:
-    std::string name() const override { return "Non-inclusive"; }
-    bool fillLlcOnMiss(std::uint64_t) override { return true; }
-    bool invalidateOnLlcHit(std::uint64_t) override { return false; }
-    bool insertCleanVictim(std::uint64_t) override { return false; }
+    std::string name() const { return "Non-inclusive"; }
+    bool fillLlcOnMiss(std::uint64_t) const { return true; }
+    bool invalidateOnLlcHit(std::uint64_t) const { return false; }
+    bool insertCleanVictim(std::uint64_t) const { return false; }
 };
 
 /**
@@ -47,13 +55,13 @@ class NonInclusivePolicy : public InclusionPolicy
  * invalidated (the block moves up), every L2 victim is inserted.
  * Writes to the LLC = clean victims + dirty victims.
  */
-class ExclusivePolicy : public InclusionPolicy
+class ExclusivePolicy
 {
   public:
-    std::string name() const override { return "Exclusive"; }
-    bool fillLlcOnMiss(std::uint64_t) override { return false; }
-    bool invalidateOnLlcHit(std::uint64_t) override { return true; }
-    bool insertCleanVictim(std::uint64_t) override { return true; }
+    std::string name() const { return "Exclusive"; }
+    bool fillLlcOnMiss(std::uint64_t) const { return false; }
+    bool invalidateOnLlcHit(std::uint64_t) const { return true; }
+    bool insertCleanVictim(std::uint64_t) const { return true; }
 };
 
 } // namespace lap

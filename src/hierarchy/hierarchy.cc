@@ -22,7 +22,7 @@ strongerState(CohState a, CohState b)
 } // namespace
 
 CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
-                               std::unique_ptr<InclusionPolicy> policy,
+                               InclusionEngine policy,
                                std::unique_ptr<PlacementPolicy> placement,
                                std::unique_ptr<WriteFilter> write_filter)
     : params_(params),
@@ -33,7 +33,6 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
       writeFilter_(std::move(write_filter))
 {
     lap_assert(params_.numCores >= 1, "need at least one core");
-    lap_assert(policy_ != nullptr, "inclusion policy required");
     lap_assert(params_.l1.blockBytes == params_.llc.blockBytes
                    && params_.l2.blockBytes == params_.llc.blockBytes,
                "block size must match across levels");
@@ -96,25 +95,28 @@ CacheHierarchy::flushPrivate(CoreId core, Cycle now)
 {
     lap_assert(core < params_.numCores, "core %u out of range", core);
     auto drain = [&](Cache &cache, auto &&victim_handler) {
-        // Snapshot first: victim handling may insert into lower
-        // private levels while we iterate.
-        std::vector<CacheBlock *> blocks;
-        cache.forEachBlock([&](CacheBlock &blk) { blocks.push_back(&blk); });
-        for (CacheBlock *blk : blocks) {
-            if (!blk->valid)
-                continue; // invalidated by an earlier handler
-            Cache::Eviction ev;
-            ev.valid = true;
-            ev.blockAddr = blk->blockAddr;
-            ev.dirty = blk->dirty;
-            ev.loopBit = blk->loopBit;
-            ev.version = blk->version;
-            ev.fillState = blk->fillState;
-            ev.coh = blk->coh;
-            ev.site = blk->site;
-            ev.referenced = blk->referenced;
-            cache.invalidateBlock(*blk);
-            victim_handler(ev);
+        // Nothing inserts into the cache being drained during its own
+        // drain, so a live set-major sweep visits exactly the blocks
+        // present at the start; re-check validity because a victim
+        // handler may back-invalidate a block we have not reached yet.
+        for (std::uint64_t set = 0; set < cache.numSets(); ++set) {
+            for (std::uint32_t way = 0; way < cache.assoc(); ++way) {
+                BlockView blk = cache.blockAt(set, way);
+                if (!blk.valid())
+                    continue;
+                Cache::Eviction ev;
+                ev.valid = true;
+                ev.blockAddr = blk.blockAddr();
+                ev.dirty = blk.dirty();
+                ev.loopBit = blk.loopBit();
+                ev.version = blk.version();
+                ev.fillState = blk.fillState();
+                ev.coh = blk.coh();
+                ev.site = blk.site();
+                ev.referenced = blk.referenced();
+                cache.invalidateBlock(blk);
+                victim_handler(ev);
+            }
         }
     };
     drain(*l1s_[core], [&](const Cache::Eviction &ev) {
@@ -124,36 +126,6 @@ CacheHierarchy::flushPrivate(CoreId core, Cycle now)
         handleL2Victim(core, ev, now);
     });
     completeTransaction(now);
-}
-
-double
-CacheHierarchy::llcLoopResidency() const
-{
-    std::uint64_t valid = 0;
-    std::uint64_t loops = 0;
-    llc_->forEachBlock([&](const CacheBlock &blk) {
-        valid++;
-        if (blk.loopBit)
-            loops++;
-    });
-    return valid == 0 ? 0.0
-                      : static_cast<double>(loops)
-            / static_cast<double>(valid);
-}
-
-double
-CacheHierarchy::llcDirtyFraction() const
-{
-    std::uint64_t valid = 0;
-    std::uint64_t dirty = 0;
-    llc_->forEachBlock([&](const CacheBlock &blk) {
-        valid++;
-        if (blk.dirty)
-            dirty++;
-    });
-    return valid == 0 ? 0.0
-                      : static_cast<double>(dirty)
-            / static_cast<double>(valid);
 }
 
 CacheHierarchy::AccessResult
@@ -186,7 +158,7 @@ CacheHierarchy::accessImpl(CoreId core, Addr byte_addr, AccessType type,
                            Cycle now, std::uint32_t site)
 {
     lap_assert(core < params_.numCores, "core %u out of range", core);
-    policy_->tick(now);
+    policy_.tick(now);
     stats_.demandAccesses++;
     if (type == AccessType::Read)
         stats_.demandReads++;
@@ -197,40 +169,40 @@ CacheHierarchy::accessImpl(CoreId core, Addr byte_addr, AccessType type,
     Cache &l1c = *l1s_[core];
 
     // ---- L1 ---------------------------------------------------------
-    if (CacheBlock *b1 = l1c.access(ba, type)) {
+    if (BlockView b1 = l1c.access(ba, type)) {
         stats_.l1Hits++;
-        b1->site = site;
-        if (CacheBlock *d2 = l2s_[core]->probe(ba))
-            d2->site = site;
+        b1.setSite(site);
+        if (BlockView d2 = l2s_[core]->probe(ba))
+            d2.setSite(site);
         if (type == AccessType::Write) {
             if (params_.coherence)
                 upgradeForWrite(core, ba);
-            b1->version = verifier_.recordWrite(ba);
+            b1.setVersion(verifier_.recordWrite(ba));
             noteDemandWrite(ba);
             // Fig 10(a): a write ends the block's clean-trip streak;
             // clear the loop-bit on the L2 duplicate as well.
-            if (CacheBlock *d2 = l2s_[core]->probe(ba))
-                d2->loopBit = false;
+            if (BlockView d2 = l2s_[core]->probe(ba))
+                d2.setLoopBit(false);
             if (params_.coherence)
                 setPrivateState(core, ba, CohState::Modified);
         } else {
-            verifier_.checkRead(ba, b1->version, "L1");
+            verifier_.checkRead(ba, b1.version(), "L1");
         }
         return {now + l1c.params().readLatency, ServiceLevel::L1};
     }
 
     // ---- L2 ---------------------------------------------------------
     Cache &l2c = *l2s_[core];
-    if (CacheBlock *b2 = l2c.access(ba, AccessType::Read)) {
+    if (BlockView b2 = l2c.access(ba, AccessType::Read)) {
         stats_.l2Hits++;
-        b2->site = site;
+        b2.setSite(site);
         const Cycle done =
             now + l1c.params().readLatency + l2c.params().readLatency;
-        verifier_.checkRead(ba, b2->version, "L2");
+        verifier_.checkRead(ba, b2.version(), "L2");
 
-        const bool loop = b2->loopBit;
-        const std::uint64_t version = b2->version;
-        const CohState coh = b2->coh;
+        const bool loop = b2.loopBit();
+        const std::uint64_t version = b2.version();
+        const CohState coh = b2.coh();
 
         std::uint64_t l1_version = version;
         bool l1_dirty = false;
@@ -245,7 +217,7 @@ CacheHierarchy::accessImpl(CoreId core, Addr byte_addr, AccessType type,
             l1_loop = false;
             if (params_.coherence)
                 l1_coh = CohState::Modified;
-            b2->loopBit = false;
+            b2.setLoopBit(false);
         }
         Cache::InsertAttrs attrs;
         attrs.dirty = l1_dirty;
@@ -262,22 +234,22 @@ CacheHierarchy::accessImpl(CoreId core, Addr byte_addr, AccessType type,
 
     // ---- LLC --------------------------------------------------------
     const std::uint64_t set = llc_->setIndexOf(ba);
-    if (CacheBlock *b3 = llc_->access(ba, AccessType::Read)) {
+    if (BlockView b3 = llc_->access(ba, AccessType::Read)) {
         stats_.llcHits++;
         for (HierarchyObserver *obs : observers_)
             obs->onLlcAccess(set, /*hit=*/true, now);
-        return serviceFromLlcHit(core, ba, type, now, *b3, site);
+        return serviceFromLlcHit(core, ba, type, now, b3, site);
     }
     stats_.llcMisses++;
     for (HierarchyObserver *obs : observers_)
         obs->onLlcAccess(set, /*hit=*/false, now);
-    policy_->noteLlcMiss(set);
+    policy_.noteLlcMiss(set);
     return serviceFromMemory(core, ba, type, now, site);
 }
 
 CacheHierarchy::AccessResult
 CacheHierarchy::serviceFromLlcHit(CoreId core, Addr ba, AccessType type,
-                                  Cycle now, CacheBlock &blk,
+                                  Cycle now, BlockView blk,
                                   std::uint32_t site)
 {
     const std::uint64_t set = llc_->setIndexOf(ba);
@@ -288,7 +260,7 @@ CacheHierarchy::serviceFromLlcHit(CoreId core, Addr ba, AccessType type,
     Cycle done = start + llc_->params().readLatency;
     ServiceLevel level = ServiceLevel::Llc;
 
-    std::uint64_t version = blk.version;
+    std::uint64_t version = blk.version();
     bool peer_supplied = false;
     CohState req_state = CohState::Invalid;
     if (params_.coherence) {
@@ -305,15 +277,15 @@ CacheHierarchy::serviceFromLlcHit(CoreId core, Addr ba, AccessType type,
     verifier_.checkRead(ba, version, "LLC");
 
     noteFillTouched(blk);
-    blk.referenced = true;
+    blk.setReferenced(true);
 
     // A peer owner keeps writeback responsibility; otherwise an
     // invalidate-on-hit policy transfers the dirty state upward.
     bool dirty_to_l2 = false;
-    if (policy_->invalidateOnLlcHit(set)) {
-        dirty_to_l2 = blk.dirty && !peer_supplied;
+    if (policy_.invalidateOnLlcHit(set)) {
+        dirty_to_l2 = blk.dirty() && !peer_supplied;
         // The insertion ends its residency having been useful.
-        observeInsertionOutcome(blk.site, /*referenced=*/true);
+        observeInsertionOutcome(blk.site(), /*referenced=*/true);
         llc_->invalidateBlock(blk);
         stats_.llcInvalidationsOnHit++;
     }
@@ -352,7 +324,7 @@ CacheHierarchy::serviceFromMemory(CoreId core, Addr ba, AccessType type,
     }
     verifier_.checkRead(ba, version, "memory");
 
-    if (policy_->fillLlcOnMiss(set)) {
+    if (policy_.fillLlcOnMiss(set)) {
         stats_.llcDemandFills++;
         Cache::InsertAttrs attrs;
         attrs.dirty = false;
@@ -394,8 +366,8 @@ CacheHierarchy::fillUpper(CoreId core, Addr ba, bool dirty, bool loop_bit,
         l1_loop = false;
         if (params_.coherence)
             l1_coh = CohState::Modified;
-        if (CacheBlock *d2 = l2s_[core]->probe(ba))
-            d2->loopBit = false;
+        if (BlockView d2 = l2s_[core]->probe(ba))
+            d2.setLoopBit(false);
     }
     Cache::InsertAttrs l1_attrs;
     l1_attrs.dirty = l1_dirty;
@@ -417,10 +389,10 @@ CacheHierarchy::handleL1Victim(CoreId core, const Cache::Eviction &ev,
     if (!ev.valid || !ev.dirty)
         return; // clean L1 victims are always backed below
     Cache &l2c = *l2s_[core];
-    if (CacheBlock *dup = l2c.probe(ev.blockAddr)) {
+    if (BlockView dup = l2c.probe(ev.blockAddr)) {
         l2c.countTagAccess();
-        l2c.writeBlock(*dup, ev.version);
-        dup->coh = strongerState(dup->coh, ev.coh);
+        l2c.writeBlock(dup, ev.version);
+        dup.setCoh(strongerState(dup.coh(), ev.coh));
     } else {
         Cache::InsertAttrs attrs;
         attrs.dirty = true;
@@ -452,7 +424,7 @@ CacheHierarchy::handleL2Victim(CoreId core, const Cache::Eviction &ev,
     }
 
     llc_->countTagAccess(); // duplicate check
-    CacheBlock *dup = llc_->probe(ba);
+    BlockView dup = llc_->probe(ba);
 
     if (ev.dirty) {
         Cache::InsertAttrs attrs;
@@ -461,15 +433,15 @@ CacheHierarchy::handleL2Victim(CoreId core, const Cache::Eviction &ev,
         attrs.version = ev.version;
         attrs.site = ev.site;
         if (dup) {
-            if (dup->fillState == FillState::FillUntouched)
+            if (dup.fillState() == FillState::FillUntouched)
                 stats_.llcRedundantFills++; // Fig 5: fill overwritten
             // The previous insertion's residency ends here.
-            observeInsertionOutcome(dup->site, dup->referenced);
-            dup->fillState = FillState::NotFill;
-            dup->site = ev.site;
-            dup->referenced = false;
+            observeInsertionOutcome(dup.site(), dup.referenced());
+            dup.setFillState(FillState::NotFill);
+            dup.setSite(ev.site);
+            dup.setReferenced(false);
             PlacementOutcome out;
-            if (placement_->handleDirtyVictimHit(*llc_, *dup, attrs,
+            if (placement_->handleDirtyVictimHit(*llc_, dup, attrs,
                                                  out)) {
                 countLlcWrite(set, WriteClass::DirtyVictim,
                               /*loop_bit=*/false, now);
@@ -480,8 +452,8 @@ CacheHierarchy::handleL2Victim(CoreId core, const Cache::Eviction &ev,
                                   llc_->writeOccupancy(out.writeRegion));
                 handleLlcEviction(out.eviction, now);
             } else {
-                const MemTech region = llc_->wayTech(llc_->wayOf(*dup));
-                llc_->writeBlock(*dup, ev.version);
+                const MemTech region = llc_->wayTech(dup.way());
+                llc_->writeBlock(dup, ev.version);
                 countLlcWrite(set, WriteClass::DirtyVictim,
                               /*loop_bit=*/false, now);
                 llc_->reserveBank(ba, now, llc_->writeOccupancy(region));
@@ -498,13 +470,13 @@ CacheHierarchy::handleL2Victim(CoreId core, const Cache::Eviction &ev,
         // Note: the dedup match keeps the fill out of the dead-fill
         // statistics (noteFillTouched) but is NOT a re-reference for
         // dead-write training — only demand hits read the data.
-        dup->loopBit = ev.loopBit;
+        dup.setLoopBit(ev.loopBit);
         llc_->countTagAccess();
-        noteFillTouched(*dup);
+        noteFillTouched(dup);
         stats_.llcCleanVictimsDropped++;
         return;
     }
-    if (policy_->insertCleanVictim(set)) {
+    if (policy_.insertCleanVictim(set)) {
         if (ev.loopBit)
             stats_.llcLoopBlockInsertions++;
         Cache::InsertAttrs attrs;
@@ -533,7 +505,7 @@ CacheHierarchy::insertIntoLlc(Addr ba, Cache::InsertAttrs attrs,
         }
         return;
     }
-    attrs.loopAwareVictim = policy_->loopAwareVictim(set);
+    attrs.loopAwareVictim = policy_.loopAwareVictim(set);
     PlacementOutcome out = placement_->insert(*llc_, ba, attrs);
     countLlcWrite(set, cls, attrs.loopBit, now);
     for (std::uint32_t i = 0; i < out.migrations; ++i)
@@ -554,7 +526,7 @@ CacheHierarchy::handleLlcEviction(const Cache::Eviction &ev, Cycle now)
         dram_.write(ev.blockAddr, now);
         verifier_.writeback(ev.blockAddr, ev.version);
     }
-    if (policy_->backInvalidate())
+    if (policy_.backInvalidate())
         backInvalidate(ev.blockAddr, now);
 }
 
@@ -564,10 +536,11 @@ CacheHierarchy::backInvalidate(Addr ba, Cycle now)
     std::uint64_t dirty_version = 0;
     for (std::uint32_t c = 0; c < params_.numCores; ++c) {
         for (Cache *cache : {l1s_[c].get(), l2s_[c].get()}) {
-            if (CacheBlock *blk = cache->probe(ba)) {
-                if (blk->dirty)
-                    dirty_version = std::max(dirty_version, blk->version);
-                cache->invalidateBlock(*blk);
+            if (BlockView blk = cache->probe(ba)) {
+                if (blk.dirty())
+                    dirty_version =
+                        std::max(dirty_version, blk.version());
+                cache->invalidateBlock(blk);
                 stats_.llcBackInvalidations++;
             }
         }
@@ -596,7 +569,7 @@ CacheHierarchy::countLlcWrite(std::uint64_t set, WriteClass cls,
         stats_.llcWritesMigration++;
         break;
     }
-    policy_->noteLlcWrite(set);
+    policy_.noteLlcWrite(set);
     const auto bank =
         static_cast<std::uint32_t>(set % llc_->params().banks);
     for (HierarchyObserver *obs : observers_)
@@ -604,10 +577,10 @@ CacheHierarchy::countLlcWrite(std::uint64_t set, WriteClass cls,
 }
 
 void
-CacheHierarchy::noteFillTouched(CacheBlock &blk)
+CacheHierarchy::noteFillTouched(BlockView blk)
 {
-    if (blk.fillState == FillState::FillUntouched)
-        blk.fillState = FillState::Touched;
+    if (blk.fillState() == FillState::FillUntouched)
+        blk.setFillState(FillState::Touched);
 }
 
 void
@@ -623,20 +596,20 @@ CacheHierarchy::observeInsertionOutcome(std::uint32_t site,
 void
 CacheHierarchy::setPrivateState(CoreId core, Addr ba, CohState state)
 {
-    if (CacheBlock *b1 = l1s_[core]->probe(ba))
-        b1->coh = state;
-    if (CacheBlock *b2 = l2s_[core]->probe(ba))
-        b2->coh = state;
+    if (BlockView b1 = l1s_[core]->probe(ba))
+        b1.setCoh(state);
+    if (BlockView b2 = l2s_[core]->probe(ba))
+        b2.setCoh(state);
 }
 
 CohState
 CacheHierarchy::pairState(CoreId core, Addr ba) const
 {
     CohState st = CohState::Invalid;
-    if (const CacheBlock *b1 = l1s_[core]->probe(ba))
-        st = strongerState(st, b1->coh);
-    if (const CacheBlock *b2 = l2s_[core]->probe(ba))
-        st = strongerState(st, b2->coh);
+    if (BlockView b1 = l1s_[core]->probe(ba))
+        st = strongerState(st, b1.coh());
+    if (BlockView b2 = l2s_[core]->probe(ba))
+        st = strongerState(st, b2.coh());
     return st;
 }
 
@@ -653,10 +626,10 @@ CacheHierarchy::upgradeForWrite(CoreId core, Addr ba)
             continue;
         bool held = false;
         for (Cache *cache : {l1s_[c].get(), l2s_[c].get()}) {
-            if (CacheBlock *blk = cache->probe(ba)) {
+            if (BlockView blk = cache->probe(ba)) {
                 // Copies share the version the upgrading core already
                 // holds (it is at least S), so no data is lost.
-                cache->invalidateBlock(*blk);
+                cache->invalidateBlock(blk);
                 held = true;
             }
         }
@@ -684,19 +657,19 @@ CacheHierarchy::snoopOnLlcMiss(CoreId core, Addr ba, bool is_write)
     for (std::uint32_t c = 0; c < params_.numCores; ++c) {
         if (c == core)
             continue;
-        CacheBlock *c1 = l1s_[c]->probe(ba);
-        CacheBlock *c2 = l2s_[c]->probe(ba);
+        BlockView c1 = l1s_[c]->probe(ba);
+        BlockView c2 = l2s_[c]->probe(ba);
         if (!c1 && !c2)
             continue;
         res.anyPeerHeld = true;
 
         std::uint64_t ver = 0;
         bool dirty = false;
-        for (CacheBlock *blk : {c1, c2}) {
+        for (BlockView blk : {c1, c2}) {
             if (!blk)
                 continue;
-            ver = std::max(ver, blk->version);
-            dirty = dirty || blk->dirty;
+            ver = std::max(ver, blk.version());
+            dirty = dirty || blk.dirty();
         }
 
         if (is_write) {
@@ -706,8 +679,8 @@ CacheHierarchy::snoopOnLlcMiss(CoreId core, Addr ba, bool is_write)
                 stats_.snoop.dataTransfers++;
             }
             for (Cache *cache : {l1s_[c].get(), l2s_[c].get()}) {
-                if (CacheBlock *blk = cache->probe(ba))
-                    cache->invalidateBlock(*blk);
+                if (BlockView blk = cache->probe(ba))
+                    cache->invalidateBlock(blk);
             }
             stats_.snoop.invalidations++;
         } else {
@@ -719,9 +692,9 @@ CacheHierarchy::snoopOnLlcMiss(CoreId core, Addr ba, bool is_write)
                 clean_found = true;
                 clean_version = std::max(clean_version, ver);
             }
-            for (CacheBlock *blk : {c1, c2}) {
+            for (BlockView blk : {c1, c2}) {
                 if (blk)
-                    blk->coh = peerStateAfterRemoteRead(blk->coh);
+                    blk.setCoh(peerStateAfterRemoteRead(blk.coh()));
             }
         }
     }
@@ -756,19 +729,19 @@ CacheHierarchy::resolveOnLlcHit(CoreId core, Addr ba, bool is_write,
     for (std::uint32_t c = 0; c < params_.numCores; ++c) {
         if (c == core)
             continue;
-        CacheBlock *c1 = l1s_[c]->probe(ba);
-        CacheBlock *c2 = l2s_[c]->probe(ba);
+        BlockView c1 = l1s_[c]->probe(ba);
+        BlockView c2 = l2s_[c]->probe(ba);
         if (!c1 && !c2)
             continue;
         res.anyPeerHeld = true;
 
         std::uint64_t ver = 0;
         bool dirty = false;
-        for (CacheBlock *blk : {c1, c2}) {
+        for (BlockView blk : {c1, c2}) {
             if (!blk)
                 continue;
-            ver = std::max(ver, blk->version);
-            dirty = dirty || blk->dirty;
+            ver = std::max(ver, blk.version());
+            dirty = dirty || blk.dirty();
         }
 
         if (is_write) {
@@ -778,8 +751,8 @@ CacheHierarchy::resolveOnLlcHit(CoreId core, Addr ba, bool is_write,
                 stats_.snoop.dataTransfers++;
             }
             for (Cache *cache : {l1s_[c].get(), l2s_[c].get()}) {
-                if (CacheBlock *blk = cache->probe(ba))
-                    cache->invalidateBlock(*blk);
+                if (BlockView blk = cache->probe(ba))
+                    cache->invalidateBlock(blk);
             }
             stats_.snoop.invalidations++;
         } else {
@@ -789,9 +762,9 @@ CacheHierarchy::resolveOnLlcHit(CoreId core, Addr ba, bool is_write,
                 stats_.snoop.messages++; // directed intervention
                 stats_.snoop.dataTransfers++;
             }
-            for (CacheBlock *blk : {c1, c2}) {
+            for (BlockView blk : {c1, c2}) {
                 if (blk)
-                    blk->coh = peerStateAfterRemoteRead(blk->coh);
+                    blk.setCoh(peerStateAfterRemoteRead(blk.coh()));
             }
         }
     }

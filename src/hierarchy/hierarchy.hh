@@ -21,7 +21,7 @@
 #include "cache/cache.hh"
 #include "coherence/moesi.hh"
 #include "common/types.hh"
-#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/inclusion_engine.hh"
 #include "hierarchy/loop_tracker.hh"
 #include "hierarchy/observer.hh"
 #include "hierarchy/placement.hh"
@@ -108,8 +108,7 @@ struct HierarchyStats
 class CacheHierarchy
 {
   public:
-    CacheHierarchy(const HierarchyParams &params,
-                   std::unique_ptr<InclusionPolicy> policy,
+    CacheHierarchy(const HierarchyParams &params, InclusionEngine policy,
                    std::unique_ptr<PlacementPolicy> placement = nullptr,
                    std::unique_ptr<WriteFilter> write_filter = nullptr);
 
@@ -139,8 +138,8 @@ class CacheHierarchy
     const Verifier &verifier() const { return verifier_; }
     LoopTracker &loopTracker() { return loopTracker_; }
     const LoopTracker &loopTracker() const { return loopTracker_; }
-    InclusionPolicy &policy() { return *policy_; }
-    const InclusionPolicy &policy() const { return *policy_; }
+    InclusionEngine &policy() { return policy_; }
+    const InclusionEngine &policy() const { return policy_; }
     PlacementPolicy &placement() { return *placement_; }
     WriteFilter *writeFilter() { return writeFilter_.get(); }
     const WriteFilter *writeFilter() const { return writeFilter_.get(); }
@@ -182,18 +181,12 @@ class CacheHierarchy
     /** Finalizes streak-based statistics at end of measurement. */
     void finishMeasurement() { loopTracker_.flush(); }
 
-    /** Fraction of valid LLC blocks whose loop-bit is set. */
-    double llcLoopResidency() const;
-
-    /** Fraction of valid LLC blocks that are dirty. */
-    double llcDirtyFraction() const;
-
   private:
     // --- Demand path helpers ---------------------------------------
     AccessResult accessImpl(CoreId core, Addr byte_addr, AccessType type,
                             Cycle now, std::uint32_t site);
     AccessResult serviceFromLlcHit(CoreId core, Addr ba, AccessType type,
-                                   Cycle now, CacheBlock &blk,
+                                   Cycle now, BlockView blk,
                                    std::uint32_t site);
     AccessResult serviceFromMemory(CoreId core, Addr ba, AccessType type,
                                    Cycle now, std::uint32_t site);
@@ -217,7 +210,7 @@ class CacheHierarchy
      *  @p loop_bit is the written block's loop-bit. */
     void countLlcWrite(std::uint64_t set, WriteClass cls, bool loop_bit,
                        Cycle now);
-    void noteFillTouched(CacheBlock &blk);
+    void noteFillTouched(BlockView blk);
 
     /** Records a demand write with the loop tracker and observers. */
     void noteDemandWrite(Addr ba);
@@ -257,7 +250,7 @@ class CacheHierarchy
     std::vector<std::unique_ptr<Cache>> l2s_;
     std::unique_ptr<Cache> llc_;
     Dram dram_;
-    std::unique_ptr<InclusionPolicy> policy_;
+    InclusionEngine policy_;
     std::unique_ptr<PlacementPolicy> placement_;
     std::unique_ptr<WriteFilter> writeFilter_;
     Verifier verifier_;

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Devirtualized inclusion-property dispatch.
+ *
+ * The paper (Fig 8) characterizes an inclusion property by three
+ * decisions: whether the LLC copy is invalidated on an LLC hit,
+ * whether the LLC is filled on an LLC miss, and whether a clean L2
+ * victim is written into the LLC. Adaptive policies (FLEXclusion,
+ * Dswitch, LAP with set-dueling) answer per LLC set so that leader
+ * sets can statically exercise each alternative, and receive
+ * miss/write notifications plus a cycle tick to rotate epochs.
+ *
+ *                 | invalidate on hit | fill on miss | clean writeback
+ *   non-inclusive |        no         |     yes      |       no
+ *   exclusive     |        yes        |     no       |       yes
+ *   LAP           |        no         |     no       |  yes if absent
+ *
+ * These decisions used to be virtual calls on an InclusionPolicy
+ * base, three-plus per demand access through a pointer the branch
+ * predictor could not resolve. The policy is fixed for a run, so the
+ * InclusionEngine holds the concrete policy in a std::variant and
+ * answers each question with a switch on a mode enum: the static
+ * policies' answers become compile-time constants and the adaptive
+ * policies' set-dueling lookups are direct calls. The hierarchy owns
+ * the engine by value — no allocation, no pointer chase.
+ */
+
+#ifndef LAPSIM_HIERARCHY_INCLUSION_ENGINE_HH
+#define LAPSIM_HIERARCHY_INCLUSION_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/types.hh"
+#include "hierarchy/baseline_policies.hh"
+#include "hierarchy/lap_policy.hh"
+#include "hierarchy/switching_policies.hh"
+
+namespace lap
+{
+
+/** Value-semantic wrapper dispatching to one concrete policy. */
+class InclusionEngine
+{
+  public:
+    explicit InclusionEngine(InclusivePolicy p)
+        : mode_(Mode::Inclusive), impl_(std::move(p))
+    {
+    }
+
+    explicit InclusionEngine(NonInclusivePolicy p)
+        : mode_(Mode::NonInclusive), impl_(std::move(p))
+    {
+    }
+
+    explicit InclusionEngine(ExclusivePolicy p)
+        : mode_(Mode::Exclusive), impl_(std::move(p))
+    {
+    }
+
+    explicit InclusionEngine(FlexclusionPolicy p)
+        : mode_(Mode::Flexclusion), impl_(std::move(p))
+    {
+    }
+
+    explicit InclusionEngine(DswitchPolicy p)
+        : mode_(Mode::Dswitch), impl_(std::move(p))
+    {
+    }
+
+    explicit InclusionEngine(LapPolicy p)
+        : mode_(Mode::Lap), impl_(std::move(p))
+    {
+    }
+
+    std::string
+    name() const
+    {
+        switch (mode_) {
+          case Mode::Inclusive: return as<InclusivePolicy>().name();
+          case Mode::NonInclusive:
+            return as<NonInclusivePolicy>().name();
+          case Mode::Exclusive: return as<ExclusivePolicy>().name();
+          case Mode::Flexclusion:
+            return as<FlexclusionPolicy>().name();
+          case Mode::Dswitch: return as<DswitchPolicy>().name();
+          case Mode::Lap: return as<LapPolicy>().name();
+        }
+        return "?";
+    }
+
+    /** Fill the LLC with the block fetched on an LLC miss? */
+    bool
+    fillLlcOnMiss(std::uint64_t set) const
+    {
+        switch (mode_) {
+          case Mode::Inclusive: return true;
+          case Mode::NonInclusive: return true;
+          case Mode::Exclusive: return false;
+          case Mode::Flexclusion:
+            return as<FlexclusionPolicy>().fillLlcOnMiss(set);
+          case Mode::Dswitch:
+            return as<DswitchPolicy>().fillLlcOnMiss(set);
+          case Mode::Lap: return false;
+        }
+        return false;
+    }
+
+    /** Invalidate the LLC copy when it services an L2 miss? */
+    bool
+    invalidateOnLlcHit(std::uint64_t set) const
+    {
+        switch (mode_) {
+          case Mode::Inclusive: return false;
+          case Mode::NonInclusive: return false;
+          case Mode::Exclusive: return true;
+          case Mode::Flexclusion:
+            return as<FlexclusionPolicy>().invalidateOnLlcHit(set);
+          case Mode::Dswitch:
+            return as<DswitchPolicy>().invalidateOnLlcHit(set);
+          case Mode::Lap: return false;
+        }
+        return false;
+    }
+
+    /**
+     * Insert a clean L2 victim that has no LLC duplicate? (A clean
+     * victim with a duplicate is always dropped: rewriting identical
+     * data is never useful.)
+     */
+    bool
+    insertCleanVictim(std::uint64_t set) const
+    {
+        switch (mode_) {
+          case Mode::Inclusive: return false;
+          case Mode::NonInclusive: return false;
+          case Mode::Exclusive: return true;
+          case Mode::Flexclusion:
+            return as<FlexclusionPolicy>().insertCleanVictim(set);
+          case Mode::Dswitch:
+            return as<DswitchPolicy>().insertCleanVictim(set);
+          case Mode::Lap: return true;
+        }
+        return false;
+    }
+
+    /** Strict inclusion: back-invalidate upper copies on LLC evict. */
+    bool backInvalidate() const { return mode_ == Mode::Inclusive; }
+
+    /**
+     * Use the loop-block-aware victim priority (invalid, then LRU
+     * non-loop, then LRU loop — paper Fig 9) when evicting in this
+     * LLC set?
+     */
+    bool
+    loopAwareVictim(std::uint64_t set) const
+    {
+        if (mode_ != Mode::Lap)
+            return false;
+        return as<LapPolicy>().loopAwareVictim(set);
+    }
+
+    /** Notification: a demand access missed in this LLC set. */
+    void
+    noteLlcMiss(std::uint64_t set)
+    {
+        switch (mode_) {
+          case Mode::Flexclusion:
+            as<FlexclusionPolicy>().noteLlcMiss(set);
+            break;
+          case Mode::Dswitch:
+            as<DswitchPolicy>().noteLlcMiss(set);
+            break;
+          case Mode::Lap:
+            as<LapPolicy>().noteLlcMiss(set);
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** Notification: a block-sized write was performed in this set. */
+    void
+    noteLlcWrite(std::uint64_t set)
+    {
+        if (mode_ == Mode::Dswitch)
+            as<DswitchPolicy>().noteLlcWrite(set);
+    }
+
+    /** Periodic tick with the current maximum core cycle. */
+    void
+    tick(Cycle now)
+    {
+        switch (mode_) {
+          case Mode::Flexclusion:
+            as<FlexclusionPolicy>().tick(now);
+            break;
+          case Mode::Dswitch:
+            as<DswitchPolicy>().tick(now);
+            break;
+          case Mode::Lap:
+            as<LapPolicy>().tick(now);
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** The policy's set-dueling monitor, if it has one (read-only
+     *  introspection for statistics probes). */
+    const SetDueling *
+    dueling() const
+    {
+        switch (mode_) {
+          case Mode::Flexclusion:
+            return as<FlexclusionPolicy>().dueling();
+          case Mode::Dswitch: return as<DswitchPolicy>().dueling();
+          case Mode::Lap: return as<LapPolicy>().dueling();
+          default: return nullptr;
+        }
+    }
+
+    /** Concrete policy access, or nullptr when another is held. */
+    template <typename T>
+    T *
+    tryAs()
+    {
+        return std::get_if<T>(&impl_);
+    }
+
+    template <typename T>
+    const T *
+    tryAs() const
+    {
+        return std::get_if<T>(&impl_);
+    }
+
+  private:
+    enum class Mode : std::uint8_t
+    {
+        Inclusive,
+        NonInclusive,
+        Exclusive,
+        Flexclusion,
+        Dswitch,
+        Lap,
+    };
+
+    template <typename T>
+    T &
+    as()
+    {
+        return *std::get_if<T>(&impl_);
+    }
+
+    template <typename T>
+    const T &
+    as() const
+    {
+        return *std::get_if<T>(&impl_);
+    }
+
+    Mode mode_;
+    std::variant<InclusivePolicy, NonInclusivePolicy, ExclusivePolicy,
+                 FlexclusionPolicy, DswitchPolicy, LapPolicy>
+        impl_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_HIERARCHY_INCLUSION_ENGINE_HH

@@ -1,4 +1,4 @@
-#include "core/lap_policy.hh"
+#include "hierarchy/lap_policy.hh"
 
 namespace lap
 {
@@ -28,7 +28,7 @@ LapPolicy::name() const
 }
 
 bool
-LapPolicy::loopAwareVictim(std::uint64_t set)
+LapPolicy::loopAwareVictim(std::uint64_t set) const
 {
     switch (variant_) {
       case LapVariant::Lru:

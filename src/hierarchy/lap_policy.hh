@@ -18,13 +18,16 @@
  *
  * Three variants are evaluated in the paper (Table IV / Fig 19):
  * LAP-LRU (always base replacement), LAP-Loop (always loop-aware),
- * and LAP (set-dueling picks per epoch).
+ * and LAP (set-dueling picks per epoch). Like the other inclusion
+ * policies this is a plain class dispatched by the InclusionEngine.
  */
 
-#ifndef LAPSIM_CORE_LAP_POLICY_HH
-#define LAPSIM_CORE_LAP_POLICY_HH
+#ifndef LAPSIM_HIERARCHY_LAP_POLICY_HH
+#define LAPSIM_HIERARCHY_LAP_POLICY_HH
 
-#include "hierarchy/inclusion_policy.hh"
+#include <cstdint>
+#include <string>
+
 #include "hierarchy/set_dueling.hh"
 
 namespace lap
@@ -41,7 +44,7 @@ enum class LapVariant : std::uint8_t
 const char *toString(LapVariant variant);
 
 /** The LAP selective inclusion policy. */
-class LapPolicy : public InclusionPolicy
+class LapPolicy
 {
   public:
     /**
@@ -55,21 +58,21 @@ class LapPolicy : public InclusionPolicy
               LapVariant variant = LapVariant::Dueling,
               std::uint32_t leader_period = 64);
 
-    std::string name() const override;
+    std::string name() const;
 
     // Fig 8 decision table, LAP row.
-    bool fillLlcOnMiss(std::uint64_t) override { return false; }
-    bool invalidateOnLlcHit(std::uint64_t) override { return false; }
-    bool insertCleanVictim(std::uint64_t) override { return true; }
+    bool fillLlcOnMiss(std::uint64_t) const { return false; }
+    bool invalidateOnLlcHit(std::uint64_t) const { return false; }
+    bool insertCleanVictim(std::uint64_t) const { return true; }
 
-    bool loopAwareVictim(std::uint64_t set) override;
+    bool loopAwareVictim(std::uint64_t set) const;
 
-    void noteLlcMiss(std::uint64_t set) override;
-    void tick(Cycle now) override;
+    void noteLlcMiss(std::uint64_t set);
+    void tick(Cycle now);
 
     LapVariant variant() const { return variant_; }
     SetDueling &duel() { return duel_; }
-    const SetDueling *dueling() const override { return &duel_; }
+    const SetDueling *dueling() const { return &duel_; }
 
   private:
     LapVariant variant_;
@@ -78,4 +81,4 @@ class LapPolicy : public InclusionPolicy
 
 } // namespace lap
 
-#endif // LAPSIM_CORE_LAP_POLICY_HH
+#endif // LAPSIM_HIERARCHY_LAP_POLICY_HH

@@ -18,8 +18,8 @@
 #define LAPSIM_HIERARCHY_LOOP_TRACKER_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace lap
@@ -58,10 +58,10 @@ class LoopTracker
     void
     flush()
     {
-        for (auto &[addr, len] : streak_) {
+        streak_.forEach([this](Addr, const std::uint32_t &len) {
             if (len > 0)
                 sample(len);
-        }
+        });
         streak_.clear();
     }
 
@@ -100,12 +100,12 @@ class LoopTracker
     void
     endStreak(Addr block_addr)
     {
-        auto it = streak_.find(block_addr);
-        if (it == streak_.end())
+        const std::uint32_t *len = streak_.find(block_addr);
+        if (!len)
             return;
-        if (it->second > 0)
-            sample(it->second);
-        streak_.erase(it);
+        if (*len > 0)
+            sample(*len);
+        streak_.erase(block_addr);
     }
 
     void
@@ -128,7 +128,7 @@ class LoopTracker
                 / static_cast<double>(totalEvictions_);
     }
 
-    std::unordered_map<Addr, std::uint32_t> streak_;
+    AddrMap<std::uint32_t> streak_;
     std::uint64_t evictionsCtc1_ = 0;
     std::uint64_t evictionsCtcMid_ = 0;
     std::uint64_t evictionsCtcHigh_ = 0;

@@ -51,7 +51,7 @@ class PlacementPolicy
      * duplicate in place.
      */
     virtual bool
-    handleDirtyVictimHit(Cache &llc, CacheBlock &dup,
+    handleDirtyVictimHit(Cache &llc, BlockView dup,
                          const Cache::InsertAttrs &attrs,
                          PlacementOutcome &out)
     {

@@ -17,20 +17,23 @@
  *
  * Both are implemented on the shared SetDueling monitor with leader
  * sets statically pinned to one mode, exactly like the original
- * proposals' sampling sets.
+ * proposals' sampling sets. Like the baselines these are plain
+ * (non-virtual) classes dispatched through the InclusionEngine.
  */
 
 #ifndef LAPSIM_HIERARCHY_SWITCHING_POLICIES_HH
 #define LAPSIM_HIERARCHY_SWITCHING_POLICIES_HH
 
-#include "hierarchy/inclusion_policy.hh"
+#include <cstdint>
+#include <string>
+
 #include "hierarchy/set_dueling.hh"
 
 namespace lap
 {
 
 /** Common scaffolding for noni-vs-ex switching policies. */
-class SwitchingPolicy : public InclusionPolicy
+class SwitchingPolicy
 {
   public:
     SwitchingPolicy(std::uint64_t num_sets, Cycle epoch_cycles,
@@ -43,25 +46,25 @@ class SwitchingPolicy : public InclusionPolicy
         return duel_.choiceIsA(set); // team A = non-inclusion
     }
 
-    bool fillLlcOnMiss(std::uint64_t set) override
+    bool fillLlcOnMiss(std::uint64_t set) const
     {
         return nonInclusiveAt(set);
     }
 
-    bool invalidateOnLlcHit(std::uint64_t set) override
+    bool invalidateOnLlcHit(std::uint64_t set) const
     {
         return !nonInclusiveAt(set);
     }
 
-    bool insertCleanVictim(std::uint64_t set) override
+    bool insertCleanVictim(std::uint64_t set) const
     {
         return !nonInclusiveAt(set);
     }
 
-    void tick(Cycle now) override { duel_.tick(now); }
+    void tick(Cycle now) { duel_.tick(now); }
 
     SetDueling &duel() { return duel_; }
-    const SetDueling *dueling() const override { return &duel_; }
+    const SetDueling *dueling() const { return &duel_; }
 
   protected:
     SetDueling duel_;
@@ -80,12 +83,9 @@ class FlexclusionPolicy : public SwitchingPolicy
                       double miss_margin = 0.05,
                       std::uint32_t leader_period = 64);
 
-    std::string name() const override { return "FLEXclusion"; }
+    std::string name() const { return "FLEXclusion"; }
 
-    void noteLlcMiss(std::uint64_t set) override
-    {
-        duel_.addCost(set, 1.0);
-    }
+    void noteLlcMiss(std::uint64_t set) { duel_.addCost(set, 1.0); }
 };
 
 /** Dswitch: write-aware energy dueling. */
@@ -102,14 +102,14 @@ class DswitchPolicy : public SwitchingPolicy
                   double write_energy_nj, double miss_energy_nj,
                   std::uint32_t leader_period = 64);
 
-    std::string name() const override { return "Dswitch"; }
+    std::string name() const { return "Dswitch"; }
 
-    void noteLlcMiss(std::uint64_t set) override
+    void noteLlcMiss(std::uint64_t set)
     {
         duel_.addCost(set, missEnergyNj_);
     }
 
-    void noteLlcWrite(std::uint64_t set) override
+    void noteLlcWrite(std::uint64_t set)
     {
         duel_.addCost(set, writeEnergyNj_);
     }

@@ -16,8 +16,8 @@
 #define LAPSIM_MEM_VERIFIER_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -32,22 +32,22 @@ class Verifier
     std::uint64_t
     recordWrite(Addr block_addr)
     {
-        return ++latest_[block_addr];
+        return ++versions_[block_addr].latest;
     }
 
     /** Newest version ever written to the address (0 = never). */
     std::uint64_t
     latest(Addr block_addr) const
     {
-        auto it = latest_.find(block_addr);
-        return it == latest_.end() ? 0 : it->second;
+        const Versions *v = versions_.find(block_addr);
+        return v ? v->latest : 0;
     }
 
     /** Records a DRAM writeback of the given version. */
     void
     writeback(Addr block_addr, std::uint64_t version)
     {
-        auto &mem = memory_[block_addr];
+        auto &mem = versions_[block_addr].mem;
         lap_assert(version >= mem,
                    "writeback of version %llu regresses memory at %llx "
                    "(had %llu)",
@@ -61,8 +61,8 @@ class Verifier
     std::uint64_t
     memVersion(Addr block_addr) const
     {
-        auto it = memory_.find(block_addr);
-        return it == memory_.end() ? 0 : it->second;
+        const Versions *v = versions_.find(block_addr);
+        return v ? v->mem : 0;
     }
 
     /** Asserts a demand read observed the newest version. */
@@ -88,8 +88,10 @@ class Verifier
     void
     forEachLatest(Fn &&fn) const
     {
-        for (const auto &[addr, version] : latest_)
-            fn(addr, version);
+        versions_.forEach([&](Addr a, const Versions &v) {
+            if (v.latest != 0)
+                fn(a, v.latest);
+        });
     }
 
     /**
@@ -109,8 +111,19 @@ class Verifier
     }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> latest_;
-    std::unordered_map<Addr, std::uint64_t> memory_;
+    /**
+     * Newest version ever written and newest version reaching DRAM,
+     * in one slot: the miss path asks both questions about the same
+     * address back-to-back (memVersion then checkRead), so keeping
+     * them together makes that a single cache-line touch.
+     */
+    struct Versions
+    {
+        std::uint64_t latest = 0;
+        std::uint64_t mem = 0;
+    };
+
+    AddrMap<Versions> versions_;
 };
 
 } // namespace lap

@@ -66,7 +66,7 @@ HierarchyAuditor::HierarchyAuditor(CacheHierarchy &hierarchy,
     hier_.addObserver(this);
     // The auditor may attach to a warm hierarchy: adopt the loop-bits
     // already resident in the LLC as classified.
-    hier_.llc().forEachBlock([&](const CacheBlock &blk) {
+    CacheInspector(hier_.llc()).forEachValid([&](const BlockInfo &blk) {
         if (blk.loopBit)
             loopClassified_.insert(blk.blockAddr);
     });
@@ -123,7 +123,9 @@ HierarchyAuditor::rebaseline()
             - static_cast<std::int64_t>(s.evictionsDirty)
             - static_cast<std::int64_t>(s.invalidations);
         occupancyBase_.push_back(
-            static_cast<std::int64_t>(cache->validBlockCount()) - flux);
+            static_cast<std::int64_t>(
+                CacheInspector(*cache).validBlockCount())
+            - flux);
     }
     statSnapshot_.clear();
     haveSnapshot_ = false;
@@ -225,9 +227,10 @@ HierarchyAuditor::scanCache(const Cache &cache, bool is_private,
                             CoreId core, Sweep &sweep)
 {
     const bool coherence = hier_.params().coherence;
+    const CacheInspector insp(cache);
     for (std::uint64_t set = 0; set < cache.numSets(); ++set) {
         for (std::uint32_t way = 0; way < cache.assoc(); ++way) {
-            const CacheBlock &blk = cache.blockAt(set, way);
+            const BlockInfo blk = insp.block(set, way);
             if (!blk.valid) {
                 if (blk.dirty || blk.loopBit
                     || blk.coh != CohState::Invalid
@@ -257,7 +260,7 @@ HierarchyAuditor::scanCache(const Cache &cache, bool is_private,
                                  cache.setIndexOf(blk.blockAddr)))));
             }
             for (std::uint32_t prior = 0; prior < way; ++prior) {
-                const CacheBlock &other = cache.blockAt(set, prior);
+                const BlockInfo other = insp.block(set, prior);
                 if (other.valid && other.blockAddr == blk.blockAddr) {
                     report(makeDiag(
                         AuditCheck::DuplicateTagInSet, &cache, set, way,
@@ -310,7 +313,7 @@ HierarchyAuditor::scanCache(const Cache &cache, bool is_private,
 }
 
 void
-HierarchyAuditor::checkLlcBlock(const CacheBlock &blk, std::uint64_t set,
+HierarchyAuditor::checkLlcBlock(const BlockInfo &blk, std::uint64_t set,
                                 std::uint32_t way, const Sweep &sweep)
 {
     const Cache &llc = hier_.llc();
@@ -363,8 +366,8 @@ HierarchyAuditor::checkBlockCounts()
             - static_cast<std::int64_t>(s.evictionsDirty)
             - static_cast<std::int64_t>(s.invalidations);
         const std::int64_t expect = occupancyBase_[i] + flux;
-        const std::int64_t actual =
-            static_cast<std::int64_t>(cache.validBlockCount());
+        const std::int64_t actual = static_cast<std::int64_t>(
+            CacheInspector(cache).validBlockCount());
         if (actual != expect) {
             report(makeDiag(
                 AuditCheck::BlockCountMismatch, &cache, 0, 0, 0,
@@ -501,18 +504,19 @@ HierarchyAuditor::checkInclusionHoles()
     if (hier_.writeFilter() != nullptr)
         return;
     const CacheHierarchy &h = hier_;
+    const CacheInspector llc_insp(h.llc());
     for (CoreId c = 0; c < h.params().numCores; ++c) {
         for (const Cache *upper : {&h.l1(c), &h.l2(c)}) {
-            upper->forEachBlock([&](const CacheBlock &blk) {
-                if (h.llc().probe(blk.blockAddr) == nullptr) {
-                    report(makeDiag(
-                        AuditCheck::InclusionHole, upper,
-                        upper->setIndexOf(blk.blockAddr),
-                        upper->wayOf(blk), blk.blockAddr,
-                        "private block has no LLC copy under strict "
-                        "inclusion"));
-                }
-            });
+            CacheInspector(*upper).forEachValid(
+                [&](const BlockInfo &blk) {
+                    if (!llc_insp.find(blk.blockAddr).valid) {
+                        report(makeDiag(
+                            AuditCheck::InclusionHole, upper, blk.set,
+                            blk.way, blk.blockAddr,
+                            "private block has no LLC copy under "
+                            "strict inclusion"));
+                    }
+                });
         }
     }
 }
@@ -527,24 +531,24 @@ HierarchyAuditor::checkExclusiveDuplicates()
         return;
     const CacheHierarchy &h = hier_;
     const Cache &llc = h.llc();
-    llc.forEachBlock([&](const CacheBlock &blk) {
-        const CacheBlock *dup = h.l2(0).probe(blk.blockAddr);
-        if (dup == nullptr)
+    const CacheInspector l2_insp(h.l2(0));
+    CacheInspector(llc).forEachValid([&](const BlockInfo &blk) {
+        const BlockInfo dup = l2_insp.find(blk.blockAddr);
+        if (!dup.valid)
             return;
         // Legal transient: the L1 kept the block across its L2
         // eviction into the LLC, was then written, and the dirty L1
         // victim re-entered the L2 — newer dirty data above a stale
         // LLC copy. Anything else is illegal duplication.
-        if (dup->dirty && dup->version > blk.version)
+        if (dup.dirty && dup.version > blk.version)
             return;
         report(makeDiag(
-            AuditCheck::ExclusiveDuplicate, &llc,
-            llc.setIndexOf(blk.blockAddr), llc.wayOf(blk),
+            AuditCheck::ExclusiveDuplicate, &llc, blk.set, blk.way,
             blk.blockAddr,
             csprintf("L2 duplicate (dirty=%d v%llu vs LLC v%llu) under "
                      "exclusion",
-                     dup->dirty,
-                     static_cast<unsigned long long>(dup->version),
+                     dup.dirty,
+                     static_cast<unsigned long long>(dup.version),
                      static_cast<unsigned long long>(blk.version))));
     });
 }

@@ -33,6 +33,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cache/inspector.hh"
 #include "common/types.hh"
 #include "core/policy_factory.hh"
 #include "hierarchy/hierarchy.hh"
@@ -187,7 +188,7 @@ class HierarchyAuditor final : public HierarchyObserver
 
     void scanCache(const Cache &cache, bool is_private, CoreId core,
                    Sweep &sweep);
-    void checkLlcBlock(const CacheBlock &blk, std::uint64_t set,
+    void checkLlcBlock(const BlockInfo &blk, std::uint64_t set,
                        std::uint32_t way, const Sweep &sweep);
     void checkCoherenceGlobal(const Sweep &sweep);
     void checkDataLoss(const Sweep &sweep);

@@ -103,6 +103,17 @@ struct SimConfig
  *  multiplies them. Benches apply this to their configs. */
 SimConfig applyEnvScaling(SimConfig config);
 
+/**
+ * Rejects geometries the engine cannot represent with a clear,
+ * user-facing error instead of an assertion deep in the cache
+ * internals: zero or >64-way associativity (the tag store packs a
+ * set's occupancy into one 64-bit mask per set), sizes that do not
+ * divide into whole sets, hybrid partitions wider than the cache,
+ * and zero-bank LLCs. Called by the Simulator before construction;
+ * CLI front-ends get the message verbatim.
+ */
+void validateConfig(const SimConfig &config);
+
 } // namespace lap
 
 #endif // LAPSIM_SIM_CONFIG_HH

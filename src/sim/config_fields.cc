@@ -53,15 +53,43 @@ fmtDouble(double value)
     return buf;
 }
 
+/** One (name, value) row of an enum's accepted spellings. */
+template <typename E>
+struct EnumName
+{
+    const char *name;
+    E value;
+};
+
+/** Joins every accepted spelling for an "unknown name" error. */
+template <typename E, std::size_t N>
+std::string
+validNames(const EnumName<E> (&table)[N])
+{
+    std::string joined;
+    for (const auto &row : table) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += row.name;
+    }
+    return joined;
+}
+
+constexpr EnumName<MemTech> kTechNames[] = {
+    {"sram", MemTech::SRAM},
+    {"stt", MemTech::STTRAM},
+    {"stt-ram", MemTech::STTRAM},
+};
+
 MemTech
 techFromString(const std::string &field, const std::string &value)
 {
-    if (value == "sram")
-        return MemTech::SRAM;
-    if (value == "stt" || value == "stt-ram")
-        return MemTech::STTRAM;
-    lap_fatal("%s: unknown tech '%s' (sram|stt)", field.c_str(),
-              value.c_str());
+    for (const auto &row : kTechNames) {
+        if (value == row.name)
+            return row.value;
+    }
+    lap_fatal("%s: unknown tech '%s' (valid: %s)", field.c_str(),
+              value.c_str(), validNames(kTechNames).c_str());
 }
 
 /** One named SimConfig field: parse/apply and canonical formatting. */
@@ -71,6 +99,8 @@ struct FieldEntry
     const char *help;
     /** Part of the job-hash key (false for observe-only knobs). */
     bool inKey;
+    /** Boolean field: usable as a valueless CLI flag. */
+    bool isBool;
     std::function<void(SimConfig &, const std::string &,
                        const std::string &)>
         set;
@@ -127,8 +157,9 @@ registry()
     static const std::vector<FieldEntry> entries = [&] {
         std::vector<FieldEntry> r;
         auto add = [&r](const char *name, const char *help, auto pair,
-                        bool in_key = true) {
-            r.push_back({name, help, in_key, pair.first, pair.second});
+                        bool in_key = true, bool is_bool = false) {
+            r.push_back({name, help, in_key, is_bool, pair.first,
+                         pair.second});
         };
 
         add("cores", "number of cores", u32(&SimConfig::numCores));
@@ -156,7 +187,8 @@ registry()
                           return std::string(toString(c.llcRepl));
                       }});
         add("hybrid", "hybrid SRAM+STT LLC (bool)",
-            boolean(&SimConfig::hybridLlc));
+            boolean(&SimConfig::hybridLlc), /*in_key=*/true,
+            /*is_bool=*/true);
         add("sram-ways", "hybrid SRAM ways",
             u32(&SimConfig::llcSramWays));
         add("policy",
@@ -182,9 +214,11 @@ registry()
                           return std::string(toString(c.placement));
                       }});
         add("dasca", "dead-write bypass filter (bool)",
-            boolean(&SimConfig::deadWriteBypass));
+            boolean(&SimConfig::deadWriteBypass), /*in_key=*/true,
+            /*is_bool=*/true);
         add("coherence", "MOESI snooping (bool)",
-            boolean(&SimConfig::coherence));
+            boolean(&SimConfig::coherence), /*in_key=*/true,
+            /*is_bool=*/true);
         add("wr-ratio", "STT write/read dynamic-energy ratio",
             std::pair{[](SimConfig &c, const std::string &f,
                          const std::string &v) {
@@ -270,7 +304,8 @@ registry()
         add("epoch-stats", "epoch-sampling interval in txns (0 = off)",
             u64(&SimConfig::epochStatsInterval), /*in_key=*/false);
         add("heat", "per-set/bank LLC heat histogram (bool)",
-            boolean(&SimConfig::heatStats), /*in_key=*/false);
+            boolean(&SimConfig::heatStats), /*in_key=*/false,
+            /*is_bool=*/true);
         add("trace-events",
             "Chrome trace_event JSON output file ('' = off)",
             std::pair{[](SimConfig &c, const std::string &,
@@ -303,32 +338,35 @@ findField(const std::string &field)
 PlacementKind
 placementKindFromString(const std::string &name)
 {
-    if (name == "default")
-        return PlacementKind::Default;
-    if (name == "winv")
-        return PlacementKind::Winv;
-    if (name == "loopstt")
-        return PlacementKind::LoopStt;
-    if (name == "nloopsram")
-        return PlacementKind::NloopSram;
-    if (name == "lhybrid")
-        return PlacementKind::Lhybrid;
-    lap_fatal("unknown placement '%s' (default|winv|loopstt|nloopsram|"
-              "lhybrid)",
-              name.c_str());
+    static constexpr EnumName<PlacementKind> kNames[] = {
+        {"default", PlacementKind::Default},
+        {"winv", PlacementKind::Winv},
+        {"loopstt", PlacementKind::LoopStt},
+        {"nloopsram", PlacementKind::NloopSram},
+        {"lhybrid", PlacementKind::Lhybrid},
+    };
+    for (const auto &row : kNames) {
+        if (name == row.name)
+            return row.value;
+    }
+    lap_fatal("unknown placement '%s' (valid: %s)", name.c_str(),
+              validNames(kNames).c_str());
 }
 
 ReplKind
 replKindFromString(const std::string &name)
 {
-    if (name == "lru")
-        return ReplKind::Lru;
-    if (name == "rrip")
-        return ReplKind::Rrip;
-    if (name == "random")
-        return ReplKind::Random;
-    lap_fatal("unknown replacement '%s' (lru|rrip|random)",
-              name.c_str());
+    static constexpr EnumName<ReplKind> kNames[] = {
+        {"lru", ReplKind::Lru},
+        {"rrip", ReplKind::Rrip},
+        {"random", ReplKind::Random},
+    };
+    for (const auto &row : kNames) {
+        if (name == row.name)
+            return row.value;
+    }
+    lap_fatal("unknown replacement '%s' (valid: %s)", name.c_str(),
+              validNames(kNames).c_str());
 }
 
 bool
@@ -358,12 +396,34 @@ configFieldNames()
     return names;
 }
 
+std::vector<ConfigFieldInfo>
+configFieldInfos()
+{
+    std::vector<ConfigFieldInfo> infos;
+    for (const auto &entry : registry())
+        infos.push_back({entry.name, entry.help, entry.isBool});
+    return infos;
+}
+
+std::string
+configFieldNamesJoined()
+{
+    std::string joined;
+    for (const auto &entry : registry()) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += entry.name;
+    }
+    return joined;
+}
+
 std::string
 configFieldValue(const SimConfig &config, const std::string &field)
 {
     const FieldEntry *entry = findField(field);
     if (entry == nullptr)
-        lap_fatal("unknown config field '%s'", field.c_str());
+        lap_fatal("unknown config field '%s' (valid: %s)",
+                  field.c_str(), configFieldNamesJoined().c_str());
     return entry->get(config);
 }
 

@@ -32,6 +32,21 @@ bool applyConfigField(SimConfig &config, const std::string &field,
 /** All registered field names, in canonical (hashing) order. */
 std::vector<std::string> configFieldNames();
 
+/** Registry metadata for one field (CLI flag/help generation). */
+struct ConfigFieldInfo
+{
+    std::string name;
+    std::string help;
+    /** Boolean fields double as valueless CLI flags (--hybrid). */
+    bool isBool = false;
+};
+
+/** Metadata for every registered field, in canonical order. */
+std::vector<ConfigFieldInfo> configFieldInfos();
+
+/** Comma-joined registered field names for error messages. */
+std::string configFieldNamesJoined();
+
 /** Current value of a registered field, formatted canonically. */
 std::string configFieldValue(const SimConfig &config,
                              const std::string &field);

@@ -28,7 +28,20 @@ setField(SimConfig &config, const std::string &field,
          const std::string &value)
 {
     if (!applyConfigField(config, field, value))
-        lap_fatal("unknown config field '%s'", field.c_str());
+        lap_fatal("unknown config field '%s' (valid: %s)",
+                  field.c_str(), configFieldNamesJoined().c_str());
+}
+
+/** Intervals/paths that make no sense "enabled but empty". */
+void
+checkFlagValue(const std::string &name, const SimConfig &config)
+{
+    if (name == "audit" && config.auditInterval == 0)
+        lap_fatal("--audit: interval must be >= 1");
+    if (name == "epoch-stats" && config.epochStatsInterval == 0)
+        lap_fatal("--epoch-stats: interval must be >= 1");
+    if (name == "trace-events" && config.traceEventsPath.empty())
+        lap_fatal("--trace-events: path must be non-empty");
 }
 
 } // namespace
@@ -56,6 +69,19 @@ CliOptions
 parseCliOptions(const std::vector<std::string> &args)
 {
     CliOptions opts;
+    // Every registry field is a "--<field>" flag; the loop below only
+    // special-cases the flags that are not config fields (workload
+    // selection, output, --set) and the "llc-mb" alias.
+    const std::vector<ConfigFieldInfo> fields = configFieldInfos();
+    auto fieldInfo =
+        [&fields](const std::string &name) -> const ConfigFieldInfo * {
+        for (const auto &f : fields) {
+            if (name == f.name)
+                return &f;
+        }
+        return nullptr;
+    };
+
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &flag = args[i];
         auto next = [&]() -> const std::string & {
@@ -63,18 +89,9 @@ parseCliOptions(const std::vector<std::string> &args)
                 lap_fatal("%s requires a value", flag.c_str());
             return args[++i];
         };
-        // Most value flags map 1:1 onto the shared config-field
-        // registry (the same names campaign specs use).
-        auto field = [&](const char *name) {
-            setField(opts.config, name, next());
-        };
 
         if (flag == "--help" || flag == "-h") {
             opts.showHelp = true;
-        } else if (flag == "--policy") {
-            field("policy");
-        } else if (flag == "--placement") {
-            field("placement");
         } else if (flag == "--mix") {
             opts.workload = CliOptions::WorkloadKind::Mix;
             opts.mixNames = splitList(next());
@@ -90,32 +107,6 @@ parseCliOptions(const std::vector<std::string> &args)
             opts.workload = CliOptions::WorkloadKind::Parsec;
             opts.parsec = next();
             opts.config.coherence = true;
-        } else if (flag == "--cores") {
-            field("cores");
-        } else if (flag == "--llc-mb") {
-            field("llc-mb");
-        } else if (flag == "--llc-assoc") {
-            field("llc-assoc");
-        } else if (flag == "--l2-kb") {
-            field("l2-kb");
-        } else if (flag == "--tech") {
-            field("tech");
-        } else if (flag == "--hybrid") {
-            setField(opts.config, "hybrid", "1");
-        } else if (flag == "--sram-ways") {
-            field("sram-ways");
-        } else if (flag == "--wr-ratio") {
-            field("wr-ratio");
-        } else if (flag == "--repl") {
-            field("repl");
-        } else if (flag == "--dasca") {
-            setField(opts.config, "dasca", "1");
-        } else if (flag == "--refs") {
-            field("refs");
-        } else if (flag == "--warmup") {
-            field("warmup");
-        } else if (flag == "--seed") {
-            field("seed");
         } else if (flag == "--set") {
             // Generic registry access: --set field=value.
             const std::string &spec = next();
@@ -123,31 +114,28 @@ parseCliOptions(const std::vector<std::string> &args)
             if (eq == std::string::npos)
                 lap_fatal("--set: expected field=value, got '%s'",
                           spec.c_str());
-            setField(opts.config, spec.substr(0, eq),
-                     spec.substr(eq + 1));
+            const std::string name = spec.substr(0, eq);
+            setField(opts.config, name, spec.substr(eq + 1));
+            checkFlagValue(name, opts.config);
         } else if (flag == "--jobs") {
             opts.jobs =
                 static_cast<std::uint32_t>(parseUint(flag, next()));
             if (opts.jobs == 0)
                 lap_fatal("--jobs: must be >= 1");
-        } else if (flag == "--audit") {
-            field("audit");
-            if (opts.config.auditInterval == 0)
-                lap_fatal("--audit: interval must be >= 1");
-        } else if (flag == "--epoch-stats") {
-            field("epoch-stats");
-            if (opts.config.epochStatsInterval == 0)
-                lap_fatal("--epoch-stats: interval must be >= 1");
-        } else if (flag == "--heat") {
-            setField(opts.config, "heat", "1");
-        } else if (flag == "--trace-events") {
-            field("trace-events");
-            if (opts.config.traceEventsPath.empty())
-                lap_fatal("--trace-events: path must be non-empty");
         } else if (flag == "--stats") {
             opts.dumpStats = true;
         } else if (flag == "--json") {
             opts.jsonPath = next();
+        } else if (flag == "--llc-mb") {
+            setField(opts.config, "llc-mb", next());
+        } else if (flag.rfind("--", 0) == 0) {
+            const std::string name = flag.substr(2);
+            const ConfigFieldInfo *info = fieldInfo(name);
+            if (info == nullptr)
+                lap_fatal("unknown flag '%s' (see --help)",
+                          flag.c_str());
+            setField(opts.config, name, info->isBool ? "1" : next());
+            checkFlagValue(name, opts.config);
         } else {
             lap_fatal("unknown flag '%s' (see --help)", flag.c_str());
         }
@@ -158,6 +146,17 @@ parseCliOptions(const std::vector<std::string> &args)
 std::string
 cliHelpText()
 {
+    // The configuration block is generated from the field registry so
+    // the flag list can never drift from what the parser accepts.
+    std::string config_flags;
+    for (const ConfigFieldInfo &f : configFieldInfos()) {
+        std::string flag = "--" + f.name;
+        if (!f.isBool)
+            flag += " V";
+        config_flags += csprintf("  %-18s %s\n", flag.c_str(),
+                                 f.help.c_str());
+    }
+
     return
         "lapsim — selective-inclusion LLC simulator (LAP, ISCA'16)\n"
         "\n"
@@ -168,45 +167,18 @@ cliHelpText()
         "                          (cycled if fewer than --cores)\n"
         "  --parsec <name>         multi-threaded PARSEC model\n"
         "\n"
-        "system configuration (defaults: paper Table II):\n"
-        "  --cores N               number of cores (default 4)\n"
-        "  --l2-kb N               private L2 size in KB (512)\n"
-        "  --llc-mb N              shared LLC size in MB (8)\n"
-        "  --llc-assoc N           LLC associativity (16)\n"
-        "  --tech sram|stt         LLC technology (stt)\n"
-        "  --hybrid                2MB SRAM + 6MB STT hybrid LLC\n"
-        "  --sram-ways N           hybrid SRAM ways (4)\n"
-        "  --wr-ratio F            scale STT write/read energy ratio\n"
-        "  --repl lru|rrip|random  LLC base replacement (lru)\n"
-        "  --set field=value       any registry field (see below)\n"
-        "\n"
-        "policy selection:\n"
-        "  --policy P              inclusive|noni|ex|flex|dswitch|\n"
-        "                          lap-lru|lap-loop|lap (default noni)\n"
-        "  --placement P           default|winv|loopstt|nloopsram|\n"
-        "                          lhybrid (implies --hybrid)\n"
-        "  --dasca                 add dead-write bypass filter\n"
-        "\n"
-        "run control:\n"
-        "  --refs N / --warmup N   measured / warmup refs per core\n"
-        "  --seed N                workload seed salt\n"
+        "run control and output:\n"
+        "  --set field=value       any configuration field (same names\n"
+        "                          as below and in campaign specs)\n"
+        "  --llc-mb N              alias for --llc-kb in MB\n"
         "  --jobs N                worker threads for multi-mix runs\n"
-        "  --audit N               fail-fast invariant audit of the\n"
-        "                          hierarchy every N transactions\n"
         "  --json PATH             write config+metrics as JSON (JSONL\n"
         "                          when more than one mix is run)\n"
         "  --stats                 print the full counter dump\n"
         "\n"
-        "observability (passive; never changes results):\n"
-        "  --epoch-stats N         sample per-epoch statistics every N\n"
-        "                          transactions (appended to --json)\n"
-        "  --trace-events PATH     write Chrome trace_event JSON for\n"
-        "                          chrome://tracing / Perfetto\n"
-        "  --heat                  print the per-set/bank LLC heat\n"
-        "                          histogram\n"
-        "\n"
-        "config-field registry (--set, campaign specs):\n"
-        + configFieldsHelp();
+        "configuration flags (one per registry field; boolean flags\n"
+        "take no value; defaults follow paper Table II):\n"
+        + config_flags;
 }
 
 } // namespace lap

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "cache/inspector.hh"
 #include "common/logging.hh"
 #include "core/dasca_filter.hh"
 #include "core/hybrid_placement.hh"
@@ -21,6 +22,51 @@ toString(PlacementKind kind)
       case PlacementKind::Lhybrid: return "Lhybrid";
     }
     return "?";
+}
+
+namespace
+{
+
+/** One level's geometry against the tag store's packing limits. */
+void
+validateLevel(const char *level, std::uint64_t size_bytes,
+              std::uint32_t assoc)
+{
+    constexpr std::uint64_t kBlockBytes = 64;
+    if (assoc < 1 || assoc > 64)
+        lap_fatal("%s associativity %u unsupported: the packed tag "
+                  "store tracks each set in a 64-bit occupancy mask, "
+                  "so associativity must be between 1 and 64",
+                  level, assoc);
+    if (size_bytes < assoc * kBlockBytes)
+        lap_fatal("%s size %llu B is smaller than one %u-way set of "
+                  "64 B blocks",
+                  level, static_cast<unsigned long long>(size_bytes),
+                  assoc);
+    if (size_bytes % (assoc * kBlockBytes) != 0)
+        lap_fatal("%s size %llu B does not divide into %u-way sets of "
+                  "64 B blocks (size must be a multiple of %llu B)",
+                  level, static_cast<unsigned long long>(size_bytes),
+                  assoc,
+                  static_cast<unsigned long long>(assoc * kBlockBytes));
+}
+
+} // namespace
+
+void
+validateConfig(const SimConfig &config)
+{
+    if (config.numCores < 1)
+        lap_fatal("cores must be at least 1");
+    validateLevel("l1", config.l1Size, config.l1Assoc);
+    validateLevel("l2", config.l2Size, config.l2Assoc);
+    validateLevel("llc", config.llcSize, config.llcAssoc);
+    if (config.llcBanks < 1)
+        lap_fatal("llc-banks must be at least 1");
+    if (config.hybridLlc && config.llcSramWays > config.llcAssoc)
+        lap_fatal("sram-ways (%u) exceeds llc-assoc (%u): the hybrid "
+                  "partition cannot be wider than the cache",
+                  config.llcSramWays, config.llcAssoc);
 }
 
 SimConfig
@@ -89,7 +135,7 @@ buildHierarchyParams(const SimConfig &config)
     return hp;
 }
 
-std::unique_ptr<InclusionPolicy>
+InclusionEngine
 buildPolicy(const SimConfig &config)
 {
     const std::uint64_t num_sets = config.llcSize
@@ -124,6 +170,7 @@ buildPlacement(const SimConfig &config)
 Simulator::Simulator(const SimConfig &config)
     : config_(config)
 {
+    validateConfig(config_);
     if (config_.placement != PlacementKind::Default)
         lap_assert(config_.hybridLlc,
                    "loop-aware placements require a hybrid LLC");
@@ -284,7 +331,7 @@ Simulator::extractMetrics(const RunResult &run_result) const
         ? 0.0
         : static_cast<double>(hs.llcLoopBlockInsertions)
             / static_cast<double>(hs.llcWritesTotal());
-    m.llcLoopResidency = h.llcLoopResidency();
+    m.llcLoopResidency = CacheInspector(llc).loopResidency();
 
     m.snoopMessages = hs.snoop.totalMessages();
     m.dramReads = h.dram().stats().reads;

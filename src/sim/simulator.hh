@@ -26,7 +26,7 @@ namespace lap
 HierarchyParams buildHierarchyParams(const SimConfig &config);
 
 /** Builds the configured inclusion policy. */
-std::unique_ptr<InclusionPolicy> buildPolicy(const SimConfig &config);
+InclusionEngine buildPolicy(const SimConfig &config);
 
 /** Builds the configured placement policy. */
 std::unique_ptr<PlacementPolicy> buildPlacement(const SimConfig &config);

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 
+#include "cache/inspector.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
-#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/inclusion_engine.hh"
 #include "hierarchy/set_dueling.hh"
 
 namespace lap
@@ -169,7 +170,7 @@ EpochSampler::closeEpoch(Cycle now)
     // Strided LLC walk: bounded so large LLCs stay cheap; stride 1
     // (exact counts) whenever the LLC has at most kMaxSampledSets
     // sets.
-    const Cache &llc = hier_.llc();
+    const CacheInspector llc(hier_.llc());
     r.totalSets = llc.numSets();
     const std::uint64_t stride =
         std::max<std::uint64_t>(1,
@@ -178,7 +179,7 @@ EpochSampler::closeEpoch(Cycle now)
     for (std::uint64_t set = 0; set < r.totalSets; set += stride) {
         r.sampledSets++;
         for (std::uint32_t way = 0; way < llc.assoc(); ++way) {
-            const CacheBlock &blk = llc.blockAt(set, way);
+            const BlockInfo blk = llc.block(set, way);
             if (!blk.valid)
                 continue;
             r.validBlocks++;

@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "common/json.hh"
-#include "hierarchy/inclusion_policy.hh"
+#include "hierarchy/inclusion_engine.hh"
 #include "hierarchy/set_dueling.hh"
 
 namespace lap

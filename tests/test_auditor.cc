@@ -132,8 +132,8 @@ TEST(Auditor, FailFastPanicsOnCorruption)
     AuditorConfig ac; // FailFast, every transaction
     HierarchyAuditor auditor(h, PolicyKind::NonInclusive, ac);
     readBlock(h, 0, 1);
-    h.l1(0).probe(1)->dirty = true;
-    h.l1(0).probe(1)->valid = false;
+    h.l1(0).probe(1).setDirty(true);
+    h.l1(0).probe(1).setValid(false);
     EXPECT_DEATH(readBlock(h, 0, 2), "GhostState");
 }
 
@@ -145,9 +145,9 @@ TEST(Auditor, DetectsDuplicateTagInSet)
     const std::uint64_t sets = a.h->llc().numSets();
     readBlock(*a.h, 0, 1);
     readBlock(*a.h, 0, 1 + sets); // same LLC set, different tag
-    CacheBlock *blk = a.h->llc().probe(1 + sets);
-    ASSERT_NE(blk, nullptr);
-    blk->blockAddr = 1; // now two ways of the set claim tag 1
+    BlockView blk = a.h->llc().probe(1 + sets);
+    ASSERT_TRUE(blk);
+    blk.setBlockAddr(1); // now two ways of the set claim tag 1
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::DuplicateTagInSet);
 }
@@ -156,9 +156,9 @@ TEST(Auditor, DetectsWrongSetIndex)
 {
     auto a = makeAudited(PolicyKind::NonInclusive);
     readBlock(*a.h, 0, 2);
-    CacheBlock *blk = a.h->llc().probe(2);
-    ASSERT_NE(blk, nullptr);
-    blk->blockAddr = 3; // tag that indexes a different set
+    BlockView blk = a.h->llc().probe(2);
+    ASSERT_TRUE(blk);
+    blk.setBlockAddr(3); // tag that indexes a different set
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::WrongSetIndex);
 }
@@ -169,7 +169,7 @@ TEST(Auditor, DetectsGhostState)
     readBlock(*a.h, 0, 1);
     // A never-used way holding dirty state: an invalidation that
     // forgot to clear the block.
-    a.h->llc().blockAt(0, 3).dirty = true;
+    a.h->llc().blockAt(0, 3).setDirty(true);
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::GhostState);
 }
@@ -179,9 +179,9 @@ TEST(Auditor, DetectsBlockCountMismatch)
     auto a = makeAudited(PolicyKind::NonInclusive);
     readBlock(*a.h, 0, 5);
     // Vanishing block: valid dropped without an invalidation event.
-    CacheBlock *blk = a.h->l1(0).probe(5);
-    ASSERT_NE(blk, nullptr);
-    blk->valid = false;
+    BlockView blk = a.h->l1(0).probe(5);
+    ASSERT_TRUE(blk);
+    blk.setValid(false);
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::BlockCountMismatch);
 }
@@ -190,9 +190,9 @@ TEST(Auditor, DetectsVersionAhead)
 {
     auto a = makeAudited(PolicyKind::NonInclusive);
     readBlock(*a.h, 0, 7);
-    CacheBlock *blk = a.h->llc().probe(7);
-    ASSERT_NE(blk, nullptr);
-    blk->version = 999; // a write the verifier never saw
+    BlockView blk = a.h->llc().probe(7);
+    ASSERT_TRUE(blk);
+    blk.setVersion(999); // a write the verifier never saw
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::VersionAhead);
 }
@@ -201,10 +201,10 @@ TEST(Auditor, DetectsDataLoss)
 {
     auto a = makeAudited(PolicyKind::NonInclusive);
     writeBlock(*a.h, 0, 9); // dirty v1 lives only in the L1
-    CacheBlock *blk = a.h->l1(0).probe(9);
-    ASSERT_NE(blk, nullptr);
-    ASSERT_TRUE(blk->dirty);
-    a.h->l1(0).invalidateBlock(*blk); // newest version gone everywhere
+    BlockView blk = a.h->l1(0).probe(9);
+    ASSERT_TRUE(blk);
+    ASSERT_TRUE(blk.dirty());
+    a.h->l1(0).invalidateBlock(blk); // newest version gone everywhere
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::DataLoss);
 }
@@ -227,9 +227,9 @@ TEST(Auditor, DetectsInclusionHole)
 {
     auto a = makeAudited(PolicyKind::Inclusive);
     readBlock(*a.h, 0, 11);
-    CacheBlock *blk = a.h->llc().probe(11);
-    ASSERT_NE(blk, nullptr);
-    a.h->llc().invalidateBlock(*blk); // LLC copy gone, L1/L2 remain
+    BlockView blk = a.h->llc().probe(11);
+    ASSERT_TRUE(blk);
+    a.h->llc().invalidateBlock(blk); // LLC copy gone, L1/L2 remain
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::InclusionHole);
     // Both the L1 and the L2 copy are now uncovered.
@@ -240,7 +240,7 @@ TEST(Auditor, DetectsExclusiveDuplicate)
 {
     auto a = makeAudited(PolicyKind::Exclusive, tinyParams(/*cores=*/1));
     readBlock(*a.h, 0, 13); // exclusive: lives in L1/L2 only
-    ASSERT_EQ(a.h->llc().probe(13), nullptr);
+    ASSERT_FALSE(a.h->llc().probe(13));
     a.h->llc().insert(13, Cache::InsertAttrs{}); // illegal duplicate
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::ExclusiveDuplicate);
@@ -293,9 +293,9 @@ TEST(Auditor, DetectsLoopBitUnclassified)
 {
     auto a = makeAudited(PolicyKind::NonInclusive);
     readBlock(*a.h, 0, 21);
-    CacheBlock *blk = a.h->llc().probe(21);
-    ASSERT_NE(blk, nullptr);
-    blk->loopBit = true; // no clean trip ever classified this block
+    BlockView blk = a.h->llc().probe(21);
+    ASSERT_TRUE(blk);
+    blk.setLoopBit(true); // no clean trip ever classified this block
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::LoopBitUnclassified);
 }
@@ -306,9 +306,9 @@ TEST(Auditor, DetectsCoherenceLeak)
 {
     auto a = makeAudited(PolicyKind::NonInclusive); // snooping off
     readBlock(*a.h, 0, 23);
-    CacheBlock *blk = a.h->l1(0).probe(23);
-    ASSERT_NE(blk, nullptr);
-    blk->coh = CohState::Shared;
+    BlockView blk = a.h->l1(0).probe(23);
+    ASSERT_TRUE(blk);
+    blk.setCoh(CohState::Shared);
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::CoherenceLeak);
 }
@@ -320,10 +320,10 @@ TEST(Auditor, DetectsCoherenceExclusivityViolation)
     auto a = makeAudited(PolicyKind::NonInclusive, hp);
     readBlock(*a.h, 0, 25);
     readBlock(*a.h, 1, 25); // both cores now Shared
-    CacheBlock *blk = a.h->l1(0).probe(25);
-    ASSERT_NE(blk, nullptr);
-    ASSERT_EQ(blk->coh, CohState::Shared);
-    blk->coh = CohState::Modified; // M while a peer still holds S
+    BlockView blk = a.h->l1(0).probe(25);
+    ASSERT_TRUE(blk);
+    ASSERT_EQ(blk.coh(), CohState::Shared);
+    blk.setCoh(CohState::Modified); // M while a peer still holds S
     a.auditor->auditNow();
     expectOnly(*a.auditor, AuditCheck::CoherenceExclusivity);
 }

@@ -109,7 +109,7 @@ TEST(Wear, CountsAllDataWritePaths)
 
     c.insert(5, {});                       // fill
     c.access(5, AccessType::Write);        // write hit
-    c.writeBlock(*c.probe(5), 9);          // victim update
+    c.writeBlock(c.probe(5), 9);          // victim update
     const auto wear = c.wearStats(MemTech::STTRAM);
     EXPECT_EQ(wear.totalWrites, 3u);
     EXPECT_EQ(wear.maxPerWay, 3u);
@@ -150,7 +150,7 @@ TEST(Wear, ImbalanceDetectsHotWays)
     Cache c(params);
     c.insert(5, {});
     for (int i = 0; i < 99; ++i)
-        c.writeBlock(*c.probe(5), static_cast<std::uint64_t>(i));
+        c.writeBlock(c.probe(5), static_cast<std::uint64_t>(i));
     const auto wear = c.wearStats(MemTech::STTRAM);
     EXPECT_EQ(wear.maxPerWay, 100u);
     EXPECT_GT(wear.imbalance, 10.0);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache.hh"
+#include "cache/inspector.hh"
 
 namespace lap
 {
@@ -64,13 +65,13 @@ TEST(Cache, RejectsBadGeometry)
 TEST(Cache, MissThenHit)
 {
     Cache c(smallParams());
-    EXPECT_EQ(c.access(5, AccessType::Read), nullptr);
+    EXPECT_FALSE(c.access(5, AccessType::Read));
     EXPECT_EQ(c.stats().readMisses, 1u);
 
     c.insert(5, {});
-    CacheBlock *blk = c.access(5, AccessType::Read);
-    ASSERT_NE(blk, nullptr);
-    EXPECT_EQ(blk->blockAddr, 5u);
+    BlockView blk = c.access(5, AccessType::Read);
+    ASSERT_TRUE(blk);
+    EXPECT_EQ(blk.blockAddr(), 5u);
     EXPECT_EQ(c.stats().readHits, 1u);
     EXPECT_EQ(c.stats().dataReads[1], 1u); // STT region
 }
@@ -81,10 +82,10 @@ TEST(Cache, WriteHitSetsDirtyAndClearsLoopBit)
     Cache::InsertAttrs attrs;
     attrs.loopBit = true;
     c.insert(5, attrs);
-    CacheBlock *blk = c.access(5, AccessType::Write);
-    ASSERT_NE(blk, nullptr);
-    EXPECT_TRUE(blk->dirty);
-    EXPECT_FALSE(blk->loopBit); // Fig 10(a)
+    BlockView blk = c.access(5, AccessType::Write);
+    ASSERT_TRUE(blk);
+    EXPECT_TRUE(blk.dirty());
+    EXPECT_FALSE(blk.loopBit()); // Fig 10(a)
     EXPECT_EQ(c.stats().writeHits, 1u);
     EXPECT_EQ(c.stats().dataWrites[1], 2u); // insert + write
 }
@@ -94,8 +95,8 @@ TEST(Cache, ProbeHasNoSideEffects)
     Cache c(smallParams());
     c.insert(5, {});
     const auto stats_before = c.stats().tagAccesses;
-    EXPECT_NE(c.probe(5), nullptr);
-    EXPECT_EQ(c.probe(6), nullptr);
+    EXPECT_TRUE(c.probe(5));
+    EXPECT_FALSE(c.probe(6));
     EXPECT_EQ(c.stats().tagAccesses, stats_before);
 }
 
@@ -189,24 +190,24 @@ TEST(Cache, WriteBlockSemantics)
     Cache::InsertAttrs attrs;
     attrs.loopBit = true;
     c.insert(5, attrs);
-    CacheBlock *blk = c.probe(5);
-    c.writeBlock(*blk, 42);
-    EXPECT_TRUE(blk->dirty);
-    EXPECT_EQ(blk->version, 42u);
-    EXPECT_FALSE(blk->loopBit);
+    BlockView blk = c.probe(5);
+    c.writeBlock(blk, 42);
+    EXPECT_TRUE(blk.dirty());
+    EXPECT_EQ(blk.version(), 42u);
+    EXPECT_FALSE(blk.loopBit());
     EXPECT_EQ(c.stats().dataWrites[1], 2u);
 
-    blk->loopBit = true;
-    c.writeBlock(*blk, 43, /*keep_loop_bit=*/true);
-    EXPECT_TRUE(blk->loopBit);
+    blk.setLoopBit(true);
+    c.writeBlock(blk, 43, /*keep_loop_bit=*/true);
+    EXPECT_TRUE(blk.loopBit());
 }
 
 TEST(Cache, InvalidateBlock)
 {
     Cache c(smallParams());
     c.insert(5, {});
-    c.invalidateBlock(*c.probe(5));
-    EXPECT_EQ(c.probe(5), nullptr);
+    c.invalidateBlock(c.probe(5));
+    EXPECT_FALSE(c.probe(5));
     EXPECT_EQ(c.stats().invalidations, 1u);
 }
 
@@ -325,17 +326,18 @@ TEST(Cache, ResetStatsKeepsContents)
     c.insert(5, {});
     c.resetStats();
     EXPECT_EQ(c.stats().fills, 0u);
-    EXPECT_NE(c.probe(5), nullptr);
+    EXPECT_TRUE(c.probe(5));
 }
 
-TEST(Cache, ForEachBlockVisitsValidOnly)
+TEST(Cache, InspectorVisitsValidOnly)
 {
     Cache c(smallParams());
     c.insert(1, {});
     c.insert(2, {});
     int count = 0;
-    c.forEachBlock([&](const CacheBlock &) { count++; });
+    CacheInspector(c).forEachValid([&](const BlockInfo &) { count++; });
     EXPECT_EQ(count, 2);
+    EXPECT_EQ(CacheInspector(c).validBlockCount(), 2u);
 }
 
 } // namespace

@@ -89,7 +89,7 @@ TEST(Coherence, SoleReaderGetsExclusive)
 {
     auto h = coherentHierarchy();
     readBlock(*h, 0, 1);
-    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Exclusive);
+    EXPECT_EQ(h->l1(0).probe(1).coh(), CohState::Exclusive);
 }
 
 TEST(Coherence, SecondReaderShares)
@@ -99,8 +99,8 @@ TEST(Coherence, SecondReaderShares)
     // second reader's miss finds the peer's copy via snoop.
     readBlock(*h, 0, 1);
     readBlock(*h, 1, 1);
-    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Shared);
-    EXPECT_EQ(h->l1(1).probe(1)->coh, CohState::Shared);
+    EXPECT_EQ(h->l1(0).probe(1).coh(), CohState::Shared);
+    EXPECT_EQ(h->l1(1).probe(1).coh(), CohState::Shared);
     EXPECT_GE(h->stats().snoop.dataTransfers, 1u);
 }
 
@@ -108,12 +108,12 @@ TEST(Coherence, DirtyPeerSuppliesAndBecomesOwner)
 {
     auto h = coherentHierarchy(PolicyKind::Exclusive);
     writeBlock(*h, 0, 1);
-    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Modified);
+    EXPECT_EQ(h->l1(0).probe(1).coh(), CohState::Modified);
 
     const auto result = readBlock(*h, 1, 1);
     EXPECT_EQ(result.level, ServiceLevel::Peer);
-    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Owned);
-    EXPECT_EQ(h->l1(1).probe(1)->coh, CohState::Shared);
+    EXPECT_EQ(h->l1(0).probe(1).coh(), CohState::Owned);
+    EXPECT_EQ(h->l1(1).probe(1).coh(), CohState::Shared);
     EXPECT_GE(h->stats().snoop.dataTransfers, 1u);
     // Reader must observe core 0's written value (verifier checks).
 }
@@ -123,9 +123,9 @@ TEST(Coherence, WriteInvalidatesPeerCopies)
     auto h = coherentHierarchy(PolicyKind::Exclusive);
     readBlock(*h, 0, 1);
     writeBlock(*h, 1, 1);
-    EXPECT_EQ(h->l1(0).probe(1), nullptr);
-    EXPECT_EQ(h->l2(0).probe(1), nullptr);
-    EXPECT_EQ(h->l1(1).probe(1)->coh, CohState::Modified);
+    EXPECT_FALSE(h->l1(0).probe(1));
+    EXPECT_FALSE(h->l2(0).probe(1));
+    EXPECT_EQ(h->l1(1).probe(1).coh(), CohState::Modified);
     EXPECT_GE(h->stats().snoop.invalidations, 1u);
 }
 
@@ -137,8 +137,8 @@ TEST(Coherence, WriteHitOnSharedUpgrades)
     const auto upgrades_before = h->stats().snoop.upgrades;
     writeBlock(*h, 1, 1); // L1 hit on a Shared block
     EXPECT_EQ(h->stats().snoop.upgrades, upgrades_before + 1);
-    EXPECT_EQ(h->l1(0).probe(1), nullptr);
-    EXPECT_EQ(h->l1(1).probe(1)->coh, CohState::Modified);
+    EXPECT_FALSE(h->l1(0).probe(1));
+    EXPECT_EQ(h->l1(1).probe(1).coh(), CohState::Modified);
 }
 
 TEST(Coherence, SilentUpgradeFromExclusive)
@@ -148,7 +148,7 @@ TEST(Coherence, SilentUpgradeFromExclusive)
     const auto msgs = h->stats().snoop.totalMessages();
     writeBlock(*h, 0, 1); // E -> M silently
     EXPECT_EQ(h->stats().snoop.totalMessages(), msgs);
-    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Modified);
+    EXPECT_EQ(h->l1(0).probe(1).coh(), CohState::Modified);
 }
 
 TEST(Coherence, PingPongWritesStayCorrect)
@@ -175,7 +175,7 @@ TEST(Coherence, LlcHitWithDirtyPeerServesNewestData)
     // must fetch from core 0. Verifier enforces freshness.
     const auto result = readBlock(*h, 1, 1);
     EXPECT_EQ(result.level, ServiceLevel::Peer);
-    EXPECT_EQ(h->l1(0).probe(1)->coh, CohState::Owned);
+    EXPECT_EQ(h->l1(0).probe(1).coh(), CohState::Owned);
 }
 
 TEST(Coherence, SnoopTrafficTracksLlcMisses)

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Engine differential suite: proves the optimized hot path is
+ * bit-exact against the golden-pinned reference engine.
+ *
+ * For every policy in the golden set this runs the full Simulator
+ * with the epoch sampler attached and compares, against
+ * tests/golden/<slug>.stream.json,
+ *   (a) the end-of-run integer counters, and
+ *   (b) an FNV-1a hash over the serialized epoch-record stream.
+ * The stream hash covers every per-epoch counter delta, the sampled
+ * LLC population and the set-dueling PSEL state, so any divergence
+ * in *when* the engine hits, fills, evicts or migrates — not just
+ * the totals — fails the test.
+ *
+ * The baselines were generated from the pre-SoA reference engine
+ * (array-of-structs tag store, virtual policy dispatch) and must
+ * never be regenerated as part of a performance change: matching
+ * them is the proof that a hot-path restructuring preserved
+ * behaviour. Regenerate only for an intentional *behaviour* change,
+ * with tools/regen-golden.sh, and explain the diff in the commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/jsonl.hh"
+#include "common/json.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+struct DiffCase
+{
+    const char *slug;
+    PolicyKind policy;
+    PlacementKind placement;
+    bool hybrid;
+    const char *benchmark;
+};
+
+/** Mirrors the golden-metrics matrix (one case per policy). */
+const DiffCase kCases[] = {
+    {"inclusive", PolicyKind::Inclusive, PlacementKind::Default, false,
+     "mcf"},
+    {"noni", PolicyKind::NonInclusive, PlacementKind::Default, false,
+     "mcf"},
+    {"ex", PolicyKind::Exclusive, PlacementKind::Default, false, "mcf"},
+    {"flex", PolicyKind::Flexclusion, PlacementKind::Default, false,
+     "omnetpp"},
+    {"dswitch", PolicyKind::Dswitch, PlacementKind::Default, false,
+     "omnetpp"},
+    {"lap", PolicyKind::Lap, PlacementKind::Default, false,
+     "libquantum"},
+    {"lhybrid", PolicyKind::Lap, PlacementKind::Lhybrid, true,
+     "libquantum"},
+};
+
+SimConfig
+diffConfig(const DiffCase &c)
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 10'000;
+    cfg.measureRefs = 50'000;
+    cfg.tuning.epochCycles = 50'000;
+    // Dense epochs: ~60 records over the run, each hashed below.
+    cfg.epochStatsInterval = 2'000;
+    cfg.policy = c.policy;
+    cfg.placement = c.placement;
+    cfg.hybridLlc = c.hybrid;
+    return cfg;
+}
+
+/** FNV-1a 64-bit over the whole serialized stream. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char ch : text) {
+        hash ^= static_cast<unsigned char>(ch);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::string
+hex(std::uint64_t value)
+{
+    std::ostringstream out;
+    out << "0x" << std::hex << value;
+    return out.str();
+}
+
+/** Runs the case and serializes {counters, epoch-stream hash}. */
+std::string
+runCase(const DiffCase &c)
+{
+    Simulator sim(diffConfig(c));
+    const Metrics m = sim.run(resolveMix(duplicateMix(c.benchmark, 2)));
+
+    const EpochSampler *sampler = sim.statsEngine()->sampler();
+    std::string stream;
+    for (const EpochRecord &record : sampler->records()) {
+        stream += epochToJson(record);
+        stream += '\n';
+    }
+
+    JsonWriter w;
+    w.field("epochs",
+            static_cast<std::uint64_t>(sampler->records().size()))
+        .field("streamFnv", hex(fnv1a(stream)))
+        .field("instructions", m.instructions)
+        .field("cycles", m.cycles)
+        .field("llcHits", m.llcHits)
+        .field("llcMisses", m.llcMisses)
+        .field("llcWritesFill", m.llcWritesFill)
+        .field("llcWritesCleanVictim", m.llcWritesCleanVictim)
+        .field("llcWritesDirtyVictim", m.llcWritesDirtyVictim)
+        .field("llcWritesMigration", m.llcWritesMigration)
+        .field("llcDemandFills", m.llcDemandFills)
+        .field("llcDeadFills", m.llcDeadFills)
+        .field("snoopMessages", m.snoopMessages)
+        .field("dramReads", m.dramReads)
+        .field("dramWrites", m.dramWrites);
+    return w.str();
+}
+
+std::string
+streamGoldenPath(const DiffCase &c)
+{
+    return std::string(LAPSIM_GOLDEN_DIR) + "/" + c.slug
+        + ".stream.json";
+}
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("LAPSIM_REGEN_GOLDEN");
+    return env != nullptr && env[0] == '1';
+}
+
+class EngineDifferential : public ::testing::TestWithParam<DiffCase>
+{
+};
+
+TEST_P(EngineDifferential, MatchesReferenceEngine)
+{
+    const DiffCase &c = GetParam();
+    const std::string path = streamGoldenPath(c);
+    const std::string fresh = runCase(c);
+
+    if (regenRequested()) {
+        writeFile(path, fresh + "\n");
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    const std::string baseline = readFileOrEmpty(path);
+    ASSERT_FALSE(baseline.empty())
+        << "missing reference baseline " << path
+        << " — run tools/regen-golden.sh and commit the result";
+
+    JsonRow want, got;
+    ASSERT_TRUE(parseJsonObject(baseline, want)) << path;
+    ASSERT_TRUE(parseJsonObject(fresh, got));
+
+    // Every field is an integer counter or the stream hash: text
+    // equality is the bit-exact comparison.
+    for (const auto &[key, value] : want) {
+        EXPECT_EQ(value, rowValue(got, key))
+            << c.slug << ": '" << key
+            << "' diverged from the reference engine";
+    }
+    for (const auto &[key, value] : got) {
+        EXPECT_FALSE(rowValue(want, key).empty())
+            << c.slug << ": new field '" << key
+            << "' missing from baseline — regenerate intentionally";
+    }
+}
+
+/** The epoch stream itself is deterministic run-to-run. */
+TEST(EngineDifferential, StreamsAreDeterministic)
+{
+    EXPECT_EQ(runCase(kCases[0]), runCase(kCases[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, EngineDifferential, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<DiffCase> &info) {
+        return std::string(info.param.slug);
+    });
+
+} // namespace
+} // namespace lap

@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "cache/cache.hh"
+#include "cache/inspector.hh"
 #include "test_util.hh"
 #include "workloads/parsec.hh"
 #include "workloads/spec2006.hh"
@@ -52,8 +53,7 @@ TEST_P(CacheGeometry, ContentsNeverExceedCapacity)
         if (!c.probe(blk))
             c.insert(blk, {});
     }
-    std::uint64_t valid = 0;
-    c.forEachBlock([&](const CacheBlock &) { valid++; });
+    const std::uint64_t valid = CacheInspector(c).validBlockCount();
     EXPECT_LE(valid, capacity);
     EXPECT_GT(valid, capacity / 2); // heavily exercised
 }
@@ -68,9 +68,12 @@ TEST_P(CacheGeometry, EveryResidentBlockIsFindable)
         if (!c.probe(blk))
             c.insert(blk, {});
     }
-    c.forEachBlock([&](const CacheBlock &blk) {
-        EXPECT_EQ(c.probe(blk.blockAddr), &blk);
-        EXPECT_EQ(c.setIndexOf(blk.blockAddr), c.setOf(blk));
+    CacheInspector(c).forEachValid([&](const BlockInfo &blk) {
+        const BlockView found = c.probe(blk.blockAddr);
+        ASSERT_TRUE(found);
+        EXPECT_EQ(found.set(), blk.set);
+        EXPECT_EQ(found.way(), blk.way);
+        EXPECT_EQ(c.setIndexOf(blk.blockAddr), blk.set);
     });
 }
 
@@ -88,11 +91,7 @@ TEST_P(CacheGeometry, FillsEqualInsertions)
     }
     EXPECT_EQ(c.stats().fills, insertions);
     EXPECT_EQ(c.stats().evictionsClean + c.stats().evictionsDirty
-                  + [&] {
-                        std::uint64_t v = 0;
-                        c.forEachBlock([&](const CacheBlock &) { v++; });
-                        return v;
-                    }(),
+                  + CacheInspector(c).validBlockCount(),
               insertions);
 }
 

@@ -37,9 +37,9 @@ TEST(Flows, MissFillsAllLevelsUnderNonInclusion)
     auto h = tinyHierarchy(PolicyKind::NonInclusive);
     const auto result = readBlock(*h, 0, 1);
     EXPECT_EQ(result.level, ServiceLevel::Memory);
-    EXPECT_NE(h->l1(0).probe(1), nullptr);
-    EXPECT_NE(h->l2(0).probe(1), nullptr);
-    EXPECT_NE(h->llc().probe(1), nullptr); // data-fill
+    EXPECT_TRUE(h->l1(0).probe(1));
+    EXPECT_TRUE(h->l2(0).probe(1));
+    EXPECT_TRUE(h->llc().probe(1)); // data-fill
     EXPECT_EQ(h->stats().llcWritesDataFill, 1u);
     EXPECT_EQ(h->stats().llcDemandFills, 1u);
 }
@@ -49,7 +49,7 @@ TEST(Flows, MissBypassesLlcUnderExclusionAndLap)
     for (auto kind : {PolicyKind::Exclusive, PolicyKind::Lap}) {
         auto h = tinyHierarchy(kind);
         readBlock(*h, 0, 1);
-        EXPECT_EQ(h->llc().probe(1), nullptr) << toString(kind);
+        EXPECT_FALSE(h->llc().probe(1)) << toString(kind);
         EXPECT_EQ(h->stats().llcWritesDataFill, 0u);
     }
 }
@@ -59,10 +59,10 @@ TEST(Flows, ExclusiveHitInvalidatesLlcCopy)
     auto h = tinyHierarchy(PolicyKind::Exclusive);
     readBlock(*h, 0, 1);
     h->flushPrivate(0);                     // clean victim -> LLC
-    ASSERT_NE(h->llc().probe(1), nullptr);
+    ASSERT_TRUE(h->llc().probe(1));
     const auto result = readBlock(*h, 0, 1); // LLC hit
     EXPECT_EQ(result.level, ServiceLevel::Llc);
-    EXPECT_EQ(h->llc().probe(1), nullptr);
+    EXPECT_FALSE(h->llc().probe(1));
     EXPECT_EQ(h->stats().llcInvalidationsOnHit, 1u);
 }
 
@@ -73,12 +73,12 @@ TEST(Flows, LapAndNoniKeepLlcCopyOnHit)
         readBlock(*h, 0, 1);
         h->flushPrivate(0);
         if (kind == PolicyKind::Lap) {
-            ASSERT_NE(h->llc().probe(1), nullptr); // clean victim kept
+            ASSERT_TRUE(h->llc().probe(1)); // clean victim kept
         }
-        if (h->llc().probe(1) == nullptr)
+        if (!h->llc().probe(1))
             continue;
         readBlock(*h, 0, 1);
-        EXPECT_NE(h->llc().probe(1), nullptr) << toString(kind);
+        EXPECT_TRUE(h->llc().probe(1)) << toString(kind);
         EXPECT_EQ(h->stats().llcInvalidationsOnHit, 0u);
     }
 }
@@ -88,18 +88,18 @@ TEST(Flows, ExclusiveHitTransfersDirtyState)
     auto h = tinyHierarchy(PolicyKind::Exclusive);
     writeBlock(*h, 0, 1);
     h->flushPrivate(0); // dirty victim into LLC
-    ASSERT_NE(h->llc().probe(1), nullptr);
-    EXPECT_TRUE(h->llc().probe(1)->dirty);
+    ASSERT_TRUE(h->llc().probe(1));
+    EXPECT_TRUE(h->llc().probe(1).dirty());
 
     readBlock(*h, 0, 1); // hit; dirty moves up with the block
-    EXPECT_EQ(h->llc().probe(1), nullptr);
-    ASSERT_NE(h->l2(0).probe(1), nullptr);
-    EXPECT_TRUE(h->l2(0).probe(1)->dirty);
+    EXPECT_FALSE(h->llc().probe(1));
+    ASSERT_TRUE(h->l2(0).probe(1));
+    EXPECT_TRUE(h->l2(0).probe(1).dirty());
 
     // The dirty data must reach memory eventually.
     h->flushPrivate(0);
-    ASSERT_NE(h->llc().probe(1), nullptr);
-    EXPECT_TRUE(h->llc().probe(1)->dirty);
+    ASSERT_TRUE(h->llc().probe(1));
+    EXPECT_TRUE(h->llc().probe(1).dirty());
 }
 
 TEST(Flows, CleanVictimDroppedWhenDuplicatePresent)
@@ -117,11 +117,11 @@ TEST(Flows, CleanVictimDroppedSilentlyUnderNonInclusionWhenAbsent)
     auto h = tinyHierarchy(PolicyKind::NonInclusive);
     readBlock(*h, 0, 1);
     // Remove the LLC duplicate directly to simulate its eviction.
-    h->llc().invalidateBlock(*h->llc().probe(1));
+    h->llc().invalidateBlock(h->llc().probe(1));
     h->resetStats();
     h->flushPrivate(0);
     EXPECT_EQ(h->stats().llcWritesTotal(), 0u);
-    EXPECT_EQ(h->llc().probe(1), nullptr);
+    EXPECT_FALSE(h->llc().probe(1));
 }
 
 TEST(Flows, LapInsertsCleanVictimOnlyWhenAbsent)
@@ -147,8 +147,8 @@ TEST(Flows, DirtyVictimUpdatesDuplicateInPlace)
     h->resetStats();
     h->flushPrivate(0);
     EXPECT_EQ(h->stats().llcWritesDirtyVictim, 1u);
-    ASSERT_NE(h->llc().probe(1), nullptr);
-    EXPECT_TRUE(h->llc().probe(1)->dirty);
+    ASSERT_TRUE(h->llc().probe(1));
+    EXPECT_TRUE(h->llc().probe(1).dirty());
     EXPECT_EQ(h->llc().stats().fills, 0u); // no second allocation
 }
 
@@ -158,25 +158,25 @@ TEST(Flows, LoopBitLifecycle)
     // copy at an LLC hit; refreshed in the LLC tag on dedup drops.
     auto h = tinyHierarchy(PolicyKind::Lap);
     readBlock(*h, 0, 1);
-    EXPECT_FALSE(h->l2(0).probe(1)->loopBit); // from memory
+    EXPECT_FALSE(h->l2(0).probe(1).loopBit()); // from memory
 
     h->flushPrivate(0);
-    ASSERT_NE(h->llc().probe(1), nullptr);
-    EXPECT_FALSE(h->llc().probe(1)->loopBit); // first descent
+    ASSERT_TRUE(h->llc().probe(1));
+    EXPECT_FALSE(h->llc().probe(1).loopBit()); // first descent
 
     readBlock(*h, 0, 1); // LLC hit
-    ASSERT_NE(h->l2(0).probe(1), nullptr);
-    EXPECT_TRUE(h->l2(0).probe(1)->loopBit); // Fig 10(c)
+    ASSERT_TRUE(h->l2(0).probe(1));
+    EXPECT_TRUE(h->l2(0).probe(1).loopBit()); // Fig 10(c)
 
     h->flushPrivate(0); // clean dedup: tag loop-bit updated
-    EXPECT_TRUE(h->llc().probe(1)->loopBit); // Fig 10(b)
+    EXPECT_TRUE(h->llc().probe(1).loopBit()); // Fig 10(b)
 
     readBlock(*h, 0, 1);
     writeBlock(*h, 0, 1); // write clears the loop bit
-    EXPECT_FALSE(h->l1(0).probe(1)->loopBit);
-    EXPECT_FALSE(h->l2(0).probe(1)->loopBit);
+    EXPECT_FALSE(h->l1(0).probe(1).loopBit());
+    EXPECT_FALSE(h->l2(0).probe(1).loopBit());
     h->flushPrivate(0); // dirty victim updates duplicate, clears bit
-    EXPECT_FALSE(h->llc().probe(1)->loopBit);
+    EXPECT_FALSE(h->llc().probe(1).loopBit());
 }
 
 TEST(Flows, InclusiveBackInvalidation)
@@ -197,9 +197,9 @@ TEST(Flows, InclusiveBackInvalidation)
     }
     // Inclusion invariant: every upper-level block is in the LLC.
     for (std::uint64_t i = 0; i <= 4; ++i) {
-        if (h->l2(0).probe(i * 32) != nullptr
-            || h->l1(0).probe(i * 32) != nullptr) {
-            EXPECT_NE(h->llc().probe(i * 32), nullptr) << i;
+        if (h->l2(0).probe(i * 32)
+            || h->l1(0).probe(i * 32)) {
+            EXPECT_TRUE(h->llc().probe(i * 32)) << i;
         }
     }
     EXPECT_LE(upper_copies, 4u);
@@ -212,8 +212,8 @@ TEST(Flows, InclusiveBackInvalidationWritesBackDirtyUpperData)
     const auto dram_before = h->dram().stats().writes;
     for (std::uint64_t i = 1; i <= 4; ++i)
         readBlock(*h, 0, i * 32); // evict block 0 from the LLC
-    EXPECT_EQ(h->l1(0).probe(0), nullptr);
-    EXPECT_EQ(h->l2(0).probe(0), nullptr);
+    EXPECT_FALSE(h->l1(0).probe(0));
+    EXPECT_FALSE(h->l2(0).probe(0));
     EXPECT_GT(h->dram().stats().writes, dram_before);
     // The verifier would panic on a lost write; re-reading proves it.
     readBlock(*h, 0, 0);

@@ -8,7 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/lap_policy.hh"
+#include "cache/inspector.hh"
+#include "hierarchy/lap_policy.hh"
 #include "hierarchy/switching_policies.hh"
 #include "test_util.hh"
 
@@ -33,11 +34,8 @@ TEST(Flush, DrainsBothPrivateLevels)
             readBlock(*h, 0, rng.below(64));
     }
     h->flushPrivate(0);
-    int l1_blocks = 0, l2_blocks = 0;
-    h->l1(0).forEachBlock([&](const CacheBlock &) { l1_blocks++; });
-    h->l2(0).forEachBlock([&](const CacheBlock &) { l2_blocks++; });
-    EXPECT_EQ(l1_blocks, 0);
-    EXPECT_EQ(l2_blocks, 0);
+    EXPECT_EQ(CacheInspector(h->l1(0)).validBlockCount(), 0u);
+    EXPECT_EQ(CacheInspector(h->l2(0)).validBlockCount(), 0u);
 }
 
 TEST(Flush, DirtyDataSurvivesFlush)
@@ -56,7 +54,7 @@ TEST(Flush, DoesNotTouchOtherCores)
     auto h = tinyHierarchy(PolicyKind::NonInclusive);
     readBlock(*h, 1, 7);
     h->flushPrivate(0);
-    EXPECT_NE(h->l1(1).probe(7), nullptr);
+    EXPECT_TRUE(h->l1(1).probe(7));
 }
 
 TEST(Flush, IsIdempotent)
@@ -76,8 +74,8 @@ TEST(SwitchingLeaders, FlexLeaderSetsBehaveDifferently)
     auto h = tinyHierarchy(PolicyKind::Flexclusion);
     readBlock(*h, 0, 32); // maps to LLC set 0 -> noni leader
     readBlock(*h, 0, 33); // maps to LLC set 1 -> ex leader
-    EXPECT_NE(h->llc().probe(32), nullptr);
-    EXPECT_EQ(h->llc().probe(33), nullptr);
+    EXPECT_TRUE(h->llc().probe(32));
+    EXPECT_FALSE(h->llc().probe(33));
 }
 
 TEST(SwitchingLeaders, DswitchAdaptsAwayFromWriteHeavyExclusion)
@@ -86,7 +84,8 @@ TEST(SwitchingLeaders, DswitchAdaptsAwayFromWriteHeavyExclusion)
     // exclusive leader sets; after an epoch the followers must run
     // non-inclusively.
     auto h = tinyHierarchy(PolicyKind::Dswitch);
-    auto &policy = dynamic_cast<DswitchPolicy &>(h->policy());
+    DswitchPolicy *policy = h->policy().tryAs<DswitchPolicy>();
+    ASSERT_NE(policy, nullptr);
     Cycle now = 0;
     for (int pass = 0; pass < 40; ++pass) {
         for (std::uint64_t blk = 0; blk < 64; ++blk) {
@@ -94,14 +93,15 @@ TEST(SwitchingLeaders, DswitchAdaptsAwayFromWriteHeavyExclusion)
             now += 10;
         }
     }
-    EXPECT_GE(policy.duel().epochsElapsed(), 1u);
-    EXPECT_TRUE(policy.nonInclusiveAt(2)); // follower set
+    EXPECT_GE(policy->duel().epochsElapsed(), 1u);
+    EXPECT_TRUE(policy->nonInclusiveAt(2)); // follower set
 }
 
 TEST(LapDueling, FollowerReplacementCanSwitchMidRun)
 {
     auto h = tinyHierarchy(PolicyKind::Lap);
-    auto &policy = dynamic_cast<LapPolicy &>(h->policy());
+    LapPolicy *policy = h->policy().tryAs<LapPolicy>();
+    ASSERT_NE(policy, nullptr);
     // Drive past several epochs with mixed traffic.
     Rng rng(6);
     Cycle now = 0;
@@ -112,7 +112,7 @@ TEST(LapDueling, FollowerReplacementCanSwitchMidRun)
                   now);
         now += 12;
     }
-    EXPECT_GE(policy.duel().epochsElapsed(), 3u);
+    EXPECT_GE(policy->duel().epochsElapsed(), 3u);
 }
 
 TEST(Geometry, RripLlcSupportsAllPolicies)
@@ -178,8 +178,8 @@ TEST(Sites, PropagateToVictims)
     auto h = tinyHierarchy(PolicyKind::Exclusive);
     h->access(0, 64, AccessType::Read, 0, /*site=*/77);
     h->flushPrivate(0);
-    ASSERT_NE(h->llc().probe(1), nullptr);
-    EXPECT_EQ(h->llc().probe(1)->site, 77u);
+    ASSERT_TRUE(h->llc().probe(1));
+    EXPECT_EQ(h->llc().probe(1).site(), 77u);
 }
 
 TEST(Sites, UpdatedOnRepeatedAccess)
@@ -187,8 +187,8 @@ TEST(Sites, UpdatedOnRepeatedAccess)
     auto h = tinyHierarchy(PolicyKind::Exclusive);
     h->access(0, 64, AccessType::Read, 0, 1);
     h->access(0, 64, AccessType::Read, 0, 2); // L1 hit, new site
-    EXPECT_EQ(h->l1(0).probe(1)->site, 2u);
-    EXPECT_EQ(h->l2(0).probe(1)->site, 2u);
+    EXPECT_EQ(h->l1(0).probe(1).site(), 2u);
+    EXPECT_EQ(h->l2(0).probe(1).site(), 2u);
 }
 
 TEST(Counters, L1EnergyEventsTracked)
@@ -207,16 +207,17 @@ TEST(Counters, L1EnergyEventsTracked)
 TEST(Counters, LoopResidencyAndDirtyFraction)
 {
     auto h = tinyHierarchy(PolicyKind::Lap);
-    EXPECT_DOUBLE_EQ(h->llcLoopResidency(), 0.0); // empty cache
+    const CacheInspector llc(h->llc());
+    EXPECT_DOUBLE_EQ(llc.loopResidency(), 0.0); // empty cache
     for (int pass = 0; pass < 4; ++pass) {
         for (std::uint64_t blk = 0; blk < 64; ++blk)
             readBlock(*h, 0, blk);
     }
-    EXPECT_GT(h->llcLoopResidency(), 0.3);
+    EXPECT_GT(llc.loopResidency(), 0.3);
     for (std::uint64_t blk = 0; blk < 64; ++blk)
         writeBlock(*h, 0, blk);
     h->flushPrivate(0);
-    EXPECT_GT(h->llcDirtyFraction(), 0.5);
+    EXPECT_GT(llc.dirtyFraction(), 0.5);
 }
 
 TEST(Timing, DemandReadsQueueBehindEachOtherPerBank)
@@ -262,11 +263,12 @@ TEST(Policy, InclusiveNeverExceedsLlcContentsUpstairs)
     // Inclusion invariant after heavy traffic.
     for (CoreId core = 0; core < 2; ++core) {
         for (Cache *cache : {&h->l1(core), &h->l2(core)}) {
-            cache->forEachBlock([&](const CacheBlock &blk) {
-                EXPECT_NE(h->llc().probe(blk.blockAddr), nullptr)
-                    << "upper block " << blk.blockAddr
-                    << " missing from inclusive LLC";
-            });
+            CacheInspector(*cache).forEachValid(
+                [&](const BlockInfo &blk) {
+                    EXPECT_TRUE(h->llc().probe(blk.blockAddr))
+                        << "upper block " << blk.blockAddr
+                        << " missing from inclusive LLC";
+                });
         }
     }
 }
@@ -281,7 +283,7 @@ TEST(Policy, ExclusiveLlcHoldsNoUpperDuplicatesSteadyState)
     // exclusive flows never create them (duplicates could only
     // appear transiently via mode switching, absent here).
     std::uint64_t duplicates = 0;
-    h->l2(0).forEachBlock([&](const CacheBlock &blk) {
+    CacheInspector(h->l2(0)).forEachValid([&](const BlockInfo &blk) {
         if (h->llc().probe(blk.blockAddr))
             duplicates++;
     });

@@ -151,13 +151,13 @@ TEST_P(PolicyProperty, NoDuplicateTagsWithinLlc)
     auto &llc = h->llc();
     for (std::uint64_t set = 0; set < llc.numSets(); ++set) {
         for (std::uint32_t w1 = 0; w1 < llc.assoc(); ++w1) {
-            const auto &a = llc.blockAt(set, w1);
-            if (!a.valid)
+            const BlockView a = llc.blockAt(set, w1);
+            if (!a.valid())
                 continue;
             for (std::uint32_t w2 = w1 + 1; w2 < llc.assoc(); ++w2) {
-                const auto &b = llc.blockAt(set, w2);
-                if (b.valid) {
-                    EXPECT_NE(a.blockAddr, b.blockAddr);
+                const BlockView b = llc.blockAt(set, w2);
+                if (b.valid()) {
+                    EXPECT_NE(a.blockAddr(), b.blockAddr());
                 }
             }
         }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/inspector.hh"
 #include "core/hybrid_placement.hh"
 #include "test_util.hh"
 
@@ -58,7 +59,7 @@ TEST(Lhybrid, InsertTargetsSramFirst)
     auto placement = LhybridPlacement::lhybrid();
     const auto out = placement->insert(llc, set0Block(0), {});
     EXPECT_EQ(out.writeRegion, MemTech::SRAM);
-    EXPECT_EQ(llc.wayTech(llc.wayOf(*llc.probe(set0Block(0)))),
+    EXPECT_EQ(llc.wayTech(llc.probe(set0Block(0)).way()),
               MemTech::SRAM);
 }
 
@@ -76,12 +77,12 @@ TEST(Lhybrid, SramPressureMigratesMruLoopBlock)
     EXPECT_EQ(out.migrations, 1u);
     EXPECT_FALSE(out.eviction.valid); // nothing left the cache
     // Loop-block now in STT, incoming block in SRAM.
-    const CacheBlock *migrated = llc.probe(set0Block(0));
-    ASSERT_NE(migrated, nullptr);
-    EXPECT_EQ(llc.wayTech(llc.wayOf(*migrated)), MemTech::STTRAM);
-    EXPECT_TRUE(migrated->loopBit);
-    const CacheBlock *incoming = llc.probe(set0Block(1));
-    EXPECT_EQ(llc.wayTech(llc.wayOf(*incoming)), MemTech::SRAM);
+    BlockView migrated = llc.probe(set0Block(0));
+    ASSERT_TRUE(migrated);
+    EXPECT_EQ(llc.wayTech(migrated.way()), MemTech::STTRAM);
+    EXPECT_TRUE(migrated.loopBit());
+    BlockView incoming = llc.probe(set0Block(1));
+    EXPECT_EQ(llc.wayTech(incoming.way()), MemTech::SRAM);
 }
 
 TEST(Lhybrid, IncomingLoopBlockGoesToSttWhenSramHasNone)
@@ -95,7 +96,7 @@ TEST(Lhybrid, IncomingLoopBlockGoesToSttWhenSramHasNone)
     const auto out = placement->insert(llc, set0Block(1), loop);
     EXPECT_EQ(out.writeRegion, MemTech::STTRAM);
     EXPECT_EQ(out.migrations, 0u);
-    EXPECT_EQ(llc.wayTech(llc.wayOf(*llc.probe(set0Block(1)))),
+    EXPECT_EQ(llc.wayTech(llc.probe(set0Block(1)).way()),
               MemTech::STTRAM);
 }
 
@@ -113,7 +114,7 @@ TEST(Lhybrid, NoLoopBlocksEvictsSramLruWhenSttFull)
     EXPECT_TRUE(out.eviction.valid);
     EXPECT_EQ(out.eviction.blockAddr, set0Block(0));
     EXPECT_EQ(out.migrations, 0u);
-    EXPECT_EQ(llc.probe(set0Block(0)), nullptr);
+    EXPECT_FALSE(llc.probe(set0Block(0)));
 }
 
 TEST(Lhybrid, DisplacedSramBlockUsesInvalidSttEntry)
@@ -126,9 +127,9 @@ TEST(Lhybrid, DisplacedSramBlockUsesInvalidSttEntry)
     const auto out = placement->insert(llc, set0Block(1), {});
     EXPECT_FALSE(out.eviction.valid);
     EXPECT_EQ(out.migrations, 1u);
-    const CacheBlock *moved = llc.probe(set0Block(0));
-    ASSERT_NE(moved, nullptr);
-    EXPECT_EQ(llc.wayTech(llc.wayOf(*moved)), MemTech::STTRAM);
+    BlockView moved = llc.probe(set0Block(0));
+    ASSERT_TRUE(moved);
+    EXPECT_EQ(llc.wayTech(moved.way()), MemTech::STTRAM);
 }
 
 TEST(Lhybrid, SttVictimSelectionIsLoopAware)
@@ -157,20 +158,20 @@ TEST(Lhybrid, WinvRedirectsDirtyHitFromSttToSram)
     auto placement = LhybridPlacement::winvOnly();
     // Duplicate lives in STT.
     llc.insert(set0Block(3), {}, 1, Cache::kAllWays);
-    CacheBlock *dup = llc.probe(set0Block(3));
-    ASSERT_NE(dup, nullptr);
+    BlockView dup = llc.probe(set0Block(3));
+    ASSERT_TRUE(dup);
 
     Cache::InsertAttrs dirty;
     dirty.dirty = true;
     dirty.version = 9;
     PlacementOutcome out;
-    ASSERT_TRUE(placement->handleDirtyVictimHit(llc, *dup, dirty, out));
+    ASSERT_TRUE(placement->handleDirtyVictimHit(llc, dup, dirty, out));
     EXPECT_EQ(out.writeRegion, MemTech::SRAM);
-    const CacheBlock *moved = llc.probe(set0Block(3));
-    ASSERT_NE(moved, nullptr);
-    EXPECT_EQ(llc.wayTech(llc.wayOf(*moved)), MemTech::SRAM);
-    EXPECT_TRUE(moved->dirty);
-    EXPECT_EQ(moved->version, 9u);
+    BlockView moved = llc.probe(set0Block(3));
+    ASSERT_TRUE(moved);
+    EXPECT_EQ(llc.wayTech(moved.way()), MemTech::SRAM);
+    EXPECT_TRUE(moved.dirty());
+    EXPECT_EQ(moved.version(), 9u);
 }
 
 TEST(Lhybrid, WinvLeavesSramDuplicatesAlone)
@@ -178,9 +179,9 @@ TEST(Lhybrid, WinvLeavesSramDuplicatesAlone)
     Cache llc(hybridCacheParams());
     auto placement = LhybridPlacement::winvOnly();
     llc.insert(set0Block(3), {}, 0, 1); // SRAM duplicate
-    CacheBlock *dup = llc.probe(set0Block(3));
+    BlockView dup = llc.probe(set0Block(3));
     PlacementOutcome out;
-    EXPECT_FALSE(placement->handleDirtyVictimHit(llc, *dup, {}, out));
+    EXPECT_FALSE(placement->handleDirtyVictimHit(llc, dup, {}, out));
 }
 
 TEST(Lhybrid, LoopSttOnlySteersLoopBlocks)
@@ -190,7 +191,7 @@ TEST(Lhybrid, LoopSttOnlySteersLoopBlocks)
     Cache::InsertAttrs loop;
     loop.loopBit = true;
     placement->insert(llc, set0Block(0), loop);
-    EXPECT_EQ(llc.wayTech(llc.wayOf(*llc.probe(set0Block(0)))),
+    EXPECT_EQ(llc.wayTech(llc.probe(set0Block(0)).way()),
               MemTech::STTRAM);
     // Non-loop blocks use the whole set (uniform).
     const auto out = placement->insert(llc, set0Block(1), {});
@@ -202,7 +203,7 @@ TEST(Lhybrid, NloopSramOnlySteersNonLoopBlocks)
     Cache llc(hybridCacheParams());
     auto placement = LhybridPlacement::nloopSramOnly();
     placement->insert(llc, set0Block(0), {});
-    EXPECT_EQ(llc.wayTech(llc.wayOf(*llc.probe(set0Block(0)))),
+    EXPECT_EQ(llc.wayTech(llc.probe(set0Block(0)).way()),
               MemTech::SRAM);
     // With the single SRAM way full but STT capacity spare, the
     // displaced block spills into STT; once STT is also full the
@@ -242,10 +243,10 @@ TEST(LhybridEndToEnd, LoopBlocksConcentrateInStt)
     }
     std::uint64_t loop_stt = 0, loop_sram = 0;
     auto &llc = h->llc();
-    llc.forEachBlock([&](const CacheBlock &blk) {
+    CacheInspector(llc).forEachValid([&](const BlockInfo &blk) {
         if (!blk.loopBit)
             return;
-        if (llc.wayTech(llc.wayOf(blk)) == MemTech::STTRAM)
+        if (llc.wayTech(blk.way) == MemTech::STTRAM)
             loop_stt++;
         else
             loop_sram++;

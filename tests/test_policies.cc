@@ -6,8 +6,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/lap_policy.hh"
 #include "core/policy_factory.hh"
+#include "hierarchy/lap_policy.hh"
 #include "hierarchy/baseline_policies.hh"
 #include "hierarchy/switching_policies.hh"
 
@@ -20,7 +20,7 @@ constexpr std::uint64_t kSets = 128;
 
 TEST(Baselines, InclusiveDecisions)
 {
-    InclusivePolicy p;
+    InclusionEngine p{InclusivePolicy{}};
     EXPECT_TRUE(p.fillLlcOnMiss(0));
     EXPECT_FALSE(p.invalidateOnLlcHit(0));
     EXPECT_FALSE(p.insertCleanVictim(0));
@@ -31,7 +31,7 @@ TEST(Baselines, InclusiveDecisions)
 TEST(Baselines, NonInclusiveDecisions)
 {
     // Fig 8: noni — invalidate N, fill Y, clean writeback N.
-    NonInclusivePolicy p;
+    InclusionEngine p{NonInclusivePolicy{}};
     EXPECT_TRUE(p.fillLlcOnMiss(0));
     EXPECT_FALSE(p.invalidateOnLlcHit(0));
     EXPECT_FALSE(p.insertCleanVictim(0));
@@ -41,7 +41,7 @@ TEST(Baselines, NonInclusiveDecisions)
 TEST(Baselines, ExclusiveDecisions)
 {
     // Fig 8: ex — invalidate Y, fill N, clean writeback Y.
-    ExclusivePolicy p;
+    InclusionEngine p{ExclusivePolicy{}};
     EXPECT_FALSE(p.fillLlcOnMiss(0));
     EXPECT_TRUE(p.invalidateOnLlcHit(0));
     EXPECT_TRUE(p.insertCleanVictim(0));
@@ -51,7 +51,7 @@ TEST(Baselines, ExclusiveDecisions)
 TEST(Lap, Decisions)
 {
     // Fig 8: LAP — invalidate N, fill N, clean writeback if absent.
-    LapPolicy p(kSets, 1000);
+    InclusionEngine p{LapPolicy(kSets, 1000)};
     EXPECT_FALSE(p.fillLlcOnMiss(0));
     EXPECT_FALSE(p.invalidateOnLlcHit(0));
     EXPECT_TRUE(p.insertCleanVictim(0));
@@ -145,10 +145,12 @@ TEST(Flexclusion, BandwidthGuardPrefersNonInclusion)
 
 TEST(Flexclusion, IgnoresWriteCosts)
 {
-    FlexclusionPolicy p(kSets, 1000, 0.05, 64);
-    // Writes don't influence FLEXclusion (the paper's criticism).
+    InclusionEngine e{FlexclusionPolicy(kSets, 1000, 0.05, 64)};
+    // Writes don't influence FLEXclusion (the paper's criticism):
+    // the engine drops the write notification on the floor.
     for (int i = 0; i < 1000; ++i)
-        p.noteLlcWrite(1);
+        e.noteLlcWrite(1);
+    FlexclusionPolicy &p = *e.tryAs<FlexclusionPolicy>();
     p.duel().evaluateNow();
     EXPECT_TRUE(p.nonInclusiveAt(2)); // ties keep non-inclusion
     EXPECT_DOUBLE_EQ(p.duel().costB(), 0.0);
@@ -179,9 +181,8 @@ TEST(Dswitch, WeighsWritesAndMisses)
 TEST(Factory, BuildsEveryKind)
 {
     for (PolicyKind kind : allPolicyKinds()) {
-        auto p = makeInclusionPolicy(kind, kSets);
-        ASSERT_NE(p, nullptr);
-        EXPECT_EQ(p->name(), toString(kind));
+        InclusionEngine p = makeInclusionPolicy(kind, kSets);
+        EXPECT_EQ(p.name(), toString(kind));
     }
 }
 
@@ -212,12 +213,12 @@ class DecisionTable : public ::testing::TestWithParam<PolicyRow>
 TEST_P(DecisionTable, MatchesFigEight)
 {
     const PolicyRow row = GetParam();
-    auto p = makeInclusionPolicy(row.kind, kSets);
+    InclusionEngine p = makeInclusionPolicy(row.kind, kSets);
     // Probe a follower set under initial conditions.
     const std::uint64_t set = 2;
-    EXPECT_EQ(p->fillLlcOnMiss(set), row.fill) << toString(row.kind);
-    EXPECT_EQ(p->invalidateOnLlcHit(set), row.invalidate);
-    EXPECT_EQ(p->insertCleanVictim(set), row.clean_insert);
+    EXPECT_EQ(p.fillLlcOnMiss(set), row.fill) << toString(row.kind);
+    EXPECT_EQ(p.invalidateOnLlcHit(set), row.invalidate);
+    EXPECT_EQ(p.insertCleanVictim(set), row.clean_insert);
 }
 
 INSTANTIATE_TEST_SUITE_P(

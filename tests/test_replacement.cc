@@ -1,173 +1,171 @@
 /**
  * @file
- * Unit tests for the replacement policies, including the eligibility
+ * Unit tests for the replacement engine, including the eligibility
  * masks used by the loop-block-aware victim filter and the hybrid
  * way partitions.
  */
 
 #include <gtest/gtest.h>
 
-#include <vector>
-
 #include "cache/replacement.hh"
+#include "cache/tag_store.hh"
 
 namespace lap
 {
 namespace
 {
 
-std::vector<CacheBlock>
-validSet(std::size_t ways)
+/** One-set tag store with every way holding a valid block. */
+TagStore
+filledSet(std::uint32_t ways)
 {
-    std::vector<CacheBlock> set(ways);
-    for (std::size_t i = 0; i < ways; ++i) {
-        set[i].valid = true;
-        set[i].blockAddr = i;
-    }
-    return set;
+    TagStore ts(1, ways);
+    for (std::uint32_t w = 0; w < ways; ++w)
+        ts.install(w, w, false, false, 0, FillState::NotFill,
+                   CohState::Invalid, 0);
+    return ts;
 }
 
 TEST(Lru, VictimIsLeastRecentlyTouched)
 {
-    LruPolicy lru;
-    auto set = validSet(4);
-    for (auto &blk : set)
-        lru.onFill(blk);
-    lru.onHit(set[0]); // order now: 1, 2, 3, 0
-    EXPECT_EQ(lru.victimAmong(set, 0b1111), 1u);
-    lru.onHit(set[1]);
-    EXPECT_EQ(lru.victimAmong(set, 0b1111), 2u);
+    Replacement lru(ReplKind::Lru);
+    TagStore ts = filledSet(4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.onFill(ts, w);
+    lru.onHit(ts, 0); // order now: 1, 2, 3, 0
+    EXPECT_EQ(lru.victimAmong(ts, 0, 0b1111), 1u);
+    lru.onHit(ts, 1);
+    EXPECT_EQ(lru.victimAmong(ts, 0, 0b1111), 2u);
 }
 
 TEST(Lru, VictimHonorsEligibilityMask)
 {
-    LruPolicy lru;
-    auto set = validSet(4);
-    for (auto &blk : set)
-        lru.onFill(blk); // LRU order = way 0 oldest
-    EXPECT_EQ(lru.victimAmong(set, 0b1100), 2u);
-    EXPECT_EQ(lru.victimAmong(set, 0b1000), 3u);
+    Replacement lru(ReplKind::Lru);
+    TagStore ts = filledSet(4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.onFill(ts, w); // LRU order = way 0 oldest
+    EXPECT_EQ(lru.victimAmong(ts, 0, 0b1100), 2u);
+    EXPECT_EQ(lru.victimAmong(ts, 0, 0b1000), 3u);
 }
 
 TEST(Lru, MruIsMostRecentlyTouched)
 {
-    LruPolicy lru;
-    auto set = validSet(4);
-    for (auto &blk : set)
-        lru.onFill(blk);
-    EXPECT_EQ(lru.mruAmong(set, 0b1111), 3u);
-    lru.onHit(set[1]);
-    EXPECT_EQ(lru.mruAmong(set, 0b1111), 1u);
-    EXPECT_EQ(lru.mruAmong(set, 0b1101), 3u);
+    Replacement lru(ReplKind::Lru);
+    TagStore ts = filledSet(4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.onFill(ts, w);
+    EXPECT_EQ(lru.mruAmong(ts, 0, 0b1111), 3u);
+    lru.onHit(ts, 1);
+    EXPECT_EQ(lru.mruAmong(ts, 0, 0b1111), 1u);
+    EXPECT_EQ(lru.mruAmong(ts, 0, 0b1101), 3u);
 }
 
 TEST(Lru, ClockAdvancesOnTouch)
 {
-    LruPolicy lru;
-    CacheBlock blk;
+    Replacement lru(ReplKind::Lru);
+    TagStore ts(1, 1);
     const auto before = lru.clock();
-    lru.onFill(blk);
-    lru.onHit(blk);
+    lru.onFill(ts, 0);
+    lru.onHit(ts, 0);
     EXPECT_EQ(lru.clock(), before + 2);
 }
 
 TEST(Rrip, FillInsertsLongReuse)
 {
-    RripPolicy rrip;
-    CacheBlock blk;
-    rrip.onFill(blk);
-    EXPECT_EQ(blk.rrpv, 2);
-    rrip.onHit(blk);
-    EXPECT_EQ(blk.rrpv, 0);
+    Replacement rrip(ReplKind::Rrip);
+    TagStore ts(1, 1);
+    rrip.onFill(ts, 0);
+    EXPECT_EQ(ts.rrpv(0), 2);
+    rrip.onHit(ts, 0);
+    EXPECT_EQ(ts.rrpv(0), 0);
 }
 
 TEST(Rrip, VictimPrefersDistantRrpv)
 {
-    RripPolicy rrip;
-    auto set = validSet(4);
-    for (auto &blk : set)
-        rrip.onFill(blk);
-    set[2].rrpv = 3;
-    EXPECT_EQ(rrip.victimAmong(set, 0b1111), 2u);
+    Replacement rrip(ReplKind::Rrip);
+    TagStore ts = filledSet(4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        rrip.onFill(ts, w);
+    ts.setRrpv(2, 3);
+    EXPECT_EQ(rrip.victimAmong(ts, 0, 0b1111), 2u);
 }
 
 TEST(Rrip, AgesUntilVictimFound)
 {
-    RripPolicy rrip;
-    auto set = validSet(4);
-    for (auto &blk : set) {
-        rrip.onFill(blk);
-        rrip.onHit(blk); // all rrpv = 0
+    Replacement rrip(ReplKind::Rrip);
+    TagStore ts = filledSet(4);
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        rrip.onFill(ts, w);
+        rrip.onHit(ts, w); // all rrpv = 0
     }
-    const auto victim = rrip.victimAmong(set, 0b1111);
+    const auto victim = rrip.victimAmong(ts, 0, 0b1111);
     EXPECT_LT(victim, 4u);
     // Aging must have advanced everyone to the max.
-    for (const auto &blk : set)
-        EXPECT_EQ(blk.rrpv, 3);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        EXPECT_EQ(ts.rrpv(w), 3);
 }
 
 TEST(Rrip, MruIsSmallestRrpv)
 {
-    RripPolicy rrip;
-    auto set = validSet(4);
-    for (auto &blk : set)
-        rrip.onFill(blk);
-    set[3].rrpv = 0;
-    EXPECT_EQ(rrip.mruAmong(set, 0b1111), 3u);
+    Replacement rrip(ReplKind::Rrip);
+    TagStore ts = filledSet(4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        rrip.onFill(ts, w);
+    ts.setRrpv(3, 0);
+    EXPECT_EQ(rrip.mruAmong(ts, 0, 0b1111), 3u);
 }
 
 TEST(Random, VictimAlwaysEligible)
 {
-    RandomPolicy rnd(7);
-    auto set = validSet(8);
+    Replacement rnd(ReplKind::Random, 7);
+    TagStore ts = filledSet(8);
     for (int i = 0; i < 200; ++i) {
-        const auto v = rnd.victimAmong(set, 0b10100100);
+        const auto v = rnd.victimAmong(ts, 0, 0b10100100);
         EXPECT_TRUE(v == 2 || v == 5 || v == 7);
     }
 }
 
 TEST(Random, SingleCandidate)
 {
-    RandomPolicy rnd(7);
-    auto set = validSet(4);
+    Replacement rnd(ReplKind::Random, 7);
+    TagStore ts = filledSet(4);
     for (int i = 0; i < 20; ++i)
-        EXPECT_EQ(rnd.victimAmong(set, 0b0100), 2u);
+        EXPECT_EQ(rnd.victimAmong(ts, 0, 0b0100), 2u);
 }
 
-TEST(Factory, BuildsEachKind)
+TEST(Replacement, NamesEachKind)
 {
-    EXPECT_EQ(makeReplacementPolicy(ReplKind::Lru, 1)->name(), "LRU");
-    EXPECT_EQ(makeReplacementPolicy(ReplKind::Rrip, 1)->name(), "RRIP");
-    EXPECT_EQ(makeReplacementPolicy(ReplKind::Random, 1)->name(),
-              "Random");
+    EXPECT_EQ(Replacement(ReplKind::Lru).name(), "LRU");
+    EXPECT_EQ(Replacement(ReplKind::Rrip).name(), "RRIP");
+    EXPECT_EQ(Replacement(ReplKind::Random).name(), "Random");
 }
 
-/** Every policy must pick only eligible ways. */
+/** Every algorithm must pick only eligible ways. */
 class AnyPolicy : public ::testing::TestWithParam<ReplKind>
 {
 };
 
 TEST_P(AnyPolicy, VictimRespectsMask)
 {
-    auto policy = makeReplacementPolicy(GetParam(), 11);
-    auto set = validSet(8);
-    for (auto &blk : set)
-        policy->onFill(blk);
+    Replacement policy(GetParam(), 11);
+    TagStore ts = filledSet(8);
+    for (std::uint32_t w = 0; w < 8; ++w)
+        policy.onFill(ts, w);
     for (std::uint64_t mask :
          {0b1ULL, 0b10000000ULL, 0b01010101ULL, 0b11110000ULL}) {
-        const auto v = policy->victimAmong(set, mask);
+        const auto v = policy.victimAmong(ts, 0, mask);
         EXPECT_TRUE(mask & (1ULL << v))
             << toString(GetParam()) << " mask " << mask;
-        const auto m = policy->mruAmong(set, mask);
+        const auto m = policy.mruAmong(ts, 0, mask);
         EXPECT_TRUE(mask & (1ULL << m));
     }
 }
 
 TEST_P(AnyPolicy, DiesWithEmptyMask)
 {
-    auto policy = makeReplacementPolicy(GetParam(), 11);
-    auto set = validSet(4);
-    EXPECT_DEATH(policy->victimAmong(set, 0), "");
+    Replacement policy(GetParam(), 11);
+    TagStore ts = filledSet(4);
+    EXPECT_DEATH(policy.victimAmong(ts, 0, 0), "");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, AnyPolicy,

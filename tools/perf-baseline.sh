@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the simulation-throughput harness on pinned CPU 0 (when
+# taskset is available) and refreshes the committed BENCH_engine.json
+# in the repo root. Pass --check to gate instead of refresh: the
+# harness then fails if any workload regressed more than 10% against
+# the committed numbers (the CI perf job runs this mode).
+#
+#   tools/perf-baseline.sh                 refresh BENCH_engine.json
+#   tools/perf-baseline.sh --check         regression gate vs committed
+#   tools/perf-baseline.sh --baseline F    refresh, embedding F's
+#                                          numbers as the pre-change
+#                                          baseline (records speedup)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE=refresh
+BASELINE=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --check) MODE=check ;;
+      --baseline) BASELINE="$2"; shift ;;
+      *) echo "unknown flag $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$(nproc)" --target perf_harness >/dev/null
+
+PIN=""
+if command -v taskset >/dev/null 2>&1; then
+    PIN="taskset -c 0"
+fi
+
+if [[ "$MODE" == check ]]; then
+    exec $PIN ./build/bench/perf_harness --check BENCH_engine.json \
+        --tolerance 0.10
+elif [[ -n "$BASELINE" ]]; then
+    exec $PIN ./build/bench/perf_harness --json BENCH_engine.json \
+        --baseline "$BASELINE"
+else
+    exec $PIN ./build/bench/perf_harness --json BENCH_engine.json
+fi
