@@ -54,6 +54,11 @@ const char *kHelp =
     "  --jobs N                worker threads (default 1)\n"
     "  --out PATH              stream results to a JSONL file\n"
     "  --resume                skip jobs already 'ok' in --out\n"
+    "  --restore               also checkpoint each running job and\n"
+    "                          restore interrupted jobs mid-flight\n"
+    "                          (implies --resume; needs --out)\n"
+    "  --checkpoint-every N    snapshot cadence for --restore, in\n"
+    "                          references (default ~4 per job)\n"
     "  --list                  print the expanded grid and exit\n"
     "\n"
     "aggregation (reads JSONL, prints a table):\n"
@@ -183,6 +188,17 @@ main(int argc, char **argv)
             engine.outPath = next();
         } else if (flag == "--resume") {
             engine.resume = true;
+        } else if (flag == "--restore") {
+            engine.midJobRestore = true;
+        } else if (flag == "--checkpoint-every") {
+            char *end = nullptr;
+            const std::string &value = next();
+            const auto parsed =
+                std::strtoull(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0' || parsed == 0)
+                lap_fatal(
+                    "--checkpoint-every: expected a positive number");
+            engine.checkpointEvery = parsed;
         } else if (flag == "--list") {
             list_only = true;
         } else if (flag == "--aggregate") {
@@ -232,6 +248,10 @@ main(int argc, char **argv)
     if (!have_workloads)
         lap_fatal("no workloads; use --spec/--mix/--duplicate/"
                   "--benchmarks/--parsec (see --help)");
+
+    if (engine.midJobRestore && engine.outPath.empty())
+        lap_fatal("--restore needs --out (job snapshots live beside "
+                  "the results file)");
 
     if (list_only) {
         Table table({"#", "hash", "label", "key"});

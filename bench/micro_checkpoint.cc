@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Checkpoint cost microbenchmark: how expensive is a snapshot?
+ *
+ * Measures, for a representative two-core run:
+ *   - save:     mean wall time of Simulator::saveCheckpoint() (build
+ *               the full payload, CRC it, atomic file replace) and
+ *               the resulting file size,
+ *   - read:     mean wall time of readCheckpointFile() (read + frame
+ *               validation + CRC scan), the fixed cost every restore
+ *               and every campaign-resume validity probe pays,
+ *   - resume:   wall time of a run restored at mid-measurement vs the
+ *               same run uninterrupted — the end-to-end saving a
+ *               mid-job campaign resume buys.
+ *
+ * Self-timing (not google-benchmark) because one "iteration" is a
+ * whole simulator run; the save/read loops repeat enough times for a
+ * stable mean. Not a CI gate — a sizing tool for picking
+ * --checkpoint-every cadences (see EXPERIMENTS.md).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "sim/checkpoint.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now()
+                                                     - start)
+        .count();
+}
+
+SimConfig
+benchConfig()
+{
+    SimConfig config;
+    config.numCores = 2;
+    config.l1Size = 16 * 1024;
+    config.l2Size = 128 * 1024;
+    config.llcSize = 2 * 1024 * 1024;
+    config.warmupRefs = 20'000;
+    config.measureRefs = 80'000;
+    return config;
+}
+
+std::size_t
+fileSize(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return 0;
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fclose(file);
+    return size < 0 ? 0 : static_cast<std::size_t>(size);
+}
+
+} // namespace
+} // namespace lap
+
+int
+main()
+{
+    using namespace lap;
+
+    const std::string path = "BENCH_checkpoint.ckpt";
+    const SimConfig config = benchConfig();
+    const auto workload = resolveMix(duplicateMix("mcf", 2));
+
+    // Uninterrupted reference run; its hook saves the snapshot once
+    // at mid-measurement and then times repeated saves of the same
+    // live state.
+    constexpr int kSaveReps = 50;
+    double save_ms = 0.0;
+    bool saved = false;
+    Simulator fresh(config);
+    fresh.setCheckpointHook(60'000, [&](std::uint64_t) {
+        if (saved)
+            return;
+        saved = true;
+        for (int rep = 0; rep < kSaveReps; ++rep) {
+            const auto start = Clock::now();
+            fresh.saveCheckpoint(path);
+            save_ms += millisSince(start);
+        }
+        save_ms /= kSaveReps;
+    });
+    fresh.run(workload);
+    if (!saved) {
+        std::fprintf(stderr, "checkpoint hook never fired\n");
+        return 1;
+    }
+    const std::size_t bytes = fileSize(path);
+
+    // Clean full-run wall time (no hook, no saves) as the baseline
+    // the resumed run is compared against.
+    Simulator full(config);
+    const auto full_start = Clock::now();
+    full.run(workload);
+    const double full_ms = millisSince(full_start);
+
+    // Read + validate cost (the campaign resume probe).
+    constexpr int kReadReps = 50;
+    double read_ms = 0.0;
+    for (int rep = 0; rep < kReadReps; ++rep) {
+        const auto start = Clock::now();
+        const std::string payload = readCheckpointFile(path, config);
+        read_ms += millisSince(start);
+        if (payload.empty()) // keep the read alive
+            return 1;
+    }
+    read_ms /= kReadReps;
+
+    // End-to-end resumed run from the snapshot.
+    SimConfig resumed_config = config;
+    resumed_config.restorePath = path;
+    Simulator resumed(resumed_config);
+    const auto resumed_start = Clock::now();
+    resumed.run(workload);
+    const double resumed_ms = millisSince(resumed_start);
+
+    std::printf("checkpoint size      %10zu bytes\n", bytes);
+    std::printf("save (build+crc+fs)  %10.3f ms\n", save_ms);
+    std::printf("read+validate        %10.3f ms\n", read_ms);
+    std::printf("full run             %10.3f ms\n", full_ms);
+    std::printf("resumed run          %10.3f ms (%.0f%% of full)\n",
+                resumed_ms, 100.0 * resumed_ms / full_ms);
+    std::remove(path.c_str());
+    return 0;
+}

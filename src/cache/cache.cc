@@ -219,4 +219,52 @@ Cache::writeOccupancy(MemTech tech) const
     return params_.writeLatency;
 }
 
+void
+Cache::saveState(ByteWriter &out) const
+{
+    store_.saveState(out);
+    out.vecU64(wayWrites_);
+    repl_.saveState(out);
+    out.vecU64(bankBusyUntil_);
+    out.u64(stats_.readHits);
+    out.u64(stats_.readMisses);
+    out.u64(stats_.writeHits);
+    out.u64(stats_.writeMisses);
+    out.u64(stats_.fills);
+    out.u64(stats_.evictionsClean);
+    out.u64(stats_.evictionsDirty);
+    out.u64(stats_.invalidations);
+    out.u64(stats_.tagAccesses);
+    for (std::uint64_t n : stats_.dataReads)
+        out.u64(n);
+    for (std::uint64_t n : stats_.dataWrites)
+        out.u64(n);
+}
+
+void
+Cache::loadState(ByteReader &in)
+{
+    store_.loadState(in);
+    in.vecU64(wayWrites_);
+    repl_.loadState(in);
+    in.vecU64(bankBusyUntil_);
+    if (wayWrites_.size() != numSets_ * params_.assoc
+        || bankBusyUntil_.size() != params_.banks)
+        lap_fatal("checkpoint cache '%s' does not match this "
+                  "geometry", params_.name.c_str());
+    stats_.readHits = in.u64();
+    stats_.readMisses = in.u64();
+    stats_.writeHits = in.u64();
+    stats_.writeMisses = in.u64();
+    stats_.fills = in.u64();
+    stats_.evictionsClean = in.u64();
+    stats_.evictionsDirty = in.u64();
+    stats_.invalidations = in.u64();
+    stats_.tagAccesses = in.u64();
+    for (std::uint64_t &n : stats_.dataReads)
+        n = in.u64();
+    for (std::uint64_t &n : stats_.dataWrites)
+        n = in.u64();
+}
+
 } // namespace lap

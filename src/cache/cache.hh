@@ -340,6 +340,13 @@ class Cache
     /** Recency clock of the replacement engine (LRU ordering). */
     std::uint64_t replClock() const { return repl_.clock(); }
 
+    // --- Checkpointing ----------------------------------------------
+    /** Serializes contents, replacement, bank timing, wear, stats. */
+    void saveState(ByteWriter &out) const;
+
+    /** Restores a snapshot taken on an identically configured cache. */
+    void loadState(ByteReader &in);
+
   private:
     friend class CacheInspector;
 

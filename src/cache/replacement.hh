@@ -194,6 +194,34 @@ class Replacement final
     /** Exposes the recency clock so tests can reason about order. */
     std::uint64_t clock() const { return clock_; }
 
+    /** Serializes the mutable state: Rng draws and recency clock. */
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u8(static_cast<std::uint8_t>(kind_));
+        std::uint64_t rng_state[4];
+        rng_.getState(rng_state);
+        for (std::uint64_t word : rng_state)
+            out.u64(word);
+        out.u64(clock_);
+    }
+
+    /** Restores the mutable state; the kind must match. */
+    void
+    loadState(ByteReader &in)
+    {
+        const auto kind = static_cast<ReplKind>(in.u8());
+        if (kind != kind_)
+            lap_fatal("checkpoint replacement kind '%s' does not "
+                      "match this cache's '%s'", toString(kind),
+                      toString(kind_));
+        std::uint64_t rng_state[4];
+        for (std::uint64_t &word : rng_state)
+            word = in.u64();
+        rng_.setState(rng_state);
+        clock_ = in.u64();
+    }
+
   private:
     /** Random pick: same draw sequence as the former RandomPolicy. */
     std::uint32_t

@@ -34,6 +34,7 @@
 
 #include "cache/cache_block.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace lap
@@ -235,6 +236,58 @@ class TagStore
         const std::uint64_t bit = bitOf(i);
         validMask_[setOf(i)] &= ~bit;
         loopMask_[setOf(i)] &= ~bit;
+    }
+
+    /** Serializes every column (checkpointing). */
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u64(numSets_);
+        out.u32(assoc_);
+        out.vecU64(tags_);
+        out.vecU8(flags_);
+        out.vecU8(coh_);
+        out.vecU8(fill_);
+        out.vecU8(rrpv_);
+        out.vecU64(lastTouch_);
+        out.vecU64(version_);
+        out.vecU32(site_);
+        out.vecU64(validMask_);
+        out.vecU64(loopMask_);
+    }
+
+    /** Restores every column; the geometry must match. */
+    void
+    loadState(ByteReader &in)
+    {
+        const std::uint64_t sets = in.u64();
+        const std::uint32_t assoc = in.u32();
+        if (sets != numSets_ || assoc != assoc_)
+            lap_fatal("checkpoint tag store is %llux%u but this cache "
+                      "is %llux%u",
+                      static_cast<unsigned long long>(sets), assoc,
+                      static_cast<unsigned long long>(numSets_),
+                      assoc_);
+        in.vecU64(tags_);
+        in.vecU8(flags_);
+        in.vecU8(coh_);
+        in.vecU8(fill_);
+        in.vecU8(rrpv_);
+        in.vecU64(lastTouch_);
+        in.vecU64(version_);
+        in.vecU32(site_);
+        in.vecU64(validMask_);
+        in.vecU64(loopMask_);
+        const std::size_t n =
+            static_cast<std::size_t>(numSets_) * assoc_;
+        if (tags_.size() != n || flags_.size() != n
+            || coh_.size() != n || fill_.size() != n
+            || rrpv_.size() != n || lastTouch_.size() != n
+            || version_.size() != n || site_.size() != n
+            || validMask_.size() != numSets_
+            || loopMask_.size() != numSets_)
+            lap_fatal("checkpoint tag-store columns do not match the "
+                      "declared geometry");
     }
 
   private:

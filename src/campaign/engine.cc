@@ -1,13 +1,16 @@
 #include "campaign/engine.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "campaign/sink.hh"
 #include "common/logging.hh"
+#include "sim/checkpoint.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "workloads/mixes.hh"
@@ -108,6 +111,32 @@ executeJob(const CampaignJob &job, JobOutcome &outcome)
     return metrics;
 }
 
+/**
+ * Rewrites a job's config for mid-job restore: checkpoint to the
+ * job's sibling snapshot file, and restore from it when a previous
+ * (interrupted) attempt left a valid one behind. An invalid or
+ * foreign snapshot is ignored — the job simply starts fresh.
+ */
+CampaignJob
+withJobCheckpointing(const CampaignJob &job,
+                     const EngineOptions &options)
+{
+    CampaignJob prepared = job;
+    const std::string ckpt =
+        jobCheckpointPath(options.outPath, job);
+    prepared.config.checkpointOut = ckpt;
+    prepared.config.checkpointEvery =
+        options.checkpointEvery != 0
+            ? options.checkpointEvery
+            : std::max<std::uint64_t>(
+                  1, (prepared.config.warmupRefs
+                      + prepared.config.measureRefs)
+                         * prepared.config.numCores / 4);
+    if (checkpointIsValid(ckpt, prepared.config))
+        prepared.config.restorePath = ckpt;
+    return prepared;
+}
+
 } // namespace
 
 const char *
@@ -147,6 +176,13 @@ runCampaignJob(const CampaignJob &job)
     }
     outcome.wallMs = elapsedMs(start);
     return outcome;
+}
+
+std::string
+jobCheckpointPath(const std::string &out_path,
+                  const CampaignJob &job)
+{
+    return out_path + "." + job.hash + ".ckpt";
 }
 
 std::string
@@ -204,13 +240,16 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &options)
     result.jobs = expandCampaign(spec);
     result.outcomes.resize(result.jobs.size());
 
+    const bool mid_job =
+        options.midJobRestore && !options.outPath.empty();
+    const bool resume = options.resume || mid_job;
+
     std::set<std::string> done_hashes;
     std::unique_ptr<JsonlSink> sink;
     if (!options.outPath.empty()) {
-        if (options.resume)
+        if (resume)
             done_hashes = loadCompletedHashes(options.outPath);
-        sink = std::make_unique<JsonlSink>(options.outPath,
-                                           options.resume);
+        sink = std::make_unique<JsonlSink>(options.outPath, resume);
     }
 
     std::atomic<std::size_t> next_job{0};
@@ -246,6 +285,14 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &options)
             const CampaignJob &job = result.jobs[index];
             if (done_hashes.count(job.hash) != 0) {
                 result.outcomes[index].status = JobStatus::Skipped;
+            } else if (mid_job) {
+                result.outcomes[index] = runCampaignJob(
+                    withJobCheckpointing(job, options));
+                // A completed job no longer needs its snapshot.
+                if (result.outcomes[index].status == JobStatus::Ok)
+                    std::remove(jobCheckpointPath(options.outPath,
+                                                  job)
+                                    .c_str());
             } else {
                 result.outcomes[index] = runCampaignJob(job);
             }

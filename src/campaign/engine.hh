@@ -61,6 +61,19 @@ struct EngineOptions
     /** Skip jobs whose hash already has an "ok" row in outPath. */
     bool resume = false;
     /**
+     * Mid-job restore (implies resume; needs outPath): every job
+     * periodically checkpoints to jobCheckpointPath(), and a job that
+     * was killed mid-flight restores from its snapshot instead of
+     * starting over. The snapshot is deleted once the job completes,
+     * so a finished campaign leaves no checkpoint files behind.
+     */
+    bool midJobRestore = false;
+    /**
+     * Checkpoint cadence in references for midJobRestore; 0 derives
+     * a cadence of roughly four snapshots per job.
+     */
+    std::uint64_t checkpointEvery = 0;
+    /**
      * Progress hook, invoked once per finished job under a lock
      * (safe to print from). Skipped jobs are reported too.
      */
@@ -97,6 +110,14 @@ struct CampaignResult
  * embedding jobs in other drivers.
  */
 JobOutcome runCampaignJob(const CampaignJob &job);
+
+/**
+ * Sibling checkpoint file of one campaign job
+ * ("<out_path>.<job hash>.ckpt"). Exposed so tests can plant or
+ * inspect the snapshot an interrupted job would leave behind.
+ */
+std::string jobCheckpointPath(const std::string &out_path,
+                              const CampaignJob &job);
 
 /** Serializes one job + outcome into a JSONL result row
  *  (`"type":"result"`). */

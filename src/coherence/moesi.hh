@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "cache/cache_block.hh"
+#include "common/serial.hh"
 
 namespace lap
 {
@@ -107,6 +108,26 @@ struct SnoopStats
     }
 
     void reset() { *this = SnoopStats{}; }
+
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u64(broadcasts);
+        out.u64(messages);
+        out.u64(dataTransfers);
+        out.u64(invalidations);
+        out.u64(upgrades);
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        broadcasts = in.u64();
+        messages = in.u64();
+        dataTransfers = in.u64();
+        invalidations = in.u64();
+        upgrades = in.u64();
+    }
 };
 
 } // namespace lap

@@ -85,6 +85,22 @@ class Rng
         return uniform() < p;
     }
 
+    /** Copies the raw generator state out (checkpointing). */
+    void
+    getState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Overwrites the raw generator state (checkpoint restore). */
+    void
+    setState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Little-endian binary serialization primitives for checkpoints.
+ *
+ * The checkpoint layer (sim/checkpoint.cc) frames and CRC-guards a
+ * payload; components serialize themselves into that payload with
+ * these two classes. The encoding is explicit little-endian with
+ * fixed widths, so snapshots are byte-identical across platforms.
+ * Doubles travel as their IEEE-754 bit patterns (the simulator's
+ * determinism guarantees extend to floating-point accumulator state,
+ * e.g. the core model's fractional issue debt).
+ *
+ * Every ByteReader access is bounds-checked and fails through
+ * lap_fatal with a "truncated" diagnostic, so a cut-off snapshot is
+ * rejected cleanly instead of read as garbage (and is catchable
+ * under ScopedFatalThrow).
+ */
+
+#ifndef LAPSIM_COMMON_SERIAL_HH
+#define LAPSIM_COMMON_SERIAL_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+/** Append-only little-endian byte sink. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    /** IEEE-754 bit pattern; restores bit-exact accumulator state. */
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    void
+    vecU8(const std::vector<std::uint8_t> &v)
+    {
+        u64(v.size());
+        buf_.append(reinterpret_cast<const char *>(v.data()),
+                    v.size());
+    }
+
+    void
+    vecU32(const std::vector<std::uint32_t> &v)
+    {
+        u64(v.size());
+        for (std::uint32_t x : v)
+            u32(x);
+    }
+
+    void
+    vecU64(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (std::uint64_t x : v)
+            u64(x);
+    }
+
+    const std::string &data() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked little-endian reader over a byte buffer. */
+class ByteReader
+{
+  public:
+    ByteReader(const char *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit ByteReader(const std::string &data)
+        : ByteReader(data.data(), data.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            v |= static_cast<std::uint32_t>(
+                     static_cast<std::uint8_t>(data_[pos_ + i]))
+                << (8 * i);
+        }
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(data_[pos_ + i]))
+                << (8 * i);
+        }
+        pos_ += 8;
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = len(1);
+        need(n);
+        std::string s(data_ + pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    void
+    vecU8(std::vector<std::uint8_t> &v)
+    {
+        const std::uint64_t n = len(1);
+        need(n);
+        v.resize(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v[i] = static_cast<std::uint8_t>(data_[pos_ + i]);
+        pos_ += n;
+    }
+
+    void
+    vecU32(std::vector<std::uint32_t> &v)
+    {
+        const std::uint64_t n = len(4);
+        v.resize(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v[i] = u32();
+    }
+
+    void
+    vecU64(std::vector<std::uint64_t> &v)
+    {
+        const std::uint64_t n = len(8);
+        v.resize(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v[i] = u64();
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    std::size_t position() const { return pos_; }
+
+    /** Asserts the whole buffer was consumed (format drift guard). */
+    void
+    expectEnd() const
+    {
+        if (pos_ != size_)
+            lap_fatal("checkpoint payload has %zu trailing bytes "
+                      "(format mismatch)",
+                      size_ - pos_);
+    }
+
+  private:
+    void
+    need(std::uint64_t n) const
+    {
+        if (n > size_ - pos_)
+            lap_fatal("checkpoint truncated: need %llu bytes at "
+                      "offset %zu but only %zu remain",
+                      static_cast<unsigned long long>(n), pos_,
+                      size_ - pos_);
+    }
+
+    /** Reads an element count and bounds it by the bytes left. */
+    std::uint64_t
+    len(std::uint64_t elem_bytes)
+    {
+        const std::uint64_t n = u64();
+        if (n > (size_ - pos_) / elem_bytes)
+            lap_fatal("checkpoint truncated: %llu elements declared "
+                      "at offset %zu but only %zu bytes remain",
+                      static_cast<unsigned long long>(n), pos_,
+                      size_ - pos_);
+        return n;
+    }
+
+    const char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_COMMON_SERIAL_HH

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/serial.hh"
 
 namespace lap
 {
@@ -95,6 +96,31 @@ class DeadWritePredictor
     DeadWriteStats &stats() { return stats_; }
     const DeadWriteStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+
+    /** Serializes the counter table and stats (checkpointing). */
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.vecU8(counters_);
+        out.u64(stats_.predictions);
+        out.u64(stats_.bypasses);
+        out.u64(stats_.trainedDead);
+        out.u64(stats_.trainedUseful);
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        in.vecU8(counters_);
+        if (counters_.size() != (std::size_t{1} << tableBits_))
+            lap_fatal("checkpoint dead-write table has %zu entries "
+                      "but this run has %zu", counters_.size(),
+                      std::size_t{1} << tableBits_);
+        stats_.predictions = in.u64();
+        stats_.bypasses = in.u64();
+        stats_.trainedDead = in.u64();
+        stats_.trainedUseful = in.u64();
+    }
 
   private:
     std::size_t

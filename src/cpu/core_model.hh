@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace lap
@@ -97,6 +98,31 @@ class CoreModel
 
     std::uint64_t stallCycles() const { return stallCycles_; }
     const CoreParams &params() const { return params_; }
+
+    /** Serializes the execution clock and counters (checkpointing). */
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u64(cycle_);
+        out.u64(instrs_);
+        out.u64(memRefs_);
+        out.u64(stallCycles_);
+        out.f64(issueDebt_);
+        out.u64(measureStartCycle_);
+        out.u64(measureStartInstrs_);
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        cycle_ = in.u64();
+        instrs_ = in.u64();
+        memRefs_ = in.u64();
+        stallCycles_ = in.u64();
+        issueDebt_ = in.f64();
+        measureStartCycle_ = in.u64();
+        measureStartInstrs_ = in.u64();
+    }
 
   private:
     CoreParams params_;

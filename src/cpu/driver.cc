@@ -21,6 +21,7 @@ MultiCoreDriver::MultiCoreDriver(CacheHierarchy &hierarchy,
         lap_assert(traces_[i] != nullptr, "trace %zu is null", i);
         cores_.emplace_back(cores[i]);
     }
+    remaining_.assign(traces_.size(), 0);
 }
 
 MultiCoreDriver::MultiCoreDriver(CacheHierarchy &hierarchy,
@@ -33,17 +34,22 @@ MultiCoreDriver::MultiCoreDriver(CacheHierarchy &hierarchy,
 }
 
 void
-MultiCoreDriver::run(std::uint64_t refs_per_core)
+MultiCoreDriver::assignWork(std::uint64_t refs_per_core)
+{
+    remaining_.assign(cores_.size(), refs_per_core);
+}
+
+void
+MultiCoreDriver::runLoop()
 {
     const std::uint32_t n = static_cast<std::uint32_t>(cores_.size());
-    std::vector<std::uint64_t> remaining(n, refs_per_core);
 
     for (;;) {
         // Pick the lagging core that still has work.
         std::uint32_t pick = n;
         Cycle best = 0;
         for (std::uint32_t c = 0; c < n; ++c) {
-            if (remaining[c] == 0)
+            if (remaining_[c] == 0)
                 continue;
             if (pick == n || cores_[c].now() < best) {
                 pick = c;
@@ -57,23 +63,55 @@ MultiCoreDriver::run(std::uint64_t refs_per_core)
         const auto result = hierarchy_.access(
             pick, ref.addr, ref.type, cores_[pick].now(), ref.site);
         cores_[pick].advance(ref.gapInstrs, result.doneAt);
-        remaining[pick]--;
+        remaining_[pick]--;
+        refsIssued_++;
+        if (checkpointEvery_ != 0 && hook_
+            && refsIssued_ % checkpointEvery_ == 0) {
+            hook_(refsIssued_);
+        }
     }
+}
+
+void
+MultiCoreDriver::run(std::uint64_t refs_per_core)
+{
+    assignWork(refs_per_core);
+    runLoop();
 }
 
 RunResult
 MultiCoreDriver::measure(std::uint64_t warmup_refs,
                          std::uint64_t measure_refs)
 {
-    if (warmup_refs > 0)
-        run(warmup_refs);
+    if (phase_ == Phase::Done)
+        phase_ = Phase::Warmup;
 
-    hierarchy_.resetStats();
-    for (auto &core : cores_)
-        core.beginMeasurement();
+    if (phase_ == Phase::Warmup) {
+        // Fresh experiment, or resuming a mid-warmup snapshot (the
+        // snapshot's remaining_ already holds what is left to run).
+        if (!restored_)
+            assignWork(warmup_refs);
+        restored_ = false;
+        runLoop();
 
-    run(measure_refs);
+        hierarchy_.resetStats();
+        for (auto &core : cores_)
+            core.beginMeasurement();
+        phase_ = Phase::Measure;
+        assignWork(measure_refs);
+    } else {
+        // Resuming a mid-measurement snapshot: the statistics reset
+        // and measurement baselines were taken before the snapshot
+        // and are part of the restored state — do not redo them.
+        lap_assert(restored_,
+                   "measure() re-entered mid-measurement without a "
+                   "restored checkpoint");
+        restored_ = false;
+    }
+
+    runLoop();
     hierarchy_.finishMeasurement();
+    phase_ = Phase::Done;
 
     RunResult result;
     Cycle max_cycles = 0;
@@ -90,6 +128,33 @@ MultiCoreDriver::measure(std::uint64_t warmup_refs,
     }
     result.elapsedCycles = max_cycles;
     return result;
+}
+
+void
+MultiCoreDriver::saveState(ByteWriter &out) const
+{
+    out.u8(static_cast<std::uint8_t>(phase_));
+    out.u64(refsIssued_);
+    out.vecU64(remaining_);
+    for (const auto &core : cores_)
+        core.saveState(out);
+}
+
+void
+MultiCoreDriver::loadState(ByteReader &in)
+{
+    const std::uint8_t phase = in.u8();
+    if (phase > static_cast<std::uint8_t>(Phase::Done))
+        lap_fatal("checkpoint driver phase %u is invalid", phase);
+    phase_ = static_cast<Phase>(phase);
+    refsIssued_ = in.u64();
+    in.vecU64(remaining_);
+    if (remaining_.size() != cores_.size())
+        lap_fatal("checkpoint has %zu cores but this run has %zu",
+                  remaining_.size(), cores_.size());
+    for (auto &core : cores_)
+        core.loadState(in);
+    restored_ = true;
 }
 
 } // namespace lap

@@ -11,9 +11,12 @@
 #ifndef LAPSIM_CPU_DRIVER_HH
 #define LAPSIM_CPU_DRIVER_HH
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/serial.hh"
 #include "cpu/core_model.hh"
 #include "cpu/trace.hh"
 #include "hierarchy/hierarchy.hh"
@@ -65,17 +68,65 @@ class MultiCoreDriver
 
     /**
      * Full experiment: warmup, statistics reset, measured run,
-     * statistics finalization.
+     * statistics finalization. On a driver restored from a
+     * checkpoint, resumes the interrupted phase instead of starting
+     * over: a mid-warmup snapshot finishes warmup and measures
+     * normally; a mid-measurement snapshot skips the warmup and the
+     * statistics reset and runs only the remaining references.
      */
     RunResult measure(std::uint64_t warmup_refs,
                       std::uint64_t measure_refs);
 
     CoreModel &core(CoreId id) { return cores_.at(id); }
 
+    /**
+     * Installs a periodic checkpoint hook: after every @p every
+     * completed references (summed over all cores, all phases), @p
+     * hook is invoked with the total issued so far. The driver's
+     * state is consistent at that point, so the hook may serialize
+     * the whole simulation. @p every == 0 disables the hook.
+     */
+    void
+    setCheckpointHook(std::uint64_t every,
+                      std::function<void(std::uint64_t)> hook)
+    {
+        checkpointEvery_ = every;
+        hook_ = std::move(hook);
+    }
+
+    /** Total references issued across all cores and phases. */
+    std::uint64_t refsIssued() const { return refsIssued_; }
+
+    /** Serializes phase, progress and core clocks (checkpointing). */
+    void saveState(ByteWriter &out) const;
+
+    /** Restores a snapshot; the next measure() call resumes it. */
+    void loadState(ByteReader &in);
+
   private:
+    /** Where the driver is within a measure() experiment. */
+    enum class Phase : std::uint8_t
+    {
+        Warmup,
+        Measure,
+        Done,
+    };
+
+    /** Gives every core @p refs_per_core references of work. */
+    void assignWork(std::uint64_t refs_per_core);
+
+    /** Issues references until every core's work is exhausted. */
+    void runLoop();
+
     CacheHierarchy &hierarchy_;
     std::vector<TraceSource *> traces_;
     std::vector<CoreModel> cores_;
+    std::vector<std::uint64_t> remaining_;
+    Phase phase_ = Phase::Warmup;
+    std::uint64_t refsIssued_ = 0;
+    std::uint64_t checkpointEvery_ = 0;
+    std::function<void(std::uint64_t)> hook_;
+    bool restored_ = false;
 };
 
 } // namespace lap

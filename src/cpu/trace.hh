@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace lap
@@ -44,6 +46,24 @@ class TraceSource
 
     /** Restarts the stream from the beginning (optional). */
     virtual void reset() {}
+
+    /**
+     * Serializes the stream cursor so a restored run resumes at the
+     * exact same reference. Sources that cannot be checkpointed keep
+     * the default, which fails loudly rather than silently replaying
+     * from the start.
+     */
+    virtual void
+    saveState(ByteWriter &) const
+    {
+        lap_fatal("this trace source does not support checkpointing");
+    }
+
+    virtual void
+    loadState(ByteReader &)
+    {
+        lap_fatal("this trace source does not support checkpointing");
+    }
 };
 
 } // namespace lap

@@ -100,6 +100,56 @@ struct HierarchyStats
     }
 
     void reset() { *this = HierarchyStats{}; }
+
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u64(demandAccesses);
+        out.u64(demandReads);
+        out.u64(demandWrites);
+        out.u64(l1Hits);
+        out.u64(l2Hits);
+        out.u64(llcHits);
+        out.u64(llcMisses);
+        out.u64(llcWritesDataFill);
+        out.u64(llcWritesCleanVictim);
+        out.u64(llcWritesDirtyVictim);
+        out.u64(llcWritesMigration);
+        out.u64(llcCleanVictimsDropped);
+        out.u64(llcLoopBlockInsertions);
+        out.u64(llcDemandFills);
+        out.u64(llcRedundantFills);
+        out.u64(llcDeadFills);
+        out.u64(llcBackInvalidations);
+        out.u64(llcInvalidationsOnHit);
+        out.u64(llcBypassedWrites);
+        snoop.saveState(out);
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        demandAccesses = in.u64();
+        demandReads = in.u64();
+        demandWrites = in.u64();
+        l1Hits = in.u64();
+        l2Hits = in.u64();
+        llcHits = in.u64();
+        llcMisses = in.u64();
+        llcWritesDataFill = in.u64();
+        llcWritesCleanVictim = in.u64();
+        llcWritesDirtyVictim = in.u64();
+        llcWritesMigration = in.u64();
+        llcCleanVictimsDropped = in.u64();
+        llcLoopBlockInsertions = in.u64();
+        llcDemandFills = in.u64();
+        llcRedundantFills = in.u64();
+        llcDeadFills = in.u64();
+        llcBackInvalidations = in.u64();
+        llcInvalidationsOnHit = in.u64();
+        llcBypassedWrites = in.u64();
+        snoop.loadState(in);
+    }
 };
 
 /**
@@ -163,6 +213,13 @@ class CacheHierarchy
     /** Completed demand accesses / flushes since construction.
      *  Never reset: diagnostic time base for the auditor. */
     std::uint64_t transactionCount() const { return transactionId_; }
+
+    /** Overwrites the transaction clock from a restored snapshot. */
+    void
+    restoreTransactionCount(std::uint64_t count)
+    {
+        transactionId_ = count;
+    }
 
     HierarchyStats &stats() { return stats_; }
     const HierarchyStats &stats() const { return stats_; }

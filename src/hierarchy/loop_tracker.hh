@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "common/flat_map.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace lap
@@ -94,6 +95,36 @@ class LoopTracker
     {
         return frac(evictionsCtc1_ + evictionsCtcMid_
                     + evictionsCtcHigh_);
+    }
+
+    /** Serializes streaks and CTC buckets (checkpointing). */
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u64(streak_.size());
+        streak_.forEach([&out](Addr a, const std::uint32_t &len) {
+            out.u64(a);
+            out.u32(len);
+        });
+        out.u64(evictionsCtc1_);
+        out.u64(evictionsCtcMid_);
+        out.u64(evictionsCtcHigh_);
+        out.u64(totalEvictions_);
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        streak_.clear();
+        const std::uint64_t count = in.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const Addr a = in.u64();
+            streak_[a] = in.u32();
+        }
+        evictionsCtc1_ = in.u64();
+        evictionsCtcMid_ = in.u64();
+        evictionsCtcHigh_ = in.u64();
+        totalEvictions_ = in.u64();
     }
 
   private:

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace lap
@@ -104,6 +105,29 @@ class SetDueling
      * default; FLEXclusion configures a bandwidth-guard margin.
      */
     void setMargin(double margin) { margin_ = margin; }
+
+    /** Serializes the duel's mutable state (checkpointing). */
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u64(nextEpoch_);
+        out.f64(costA_);
+        out.f64(costB_);
+        out.f64(margin_);
+        out.u32(static_cast<std::uint32_t>(winner_));
+        out.u64(epochs_);
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        nextEpoch_ = in.u64();
+        costA_ = in.f64();
+        costB_ = in.f64();
+        margin_ = in.f64();
+        winner_ = static_cast<int>(in.u32());
+        epochs_ = in.u64();
+    }
 
   private:
     std::uint32_t leaderPeriod_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace lap
@@ -36,6 +37,20 @@ struct DramStats
     std::uint64_t writes = 0;
 
     void reset() { *this = DramStats{}; }
+
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u64(reads);
+        out.u64(writes);
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        reads = in.u64();
+        writes = in.u64();
+    }
 };
 
 /**
@@ -65,6 +80,25 @@ class Dram
     void resetStats() { stats_.reset(); }
 
     const DramParams &params() const { return params_; }
+
+    /** Serializes channel timing and counters (checkpointing). */
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.vecU64(channelBusyUntil_);
+        stats_.saveState(out);
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        in.vecU64(channelBusyUntil_);
+        if (channelBusyUntil_.size() != params_.channels)
+            lap_fatal("checkpoint has %zu DRAM channels but this run "
+                      "has %u", channelBusyUntil_.size(),
+                      params_.channels);
+        stats_.loadState(in);
+    }
 
   private:
     Cycle reserveChannel(Addr block_addr, Cycle now);

@@ -19,6 +19,7 @@
 
 #include "common/flat_map.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace lap
@@ -108,6 +109,36 @@ class Verifier
                    static_cast<unsigned long long>(block_addr),
                    static_cast<unsigned long long>(version),
                    static_cast<unsigned long long>(mem));
+    }
+
+    /**
+     * Serializes every tracked address (both version fields, so the
+     * shadow-memory state survives too). Entries are emitted in map
+     * iteration order; all verifier queries are per-address, so the
+     * rebuilt map's different physical layout is unobservable.
+     */
+    void
+    saveState(ByteWriter &out) const
+    {
+        out.u64(versions_.size());
+        versions_.forEach([&out](Addr a, const Versions &v) {
+            out.u64(a);
+            out.u64(v.latest);
+            out.u64(v.mem);
+        });
+    }
+
+    void
+    loadState(ByteReader &in)
+    {
+        versions_.clear();
+        const std::uint64_t count = in.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const Addr a = in.u64();
+            Versions &v = versions_[a];
+            v.latest = in.u64();
+            v.mem = in.u64();
+        }
     }
 
   private:

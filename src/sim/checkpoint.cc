@@ -1,0 +1,379 @@
+#include "sim/checkpoint.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "core/dasca_filter.hh"
+#include "cpu/driver.hh"
+#include "hierarchy/hierarchy.hh"
+#include "sim/config_fields.hh"
+#include "stats/epoch.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'L', 'A', 'P', 'C', 'K', 'P', 'T', '1'};
+/** magic + version + config hash + payload size. */
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+constexpr std::size_t kCrcBytes = 4;
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char ch : text) {
+        h ^= ch;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint32_t
+readU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+            << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+            << (8 * i);
+    return v;
+}
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** Slurps a whole file; returns false when it cannot be opened. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[64 * 1024];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, got);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+/** Why a checkpoint file cannot be used (None = usable). */
+enum class CheckpointFault : std::uint8_t
+{
+    None,
+    Unreadable,
+    Truncated,
+    BadMagic,
+    BadVersion,
+    BadCrc,
+    ConfigMismatch,
+};
+
+/**
+ * Shared validation behind readCheckpointFile (fatal diagnostics)
+ * and checkpointIsValid (boolean). On success @p payload holds the
+ * payload bytes; @p detail carries the mismatched version.
+ */
+CheckpointFault
+inspect(const std::string &path, const SimConfig &config,
+        std::string &payload, std::uint32_t &detail)
+{
+    std::string file;
+    if (!readFile(path, file))
+        return CheckpointFault::Unreadable;
+    if (file.size() < kHeaderBytes + kCrcBytes)
+        return CheckpointFault::Truncated;
+    if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0)
+        return CheckpointFault::BadMagic;
+    const std::uint32_t version = readU32(file.data() + 8);
+    if (version != kCheckpointSchemaVersion) {
+        detail = version;
+        return CheckpointFault::BadVersion;
+    }
+    const std::uint64_t config_hash = readU64(file.data() + 12);
+    const std::uint64_t payload_size = readU64(file.data() + 20);
+    if (file.size() != kHeaderBytes + payload_size + kCrcBytes)
+        return CheckpointFault::Truncated;
+    const std::uint32_t stored_crc =
+        readU32(file.data() + kHeaderBytes + payload_size);
+    const std::uint32_t actual_crc =
+        crc32(file.data() + kHeaderBytes, payload_size);
+    if (stored_crc != actual_crc)
+        return CheckpointFault::BadCrc;
+    // The config check comes after the CRC so corruption is never
+    // misreported as a configuration difference.
+    if (config_hash != configKeyHash(config))
+        return CheckpointFault::ConfigMismatch;
+    payload = file.substr(kHeaderBytes, payload_size);
+    return CheckpointFault::None;
+}
+
+/** The mutable set-dueling monitor of the active policy, if any. */
+SetDueling *
+mutableDueling(InclusionEngine &policy)
+{
+    if (auto *p = policy.tryAs<FlexclusionPolicy>())
+        return &p->duel();
+    if (auto *p = policy.tryAs<DswitchPolicy>())
+        return &p->duel();
+    if (auto *p = policy.tryAs<LapPolicy>())
+        return &p->duel();
+    return nullptr;
+}
+
+void
+saveHierarchy(const CacheHierarchy &hierarchy, ByteWriter &out)
+{
+    out.u64(hierarchy.transactionCount());
+    hierarchy.stats().saveState(out);
+    const std::uint32_t cores = hierarchy.params().numCores;
+    for (std::uint32_t c = 0; c < cores; ++c)
+        hierarchy.l1(c).saveState(out);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        hierarchy.l2(c).saveState(out);
+    hierarchy.llc().saveState(out);
+    const_cast<CacheHierarchy &>(hierarchy).dram().saveState(out);
+    hierarchy.verifier().saveState(out);
+    hierarchy.loopTracker().saveState(out);
+
+    auto &policy = const_cast<CacheHierarchy &>(hierarchy).policy();
+    if (SetDueling *duel = mutableDueling(policy)) {
+        out.u8(1);
+        duel->saveState(out);
+    } else {
+        out.u8(0);
+    }
+
+    auto *filter = dynamic_cast<DascaFilter *>(
+        const_cast<CacheHierarchy &>(hierarchy).writeFilter());
+    if (filter) {
+        out.u8(1);
+        filter->predictor().saveState(out);
+    } else {
+        out.u8(0);
+    }
+}
+
+void
+loadHierarchy(CacheHierarchy &hierarchy, ByteReader &in)
+{
+    hierarchy.restoreTransactionCount(in.u64());
+    hierarchy.stats().loadState(in);
+    const std::uint32_t cores = hierarchy.params().numCores;
+    for (std::uint32_t c = 0; c < cores; ++c)
+        hierarchy.l1(c).loadState(in);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        hierarchy.l2(c).loadState(in);
+    hierarchy.llc().loadState(in);
+    hierarchy.dram().loadState(in);
+    hierarchy.verifier().loadState(in);
+    hierarchy.loopTracker().loadState(in);
+
+    SetDueling *duel = mutableDueling(hierarchy.policy());
+    const bool has_duel = in.u8() != 0;
+    if (has_duel != (duel != nullptr))
+        lap_fatal("checkpoint %s set-dueling state but this run's "
+                  "policy %s one",
+                  has_duel ? "carries" : "lacks",
+                  duel ? "expects" : "does not use");
+    if (duel)
+        duel->loadState(in);
+
+    auto *filter =
+        dynamic_cast<DascaFilter *>(hierarchy.writeFilter());
+    const bool has_filter = in.u8() != 0;
+    if (has_filter != (filter != nullptr))
+        lap_fatal("checkpoint %s dead-write predictor state but this "
+                  "run %s the DASCA filter",
+                  has_filter ? "carries" : "lacks",
+                  filter ? "enables" : "does not enable");
+    if (filter)
+        filter->predictor().loadState(in);
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    const auto &table = crcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t
+configKeyHash(const SimConfig &config)
+{
+    return fnv1a64(configKey(config));
+}
+
+void
+writeCheckpointFile(const std::string &path, const SimConfig &config,
+                    const ByteWriter &payload)
+{
+    std::string framed;
+    framed.reserve(kHeaderBytes + payload.size() + kCrcBytes);
+    framed.append(kMagic, sizeof(kMagic));
+    appendU32(framed, kCheckpointSchemaVersion);
+    appendU64(framed, configKeyHash(config));
+    appendU64(framed, payload.size());
+    framed.append(payload.data());
+    appendU32(framed,
+              crc32(payload.data().data(), payload.size()));
+
+    const std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        lap_fatal("cannot open checkpoint '%s' for writing",
+                  tmp.c_str());
+    const std::size_t wrote =
+        std::fwrite(framed.data(), 1, framed.size(), f);
+    const bool ok = wrote == framed.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        lap_fatal("failed to write checkpoint '%s'", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        lap_fatal("failed to move checkpoint into place at '%s'",
+                  path.c_str());
+    }
+}
+
+std::string
+readCheckpointFile(const std::string &path, const SimConfig &config)
+{
+    std::string payload;
+    std::uint32_t detail = 0;
+    switch (inspect(path, config, payload, detail)) {
+      case CheckpointFault::None:
+        return payload;
+      case CheckpointFault::Unreadable:
+        lap_fatal("cannot read checkpoint '%s'", path.c_str());
+      case CheckpointFault::Truncated:
+        lap_fatal("checkpoint '%s' is truncated", path.c_str());
+      case CheckpointFault::BadMagic:
+        lap_fatal("'%s' is not a lapsim checkpoint", path.c_str());
+      case CheckpointFault::BadVersion:
+        lap_fatal("checkpoint '%s' has schema version %u; this build "
+                  "supports version %u — regenerate the snapshot",
+                  path.c_str(), detail, kCheckpointSchemaVersion);
+      case CheckpointFault::BadCrc:
+        lap_fatal("checkpoint '%s' failed its CRC check (the file is "
+                  "corrupted)", path.c_str());
+      case CheckpointFault::ConfigMismatch:
+        lap_fatal("checkpoint '%s' was taken under a different "
+                  "configuration than this run", path.c_str());
+    }
+    lap_panic("unreachable checkpoint fault");
+}
+
+bool
+checkpointIsValid(const std::string &path, const SimConfig &config)
+{
+    std::string payload;
+    std::uint32_t detail = 0;
+    return inspect(path, config, payload, detail)
+        == CheckpointFault::None;
+}
+
+void
+buildCheckpointPayload(const MultiCoreDriver &driver,
+                       const std::vector<TraceSource *> &traces,
+                       const CacheHierarchy &hierarchy,
+                       const EpochSampler *sampler, ByteWriter &out)
+{
+    out.u32(hierarchy.params().numCores);
+    driver.saveState(out);
+    out.u64(traces.size());
+    for (const TraceSource *trace : traces)
+        trace->saveState(out);
+    saveHierarchy(hierarchy, out);
+    if (sampler) {
+        out.u8(1);
+        sampler->saveState(out);
+    } else {
+        out.u8(0);
+    }
+}
+
+void
+applyCheckpointPayload(MultiCoreDriver &driver,
+                       const std::vector<TraceSource *> &traces,
+                       CacheHierarchy &hierarchy, EpochSampler *sampler,
+                       ByteReader &in)
+{
+    const std::uint32_t cores = in.u32();
+    if (cores != hierarchy.params().numCores)
+        lap_fatal("checkpoint was taken on %u cores but this run has "
+                  "%u", cores, hierarchy.params().numCores);
+    driver.loadState(in);
+    const std::uint64_t trace_count = in.u64();
+    if (trace_count != traces.size())
+        lap_fatal("checkpoint has %llu trace streams but this run "
+                  "built %zu",
+                  static_cast<unsigned long long>(trace_count),
+                  traces.size());
+    for (TraceSource *trace : traces)
+        trace->loadState(in);
+    loadHierarchy(hierarchy, in);
+    const bool has_sampler = in.u8() != 0;
+    if (has_sampler != (sampler != nullptr))
+        lap_fatal("checkpoint %s epoch-sampler state but this run %s "
+                  "epoch stats",
+                  has_sampler ? "carries" : "lacks",
+                  sampler ? "enables" : "does not enable");
+    if (sampler)
+        sampler->loadState(in);
+    in.expectEnd();
+}
+
+} // namespace lap

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Checkpoint/restore subsystem: versioned, CRC-guarded binary
+ * snapshots of the complete simulator state.
+ *
+ * A checkpoint captures everything the simulation's future depends
+ * on — tag-store columns and masks of every cache, replacement and
+ * Rng state, DRAM/bank timing, verifier shadow memory, loop-tracker
+ * streaks, set-dueling counters, dead-write predictor tables, core
+ * clocks, trace-generator cursors and the epoch sampler's record
+ * stream — so a run restored at transaction T finishes with metrics
+ * and epoch records bit-identical to the uninterrupted run
+ * (tests/test_checkpoint_differential.cc).
+ *
+ * File format (DESIGN.md section 10):
+ *
+ *   magic   8 B   "LAPCKPT1"
+ *   version u32   kCheckpointSchemaVersion (little-endian)
+ *   config  u64   FNV-1a hash of configKey(config)
+ *   size    u64   payload byte count
+ *   payload size B
+ *   crc     u32   CRC-32 (IEEE) of the payload bytes
+ *
+ * Every validation failure is a distinct lap_fatal diagnostic:
+ * truncation, wrong magic, unsupported schema version, CRC mismatch
+ * and configuration mismatch are told apart so a user knows whether
+ * to regenerate the snapshot or fix the invocation. Writes go to
+ * "<path>.tmp" and are renamed into place, so an interrupted save
+ * never destroys the previous valid checkpoint.
+ */
+
+#ifndef LAPSIM_SIM_CHECKPOINT_HH
+#define LAPSIM_SIM_CHECKPOINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.hh"
+#include "sim/config.hh"
+
+namespace lap
+{
+
+class MultiCoreDriver;
+class TraceSource;
+class EpochSampler;
+
+/** Bumped whenever the payload layout changes incompatibly. */
+constexpr std::uint32_t kCheckpointSchemaVersion = 1;
+
+/** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a buffer. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** FNV-1a hash of the configuration's result-shaping key. */
+std::uint64_t configKeyHash(const SimConfig &config);
+
+/** Frames @p payload and atomically writes it to @p path. */
+void writeCheckpointFile(const std::string &path,
+                         const SimConfig &config,
+                         const ByteWriter &payload);
+
+/**
+ * Reads and fully validates a checkpoint file, returning the payload
+ * bytes. Fatal (with the specific failure) on any malformed input.
+ */
+std::string readCheckpointFile(const std::string &path,
+                               const SimConfig &config);
+
+/**
+ * True when @p path holds a well-formed checkpoint taken under this
+ * configuration. Never fatal: campaign resume uses it to decide
+ * between restoring and falling back to a fresh run.
+ */
+bool checkpointIsValid(const std::string &path, const SimConfig &config);
+
+/**
+ * Serializes the full simulation state into @p out: driver phase and
+ * core clocks, trace cursors, the whole hierarchy (caches, DRAM,
+ * verifier, loop tracker, policy duel, write filter) and the epoch
+ * sampler. @p sampler may be null when epoch stats are off.
+ */
+void buildCheckpointPayload(const MultiCoreDriver &driver,
+                            const std::vector<TraceSource *> &traces,
+                            const CacheHierarchy &hierarchy,
+                            const EpochSampler *sampler,
+                            ByteWriter &out);
+
+/** Mirror of buildCheckpointPayload; fatal on any inconsistency. */
+void applyCheckpointPayload(MultiCoreDriver &driver,
+                            const std::vector<TraceSource *> &traces,
+                            CacheHierarchy &hierarchy,
+                            EpochSampler *sampler, ByteReader &in);
+
+} // namespace lap
+
+#endif // LAPSIM_SIM_CHECKPOINT_HH

@@ -95,6 +95,19 @@ struct SimConfig
      *  Observe-only. */
     std::string traceEventsPath;
 
+    /** Write a checkpoint every N references (0 = off); each write
+     *  atomically replaces the file at checkpointOut. A restored run
+     *  reproduces the uninterrupted run bit-exactly, so these are
+     *  observe-only for the result metrics. */
+    std::uint64_t checkpointEvery = 0;
+
+    /** Checkpoint output file ("" = off). */
+    std::string checkpointOut;
+
+    /** Restore simulation state from this checkpoint before running
+     *  ("" = start fresh). */
+    std::string restorePath;
+
     std::uint64_t seedSalt = 0;
 };
 

@@ -316,6 +316,30 @@ registry()
                           return c.traceEventsPath;
                       }},
             /*in_key=*/false);
+        // Checkpointing restores bit-identical state, so like the
+        // probes above it never changes metrics and stays out of the
+        // job-hash key (a resumed job keeps its identity).
+        add("checkpoint-every",
+            "write a checkpoint every N references (0 = off)",
+            u64(&SimConfig::checkpointEvery), /*in_key=*/false);
+        add("checkpoint-out", "checkpoint output file ('' = off)",
+            std::pair{[](SimConfig &c, const std::string &,
+                         const std::string &v) {
+                          c.checkpointOut = v;
+                      },
+                      [](const SimConfig &c) {
+                          return c.checkpointOut;
+                      }},
+            /*in_key=*/false);
+        add("restore", "restore state from this checkpoint file",
+            std::pair{[](SimConfig &c, const std::string &,
+                         const std::string &v) {
+                          c.restorePath = v;
+                      },
+                      [](const SimConfig &c) {
+                          return c.restorePath;
+                      }},
+            /*in_key=*/false);
         return r;
     }();
     return entries;

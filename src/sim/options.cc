@@ -42,6 +42,12 @@ checkFlagValue(const std::string &name, const SimConfig &config)
         lap_fatal("--epoch-stats: interval must be >= 1");
     if (name == "trace-events" && config.traceEventsPath.empty())
         lap_fatal("--trace-events: path must be non-empty");
+    if (name == "checkpoint-every" && config.checkpointEvery == 0)
+        lap_fatal("--checkpoint-every: interval must be >= 1");
+    if (name == "checkpoint-out" && config.checkpointOut.empty())
+        lap_fatal("--checkpoint-out: path must be non-empty");
+    if (name == "restore" && config.restorePath.empty())
+        lap_fatal("--restore: path must be non-empty");
 }
 
 } // namespace

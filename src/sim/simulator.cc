@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "core/dasca_filter.hh"
 #include "core/hybrid_placement.hh"
+#include "sim/checkpoint.hh"
 #include "sim/report.hh"
 
 namespace lap
@@ -67,6 +68,9 @@ validateConfig(const SimConfig &config)
         lap_fatal("sram-ways (%u) exceeds llc-assoc (%u): the hybrid "
                   "partition cannot be wider than the cache",
                   config.llcSramWays, config.llcAssoc);
+    if (config.checkpointEvery != 0 && config.checkpointOut.empty())
+        lap_fatal("checkpoint-every requires checkpoint-out (nowhere "
+                  "to write the periodic snapshots)");
 }
 
 SimConfig
@@ -241,13 +245,55 @@ Simulator::runMultiThreaded(const WorkloadSpec &workload)
     return runTraces(raw, cores);
 }
 
+void
+Simulator::saveCheckpoint(const std::string &path)
+{
+    lap_assert(driver_ != nullptr,
+               "saveCheckpoint called outside an active run");
+    ByteWriter payload;
+    buildCheckpointPayload(
+        *driver_, activeTraces_, *hierarchy_,
+        statsEngine_ ? statsEngine_->sampler() : nullptr, payload);
+    writeCheckpointFile(path, config_, payload);
+}
+
 Metrics
 Simulator::runTraces(const std::vector<TraceSource *> &traces,
                      const std::vector<CoreParams> &cores)
 {
     MultiCoreDriver driver(*hierarchy_, traces, cores);
+    driver_ = &driver;
+    activeTraces_ = traces;
+
+    // A test-installed hook wins; otherwise the config knobs install
+    // the default hook, which keeps exactly one file current (each
+    // write atomically replaces the last — what mid-job campaign
+    // resume wants).
+    std::uint64_t every = hookEvery_;
+    std::function<void(std::uint64_t)> hook = hook_;
+    if (!hook && config_.checkpointEvery != 0
+        && !config_.checkpointOut.empty()) {
+        every = config_.checkpointEvery;
+        hook = [this](std::uint64_t) {
+            saveCheckpoint(config_.checkpointOut);
+        };
+    }
+    if (every != 0 && hook)
+        driver.setCheckpointHook(every, std::move(hook));
+
+    if (!config_.restorePath.empty()) {
+        const std::string payload =
+            readCheckpointFile(config_.restorePath, config_);
+        ByteReader in(payload);
+        applyCheckpointPayload(
+            driver, traces, *hierarchy_,
+            statsEngine_ ? statsEngine_->sampler() : nullptr, in);
+    }
+
     const RunResult result =
         driver.measure(config_.warmupRefs, config_.measureRefs);
+    driver_ = nullptr;
+    activeTraces_.clear();
     if (statsEngine_) {
         statsEngine_->finish();
         if (statsEngine_->trace() && !config_.traceEventsPath.empty())

@@ -9,7 +9,9 @@
 #ifndef LAPSIM_SIM_SIMULATOR_HH
 #define LAPSIM_SIM_SIMULATOR_HH
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/driver.hh"
@@ -56,6 +58,30 @@ class Simulator
     /** The observability probes, or nullptr when all are off. */
     StatsEngine *statsEngine() { return statsEngine_.get(); }
 
+    // --- Checkpointing ----------------------------------------------
+    /**
+     * Installs a custom checkpoint hook: after every @p every
+     * references (all cores, all phases) @p hook runs with the total
+     * issued so far and may call saveCheckpoint(). Overrides the
+     * config-driven checkpointEvery/checkpointOut behaviour; set
+     * before the run starts. Tests use this to snapshot at an exact
+     * transaction.
+     */
+    void
+    setCheckpointHook(std::uint64_t every,
+                      std::function<void(std::uint64_t)> hook)
+    {
+        hookEvery_ = every;
+        hook_ = std::move(hook);
+    }
+
+    /**
+     * Serializes the in-flight run to @p path (atomically replacing
+     * any previous file). Only valid while a run is active — i.e.
+     * from within a checkpoint hook.
+     */
+    void saveCheckpoint(const std::string &path);
+
   private:
     Metrics extractMetrics(const RunResult &run_result) const;
 
@@ -65,6 +91,12 @@ class Simulator
     std::unique_ptr<HierarchyAuditor> auditor_;
     /** Declared after hierarchy_ for the same reason. */
     std::unique_ptr<StatsEngine> statsEngine_;
+
+    std::uint64_t hookEvery_ = 0;
+    std::function<void(std::uint64_t)> hook_;
+    /** Live only while runTraces is on the stack. */
+    MultiCoreDriver *driver_ = nullptr;
+    std::vector<TraceSource *> activeTraces_;
 };
 
 } // namespace lap

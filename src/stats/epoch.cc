@@ -125,6 +125,136 @@ EpochSampler::finish()
         closeEpoch(lastCycle_);
 }
 
+namespace
+{
+
+void
+saveRecord(ByteWriter &out, const EpochRecord &r)
+{
+    out.u64(r.index);
+    out.u64(r.startTxn);
+    out.u64(r.endTxn);
+    out.u64(r.startCycle);
+    out.u64(r.endCycle);
+    out.u64(r.demandAccesses);
+    out.u64(r.demandReads);
+    out.u64(r.demandWrites);
+    out.u64(r.l1Hits);
+    out.u64(r.l2Hits);
+    out.u64(r.llcHits);
+    out.u64(r.llcMisses);
+    out.u64(r.llcWritesDataFill);
+    out.u64(r.llcWritesCleanVictim);
+    out.u64(r.llcWritesDirtyVictim);
+    out.u64(r.llcWritesMigration);
+    out.u64(r.llcDemandFills);
+    out.u64(r.llcRedundantFills);
+    out.u64(r.llcDeadFills);
+    out.u64(r.llcBackInvalidations);
+    out.u64(r.llcBypassedWrites);
+    out.u64(r.dramReads);
+    out.u64(r.dramWrites);
+    out.u64(r.snoopMessages);
+    out.vecU64(r.bankWrites);
+    out.u64(r.sampledSets);
+    out.u64(r.totalSets);
+    out.u64(r.validBlocks);
+    out.u64(r.loopBlocks);
+    out.u64(r.dirtyBlocks);
+    out.u32(static_cast<std::uint32_t>(r.duelWinner));
+    out.f64(r.duelCostA);
+    out.f64(r.duelCostB);
+    out.u64(r.duelEpochs);
+}
+
+EpochRecord
+loadRecord(ByteReader &in)
+{
+    EpochRecord r;
+    r.index = in.u64();
+    r.startTxn = in.u64();
+    r.endTxn = in.u64();
+    r.startCycle = in.u64();
+    r.endCycle = in.u64();
+    r.demandAccesses = in.u64();
+    r.demandReads = in.u64();
+    r.demandWrites = in.u64();
+    r.l1Hits = in.u64();
+    r.l2Hits = in.u64();
+    r.llcHits = in.u64();
+    r.llcMisses = in.u64();
+    r.llcWritesDataFill = in.u64();
+    r.llcWritesCleanVictim = in.u64();
+    r.llcWritesDirtyVictim = in.u64();
+    r.llcWritesMigration = in.u64();
+    r.llcDemandFills = in.u64();
+    r.llcRedundantFills = in.u64();
+    r.llcDeadFills = in.u64();
+    r.llcBackInvalidations = in.u64();
+    r.llcBypassedWrites = in.u64();
+    r.dramReads = in.u64();
+    r.dramWrites = in.u64();
+    r.snoopMessages = in.u64();
+    in.vecU64(r.bankWrites);
+    r.sampledSets = in.u64();
+    r.totalSets = in.u64();
+    r.validBlocks = in.u64();
+    r.loopBlocks = in.u64();
+    r.dirtyBlocks = in.u64();
+    r.duelWinner = static_cast<int>(in.u32());
+    r.duelCostA = in.f64();
+    r.duelCostB = in.f64();
+    r.duelEpochs = in.u64();
+    return r;
+}
+
+} // namespace
+
+void
+EpochSampler::saveState(ByteWriter &out) const
+{
+    out.u64(interval_);
+    out.u64(txnsInEpoch_);
+    out.u64(epochIndex_);
+    out.u64(epochStartTxn_);
+    out.u64(epochStartCycle_);
+    out.u64(lastCycle_);
+    statsBase_.saveState(out);
+    dramBase_.saveState(out);
+    out.vecU64(bankWrites_);
+    out.u64(records_.size());
+    for (const auto &r : records_)
+        saveRecord(out, r);
+}
+
+void
+EpochSampler::loadState(ByteReader &in)
+{
+    const std::uint64_t interval = in.u64();
+    if (interval != interval_) {
+        lap_fatal("checkpoint epoch interval %llu does not match "
+                  "this run's %llu",
+                  static_cast<unsigned long long>(interval),
+                  static_cast<unsigned long long>(interval_));
+    }
+    txnsInEpoch_ = in.u64();
+    epochIndex_ = in.u64();
+    epochStartTxn_ = in.u64();
+    epochStartCycle_ = in.u64();
+    lastCycle_ = in.u64();
+    statsBase_.loadState(in);
+    dramBase_.loadState(in);
+    in.vecU64(bankWrites_);
+    if (bankWrites_.size() != hier_.llc().params().banks)
+        lap_fatal("checkpoint has %zu LLC banks but this run has %u",
+                  bankWrites_.size(), hier_.llc().params().banks);
+    records_.clear();
+    const std::uint64_t count = in.u64();
+    records_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        records_.push_back(loadRecord(in));
+}
+
 void
 EpochSampler::closeEpoch(Cycle now)
 {

@@ -120,6 +120,14 @@ class EpochSampler final : public HierarchyObserver
     const std::vector<EpochRecord> &records() const { return records_; }
     std::uint64_t interval() const { return interval_; }
 
+    /**
+     * Serializes closed records plus the in-flight epoch's baselines,
+     * so a restored run emits the exact same epoch stream as an
+     * uninterrupted one.
+     */
+    void saveState(ByteWriter &out) const;
+    void loadState(ByteReader &in);
+
     // --- HierarchyObserver -------------------------------------------
     void onTransactionComplete(std::uint64_t transaction,
                                Cycle now) override;

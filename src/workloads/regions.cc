@@ -79,6 +79,61 @@ SyntheticTrace::reset()
 }
 
 void
+SyntheticTrace::saveState(ByteWriter &out) const
+{
+    out.str(spec_.name);
+    out.u64(spec_.seed);
+    out.u32(threadId_);
+    std::uint64_t rng_state[4];
+    rng_.getState(rng_state);
+    for (std::uint64_t word : rng_state)
+        out.u64(word);
+    out.u64(regions_.size());
+    for (const auto &r : regions_)
+        out.u64(r.cursor);
+    out.u64(activeRegion_);
+    out.u64(activeBlockByte_);
+    out.u32(remainingInBlock_);
+    out.u8(rmwWritePending_ ? 1 : 0);
+}
+
+void
+SyntheticTrace::loadState(ByteReader &in)
+{
+    const std::string name = in.str();
+    const std::uint64_t seed = in.u64();
+    const std::uint32_t thread = in.u32();
+    if (name != spec_.name || seed != spec_.seed
+        || thread != threadId_) {
+        lap_fatal("checkpoint trace is '%s' seed %llu thread %u but "
+                  "this run configured '%s' seed %llu thread %u",
+                  name.c_str(), static_cast<unsigned long long>(seed),
+                  thread, spec_.name.c_str(),
+                  static_cast<unsigned long long>(spec_.seed),
+                  threadId_);
+    }
+    std::uint64_t rng_state[4];
+    for (std::uint64_t &word : rng_state)
+        word = in.u64();
+    rng_.setState(rng_state);
+    const std::uint64_t num_regions = in.u64();
+    if (num_regions != regions_.size())
+        lap_fatal("checkpoint trace '%s' has %llu regions but this "
+                  "run built %zu", spec_.name.c_str(),
+                  static_cast<unsigned long long>(num_regions),
+                  regions_.size());
+    for (auto &r : regions_)
+        r.cursor = in.u64();
+    activeRegion_ = in.u64();
+    if (activeRegion_ >= regions_.size())
+        lap_fatal("checkpoint trace '%s' has out-of-range active "
+                  "region %zu", spec_.name.c_str(), activeRegion_);
+    activeBlockByte_ = in.u64();
+    remainingInBlock_ = in.u32();
+    rmwWritePending_ = in.u8() != 0;
+}
+
+void
 SyntheticTrace::startBlockVisit()
 {
     const double x = rng_.uniform() * totalWeight_;

@@ -97,6 +97,15 @@ class SyntheticTrace : public TraceSource
     MemRef next() override;
     void reset() override;
 
+    /**
+     * Serializes the generator cursor: spec identity (name + seed,
+     * validated on restore to catch checkpoints from a different
+     * workload), Rng state, per-region cursors and the in-flight
+     * block visit.
+     */
+    void saveState(ByteWriter &out) const override;
+    void loadState(ByteReader &in) override;
+
     const WorkloadSpec &spec() const { return spec_; }
 
   private:

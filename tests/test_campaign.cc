@@ -17,7 +17,10 @@
 #include "campaign/jsonl.hh"
 #include "campaign/sink.hh"
 #include "common/logging.hh"
+#include "sim/checkpoint.hh"
 #include "sim/config_fields.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
 
 using namespace lap;
 
@@ -77,6 +80,36 @@ expectIdenticalMetrics(const Metrics &a, const Metrics &b)
     EXPECT_EQ(a.epiStatic, b.epiStatic);
     EXPECT_EQ(a.epiDynamic, b.epiDynamic);
     EXPECT_EQ(a.throughput, b.throughput);
+}
+
+/** Table III mix by name (mirrors the engine's internal lookup for
+ *  the 4-core grid used here). */
+MixSpec
+mixByName(const std::string &name)
+{
+    for (const auto &mix : tableThreeMixes()) {
+        if (mix.name == name)
+            return mix;
+    }
+    ADD_FAILURE() << "unknown mix " << name;
+    return {};
+}
+
+/** Truncates the JSONL file to its first @p keep lines. */
+void
+truncateRows(const std::string &path, std::size_t keep)
+{
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GT(lines.size(), keep);
+    std::ofstream trunc(path, std::ios::trunc);
+    for (std::size_t i = 0; i < keep; ++i)
+        trunc << lines[i] << "\n";
 }
 
 } // namespace
@@ -218,6 +251,137 @@ TEST(CampaignEngineTest, ResumeAfterInterruptionRunsOnlyTheRest)
 
     // The finished file covers the whole grid again.
     EXPECT_EQ(loadCompletedHashes(out.path()).size(), 16u);
+}
+
+/**
+ * The full mid-job kill-and-restore cycle: a campaign is killed
+ * while job 9 is in flight (its snapshot exists, its result row does
+ * not), then resumed on 8 workers with --restore. The resumed
+ * campaign must skip the 9 archived jobs, restore job 9 from its
+ * snapshot mid-flight, finish the rest fresh, produce metrics
+ * bit-identical to an uninterrupted serial run for every job, and
+ * clean up the consumed snapshot.
+ */
+TEST(CampaignEngineTest, KillAndMidJobRestoreMatchesSerialRun)
+{
+    const CampaignSpec spec = smallGrid();
+
+    EngineOptions serial;
+    serial.jobs = 1;
+    const CampaignResult reference = runCampaign(spec, serial);
+    ASSERT_EQ(reference.completed(), 16u);
+
+    // First attempt, serial so the file order is the grid order;
+    // mid-job restore on, so every job checkpoints as it runs and
+    // deletes its snapshot on completion.
+    TempFile out("killresume");
+    EngineOptions first;
+    first.jobs = 1;
+    first.outPath = out.path();
+    first.midJobRestore = true;
+    const CampaignResult a = runCampaign(spec, first);
+    ASSERT_EQ(a.completed(), 16u);
+    for (const auto &job : a.jobs) {
+        std::ifstream ckpt(jobCheckpointPath(out.path(), job));
+        EXPECT_FALSE(ckpt.good())
+            << job.label << ": completed job left its snapshot";
+    }
+
+    // Emulate the kill: jobs 0..8 made it to the archive, job 9 was
+    // mid-flight. Re-create its in-flight snapshot by running its
+    // exact config and dying (lap_fatal) right after the checkpoint
+    // hook saved to the path the engine will look at.
+    truncateRows(out.path(), 9);
+    const CampaignJob &victim = reference.jobs[9];
+    const std::string ckpt_path =
+        jobCheckpointPath(out.path(), victim);
+    {
+        Simulator sim(victim.config);
+        bool saved = false;
+        sim.setCheckpointHook(10'000, [&](std::uint64_t) {
+            if (saved)
+                return;
+            saved = true;
+            sim.saveCheckpoint(ckpt_path);
+            lap_fatal("simulated kill");
+        });
+        try {
+            const ScopedFatalThrow guard;
+            sim.run(resolveMix(mixByName(victim.workload.name)));
+            FAIL() << "simulated kill did not interrupt the run";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find("simulated kill"),
+                      std::string::npos);
+        }
+        EXPECT_TRUE(saved);
+    }
+    // The engine's validity probe accepts the planted snapshot, so
+    // the resumed job below really restores instead of starting over.
+    ASSERT_TRUE(checkpointIsValid(ckpt_path, victim.config));
+
+    EngineOptions resume;
+    resume.jobs = 8;
+    resume.outPath = out.path();
+    resume.midJobRestore = true; // implies resume
+    const CampaignResult b = runCampaign(spec, resume);
+    EXPECT_EQ(b.skipped(), 9u);
+    EXPECT_EQ(b.completed(), 7u);
+    ASSERT_EQ(b.outcomes[9].status, JobStatus::Ok);
+
+    for (std::size_t i = 0; i < b.jobs.size(); ++i) {
+        if (b.outcomes[i].status != JobStatus::Ok)
+            continue;
+        SCOPED_TRACE(b.jobs[i].label);
+        expectIdenticalMetrics(reference.outcomes[i].metrics,
+                               b.outcomes[i].metrics);
+    }
+
+    // The consumed snapshot is gone and the archive covers the grid.
+    std::ifstream leftover(ckpt_path);
+    EXPECT_FALSE(leftover.good()) << "snapshot not cleaned up";
+    EXPECT_EQ(loadCompletedHashes(out.path()).size(), 16u);
+    std::remove(ckpt_path.c_str());
+}
+
+/** An unusable snapshot (corrupted on disk by the crash) must not
+ *  poison the resume: the job falls back to a fresh run, still
+ *  produces reference metrics, and the junk file is cleaned up. */
+TEST(CampaignEngineTest, CorruptSnapshotFallsBackToFreshRun)
+{
+    CampaignSpec spec;
+    spec.name = "ckpt-fallback";
+    spec.base.warmupRefs = 1'000;
+    spec.base.measureRefs = 6'000;
+    spec.workloads.push_back(CampaignWorkload::mix("WL1"));
+    spec.policies = {PolicyKind::Lap};
+
+    EngineOptions serial;
+    serial.jobs = 1;
+    const CampaignResult reference = runCampaign(spec, serial);
+    ASSERT_EQ(reference.completed(), 1u);
+
+    TempFile out("ckptfallback");
+    const std::string ckpt_path =
+        jobCheckpointPath(out.path(), reference.jobs[0]);
+    {
+        std::ofstream junk(ckpt_path, std::ios::binary);
+        junk << "not a checkpoint at all";
+    }
+    ASSERT_FALSE(
+        checkpointIsValid(ckpt_path, reference.jobs[0].config));
+
+    EngineOptions resume;
+    resume.jobs = 1;
+    resume.outPath = out.path();
+    resume.midJobRestore = true;
+    const CampaignResult b = runCampaign(spec, resume);
+    ASSERT_EQ(b.completed(), 1u);
+    expectIdenticalMetrics(reference.outcomes[0].metrics,
+                           b.outcomes[0].metrics);
+
+    std::ifstream leftover(ckpt_path);
+    EXPECT_FALSE(leftover.good()) << "junk snapshot not cleaned up";
+    std::remove(ckpt_path.c_str());
 }
 
 TEST(CampaignEngineTest, FatalJobIsRecordedFailedWithoutKillingRun)

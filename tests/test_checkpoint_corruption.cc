@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Checkpoint rejection battery: malformed, corrupted and mismatched
+ * snapshot files must be refused with a *specific* diagnostic and
+ * must never crash, over-read or mis-restore — CI runs this suite
+ * under ASan/UBSan.
+ *
+ * Covers every fault the frame validator distinguishes: unreadable
+ * path, truncation (header-level and payload-level), foreign magic,
+ * unsupported schema version, CRC mismatch and a checkpoint taken
+ * under a different configuration. Also checks the fault ordering
+ * contract — a corrupted file reports the CRC failure, never a
+ * config mismatch — and that checkpointIsValid() (the campaign
+ * resume probe) answers false without raising.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/checkpoint.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 2'000;
+    cfg.measureRefs = 6'000;
+    return cfg;
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+void
+writeAll(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Runs readCheckpointFile and returns the fatal diagnostic. */
+std::string
+rejectionMessage(const std::string &path, const SimConfig &config)
+{
+    try {
+        const ScopedFatalThrow guard;
+        readCheckpointFile(path, config);
+    } catch (const FatalError &err) {
+        return err.what();
+    }
+    return "";
+}
+
+class CheckpointCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        config_ = smallConfig();
+        Simulator sim(config_);
+        bool saved = false;
+        sim.setCheckpointHook(4'000, [&](std::uint64_t) {
+            if (saved)
+                return;
+            saved = true;
+            sim.saveCheckpoint(path_);
+        });
+        sim.run(resolveMix(duplicateMix("mcf", 2)));
+        ASSERT_TRUE(saved);
+        bytes_ = readAll(path_);
+        ASSERT_GT(bytes_.size(), 64u);
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    /** Rewrites the file as a mutated copy of the valid snapshot. */
+    void
+    mutate(const std::function<void(std::string &)> &edit)
+    {
+        std::string copy = bytes_;
+        edit(copy);
+        writeAll(path_, copy);
+    }
+
+    SimConfig config_;
+    std::string path_ = "ckpt_corruption.ckpt";
+    std::string bytes_;
+};
+
+TEST_F(CheckpointCorruption, ValidSnapshotIsAccepted)
+{
+    EXPECT_TRUE(checkpointIsValid(path_, config_));
+    EXPECT_FALSE(readCheckpointFile(path_, config_).empty());
+}
+
+TEST_F(CheckpointCorruption, MissingFileIsUnreadable)
+{
+    const std::string msg =
+        rejectionMessage("no_such_file.ckpt", config_);
+    EXPECT_NE(msg.find("cannot read checkpoint"), std::string::npos)
+        << msg;
+    EXPECT_FALSE(checkpointIsValid("no_such_file.ckpt", config_));
+}
+
+TEST_F(CheckpointCorruption, HeaderTruncationIsReported)
+{
+    mutate([](std::string &b) { b.resize(10); });
+    const std::string msg = rejectionMessage(path_, config_);
+    EXPECT_NE(msg.find("is truncated"), std::string::npos) << msg;
+    EXPECT_FALSE(checkpointIsValid(path_, config_));
+}
+
+TEST_F(CheckpointCorruption, PayloadTruncationIsReported)
+{
+    mutate([](std::string &b) { b.resize(b.size() / 2); });
+    const std::string msg = rejectionMessage(path_, config_);
+    EXPECT_NE(msg.find("is truncated"), std::string::npos) << msg;
+    EXPECT_FALSE(checkpointIsValid(path_, config_));
+}
+
+TEST_F(CheckpointCorruption, TrailingGarbageIsReported)
+{
+    mutate([](std::string &b) { b += "extra"; });
+    const std::string msg = rejectionMessage(path_, config_);
+    EXPECT_NE(msg.find("is truncated"), std::string::npos) << msg;
+    EXPECT_FALSE(checkpointIsValid(path_, config_));
+}
+
+TEST_F(CheckpointCorruption, ForeignMagicIsReported)
+{
+    mutate([](std::string &b) { b[0] = 'X'; });
+    const std::string msg = rejectionMessage(path_, config_);
+    EXPECT_NE(msg.find("is not a lapsim checkpoint"),
+              std::string::npos)
+        << msg;
+    EXPECT_FALSE(checkpointIsValid(path_, config_));
+}
+
+TEST_F(CheckpointCorruption, UnsupportedVersionIsReported)
+{
+    // The schema version is the little-endian u32 after the magic.
+    mutate([](std::string &b) { b[8] = static_cast<char>(0x7f); });
+    const std::string msg = rejectionMessage(path_, config_);
+    EXPECT_NE(msg.find("has schema version"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("regenerate the snapshot"), std::string::npos)
+        << msg;
+    EXPECT_FALSE(checkpointIsValid(path_, config_));
+}
+
+TEST_F(CheckpointCorruption, FlippedPayloadByteFailsCrc)
+{
+    // Offset 40 lands well inside the payload (header is 28 bytes).
+    mutate([](std::string &b) {
+        b[40] = static_cast<char>(b[40] ^ 0x01);
+    });
+    const std::string msg = rejectionMessage(path_, config_);
+    EXPECT_NE(msg.find("failed its CRC check"), std::string::npos)
+        << msg;
+    EXPECT_FALSE(checkpointIsValid(path_, config_));
+}
+
+TEST_F(CheckpointCorruption, FlippedCrcByteFailsCrc)
+{
+    mutate([](std::string &b) {
+        b[b.size() - 1] = static_cast<char>(b[b.size() - 1] ^ 0xff);
+    });
+    const std::string msg = rejectionMessage(path_, config_);
+    EXPECT_NE(msg.find("failed its CRC check"), std::string::npos)
+        << msg;
+    EXPECT_FALSE(checkpointIsValid(path_, config_));
+}
+
+TEST_F(CheckpointCorruption, DifferentConfigurationIsReported)
+{
+    SimConfig other = config_;
+    other.llcSize = 512 * 1024;
+    const std::string msg = rejectionMessage(path_, other);
+    EXPECT_NE(msg.find("different configuration"), std::string::npos)
+        << msg;
+    EXPECT_FALSE(checkpointIsValid(path_, other));
+}
+
+/** Corruption must win over configuration: a damaged file reports
+ *  the CRC failure even when the config hash also disagrees, so a
+ *  user never chases a phantom configuration diff. */
+TEST_F(CheckpointCorruption, CorruptionReportsCrcNotConfig)
+{
+    mutate([](std::string &b) {
+        b[40] = static_cast<char>(b[40] ^ 0x01);
+    });
+    SimConfig other = config_;
+    other.llcSize = 512 * 1024;
+    const std::string msg = rejectionMessage(path_, other);
+    EXPECT_NE(msg.find("failed its CRC check"), std::string::npos)
+        << msg;
+}
+
+/** End to end: a Simulator asked to restore a corrupted snapshot
+ *  refuses before touching any simulation state. */
+TEST_F(CheckpointCorruption, SimulatorRefusesCorruptedRestore)
+{
+    mutate([](std::string &b) {
+        b[40] = static_cast<char>(b[40] ^ 0x01);
+    });
+    SimConfig restore = config_;
+    restore.restorePath = path_;
+    try {
+        const ScopedFatalThrow guard;
+        Simulator sim(restore);
+        sim.run(resolveMix(duplicateMix("mcf", 2)));
+        FAIL() << "corrupted restore was accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("failed its CRC check"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+/** checkpoint-every without a destination is a config error. */
+TEST(CheckpointConfig, PeriodicWithoutPathIsRejected)
+{
+    SimConfig cfg = smallConfig();
+    cfg.checkpointEvery = 1'000;
+    try {
+        const ScopedFatalThrow guard;
+        validateConfig(cfg);
+        FAIL() << "checkpoint-every without checkpoint-out accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("checkpoint-every"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+} // namespace
+} // namespace lap

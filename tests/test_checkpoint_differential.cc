@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Checkpoint differential battery: proves save/restore is bit-exact
+ * for every policy in the golden set.
+ *
+ * For each case this runs the full Simulator with a checkpoint hook
+ * that snapshots the live run at a case-specific (pseudo-random but
+ * deterministic) transaction T, then restores the snapshot into a
+ * *fresh* Simulator, runs it to completion, and compares the
+ * end-of-run counters plus the FNV-1a hash of the serialized epoch
+ * stream against the same committed tests/golden/<slug>.stream.json
+ * baselines the engine-differential suite pins. A restored run must
+ * be indistinguishable from the uninterrupted run not just in totals
+ * but in *when* every hit, fill, eviction and migration happened —
+ * the epoch stream hash covers that.
+ *
+ * The serialization format here must stay identical to
+ * test_engine_differential.cc, since both compare against the same
+ * baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/jsonl.hh"
+#include "common/json.hh"
+#include "sim/checkpoint.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+struct DiffCase
+{
+    const char *slug;
+    PolicyKind policy;
+    PlacementKind placement;
+    bool hybrid;
+    const char *benchmark;
+};
+
+/** Mirrors the golden-metrics matrix (one case per policy). */
+const DiffCase kCases[] = {
+    {"inclusive", PolicyKind::Inclusive, PlacementKind::Default, false,
+     "mcf"},
+    {"noni", PolicyKind::NonInclusive, PlacementKind::Default, false,
+     "mcf"},
+    {"ex", PolicyKind::Exclusive, PlacementKind::Default, false, "mcf"},
+    {"flex", PolicyKind::Flexclusion, PlacementKind::Default, false,
+     "omnetpp"},
+    {"dswitch", PolicyKind::Dswitch, PlacementKind::Default, false,
+     "omnetpp"},
+    {"lap", PolicyKind::Lap, PlacementKind::Default, false,
+     "libquantum"},
+    {"lhybrid", PolicyKind::Lap, PlacementKind::Lhybrid, true,
+     "libquantum"},
+};
+
+/** Must match test_engine_differential.cc exactly. */
+SimConfig
+diffConfig(const DiffCase &c)
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 10'000;
+    cfg.measureRefs = 50'000;
+    cfg.tuning.epochCycles = 50'000;
+    cfg.epochStatsInterval = 2'000;
+    cfg.policy = c.policy;
+    cfg.placement = c.placement;
+    cfg.hybridLlc = c.hybrid;
+    return cfg;
+}
+
+/** FNV-1a 64-bit over the whole serialized stream. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char ch : text) {
+        hash ^= static_cast<unsigned char>(ch);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::string
+hex(std::uint64_t value)
+{
+    std::ostringstream out;
+    out << "0x" << std::hex << value;
+    return out.str();
+}
+
+/** Serializes a finished run exactly like the engine suite does. */
+std::string
+summarize(Simulator &sim, const Metrics &m)
+{
+    const EpochSampler *sampler = sim.statsEngine()->sampler();
+    std::string stream;
+    for (const EpochRecord &record : sampler->records()) {
+        stream += epochToJson(record);
+        stream += '\n';
+    }
+
+    JsonWriter w;
+    w.field("epochs",
+            static_cast<std::uint64_t>(sampler->records().size()))
+        .field("streamFnv", hex(fnv1a(stream)))
+        .field("instructions", m.instructions)
+        .field("cycles", m.cycles)
+        .field("llcHits", m.llcHits)
+        .field("llcMisses", m.llcMisses)
+        .field("llcWritesFill", m.llcWritesFill)
+        .field("llcWritesCleanVictim", m.llcWritesCleanVictim)
+        .field("llcWritesDirtyVictim", m.llcWritesDirtyVictim)
+        .field("llcWritesMigration", m.llcWritesMigration)
+        .field("llcDemandFills", m.llcDemandFills)
+        .field("llcDeadFills", m.llcDeadFills)
+        .field("snoopMessages", m.snoopMessages)
+        .field("dramReads", m.dramReads)
+        .field("dramWrites", m.dramWrites);
+    return w.str();
+}
+
+/**
+ * Snapshot transaction for a case: deterministic but scattered
+ * across the whole run (total references = (10k + 50k) * 2 cores),
+ * so across the seven cases both warmup and measurement phases get
+ * restored from.
+ */
+std::uint64_t
+snapshotPoint(const DiffCase &c)
+{
+    return 5'000 + fnv1a(c.slug) % 110'000;
+}
+
+std::string
+checkpointPath(const DiffCase &c)
+{
+    return std::string("ckpt_diff_") + c.slug + ".ckpt";
+}
+
+/**
+ * Runs the case while snapshotting at @p when, then restores the
+ * snapshot into a fresh Simulator, finishes the run there and
+ * returns its summary.
+ */
+std::string
+runRestoredCase(const DiffCase &c, std::uint64_t when)
+{
+    const std::string path = checkpointPath(c);
+    const auto workload = resolveMix(duplicateMix(c.benchmark, 2));
+
+    Simulator first(diffConfig(c));
+    bool saved = false;
+    first.setCheckpointHook(when, [&](std::uint64_t) {
+        if (saved)
+            return;
+        saved = true;
+        first.saveCheckpoint(path);
+    });
+    first.run(workload);
+    EXPECT_TRUE(saved) << c.slug << ": hook never fired at " << when;
+
+    SimConfig restored_config = diffConfig(c);
+    restored_config.restorePath = path;
+    Simulator restored(restored_config);
+    const Metrics m = restored.run(workload);
+    const std::string summary = summarize(restored, m);
+    std::remove(path.c_str());
+    return summary;
+}
+
+std::string
+streamGoldenPath(const DiffCase &c)
+{
+    return std::string(LAPSIM_GOLDEN_DIR) + "/" + c.slug
+        + ".stream.json";
+}
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+void
+expectMatchesGolden(const DiffCase &c, const std::string &fresh)
+{
+    const std::string path = streamGoldenPath(c);
+    const std::string baseline = readFileOrEmpty(path);
+    ASSERT_FALSE(baseline.empty())
+        << "missing reference baseline " << path
+        << " — run tools/regen-golden.sh and commit the result";
+
+    JsonRow want, got;
+    ASSERT_TRUE(parseJsonObject(baseline, want)) << path;
+    ASSERT_TRUE(parseJsonObject(fresh, got));
+
+    for (const auto &[key, value] : want) {
+        EXPECT_EQ(value, rowValue(got, key))
+            << c.slug << ": '" << key
+            << "' diverged after checkpoint restore";
+    }
+}
+
+class CheckpointDifferential
+    : public ::testing::TestWithParam<DiffCase>
+{
+};
+
+TEST_P(CheckpointDifferential, RestoredRunMatchesGolden)
+{
+    const DiffCase &c = GetParam();
+    expectMatchesGolden(c, runRestoredCase(c, snapshotPoint(c)));
+}
+
+/** Restoring from a mid-warmup snapshot is bit-exact too: the
+ *  snapshot lands before the warmup/measure boundary, so the
+ *  restored run still has to reset baselines and begin measurement
+ *  itself. */
+TEST(CheckpointDifferential, MidWarmupSnapshotMatchesGolden)
+{
+    expectMatchesGolden(kCases[0], runRestoredCase(kCases[0], 9'000));
+}
+
+/** A snapshot exactly on the warmup/measure boundary restores
+ *  cleanly (the phase transition happens on the restored side). */
+TEST(CheckpointDifferential, BoundarySnapshotMatchesGolden)
+{
+    expectMatchesGolden(kCases[1], runRestoredCase(kCases[1], 20'000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CheckpointDifferential, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<DiffCase> &info) {
+        return std::string(info.param.slug);
+    });
+
+} // namespace
+} // namespace lap

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * AddrMap property/fuzz suite: the flat open-addressing map must be
+ * observationally equivalent to std::unordered_map under any
+ * interleaving of insert / overwrite / find / erase / clear —
+ * including across 4x growth boundaries, tombstone reuse and
+ * deliberately colliding probe chains.
+ *
+ * Each fuzz round replays one randomized operation sequence against
+ * both maps and compares every return value plus the full surviving
+ * entry set (via forEach, order-independently). Iterations scale
+ * with LAPSIM_FUZZ_ITERS for the nightly fuzz shard; the default is
+ * sized for the regular fuzz label run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/rng.hh"
+
+namespace lap
+{
+namespace
+{
+
+std::uint32_t
+fuzzIterations(std::uint32_t base)
+{
+    const char *env = std::getenv("LAPSIM_FUZZ_ITERS");
+    if (env == nullptr)
+        return base;
+    const unsigned long parsed = std::strtoul(env, nullptr, 0);
+    return parsed == 0 ? base : static_cast<std::uint32_t>(parsed);
+}
+
+/** Live entries of an AddrMap as a sorted snapshot. */
+std::map<Addr, std::uint64_t>
+snapshot(const AddrMap<std::uint64_t> &map)
+{
+    std::map<Addr, std::uint64_t> out;
+    map.forEach([&](Addr key, const std::uint64_t &value) {
+        const bool fresh = out.emplace(key, value).second;
+        EXPECT_TRUE(fresh) << "forEach visited key " << key
+                           << " twice";
+    });
+    return out;
+}
+
+void
+expectEquivalent(const AddrMap<std::uint64_t> &map,
+                 const std::unordered_map<Addr, std::uint64_t> &ref)
+{
+    ASSERT_EQ(map.size(), ref.size());
+    const auto entries = snapshot(map);
+    ASSERT_EQ(entries.size(), ref.size());
+    for (const auto &[key, value] : ref) {
+        const auto it = entries.find(key);
+        ASSERT_NE(it, entries.end()) << "key " << key << " lost";
+        EXPECT_EQ(it->second, value) << "key " << key;
+    }
+}
+
+TEST(AddrMap, BasicInsertFindErase)
+{
+    AddrMap<std::uint64_t> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+
+    map[42] = 7;
+    EXPECT_EQ(map.size(), 1u);
+    ASSERT_NE(map.find(42), nullptr);
+    EXPECT_EQ(*map.find(42), 7u);
+
+    map[42] = 9; // overwrite, not duplicate
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(*map.find(42), 9u);
+
+    map.erase(42);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+    map.erase(42); // erasing an absent key is a no-op
+    EXPECT_TRUE(map.empty());
+}
+
+TEST(AddrMap, DefaultConstructsOnFirstUse)
+{
+    AddrMap<std::uint64_t> map;
+    EXPECT_EQ(map[1000], 0u);
+    map[1000] += 3;
+    EXPECT_EQ(map[1000], 3u);
+}
+
+/** Growth boundaries: 64 slots quadruple at 75% load, so crossing
+ *  48, 192, 768... live entries must preserve every value. */
+TEST(AddrMap, SurvivesGrowthBoundaries)
+{
+    AddrMap<std::uint64_t> map;
+    std::unordered_map<Addr, std::uint64_t> ref;
+    for (Addr key = 0; key < 4'000; ++key) {
+        const Addr addr = key * 64; // block-aligned like real users
+        map[addr] = key;
+        ref[addr] = key;
+    }
+    expectEquivalent(map, ref);
+}
+
+/** A tombstone-heavy workload (the loop tracker's pattern: streaks
+ *  start, grow and are erased constantly) must neither lose entries
+ *  nor resurrect erased ones. */
+TEST(AddrMap, TombstoneChurn)
+{
+    AddrMap<std::uint64_t> map;
+    std::unordered_map<Addr, std::uint64_t> ref;
+    Rng rng(1234);
+    for (std::uint32_t round = 0; round < 20'000; ++round) {
+        const Addr key = rng.below(512) * 64;
+        if (rng.chance(0.5)) {
+            map[key] += 1;
+            ref[key] += 1;
+        } else {
+            map.erase(key);
+            ref.erase(key);
+        }
+    }
+    expectEquivalent(map, ref);
+}
+
+/** Keys crafted to collide (same probe start after masking) force
+ *  long linear probe chains through full and tombstoned slots. */
+TEST(AddrMap, CollidingProbeChains)
+{
+    AddrMap<std::uint64_t> map;
+    std::unordered_map<Addr, std::uint64_t> ref;
+    // Brute-force a set of keys whose mixed hash lands in the same
+    // initial 64-slot bucket.
+    std::vector<Addr> colliders;
+    for (Addr key = 0; colliders.size() < 40 && key < 1'000'000;
+         ++key) {
+        std::uint64_t x = key;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ULL;
+        x ^= x >> 33;
+        if ((x & 63) == 17)
+            colliders.push_back(key);
+    }
+    ASSERT_GE(colliders.size(), 40u);
+
+    for (std::size_t i = 0; i < colliders.size(); ++i) {
+        map[colliders[i]] = i;
+        ref[colliders[i]] = i;
+    }
+    // Punch tombstones into the middle of the chain, then reinsert.
+    for (std::size_t i = 0; i < colliders.size(); i += 3) {
+        map.erase(colliders[i]);
+        ref.erase(colliders[i]);
+    }
+    expectEquivalent(map, ref);
+    for (std::size_t i = 0; i < colliders.size(); i += 3) {
+        map[colliders[i]] = i + 1'000;
+        ref[colliders[i]] = i + 1'000;
+    }
+    expectEquivalent(map, ref);
+}
+
+TEST(AddrMap, ClearKeepsWorking)
+{
+    AddrMap<std::uint64_t> map;
+    std::unordered_map<Addr, std::uint64_t> ref;
+    for (Addr key = 0; key < 500; ++key)
+        map[key * 64] = key;
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    expectEquivalent(map, ref);
+    for (Addr key = 0; key < 500; ++key) {
+        map[key * 64] = key + 7;
+        ref[key * 64] = key + 7;
+    }
+    expectEquivalent(map, ref);
+}
+
+/** The differential fuzz loop proper: randomized op sequences with
+ *  per-op return-value comparison and a full-state audit at the end
+ *  of every round. */
+TEST(AddrMapFuzz, MatchesUnorderedMap)
+{
+    const std::uint32_t rounds = fuzzIterations(200);
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+        Rng rng(0x9e3779b9u + round);
+        AddrMap<std::uint64_t> map;
+        std::unordered_map<Addr, std::uint64_t> ref;
+
+        // Small key spaces maximize erase/reinsert aliasing; large
+        // ones exercise growth. Alternate per round.
+        const Addr key_space =
+            (round % 2 == 0) ? 256 : 16'384;
+        const std::uint32_t ops = 1'000 + rng.below(4'000);
+
+        for (std::uint32_t op = 0; op < ops; ++op) {
+            const Addr key = rng.below(key_space) * 64;
+            switch (rng.below(4)) {
+              case 0: { // insert / overwrite
+                const std::uint64_t value = rng.below(1u << 30);
+                map[key] = value;
+                ref[key] = value;
+                break;
+              }
+              case 1: { // read-modify-write through operator[]
+                map[key] += 1;
+                ref[key] += 1;
+                break;
+              }
+              case 2: { // find
+                const std::uint64_t *got = map.find(key);
+                const auto it = ref.find(key);
+                if (it == ref.end()) {
+                    ASSERT_EQ(got, nullptr)
+                        << "round " << round << " op " << op
+                        << ": phantom key " << key;
+                } else {
+                    ASSERT_NE(got, nullptr)
+                        << "round " << round << " op " << op
+                        << ": lost key " << key;
+                    ASSERT_EQ(*got, it->second);
+                }
+                break;
+              }
+              default: // erase
+                map.erase(key);
+                ref.erase(key);
+                break;
+            }
+            ASSERT_EQ(map.size(), ref.size())
+                << "round " << round << " op " << op;
+        }
+        expectEquivalent(map, ref);
+
+        // Clear mid-life and keep fuzzing briefly: clear() keeps
+        // capacity, so stale slot state would surface here.
+        map.clear();
+        ref.clear();
+        for (std::uint32_t op = 0; op < 200; ++op) {
+            const Addr key = rng.below(128) * 64;
+            map[key] = op;
+            ref[key] = op;
+        }
+        expectEquivalent(map, ref);
+    }
+}
+
+} // namespace
+} // namespace lap
