@@ -370,10 +370,12 @@ class Cache
         return std::min(way_end, params_.assoc);
     }
 
-    CacheParams params_;
-    std::uint64_t numSets_;
-    bool setsArePow2_ = true;
-    unsigned blockBits_;
+    // Geometry is fixed at construction; loadState() validates
+    // against it instead of overwriting it.
+    CacheParams params_;      // lapsim-lint: transient
+    std::uint64_t numSets_;   // lapsim-lint: transient
+    bool setsArePow2_ = true; // lapsim-lint: transient
+    unsigned blockBits_;      // lapsim-lint: transient
     TagStore store_;
     /** Cumulative data writes per physical way (wear). */
     std::vector<std::uint64_t> wayWrites_;

@@ -241,7 +241,7 @@ class Replacement final
     Rng rng_;
     std::uint64_t clock_ = 0;
     ReplKind kind_;
-    std::uint8_t maxRrpv_;
+    std::uint8_t maxRrpv_; // lapsim-lint: transient (config)
 };
 
 } // namespace lap

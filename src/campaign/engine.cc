@@ -5,11 +5,11 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "campaign/sink.hh"
 #include "common/logging.hh"
+#include "common/mutex.hh"
 #include "sim/checkpoint.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -27,6 +27,9 @@ using Clock = std::chrono::steady_clock;
 double
 elapsedMs(Clock::time_point start)
 {
+    // Wall-clock runtime is an operator-facing metric only; it
+    // never feeds simulated time or results.
+    // lapsim-lint: allow(det-banned-call)
     return std::chrono::duration<double, std::milli>(Clock::now()
                                                      - start)
         .count();
@@ -162,6 +165,8 @@ CampaignResult::countWithStatus(JobStatus status) const
 JobOutcome
 runCampaignJob(const CampaignJob &job)
 {
+    // Wall-clock job timing; reporting only.
+    // lapsim-lint: allow(det-banned-call)
     const auto start = Clock::now();
     JobOutcome outcome;
     try {
@@ -233,6 +238,8 @@ epochToJsonRow(const std::string &campaign, const CampaignJob &job,
 CampaignResult
 runCampaign(const CampaignSpec &spec, const EngineOptions &options)
 {
+    // Wall-clock campaign timing; reporting only.
+    // lapsim-lint: allow(det-banned-call)
     const auto start = Clock::now();
     lap_assert(options.jobs >= 1, "campaign needs >= 1 worker");
 
@@ -254,7 +261,10 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &options)
 
     std::atomic<std::size_t> next_job{0};
     std::atomic<std::size_t> done_count{0};
-    std::mutex report_mutex;
+    // Serializes the user's onJobDone callback across workers; the
+    // outcome rows themselves are index-partitioned (each worker
+    // owns the slots it claimed) and the sink locks internally.
+    Mutex report_mutex;
 
     auto report = [&](std::size_t index) {
         const std::size_t done =
@@ -270,7 +280,7 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &options)
                                      outcome));
         }
         if (options.onJobDone) {
-            const std::lock_guard<std::mutex> lock(report_mutex);
+            const MutexLock lock(report_mutex);
             options.onJobDone(result.jobs[index], outcome, done,
                               result.jobs.size());
         }

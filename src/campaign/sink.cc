@@ -53,7 +53,7 @@ void
 JsonlSink::write(const std::string &json_row)
 {
     const std::string line = json_row + "\n";
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()
         || std::fflush(file_) != 0)
         lap_fatal("write to '%s' failed", path_.c_str());

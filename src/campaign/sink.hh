@@ -13,9 +13,10 @@
 #define LAPSIM_CAMPAIGN_SINK_HH
 
 #include <cstdio>
-#include <mutex>
 #include <set>
 #include <string>
+
+#include "common/mutex.hh"
 
 namespace lap
 {
@@ -36,14 +37,16 @@ class JsonlSink
     JsonlSink &operator=(const JsonlSink &) = delete;
 
     /** Appends one row and flushes; callable from any thread. */
-    void write(const std::string &json_row);
+    void write(const std::string &json_row) LAP_EXCLUDES(mutex_);
 
     const std::string &path() const { return path_; }
 
   private:
+    /** Immutable after construction; read without the lock. */
+    // lapsim-lint: allow(thread-unguarded-field)
     std::string path_;
-    std::FILE *file_ = nullptr;
-    std::mutex mutex_;
+    Mutex mutex_;
+    std::FILE *file_ LAP_GUARDED_BY(mutex_) = nullptr;
 };
 
 /**

@@ -1,9 +1,10 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "common/mutex.hh"
 
 namespace lap
 {
@@ -12,10 +13,10 @@ namespace
 {
 
 /** Serializes stderr diagnostics across threads. */
-std::mutex &
+Mutex &
 logMutex()
 {
-    static std::mutex mutex;
+    static Mutex mutex;
     return mutex;
 }
 
@@ -27,7 +28,7 @@ logMutex()
 void
 emitLine(const std::string &line)
 {
-    const std::lock_guard<std::mutex> lock(logMutex());
+    const MutexLock lock(logMutex());
     std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
 }

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Clang thread-safety analysis annotations.
+ *
+ * Wraps the `-Wthread-safety` attribute family (Clang only; the
+ * macros expand to nothing elsewhere) behind LAP_* names, following
+ * the convention popularized by Abseil. Annotating shared state with
+ * LAP_GUARDED_BY and lock-taking functions with LAP_ACQUIRE /
+ * LAP_REQUIRES turns "forgot the lock" from a campaign-only data
+ * race into a compile error under any Clang build (the CI lint job
+ * builds with -Werror=thread-safety).
+ *
+ * Use together with lap::Mutex / lap::MutexLock (common/mutex.hh):
+ * plain std::mutex and std::lock_guard carry no annotations, so the
+ * analysis cannot see their acquire/release pairs.
+ *
+ * lapsim-lint additionally cross-checks these annotations textually
+ * (even under GCC): a class owning a Mutex must either guard its
+ * mutable members or carry an explicit allow comment, and every
+ * LAP_GUARDED_BY argument must name something that exists.
+ */
+
+#ifndef LAPSIM_COMMON_THREAD_ANNOTATIONS_HH
+#define LAPSIM_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LAP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LAP_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define LAP_CAPABILITY(x) LAP_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in dtor. */
+#define LAP_SCOPED_CAPABILITY LAP_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the given lock. */
+#define LAP_GUARDED_BY(x) LAP_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is protected by the given lock. */
+#define LAP_PT_GUARDED_BY(x) LAP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function callable only while holding the given lock(s). */
+#define LAP_REQUIRES(...) \
+    LAP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function callable only while NOT holding the given lock(s). */
+#define LAP_EXCLUDES(...) \
+    LAP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the given lock(s) and holds them on exit. */
+#define LAP_ACQUIRE(...) \
+    LAP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the given lock(s). */
+#define LAP_RELEASE(...) \
+    LAP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that returns a reference to the given capability. */
+#define LAP_RETURN_CAPABILITY(x) \
+    LAP_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disables the analysis inside one function. */
+#define LAP_NO_THREAD_SAFETY_ANALYSIS \
+    LAP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // LAPSIM_COMMON_THREAD_ANNOTATIONS_HH

@@ -130,9 +130,9 @@ class DeadWritePredictor
         return (site * 2654435769u) >> (32 - tableBits_);
     }
 
-    unsigned tableBits_;
-    std::uint8_t counterMax_;
-    std::uint8_t deadThreshold_;
+    unsigned tableBits_;         // lapsim-lint: transient (config)
+    std::uint8_t counterMax_;    // lapsim-lint: transient (config)
+    std::uint8_t deadThreshold_; // lapsim-lint: transient (config)
     std::vector<std::uint8_t> counters_;
     DeadWriteStats stats_;
 };

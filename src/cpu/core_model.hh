@@ -125,7 +125,7 @@ class CoreModel
     }
 
   private:
-    CoreParams params_;
+    CoreParams params_; // lapsim-lint: transient (config)
     Cycle cycle_ = 0;
     std::uint64_t instrs_ = 0;
     std::uint64_t memRefs_ = 0;

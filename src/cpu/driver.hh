@@ -118,15 +118,17 @@ class MultiCoreDriver
     /** Issues references until every core's work is exhausted. */
     void runLoop();
 
-    CacheHierarchy &hierarchy_;
-    std::vector<TraceSource *> traces_;
+    // Wiring injected at construction, re-bound on restore.
+    CacheHierarchy &hierarchy_;          // lapsim-lint: transient
+    std::vector<TraceSource *> traces_;  // lapsim-lint: transient
     std::vector<CoreModel> cores_;
     std::vector<std::uint64_t> remaining_;
     Phase phase_ = Phase::Warmup;
     std::uint64_t refsIssued_ = 0;
-    std::uint64_t checkpointEvery_ = 0;
-    std::function<void(std::uint64_t)> hook_;
-    bool restored_ = false;
+    std::uint64_t checkpointEvery_ = 0;  // lapsim-lint: transient
+    std::function<void(std::uint64_t)> hook_; // lapsim-lint: transient
+    // Set by loadState() only; intentionally not round-tripped.
+    bool restored_ = false; // lapsim-lint: transient
 };
 
 } // namespace lap

@@ -130,8 +130,8 @@ class SetDueling
     }
 
   private:
-    std::uint32_t leaderPeriod_;
-    Cycle epochCycles_;
+    std::uint32_t leaderPeriod_; // lapsim-lint: transient (config)
+    Cycle epochCycles_;          // lapsim-lint: transient (config)
     Cycle nextEpoch_;
     double costA_ = 0.0;
     double costB_ = 0.0;

@@ -103,7 +103,8 @@ class Dram
   private:
     Cycle reserveChannel(Addr block_addr, Cycle now);
 
-    DramParams params_;
+    // Fixed at construction; loadState() validates against it.
+    DramParams params_; // lapsim-lint: transient
     std::vector<Cycle> channelBusyUntil_;
     DramStats stats_;
 };

@@ -391,6 +391,10 @@ HierarchyAuditor::checkCoherenceGlobal(const Sweep &sweep)
 {
     if (!hier_.params().coherence)
         return;
+    // Order-independent invariant sweep: every address is checked
+    // in isolation and the outcome is pass/fatal, so unordered
+    // iteration cannot perturb results.
+    // lapsim-lint: allow(det-unordered-iteration)
     for (const auto &[addr, states] : sweep.privateState) {
         std::uint32_t holders = 0;
         std::uint32_t owners = 0; // cores in M or O

@@ -77,9 +77,13 @@ SimConfig
 applyEnvScaling(SimConfig config)
 {
     double scale = 1.0;
+    // Explicit operator opt-in (LAPSIM_FAST / LAPSIM_REFS_SCALE):
+    // the env var *is* the configuration, read once at startup.
+    // lapsim-lint: allow(det-banned-call)
     if (const char *fast = std::getenv("LAPSIM_FAST");
         fast && fast[0] == '1')
         scale = 0.25;
+    // lapsim-lint: allow(det-banned-call)
     if (const char *env = std::getenv("LAPSIM_REFS_SCALE")) {
         const double parsed = std::atof(env);
         if (parsed > 0.0)

@@ -140,9 +140,9 @@ class EpochSampler final : public HierarchyObserver
     void rebaseline();
     void closeEpoch(Cycle now);
 
-    CacheHierarchy &hier_;
+    CacheHierarchy &hier_;   // lapsim-lint: transient (wiring)
     std::uint64_t interval_;
-    EpochCallback callback_;
+    EpochCallback callback_; // lapsim-lint: transient (wiring)
 
     std::uint64_t txnsInEpoch_ = 0;
     std::uint64_t epochIndex_ = 0;

@@ -124,7 +124,8 @@ class SyntheticTrace : public TraceSource
     std::uint32_t threadId_;
     Rng rng_;
     std::vector<RegionState> regions_;
-    double totalWeight_ = 0.0;
+    // Derived from spec_ weights at construction.
+    double totalWeight_ = 0.0; // lapsim-lint: transient
 
     // In-flight block visit.
     std::size_t activeRegion_ = 0;

@@ -1,0 +1,57 @@
+// lapsim-lint fixture: seeded checkpoint-completeness violations.
+// Never compiled; see test_lint.cc. Exercises both record
+// discovery paths: member saveState/loadState pairs and free
+// save/load functions over a plain struct.
+
+#include <cstdint>
+
+#include "common/serial.hh"
+
+class FixtureCounter
+{
+  public:
+    void
+    saveState(lap::ByteWriter &out) const
+    {
+        out.u64(hits_);
+        out.u64(misses_);
+        out.u64(writeOnly_);
+    }
+
+    void
+    loadState(lap::ByteReader &in)
+    {
+        hits_ = in.u64();
+        misses_ = in.u64();
+    }
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writeOnly_ = 0; // SEED: ckpt-save-load-asymmetry
+    std::uint64_t forgotten_ = 0; // SEED: ckpt-unserialized-field
+    double scale_ = 1.0; // lapsim-lint: transient (config)
+};
+
+struct FixtureRecord
+{
+    std::uint64_t epoch = 0;
+    std::uint64_t txns = 0;
+    std::uint64_t dropped = 0; // SEED: ckpt-unserialized-field
+    std::uint64_t loadOnly = 0; // SEED: ckpt-save-load-asymmetry
+};
+
+inline void
+saveFixtureRecord(lap::ByteWriter &out, const FixtureRecord &rec)
+{
+    out.u64(rec.epoch);
+    out.u64(rec.txns);
+}
+
+inline void
+loadFixtureRecord(lap::ByteReader &in, FixtureRecord &rec)
+{
+    rec.epoch = in.u64();
+    rec.txns = in.u64();
+    rec.loadOnly = in.u64();
+}

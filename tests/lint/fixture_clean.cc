@@ -1,0 +1,49 @@
+// lapsim-lint fixture: every would-be violation is suppressed via
+// the documented conventions, so the expected finding count is
+// exactly zero. Never compiled; see test_lint.cc.
+
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/serial.hh"
+
+// The env var is the configuration here, read once at startup.
+// lapsim-lint: allow(det-banned-call)
+static const char *const fixtureHome = std::getenv("HOME");
+
+long
+fixtureSum(const std::unordered_map<int, int> &cells)
+{
+    long sum = 0;
+    // Summation is order-independent.
+    // lapsim-lint: allow(det-unordered-iteration)
+    for (const auto &cell : cells)
+        sum += cell.second;
+    return sum;
+}
+
+class FixtureCleanCounter
+{
+  public:
+    void
+    saveState(lap::ByteWriter &out) const
+    {
+        out.u64(count_);
+    }
+
+    void
+    loadState(lap::ByteReader &in)
+    {
+        count_ = in.u64();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    // Derived from count_ on demand.
+    double ratio_ = 0.0; // lapsim-lint: transient
+
+    // allow(all) suppresses every family on the next line.
+    // lapsim-lint: allow(all)
+    std::uint64_t scratch_ = 0;
+};

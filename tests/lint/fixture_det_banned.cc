@@ -1,0 +1,41 @@
+// lapsim-lint fixture: seeded det-banned-call violations.
+//
+// Never compiled into a target — test_lint feeds it to the lint
+// binary and asserts one finding per SEED marker comment, on
+// exactly the marked line.
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int
+fixtureRand()
+{
+    return rand(); // SEED: det-banned-call
+}
+
+long
+fixtureClock()
+{
+    const auto t = std::chrono::steady_clock::now(); // SEED: det-banned-call
+    return t.time_since_epoch().count();
+}
+
+unsigned
+fixtureDevice()
+{
+    std::random_device device; // SEED: det-banned-call
+    return device();
+}
+
+const char *
+fixtureEnv()
+{
+    return std::getenv("LAPSIM_FIXTURE"); // SEED: det-banned-call
+}
+
+long
+fixtureTime()
+{
+    return time(nullptr); // SEED: det-banned-call
+}

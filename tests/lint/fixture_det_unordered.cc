@@ -1,0 +1,37 @@
+// lapsim-lint fixture: seeded det-unordered-iteration and
+// det-pointer-key violations. Never compiled; see test_lint.cc.
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+struct FixtureNode;
+
+struct FixtureTable
+{
+    std::unordered_map<int, int> cells;
+};
+
+int
+fixtureRangeFor(const FixtureTable &table)
+{
+    int sum = 0;
+    for (const auto &cell : table.cells) // SEED: det-unordered-iteration
+        sum += cell.second;
+    return sum;
+}
+
+int
+fixtureIteratorLoop()
+{
+    std::unordered_set<int> ids;
+    int count = 0;
+    for (auto it = ids.begin(); it != ids.end(); ++it) // SEED: det-unordered-iteration
+        ++count;
+    return count;
+}
+
+std::map<FixtureNode *, int> fixtureRank; // SEED: det-pointer-key
+
+std::set<const FixtureNode *> fixtureLive; // SEED: det-pointer-key

@@ -1,0 +1,25 @@
+// lapsim-lint fixture: seeded thread-safety annotation violations.
+// Never compiled; see test_lint.cc.
+
+#include <cstdint>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+class FixtureSink
+{
+  public:
+    void push(int value);
+
+    void flush() LAP_REQUIRES(ghost_mutex_); // SEED: thread-unknown-guard
+
+  private:
+    lap::Mutex mutex_;
+    int queueDepth_ = 0; // SEED: thread-unguarded-field
+    long totalPushed_ = 0; // SEED: thread-unguarded-field
+    int flushed_ LAP_GUARDED_BY(wrong_mutex_) = 0; // SEED: thread-unknown-guard
+    int guarded_ LAP_GUARDED_BY(mutex_) = 0;
+    /** Immutable after construction. */
+    // lapsim-lint: allow(thread-unguarded-field)
+    int capacity_ = 0;
+};

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * lapsim-lint acceptance battery (ctest label "lint").
+ *
+ * Spawns the lint binary (path injected as LAPSIM_LINT_BIN) over
+ * the seeded fixtures in tests/lint/ and asserts the exact
+ * diagnostics. Expected findings are derived from the fixtures
+ * themselves: every "// SEED: <id>" marker demands exactly one
+ * finding with that id on that line, so fixture edits can never
+ * drift out of sync with the assertions. The clean-tree test runs
+ * the tool over the real src/ and demands zero findings — the
+ * repository itself is the ultimate fixture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/wait.h>
+
+namespace
+{
+
+struct LintRun
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Runs the lint binary with @p args; captures stdout. */
+LintRun
+runLint(const std::string &args)
+{
+    const std::string cmd = std::string(LAPSIM_LINT_BIN) + " " + args
+        + " 2>/dev/null";
+    LintRun run;
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return run;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        run.output.append(buf, got);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        run.exitCode = WEXITSTATUS(status);
+    return run;
+}
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(LAPSIM_LINT_FIXTURES) + "/" + name;
+}
+
+/** (line, diagnostic-id) pairs; sorted for comparison. */
+using Findings = std::vector<std::pair<int, std::string>>;
+
+/** Parses "file:line:col: error: msg [lapsim-<id>]" output lines
+ *  belonging to @p path. */
+Findings
+parseFindings(const std::string &output, const std::string &path)
+{
+    Findings found;
+    std::istringstream in(output);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.compare(0, path.size(), path) != 0)
+            continue;
+        const std::size_t colon = path.size();
+        if (colon >= line.size() || line[colon] != ':')
+            continue;
+        const int lineno = std::atoi(line.c_str() + colon + 1);
+        const std::size_t open = line.rfind("[lapsim-");
+        const std::size_t close = line.rfind(']');
+        if (open == std::string::npos || close == std::string::npos
+            || close < open)
+            continue;
+        found.emplace_back(
+            lineno, line.substr(open + 8, close - open - 8));
+    }
+    std::sort(found.begin(), found.end());
+    return found;
+}
+
+/** Reads "// SEED: <id>" markers out of a fixture file. */
+Findings
+expectedFindings(const std::string &path)
+{
+    Findings expected;
+    std::ifstream in(path);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t at = line.find("// SEED: ");
+        if (at == std::string::npos)
+            continue;
+        std::string id = line.substr(at + 9);
+        const std::size_t end = id.find_first_of(" \t");
+        if (end != std::string::npos)
+            id.erase(end);
+        expected.emplace_back(lineno, id);
+    }
+    std::sort(expected.begin(), expected.end());
+    return expected;
+}
+
+void
+expectSeededFindings(const std::string &name)
+{
+    const std::string path = fixture(name);
+    const Findings expected = expectedFindings(path);
+    ASSERT_FALSE(expected.empty())
+        << name << " carries no SEED markers";
+
+    const LintRun run = runLint("\"" + path + "\"");
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    const Findings actual = parseFindings(run.output, path);
+    EXPECT_EQ(actual, expected) << run.output;
+}
+
+TEST(Lint, FlagsSeededDeterminismBannedCalls)
+{
+    expectSeededFindings("fixture_det_banned.cc");
+}
+
+TEST(Lint, FlagsSeededUnorderedIterationAndPointerKeys)
+{
+    expectSeededFindings("fixture_det_unordered.cc");
+}
+
+TEST(Lint, FlagsSeededCheckpointViolations)
+{
+    expectSeededFindings("fixture_ckpt.hh");
+}
+
+TEST(Lint, FlagsSeededThreadSafetyViolations)
+{
+    expectSeededFindings("fixture_thread.hh");
+}
+
+TEST(Lint, AllowlistedFixtureIsClean)
+{
+    const LintRun run =
+        runLint("\"" + fixture("fixture_clean.cc") + "\"");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Lint, CleanTreeHasZeroFindings)
+{
+    const LintRun run =
+        runLint("--src-root \"" LAPSIM_SRC_ROOT "\"");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(Lint, ChecksFlagRestrictsFamilies)
+{
+    // The checkpoint fixture is clean under the determinism family.
+    const LintRun run = runLint("--checks determinism \""
+                                + fixture("fixture_ckpt.hh") + "\"");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(Lint, ListChecksNamesEveryDiagnostic)
+{
+    const LintRun run = runLint("--list-checks");
+    EXPECT_EQ(run.exitCode, 0);
+    for (const char *id :
+         {"lapsim-det-banned-call", "lapsim-det-unordered-iteration",
+          "lapsim-det-pointer-key", "lapsim-ckpt-unserialized-field",
+          "lapsim-ckpt-save-load-asymmetry",
+          "lapsim-thread-unguarded-field",
+          "lapsim-thread-unknown-guard"})
+        EXPECT_NE(run.output.find(id), std::string::npos) << id;
+}
+
+TEST(Lint, UnknownOptionIsUsageError)
+{
+    EXPECT_EQ(runLint("--bogus").exitCode, 2);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Checkpoint-completeness family: every non-static data member of a
+ * checkpointed record type must either round-trip through its
+ * save/load pair or be explicitly marked "// lapsim-lint: transient"
+ * (reconstructible wiring: references, callbacks, config-derived
+ * geometry). A member that is neither is exactly the bit-identity
+ * heisenbug class PR 5's differential battery catches after the
+ * fact — this check fails the build before it ships.
+ *
+ * Record types are discovered from both directions the repository
+ * uses: member saveState(ByteWriter&)/loadState(ByteReader&) pairs
+ * (SetDueling, EpochSampler, Cache, ...), and free save/load/
+ * restore-prefixed functions taking a ByteWriter/ByteReader plus
+ * the record (saveRecord/loadRecord over EpochRecord). For
+ * types serialized only by free functions, only public members are
+ * checked — private state is reachable through accessors whose
+ * names the token layer cannot tie back to members.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "checks.hh"
+
+namespace lint
+{
+
+namespace
+{
+
+struct BodyPair
+{
+    /** Identifier sets of all save/load bodies for one type. */
+    std::set<std::string> saveIdents;
+    std::set<std::string> loadIdents;
+    bool hasSave = false;
+    bool hasLoad = false;
+};
+
+void
+addIdents(const std::vector<Token> &body, std::set<std::string> &out)
+{
+    for (const Token &tok : body)
+        if (tok.kind == TokKind::Ident)
+            out.insert(tok.text);
+}
+
+} // namespace
+
+void
+checkCheckpoint(const Model &model, std::vector<Finding> &out)
+{
+    std::map<std::string, BodyPair> pairs;
+
+    for (const ClassInfo &cls : model.classes) {
+        if (!cls.saveBody.empty()) {
+            BodyPair &pair = pairs[cls.name];
+            addIdents(cls.saveBody, pair.saveIdents);
+            pair.hasSave = true;
+        }
+        if (!cls.loadBody.empty()) {
+            BodyPair &pair = pairs[cls.name];
+            addIdents(cls.loadBody, pair.loadIdents);
+            pair.hasLoad = true;
+        }
+    }
+    for (const SerializerFn &fn : model.serializers) {
+        BodyPair &pair = pairs[fn.typeName];
+        if (fn.dir == SerializerFn::Dir::Save) {
+            addIdents(fn.body, pair.saveIdents);
+            pair.hasSave = true;
+        } else {
+            addIdents(fn.body, pair.loadIdents);
+            pair.hasLoad = true;
+        }
+    }
+
+    for (const ClassInfo &cls : model.classes) {
+        const auto it = pairs.find(cls.name);
+        if (it == pairs.end())
+            continue;
+        const BodyPair &pair = it->second;
+        if (!pair.hasSave || !pair.hasLoad)
+            continue; // nothing to cross-check yet
+        const SourceFile *file = model.fileNamed(cls.file);
+        if (!file)
+            continue;
+        // Classes whose serialization is a member function get all
+        // members checked; free-function-only records check public
+        // members (typically plain structs, where that is all of
+        // them).
+        const bool full_visibility =
+            cls.declaresSaveState || cls.declaresLoadState;
+        for (const Member &member : cls.members) {
+            if (member.transient)
+                continue;
+            if (!full_visibility && !member.isPublic)
+                continue;
+            if (file->allows(member.line, "ckpt-unserialized-field")
+                || file->allows(member.line,
+                                "ckpt-save-load-asymmetry"))
+                continue;
+            const bool saved =
+                pair.saveIdents.count(member.name) != 0;
+            const bool loaded =
+                pair.loadIdents.count(member.name) != 0;
+            if (!saved && !loaded) {
+                out.push_back(
+                    {cls.file, member.line, member.col,
+                     "ckpt-unserialized-field",
+                     "field '" + member.name + "' of checkpointed "
+                         "type '" + cls.name
+                         + "' is neither serialized by its "
+                           "save/load pair nor marked "
+                           "'// lapsim-lint: transient'"});
+            } else if (saved != loaded) {
+                out.push_back(
+                    {cls.file, member.line, member.col,
+                     "ckpt-save-load-asymmetry",
+                     "field '" + member.name + "' of '" + cls.name
+                         + "' is "
+                         + (saved ? "written by save but never "
+                                    "restored by load"
+                                  : "restored by load but never "
+                                    "written by save")});
+            }
+        }
+    }
+}
+
+} // namespace lint

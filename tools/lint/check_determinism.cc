@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Determinism family: no wall-clock, PRNG, or environment reads on
+ * metric-affecting paths, and no iteration over hash-ordered
+ * containers (their order is stdlib- and pointer-layout-dependent,
+ * which silently breaks serial-identical campaign sweeps and
+ * bit-identical checkpoint resume).
+ */
+
+#include <set>
+#include <string>
+
+#include "checks.hh"
+
+namespace lint
+{
+
+namespace
+{
+
+/** Functions whose mere call is nondeterministic. */
+const std::set<std::string> &
+bannedCalls()
+{
+    static const std::set<std::string> banned = {
+        "rand",          "srand",        "rand_r",
+        "drand48",       "lrand48",      "mrand48",
+        "random",        "srandom",      "getenv",
+        "secure_getenv", "gettimeofday", "clock_gettime",
+        "localtime",     "gmtime",       "mktime",
+    };
+    return banned;
+}
+
+/** Types whose mere use is nondeterministic (seeding PRNGs). */
+const std::set<std::string> &
+bannedTypes()
+{
+    static const std::set<std::string> banned = {
+        "random_device",        "mt19937",
+        "mt19937_64",           "default_random_engine",
+        "minstd_rand",          "minstd_rand0",
+        "ranlux24",             "ranlux48",
+    };
+    return banned;
+}
+
+void
+addFinding(const SourceFile &file, const Token &tok,
+           const std::string &id, const std::string &message,
+           std::vector<Finding> &out)
+{
+    if (file.allows(tok.line, id))
+        return;
+    out.push_back({file.path, tok.line, tok.col, id, message});
+}
+
+void
+scanBannedCalls(const SourceFile &file, std::vector<Finding> &out)
+{
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &tok = toks[i];
+        if (tok.kind != TokKind::Ident)
+            continue;
+        const bool member_access =
+            i > 0
+            && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+
+        if (bannedTypes().count(tok.text) != 0 && !member_access) {
+            addFinding(file, tok, "det-banned-call",
+                       "use of 'std::" + tok.text
+                           + "' is nondeterministic; simulator "
+                             "randomness must come from the seeded "
+                             "lap::Rng (common/rng.hh)",
+                       out);
+            continue;
+        }
+
+        const bool called =
+            i + 1 < toks.size() && toks[i + 1].text == "(";
+        if (!called || member_access)
+            continue;
+
+        if (bannedCalls().count(tok.text) != 0) {
+            addFinding(file, tok, "det-banned-call",
+                       "call to '" + tok.text
+                           + "' is nondeterministic on a "
+                             "metric-affecting path",
+                       out);
+            continue;
+        }
+        // chrono clocks: any qualified ::now().
+        if (tok.text == "now" && i > 0
+            && toks[i - 1].text == "::") {
+            addFinding(file, tok, "det-banned-call",
+                       "'::now()' reads the wall clock; simulated "
+                       "time must come from the cycle model",
+                       out);
+            continue;
+        }
+        // time(nullptr) / time(NULL) / time(0) / std::time(...).
+        if (tok.text == "time") {
+            const bool qualified =
+                i > 0 && toks[i - 1].text == "::";
+            const std::string &arg =
+                i + 2 < toks.size() ? toks[i + 2].text : "";
+            if (qualified || arg == "nullptr" || arg == "NULL"
+                || arg == "0" || arg == ")")
+                addFinding(file, tok, "det-banned-call",
+                           "call to 'time' is nondeterministic on a "
+                           "metric-affecting path",
+                           out);
+        }
+    }
+}
+
+void
+scanUnorderedIteration(const Model &model, const SourceFile &file,
+                       std::vector<Finding> &out)
+{
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        // Range-for whose range names an unordered container.
+        if (toks[i].text == "for" && i + 1 < toks.size()
+            && toks[i + 1].text == "(") {
+            // Find the closing paren and the last top-level ':'.
+            int depth = 0;
+            std::size_t close = toks.size();
+            std::size_t colon = 0;
+            for (std::size_t k = i + 1; k < toks.size(); ++k) {
+                if (toks[k].text == "(") {
+                    ++depth;
+                } else if (toks[k].text == ")") {
+                    if (--depth == 0) {
+                        close = k;
+                        break;
+                    }
+                } else if (depth == 1 && toks[k].text == ":") {
+                    colon = k;
+                }
+            }
+            if (close == toks.size() || colon == 0)
+                continue;
+            // Base of the range expression: its last identifier
+            // that is not a function call.
+            std::string base;
+            for (std::size_t k = colon + 1; k < close; ++k) {
+                if (toks[k].kind == TokKind::Ident
+                    && !(k + 1 < close && toks[k + 1].text == "("))
+                    base = toks[k].text;
+            }
+            if (!base.empty()
+                && model.unorderedVars.count(base) != 0)
+                addFinding(
+                    file, toks[i], "det-unordered-iteration",
+                    "range-for over unordered container '" + base
+                        + "': iteration order is not deterministic "
+                          "across builds/platforms",
+                    out);
+            continue;
+        }
+        // Iterator loops: <unordered>.begin().
+        if (toks[i].kind == TokKind::Ident
+            && model.unorderedVars.count(toks[i].text) != 0
+            && i + 2 < toks.size() && toks[i + 1].text == "."
+            && (toks[i + 2].text == "begin"
+                || toks[i + 2].text == "cbegin"))
+            addFinding(file, toks[i], "det-unordered-iteration",
+                       "iteration over unordered container '"
+                           + toks[i].text
+                           + "': order is not deterministic across "
+                             "builds/platforms",
+                       out);
+    }
+}
+
+void
+scanPointerKeys(const SourceFile &file, std::vector<Finding> &out)
+{
+    static const std::set<std::string> ordered = {
+        "map", "set", "multimap", "multiset",
+    };
+    const auto &toks = file.tokens;
+    for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+        if (ordered.count(toks[i].text) == 0)
+            continue;
+        if (!(toks[i - 1].text == "::" && toks[i - 2].text == "std"))
+            continue;
+        if (toks[i + 1].text != "<")
+            continue;
+        // Scan the key type: up to the first top-level ',' or the
+        // matching '>'.
+        int angle = 0;
+        bool pointer_key = false;
+        for (std::size_t k = i + 1; k < toks.size(); ++k) {
+            if (toks[k].text == "<") {
+                ++angle;
+            } else if (toks[k].text == ">") {
+                if (--angle == 0)
+                    break;
+            } else if (angle == 1 && toks[k].text == ",") {
+                break;
+            } else if (toks[k].text == "*") {
+                pointer_key = true;
+            } else if (toks[k].text == ";") {
+                break; // malformed
+            }
+        }
+        if (pointer_key)
+            addFinding(file, toks[i], "det-pointer-key",
+                       "'std::" + toks[i].text
+                           + "' ordered by raw pointer value: "
+                             "ordering depends on allocation "
+                             "addresses and is not reproducible",
+                       out);
+    }
+}
+
+} // namespace
+
+void
+checkDeterminism(const Model &model,
+                 const std::vector<const SourceFile *> &scope,
+                 std::vector<Finding> &out)
+{
+    for (const SourceFile *file : scope) {
+        scanBannedCalls(*file, out);
+        scanUnorderedIteration(model, *file, out);
+        scanPointerKeys(*file, out);
+    }
+}
+
+} // namespace lint

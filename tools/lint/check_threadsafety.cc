@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Thread-safety annotation family. The real lock-discipline proof is
+ * Clang's -Wthread-safety over the LAP_* annotations (enforced as an
+ * error by the CI lint job); these portable checks keep the
+ * annotation rollout honest on every toolchain:
+ *
+ *  - thread-unguarded-field: a class that owns a mutex must say, for
+ *    every sibling mutable member, whether it is lock-protected
+ *    (LAP_GUARDED_BY / LAP_PT_GUARDED_BY) or deliberately not
+ *    ("// lapsim-lint: allow(thread-unguarded-field)", e.g.
+ *    immutable-after-construction members).
+ *  - thread-unknown-guard: a guard annotation must name a real
+ *    declaration — a typo'd mutex name silently disables the Clang
+ *    analysis for that member.
+ */
+
+#include <set>
+#include <string>
+
+#include "checks.hh"
+
+namespace lint
+{
+
+namespace
+{
+
+bool
+typeMentionsMutex(const std::string &type_text)
+{
+    return type_text.find("Mutex") != std::string::npos
+        || type_text.find("mutex") != std::string::npos;
+}
+
+bool
+hasGuardAnnotation(const Member &member)
+{
+    for (const Annotation &ann : member.annotations)
+        if (ann.macro == "LAP_GUARDED_BY"
+            || ann.macro == "LAP_PT_GUARDED_BY")
+            return true;
+    return false;
+}
+
+/** True when @p name is declared anywhere in @p file as a mutex-ish
+ *  entity (covers file-scope guards, function locals, and reference
+ *  parameters like "Mutex &mutex"). */
+bool
+declaredInFile(const SourceFile &file, const std::string &name)
+{
+    const auto &toks = file.tokens;
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+        if (toks[i].text != name)
+            continue;
+        // Walk left over declarator punctuation to the type token.
+        std::size_t j = i - 1;
+        while (j > 0
+               && (toks[j].text == "&" || toks[j].text == "*"
+                   || toks[j].text == "const"))
+            --j;
+        if (typeMentionsMutex(toks[j].text))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+checkThreadSafety(const Model &model, std::vector<Finding> &out)
+{
+    for (const ClassInfo &cls : model.classes) {
+        const SourceFile *file = model.fileNamed(cls.file);
+        if (!file)
+            continue;
+
+        std::set<std::string> member_names;
+        bool owns_mutex = false;
+        for (const Member &member : cls.members) {
+            member_names.insert(member.name);
+            if (typeMentionsMutex(member.typeText))
+                owns_mutex = true;
+        }
+
+        if (owns_mutex) {
+            for (const Member &member : cls.members) {
+                if (typeMentionsMutex(member.typeText))
+                    continue; // the lock itself
+                if (member.typeText.find("const")
+                    != std::string::npos)
+                    continue; // immutable
+                if (member.typeText.find("&")
+                    != std::string::npos)
+                    continue; // reference wiring
+                if (member.typeText.find("atomic")
+                    != std::string::npos)
+                    continue; // synchronizes itself
+                if (hasGuardAnnotation(member))
+                    continue;
+                if (file->allows(member.line,
+                                 "thread-unguarded-field"))
+                    continue;
+                out.push_back(
+                    {cls.file, member.line, member.col,
+                     "thread-unguarded-field",
+                     "'" + cls.name + "' owns a mutex but member '"
+                         + member.name
+                         + "' is neither LAP_GUARDED_BY a lock nor "
+                           "explicitly allowed as lock-free"});
+            }
+        }
+
+        // Guard arguments must name something real.
+        auto checkGuardArg = [&](const Annotation &ann) {
+            if (ann.macro != "LAP_GUARDED_BY"
+                && ann.macro != "LAP_PT_GUARDED_BY"
+                && ann.macro != "LAP_REQUIRES"
+                && ann.macro != "LAP_EXCLUDES"
+                && ann.macro != "LAP_ACQUIRE"
+                && ann.macro != "LAP_RELEASE")
+                return;
+            if (ann.arg.empty())
+                return; // LAP_ACQUIRE() on the capability itself
+            if (member_names.count(ann.arg) != 0)
+                return;
+            if (declaredInFile(*file, ann.arg))
+                return;
+            if (file->allows(ann.line, "thread-unknown-guard"))
+                return;
+            out.push_back(
+                {cls.file, ann.line, ann.col,
+                 "thread-unknown-guard",
+                 ann.macro + "(" + ann.arg + ") in '" + cls.name
+                     + "' names no mutex declared in this class or "
+                       "file; the Clang analysis will silently skip "
+                       "it"});
+        };
+        for (const Annotation &ann : cls.annotations)
+            checkGuardArg(ann);
+        for (const Member &member : cls.members)
+            for (const Annotation &ann : member.annotations)
+                checkGuardArg(ann);
+    }
+}
+
+} // namespace lint

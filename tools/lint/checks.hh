@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The three lapsim-lint check families (portable engine).
+ *
+ * Diagnostic IDs (stable; asserted verbatim by tests/lint):
+ *   determinism
+ *     lapsim-det-banned-call          rand/time/now/getenv/... call
+ *     lapsim-det-unordered-iteration  loop over unordered container
+ *     lapsim-det-pointer-key          pointer-keyed ordered map/set
+ *   checkpoint completeness
+ *     lapsim-ckpt-unserialized-field  member not saved, not transient
+ *     lapsim-ckpt-save-load-asymmetry member saved XOR restored
+ *   thread safety
+ *     lapsim-thread-unguarded-field   mutex-owning class, bare member
+ *     lapsim-thread-unknown-guard     annotation names nothing real
+ *
+ * Suppression: "// lapsim-lint: allow(<id-without-lapsim->)" on the
+ * finding's line or the line above; "// lapsim-lint: transient" on a
+ * member exempts it from checkpoint completeness.
+ */
+
+#ifndef LAPSIM_TOOLS_LINT_CHECKS_HH
+#define LAPSIM_TOOLS_LINT_CHECKS_HH
+
+#include <vector>
+
+#include "source_model.hh"
+
+namespace lint
+{
+
+/**
+ * Determinism family. @p scope lists the files whose code is on
+ * metric-affecting paths (the driver excludes the CLI and logging
+ * translation units); the model still spans every file so that
+ * cross-file type information (unordered members declared in
+ * headers) resolves.
+ */
+void checkDeterminism(const Model &model,
+                      const std::vector<const SourceFile *> &scope,
+                      std::vector<Finding> &out);
+
+/** Checkpoint completeness family (whole model). */
+void checkCheckpoint(const Model &model, std::vector<Finding> &out);
+
+/** Thread-safety annotation family (whole model). */
+void checkThreadSafety(const Model &model,
+                       std::vector<Finding> &out);
+
+} // namespace lint
+
+#endif // LAPSIM_TOOLS_LINT_CHECKS_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Optional Clang LibTooling engine for the determinism family.
+ *
+ * Compiled only when CMake finds the LLVM/Clang development
+ * packages (the pinned-Clang CI lint job installs them); the
+ * portable token engine covers every other environment. Where the
+ * portable engine matches shapes, this engine matches the AST:
+ * calls resolve through typedefs and using-declarations, and
+ * range-for detection sees the real (desugared) range type, so
+ * aliases of std::unordered_map cannot slip through.
+ *
+ * The checkpoint and thread families intentionally stay portable:
+ * the former is a cross-translation-unit token cross-check, the
+ * latter is delegated to Clang's own -Wthread-safety (built as an
+ * error by the CI lint job).
+ */
+
+#ifdef LAPSIM_LINT_HAVE_CLANG
+
+#include <string>
+#include <vector>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+#include "source_model.hh"
+
+namespace lint
+{
+
+namespace
+{
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+/** Re-reads the physical line so allow() comments keep working the
+ *  same way in both engines. */
+bool
+lineAllows(const SourceManager &sm, SourceLocation loc,
+           const std::string &check)
+{
+    if (!loc.isValid() || !loc.isFileID())
+        return false;
+    const FileID fid = sm.getFileID(loc);
+    bool invalid = false;
+    const StringRef buffer = sm.getBufferData(fid, &invalid);
+    if (invalid)
+        return false;
+    const unsigned line = sm.getSpellingLineNumber(loc);
+    SourceFile probe;
+    probe.path = std::string(sm.getFilename(loc));
+    probe = tokenizeFile(probe.path, buffer.str());
+    return probe.allows(static_cast<int>(line), check);
+}
+
+class Collector : public MatchFinder::MatchCallback
+{
+  public:
+    explicit Collector(std::vector<Finding> &out) : out_(out) {}
+
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const SourceManager &sm = *result.SourceManager;
+        SourceLocation loc;
+        std::string id;
+        std::string message;
+
+        if (const auto *call =
+                result.Nodes.getNodeAs<CallExpr>("banned-call")) {
+            loc = call->getBeginLoc();
+            id = "det-banned-call";
+            const auto *callee = call->getDirectCallee();
+            message = "call to '"
+                + (callee ? callee->getNameAsString()
+                          : std::string("<indirect>"))
+                + "' is nondeterministic on a metric-affecting path";
+        } else if (const auto *ctor =
+                       result.Nodes.getNodeAs<CXXConstructExpr>(
+                           "banned-type")) {
+            loc = ctor->getBeginLoc();
+            id = "det-banned-call";
+            message = "use of 'std::random_device' is "
+                      "nondeterministic; simulator randomness must "
+                      "come from the seeded lap::Rng";
+        } else if (const auto *range =
+                       result.Nodes.getNodeAs<CXXForRangeStmt>(
+                           "unordered-range")) {
+            loc = range->getBeginLoc();
+            id = "det-unordered-iteration";
+            message = "range-for over an unordered container: "
+                      "iteration order is not deterministic across "
+                      "builds/platforms";
+        } else if (const auto *field =
+                       result.Nodes.getNodeAs<DeclaratorDecl>(
+                           "pointer-key")) {
+            loc = field->getBeginLoc();
+            id = "det-pointer-key";
+            message = "ordered container keyed by raw pointer "
+                      "value: ordering depends on allocation "
+                      "addresses and is not reproducible";
+        } else {
+            return;
+        }
+
+        if (!loc.isValid() || sm.isInSystemHeader(loc))
+            return;
+        if (lineAllows(sm, loc, id))
+            return;
+        Finding finding;
+        finding.file = std::string(sm.getFilename(loc));
+        finding.line =
+            static_cast<int>(sm.getSpellingLineNumber(loc));
+        finding.col =
+            static_cast<int>(sm.getSpellingColumnNumber(loc));
+        finding.id = id;
+        finding.message = message;
+        out_.push_back(std::move(finding));
+    }
+
+  private:
+    std::vector<Finding> &out_;
+};
+
+} // namespace
+
+int
+runClangDeterminism(const std::string &compdb_dir,
+                    const std::vector<std::string> &files,
+                    std::vector<Finding> &out)
+{
+    std::string error;
+    const std::string dir =
+        compdb_dir.empty() ? std::string(".") : compdb_dir;
+    auto compdb =
+        tooling::CompilationDatabase::loadFromDirectory(dir, error);
+    if (!compdb) {
+        std::fprintf(stderr,
+                     "lapsim-lint: cannot load compile_commands.json "
+                     "from '%s': %s\n",
+                     dir.c_str(), error.c_str());
+        return 2;
+    }
+
+    // Headers carry no compile commands; analyze the .cc files (the
+    // AST spans their included headers anyway).
+    std::vector<std::string> tu_files;
+    for (const std::string &file : files)
+        if (file.size() > 3
+            && file.compare(file.size() - 3, 3, ".cc") == 0)
+            tu_files.push_back(file);
+
+    tooling::ClangTool tool(*compdb, tu_files);
+
+    Collector collector(out);
+    MatchFinder finder;
+
+    const auto banned_fn = functionDecl(hasAnyName(
+        "::rand", "::srand", "::rand_r", "::drand48", "::lrand48",
+        "::random", "::getenv", "::gettimeofday",
+        "::clock_gettime", "::time", "::localtime", "::gmtime",
+        "::mktime", "::std::rand", "::std::srand", "::std::getenv",
+        "::std::time"));
+    finder.addMatcher(
+        callExpr(callee(banned_fn)).bind("banned-call"),
+        &collector);
+    finder.addMatcher(
+        callExpr(callee(cxxMethodDecl(
+                     hasName("now"),
+                     ofClass(matchesName("clock")))))
+            .bind("banned-call"),
+        &collector);
+    finder.addMatcher(
+        cxxConstructExpr(hasType(cxxRecordDecl(
+                             hasName("::std::random_device"))))
+            .bind("banned-type"),
+        &collector);
+
+    const auto unordered_record = classTemplateSpecializationDecl(
+        hasAnyName("::std::unordered_map", "::std::unordered_set",
+                   "::std::unordered_multimap",
+                   "::std::unordered_multiset"));
+    finder.addMatcher(
+        cxxForRangeStmt(
+            hasRangeInit(expr(hasType(hasUnqualifiedDesugaredType(
+                recordType(hasDeclaration(unordered_record)))))))
+            .bind("unordered-range"),
+        &collector);
+
+    const auto pointer_keyed = classTemplateSpecializationDecl(
+        hasAnyName("::std::map", "::std::set", "::std::multimap",
+                   "::std::multiset"),
+        hasTemplateArgument(
+            0, refersToType(pointerType())));
+    finder.addMatcher(
+        fieldDecl(hasType(hasUnqualifiedDesugaredType(
+                      recordType(hasDeclaration(pointer_keyed)))))
+            .bind("pointer-key"),
+        &collector);
+    finder.addMatcher(
+        varDecl(hasType(hasUnqualifiedDesugaredType(
+                    recordType(hasDeclaration(pointer_keyed)))))
+            .bind("pointer-key"),
+        &collector);
+
+    const int rc =
+        tool.run(tooling::newFrontendActionFactory(&finder).get());
+    // rc == 1 means a TU failed to parse; surface it as an
+    // environment error rather than "clean".
+    return rc != 0 ? 2 : 0;
+}
+
+} // namespace lint
+
+#endif // LAPSIM_LINT_HAVE_CLANG

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * lapsim-lint driver.
+ *
+ * Project-specific static analysis for the LAP simulator: enforces
+ * the three invariants the test suite can only catch after the fact
+ * — determinism on metric-affecting paths, checkpoint completeness,
+ * and thread-safety annotation hygiene. See DESIGN.md §11.
+ *
+ * Usage:
+ *   lapsim-lint --src-root src              # walk the tree (CI)
+ *   lapsim-lint file.cc other.hh            # explicit files (tests)
+ *   lapsim-lint --checks determinism ...    # one family only
+ *   lapsim-lint --engine ast -p build ...   # Clang engine, if built
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage/environment error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "checks.hh"
+#include "source_model.hh"
+
+#ifdef LAPSIM_LINT_HAVE_CLANG
+namespace lint
+{
+/** Implemented in clang_engine.cc (optional LibTooling build). */
+int runClangDeterminism(const std::string &compdb_dir,
+                        const std::vector<std::string> &files,
+                        std::vector<Finding> &out);
+} // namespace lint
+#endif
+
+namespace
+{
+
+struct Options
+{
+    std::string srcRoot;
+    std::string compdbDir;
+    std::string engine = "portable";
+    bool checkDet = true;
+    bool checkCkpt = true;
+    bool checkThread = true;
+    std::vector<std::string> files;
+};
+
+/**
+ * Files in the CLI / logging layers sit off the metric-affecting
+ * paths (wall-clock timing of a sweep, env-var handling in option
+ * parsing), so the determinism family skips them in walk mode.
+ * Explicitly listed files are always fully checked.
+ */
+bool
+determinismExempt(const std::string &path)
+{
+    static const char *const exempt[] = {
+        "/common/logging.",
+        "/sim/options.",
+    };
+    for (const char *part : exempt)
+        if (path.find(part) != std::string::npos)
+            return true;
+    return false;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: lapsim-lint [--src-root DIR] [-p BUILD_DIR]\n"
+        "                   [--checks LIST] [--engine ENGINE]\n"
+        "                   [--list-checks] [files...]\n"
+        "  --src-root DIR   walk DIR for *.cc/*.hh (default when no\n"
+        "                   files are given: ./src)\n"
+        "  -p BUILD_DIR     compilation database dir (AST engine)\n"
+        "  --checks LIST    comma list of determinism, checkpoint,\n"
+        "                   thread (default: all)\n"
+        "  --engine ENGINE  portable (default) or ast (requires a\n"
+        "                   build against Clang dev libraries)\n");
+}
+
+void
+listChecks()
+{
+    std::printf(
+        "lapsim-det-banned-call          determinism\n"
+        "lapsim-det-unordered-iteration  determinism\n"
+        "lapsim-det-pointer-key          determinism\n"
+        "lapsim-ckpt-unserialized-field  checkpoint\n"
+        "lapsim-ckpt-save-load-asymmetry checkpoint\n"
+        "lapsim-thread-unguarded-field   thread\n"
+        "lapsim-thread-unknown-guard     thread\n");
+}
+
+bool
+parseChecks(const std::string &list, Options &opts)
+{
+    opts.checkDet = opts.checkCkpt = opts.checkThread = false;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string item = list.substr(pos, comma - pos);
+        if (item == "determinism" || item == "det")
+            opts.checkDet = true;
+        else if (item == "checkpoint" || item == "ckpt")
+            opts.checkCkpt = true;
+        else if (item == "thread")
+            opts.checkThread = true;
+        else if (!item.empty()) {
+            std::fprintf(stderr,
+                         "lapsim-lint: unknown check family '%s'\n",
+                         item.c_str());
+            return false;
+        }
+        pos = comma + 1;
+    }
+    return true;
+}
+
+std::vector<std::string>
+walkSources(const std::string &root)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    const std::filesystem::recursive_directory_iterator end;
+    for (std::filesystem::recursive_directory_iterator
+             it(root, ec);
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const std::string path = it->path().string();
+        if (path.size() > 3
+            && (path.compare(path.size() - 3, 3, ".cc") == 0
+                || path.compare(path.size() - 3, 3, ".hh") == 0))
+            files.push_back(path);
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "lapsim-lint: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--src-root") {
+            const char *v = next("--src-root");
+            if (!v)
+                return 2;
+            opts.srcRoot = v;
+        } else if (arg == "-p") {
+            const char *v = next("-p");
+            if (!v)
+                return 2;
+            opts.compdbDir = v;
+        } else if (arg == "--checks") {
+            const char *v = next("--checks");
+            if (!v || !parseChecks(v, opts))
+                return 2;
+        } else if (arg == "--engine") {
+            const char *v = next("--engine");
+            if (!v)
+                return 2;
+            opts.engine = v;
+        } else if (arg == "--list-checks") {
+            listChecks();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "lapsim-lint: unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        } else {
+            opts.files.push_back(arg);
+        }
+    }
+
+    const bool explicit_files = !opts.files.empty();
+    if (!explicit_files) {
+        if (opts.srcRoot.empty())
+            opts.srcRoot = "src";
+        opts.files = walkSources(opts.srcRoot);
+        if (opts.files.empty()) {
+            std::fprintf(stderr,
+                         "lapsim-lint: no sources under '%s'\n",
+                         opts.srcRoot.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<lint::SourceFile> sources;
+    sources.reserve(opts.files.size());
+    for (const std::string &path : opts.files) {
+        lint::SourceFile file;
+        if (!lint::loadFile(path, file)) {
+            std::fprintf(stderr,
+                         "lapsim-lint: cannot read '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+        sources.push_back(std::move(file));
+    }
+    const lint::Model model = lint::buildModel(std::move(sources));
+
+    std::vector<lint::Finding> findings;
+
+    if (opts.checkDet) {
+        std::vector<const lint::SourceFile *> scope;
+        std::vector<std::string> scope_paths;
+        for (const lint::SourceFile &file : model.files) {
+            if (!explicit_files && determinismExempt(file.path))
+                continue;
+            scope.push_back(&file);
+            scope_paths.push_back(file.path);
+        }
+        if (opts.engine == "ast") {
+#ifdef LAPSIM_LINT_HAVE_CLANG
+            const int rc = lint::runClangDeterminism(
+                opts.compdbDir, scope_paths, findings);
+            if (rc != 0)
+                return rc;
+#else
+            std::fprintf(
+                stderr,
+                "lapsim-lint: built without Clang LibTooling; "
+                "--engine ast unavailable (rebuild with the "
+                "LLVM/Clang development packages installed)\n");
+            return 2;
+#endif
+        } else if (opts.engine == "portable") {
+            lint::checkDeterminism(model, scope, findings);
+        } else {
+            std::fprintf(stderr,
+                         "lapsim-lint: unknown engine '%s'\n",
+                         opts.engine.c_str());
+            return 2;
+        }
+    }
+    if (opts.checkCkpt)
+        lint::checkCheckpoint(model, findings);
+    if (opts.checkThread)
+        lint::checkThreadSafety(model, findings);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const lint::Finding &a, const lint::Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.id < b.id;
+              });
+    findings.erase(
+        std::unique(findings.begin(), findings.end(),
+                    [](const lint::Finding &a,
+                       const lint::Finding &b) {
+                        return a.file == b.file && a.line == b.line
+                            && a.col == b.col && a.id == b.id;
+                    }),
+        findings.end());
+
+    for (const lint::Finding &finding : findings)
+        std::printf("%s\n", lint::formatFinding(finding).c_str());
+
+    if (findings.empty()) {
+        std::fprintf(stderr,
+                     "lapsim-lint: %zu file(s) clean\n",
+                     model.files.size());
+        return 0;
+    }
+    std::fprintf(stderr, "lapsim-lint: %zu finding(s)\n",
+                 findings.size());
+    return 1;
+}

@@ -1,0 +1,895 @@
+#include "source_model.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Two-char punctuators we keep glued ('<'/'>' stay single so the
+ *  template-angle tracking below can count them). */
+bool
+isGluedPunct(char a, char b)
+{
+    if (a == ':' && b == ':')
+        return true;
+    if (a == '-' && b == '>')
+        return true;
+    return false;
+}
+
+} // namespace
+
+std::string
+formatFinding(const Finding &finding)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ":%d:%d: ", finding.line,
+                  finding.col);
+    return finding.file + buf + "error: " + finding.message
+        + " [lapsim-" + finding.id + "]";
+}
+
+bool
+SourceFile::allows(int line, const std::string &check) const
+{
+    for (int l = line - 1; l <= line; ++l) {
+        const auto it = comments.find(l);
+        if (it == comments.end())
+            continue;
+        const std::string &text = it->second;
+        std::size_t at = text.find("lapsim-lint:");
+        if (at == std::string::npos)
+            continue;
+        std::size_t open = text.find("allow(", at);
+        while (open != std::string::npos) {
+            const std::size_t close = text.find(')', open);
+            if (close == std::string::npos)
+                break;
+            const std::string list =
+                text.substr(open + 6, close - open - 6);
+            // Comma-separated check names inside allow(...).
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string item = list.substr(pos, comma - pos);
+                item.erase(0, item.find_first_not_of(" \t"));
+                const std::size_t last =
+                    item.find_last_not_of(" \t");
+                if (last != std::string::npos)
+                    item.erase(last + 1);
+                if (item == "all" || item == check)
+                    return true;
+                pos = comma + 1;
+            }
+            open = text.find("allow(", close);
+        }
+    }
+    return false;
+}
+
+bool
+SourceFile::markedTransient(int line) const
+{
+    for (int l = line - 1; l <= line; ++l) {
+        const auto it = comments.find(l);
+        if (it != comments.end()
+            && it->second.find("lapsim-lint: transient")
+                != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+SourceFile
+tokenizeFile(const std::string &path, const std::string &content)
+{
+    SourceFile out;
+    out.path = path;
+
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    int col = 1;
+    bool at_line_start = true;
+
+    auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+            if (content[i] == '\n') {
+                ++line;
+                col = 1;
+                at_line_start = true;
+            } else {
+                ++col;
+                if (!std::isspace(
+                        static_cast<unsigned char>(content[i])))
+                    at_line_start = false;
+            }
+        }
+    };
+
+    while (i < n) {
+        const char c = content[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+        // Preprocessor directives: skip whole (continued) line.
+        if (c == '#' && at_line_start) {
+            while (i < n) {
+                if (content[i] == '\\' && i + 1 < n
+                    && content[i + 1] == '\n') {
+                    advance(2);
+                    continue;
+                }
+                if (content[i] == '\n')
+                    break;
+                advance(1);
+            }
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            std::size_t end = i;
+            while (end < n && content[end] != '\n')
+                ++end;
+            out.comments[line] += content.substr(i, end - i);
+            out.comments[line] += ' ';
+            advance(end - i);
+            continue;
+        }
+        // Block comment (text attributed to its final line).
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            std::size_t end = content.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            const std::string text = content.substr(i, end - i);
+            advance(end - i);
+            out.comments[line] += text;
+            out.comments[line] += ' ';
+            continue;
+        }
+        // String literal (incl. a basic raw-string form).
+        if (c == '"'
+            || (c == 'R' && i + 1 < n && content[i + 1] == '"')) {
+            Token tok{TokKind::String, "\"\"", line, col};
+            if (c == 'R') {
+                const std::size_t open = content.find('(', i);
+                std::size_t delim_len =
+                    open == std::string::npos ? 0 : open - (i + 2);
+                const std::string closer =
+                    ")"
+                    + (open == std::string::npos
+                           ? std::string()
+                           : content.substr(i + 2, delim_len))
+                    + "\"";
+                std::size_t end = content.find(closer, i);
+                end = end == std::string::npos
+                          ? n
+                          : end + closer.size();
+                advance(end - i);
+            } else {
+                advance(1);
+                while (i < n && content[i] != '"') {
+                    if (content[i] == '\\' && i + 1 < n)
+                        advance(2);
+                    else if (content[i] == '\n')
+                        break; // unterminated; bail on the line
+                    else
+                        advance(1);
+                }
+                if (i < n && content[i] == '"')
+                    advance(1);
+            }
+            out.tokens.push_back(tok);
+            continue;
+        }
+        // Character literal.
+        if (c == '\'') {
+            Token tok{TokKind::CharLit, "''", line, col};
+            advance(1);
+            while (i < n && content[i] != '\'') {
+                if (content[i] == '\\' && i + 1 < n)
+                    advance(2);
+                else if (content[i] == '\n')
+                    break;
+                else
+                    advance(1);
+            }
+            if (i < n && content[i] == '\'')
+                advance(1);
+            out.tokens.push_back(tok);
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t end = i;
+            while (end < n && isIdentChar(content[end]))
+                ++end;
+            out.tokens.push_back({TokKind::Ident,
+                                  content.substr(i, end - i), line,
+                                  col});
+            advance(end - i);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t end = i;
+            while (end < n
+                   && (isIdentChar(content[end])
+                       || content[end] == '.'))
+                ++end;
+            out.tokens.push_back({TokKind::Number,
+                                  content.substr(i, end - i), line,
+                                  col});
+            advance(end - i);
+            continue;
+        }
+        // Punctuation.
+        if (i + 1 < n && isGluedPunct(c, content[i + 1])) {
+            out.tokens.push_back(
+                {TokKind::Punct, content.substr(i, 2), line, col});
+            advance(2);
+        } else {
+            out.tokens.push_back(
+                {TokKind::Punct, std::string(1, c), line, col});
+            advance(1);
+        }
+    }
+    return out;
+}
+
+bool
+loadFile(const std::string &path, SourceFile &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string content;
+    char buf[64 * 1024];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, got);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok)
+        return false;
+    out = tokenizeFile(path, content);
+    return true;
+}
+
+const SourceFile *
+Model::fileNamed(const std::string &path) const
+{
+    for (const auto &file : files)
+        if (file.path == path)
+            return &file;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Model building: class bodies, members, serializer functions.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+using Tokens = std::vector<Token>;
+
+bool
+is(const Token &tok, const char *text)
+{
+    return tok.text == text;
+}
+
+/** Index just past the brace group opening at @p open. */
+std::size_t
+skipBraces(const Tokens &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (is(toks[i], "{"))
+            ++depth;
+        else if (is(toks[i], "}")) {
+            --depth;
+            if (depth == 0)
+                return i + 1;
+        }
+    }
+    return toks.size();
+}
+
+/** Index just past the paren group opening at @p open. */
+std::size_t
+skipParens(const Tokens &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (is(toks[i], "("))
+            ++depth;
+        else if (is(toks[i], ")")) {
+            --depth;
+            if (depth == 0)
+                return i + 1;
+        }
+    }
+    return toks.size();
+}
+
+bool
+isLapAnnotation(const std::string &name)
+{
+    return name.rfind("LAP_", 0) == 0;
+}
+
+/** First identifier inside a LAP_* macro argument list. */
+std::string
+annotationArg(const Tokens &toks, std::size_t open, std::size_t end)
+{
+    for (std::size_t i = open; i < end; ++i)
+        if (toks[i].kind == TokKind::Ident)
+            return toks[i].text;
+    return "";
+}
+
+const std::set<std::string> &
+memberSkipKeywords()
+{
+    static const std::set<std::string> kw = {
+        "using",  "typedef",  "friend", "static", "template",
+        "enum",   "class",    "struct", "union",  "public",
+        "private", "protected",
+    };
+    return kw;
+}
+
+/**
+ * Interprets one ';'-terminated class-body statement. Appends a
+ * Member for data members; records saveState/loadState declarations
+ * and LAP_* annotations for everything else.
+ */
+void
+finalizeStatement(const SourceFile &file, Tokens stmt,
+                  ClassInfo &cls, bool &public_access)
+{
+    // Strip leading access labels ("public :" etc), tracking the
+    // region's visibility for the members that follow.
+    while (stmt.size() >= 2
+           && (is(stmt[0], "public") || is(stmt[0], "private")
+               || is(stmt[0], "protected"))
+           && is(stmt[1], ":")) {
+        public_access = is(stmt[0], "public");
+        stmt.erase(stmt.begin(), stmt.begin() + 2);
+    }
+    if (stmt.empty())
+        return;
+
+    // Pull out LAP_* annotation groups first (their parens must not
+    // read as a function declarator).
+    std::vector<Annotation> annotations;
+    Tokens clean;
+    for (std::size_t i = 0; i < stmt.size();) {
+        if (stmt[i].kind == TokKind::Ident
+            && isLapAnnotation(stmt[i].text)) {
+            Annotation ann;
+            ann.macro = stmt[i].text;
+            ann.line = stmt[i].line;
+            ann.col = stmt[i].col;
+            if (i + 1 < stmt.size() && is(stmt[i + 1], "(")) {
+                const std::size_t end = [&] {
+                    int depth = 0;
+                    for (std::size_t k = i + 1; k < stmt.size();
+                         ++k) {
+                        if (is(stmt[k], "("))
+                            ++depth;
+                        else if (is(stmt[k], ")") && --depth == 0)
+                            return k + 1;
+                    }
+                    return stmt.size();
+                }();
+                ann.arg = annotationArg(stmt, i + 2, end - 1);
+                i = end;
+            } else {
+                ++i;
+            }
+            annotations.push_back(ann);
+            continue;
+        }
+        clean.push_back(stmt[i]);
+        ++i;
+    }
+    for (const auto &ann : annotations)
+        cls.annotations.push_back(ann);
+
+    if (clean.empty())
+        return;
+    if (memberSkipKeywords().count(clean[0].text) != 0)
+        return;
+    for (const auto &tok : clean)
+        if (is(tok, "operator"))
+            return;
+
+    // Truncate at the initializer / bitfield / array suffix; detect
+    // function declarators (top-level '(' before any '=').
+    Tokens decl;
+    int angle = 0;
+    bool function = false;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        const Token &tok = clean[i];
+        if (is(tok, "<")) {
+            ++angle;
+        } else if (is(tok, ">")) {
+            if (angle > 0)
+                --angle;
+        } else if (angle == 0) {
+            if (is(tok, "=") || is(tok, "{") || is(tok, "["))
+                break;
+            if (is(tok, ":"))
+                break; // bitfield
+            if (is(tok, "(")) {
+                function = true;
+                break;
+            }
+        }
+        decl.push_back(tok);
+    }
+
+    if (function) {
+        for (const auto &tok : clean) {
+            if (is(tok, "saveState"))
+                cls.declaresSaveState = true;
+            else if (is(tok, "loadState"))
+                cls.declaresLoadState = true;
+        }
+        return;
+    }
+
+    if (decl.size() < 2)
+        return;
+    // Multi-declarator support: split the declarator tail on
+    // top-level commas ("int a, b;" — rare but legal).
+    std::vector<std::size_t> name_indices;
+    angle = 0;
+    std::size_t last_ident = decl.size();
+    for (std::size_t i = 0; i < decl.size(); ++i) {
+        if (is(decl[i], "<"))
+            ++angle;
+        else if (is(decl[i], ">") && angle > 0)
+            --angle;
+        else if (angle == 0 && is(decl[i], ",")
+                 && last_ident != decl.size()) {
+            name_indices.push_back(last_ident);
+            last_ident = decl.size();
+        } else if (decl[i].kind == TokKind::Ident)
+            last_ident = i;
+    }
+    if (last_ident != decl.size())
+        name_indices.push_back(last_ident);
+    if (name_indices.empty() || name_indices[0] == 0)
+        return;
+
+    std::string type_text;
+    for (std::size_t i = 0; i < name_indices[0]; ++i) {
+        if (!type_text.empty())
+            type_text += ' ';
+        type_text += decl[i].text;
+    }
+    for (const std::size_t idx : name_indices) {
+        Member member;
+        member.name = decl[idx].text;
+        member.typeText = type_text;
+        member.line = decl[idx].line;
+        member.col = decl[idx].col;
+        member.transient = file.markedTransient(decl[idx].line);
+        member.isPublic = public_access;
+        member.annotations = annotations;
+        cls.members.push_back(std::move(member));
+    }
+}
+
+/** True when the pending statement opens a nested type body. */
+bool
+opensNestedType(const Tokens &stmt)
+{
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+        const std::string &text = stmt[i].text;
+        if (text == "enum" || text == "union")
+            return true;
+        if ((text == "class" || text == "struct")
+            && !(i > 0 && is(stmt[i - 1], "enum")))
+            return true;
+        if (text == "=")
+            return false; // initializer; '{' belongs to it
+    }
+    return false;
+}
+
+/** True when the pending statement is a function heading (top-level
+ *  '(' before any '='), i.e. its '{' opens a function body. */
+bool
+opensFunctionBody(const Tokens &stmt)
+{
+    int angle = 0;
+    for (const auto &tok : stmt) {
+        if (is(tok, "<"))
+            ++angle;
+        else if (is(tok, ">")) {
+            if (angle > 0)
+                --angle;
+        } else if (angle == 0) {
+            if (is(tok, "="))
+                return false;
+            if (tok.kind == TokKind::Ident
+                && isLapAnnotation(tok.text))
+                continue; // its parens are annotation args
+            if (is(tok, "("))
+                return true;
+        }
+    }
+    return false;
+}
+
+std::size_t parseClassBody(const SourceFile &file, const Tokens &toks,
+                           std::size_t open, const std::string &name,
+                           bool public_default,
+                           std::vector<ClassInfo> &out);
+
+/**
+ * Parses one class/struct head starting at the 'class'/'struct'
+ * keyword; returns the index to resume scanning from.
+ */
+std::size_t
+parseClassAt(const SourceFile &file, const Tokens &toks,
+             std::size_t at, std::vector<ClassInfo> &out)
+{
+    // Find the end of the head: '{' begins a definition, ';' a
+    // forward declaration.
+    std::size_t head_end = at + 1;
+    int angle = 0;
+    while (head_end < toks.size()) {
+        const Token &tok = toks[head_end];
+        if (is(tok, "<")) {
+            ++angle;
+        } else if (is(tok, ">")) {
+            if (angle > 0)
+                --angle;
+        } else if (is(tok, "(")) {
+            // Attribute macro (LAP_CAPABILITY(...)) or alignas.
+            head_end = skipParens(toks, head_end);
+            continue;
+        } else if (angle == 0 && (is(tok, "{") || is(tok, ";"))) {
+            break;
+        }
+        ++head_end;
+    }
+    if (head_end >= toks.size() || !is(toks[head_end], "{"))
+        return at + 1; // forward decl / "struct Foo var;" usage
+
+    // The class name: last plain identifier before the base clause,
+    // skipping "final", alignas(...), and macro attribute groups.
+    std::string name;
+    angle = 0;
+    for (std::size_t i = at + 1; i < head_end; ++i) {
+        const Token &tok = toks[i];
+        if (is(tok, "<"))
+            ++angle;
+        else if (is(tok, ">") && angle > 0)
+            --angle;
+        else if (angle == 0 && is(tok, ":"))
+            break; // base clause
+        else if (angle == 0 && tok.kind == TokKind::Ident) {
+            if (tok.text == "final")
+                continue;
+            if (i + 1 < head_end && is(toks[i + 1], "(")) {
+                i = skipParens(toks, i + 1) - 1; // macro/alignas
+                continue;
+            }
+            name = tok.text;
+        }
+    }
+    if (name.empty())
+        return skipBraces(toks, head_end); // anonymous; skip
+
+    return parseClassBody(file, toks, head_end, name,
+                          is(toks[at], "struct"), out);
+}
+
+std::size_t
+parseClassBody(const SourceFile &file, const Tokens &toks,
+               std::size_t open, const std::string &name,
+               bool public_default, std::vector<ClassInfo> &out)
+{
+    ClassInfo cls;
+    cls.name = name;
+    cls.file = file.path;
+    cls.line = toks[open].line;
+    bool public_access = public_default;
+
+    Tokens stmt;
+    std::size_t i = open + 1;
+    while (i < toks.size()) {
+        const Token &tok = toks[i];
+        if (is(tok, "}")) {
+            ++i; // end of this class body
+            break;
+        }
+        if (is(tok, ";")) {
+            finalizeStatement(file, stmt, cls, public_access);
+            stmt.clear();
+            ++i;
+            continue;
+        }
+        if (is(tok, "{")) {
+            if (opensNestedType(stmt)) {
+                // Recurse when the nested type has a name.
+                std::string nested;
+                for (const auto &head : stmt)
+                    if (head.kind == TokKind::Ident
+                        && head.text != "class"
+                        && head.text != "struct"
+                        && head.text != "enum"
+                        && head.text != "union"
+                        && head.text != "final")
+                        nested = head.text;
+                const bool is_enum = [&] {
+                    for (const auto &head : stmt)
+                        if (is(head, "enum"))
+                            return true;
+                    return false;
+                }();
+                const bool nested_struct = [&] {
+                    for (const auto &head : stmt)
+                        if (is(head, "struct"))
+                            return true;
+                    return false;
+                }();
+                if (!nested.empty() && !is_enum)
+                    i = parseClassBody(file, toks, i, nested,
+                                       nested_struct, out);
+                else
+                    i = skipBraces(toks, i);
+                // Keep stmt so the trailing ';' finalization skips
+                // it via the leading keyword.
+                continue;
+            }
+            if (opensFunctionBody(stmt)) {
+                const std::size_t body_end = skipBraces(toks, i);
+                bool is_save = false;
+                bool is_load = false;
+                for (const auto &head : stmt) {
+                    if (is(head, "saveState"))
+                        is_save = true;
+                    else if (is(head, "loadState"))
+                        is_load = true;
+                }
+                Tokens body(toks.begin() + i,
+                            toks.begin() + body_end);
+                if (is_save) {
+                    cls.declaresSaveState = true;
+                    cls.saveBody = body;
+                } else if (is_load) {
+                    cls.declaresLoadState = true;
+                    cls.loadBody = body;
+                }
+                // Record annotations on the heading (REQUIRES etc.)
+                finalizeStatement(file, stmt, cls, public_access);
+                stmt.clear();
+                i = body_end;
+                continue;
+            }
+            // Brace initializer: fold into the statement and let the
+            // ';' finalize it (name sits before the '{').
+            const std::size_t init_end = skipBraces(toks, i);
+            stmt.push_back(tok); // '=' sentinel-ish: truncates decl
+            i = init_end;
+            continue;
+        }
+        stmt.push_back(tok);
+        ++i;
+    }
+    out.push_back(std::move(cls));
+    return i;
+}
+
+bool
+startsWithAny(const std::string &name,
+              std::initializer_list<const char *> prefixes)
+{
+    for (const char *prefix : prefixes)
+        if (name.rfind(prefix, 0) == 0)
+            return true;
+    return false;
+}
+
+/** Collects out-of-line/free serializer function bodies. */
+void
+collectSerializers(const SourceFile &file, Model &model)
+{
+    const Tokens &toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &tok = toks[i];
+        if (tok.kind != TokKind::Ident)
+            continue;
+        const bool save_name =
+            startsWithAny(tok.text, {"save", "write"});
+        const bool load_name =
+            startsWithAny(tok.text, {"load", "restore", "read"});
+        if (!save_name && !load_name)
+            continue;
+        if (i + 1 >= toks.size() || !is(toks[i + 1], "("))
+            continue;
+        // Reject member accesses and mid-expression calls: a
+        // definition is preceded by '::', a type identifier, or a
+        // declarator punctuator.
+        if (i > 0) {
+            const std::string &prev = toks[i - 1].text;
+            if (prev == "." || prev == "->" || prev == "("
+                || prev == "," || prev == "return" || prev == "="
+                || prev == "!" || prev == "&&" || prev == "||")
+                continue;
+        }
+        const std::size_t params_end = skipParens(toks, i + 1);
+        std::size_t k = params_end;
+        while (k < toks.size()
+               && (is(toks[k], "const") || is(toks[k], "override")
+                   || is(toks[k], "noexcept")
+                   || is(toks[k], "final")))
+            ++k;
+        if (k >= toks.size() || !is(toks[k], "{"))
+            continue; // declaration or call, not a definition
+
+        // Identify the record type being serialized.
+        std::string type_name;
+        const bool qualified =
+            i >= 2 && is(toks[i - 1], "::")
+            && toks[i - 2].kind == TokKind::Ident;
+        bool has_stream = false;
+        const char *stream_type =
+            save_name ? "ByteWriter" : "ByteReader";
+        std::string param_type;
+        for (std::size_t p = i + 2; p + 1 < params_end; ++p) {
+            if (toks[p].kind != TokKind::Ident)
+                continue;
+            if (toks[p].text == stream_type) {
+                has_stream = true;
+                continue;
+            }
+            // A user-type parameter: CamelCase identifier followed
+            // by '&' / ident (skip qualifiers and builtins).
+            static const std::set<std::string> skip = {
+                "const",   "std",     "ByteWriter", "ByteReader",
+                "void",    "bool",    "int",        "unsigned",
+                "char",    "long",    "double",     "float",
+                "size_t",  "uint8_t", "uint16_t",   "uint32_t",
+                "uint64_t", "string",
+            };
+            if (skip.count(toks[p].text) != 0)
+                continue;
+            if (std::isupper(
+                    static_cast<unsigned char>(toks[p].text[0])))
+                param_type = toks[p].text;
+        }
+        if (qualified)
+            type_name = toks[i - 2].text;
+        else if (!param_type.empty())
+            type_name = param_type;
+        else if (i > 0 && toks[i - 1].kind == TokKind::Ident
+                 && toks[i - 1].text != "void")
+            type_name = toks[i - 1].text; // return type
+        if (type_name.empty() || !has_stream)
+            continue;
+
+        SerializerFn fn;
+        fn.dir = save_name ? SerializerFn::Dir::Save
+                           : SerializerFn::Dir::Load;
+        fn.typeName = type_name;
+        fn.file = file.path;
+        fn.line = tok.line;
+        const std::size_t body_end = skipBraces(toks, k);
+        fn.body.assign(toks.begin() + k, toks.begin() + body_end);
+        model.serializers.push_back(std::move(fn));
+        i = body_end - 1;
+    }
+}
+
+/** Records identifiers declared with unordered container types. */
+void
+collectUnordered(const SourceFile &file, Model &model)
+{
+    static const std::set<std::string> unordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+    const Tokens &toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        // Alias: using Name = ...unordered...;
+        if (is(toks[i], "using") && i + 2 < toks.size()
+            && toks[i + 1].kind == TokKind::Ident
+            && is(toks[i + 2], "=")) {
+            for (std::size_t k = i + 3;
+                 k < toks.size() && !is(toks[k], ";"); ++k) {
+                if (unordered.count(toks[k].text) != 0) {
+                    model.unorderedAliases.insert(toks[i + 1].text);
+                    break;
+                }
+            }
+            continue;
+        }
+        if (unordered.count(toks[i].text) == 0)
+            continue;
+        // Skip the template argument group, then qualifiers, and
+        // take the declared name if one follows.
+        std::size_t k = i + 1;
+        if (k < toks.size() && is(toks[k], "<")) {
+            int depth = 0;
+            for (; k < toks.size(); ++k) {
+                if (is(toks[k], "<"))
+                    ++depth;
+                else if (is(toks[k], ">") && --depth == 0) {
+                    ++k;
+                    break;
+                } else if (is(toks[k], ";"))
+                    break; // malformed; bail
+            }
+        }
+        while (k < toks.size()
+               && (is(toks[k], "&") || is(toks[k], "*")
+                   || is(toks[k], "const")))
+            ++k;
+        if (k < toks.size() && toks[k].kind == TokKind::Ident)
+            model.unorderedVars.insert(toks[k].text);
+    }
+    // Second pass: variables declared via an unordered alias.
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (model.unorderedAliases.count(toks[i].text) == 0)
+            continue;
+        if (toks[i + 1].kind != TokKind::Ident)
+            continue;
+        const std::string &after = toks[i + 2].text;
+        if (after == ";" || after == "=" || after == "{"
+            || after == ",")
+            model.unorderedVars.insert(toks[i + 1].text);
+    }
+}
+
+} // namespace
+
+Model
+buildModel(std::vector<SourceFile> files)
+{
+    Model model;
+    model.files = std::move(files);
+    for (const SourceFile &file : model.files) {
+        const Tokens &toks = file.tokens;
+        for (std::size_t i = 0; i < toks.size();) {
+            if ((is(toks[i], "class") || is(toks[i], "struct"))
+                && !(i > 0 && is(toks[i - 1], "enum")))
+                i = parseClassAt(file, toks, i, model.classes);
+            else
+                ++i;
+        }
+        collectSerializers(file, model);
+        collectUnordered(file, model);
+    }
+    return model;
+}
+
+} // namespace lint

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Token-level C++ source model backing lapsim-lint's portable engine.
+ *
+ * The portable engine runs wherever the simulator builds — no
+ * LLVM/Clang development libraries required — so the `lint` ctest
+ * label and the project invariants it enforces gate every build, not
+ * only the pinned-Clang CI job. It is deliberately not a C++ parser:
+ * a comment/string/preprocessor-aware tokenizer plus a handful of
+ * shape heuristics tuned to this repository's house style (see
+ * DESIGN.md §11). The Clang AST engine (clang_engine.cc), when
+ * compiled in, reuses the same finding/reporting layer.
+ *
+ * Everything lives in namespace lint to keep the tool clearly apart
+ * from the simulator's namespace lap.
+ */
+
+#ifndef LAPSIM_TOOLS_LINT_SOURCE_MODEL_HH
+#define LAPSIM_TOOLS_LINT_SOURCE_MODEL_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lint
+{
+
+enum class TokKind
+{
+    Ident,
+    Number,
+    Punct,
+    String,
+    CharLit,
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0;
+    int col = 0;
+};
+
+/** One diagnostic. `id` is the stable check name without the
+ *  "lapsim-" prefix (e.g. "det-banned-call"). */
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    int col = 0;
+    std::string id;
+    std::string message;
+};
+
+/** Renders "file:line:col: error: message [lapsim-id]". */
+std::string formatFinding(const Finding &finding);
+
+/** A LAP_* thread-safety annotation attached to a declaration. */
+struct Annotation
+{
+    std::string macro; ///< e.g. "LAP_GUARDED_BY"
+    std::string arg;   ///< first identifier of the argument list
+    int line = 0;
+    int col = 0;
+};
+
+/** One non-static data member of a class/struct. */
+struct Member
+{
+    std::string name;
+    /** Declaration tokens left of the name, joined by spaces. */
+    std::string typeText;
+    int line = 0;
+    int col = 0;
+    bool transient = false; ///< "lapsim-lint: transient" comment
+    /** Visible outside the class. Free-function serializers can only
+     *  reference public members, so checkpoint completeness checks
+     *  them alone for types serialized externally. */
+    bool isPublic = false;
+    std::vector<Annotation> annotations;
+};
+
+/** A class/struct definition. */
+struct ClassInfo
+{
+    std::string name;
+    std::string file;
+    int line = 0;
+    std::vector<Member> members;
+    /** Annotations on any declaration in the body (incl. methods). */
+    std::vector<Annotation> annotations;
+    bool declaresSaveState = false;
+    bool declaresLoadState = false;
+    /** Inline in-class bodies, when present. */
+    std::vector<Token> saveBody;
+    std::vector<Token> loadBody;
+};
+
+/** A save/load/restore function body serializing a record type. */
+struct SerializerFn
+{
+    enum class Dir
+    {
+        Save,
+        Load,
+    };
+    Dir dir = Dir::Save;
+    std::string typeName; ///< record type it serializes
+    std::string file;
+    int line = 0;
+    std::vector<Token> body;
+};
+
+/** One tokenized translation-unit (or header) file. */
+struct SourceFile
+{
+    std::string path;
+    std::vector<Token> tokens;
+    /** Comment text per line (all comments ending on that line). */
+    std::map<int, std::string> comments;
+
+    /**
+     * True when line (or the line above, for whole-statement
+     * suppressions) carries "lapsim-lint: allow(<check>)" or
+     * "lapsim-lint: allow(all)".
+     */
+    bool allows(int line, const std::string &check) const;
+
+    /** True for a "lapsim-lint: transient" marker on line/line-1. */
+    bool markedTransient(int line) const;
+};
+
+/** The cross-file model every check family consumes. */
+struct Model
+{
+    std::vector<SourceFile> files;
+    std::vector<ClassInfo> classes;
+    std::vector<SerializerFn> serializers;
+    /** Variables/members declared with an unordered container type. */
+    std::set<std::string> unorderedVars;
+    /** Type aliases whose target is an unordered container. */
+    std::set<std::string> unorderedAliases;
+
+    const SourceFile *fileNamed(const std::string &path) const;
+};
+
+/** Tokenizes one file's content (comments and strings stripped into
+ *  the side tables; preprocessor lines skipped). */
+SourceFile tokenizeFile(const std::string &path,
+                        const std::string &content);
+
+/** Reads @p path from disk and tokenizes; returns false on I/O
+ *  error. */
+bool loadFile(const std::string &path, SourceFile &out);
+
+/** Builds the full model (classes, serializers, unordered-type
+ *  tables) over the already-tokenized files. */
+Model buildModel(std::vector<SourceFile> files);
+
+} // namespace lint
+
+#endif // LAPSIM_TOOLS_LINT_SOURCE_MODEL_HH
