@@ -19,6 +19,8 @@
  *       --metric metrics.epi --normalize Non-inclusive
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -27,6 +29,8 @@
 #include "campaign/aggregate.hh"
 #include "campaign/engine.hh"
 #include "common/logging.hh"
+#include "fabric/client.hh"
+#include "fabric/socket.hh"
 #include "sim/config_fields.hh"
 #include "sim/options.hh"
 
@@ -59,7 +63,24 @@ const char *kHelp =
     "                          (implies --resume; needs --out)\n"
     "  --checkpoint-every N    snapshot cadence for --restore, in\n"
     "                          references (default ~4 per job)\n"
+    "  --shard K/N             run only shard K of N (deterministic\n"
+    "                          job-hash partition; the N shard runs\n"
+    "                          union to exactly the full grid)\n"
     "  --list                  print the expanded grid and exit\n"
+    "\n"
+    "  SIGINT/SIGTERM stop dispatching new jobs: running jobs\n"
+    "  finish and are flushed to --out, the rest stay unrun, and\n"
+    "  the exit code is 3 (resume with --resume).\n"
+    "\n"
+    "fabric (see DESIGN.md §12):\n"
+    "  --connect HOST:PORT     run the campaign on a lapsim-serve\n"
+    "                          fleet instead of locally (needs\n"
+    "                          --spec; honors --out/--resume/\n"
+    "                          --checkpoint-every)\n"
+    "  --query HOST:PORT       print a live aggregation of what the\n"
+    "                          daemon has completed so far and exit\n"
+    "  --campaign N            campaign id for --query (default:\n"
+    "                          the daemon's most recent)\n"
     "\n"
     "aggregation (reads JSONL, prints a table):\n"
     "  --aggregate PATH        aggregate a results file and exit\n"
@@ -96,6 +117,18 @@ splitAssignment(const std::string &flag, const std::string &text)
     return {text.substr(0, eq), text.substr(eq + 1)};
 }
 
+/** Set by SIGINT/SIGTERM; the engine stops claiming jobs. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onStopSignal(int sig)
+{
+    g_stop.store(true);
+    // A second signal gets the default action (kill), so a hung
+    // job cannot trap the user in "graceful" shutdown.
+    std::signal(sig, SIG_DFL);
+}
+
 } // namespace
 
 int
@@ -107,6 +140,10 @@ main(int argc, char **argv)
     EngineOptions engine;
     AggregateSpec agg;
     std::string aggregate_path;
+    std::string spec_text;
+    std::string connect_addr;
+    std::string query_addr;
+    std::uint64_t query_id = 0;
     int phases = 0;
     bool metric_set = false;
     bool rows_set = false;
@@ -125,7 +162,10 @@ main(int argc, char **argv)
             std::printf("%s%s", kHelp, configFieldsHelp().c_str());
             return 0;
         } else if (flag == "--spec") {
-            CampaignSpec parsed = parseCampaignSpec(readFile(next()));
+            // Keep the raw text too: --connect ships it verbatim so
+            // the daemon and every worker expand the same bytes.
+            spec_text = readFile(next());
+            CampaignSpec parsed = parseCampaignSpec(spec_text);
             // Inline flags compose on top of the file.
             spec.name = parsed.name;
             spec.seed = parsed.seed;
@@ -199,6 +239,35 @@ main(int argc, char **argv)
                 lap_fatal(
                     "--checkpoint-every: expected a positive number");
             engine.checkpointEvery = parsed;
+        } else if (flag == "--shard") {
+            const std::string &value = next();
+            const auto slash = value.find('/');
+            char *end = nullptr;
+            const auto k = std::strtoul(value.c_str(), &end, 10);
+            if (slash == std::string::npos
+                || end != value.c_str() + slash)
+                lap_fatal("--shard: expected K/N, got '%s'",
+                          value.c_str());
+            const std::string n_text = value.substr(slash + 1);
+            const auto n = std::strtoul(n_text.c_str(), &end, 10);
+            if (end == n_text.c_str() || *end != '\0' || n == 0
+                || k >= n)
+                lap_fatal("--shard: expected K/N with K < N, "
+                          "got '%s'",
+                          value.c_str());
+            engine.shardIndex = static_cast<std::uint32_t>(k);
+            engine.shardCount = static_cast<std::uint32_t>(n);
+        } else if (flag == "--connect") {
+            connect_addr = next();
+        } else if (flag == "--query") {
+            query_addr = next();
+        } else if (flag == "--campaign") {
+            char *end = nullptr;
+            const std::string &value = next();
+            query_id = std::strtoull(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                lap_fatal("--campaign: expected a number, got '%s'",
+                          value.c_str());
         } else if (flag == "--list") {
             list_only = true;
         } else if (flag == "--aggregate") {
@@ -222,6 +291,53 @@ main(int argc, char **argv)
         } else {
             lap_fatal("unknown flag '%s' (see --help)", flag.c_str());
         }
+    }
+
+    if (!query_addr.empty()) {
+        std::string host;
+        std::uint16_t port = 0;
+        fabric::splitHostPort(query_addr, host, port);
+        const fabric::QueryAckMsg ack =
+            fabric::queryCampaign(host, port, query_id);
+        std::printf("campaign %llu: %llu/%llu jobs done\n%s\n",
+                    static_cast<unsigned long long>(ack.campaignId),
+                    static_cast<unsigned long long>(ack.done),
+                    static_cast<unsigned long long>(ack.total),
+                    ack.table.c_str());
+        return 0;
+    }
+
+    if (!connect_addr.empty()) {
+        if (spec_text.empty())
+            lap_fatal("--connect needs --spec FILE: the spec text "
+                      "is shipped to the daemon verbatim, so inline "
+                      "workload flags cannot be used here");
+        fabric::ClientOptions client;
+        fabric::splitHostPort(connect_addr, client.host,
+                              client.port);
+        client.outPath = engine.outPath;
+        client.resume = engine.resume || engine.midJobRestore;
+        client.checkpointEvery = engine.checkpointEvery;
+        std::size_t streamed = 0;
+        client.onRow = [&streamed](const std::string &) {
+            ++streamed;
+        };
+        const fabric::ClientRunResult run =
+            fabric::submitCampaign(client, spec_text);
+        std::printf(
+            "\ncampaign %llu via %s: %llu jobs — %llu ok, "
+            "%llu failed, %llu skipped (%zu rows streamed)\n",
+            static_cast<unsigned long long>(run.campaignId),
+            connect_addr.c_str(),
+            static_cast<unsigned long long>(run.jobCount),
+            static_cast<unsigned long long>(run.ok),
+            static_cast<unsigned long long>(run.failed),
+            static_cast<unsigned long long>(run.skipped), streamed);
+        if (!run.summary.empty())
+            std::printf("\n%s\n", run.summary.c_str());
+        if (!engine.outPath.empty())
+            std::printf("results: %s\n", engine.outPath.c_str());
+        return run.failed == 0 ? 0 : 1;
     }
 
     if (!aggregate_path.empty()) {
@@ -264,6 +380,13 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Graceful shutdown: first signal stops dispatching (running
+    // jobs finish and flush); a second one falls back to the
+    // default handler and kills the process.
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+    engine.stopFlag = &g_stop;
+
     engine.onJobDone = [](const CampaignJob &job,
                           const JobOutcome &outcome, std::size_t done,
                           std::size_t total) {
@@ -282,7 +405,16 @@ main(int argc, char **argv)
                 spec.name.c_str(), result.jobs.size(),
                 result.completed(), result.failed(), result.skipped(),
                 result.wallMs / 1000.0);
+    if (engine.shardCount > 0)
+        std::printf("shard %u/%u of the full grid\n",
+                    engine.shardIndex, engine.shardCount);
     if (!engine.outPath.empty())
         std::printf("results: %s\n", engine.outPath.c_str());
+    if (g_stop.load() || result.notRun() > 0) {
+        std::printf("interrupted: %zu jobs not run; re-run with "
+                    "--resume to continue\n",
+                    result.notRun());
+        return 3;
+    }
     return result.failed() == 0 ? 0 : 1;
 }

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * lapsim-serve — the campaign fabric scheduler daemon.
+ *
+ * Accepts campaign submissions from `lapsim-campaign --connect`,
+ * shards the expanded grid across connected `lapsim-worker`
+ * processes (work stealing over job-hash buckets), streams result
+ * rows back to the submitting client in grid order, and reschedules
+ * jobs of dead workers from their last uploaded checkpoint. See
+ * DESIGN.md §12.
+ *
+ * Examples:
+ *   # serve on the default loopback port
+ *   lapsim-serve --listen 127.0.0.1:7747
+ *
+ *   # ephemeral port for tests/scripts (parse the printed line)
+ *   lapsim-serve --listen 127.0.0.1:0
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "fabric/daemon.hh"
+
+using namespace lap;
+
+namespace
+{
+
+const char *kHelp =
+    "lapsim-serve — campaign fabric scheduler daemon\n"
+    "\n"
+    "  --listen HOST:PORT      bind address (default 127.0.0.1:7747;\n"
+    "                          port 0 binds an ephemeral port and\n"
+    "                          prints the chosen one)\n"
+    "  --heartbeat-timeout MS  kick busy workers silent for this\n"
+    "                          long; their job is rescheduled from\n"
+    "                          its last uploaded snapshot\n"
+    "                          (default 15000)\n"
+    "\n"
+    "SIGINT/SIGTERM stop the daemon: workers are disconnected and\n"
+    "unfinished campaigns stay resumable client-side (--resume).\n";
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onStopSignal(int sig)
+{
+    g_stop.store(true);
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    fabric::FabricDaemon::Options options;
+    options.host = "127.0.0.1";
+    options.port = 7747;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                lap_fatal("%s requires a value", flag.c_str());
+            return args[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            std::printf("%s", kHelp);
+            return 0;
+        } else if (flag == "--listen") {
+            fabric::splitHostPort(next(), options.host,
+                                  options.port,
+                                  /*allow_zero=*/true);
+        } else if (flag == "--heartbeat-timeout") {
+            options.heartbeatTimeoutMs =
+                std::atof(next().c_str());
+            if (options.heartbeatTimeoutMs <= 0)
+                lap_fatal("--heartbeat-timeout: expected a positive "
+                          "millisecond count");
+        } else {
+            lap_fatal("unknown flag '%s' (see --help)", flag.c_str());
+        }
+    }
+
+    fabric::FabricDaemon daemon(options);
+    daemon.start();
+    // Scripts and tests parse this line for the ephemeral port.
+    std::printf("lapsim-serve listening on %s:%u\n",
+                options.host.c_str(), daemon.port());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    const fabric::SchedulerStats stats = daemon.scheduler().stats();
+    daemon.stop();
+    std::printf("lapsim-serve stopping: %llu assignments "
+                "(%llu reassigned, %llu from snapshots), "
+                "%llu workers connected at shutdown\n",
+                static_cast<unsigned long long>(stats.assignments),
+                static_cast<unsigned long long>(stats.reassignments),
+                static_cast<unsigned long long>(
+                    stats.snapshotAssignments),
+                static_cast<unsigned long long>(stats.activeWorkers));
+    return 0;
+}

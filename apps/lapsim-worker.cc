@@ -1,0 +1,93 @@
+/**
+ * @file
+ * lapsim-worker — one fleet member of the campaign fabric.
+ *
+ * Connects to a lapsim-serve daemon, pulls grid points, runs them
+ * through the standard campaign job path (with periodic checkpoints
+ * uploaded over heartbeats, so a killed worker's job resumes
+ * elsewhere mid-flight), and streams results back. Reconnects with
+ * backoff if the daemon restarts. See DESIGN.md §12.
+ *
+ * Example:
+ *   lapsim-worker --connect 127.0.0.1:7747 --name w0 --scratch /tmp
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fabric/worker.hh"
+
+using namespace lap;
+
+namespace
+{
+
+const char *kHelp =
+    "lapsim-worker — campaign fabric worker\n"
+    "\n"
+    "  --connect HOST:PORT     lapsim-serve address (required)\n"
+    "  --name NAME             fleet name for diagnostics and\n"
+    "                          scratch files (default 'worker')\n"
+    "  --scratch DIR           directory for job snapshot files\n"
+    "                          (default '.')\n"
+    "  --heartbeat-ms MS       heartbeat/snapshot-upload cadence\n"
+    "                          (default 1000)\n"
+    "  --connect-attempts N    consecutive failed connects before\n"
+    "                          giving up (default 50, 200ms apart)\n"
+    "\n"
+    "Exits 0 on a daemon-requested shutdown, 1 when the daemon\n"
+    "stays unreachable.\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    fabric::FabricWorker::Options options;
+    bool have_addr = false;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                lap_fatal("%s requires a value", flag.c_str());
+            return args[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            std::printf("%s", kHelp);
+            return 0;
+        } else if (flag == "--connect") {
+            fabric::splitHostPort(next(), options.host,
+                                  options.port);
+            have_addr = true;
+        } else if (flag == "--name") {
+            options.name = next();
+        } else if (flag == "--scratch") {
+            options.scratchDir = next();
+        } else if (flag == "--heartbeat-ms") {
+            options.heartbeatPeriodMs = std::atof(next().c_str());
+            if (options.heartbeatPeriodMs <= 0)
+                lap_fatal("--heartbeat-ms: expected a positive "
+                          "millisecond count");
+        } else if (flag == "--connect-attempts") {
+            const auto parsed =
+                std::strtoul(next().c_str(), nullptr, 10);
+            if (parsed == 0)
+                lap_fatal("--connect-attempts: expected a positive "
+                          "number");
+            options.connectAttempts =
+                static_cast<std::uint32_t>(parsed);
+        } else {
+            lap_fatal("unknown flag '%s' (see --help)", flag.c_str());
+        }
+    }
+    if (!have_addr)
+        lap_fatal("--connect HOST:PORT is required (see --help)");
+
+    fabric::FabricWorker worker(options);
+    return worker.run();
+}

@@ -114,32 +114,6 @@ executeJob(const CampaignJob &job, JobOutcome &outcome)
     return metrics;
 }
 
-/**
- * Rewrites a job's config for mid-job restore: checkpoint to the
- * job's sibling snapshot file, and restore from it when a previous
- * (interrupted) attempt left a valid one behind. An invalid or
- * foreign snapshot is ignored — the job simply starts fresh.
- */
-CampaignJob
-withJobCheckpointing(const CampaignJob &job,
-                     const EngineOptions &options)
-{
-    CampaignJob prepared = job;
-    const std::string ckpt =
-        jobCheckpointPath(options.outPath, job);
-    prepared.config.checkpointOut = ckpt;
-    prepared.config.checkpointEvery =
-        options.checkpointEvery != 0
-            ? options.checkpointEvery
-            : std::max<std::uint64_t>(
-                  1, (prepared.config.warmupRefs
-                      + prepared.config.measureRefs)
-                         * prepared.config.numCores / 4);
-    if (checkpointIsValid(ckpt, prepared.config))
-        prepared.config.restorePath = ckpt;
-    return prepared;
-}
-
 } // namespace
 
 const char *
@@ -149,6 +123,7 @@ toString(JobStatus status)
       case JobStatus::Ok: return "ok";
       case JobStatus::Failed: return "failed";
       case JobStatus::Skipped: return "skipped";
+      case JobStatus::NotRun: return "not-run";
     }
     return "?";
 }
@@ -188,6 +163,24 @@ jobCheckpointPath(const std::string &out_path,
                   const CampaignJob &job)
 {
     return out_path + "." + job.hash + ".ckpt";
+}
+
+CampaignJob
+withJobCheckpointing(const CampaignJob &job,
+                     const std::string &ckpt_path,
+                     std::uint64_t checkpoint_every)
+{
+    CampaignJob prepared = job;
+    prepared.config.checkpointOut = ckpt_path;
+    prepared.config.checkpointEvery = checkpoint_every != 0
+        ? checkpoint_every
+        : std::max<std::uint64_t>(
+              1, (prepared.config.warmupRefs
+                  + prepared.config.measureRefs)
+                     * prepared.config.numCores / 4);
+    if (checkpointIsValid(ckpt_path, prepared.config))
+        prepared.config.restorePath = ckpt_path;
+    return prepared;
 }
 
 std::string
@@ -245,6 +238,18 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &options)
 
     CampaignResult result;
     result.jobs = expandCampaign(spec);
+    if (options.shardCount > 0) {
+        // Keep only this shard's slice of the grid. The membership
+        // test hashes job content, so the other shards' runs are
+        // guaranteed disjoint and the union is exactly the grid.
+        std::vector<CampaignJob> sharded;
+        for (CampaignJob &job : result.jobs) {
+            if (jobInShard(job, options.shardIndex,
+                           options.shardCount))
+                sharded.push_back(std::move(job));
+        }
+        result.jobs = std::move(sharded);
+    }
     result.outcomes.resize(result.jobs.size());
 
     const bool mid_job =
@@ -292,12 +297,23 @@ runCampaign(const CampaignSpec &spec, const EngineOptions &options)
                 next_job.fetch_add(1, std::memory_order_relaxed);
             if (index >= result.jobs.size())
                 return;
+            if (options.stopFlag
+                && options.stopFlag->load(
+                    std::memory_order_relaxed)) {
+                // Graceful shutdown: stop dispatching. The job never
+                // ran, so no row is written — a --resume re-run
+                // picks it up.
+                result.outcomes[index].status = JobStatus::NotRun;
+                continue;
+            }
             const CampaignJob &job = result.jobs[index];
             if (done_hashes.count(job.hash) != 0) {
                 result.outcomes[index].status = JobStatus::Skipped;
             } else if (mid_job) {
-                result.outcomes[index] = runCampaignJob(
-                    withJobCheckpointing(job, options));
+                result.outcomes[index] =
+                    runCampaignJob(withJobCheckpointing(
+                        job, jobCheckpointPath(options.outPath, job),
+                        options.checkpointEvery));
                 // A completed job no longer needs its snapshot.
                 if (result.outcomes[index].status == JobStatus::Ok)
                     std::remove(jobCheckpointPath(options.outPath,

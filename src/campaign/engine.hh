@@ -16,6 +16,7 @@
 #ifndef LAPSIM_CAMPAIGN_ENGINE_HH
 #define LAPSIM_CAMPAIGN_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -34,6 +35,7 @@ enum class JobStatus : std::uint8_t
     Ok,      //!< Ran to completion; metrics valid.
     Failed,  //!< lap_fatal() inside the job; error holds the message.
     Skipped, //!< Already completed in a previous (resumed) run.
+    NotRun,  //!< Never dispatched (graceful shutdown stopped first).
 };
 
 const char *toString(JobStatus status);
@@ -74,6 +76,21 @@ struct EngineOptions
      */
     std::uint64_t checkpointEvery = 0;
     /**
+     * Shard selection: run only jobs whose hash falls in shard
+     * shardIndex of shardCount (0 = run everything). The partition
+     * is a pure function of the job hash — the same FNV-1a
+     * partition the fabric scheduler buckets by — so N disjoint
+     * shard runs of one grid union to exactly the serial result.
+     */
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 0;
+    /**
+     * Cooperative stop (SIGINT/SIGTERM): when set, workers stop
+     * claiming jobs; already-running jobs finish and are reported,
+     * unclaimed ones end as JobStatus::NotRun with no row written.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
+    /**
      * Progress hook, invoked once per finished job under a lock
      * (safe to print from). Skipped jobs are reported too.
      */
@@ -102,6 +119,10 @@ struct CampaignResult
     {
         return countWithStatus(JobStatus::Skipped);
     }
+    std::size_t notRun() const
+    {
+        return countWithStatus(JobStatus::NotRun);
+    }
 };
 
 /**
@@ -118,6 +139,20 @@ JobOutcome runCampaignJob(const CampaignJob &job);
  */
 std::string jobCheckpointPath(const std::string &out_path,
                               const CampaignJob &job);
+
+/**
+ * Rewrites a job's config for mid-job restore against an explicit
+ * snapshot file: checkpoint to @p ckpt_path every
+ * @p checkpoint_every references (0 derives roughly four snapshots
+ * per job), and restore from @p ckpt_path when it already holds a
+ * valid snapshot of this exact config (an invalid or foreign one is
+ * ignored and the job starts fresh). This is the building block of
+ * both the engine's midJobRestore mode and the fabric worker's
+ * kill-resume path.
+ */
+CampaignJob withJobCheckpointing(const CampaignJob &job,
+                                 const std::string &ckpt_path,
+                                 std::uint64_t checkpoint_every);
 
 /** Serializes one job + outcome into a JSONL result row
  *  (`"type":"result"`). */

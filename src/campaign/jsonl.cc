@@ -212,20 +212,50 @@ parseJsonObject(const std::string &text, JsonRow &row)
 std::vector<JsonRow>
 loadJsonl(const std::string &path)
 {
+    JsonlReadStats stats;
+    return loadJsonl(path, stats);
+}
+
+std::vector<JsonRow>
+loadJsonl(const std::string &path, JsonlReadStats &stats)
+{
+    stats = JsonlReadStats{};
     std::vector<JsonRow> rows;
-    std::ifstream in(path);
+    // Binary read: a torn row can contain any bytes, and text-mode
+    // surprises must not change what counts as a line.
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         return rows;
-    std::string line;
+    const std::string content(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    std::size_t pos = 0;
     int line_no = 0;
-    while (std::getline(in, line)) {
+    while (pos < content.size()) {
+        const std::size_t nl = content.find('\n', pos);
+        const bool terminated = nl != std::string::npos;
+        const std::size_t end = terminated ? nl : content.size();
+        const std::string line = content.substr(pos, end - pos);
+        pos = terminated ? nl + 1 : content.size();
         ++line_no;
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
+        stats.lines++;
         JsonRow row;
         if (parseJsonObject(line, row)) {
             rows.push_back(std::move(row));
+            stats.rows++;
+            continue;
+        }
+        if (!terminated) {
+            // The signature of a writer killed mid-row: the sink
+            // writes each row atomically with its newline, so an
+            // unterminated tail is an interruption artifact, not
+            // corruption. Drop it; resume re-runs that job.
+            stats.tornTail = true;
         } else {
+            stats.malformed++;
             lap_warn("%s:%d: skipping malformed JSONL row",
                      path.c_str(), line_no);
         }

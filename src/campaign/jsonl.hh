@@ -29,12 +29,35 @@ using JsonRow = std::map<std::string, std::string>;
  */
 bool parseJsonObject(const std::string &text, JsonRow &row);
 
+/** What loadJsonl() saw besides the good rows (corruption tests,
+ *  resume diagnostics). */
+struct JsonlReadStats
+{
+    /** Non-blank lines examined. */
+    std::size_t lines = 0;
+    /** Lines that parsed into rows. */
+    std::size_t rows = 0;
+    /** Newline-terminated lines that failed to parse — real
+     *  corruption, not an interruption artifact. */
+    std::size_t malformed = 0;
+    /** The file ended in an unterminated, unparseable line — the
+     *  signature of a writer killed mid-row. */
+    bool tornTail = false;
+};
+
 /**
  * Reads a JSONL file; malformed or truncated lines (e.g. a row cut
  * short by an interrupted campaign) are skipped with a warning.
- * Returns an empty vector when the file does not exist.
+ * A torn trailing line (no final newline, unparseable) is the
+ * expected artifact of an interrupted writer and is dropped
+ * quietly; newline-terminated garbage mid-file is warned about per
+ * line. Returns an empty vector when the file does not exist.
  */
 std::vector<JsonRow> loadJsonl(const std::string &path);
+
+/** As above, also reporting what was kept and dropped. */
+std::vector<JsonRow> loadJsonl(const std::string &path,
+                               JsonlReadStats &stats);
 
 /** Returns row[key] or `fallback` when the key is absent. */
 std::string rowValue(const JsonRow &row, const std::string &key,

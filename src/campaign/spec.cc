@@ -299,4 +299,15 @@ parseCampaignSpec(const std::string &text)
     return spec;
 }
 
+bool
+jobInShard(const CampaignJob &job, std::uint32_t shard_index,
+           std::uint32_t shard_count)
+{
+    lap_assert(shard_count > 0, "shard count must be positive");
+    if (shard_index >= shard_count)
+        lap_fatal("shard index %u out of range (shard count %u)",
+                  shard_index, shard_count);
+    return fnv1a64(job.key) % shard_count == shard_index;
+}
+
 } // namespace lap

@@ -117,6 +117,16 @@ CampaignSpec parseCampaignSpec(const std::string &text);
 /** FNV-1a 64-bit hash of a string (stable across platforms). */
 std::uint64_t fnv1a64(const std::string &text);
 
+/**
+ * Deterministic shard membership: FNV-1a of the job key modulo
+ * @p shard_count. A pure function of the job's content (never its
+ * grid position), so N disjoint shards of one grid always union to
+ * the full grid, regardless of how each shard host expanded it.
+ * Fatal when shard_index >= shard_count or shard_count == 0.
+ */
+bool jobInShard(const CampaignJob &job, std::uint32_t shard_index,
+                std::uint32_t shard_count);
+
 } // namespace lap
 
 #endif // LAPSIM_CAMPAIGN_SPEC_HH

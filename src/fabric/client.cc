@@ -1,0 +1,147 @@
+#include "fabric/client.hh"
+
+#include <memory>
+#include <set>
+
+#include "campaign/sink.hh"
+#include "common/logging.hh"
+#include "fabric/socket.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+namespace
+{
+
+TcpConnection
+connectAndHello(const std::string &host, std::uint16_t port,
+                const char *role)
+{
+    TcpConnection conn = connectTo(host, port);
+    if (!conn.valid())
+        lap_fatal("cannot connect to lapsim-serve at %s:%u",
+                  host.c_str(), port);
+    HelloMsg hello;
+    hello.name = role;
+    ByteWriter out;
+    hello.encode(out);
+    if (!conn.sendFrame(MsgType::ClientHello, out))
+        lap_fatal("lapsim-serve at %s:%u closed the connection "
+                  "during the handshake",
+                  host.c_str(), port);
+    return conn;
+}
+
+Frame
+recvOrFatal(TcpConnection &conn)
+{
+    Frame frame;
+    if (!conn.recvFrame(frame))
+        lap_fatal("lapsim-serve dropped the connection "
+                  "mid-campaign; re-run with --resume to continue "
+                  "from the rows already received");
+    if (frame.type == MsgType::Error) {
+        ByteReader in(frame.payload.data(), frame.payload.size());
+        const ErrorMsg err = ErrorMsg::decode(in);
+        lap_fatal("lapsim-serve rejected the request: %s",
+                  err.message.c_str());
+    }
+    return frame;
+}
+
+} // namespace
+
+ClientRunResult
+submitCampaign(const ClientOptions &options,
+               const std::string &spec_text)
+{
+    TcpConnection conn =
+        connectAndHello(options.host, options.port, "campaign");
+
+    SubmitMsg submit;
+    submit.specText = spec_text;
+    submit.checkpointEvery = options.checkpointEvery;
+    if (options.resume && !options.outPath.empty()) {
+        for (const std::string &hash :
+             loadCompletedHashes(options.outPath))
+            submit.doneHashes.push_back(hash);
+    }
+    {
+        ByteWriter out;
+        submit.encode(out);
+        if (!conn.sendFrame(MsgType::Submit, out))
+            lap_fatal("lapsim-serve closed the connection before "
+                      "the campaign was submitted");
+    }
+
+    ClientRunResult result;
+    {
+        const Frame frame = recvOrFatal(conn);
+        if (frame.type != MsgType::SubmitAck)
+            lap_fatal("expected submit-ack from lapsim-serve, "
+                      "got %s",
+                      toString(frame.type));
+        ByteReader in(frame.payload.data(), frame.payload.size());
+        const SubmitAckMsg ack = SubmitAckMsg::decode(in);
+        result.campaignId = ack.campaignId;
+        result.jobCount = ack.jobCount;
+        result.skippedJobs = ack.skippedJobs;
+    }
+
+    std::unique_ptr<JsonlSink> sink;
+    if (!options.outPath.empty())
+        sink = std::make_unique<JsonlSink>(options.outPath,
+                                           options.resume);
+
+    while (true) {
+        const Frame frame = recvOrFatal(conn);
+        if (frame.type == MsgType::Row) {
+            ByteReader in(frame.payload.data(),
+                          frame.payload.size());
+            const RowMsg row = RowMsg::decode(in);
+            if (sink)
+                sink->write(row.line);
+            if (options.onRow)
+                options.onRow(row.line);
+            continue;
+        }
+        if (frame.type == MsgType::CampaignDone) {
+            ByteReader in(frame.payload.data(),
+                          frame.payload.size());
+            const CampaignDoneMsg done = CampaignDoneMsg::decode(in);
+            result.ok = done.ok;
+            result.failed = done.failed;
+            result.skipped = done.skipped;
+            result.summary = done.summary;
+            return result;
+        }
+        lap_fatal("unexpected %s frame from lapsim-serve while "
+                  "streaming results",
+                  toString(frame.type));
+    }
+}
+
+QueryAckMsg
+queryCampaign(const std::string &host, std::uint16_t port,
+              std::uint64_t campaign_id)
+{
+    TcpConnection conn = connectAndHello(host, port, "query");
+    QueryMsg msg;
+    msg.campaignId = campaign_id;
+    ByteWriter out;
+    msg.encode(out);
+    if (!conn.sendFrame(MsgType::Query, out))
+        lap_fatal("lapsim-serve closed the connection before the "
+                  "query was sent");
+    const Frame frame = recvOrFatal(conn);
+    if (frame.type != MsgType::QueryAck)
+        lap_fatal("expected query-ack from lapsim-serve, got %s",
+                  toString(frame.type));
+    ByteReader in(frame.payload.data(), frame.payload.size());
+    return QueryAckMsg::decode(in);
+}
+
+} // namespace fabric
+} // namespace lap

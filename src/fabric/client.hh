@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Client side of the campaign fabric (`lapsim-campaign --connect`).
+ *
+ * submitCampaign() ships a campaign spec to a lapsim-serve daemon
+ * and streams the result rows back into the same JSONL file a local
+ * run would have produced — rows arrive in grid order (the daemon's
+ * reorder buffer guarantees it), resume hashes are sent with the
+ * submission so completed grid points are never re-run, and the
+ * daemon's terminal summary is returned to the caller. Apart from
+ * wall-clock fields, the output file is identical to a serial
+ * `lapsim-campaign` run of the same spec.
+ *
+ * queryCampaign() asks a running daemon for a live aggregation over
+ * whatever shards have completed so far.
+ */
+
+#ifndef LAPSIM_FABRIC_CLIENT_HH
+#define LAPSIM_FABRIC_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fabric/protocol.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+struct ClientOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** JSONL result file; empty keeps rows in memory only. */
+    std::string outPath;
+    /** Send the out file's completed hashes as resume state. */
+    bool resume = false;
+    /** Worker snapshot cadence (0 = per-job default). */
+    std::uint64_t checkpointEvery = 0;
+    /** Optional per-row hook (progress printing). */
+    std::function<void(const std::string &line)> onRow;
+};
+
+/** What the daemon reported about a finished campaign. */
+struct ClientRunResult
+{
+    std::uint64_t campaignId = 0;
+    std::uint64_t jobCount = 0;
+    std::uint64_t skippedJobs = 0; //!< Resume-skipped at submit.
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t skipped = 0;
+    std::string summary; //!< Daemon-side aggregation table.
+};
+
+/**
+ * Runs @p spec_text on the daemon and blocks until the campaign
+ * completes. Fatal (catchable) on connection failure, daemon-side
+ * spec rejection, or a dropped connection mid-campaign — the out
+ * file then holds every row received so far and a resumed submit
+ * picks up from there.
+ */
+ClientRunResult submitCampaign(const ClientOptions &options,
+                               const std::string &spec_text);
+
+/** Live partial aggregation (campaign 0 = the daemon's latest). */
+QueryAckMsg queryCampaign(const std::string &host,
+                          std::uint16_t port,
+                          std::uint64_t campaign_id);
+
+} // namespace fabric
+} // namespace lap
+
+#endif // LAPSIM_FABRIC_CLIENT_HH

@@ -1,0 +1,289 @@
+#include "fabric/daemon.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+namespace
+{
+
+/** Receives one frame, treating malformed input like a dropped
+ *  peer (the protocol layer's fatal is caught per-thread). */
+bool
+recvFrameOrDrop(TcpConnection &conn, Frame &frame)
+{
+    const ScopedFatalThrow guard;
+    try {
+        return conn.recvFrame(frame);
+    } catch (const FatalError &err) {
+        lap_warn("fabric: dropping peer: %s", err.what());
+        return false;
+    }
+}
+
+} // namespace
+
+FabricDaemon::FabricDaemon(const Options &options)
+    : options_(options), listener_(options.host, options.port)
+{
+}
+
+FabricDaemon::~FabricDaemon()
+{
+    stop();
+}
+
+void
+FabricDaemon::start()
+{
+    acceptThread_ = std::thread(&FabricDaemon::acceptLoop, this);
+    reaperThread_ = std::thread(&FabricDaemon::reaperLoop, this);
+}
+
+void
+FabricDaemon::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    listener_.close(); // unblocks acceptLoop
+    scheduler_.kickAllWorkers();
+    {
+        const MutexLock lock(mutex_);
+        for (const std::weak_ptr<TcpConnection> &weak : conns_) {
+            if (const std::shared_ptr<TcpConnection> conn =
+                    weak.lock())
+                conn->kick();
+        }
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (reaperThread_.joinable())
+        reaperThread_.join();
+    // The accept loop is done, so no new threads can appear.
+    std::vector<std::thread> threads;
+    {
+        const MutexLock lock(mutex_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &thread : threads) {
+        if (thread.joinable())
+            thread.join();
+    }
+}
+
+void
+FabricDaemon::acceptLoop()
+{
+    while (!stopping_.load()) {
+        TcpConnection accepted = listener_.accept();
+        if (!accepted.valid())
+            break; // listener closed
+        auto conn =
+            std::make_shared<TcpConnection>(std::move(accepted));
+        const MutexLock lock(mutex_);
+        if (stopping_.load()) {
+            conn->kick();
+            break;
+        }
+        conns_.push_back(conn);
+        connThreads_.emplace_back(&FabricDaemon::serveConnection,
+                                  this, conn);
+    }
+}
+
+void
+FabricDaemon::reaperLoop()
+{
+    // Sleep in short slices so stop() never waits a full period.
+    const auto slice = std::chrono::milliseconds(50);
+    double slept_ms = 0.0;
+    while (!stopping_.load()) {
+        std::this_thread::sleep_for(slice);
+        slept_ms += 50.0;
+        if (slept_ms < options_.reapPeriodMs)
+            continue;
+        slept_ms = 0.0;
+        scheduler_.reapStale(nowMs(), options_.heartbeatTimeoutMs);
+    }
+}
+
+double
+FabricDaemon::nowMs()
+{
+    // Heartbeat staleness only; simulation results never see this.
+    // lapsim-lint: allow(det-banned-call)
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(
+               now.time_since_epoch())
+        .count();
+}
+
+void
+FabricDaemon::serveConnection(std::shared_ptr<TcpConnection> conn)
+{
+    Frame frame;
+    if (!recvFrameOrDrop(*conn, frame))
+        return;
+
+    const ScopedFatalThrow guard;
+    HelloMsg hello;
+    try {
+        ByteReader in(frame.payload.data(), frame.payload.size());
+        hello = HelloMsg::decode(in);
+    } catch (const FatalError &err) {
+        lap_warn("fabric: bad hello payload: %s", err.what());
+        return;
+    }
+
+    if (frame.type == MsgType::WorkerHello)
+        serveWorker(conn, hello.name);
+    else if (frame.type == MsgType::ClientHello)
+        serveClient(conn);
+    else {
+        ErrorMsg err;
+        err.message = std::string("expected a hello frame, got ")
+            + toString(frame.type);
+        ByteWriter out;
+        err.encode(out);
+        conn->sendFrame(MsgType::Error, out);
+    }
+}
+
+void
+FabricDaemon::serveWorker(
+    const std::shared_ptr<TcpConnection> &conn,
+    const std::string &name)
+{
+    const WorkerId id = scheduler_.addWorker(
+        name,
+        [conn](const AssignMsg &msg) {
+            ByteWriter out;
+            msg.encode(out);
+            conn->sendFrame(MsgType::Assign, out);
+        },
+        [conn] { conn->kick(); },
+        [conn] {
+            ByteWriter out;
+            conn->sendFrame(MsgType::Shutdown, out);
+        });
+
+    Frame frame;
+    while (recvFrameOrDrop(*conn, frame)) {
+        const ScopedFatalThrow guard;
+        try {
+            ByteReader in(frame.payload.data(),
+                          frame.payload.size());
+            switch (frame.type) {
+              case MsgType::Ready:
+                scheduler_.workerReady(id);
+                break;
+              case MsgType::Heartbeat:
+                scheduler_.heartbeat(
+                    id, HeartbeatMsg::decode(in), nowMs());
+                break;
+              case MsgType::Result:
+                scheduler_.result(id, ResultMsg::decode(in));
+                break;
+              default:
+                lap_fatal("unexpected %s frame from worker '%s'",
+                          toString(frame.type), name.c_str());
+            }
+        } catch (const FatalError &err) {
+            lap_warn("fabric: dropping worker '%s': %s",
+                     name.c_str(), err.what());
+            break;
+        }
+    }
+    // Requeues the worker's running job (with its last snapshot).
+    scheduler_.workerLost(id);
+}
+
+void
+FabricDaemon::serveClient(const std::shared_ptr<TcpConnection> &conn)
+{
+    CampaignId active = 0;
+    Frame frame;
+    while (recvFrameOrDrop(*conn, frame)) {
+        const ScopedFatalThrow guard;
+        try {
+            ByteReader in(frame.payload.data(),
+                          frame.payload.size());
+            if (frame.type == MsgType::Submit) {
+                const SubmitMsg msg = SubmitMsg::decode(in);
+                // The id is unknown until submit() returns, but no
+                // callback can fire before startCampaign() below.
+                auto idCell = std::make_shared<CampaignId>(0);
+                Scheduler::SubmitOutcome outcome;
+                try {
+                    outcome = scheduler_.submit(
+                        msg,
+                        [conn, idCell](const std::string &line) {
+                            RowMsg row;
+                            row.campaignId = *idCell;
+                            row.line = line;
+                            ByteWriter out;
+                            row.encode(out);
+                            conn->sendFrame(MsgType::Row, out);
+                        },
+                        [conn](
+                            const Scheduler::DoneSummary &summary) {
+                            CampaignDoneMsg done;
+                            done.campaignId = summary.id;
+                            done.ok = summary.ok;
+                            done.failed = summary.failed;
+                            done.skipped = summary.skipped;
+                            done.summary = summary.summary;
+                            ByteWriter out;
+                            done.encode(out);
+                            conn->sendFrame(MsgType::CampaignDone,
+                                            out);
+                        });
+                } catch (const FatalError &err) {
+                    // Malformed spec: the campaign never existed.
+                    ErrorMsg reply;
+                    reply.message = err.what();
+                    ByteWriter out;
+                    reply.encode(out);
+                    conn->sendFrame(MsgType::Error, out);
+                    continue;
+                }
+                *idCell = outcome.id;
+                active = outcome.id;
+                SubmitAckMsg ack;
+                ack.campaignId = outcome.id;
+                ack.jobCount = outcome.jobCount;
+                ack.skippedJobs = outcome.skippedJobs;
+                ByteWriter out;
+                ack.encode(out);
+                conn->sendFrame(MsgType::SubmitAck, out);
+                scheduler_.startCampaign(outcome.id);
+            } else if (frame.type == MsgType::Query) {
+                const QueryMsg msg = QueryMsg::decode(in);
+                const QueryAckMsg ack =
+                    scheduler_.query(msg.campaignId);
+                ByteWriter out;
+                ack.encode(out);
+                conn->sendFrame(MsgType::QueryAck, out);
+            } else {
+                lap_fatal("unexpected %s frame from client",
+                          toString(frame.type));
+            }
+        } catch (const FatalError &err) {
+            lap_warn("fabric: dropping client: %s", err.what());
+            break;
+        }
+    }
+    if (active != 0)
+        // No-op when the campaign already finished; otherwise stop
+        // dispatching work nobody will read.
+        scheduler_.cancelCampaign(active);
+}
+
+} // namespace fabric
+} // namespace lap

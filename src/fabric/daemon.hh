@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The lapsim-serve daemon: sockets around the fabric scheduler.
+ *
+ * One accept thread, one connection thread per peer, one reaper
+ * thread. Connection threads are a thin protocol shell — every
+ * decision lives in the Scheduler — shaped by the first frame a peer
+ * sends:
+ *
+ *   WorkerHello  the thread registers the worker and pumps
+ *                Ready/Heartbeat/Result frames into the scheduler
+ *                until the connection drops, then reports the loss
+ *                (requeueing the worker's running job).
+ *   ClientHello  the thread serves Submit (rows and the terminal
+ *                summary stream back over the same connection, in
+ *                grid order) and Query requests; a client that
+ *                disconnects mid-campaign cancels its campaign.
+ *
+ * Malformed frames (bad magic, CRC failure, truncated payload) are
+ * caught per-connection via ScopedFatalThrow and end only that
+ * connection; the daemon itself never dies to a hostile peer.
+ *
+ * Embeddable by tests: construct, start(), talk to port(), stop().
+ */
+
+#ifndef LAPSIM_FABRIC_DAEMON_HH
+#define LAPSIM_FABRIC_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hh"
+#include "fabric/scheduler.hh"
+#include "fabric/socket.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+/** See file comment. */
+class FabricDaemon
+{
+  public:
+    struct Options
+    {
+        std::string host = "127.0.0.1";
+        /** 0 binds an ephemeral port; read it back via port(). */
+        std::uint16_t port = 0;
+        /** A busy worker silent for this long is kicked. */
+        double heartbeatTimeoutMs = 15000.0;
+        /** Reaper wake-up cadence. */
+        double reapPeriodMs = 1000.0;
+    };
+
+    explicit FabricDaemon(const Options &options);
+    ~FabricDaemon();
+
+    FabricDaemon(const FabricDaemon &) = delete;
+    FabricDaemon &operator=(const FabricDaemon &) = delete;
+
+    /** Spawns the accept and reaper threads. */
+    void start();
+
+    /** Stops accepting, kicks every peer, joins all threads.
+     *  Idempotent; also run by the destructor. */
+    void stop();
+
+    /** The bound port (resolves a port-0 request). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /** The shared state machine (tests poke its stats()). */
+    Scheduler &scheduler() { return scheduler_; }
+
+  private:
+    void acceptLoop();
+    void reaperLoop();
+    void serveConnection(std::shared_ptr<TcpConnection> conn);
+    void serveWorker(const std::shared_ptr<TcpConnection> &conn,
+                     const std::string &name);
+    void serveClient(const std::shared_ptr<TcpConnection> &conn);
+
+    /** Monotonic milliseconds for heartbeat bookkeeping only —
+     *  never consumed by anything that affects simulation output. */
+    static double nowMs();
+
+    const Options options_;
+    /** Internally synchronized (socket.hh). */
+    // lapsim-lint: allow(thread-unguarded-field)
+    TcpListener listener_;
+    /** Internally synchronized (scheduler.hh). */
+    // lapsim-lint: allow(thread-unguarded-field)
+    Scheduler scheduler_;
+    std::atomic<bool> stopping_{false};
+    /** Started before and joined after any concurrent access. */
+    // lapsim-lint: allow(thread-unguarded-field)
+    std::thread acceptThread_;
+    /** Started before and joined after any concurrent access. */
+    // lapsim-lint: allow(thread-unguarded-field)
+    std::thread reaperThread_;
+
+    mutable Mutex mutex_;
+    /** One thread per accepted connection, joined at stop(). */
+    std::vector<std::thread> connThreads_ LAP_GUARDED_BY(mutex_);
+    /** Live peers, so stop() can kick blocked receivers. */
+    std::vector<std::weak_ptr<TcpConnection>> conns_
+        LAP_GUARDED_BY(mutex_);
+};
+
+} // namespace fabric
+} // namespace lap
+
+#endif // LAPSIM_FABRIC_DAEMON_HH

@@ -1,0 +1,379 @@
+#include "fabric/protocol.hh"
+
+#include "common/logging.hh"
+#include "sim/checkpoint.hh" // crc32()
+
+namespace lap
+{
+namespace fabric
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'L', 'A', 'P', 'F'};
+
+bool
+knownType(std::uint8_t value)
+{
+    return value >= static_cast<std::uint8_t>(MsgType::ClientHello)
+        && value <= static_cast<std::uint8_t>(MsgType::Shutdown);
+}
+
+void
+vecStrEncode(ByteWriter &out, const std::vector<std::string> &v)
+{
+    out.u64(v.size());
+    for (const std::string &s : v)
+        out.str(s);
+}
+
+std::vector<std::string>
+vecStrDecode(ByteReader &in)
+{
+    const std::uint64_t n = in.u64();
+    // Every element needs at least its 8-byte length prefix; this
+    // bounds a hostile count before any allocation happens.
+    if (n > in.remaining() / 8)
+        lap_fatal("fabric frame truncated: %llu strings declared "
+                  "but only %zu bytes remain",
+                  static_cast<unsigned long long>(n), in.remaining());
+    std::vector<std::string> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(in.str());
+    return v;
+}
+
+} // namespace
+
+const char *
+toString(MsgType type)
+{
+    switch (type) {
+      case MsgType::ClientHello: return "client-hello";
+      case MsgType::WorkerHello: return "worker-hello";
+      case MsgType::Submit: return "submit";
+      case MsgType::SubmitAck: return "submit-ack";
+      case MsgType::Row: return "row";
+      case MsgType::CampaignDone: return "campaign-done";
+      case MsgType::Error: return "error";
+      case MsgType::Assign: return "assign";
+      case MsgType::Ready: return "ready";
+      case MsgType::Heartbeat: return "heartbeat";
+      case MsgType::Result: return "result";
+      case MsgType::Query: return "query";
+      case MsgType::QueryAck: return "query-ack";
+      case MsgType::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::string
+encodeFrame(MsgType type, const ByteWriter &payload)
+{
+    lap_assert(payload.size() <= kMaxFramePayload,
+               "fabric frame payload of %zu bytes exceeds the %u "
+               "byte protocol bound",
+               payload.size(), kMaxFramePayload);
+    ByteWriter frame;
+    for (char ch : kMagic)
+        frame.u8(static_cast<std::uint8_t>(ch));
+    frame.u8(kFabricProtocolVersion);
+    frame.u8(static_cast<std::uint8_t>(type));
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    std::string bytes = frame.data();
+    bytes += payload.data();
+    ByteWriter trailer;
+    trailer.u32(crc32(payload.data().data(), payload.size()));
+    bytes += trailer.data();
+    return bytes;
+}
+
+FrameHeader
+decodeFrameHeader(const char *data, std::size_t size)
+{
+    if (size < kFrameHeaderBytes)
+        lap_fatal("fabric frame truncated: %zu header bytes, "
+                  "need %zu",
+                  size, kFrameHeaderBytes);
+    ByteReader in(data, size);
+    for (char expected : kMagic) {
+        if (in.u8() != static_cast<std::uint8_t>(expected))
+            lap_fatal("fabric frame has bad magic (not \"LAPF\"); "
+                      "peer is not speaking the fabric protocol");
+    }
+    const std::uint8_t version = in.u8();
+    if (version != kFabricProtocolVersion)
+        lap_fatal("fabric frame has unsupported protocol version %u "
+                  "(this build speaks %u)",
+                  version, kFabricProtocolVersion);
+    const std::uint8_t type = in.u8();
+    if (!knownType(type))
+        lap_fatal("fabric frame has unknown message type %u", type);
+    FrameHeader header;
+    header.type = static_cast<MsgType>(type);
+    header.payloadSize = in.u32();
+    if (header.payloadSize > kMaxFramePayload)
+        lap_fatal("fabric frame declares an oversized payload of %u "
+                  "bytes (bound %u)",
+                  header.payloadSize, kMaxFramePayload);
+    return header;
+}
+
+void
+verifyFramePayload(const char *payload, std::uint32_t size,
+                   std::uint32_t wire_crc)
+{
+    const std::uint32_t computed = crc32(payload, size);
+    if (computed != wire_crc)
+        lap_fatal("fabric frame payload fails its CRC "
+                  "(stored %08x, computed %08x); dropping the "
+                  "corrupt frame",
+                  wire_crc, computed);
+}
+
+Frame
+decodeFrame(const std::string &bytes)
+{
+    const FrameHeader header =
+        decodeFrameHeader(bytes.data(), bytes.size());
+    const std::size_t total = kFrameHeaderBytes + header.payloadSize
+        + kFrameTrailerBytes;
+    if (bytes.size() < total)
+        lap_fatal("fabric frame truncated: %zu bytes on the wire, "
+                  "header declares %zu",
+                  bytes.size(), total);
+    if (bytes.size() > total)
+        lap_fatal("fabric frame has %zu trailing bytes",
+                  bytes.size() - total);
+    ByteReader trailer(
+        bytes.data() + kFrameHeaderBytes + header.payloadSize,
+        kFrameTrailerBytes);
+    verifyFramePayload(bytes.data() + kFrameHeaderBytes,
+                       header.payloadSize, trailer.u32());
+    Frame frame;
+    frame.type = header.type;
+    frame.payload.assign(bytes.data() + kFrameHeaderBytes,
+                         header.payloadSize);
+    return frame;
+}
+
+void
+HelloMsg::encode(ByteWriter &out) const
+{
+    out.str(name);
+}
+
+HelloMsg
+HelloMsg::decode(ByteReader &in)
+{
+    HelloMsg msg;
+    msg.name = in.str();
+    in.expectEnd();
+    return msg;
+}
+
+void
+SubmitMsg::encode(ByteWriter &out) const
+{
+    out.str(specText);
+    vecStrEncode(out, doneHashes);
+    out.u64(checkpointEvery);
+}
+
+SubmitMsg
+SubmitMsg::decode(ByteReader &in)
+{
+    SubmitMsg msg;
+    msg.specText = in.str();
+    msg.doneHashes = vecStrDecode(in);
+    msg.checkpointEvery = in.u64();
+    in.expectEnd();
+    return msg;
+}
+
+void
+SubmitAckMsg::encode(ByteWriter &out) const
+{
+    out.u64(campaignId);
+    out.u64(jobCount);
+    out.u64(skippedJobs);
+}
+
+SubmitAckMsg
+SubmitAckMsg::decode(ByteReader &in)
+{
+    SubmitAckMsg msg;
+    msg.campaignId = in.u64();
+    msg.jobCount = in.u64();
+    msg.skippedJobs = in.u64();
+    in.expectEnd();
+    return msg;
+}
+
+void
+RowMsg::encode(ByteWriter &out) const
+{
+    out.u64(campaignId);
+    out.str(line);
+}
+
+RowMsg
+RowMsg::decode(ByteReader &in)
+{
+    RowMsg msg;
+    msg.campaignId = in.u64();
+    msg.line = in.str();
+    in.expectEnd();
+    return msg;
+}
+
+void
+CampaignDoneMsg::encode(ByteWriter &out) const
+{
+    out.u64(campaignId);
+    out.u64(ok);
+    out.u64(failed);
+    out.u64(skipped);
+    out.str(summary);
+}
+
+CampaignDoneMsg
+CampaignDoneMsg::decode(ByteReader &in)
+{
+    CampaignDoneMsg msg;
+    msg.campaignId = in.u64();
+    msg.ok = in.u64();
+    msg.failed = in.u64();
+    msg.skipped = in.u64();
+    msg.summary = in.str();
+    in.expectEnd();
+    return msg;
+}
+
+void
+ErrorMsg::encode(ByteWriter &out) const
+{
+    out.str(message);
+}
+
+ErrorMsg
+ErrorMsg::decode(ByteReader &in)
+{
+    ErrorMsg msg;
+    msg.message = in.str();
+    in.expectEnd();
+    return msg;
+}
+
+void
+AssignMsg::encode(ByteWriter &out) const
+{
+    out.u64(campaignId);
+    out.u64(jobIndex);
+    out.str(jobHash);
+    out.str(specText);
+    out.u64(checkpointEvery);
+    out.str(checkpointBlob);
+}
+
+AssignMsg
+AssignMsg::decode(ByteReader &in)
+{
+    AssignMsg msg;
+    msg.campaignId = in.u64();
+    msg.jobIndex = in.u64();
+    msg.jobHash = in.str();
+    msg.specText = in.str();
+    msg.checkpointEvery = in.u64();
+    msg.checkpointBlob = in.str();
+    in.expectEnd();
+    return msg;
+}
+
+void
+HeartbeatMsg::encode(ByteWriter &out) const
+{
+    out.u64(campaignId);
+    out.u64(jobIndex);
+    out.str(checkpointBlob);
+}
+
+HeartbeatMsg
+HeartbeatMsg::decode(ByteReader &in)
+{
+    HeartbeatMsg msg;
+    msg.campaignId = in.u64();
+    msg.jobIndex = in.u64();
+    msg.checkpointBlob = in.str();
+    in.expectEnd();
+    return msg;
+}
+
+void
+ResultMsg::encode(ByteWriter &out) const
+{
+    out.u64(campaignId);
+    out.u64(jobIndex);
+    out.u8(status);
+    out.str(error);
+    out.f64(wallMs);
+    vecStrEncode(out, rows);
+}
+
+ResultMsg
+ResultMsg::decode(ByteReader &in)
+{
+    ResultMsg msg;
+    msg.campaignId = in.u64();
+    msg.jobIndex = in.u64();
+    msg.status = in.u8();
+    if (msg.status > 1)
+        lap_fatal("fabric result frame has invalid job status %u",
+                  msg.status);
+    msg.error = in.str();
+    msg.wallMs = in.f64();
+    msg.rows = vecStrDecode(in);
+    in.expectEnd();
+    return msg;
+}
+
+void
+QueryMsg::encode(ByteWriter &out) const
+{
+    out.u64(campaignId);
+}
+
+QueryMsg
+QueryMsg::decode(ByteReader &in)
+{
+    QueryMsg msg;
+    msg.campaignId = in.u64();
+    in.expectEnd();
+    return msg;
+}
+
+void
+QueryAckMsg::encode(ByteWriter &out) const
+{
+    out.u64(campaignId);
+    out.u64(done);
+    out.u64(total);
+    out.str(table);
+}
+
+QueryAckMsg
+QueryAckMsg::decode(ByteReader &in)
+{
+    QueryAckMsg msg;
+    msg.campaignId = in.u64();
+    msg.done = in.u64();
+    msg.total = in.u64();
+    msg.table = in.str();
+    in.expectEnd();
+    return msg;
+}
+
+} // namespace fabric
+} // namespace lap

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Wire protocol of the campaign fabric (lapsim-serve <-> workers and
+ * clients).
+ *
+ * Every message travels as one length-prefixed frame:
+ *
+ *   magic    4 B   "LAPF"
+ *   version  u8    kFabricProtocolVersion
+ *   type     u8    MsgType
+ *   size     u32   payload byte count (little-endian)
+ *   payload  size B
+ *   crc      u32   CRC-32 (IEEE) of the payload bytes
+ *
+ * Payloads are encoded with the same bounds-checked little-endian
+ * ByteWriter/ByteReader codec the checkpoint format uses
+ * (common/serial.hh), so a truncated or bit-flipped frame is
+ * rejected with a distinct diagnostic instead of being read as
+ * garbage. Like the checkpoint layer, every validation failure is a
+ * separate lap_fatal message (bad magic, unsupported version,
+ * oversized declaration, truncation, CRC mismatch, unknown type),
+ * catchable under ScopedFatalThrow — the daemon and worker survive a
+ * malformed peer by dropping the connection, not by crashing.
+ *
+ * The conversation (DESIGN.md section 12):
+ *
+ *   client: ClientHello, Submit          -> SubmitAck,
+ *           then Row* and one CampaignDone (or Error)
+ *   client: ClientHello, Query           -> QueryAck
+ *   worker: WorkerHello, then repeatedly
+ *           Ready -> Assign (job + optional checkpoint blob),
+ *           Heartbeat* (with fresh snapshot bytes), Result
+ *   daemon: Shutdown to parked workers when stopping.
+ */
+
+#ifndef LAPSIM_FABRIC_PROTOCOL_HH
+#define LAPSIM_FABRIC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+/** Bumped whenever a frame or payload layout changes incompatibly. */
+constexpr std::uint8_t kFabricProtocolVersion = 1;
+
+/** magic + version + type + payload size. */
+constexpr std::size_t kFrameHeaderBytes = 10;
+
+/** CRC-32 trailer. */
+constexpr std::size_t kFrameTrailerBytes = 4;
+
+/**
+ * Upper bound on one payload. Checkpoint blobs of full-size
+ * simulations dominate frame sizes; 256 MiB is an order of magnitude
+ * above the largest observed snapshot and small enough to reject a
+ * garbage length field immediately.
+ */
+constexpr std::uint32_t kMaxFramePayload = 256u * 1024 * 1024;
+
+/** Frame type tags (wire values are part of the protocol). */
+enum class MsgType : std::uint8_t
+{
+    ClientHello = 1,  //!< client -> daemon: open a submit/query link.
+    WorkerHello = 2,  //!< worker -> daemon: join the fleet.
+    Submit = 3,       //!< client -> daemon: run this campaign spec.
+    SubmitAck = 4,    //!< daemon -> client: campaign id + job count.
+    Row = 5,          //!< daemon -> client: one JSONL result row.
+    CampaignDone = 6, //!< daemon -> client: terminal summary.
+    Error = 7,        //!< daemon -> peer: request-level failure.
+    Assign = 8,       //!< daemon -> worker: run this grid point.
+    Ready = 9,        //!< worker -> daemon: idle, wants work.
+    Heartbeat = 10,   //!< worker -> daemon: alive (+ fresh snapshot).
+    Result = 11,      //!< worker -> daemon: finished grid point.
+    Query = 12,       //!< client -> daemon: partial-aggregation ask.
+    QueryAck = 13,    //!< daemon -> client: live aggregation table.
+    Shutdown = 14,    //!< daemon -> worker: drain and exit.
+};
+
+const char *toString(MsgType type);
+
+/** One decoded frame: type tag plus raw payload bytes. */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::string payload;
+};
+
+/** Validated frame header (the socket layer reads this first). */
+struct FrameHeader
+{
+    MsgType type = MsgType::Error;
+    std::uint32_t payloadSize = 0;
+};
+
+/** Frames @p payload into one wire-ready byte string. */
+std::string encodeFrame(MsgType type, const ByteWriter &payload);
+
+/**
+ * Validates the fixed-size header: magic, protocol version, type
+ * range and payload-size bound, each with its own diagnostic.
+ * @p size must be at least kFrameHeaderBytes.
+ */
+FrameHeader decodeFrameHeader(const char *data, std::size_t size);
+
+/** Checks the payload CRC-32 trailer; fatal on mismatch. */
+void verifyFramePayload(const char *payload, std::uint32_t size,
+                        std::uint32_t wire_crc);
+
+/**
+ * Decodes one complete frame from a byte buffer (tests and fuzzing;
+ * the socket layer reads header and payload incrementally through
+ * the two functions above). Fatal on any malformation.
+ */
+Frame decodeFrame(const std::string &bytes);
+
+// ---------------------------------------------------------------
+// Message payloads. Each struct encodes into / decodes from a frame
+// payload; decode is bounds-checked and fatal on truncation.
+// ---------------------------------------------------------------
+
+/** ClientHello / WorkerHello: the peer introduces itself. */
+struct HelloMsg
+{
+    std::string name; //!< Diagnostic peer name ("worker-3", host).
+
+    void encode(ByteWriter &out) const;
+    static HelloMsg decode(ByteReader &in);
+};
+
+/** Client -> daemon: run this campaign. */
+struct SubmitMsg
+{
+    /** Campaign spec in the lapsim-campaign text format. */
+    std::string specText;
+    /** Job hashes already completed (resume); never re-run. */
+    std::vector<std::string> doneHashes;
+    /** Snapshot cadence handed to workers (0 = per-job default). */
+    std::uint64_t checkpointEvery = 0;
+
+    void encode(ByteWriter &out) const;
+    static SubmitMsg decode(ByteReader &in);
+};
+
+/** Daemon -> client: the campaign was accepted. */
+struct SubmitAckMsg
+{
+    std::uint64_t campaignId = 0;
+    std::uint64_t jobCount = 0;    //!< Expanded grid size.
+    std::uint64_t skippedJobs = 0; //!< Of which resume-skipped.
+
+    void encode(ByteWriter &out) const;
+    static SubmitAckMsg decode(ByteReader &in);
+};
+
+/** Daemon -> client: one JSONL row (epoch rows precede results). */
+struct RowMsg
+{
+    std::uint64_t campaignId = 0;
+    std::string line; //!< Verbatim JSONL row, no trailing newline.
+
+    void encode(ByteWriter &out) const;
+    static RowMsg decode(ByteReader &in);
+};
+
+/** Daemon -> client: terminal campaign summary. */
+struct CampaignDoneMsg
+{
+    std::uint64_t campaignId = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t skipped = 0;
+    /** Live aggregation of the run (text table; may be empty). */
+    std::string summary;
+
+    void encode(ByteWriter &out) const;
+    static CampaignDoneMsg decode(ByteReader &in);
+};
+
+/** Daemon -> peer: the request failed (message explains why). */
+struct ErrorMsg
+{
+    std::string message;
+
+    void encode(ByteWriter &out) const;
+    static ErrorMsg decode(ByteReader &in);
+};
+
+/**
+ * Daemon -> worker: run grid point @p jobIndex of the campaign.
+ *
+ * The worker re-expands the spec text locally — grid expansion is a
+ * pure function of the spec (and the LAPSIM_* scaling environment),
+ * so shipping (spec, index) reproduces the job's exact SimConfig
+ * without a config codec. @p jobHash double-checks that property:
+ * a worker whose expansion disagrees (mismatched code version or
+ * scaling env) refuses the job with a distinct error instead of
+ * silently computing different metrics.
+ */
+struct AssignMsg
+{
+    std::uint64_t campaignId = 0;
+    std::uint64_t jobIndex = 0;
+    std::string jobHash;   //!< Expected CampaignJob::hash.
+    std::string specText;  //!< Campaign spec (worker caches per id).
+    std::uint64_t checkpointEvery = 0;
+    /**
+     * Latest checkpoint of an interrupted earlier attempt (raw
+     * snapshot file bytes; empty for a fresh job). The worker
+     * materializes it and resumes mid-job instead of starting over.
+     */
+    std::string checkpointBlob;
+
+    void encode(ByteWriter &out) const;
+    static AssignMsg decode(ByteReader &in);
+};
+
+/** Worker -> daemon: alive; optionally carries a fresh snapshot. */
+struct HeartbeatMsg
+{
+    std::uint64_t campaignId = 0;
+    std::uint64_t jobIndex = 0;
+    /** New checkpoint bytes since the last upload (often empty). */
+    std::string checkpointBlob;
+
+    void encode(ByteWriter &out) const;
+    static HeartbeatMsg decode(ByteReader &in);
+};
+
+/** Worker -> daemon: one finished grid point. */
+struct ResultMsg
+{
+    std::uint64_t campaignId = 0;
+    std::uint64_t jobIndex = 0;
+    /** JobStatus wire value: 0 = ok, 1 = failed. */
+    std::uint8_t status = 1;
+    std::string error; //!< Non-empty only when failed.
+    double wallMs = 0.0;
+    /** Serialized JSONL rows, epoch rows first, result row last. */
+    std::vector<std::string> rows;
+
+    void encode(ByteWriter &out) const;
+    static ResultMsg decode(ByteReader &in);
+};
+
+/** Client -> daemon: aggregate what has finished so far. */
+struct QueryMsg
+{
+    /** Campaign to aggregate; 0 means the most recent one. */
+    std::uint64_t campaignId = 0;
+
+    void encode(ByteWriter &out) const;
+    static QueryMsg decode(ByteReader &in);
+};
+
+/** Daemon -> client: live aggregation over the partial shards. */
+struct QueryAckMsg
+{
+    std::uint64_t campaignId = 0;
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+    std::string table; //!< Rendered partial-aggregation table.
+
+    void encode(ByteWriter &out) const;
+    static QueryAckMsg decode(ByteReader &in);
+};
+
+} // namespace fabric
+} // namespace lap
+
+#endif // LAPSIM_FABRIC_PROTOCOL_HH

@@ -1,0 +1,525 @@
+#include "fabric/scheduler.hh"
+
+#include <utility>
+
+#include "campaign/aggregate.hh"
+#include "campaign/engine.hh"
+#include "campaign/jsonl.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+namespace
+{
+
+/** Finished campaigns kept around for late query() calls. */
+constexpr std::size_t kKeepFinished = 8;
+
+} // namespace
+
+Scheduler::SubmitOutcome
+Scheduler::submit(const SubmitMsg &msg, RowFn onRow, DoneFn onDone)
+{
+    // Parse and expand outside the lock: a malformed spec is fatal
+    // (catchable under the daemon's ScopedFatalThrow) and must not
+    // leave half-registered state behind.
+    const CampaignSpec spec = parseCampaignSpec(msg.specText);
+    std::vector<CampaignJob> jobs = expandCampaign(spec);
+
+    std::set<std::string> done(msg.doneHashes.begin(),
+                               msg.doneHashes.end());
+
+    const MutexLock lock(mutex_);
+    const CampaignId id = nextCampaignId_++;
+    CampaignRun &run = campaigns_[id];
+    run.name = spec.name;
+    run.specText = msg.specText;
+    run.checkpointEvery = msg.checkpointEvery;
+    run.jobs = std::move(jobs);
+    run.runtime.resize(run.jobs.size());
+    run.buckets.resize(kShardBuckets);
+    run.onRow = std::move(onRow);
+    run.onDone = std::move(onDone);
+
+    SubmitOutcome outcome;
+    outcome.id = id;
+    outcome.jobCount = run.jobs.size();
+    for (std::size_t i = 0; i < run.jobs.size(); ++i) {
+        if (done.count(run.jobs[i].hash)) {
+            // Resume: this grid point already has an "ok" row on the
+            // client side; mark it Done without rows to emit.
+            run.runtime[i].state = JobRuntime::State::Done;
+            run.runtime[i].skipped = true;
+            run.runtime[i].resultStatus = 0;
+            run.doneJobs++;
+            run.skipped++;
+            outcome.skippedJobs++;
+            continue;
+        }
+        const std::size_t bucket = static_cast<std::size_t>(
+            fnv1a64(run.jobs[i].key) % kShardBuckets);
+        run.buckets[bucket].push_back(i);
+    }
+    return outcome;
+}
+
+void
+Scheduler::startCampaign(CampaignId id)
+{
+    const MutexLock lock(mutex_);
+    auto it = campaigns_.find(id);
+    if (it == campaigns_.end() || it->second.finished)
+        return;
+    // Resume-skipped jobs at the head of the grid emit nothing but
+    // still move the reorder cursor; an all-skipped campaign
+    // completes right here.
+    advanceEmitLocked(it->second);
+    maybeFinishLocked(id, it->second);
+    dispatchLocked();
+}
+
+void
+Scheduler::cancelCampaign(CampaignId id)
+{
+    const MutexLock lock(mutex_);
+    auto it = campaigns_.find(id);
+    if (it == campaigns_.end() || it->second.finished)
+        return;
+    CampaignRun &run = it->second;
+    run.clientGone = true;
+    run.onRow = nullptr;
+    run.onDone = nullptr;
+    for (std::deque<std::size_t> &bucket : run.buckets) {
+        for (const std::size_t index : bucket) {
+            run.runtime[index].state = JobRuntime::State::Cancelled;
+            run.doneJobs++;
+        }
+        bucket.clear();
+    }
+    // Running jobs finish on their own and are counted as they land;
+    // with no pending work left this may already be the end.
+    advanceEmitLocked(run);
+    maybeFinishLocked(id, run);
+}
+
+WorkerId
+Scheduler::addWorker(const std::string &name, SendAssignFn send,
+                     KickFn kick, SendShutdownFn sendShutdown)
+{
+    const MutexLock lock(mutex_);
+    const WorkerId id = nextWorkerId_++;
+    WorkerSlot &slot = workers_[id];
+    slot.name = name;
+    slot.send = std::move(send);
+    slot.kick = std::move(kick);
+    slot.sendShutdown = std::move(sendShutdown);
+    fleet_.push_back(id);
+    return id;
+}
+
+void
+Scheduler::workerReady(WorkerId id)
+{
+    const MutexLock lock(mutex_);
+    auto it = workers_.find(id);
+    if (it == workers_.end())
+        return;
+    it->second.idle = true;
+    it->second.busy = false;
+    dispatchLocked();
+}
+
+void
+Scheduler::workerLost(WorkerId id)
+{
+    const MutexLock lock(mutex_);
+    auto it = workers_.find(id);
+    if (it == workers_.end())
+        return;
+    const bool busy = it->second.busy;
+    const CampaignId cid = it->second.campaign;
+    const std::size_t index = it->second.jobIndex;
+    workers_.erase(it);
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+        if (fleet_[i] == id) {
+            fleet_.erase(fleet_.begin()
+                         + static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+
+    if (busy) {
+        auto cit = campaigns_.find(cid);
+        if (cit != campaigns_.end() && !cit->second.finished) {
+            CampaignRun &run = cit->second;
+            JobRuntime &jr = run.runtime[index];
+            if (jr.state == JobRuntime::State::Running
+                && jr.runner == id) {
+                if (jr.attempts >= kMaxAttempts) {
+                    // Every attempt of this grid point took a worker
+                    // down with it; fail the job so the campaign can
+                    // still terminate.
+                    JobOutcome outcome;
+                    outcome.status = JobStatus::Failed;
+                    outcome.error = "abandoned after "
+                        + std::to_string(jr.attempts)
+                        + " attempts ended with a dead worker";
+                    jr.state = JobRuntime::State::Done;
+                    jr.resultStatus = 1;
+                    jr.checkpointBlob.clear();
+                    jr.rows = {jobToJsonRow(run.name,
+                                            run.jobs[index], outcome)};
+                    finishJobLocked(cid, run, index);
+                } else {
+                    requeueLocked(cid, run, index);
+                }
+            }
+        }
+    }
+    dispatchLocked();
+}
+
+void
+Scheduler::heartbeat(WorkerId id, const HeartbeatMsg &msg,
+                     double now_ms)
+{
+    const MutexLock lock(mutex_);
+    auto it = workers_.find(id);
+    if (it == workers_.end())
+        return;
+    WorkerSlot &slot = it->second;
+    slot.lastBeatMs = now_ms;
+    slot.beatSeen = true;
+    if (msg.checkpointBlob.empty() || !slot.busy
+        || slot.campaign != msg.campaignId
+        || slot.jobIndex != msg.jobIndex)
+        return;
+    auto cit = campaigns_.find(msg.campaignId);
+    if (cit == campaigns_.end())
+        return;
+    CampaignRun &run = cit->second;
+    if (msg.jobIndex >= run.runtime.size())
+        return;
+    JobRuntime &jr = run.runtime[msg.jobIndex];
+    if (jr.state == JobRuntime::State::Running && jr.runner == id)
+        jr.checkpointBlob = msg.checkpointBlob;
+}
+
+void
+Scheduler::result(WorkerId id, const ResultMsg &msg)
+{
+    const MutexLock lock(mutex_);
+    auto it = workers_.find(id);
+    if (it == workers_.end())
+        return;
+    WorkerSlot &slot = it->second;
+    if (!slot.busy || slot.campaign != msg.campaignId
+        || slot.jobIndex != msg.jobIndex)
+        return; // stale result from a superseded assignment
+    slot.busy = false;
+
+    auto cit = campaigns_.find(msg.campaignId);
+    if (cit == campaigns_.end())
+        return;
+    CampaignRun &run = cit->second;
+    if (msg.jobIndex >= run.runtime.size() || run.finished)
+        return;
+    JobRuntime &jr = run.runtime[msg.jobIndex];
+    if (jr.state != JobRuntime::State::Running || jr.runner != id)
+        return;
+    jr.state = JobRuntime::State::Done;
+    jr.resultStatus = msg.status;
+    jr.checkpointBlob.clear();
+    jr.rows = msg.rows;
+    if (msg.status == 0 && !msg.rows.empty())
+        run.resultRows.push_back(msg.rows.back());
+    finishJobLocked(msg.campaignId, run, msg.jobIndex);
+}
+
+void
+Scheduler::reapStale(double now_ms, double timeout_ms)
+{
+    const MutexLock lock(mutex_);
+    for (auto &entry : workers_) {
+        WorkerSlot &slot = entry.second;
+        if (!slot.busy)
+            continue; // parked workers have nothing to lose
+        if (!slot.beatSeen) {
+            // First reap pass since the assignment: baseline the
+            // clock so the worker gets one full timeout window.
+            slot.beatSeen = true;
+            slot.lastBeatMs = now_ms;
+            continue;
+        }
+        if (now_ms - slot.lastBeatMs > timeout_ms && slot.kick)
+            // Wakes the worker's connection thread, which unwinds
+            // through workerLost() and requeues the job.
+            slot.kick();
+    }
+}
+
+QueryAckMsg
+Scheduler::query(CampaignId id)
+{
+    const MutexLock lock(mutex_);
+    QueryAckMsg ack;
+    if (campaigns_.empty()) {
+        ack.table = "(no campaigns submitted)";
+        return ack;
+    }
+    auto it = id == 0 ? std::prev(campaigns_.end())
+                      : campaigns_.find(id);
+    if (it == campaigns_.end()) {
+        ack.campaignId = id;
+        ack.table = "(unknown campaign)";
+        return ack;
+    }
+    ack.campaignId = it->first;
+    ack.done = it->second.doneJobs;
+    ack.total = it->second.jobs.size();
+    ack.table = aggregateLocked(it->second);
+    return ack;
+}
+
+void
+Scheduler::kickAllWorkers()
+{
+    const MutexLock lock(mutex_);
+    for (auto &entry : workers_) {
+        if (entry.second.sendShutdown)
+            entry.second.sendShutdown();
+        if (entry.second.kick)
+            entry.second.kick();
+    }
+}
+
+SchedulerStats
+Scheduler::stats() const
+{
+    const MutexLock lock(mutex_);
+    SchedulerStats out = stats_;
+    out.activeWorkers = workers_.size();
+    out.openCampaigns = 0;
+    out.snapshotsHeld = 0;
+    for (const auto &entry : campaigns_) {
+        if (!entry.second.finished)
+            out.openCampaigns++;
+        for (const JobRuntime &jr : entry.second.runtime) {
+            if (jr.state != JobRuntime::State::Done
+                && !jr.checkpointBlob.empty())
+                out.snapshotsHeld++;
+        }
+    }
+    return out;
+}
+
+void
+Scheduler::dispatchLocked()
+{
+    while (true) {
+        // Lowest idle fleet slot first: placement is a deterministic
+        // function of (fleet order, bucket fill), not of thread
+        // timing alone, which keeps dispatch traces reproducible
+        // enough to reason about in tests.
+        std::size_t slot_index = fleet_.size();
+        for (std::size_t i = 0; i < fleet_.size(); ++i) {
+            if (workers_[fleet_[i]].idle) {
+                slot_index = i;
+                break;
+            }
+        }
+        if (slot_index == fleet_.size())
+            return;
+        const WorkerId wid = fleet_[slot_index];
+
+        bool assigned = false;
+        for (auto &entry : campaigns_) {
+            CampaignRun &run = entry.second;
+            if (run.finished)
+                continue;
+            std::size_t index = 0;
+            if (!pickJobLocked(run, slot_index, fleet_.size(), index))
+                continue;
+            WorkerSlot &slot = workers_[wid];
+            JobRuntime &jr = run.runtime[index];
+            jr.state = JobRuntime::State::Running;
+            jr.runner = wid;
+            jr.attempts++;
+            slot.idle = false;
+            slot.busy = true;
+            slot.campaign = entry.first;
+            slot.jobIndex = index;
+            slot.beatSeen = false;
+            stats_.assignments++;
+            if (jr.attempts > 1) {
+                stats_.reassignments++;
+                if (!jr.checkpointBlob.empty())
+                    stats_.snapshotAssignments++;
+            }
+            AssignMsg msg;
+            msg.campaignId = entry.first;
+            msg.jobIndex = index;
+            msg.jobHash = run.jobs[index].hash;
+            msg.specText = run.specText;
+            msg.checkpointEvery = run.checkpointEvery;
+            msg.checkpointBlob = jr.checkpointBlob;
+            if (slot.send)
+                // A failed send surfaces as the connection thread's
+                // recv failing, which calls workerLost() and
+                // requeues this job.
+                slot.send(msg);
+            assigned = true;
+            break;
+        }
+        if (!assigned)
+            return;
+    }
+}
+
+bool
+Scheduler::pickJobLocked(CampaignRun &run, std::size_t worker_slot,
+                         std::size_t fleet_size,
+                         std::size_t &out_index)
+{
+    // Home pass: buckets congruent to this worker's fleet slot, so
+    // repeated runs of one grid keep placement roughly affine.
+    if (fleet_size > 0) {
+        for (std::size_t b = 0; b < kShardBuckets; ++b) {
+            if (b % fleet_size != worker_slot)
+                continue;
+            if (run.buckets[b].empty())
+                continue;
+            out_index = run.buckets[b].front();
+            run.buckets[b].pop_front();
+            return true;
+        }
+    }
+    // Steal pass: take from the fullest foreign bucket so no worker
+    // idles beside a deep queue.
+    std::size_t best = kShardBuckets;
+    std::size_t best_size = 0;
+    for (std::size_t b = 0; b < kShardBuckets; ++b) {
+        if (run.buckets[b].size() > best_size) {
+            best = b;
+            best_size = run.buckets[b].size();
+        }
+    }
+    if (best == kShardBuckets)
+        return false;
+    out_index = run.buckets[best].front();
+    run.buckets[best].pop_front();
+    return true;
+}
+
+void
+Scheduler::finishJobLocked(CampaignId id, CampaignRun &run,
+                           std::size_t index)
+{
+    const JobRuntime &jr = run.runtime[index];
+    lap_assert(jr.state == JobRuntime::State::Done,
+               "finishJobLocked on a non-Done job");
+    run.doneJobs++;
+    if (jr.skipped)
+        ; // counted at submit()
+    else if (jr.resultStatus == 0)
+        run.ok++;
+    else
+        run.failed++;
+    advanceEmitLocked(run);
+    maybeFinishLocked(id, run);
+}
+
+void
+Scheduler::requeueLocked(CampaignId id, CampaignRun &run,
+                         std::size_t index)
+{
+    (void)id;
+    JobRuntime &jr = run.runtime[index];
+    jr.state = JobRuntime::State::Pending;
+    jr.runner = 0;
+    // Front of its home bucket: an interrupted job (with its
+    // snapshot) is the most valuable work in the queue.
+    const std::size_t bucket = static_cast<std::size_t>(
+        fnv1a64(run.jobs[index].key) % kShardBuckets);
+    run.buckets[bucket].push_front(index);
+}
+
+void
+Scheduler::advanceEmitLocked(CampaignRun &run)
+{
+    while (run.nextEmit < run.runtime.size()) {
+        JobRuntime &jr = run.runtime[run.nextEmit];
+        if (jr.state == JobRuntime::State::Done) {
+            if (!run.clientGone && run.onRow) {
+                for (const std::string &row : jr.rows)
+                    run.onRow(row);
+            }
+            jr.rows.clear();
+            run.nextEmit++;
+        } else if (jr.state == JobRuntime::State::Cancelled) {
+            run.nextEmit++;
+        } else {
+            break;
+        }
+    }
+}
+
+void
+Scheduler::maybeFinishLocked(CampaignId id, CampaignRun &run)
+{
+    if (run.finished || run.doneJobs < run.jobs.size())
+        return;
+    run.finished = true;
+    if (!run.clientGone && run.onDone) {
+        DoneSummary summary;
+        summary.id = id;
+        summary.ok = run.ok;
+        summary.failed = run.failed;
+        summary.skipped = run.skipped;
+        summary.summary = aggregateLocked(run);
+        run.onDone(summary);
+    }
+    run.onRow = nullptr;
+    run.onDone = nullptr;
+    pruneLocked();
+}
+
+void
+Scheduler::pruneLocked()
+{
+    std::vector<CampaignId> finished;
+    for (const auto &entry : campaigns_) {
+        if (entry.second.finished)
+            finished.push_back(entry.first);
+    }
+    // Ids ascend, so the front of the list is the oldest.
+    std::size_t excess = finished.size() > kKeepFinished
+        ? finished.size() - kKeepFinished
+        : 0;
+    for (std::size_t i = 0; i < excess; ++i)
+        campaigns_.erase(finished[i]);
+}
+
+std::string
+Scheduler::aggregateLocked(const CampaignRun &run) const
+{
+    if (run.resultRows.empty())
+        return "(no completed jobs yet)";
+    std::vector<JsonRow> rows;
+    rows.reserve(run.resultRows.size());
+    for (const std::string &line : run.resultRows) {
+        JsonRow row;
+        if (parseJsonObject(line, row))
+            rows.push_back(std::move(row));
+    }
+    if (rows.empty())
+        return "(no completed jobs yet)";
+    return aggregateRows(rows, AggregateSpec{}).toString();
+}
+
+} // namespace fabric
+} // namespace lap

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Campaign fabric scheduler: the daemon's shared state machine.
+ *
+ * Owns every cross-connection decision of lapsim-serve — which grid
+ * point runs where, what happens when a worker dies, when a
+ * campaign is complete — behind one annotated lap::Mutex, so the
+ * socket layer stays a thin shell of per-connection threads.
+ *
+ * Sharded work stealing: the expanded grid is partitioned into
+ * kShardBuckets buckets by the existing FNV-1a job hash (the same
+ * deterministic partition `lapsim-campaign --shard K/N` exposes for
+ * manual multi-host runs). An idle worker first drains the buckets
+ * congruent to its fleet slot, then steals from the fullest foreign
+ * bucket, so job placement stays affine while no worker ever idles
+ * beside a non-empty queue.
+ *
+ * Fault tolerance: a worker's heartbeats carry fresh checkpoint
+ * bytes of its running job (the `<out>.<hash>.ckpt` machinery from
+ * the campaign engine, shipped over the wire). When a worker dies —
+ * its connection drops or its heartbeats go stale — the job returns
+ * to the front of its bucket together with the last snapshot, and
+ * the next worker resumes it mid-job instead of starting from zero.
+ * A job whose workers keep dying is failed after kMaxAttempts so a
+ * crash-inducing grid point cannot grind the fleet forever.
+ *
+ * Determinism: jobs are pure functions of their (spec, index) pair
+ * (campaign/spec.hh), so placement, stealing and restarts cannot
+ * change any metric. Result rows are released to the client in grid
+ * order through a reorder buffer (emission cursor), making the
+ * client's JSONL stream row-for-row identical to a serial
+ * `lapsim-campaign` run of the same spec.
+ *
+ * Callbacks (row emission, worker sends) run while the scheduler
+ * lock is held: on the fabric's job granularity the serialization
+ * cost is noise, and it keeps emission ordering trivially correct.
+ * Socket sends are bounded by a send timeout (fabric/socket.cc), so
+ * a hung peer cannot park the scheduler forever.
+ */
+
+#ifndef LAPSIM_FABRIC_SCHEDULER_HH
+#define LAPSIM_FABRIC_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hh"
+#include "common/mutex.hh"
+#include "fabric/protocol.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+using CampaignId = std::uint64_t;
+using WorkerId = std::uint64_t;
+
+/** Fabric-wide counters (tests and `lapsim-serve` logging). */
+struct SchedulerStats
+{
+    std::uint64_t assignments = 0;
+    /** Assignments of a job whose earlier attempt died. */
+    std::uint64_t reassignments = 0;
+    /** Reassignments that shipped a checkpoint blob. */
+    std::uint64_t snapshotAssignments = 0;
+    /** Heartbeat snapshots currently held for running jobs. */
+    std::uint64_t snapshotsHeld = 0;
+    std::uint64_t activeWorkers = 0;
+    std::uint64_t openCampaigns = 0;
+};
+
+/** See file comment. All public methods are thread-safe. */
+class Scheduler
+{
+  public:
+    /** Job-hash partition width (buckets, not workers). */
+    static constexpr std::uint32_t kShardBuckets = 64;
+    /** A job is failed after this many dead workers. */
+    static constexpr std::uint32_t kMaxAttempts = 3;
+
+    /** Emits one JSONL row to the submitting client. */
+    using RowFn = std::function<void(const std::string &line)>;
+    /** Sends an assignment to a specific worker. */
+    using SendAssignFn = std::function<void(const AssignMsg &msg)>;
+    /** Forcibly disconnects a worker (stale heartbeats). */
+    using KickFn = std::function<void()>;
+    /** Sends a Shutdown frame (drain-and-exit, daemon stop). */
+    using SendShutdownFn = std::function<void()>;
+
+    struct DoneSummary
+    {
+        CampaignId id = 0;
+        std::uint64_t ok = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t skipped = 0;
+        std::string summary; //!< Live-aggregation table text.
+    };
+    using DoneFn = std::function<void(const DoneSummary &)>;
+
+    struct SubmitOutcome
+    {
+        CampaignId id = 0;
+        std::uint64_t jobCount = 0;
+        std::uint64_t skippedJobs = 0;
+    };
+
+    Scheduler() = default;
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Accepts a campaign: expands the spec (fatal, catchable, on a
+     * malformed one), marks resume-skipped jobs, and dispatches to
+     * idle workers. @p onRow and @p onDone fire under the scheduler
+     * lock, in grid order, until the campaign completes or
+     * cancelCampaign() is called.
+     */
+    SubmitOutcome submit(const SubmitMsg &msg, RowFn onRow,
+                         DoneFn onDone) LAP_EXCLUDES(mutex_);
+
+    /**
+     * Starts dispatching a submitted campaign. Separate from
+     * submit() so the daemon can acknowledge the submission before
+     * any Row/CampaignDone frame can race past it (an all-skipped
+     * resume completes instantly).
+     */
+    void startCampaign(CampaignId id) LAP_EXCLUDES(mutex_);
+
+    /**
+     * The submitting client is gone: pending jobs are cancelled,
+     * running jobs finish but drop their rows, callbacks are
+     * released. Idempotent.
+     */
+    void cancelCampaign(CampaignId id) LAP_EXCLUDES(mutex_);
+
+    /** Registers a connected worker with its send/kick hooks.
+     *  @p sendShutdown (optional) lets a stopping daemon tell the
+     *  worker to exit cleanly instead of retrying to reconnect. */
+    WorkerId addWorker(const std::string &name, SendAssignFn send,
+                       KickFn kick,
+                       SendShutdownFn sendShutdown = nullptr)
+        LAP_EXCLUDES(mutex_);
+
+    /** The worker asked for work (Ready frame). */
+    void workerReady(WorkerId id) LAP_EXCLUDES(mutex_);
+
+    /**
+     * The worker's connection dropped. Its running job (if any)
+     * returns to the queue front with its latest snapshot, or is
+     * failed once kMaxAttempts is exhausted.
+     */
+    void workerLost(WorkerId id) LAP_EXCLUDES(mutex_);
+
+    /** Heartbeat, possibly carrying fresh checkpoint bytes.
+     *  @p now_ms is a caller-supplied monotonic timestamp. */
+    void heartbeat(WorkerId id, const HeartbeatMsg &msg,
+                   double now_ms) LAP_EXCLUDES(mutex_);
+
+    /** A finished grid point (rows enter the reorder buffer). */
+    void result(WorkerId id, const ResultMsg &msg)
+        LAP_EXCLUDES(mutex_);
+
+    /**
+     * Kicks workers whose last heartbeat is older than
+     * @p timeout_ms (their connection threads then unwind through
+     * workerLost()). Workers between jobs are exempt.
+     */
+    void reapStale(double now_ms, double timeout_ms)
+        LAP_EXCLUDES(mutex_);
+
+    /** Live aggregation over whatever has completed (id 0 = the
+     *  most recently submitted campaign). */
+    QueryAckMsg query(CampaignId id) LAP_EXCLUDES(mutex_);
+
+    /** Disconnects every worker (daemon stop). Workers whose
+     *  registration provided a shutdown sender are told to exit
+     *  cleanly first, then everyone is kicked. */
+    void kickAllWorkers() LAP_EXCLUDES(mutex_);
+
+    SchedulerStats stats() const LAP_EXCLUDES(mutex_);
+
+  private:
+    struct JobRuntime
+    {
+        enum class State : std::uint8_t
+        {
+            Pending,   //!< Queued in its bucket.
+            Running,   //!< Assigned to a live worker.
+            Done,      //!< Finished (ok, failed, or skipped).
+            Cancelled, //!< Client left before it was started.
+        };
+
+        State state = State::Pending;
+        WorkerId runner = 0;
+        std::uint32_t attempts = 0;
+        bool skipped = false;
+        std::uint8_t resultStatus = 1; //!< Wire value when Done.
+        std::string checkpointBlob;
+        std::vector<std::string> rows;
+    };
+
+    struct CampaignRun
+    {
+        std::string name;
+        std::string specText;
+        std::uint64_t checkpointEvery = 0;
+        std::vector<CampaignJob> jobs;
+        std::vector<JobRuntime> runtime;
+        /** Pending job indices, bucketed by FNV-1a job hash. */
+        std::vector<std::deque<std::size_t>> buckets;
+        std::size_t nextEmit = 0;   //!< Reorder-buffer cursor.
+        std::uint64_t doneJobs = 0; //!< Done + Cancelled.
+        std::uint64_t ok = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t skipped = 0;
+        bool clientGone = false;
+        bool finished = false;
+        RowFn onRow;
+        DoneFn onDone;
+        /** "ok" result rows, for live aggregation. */
+        std::vector<std::string> resultRows;
+    };
+
+    struct WorkerSlot
+    {
+        std::string name;
+        SendAssignFn send;
+        KickFn kick;
+        SendShutdownFn sendShutdown;
+        bool idle = false;
+        bool busy = false;
+        CampaignId campaign = 0;
+        std::size_t jobIndex = 0;
+        double lastBeatMs = 0.0;
+        bool beatSeen = false;
+    };
+
+    void dispatchLocked() LAP_REQUIRES(mutex_);
+    bool pickJobLocked(CampaignRun &run, std::size_t worker_slot,
+                       std::size_t fleet_size, std::size_t &out_index)
+        LAP_REQUIRES(mutex_);
+    void finishJobLocked(CampaignId id, CampaignRun &run,
+                         std::size_t index) LAP_REQUIRES(mutex_);
+    void requeueLocked(CampaignId id, CampaignRun &run,
+                       std::size_t index) LAP_REQUIRES(mutex_);
+    void advanceEmitLocked(CampaignRun &run) LAP_REQUIRES(mutex_);
+    void maybeFinishLocked(CampaignId id, CampaignRun &run)
+        LAP_REQUIRES(mutex_);
+    void pruneLocked() LAP_REQUIRES(mutex_);
+    std::string aggregateLocked(const CampaignRun &run) const
+        LAP_REQUIRES(mutex_);
+
+    mutable Mutex mutex_;
+    std::map<CampaignId, CampaignRun> campaigns_
+        LAP_GUARDED_BY(mutex_);
+    std::map<WorkerId, WorkerSlot> workers_ LAP_GUARDED_BY(mutex_);
+    /** Registration order of live workers (fleet slots). */
+    std::vector<WorkerId> fleet_ LAP_GUARDED_BY(mutex_);
+    CampaignId nextCampaignId_ LAP_GUARDED_BY(mutex_) = 1;
+    WorkerId nextWorkerId_ LAP_GUARDED_BY(mutex_) = 1;
+    SchedulerStats stats_ LAP_GUARDED_BY(mutex_);
+};
+
+} // namespace fabric
+} // namespace lap
+
+#endif // LAPSIM_FABRIC_SCHEDULER_HH

@@ -1,0 +1,280 @@
+#include "fabric/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+namespace
+{
+
+/** True for errno values that mean "the peer is gone", which the
+ *  fabric treats as a normal event (worker killed, client closed),
+ *  never as a fault. */
+bool
+peerGone(int err)
+{
+    return err == EPIPE || err == ECONNRESET || err == ECONNABORTED
+        || err == ESHUTDOWN || err == ENOTCONN || err == EBADF;
+}
+
+/**
+ * Bounds every blocking send. A worker that stops draining its
+ * socket (hung process with a full receive buffer) would otherwise
+ * park the sending scheduler thread forever; after the timeout the
+ * send fails like a dead peer and the connection is dropped.
+ */
+void
+setSendTimeout(int fd)
+{
+    timeval tv{};
+    tv.tv_sec = 30;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace
+
+TcpConnection::~TcpConnection()
+{
+    close();
+}
+
+TcpConnection::TcpConnection(TcpConnection &&other) noexcept
+    : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+TcpConnection &
+TcpConnection::operator=(TcpConnection &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+TcpConnection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+TcpConnection::kick()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool
+TcpConnection::sendAll(const char *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n = ::send(fd_, data + sent, size - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (peerGone(errno) || errno == EAGAIN
+                || errno == EWOULDBLOCK) // send timeout elapsed
+                return false;
+            lap_fatal("fabric socket send failed: %s",
+                      std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+TcpConnection::sendFrame(MsgType type, const ByteWriter &payload)
+{
+    const std::string bytes = encodeFrame(type, payload);
+    const MutexLock lock(send_mutex_);
+    if (fd_ < 0)
+        return false;
+    return sendAll(bytes.data(), bytes.size());
+}
+
+bool
+TcpConnection::recvExact(char *data, std::size_t size)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+        if (n == 0)
+            return false; // clean EOF
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (peerGone(errno) || errno == EINVAL)
+                return false;
+            lap_fatal("fabric socket recv failed: %s",
+                      std::strerror(errno));
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+TcpConnection::recvFrame(Frame &frame)
+{
+    if (fd_ < 0)
+        return false;
+    char header_bytes[kFrameHeaderBytes];
+    if (!recvExact(header_bytes, sizeof(header_bytes)))
+        return false;
+    const FrameHeader header =
+        decodeFrameHeader(header_bytes, sizeof(header_bytes));
+
+    std::string body;
+    body.resize(static_cast<std::size_t>(header.payloadSize)
+                + kFrameTrailerBytes);
+    if (!recvExact(body.data(), body.size()))
+        // A connection that dies mid-frame delivers a truncated
+        // frame; report it as a dropped peer, not corruption.
+        return false;
+    ByteReader trailer(body.data() + header.payloadSize,
+                       kFrameTrailerBytes);
+    verifyFramePayload(body.data(), header.payloadSize,
+                       trailer.u32());
+    frame.type = header.type;
+    frame.payload.assign(body.data(), header.payloadSize);
+    return true;
+}
+
+TcpListener::TcpListener(const std::string &host, std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        lap_fatal("fabric listener: socket() failed: %s",
+                  std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        lap_fatal("fabric listener: '%s' is not an IPv4 address",
+                  host.c_str());
+    if (::bind(fd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr))
+        != 0)
+        lap_fatal("fabric listener: cannot bind %s:%u: %s",
+                  host.c_str(), port, std::strerror(errno));
+    if (::listen(fd_, 64) != 0)
+        lap_fatal("fabric listener: listen() failed: %s",
+                  std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&bound), &len)
+        != 0)
+        lap_fatal("fabric listener: getsockname() failed: %s",
+                  std::strerror(errno));
+    port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+void
+TcpListener::close()
+{
+    const MutexLock lock(close_mutex_);
+    if (fd_ >= 0) {
+        // shutdown() wakes a blocked accept() portably; close()
+        // releases the port.
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+TcpConnection
+TcpListener::accept()
+{
+    while (true) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            setSendTimeout(fd);
+            return TcpConnection(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        return TcpConnection(); // listener closed
+    }
+}
+
+TcpConnection
+connectTo(const std::string &host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        lap_fatal("fabric connect: socket() failed: %s",
+                  std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        lap_fatal("fabric connect: '%s' is not an IPv4 address",
+                  host.c_str());
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        ::close(fd);
+        return TcpConnection(); // refused; caller retries
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    setSendTimeout(fd);
+    return TcpConnection(fd);
+}
+
+void
+splitHostPort(const std::string &text, std::string &host,
+              std::uint16_t &port, bool allow_zero)
+{
+    const auto colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0
+        || colon + 1 >= text.size())
+        lap_fatal("expected HOST:PORT, got '%s'", text.c_str());
+    host = text.substr(0, colon);
+    char *end = nullptr;
+    const std::string port_text = text.substr(colon + 1);
+    const unsigned long parsed =
+        std::strtoul(port_text.c_str(), &end, 10);
+    if (end == port_text.c_str() || *end != '\0'
+        || (parsed == 0 && !allow_zero) || parsed > 65535)
+        lap_fatal("'%s' is not a TCP port", port_text.c_str());
+    port = static_cast<std::uint16_t>(parsed);
+}
+
+} // namespace fabric
+} // namespace lap

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Minimal TCP transport for the campaign fabric.
+ *
+ * RAII wrappers over POSIX stream sockets, just deep enough for the
+ * daemon/worker/client conversation: a listener that can bind an
+ * ephemeral port (port 0) and report the kernel-chosen one, and a
+ * connection type that sends and receives whole protocol frames.
+ * Frame reception is incremental (header first, then payload +
+ * CRC trailer) so a malformed peer is rejected after at most one
+ * bounded allocation; all validation diagnostics come from
+ * fabric/protocol.hh and are catchable under ScopedFatalThrow.
+ *
+ * Connections are safe to *send on* from multiple threads (internal
+ * send lock — the scheduler pushes assignments and result rows from
+ * whichever thread finished a job) but must be *received on* by one
+ * thread only, which is how the daemon and worker loops are shaped.
+ */
+
+#ifndef LAPSIM_FABRIC_SOCKET_HH
+#define LAPSIM_FABRIC_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.hh"
+#include "fabric/protocol.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+/** One connected stream socket (move-only; closes on destruction). */
+class TcpConnection
+{
+  public:
+    TcpConnection() = default;
+    explicit TcpConnection(int fd) : fd_(fd) {}
+    ~TcpConnection();
+
+    TcpConnection(TcpConnection &&other) noexcept;
+    TcpConnection &operator=(TcpConnection &&other) noexcept;
+    TcpConnection(const TcpConnection &) = delete;
+    TcpConnection &operator=(const TcpConnection &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Sends one whole frame. Returns false when the peer is gone
+     * (connection reset / broken pipe); fatal on unexpected socket
+     * errors. Callable from any thread.
+     */
+    bool sendFrame(MsgType type, const ByteWriter &payload)
+        LAP_EXCLUDES(send_mutex_);
+
+    /**
+     * Receives one whole frame. Returns false on clean EOF or peer
+     * reset (the connection is finished); fatal (catchable) on a
+     * malformed frame. Single receiver thread only.
+     */
+    bool recvFrame(Frame &frame);
+
+    /**
+     * Shuts the socket down in both directions, waking any thread
+     * blocked in recvFrame() on it. Callable from any thread; used
+     * by the daemon to kick stale workers and to unwind its
+     * connection threads at stop().
+     */
+    void kick();
+
+    void close();
+
+  private:
+    bool sendAll(const char *data, std::size_t size)
+        LAP_REQUIRES(send_mutex_);
+    bool recvExact(char *data, std::size_t size);
+
+    /** Owned descriptor; -1 when empty. Guarded by convention: only
+     *  moved while no other thread uses the connection. */
+    // lapsim-lint: allow(thread-unguarded-field)
+    int fd_ = -1;
+    Mutex send_mutex_;
+};
+
+/** Listening socket bound to a loopback/interface address. */
+class TcpListener
+{
+  public:
+    /**
+     * Binds and listens on @p host:@p port (port 0 picks a free
+     * port). Fatal on bind failures (address in use, bad host).
+     */
+    TcpListener(const std::string &host, std::uint16_t port);
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** The actually bound port (resolves a port-0 bind). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Accepts one connection; blocks. Returns an invalid connection
+     * when the listener was closed (daemon stop).
+     */
+    TcpConnection accept();
+
+    /** Closes the listening socket, unblocking accept(). */
+    void close();
+
+  private:
+    /** Owned descriptor; close() is the only cross-thread access
+     *  and ::close on a blocking accept is the intended wake-up. */
+    // lapsim-lint: allow(thread-unguarded-field)
+    int fd_ = -1;
+    /** Immutable after the constructor's bind resolves it. */
+    // lapsim-lint: allow(thread-unguarded-field)
+    std::uint16_t port_ = 0;
+    Mutex close_mutex_;
+};
+
+/**
+ * Connects to @p host:@p port. Returns an invalid connection on
+ * refusal/timeout (callers retry with backoff); fatal on unusable
+ * addresses.
+ */
+TcpConnection connectTo(const std::string &host, std::uint16_t port);
+
+/** Splits "host:port" (fatal on malformed input). Port 0 is only
+ *  accepted with @p allow_zero (a listener's ephemeral-port bind —
+ *  never a valid connect target). */
+void splitHostPort(const std::string &text, std::string &host,
+                   std::uint16_t &port, bool allow_zero = false);
+
+} // namespace fabric
+} // namespace lap
+
+#endif // LAPSIM_FABRIC_SOCKET_HH

@@ -1,0 +1,317 @@
+#include "fabric/worker.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/engine.hh"
+#include "campaign/spec.hh"
+#include "common/logging.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+/** Worker-side cache of one expanded campaign; assignments of the
+ *  same spec reuse the expansion (it is deterministic). */
+struct SpecCache
+{
+    std::string text;
+    std::string name;
+    std::vector<CampaignJob> jobs;
+};
+
+namespace
+{
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+/** Atomic write (tmp + rename), mirroring the checkpoint writer so
+ *  a concurrent reader never sees a torn snapshot. */
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool
+sendMsg(TcpConnection &conn, MsgType type, const ResultMsg &msg)
+{
+    ByteWriter out;
+    msg.encode(out);
+    return conn.sendFrame(type, out);
+}
+
+} // namespace
+
+FabricWorker::FabricWorker(const Options &options)
+    : options_(options)
+{
+}
+
+int
+FabricWorker::run()
+{
+    std::uint32_t failures = 0;
+    while (!stop_.load()) {
+        TcpConnection conn =
+            connectTo(options_.host, options_.port);
+        if (!conn.valid()) {
+            if (++failures >= options_.connectAttempts) {
+                lap_warn("worker '%s': daemon %s:%u unreachable "
+                         "after %u attempts; giving up",
+                         options_.name.c_str(),
+                         options_.host.c_str(), options_.port,
+                         failures);
+                return 1;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+            continue;
+        }
+        failures = 0;
+        if (serve(conn) == SessionEnd::Shutdown) {
+            // Scripts and tests parse this clean-exit notice.
+            std::printf("lapsim-worker '%s': daemon shutdown; "
+                        "exiting\n",
+                        options_.name.c_str());
+            std::fflush(stdout);
+            return 0;
+        }
+        // Disconnected: the daemon died or kicked us; rejoin. The
+        // scratch checkpoint of an interrupted job stays on disk and
+        // is revalidated if the same grid point comes back.
+    }
+    return 0;
+}
+
+FabricWorker::SessionEnd
+FabricWorker::serve(TcpConnection &conn)
+{
+    {
+        HelloMsg hello;
+        hello.name = options_.name;
+        ByteWriter out;
+        hello.encode(out);
+        if (!conn.sendFrame(MsgType::WorkerHello, out))
+            return SessionEnd::Disconnected;
+    }
+
+    sessionOpen_.store(true);
+    std::thread beat(&FabricWorker::heartbeatLoop, this,
+                     std::ref(conn));
+
+    SessionEnd end = SessionEnd::Disconnected;
+    SpecCache cache;
+    if (conn.sendFrame(MsgType::Ready, ByteWriter())) {
+        Frame frame;
+        while (!stop_.load()) {
+            bool got = false;
+            {
+                const ScopedFatalThrow guard;
+                try {
+                    got = conn.recvFrame(frame);
+                } catch (const FatalError &err) {
+                    lap_warn("worker '%s': dropping daemon "
+                             "connection: %s",
+                             options_.name.c_str(), err.what());
+                }
+            }
+            if (!got)
+                break;
+            if (frame.type == MsgType::Shutdown) {
+                end = SessionEnd::Shutdown;
+                break;
+            }
+            if (frame.type != MsgType::Assign)
+                continue; // e.g. a stray Error frame
+            AssignMsg msg;
+            {
+                const ScopedFatalThrow guard;
+                try {
+                    ByteReader in(frame.payload.data(),
+                                  frame.payload.size());
+                    msg = AssignMsg::decode(in);
+                } catch (const FatalError &err) {
+                    lap_warn("worker '%s': bad assign frame: %s",
+                             options_.name.c_str(), err.what());
+                    break;
+                }
+            }
+            handleAssign(conn, msg, cache);
+            if (!conn.sendFrame(MsgType::Ready, ByteWriter()))
+                break;
+        }
+    }
+
+    sessionOpen_.store(false);
+    beat.join();
+    return end;
+}
+
+void
+FabricWorker::handleAssign(TcpConnection &conn, const AssignMsg &msg,
+                           SpecCache &cache)
+{
+    ResultMsg res;
+    res.campaignId = msg.campaignId;
+    res.jobIndex = msg.jobIndex;
+
+    if (cache.text != msg.specText) {
+        const ScopedFatalThrow guard;
+        try {
+            const CampaignSpec spec =
+                parseCampaignSpec(msg.specText);
+            cache.jobs = expandCampaign(spec);
+            cache.name = spec.name;
+            cache.text = msg.specText;
+        } catch (const FatalError &err) {
+            cache.text.clear();
+            res.status = 1;
+            res.error = std::string("cannot expand campaign spec: ")
+                + err.what();
+            sendMsg(conn, MsgType::Result, res);
+            return;
+        }
+    }
+
+    if (msg.jobIndex >= cache.jobs.size()
+        || cache.jobs[msg.jobIndex].hash != msg.jobHash) {
+        // This worker's expansion disagrees with the daemon's —
+        // mismatched code versions or LAPSIM_* scaling env. Refuse
+        // loudly rather than compute incomparable metrics.
+        res.status = 1;
+        res.error = csprintf(
+            "job hash mismatch at index %llu: daemon expects %s, "
+            "local expansion yields %s (code version or LAPSIM_* "
+            "scaling environment skew)",
+            static_cast<unsigned long long>(msg.jobIndex),
+            msg.jobHash.c_str(),
+            msg.jobIndex < cache.jobs.size()
+                ? cache.jobs[msg.jobIndex].hash.c_str()
+                : "nothing");
+        sendMsg(conn, MsgType::Result, res);
+        return;
+    }
+
+    const CampaignJob &job = cache.jobs[msg.jobIndex];
+    const std::string ckpt = scratchCheckpointPath(job.hash);
+    if (!msg.checkpointBlob.empty()
+        && !writeFileAtomic(ckpt, msg.checkpointBlob))
+        lap_warn("worker '%s': cannot materialize snapshot %s; "
+                 "running the job from scratch",
+                 options_.name.c_str(), ckpt.c_str());
+
+    {
+        const MutexLock lock(mutex_);
+        activeCkptPath_ = ckpt;
+        activeCampaign_ = msg.campaignId;
+        activeJobIndex_ = msg.jobIndex;
+        // Never re-upload the snapshot the daemon just shipped.
+        lastUploadHash_ = fnv1a64(msg.checkpointBlob);
+    }
+
+    // Same execution path as `lapsim-campaign --mid-job-restore`:
+    // periodic snapshots to the scratch file, restore from a valid
+    // one (including the blob materialized above).
+    const JobOutcome outcome = runCampaignJob(
+        withJobCheckpointing(job, ckpt, msg.checkpointEvery));
+
+    {
+        const MutexLock lock(mutex_);
+        activeCkptPath_.clear();
+    }
+    if (outcome.status == JobStatus::Ok)
+        std::remove(ckpt.c_str());
+
+    res.status = outcome.status == JobStatus::Ok ? 0 : 1;
+    res.error = outcome.error;
+    res.wallMs = outcome.wallMs;
+    // Same row order the serial engine's sink uses: epoch rows
+    // first, then the result row.
+    for (const EpochRecord &rec : outcome.epochs)
+        res.rows.push_back(epochToJsonRow(cache.name, job, rec));
+    res.rows.push_back(jobToJsonRow(cache.name, job, outcome));
+    sendMsg(conn, MsgType::Result, res);
+}
+
+void
+FabricWorker::heartbeatLoop(TcpConnection &conn)
+{
+    const auto slice = std::chrono::milliseconds(50);
+    double slept_ms = 0.0;
+    while (sessionOpen_.load()) {
+        std::this_thread::sleep_for(slice);
+        slept_ms += 50.0;
+        if (slept_ms < options_.heartbeatPeriodMs)
+            continue;
+        slept_ms = 0.0;
+
+        HeartbeatMsg msg;
+        std::string path;
+        std::uint64_t last_upload = 0;
+        {
+            const MutexLock lock(mutex_);
+            if (activeCkptPath_.empty())
+                continue; // idle: the daemon only reaps busy workers
+            path = activeCkptPath_;
+            msg.campaignId = activeCampaign_;
+            msg.jobIndex = activeJobIndex_;
+            last_upload = lastUploadHash_;
+        }
+        // The snapshot file is written atomically (tmp + rename),
+        // so this read sees a complete old or new snapshot, never a
+        // torn one.
+        std::string blob = readFileBytes(path);
+        const std::uint64_t blob_hash = fnv1a64(blob);
+        if (!blob.empty() && blob_hash != last_upload)
+            msg.checkpointBlob = std::move(blob);
+
+        ByteWriter out;
+        msg.encode(out);
+        if (!conn.sendFrame(MsgType::Heartbeat, out))
+            continue; // dead connection; serve() notices on recv
+        if (!msg.checkpointBlob.empty()) {
+            const MutexLock lock(mutex_);
+            if (activeCkptPath_ == path)
+                lastUploadHash_ = blob_hash;
+        }
+    }
+}
+
+std::string
+FabricWorker::scratchCheckpointPath(
+    const std::string &job_hash) const
+{
+    // Same "<base>.<hash>.ckpt" shape as jobCheckpointPath(), with
+    // the worker name as the base so fleets sharing a scratch
+    // directory never collide.
+    return options_.scratchDir + "/" + options_.name + "."
+        + job_hash + ".ckpt";
+}
+
+} // namespace fabric
+} // namespace lap

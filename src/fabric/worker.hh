@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The lapsim-worker runtime: one fleet member of the campaign
+ * fabric.
+ *
+ * Connects to lapsim-serve, announces itself, and then cycles
+ * Ready -> Assign -> Result. Each assignment names a grid point as
+ * (campaign spec text, job index, expected job hash); the worker
+ * re-expands the spec locally — expansion is a pure function — and
+ * refuses the job with a distinct error if its own expansion's hash
+ * disagrees (version or LAPSIM_* scaling-environment skew), so a
+ * mismatched fleet can never silently mix incompatible metrics.
+ *
+ * Jobs run through the same runCampaignJob()/withJobCheckpointing()
+ * path as a local `lapsim-campaign --mid-job-restore` run, writing
+ * periodic snapshots to a scratch checkpoint file. A background
+ * heartbeat thread uploads fresh snapshot bytes to the daemon, which
+ * re-ships them if this worker dies and its job moves on — the
+ * `<out>.<hash>.ckpt` kill-resume machinery, stretched over TCP.
+ *
+ * A lost daemon connection is survivable: the worker reconnects with
+ * backoff and rejoins the fleet (daemon-restart tests depend on
+ * this). A Shutdown frame ends the worker cleanly.
+ */
+
+#ifndef LAPSIM_FABRIC_WORKER_HH
+#define LAPSIM_FABRIC_WORKER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.hh"
+#include "fabric/socket.hh"
+
+namespace lap
+{
+namespace fabric
+{
+
+struct SpecCache;
+
+/** See file comment. */
+class FabricWorker
+{
+  public:
+    struct Options
+    {
+        std::string host = "127.0.0.1";
+        std::uint16_t port = 0;
+        /** Fleet name shown in daemon diagnostics. */
+        std::string name = "worker";
+        /** Directory for scratch checkpoint files. */
+        std::string scratchDir = ".";
+        /** Heartbeat (and snapshot upload) cadence. */
+        double heartbeatPeriodMs = 1000.0;
+        /** Consecutive failed connect attempts before giving up. */
+        std::uint32_t connectAttempts = 50;
+    };
+
+    explicit FabricWorker(const Options &options);
+
+    /**
+     * Runs until the daemon sends Shutdown (exit 0) or the daemon
+     * stays unreachable for connectAttempts tries (exit 1).
+     */
+    int run();
+
+    /** Makes run() return after the current job (tests). */
+    void requestStop() { stop_.store(true); }
+
+  private:
+    enum class SessionEnd : std::uint8_t
+    {
+        Shutdown,     //!< Daemon asked us to exit.
+        Disconnected, //!< Connection dropped; reconnect.
+    };
+
+    SessionEnd serve(TcpConnection &conn);
+    void handleAssign(TcpConnection &conn, const AssignMsg &msg,
+                      SpecCache &cache);
+    void heartbeatLoop(TcpConnection &conn);
+
+    /** Scratch snapshot file of one assigned job. */
+    std::string scratchCheckpointPath(
+        const std::string &job_hash) const;
+
+    const Options options_;
+    std::atomic<bool> stop_{false};
+    /** Heartbeat thread liveness for the current session. */
+    std::atomic<bool> sessionOpen_{false};
+
+    mutable Mutex mutex_;
+    /** Job the heartbeat thread should report on ("" = idle). */
+    std::string activeCkptPath_ LAP_GUARDED_BY(mutex_);
+    std::uint64_t activeCampaign_ LAP_GUARDED_BY(mutex_) = 0;
+    std::uint64_t activeJobIndex_ LAP_GUARDED_BY(mutex_) = 0;
+    /** FNV-1a of the last uploaded snapshot (dedup). */
+    std::uint64_t lastUploadHash_ LAP_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace fabric
+} // namespace lap
+
+#endif // LAPSIM_FABRIC_WORKER_HH

@@ -21,6 +21,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "sim/checkpoint.hh"
@@ -112,7 +113,10 @@ class CheckpointCorruption : public ::testing::Test
     }
 
     SimConfig config_;
-    std::string path_ = "ckpt_corruption.ckpt";
+    /** Unique per process: parallel ctest runs several suites from
+     *  the same working directory, so a fixed relative name races. */
+    std::string path_ = "/tmp/lapsim_ckpt_corruption_"
+        + std::to_string(::getpid()) + ".ckpt";
     std::string bytes_;
 };
 

@@ -1,0 +1,866 @@
+/**
+ * @file
+ * Campaign fabric unit tests, all in-process: protocol codec
+ * round-trips, per-fault frame rejection diagnostics, scheduler
+ * behaviour against scripted fake workers (grid-order emission,
+ * kill-requeue with snapshots, attempt exhaustion, resume skipping,
+ * stale-worker reaping, live queries), the deterministic
+ * jobInShard() partition, and JsonlReader corruption handling.
+ *
+ * The process-level battery (real daemon + worker subprocesses over
+ * loopback) lives in test_fabric_process.cc; protocol fuzzing in
+ * test_fabric_fuzz.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "campaign/jsonl.hh"
+#include "campaign/spec.hh"
+#include "common/logging.hh"
+#include "fabric/protocol.hh"
+#include "fabric/scheduler.hh"
+
+using namespace lap;
+using namespace lap::fabric;
+
+namespace
+{
+
+/** Runs @p fn under ScopedFatalThrow; returns the diagnostic. */
+template <typename Fn>
+std::string
+fatalMessage(Fn &&fn)
+{
+    try {
+        const ScopedFatalThrow guard;
+        fn();
+    } catch (const FatalError &err) {
+        return err.what();
+    }
+    return "";
+}
+
+/** Encodes a message into a complete wire frame. */
+template <typename Msg>
+std::string
+frameOf(MsgType type, const Msg &msg)
+{
+    ByteWriter out;
+    msg.encode(out);
+    return encodeFrame(type, out);
+}
+
+/** Decodes a frame payload back into its message type. */
+template <typename Msg>
+Msg
+decodePayload(const Frame &frame)
+{
+    ByteReader in(frame.payload.data(), frame.payload.size());
+    return Msg::decode(in);
+}
+
+/** A 4-job spec: 2 policies x 2 mixes, tiny refs. */
+const char *kSpecText = "name fabtest\n"
+                        "seed 7\n"
+                        "set warmup 1000\n"
+                        "set refs 4000\n"
+                        "policies noni,ex\n"
+                        "mix WL1,WH1\n";
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Protocol codec
+// ----------------------------------------------------------------
+
+TEST(FabricProtocol, AllMessagesRoundTrip)
+{
+    {
+        HelloMsg in;
+        in.name = "worker-3";
+        const Frame f = decodeFrame(frameOf(MsgType::WorkerHello, in));
+        EXPECT_EQ(f.type, MsgType::WorkerHello);
+        EXPECT_EQ(decodePayload<HelloMsg>(f).name, "worker-3");
+    }
+    {
+        SubmitMsg in;
+        in.specText = kSpecText;
+        in.doneHashes = {"00aabbccddeeff11", "123456789abcdef0"};
+        in.checkpointEvery = 5'000;
+        const Frame f = decodeFrame(frameOf(MsgType::Submit, in));
+        const SubmitMsg out = decodePayload<SubmitMsg>(f);
+        EXPECT_EQ(out.specText, in.specText);
+        EXPECT_EQ(out.doneHashes, in.doneHashes);
+        EXPECT_EQ(out.checkpointEvery, in.checkpointEvery);
+    }
+    {
+        SubmitAckMsg in;
+        in.campaignId = 42;
+        in.jobCount = 16;
+        in.skippedJobs = 3;
+        const Frame f = decodeFrame(frameOf(MsgType::SubmitAck, in));
+        const SubmitAckMsg out = decodePayload<SubmitAckMsg>(f);
+        EXPECT_EQ(out.campaignId, 42u);
+        EXPECT_EQ(out.jobCount, 16u);
+        EXPECT_EQ(out.skippedJobs, 3u);
+    }
+    {
+        RowMsg in;
+        in.campaignId = 7;
+        in.line = "{\"type\":\"result\",\"label\":\"WH1/lap\"}";
+        const Frame f = decodeFrame(frameOf(MsgType::Row, in));
+        const RowMsg out = decodePayload<RowMsg>(f);
+        EXPECT_EQ(out.campaignId, 7u);
+        EXPECT_EQ(out.line, in.line);
+    }
+    {
+        CampaignDoneMsg in;
+        in.campaignId = 7;
+        in.ok = 14;
+        in.failed = 1;
+        in.skipped = 1;
+        in.summary = "policy  epi\nlap     1.0\n";
+        const Frame f =
+            decodeFrame(frameOf(MsgType::CampaignDone, in));
+        const CampaignDoneMsg out =
+            decodePayload<CampaignDoneMsg>(f);
+        EXPECT_EQ(out.ok, 14u);
+        EXPECT_EQ(out.failed, 1u);
+        EXPECT_EQ(out.skipped, 1u);
+        EXPECT_EQ(out.summary, in.summary);
+    }
+    {
+        ErrorMsg in;
+        in.message = "campaign spec line 3: unknown keyword";
+        const Frame f = decodeFrame(frameOf(MsgType::Error, in));
+        EXPECT_EQ(decodePayload<ErrorMsg>(f).message, in.message);
+    }
+    {
+        AssignMsg in;
+        in.campaignId = 9;
+        in.jobIndex = 11;
+        in.jobHash = "5678df5804eb37aa";
+        in.specText = kSpecText;
+        in.checkpointEvery = 2'500;
+        in.checkpointBlob = std::string("LAPCKPT1\x00\x01", 10);
+        const Frame f = decodeFrame(frameOf(MsgType::Assign, in));
+        const AssignMsg out = decodePayload<AssignMsg>(f);
+        EXPECT_EQ(out.jobIndex, 11u);
+        EXPECT_EQ(out.jobHash, in.jobHash);
+        EXPECT_EQ(out.checkpointBlob, in.checkpointBlob);
+    }
+    {
+        HeartbeatMsg in;
+        in.campaignId = 9;
+        in.jobIndex = 11;
+        in.checkpointBlob = std::string(1024, '\xab');
+        const Frame f = decodeFrame(frameOf(MsgType::Heartbeat, in));
+        const HeartbeatMsg out = decodePayload<HeartbeatMsg>(f);
+        EXPECT_EQ(out.checkpointBlob, in.checkpointBlob);
+    }
+    {
+        ResultMsg in;
+        in.campaignId = 9;
+        in.jobIndex = 11;
+        in.status = 0;
+        in.wallMs = 123.5;
+        in.rows = {"{\"type\":\"epoch\"}", "{\"type\":\"result\"}"};
+        const Frame f = decodeFrame(frameOf(MsgType::Result, in));
+        const ResultMsg out = decodePayload<ResultMsg>(f);
+        EXPECT_EQ(out.status, 0);
+        EXPECT_EQ(out.wallMs, 123.5);
+        EXPECT_EQ(out.rows, in.rows);
+    }
+    {
+        QueryMsg in;
+        in.campaignId = 3;
+        const Frame f = decodeFrame(frameOf(MsgType::Query, in));
+        EXPECT_EQ(decodePayload<QueryMsg>(f).campaignId, 3u);
+    }
+    {
+        QueryAckMsg in;
+        in.campaignId = 3;
+        in.done = 8;
+        in.total = 16;
+        in.table = "partial";
+        const Frame f = decodeFrame(frameOf(MsgType::QueryAck, in));
+        const QueryAckMsg out = decodePayload<QueryAckMsg>(f);
+        EXPECT_EQ(out.done, 8u);
+        EXPECT_EQ(out.total, 16u);
+        EXPECT_EQ(out.table, "partial");
+    }
+}
+
+TEST(FabricProtocol, EmptyPayloadMessagesSurvive)
+{
+    HelloMsg hello; // empty name
+    const Frame f = decodeFrame(frameOf(MsgType::ClientHello, hello));
+    EXPECT_EQ(decodePayload<HelloMsg>(f).name, "");
+}
+
+// ----------------------------------------------------------------
+// Frame rejection: every malformation class yields its own
+// diagnostic (the fuzz suite checks the same property at volume).
+// ----------------------------------------------------------------
+
+TEST(FabricProtocol, RejectsBadMagic)
+{
+    HelloMsg msg;
+    msg.name = "x";
+    std::string bytes = frameOf(MsgType::ClientHello, msg);
+    bytes[0] = 'X';
+    const std::string diag =
+        fatalMessage([&] { decodeFrame(bytes); });
+    EXPECT_NE(diag.find("bad magic"), std::string::npos) << diag;
+}
+
+TEST(FabricProtocol, RejectsWrongVersion)
+{
+    HelloMsg msg;
+    msg.name = "x";
+    std::string bytes = frameOf(MsgType::ClientHello, msg);
+    bytes[4] = static_cast<char>(kFabricProtocolVersion + 1);
+    const std::string diag =
+        fatalMessage([&] { decodeFrame(bytes); });
+    EXPECT_NE(diag.find("unsupported protocol version"),
+              std::string::npos)
+        << diag;
+}
+
+TEST(FabricProtocol, RejectsUnknownType)
+{
+    HelloMsg msg;
+    msg.name = "x";
+    std::string bytes = frameOf(MsgType::ClientHello, msg);
+    bytes[5] = 99;
+    const std::string diag =
+        fatalMessage([&] { decodeFrame(bytes); });
+    EXPECT_NE(diag.find("unknown message type"), std::string::npos)
+        << diag;
+}
+
+TEST(FabricProtocol, RejectsOversizedDeclaration)
+{
+    HelloMsg msg;
+    msg.name = "x";
+    std::string bytes = frameOf(MsgType::ClientHello, msg);
+    // Overwrite the little-endian size field with kMaxFramePayload+1.
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    for (int i = 0; i < 4; ++i)
+        bytes[6 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+    const std::string diag =
+        fatalMessage([&] { decodeFrame(bytes); });
+    EXPECT_NE(diag.find("oversized payload"), std::string::npos)
+        << diag;
+}
+
+TEST(FabricProtocol, RejectsTruncatedHeader)
+{
+    const std::string diag = fatalMessage(
+        [] { decodeFrameHeader("LAPF", 4); });
+    EXPECT_NE(diag.find("truncated"), std::string::npos) << diag;
+}
+
+TEST(FabricProtocol, RejectsTruncatedBody)
+{
+    HelloMsg msg;
+    msg.name = "a-longer-name";
+    std::string bytes = frameOf(MsgType::ClientHello, msg);
+    bytes.resize(bytes.size() - 5);
+    const std::string diag =
+        fatalMessage([&] { decodeFrame(bytes); });
+    EXPECT_NE(diag.find("truncated"), std::string::npos) << diag;
+}
+
+TEST(FabricProtocol, RejectsTrailingBytes)
+{
+    HelloMsg msg;
+    msg.name = "x";
+    std::string bytes = frameOf(MsgType::ClientHello, msg);
+    bytes += "junk";
+    const std::string diag =
+        fatalMessage([&] { decodeFrame(bytes); });
+    EXPECT_NE(diag.find("trailing bytes"), std::string::npos) << diag;
+}
+
+TEST(FabricProtocol, RejectsPayloadBitFlip)
+{
+    HelloMsg msg;
+    msg.name = "worker-under-test";
+    std::string bytes = frameOf(MsgType::ClientHello, msg);
+    bytes[kFrameHeaderBytes + 9] ^= 0x40; // inside the name bytes
+    const std::string diag =
+        fatalMessage([&] { decodeFrame(bytes); });
+    EXPECT_NE(diag.find("CRC"), std::string::npos) << diag;
+}
+
+TEST(FabricProtocol, RejectsInvalidResultStatus)
+{
+    ResultMsg msg;
+    msg.status = 7;
+    ByteWriter out;
+    msg.encode(out);
+    const std::string diag = fatalMessage([&] {
+        ByteReader in(out.data().data(), out.size());
+        ResultMsg::decode(in);
+    });
+    EXPECT_NE(diag.find("invalid job status"), std::string::npos)
+        << diag;
+}
+
+TEST(FabricProtocol, RejectsHostileStringCount)
+{
+    // A Submit payload whose doneHashes count field claims 2^60
+    // entries must be rejected before any allocation.
+    ByteWriter out;
+    out.str(kSpecText);
+    out.u64(1ull << 60);
+    const std::string diag = fatalMessage([&] {
+        ByteReader in(out.data().data(), out.size());
+        SubmitMsg::decode(in);
+    });
+    EXPECT_NE(diag.find("truncated"), std::string::npos) << diag;
+}
+
+// ----------------------------------------------------------------
+// Scheduler, driven by scripted fake workers
+// ----------------------------------------------------------------
+
+namespace
+{
+
+/** A fake fleet member: records assignments instead of simulating. */
+struct FakeWorker
+{
+    WorkerId id = 0;
+    std::vector<AssignMsg> assigns;
+    std::size_t cursor = 0; //!< Oldest unfinished assignment.
+    int kicks = 0;
+
+    WorkerId
+    join(Scheduler &sched, const std::string &name)
+    {
+        id = sched.addWorker(
+            name, [this](const AssignMsg &msg) { assigns.push_back(msg); },
+            [this] { kicks++; });
+        return id;
+    }
+
+    bool hasWork() const { return cursor < assigns.size(); }
+
+    /**
+     * Completes the oldest unfinished assignment with an ok result
+     * tagged by its job index, then asks for more work. Returns
+     * false when nothing was outstanding. (The scheduler never
+     * double-assigns, so at most one assignment is outstanding.)
+     */
+    bool
+    finishNext(Scheduler &sched)
+    {
+        if (!hasWork())
+            return false;
+        const AssignMsg a = assigns[cursor++];
+        ResultMsg res;
+        res.campaignId = a.campaignId;
+        res.jobIndex = a.jobIndex;
+        res.status = 0;
+        res.rows = {"epoch:" + std::to_string(a.jobIndex),
+                    "result:" + std::to_string(a.jobIndex)};
+        sched.result(id, res);
+        sched.workerReady(id);
+        return true;
+    }
+};
+
+/** Collects rows and the done summary from a campaign. */
+struct ClientTap
+{
+    std::vector<std::string> rows;
+    bool done = false;
+    Scheduler::DoneSummary summary;
+
+    Scheduler::RowFn
+    rowFn()
+    {
+        return [this](const std::string &line) { rows.push_back(line); };
+    }
+    Scheduler::DoneFn
+    doneFn()
+    {
+        return [this](const Scheduler::DoneSummary &s) {
+            done = true;
+            summary = s;
+        };
+    }
+};
+
+SubmitMsg
+submitOf(const char *text)
+{
+    SubmitMsg msg;
+    msg.specText = text;
+    return msg;
+}
+
+} // namespace
+
+TEST(FabricScheduler, RunsGridToCompletionInGridOrder)
+{
+    Scheduler sched;
+    FakeWorker w0, w1;
+    w0.join(sched, "w0");
+    w1.join(sched, "w1");
+    sched.workerReady(w0.id);
+    sched.workerReady(w1.id);
+
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(submitOf(kSpecText), tap.rowFn(), tap.doneFn());
+    EXPECT_EQ(outcome.jobCount, 4u);
+    EXPECT_EQ(outcome.skippedJobs, 0u);
+    sched.startCampaign(outcome.id);
+
+    // Both workers got work immediately.
+    EXPECT_EQ(w0.assigns.size() + w1.assigns.size(), 2u);
+
+    // Drive to completion, alternating which worker lands first so
+    // completion order interleaves; the client must still see rows
+    // in grid order.
+    bool w1_first = true;
+    while (!tap.done) {
+        const bool progressed = w1_first
+            ? (w1.finishNext(sched) | w0.finishNext(sched)) != 0
+            : (w0.finishNext(sched) | w1.finishNext(sched)) != 0;
+        w1_first = !w1_first;
+        ASSERT_TRUE(progressed) << "scheduler stalled";
+    }
+
+    ASSERT_TRUE(tap.done);
+    EXPECT_EQ(tap.summary.ok, 4u);
+    EXPECT_EQ(tap.summary.failed, 0u);
+    ASSERT_EQ(tap.rows.size(), 8u); // epoch + result per job
+    for (std::size_t job = 0; job < 4; ++job) {
+        EXPECT_EQ(tap.rows[2 * job],
+                  "epoch:" + std::to_string(job));
+        EXPECT_EQ(tap.rows[2 * job + 1],
+                  "result:" + std::to_string(job));
+    }
+}
+
+TEST(FabricScheduler, OutOfOrderResultsAreReordered)
+{
+    Scheduler sched;
+    FakeWorker w0, w1;
+    w0.join(sched, "w0");
+    w1.join(sched, "w1");
+
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(submitOf(kSpecText), tap.rowFn(), tap.doneFn());
+    sched.startCampaign(outcome.id);
+    sched.workerReady(w0.id);
+    sched.workerReady(w1.id);
+    ASSERT_EQ(w0.assigns.size(), 1u);
+    ASSERT_EQ(w1.assigns.size(), 1u);
+
+    const std::size_t first = w0.assigns[0].jobIndex;
+    const std::size_t second = w1.assigns[0].jobIndex;
+    ASSERT_NE(first, second);
+
+    // Finish the later grid index first: nothing may be emitted
+    // until every earlier index has landed.
+    FakeWorker &late = first < second ? w1 : w0;
+    FakeWorker &early = first < second ? w0 : w1;
+    ASSERT_TRUE(late.finishNext(sched));
+    const std::size_t emitted_before = tap.rows.size();
+    ASSERT_TRUE(early.finishNext(sched));
+    EXPECT_GT(tap.rows.size(), emitted_before);
+    // The early index's rows must precede the late index's.
+    const std::size_t lo = std::min(first, second);
+    EXPECT_EQ(tap.rows[0], "epoch:" + std::to_string(lo));
+}
+
+TEST(FabricScheduler, ResumeSkipsDoneHashes)
+{
+    const CampaignSpec spec = parseCampaignSpec(kSpecText);
+    const auto jobs = expandCampaign(spec);
+    ASSERT_EQ(jobs.size(), 4u);
+
+    Scheduler sched;
+    FakeWorker w0;
+    w0.join(sched, "w0");
+    sched.workerReady(w0.id);
+
+    SubmitMsg msg = submitOf(kSpecText);
+    msg.doneHashes = {jobs[0].hash, jobs[2].hash};
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(msg, tap.rowFn(), tap.doneFn());
+    EXPECT_EQ(outcome.jobCount, 4u);
+    EXPECT_EQ(outcome.skippedJobs, 2u);
+    sched.startCampaign(outcome.id);
+
+    std::set<std::uint64_t> ran;
+    while (!tap.done) {
+        ASSERT_TRUE(w0.hasWork());
+        ran.insert(w0.assigns[w0.cursor].jobIndex);
+        w0.finishNext(sched);
+    }
+    EXPECT_EQ(ran, (std::set<std::uint64_t>{1, 3}));
+    EXPECT_EQ(tap.summary.ok, 2u);
+    EXPECT_EQ(tap.summary.skipped, 2u);
+}
+
+TEST(FabricScheduler, AllSkippedCampaignCompletesOnStart)
+{
+    const auto jobs = expandCampaign(parseCampaignSpec(kSpecText));
+    SubmitMsg msg = submitOf(kSpecText);
+    for (const auto &job : jobs)
+        msg.doneHashes.push_back(job.hash);
+
+    Scheduler sched;
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(msg, tap.rowFn(), tap.doneFn());
+    EXPECT_EQ(outcome.skippedJobs, 4u);
+    // Done fires only at startCampaign(), never inside submit() —
+    // the daemon's SubmitAck must be able to go out first.
+    EXPECT_FALSE(tap.done);
+    sched.startCampaign(outcome.id);
+    EXPECT_TRUE(tap.done);
+    EXPECT_EQ(tap.summary.skipped, 4u);
+}
+
+TEST(FabricScheduler, DeadWorkerJobRequeuesWithSnapshot)
+{
+    Scheduler sched;
+    FakeWorker w0;
+    w0.join(sched, "w0");
+    sched.workerReady(w0.id);
+
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(submitOf(kSpecText), tap.rowFn(), tap.doneFn());
+    sched.startCampaign(outcome.id);
+    ASSERT_EQ(w0.assigns.size(), 1u);
+    const AssignMsg first = w0.assigns[0];
+    EXPECT_TRUE(first.checkpointBlob.empty());
+
+    // The worker heartbeats a snapshot, then dies.
+    HeartbeatMsg beat;
+    beat.campaignId = first.campaignId;
+    beat.jobIndex = first.jobIndex;
+    beat.checkpointBlob = "SNAPSHOT-BYTES";
+    sched.heartbeat(w0.id, beat, 100.0);
+    EXPECT_EQ(sched.stats().snapshotsHeld, 1u);
+    sched.workerLost(w0.id);
+
+    // A fresh worker inherits the same job with the snapshot.
+    FakeWorker w1;
+    w1.join(sched, "w1");
+    sched.workerReady(w1.id);
+    ASSERT_EQ(w1.assigns.size(), 1u);
+    EXPECT_EQ(w1.assigns[0].jobIndex, first.jobIndex);
+    EXPECT_EQ(w1.assigns[0].checkpointBlob, "SNAPSHOT-BYTES");
+
+    const auto stats = sched.stats();
+    EXPECT_EQ(stats.reassignments, 1u);
+    EXPECT_EQ(stats.snapshotAssignments, 1u);
+}
+
+TEST(FabricScheduler, JobFailsAfterMaxAttempts)
+{
+    Scheduler sched;
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(submitOf(kSpecText), tap.rowFn(), tap.doneFn());
+    sched.startCampaign(outcome.id);
+
+    // Kill the assigned worker kMaxAttempts times; on the last loss
+    // the job is failed rather than requeued, and the campaign can
+    // still complete.
+    std::size_t doomed_index = 0;
+    for (std::uint32_t attempt = 0;
+         attempt < Scheduler::kMaxAttempts; ++attempt) {
+        FakeWorker victim;
+        victim.join(sched, "victim");
+        sched.workerReady(victim.id);
+        ASSERT_EQ(victim.assigns.size(), 1u);
+        if (attempt == 0)
+            doomed_index = victim.assigns[0].jobIndex;
+        // Attempt affinity: the requeued job goes back out first.
+        EXPECT_EQ(victim.assigns[0].jobIndex, doomed_index);
+        sched.workerLost(victim.id);
+    }
+
+    // Survivor drains the rest of the grid.
+    FakeWorker survivor;
+    survivor.join(sched, "survivor");
+    sched.workerReady(survivor.id);
+    while (!tap.done) {
+        ASSERT_TRUE(survivor.hasWork());
+        EXPECT_NE(survivor.assigns[survivor.cursor].jobIndex,
+                  doomed_index);
+        survivor.finishNext(sched);
+    }
+    EXPECT_EQ(tap.summary.ok, 3u);
+    EXPECT_EQ(tap.summary.failed, 1u);
+    // The synthesized failure row reaches the client in place.
+    bool found = false;
+    for (const std::string &row : tap.rows)
+        found = found
+            || row.find("abandoned after") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(FabricScheduler, CancelledCampaignStopsDispatching)
+{
+    Scheduler sched;
+    FakeWorker w0;
+    w0.join(sched, "w0");
+    sched.workerReady(w0.id);
+
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(submitOf(kSpecText), tap.rowFn(), tap.doneFn());
+    sched.startCampaign(outcome.id);
+    ASSERT_EQ(w0.assigns.size(), 1u);
+
+    sched.cancelCampaign(outcome.id);
+    // The in-flight job may still land; its rows are dropped and no
+    // further work is handed out.
+    ASSERT_TRUE(w0.finishNext(sched));
+    EXPECT_EQ(w0.assigns.size(), 1u);
+    EXPECT_TRUE(tap.rows.empty());
+    EXPECT_FALSE(tap.done); // done callback was released, not fired
+    EXPECT_EQ(sched.stats().openCampaigns, 0u);
+}
+
+TEST(FabricScheduler, ReapKicksOnlySilentBusyWorkers)
+{
+    Scheduler sched;
+    FakeWorker busy, parked;
+    busy.join(sched, "busy");
+    parked.join(sched, "parked");
+    sched.workerReady(busy.id);
+
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(submitOf(kSpecText), tap.rowFn(), tap.doneFn());
+    sched.startCampaign(outcome.id);
+    ASSERT_EQ(busy.assigns.size(), 1u);
+
+    // First pass baselines the busy worker's clock: no kick yet even
+    // though it has never heartbeat.
+    sched.reapStale(1'000.0, 500.0);
+    EXPECT_EQ(busy.kicks, 0);
+    // Still within the window.
+    sched.reapStale(1'400.0, 500.0);
+    EXPECT_EQ(busy.kicks, 0);
+    // Window blown: the busy worker is kicked, the parked one never.
+    sched.reapStale(2'000.0, 500.0);
+    EXPECT_EQ(busy.kicks, 1);
+    EXPECT_EQ(parked.kicks, 0);
+
+    // A heartbeat resets the window.
+    FakeWorker fresh;
+    fresh.join(sched, "fresh");
+    sched.workerLost(busy.id);
+    sched.workerReady(fresh.id);
+    ASSERT_EQ(fresh.assigns.size(), 1u);
+    HeartbeatMsg beat;
+    beat.campaignId = fresh.assigns[0].campaignId;
+    beat.jobIndex = fresh.assigns[0].jobIndex;
+    sched.heartbeat(fresh.id, beat, 5'000.0);
+    sched.reapStale(5'400.0, 500.0);
+    EXPECT_EQ(fresh.kicks, 0);
+}
+
+TEST(FabricScheduler, QueryReportsProgress)
+{
+    Scheduler sched;
+    FakeWorker w0;
+    w0.join(sched, "w0");
+    sched.workerReady(w0.id);
+
+    EXPECT_EQ(sched.query(0).table, "(no campaigns submitted)");
+
+    ClientTap tap;
+    const auto outcome =
+        sched.submit(submitOf(kSpecText), tap.rowFn(), tap.doneFn());
+    sched.startCampaign(outcome.id);
+
+    QueryAckMsg ack = sched.query(0);
+    EXPECT_EQ(ack.campaignId, outcome.id);
+    EXPECT_EQ(ack.done, 0u);
+    EXPECT_EQ(ack.total, 4u);
+    EXPECT_EQ(ack.table, "(no completed jobs yet)");
+
+    EXPECT_EQ(sched.query(9999).table, "(unknown campaign)");
+
+    ASSERT_TRUE(w0.finishNext(sched));
+    ack = sched.query(outcome.id);
+    EXPECT_GE(ack.done, 1u);
+}
+
+// ----------------------------------------------------------------
+// Deterministic sharding
+// ----------------------------------------------------------------
+
+TEST(FabricShard, ShardsPartitionTheGrid)
+{
+    CampaignSpec spec = parseCampaignSpec(kSpecText);
+    spec.axes.push_back({"llc-mb", {"4", "8"}});
+    const auto jobs = expandCampaign(spec);
+    ASSERT_EQ(jobs.size(), 8u);
+
+    for (std::uint32_t n : {1u, 2u, 3u, 5u}) {
+        std::size_t covered = 0;
+        for (const auto &job : jobs) {
+            std::uint32_t owners = 0;
+            for (std::uint32_t k = 0; k < n; ++k)
+                owners += jobInShard(job, k, n) ? 1 : 0;
+            // Exactly one shard owns every job: disjoint and
+            // complete, so the union of N shard runs is the grid.
+            EXPECT_EQ(owners, 1u) << job.key << " n=" << n;
+            covered++;
+        }
+        EXPECT_EQ(covered, jobs.size());
+    }
+}
+
+TEST(FabricShard, MembershipIsContentDerived)
+{
+    // Reordering the grid (reversed policy axis) must not change any
+    // job's shard: membership hangs off the job key, not the index.
+    CampaignSpec forward = parseCampaignSpec(kSpecText);
+    CampaignSpec backward = forward;
+    std::reverse(backward.policies.begin(), backward.policies.end());
+    const auto a = expandCampaign(forward);
+    const auto b = expandCampaign(backward);
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto &ja : a) {
+        for (const auto &jb : b) {
+            if (ja.key != jb.key)
+                continue;
+            for (std::uint32_t k = 0; k < 3; ++k)
+                EXPECT_EQ(jobInShard(ja, k, 3), jobInShard(jb, k, 3));
+        }
+    }
+}
+
+TEST(FabricShard, RejectsBadShardArguments)
+{
+    const auto jobs = expandCampaign(parseCampaignSpec(kSpecText));
+    EXPECT_THROW(
+        {
+            const ScopedFatalThrow guard;
+            jobInShard(jobs[0], 2, 2);
+        },
+        FatalError);
+}
+
+// ----------------------------------------------------------------
+// JSONL reader hardening
+// ----------------------------------------------------------------
+
+namespace
+{
+
+class JsonlFile
+{
+  public:
+    JsonlFile()
+        : path_("/tmp/lapsim_test_fabric_jsonl_"
+                + std::to_string(::getpid()) + ".jsonl")
+    {
+        std::remove(path_.c_str());
+    }
+    ~JsonlFile() { std::remove(path_.c_str()); }
+
+    void
+    write(const std::string &bytes)
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(JsonlReader, TornTrailingLineIsDroppedQuietly)
+{
+    JsonlFile file;
+    file.write("{\"a\":\"1\"}\n"
+               "{\"a\":\"2\"}\n"
+               "{\"a\":\"3\",\"metr"); // killed mid-row, no newline
+    JsonlReadStats stats;
+    const auto rows = loadJsonl(file.path(), stats);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rowValue(rows[1], "a"), "2");
+    EXPECT_TRUE(stats.tornTail);
+    EXPECT_EQ(stats.malformed, 0u);
+    EXPECT_EQ(stats.rows, 2u);
+}
+
+TEST(JsonlReader, TerminatedGarbageCountsAsMalformed)
+{
+    JsonlFile file;
+    file.write("{\"a\":\"1\"}\n"
+               "not json at all\n"
+               "{\"a\":\"3\"}\n");
+    JsonlReadStats stats;
+    const auto rows = loadJsonl(file.path(), stats);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(stats.malformed, 1u);
+    EXPECT_FALSE(stats.tornTail);
+}
+
+TEST(JsonlReader, UnterminatedButParseableTailIsKept)
+{
+    // A writer that was killed between the row and its newline still
+    // left a complete row; it must be kept, not treated as torn.
+    JsonlFile file;
+    file.write("{\"a\":\"1\"}\n"
+               "{\"a\":\"2\"}");
+    JsonlReadStats stats;
+    const auto rows = loadJsonl(file.path(), stats);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rowValue(rows[1], "a"), "2");
+    EXPECT_FALSE(stats.tornTail);
+}
+
+TEST(JsonlReader, MissingFileYieldsNoRows)
+{
+    JsonlReadStats stats;
+    const auto rows =
+        loadJsonl("/tmp/lapsim_no_such_file_here.jsonl", stats);
+    EXPECT_TRUE(rows.empty());
+    EXPECT_EQ(stats.lines, 0u);
+    EXPECT_FALSE(stats.tornTail);
+}
+
+TEST(JsonlReader, BlankAndCommentFreeLinesDoNotConfuseStats)
+{
+    JsonlFile file;
+    file.write("\n{\"a\":\"1\"}\n\n{\"a\":\"2\"}\n\n");
+    JsonlReadStats stats;
+    const auto rows = loadJsonl(file.path(), stats);
+    EXPECT_EQ(rows.size(), 2u);
+    EXPECT_EQ(stats.rows, 2u);
+    EXPECT_EQ(stats.malformed, 0u);
+}

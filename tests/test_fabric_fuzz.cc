@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Fabric protocol fuzzing: randomized corruption of valid frames.
+ *
+ * Every round builds a valid frame for a random message, then
+ * mutates it — truncation at an arbitrary offset, single-bit flips,
+ * byte-range scrambles, length-field inflation — and asserts that
+ * decodeFrame() either (a) still yields the original message (the
+ * mutation happened to be a no-op, e.g. flipping a bit back) or (b)
+ * rejects it through lap_fatal with a non-empty diagnostic. No
+ * decode may crash, over-read (CI runs this suite under
+ * ASan/UBSan), or silently return a *different* message than was
+ * encoded: the CRC trailer makes payload corruption detectable and
+ * the header validators bound everything else.
+ *
+ * Seeds are fixed (lap::Rng) so every failure reproduces exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fabric/protocol.hh"
+
+using namespace lap;
+using namespace lap::fabric;
+
+namespace
+{
+
+/** Builds one valid frame for a random message shape. */
+std::string
+randomValidFrame(Rng &rng)
+{
+    ByteWriter out;
+    const std::uint64_t pick = rng.below(6);
+    MsgType type = MsgType::ClientHello;
+    switch (pick) {
+      case 0: {
+        HelloMsg msg;
+        msg.name = "fuzz-" + std::to_string(rng.below(1000));
+        msg.encode(out);
+        type = rng.chance(0.5) ? MsgType::ClientHello
+                               : MsgType::WorkerHello;
+        break;
+      }
+      case 1: {
+        SubmitMsg msg;
+        msg.specText = "name fuzz\nmix WL1\npolicies lap\n";
+        const std::uint64_t hashes = rng.below(4);
+        for (std::uint64_t i = 0; i < hashes; ++i)
+            msg.doneHashes.push_back(
+                std::string(16, static_cast<char>('a' + i)));
+        msg.checkpointEvery = rng.next();
+        msg.encode(out);
+        type = MsgType::Submit;
+        break;
+      }
+      case 2: {
+        AssignMsg msg;
+        msg.campaignId = rng.next();
+        msg.jobIndex = rng.below(64);
+        msg.jobHash = "0123456789abcdef";
+        msg.specText = "name fuzz\nmix WH1\n";
+        msg.checkpointEvery = rng.below(10'000);
+        // Binary blob with every byte value represented.
+        msg.checkpointBlob.resize(rng.below(512));
+        for (char &ch : msg.checkpointBlob)
+            ch = static_cast<char>(rng.below(256));
+        msg.encode(out);
+        type = MsgType::Assign;
+        break;
+      }
+      case 3: {
+        ResultMsg msg;
+        msg.campaignId = rng.next();
+        msg.jobIndex = rng.below(64);
+        msg.status = rng.chance(0.9) ? 0 : 1;
+        if (msg.status == 1)
+            msg.error = "synthetic failure";
+        msg.wallMs = rng.uniform() * 1e4;
+        const std::uint64_t n = rng.below(6);
+        for (std::uint64_t i = 0; i < n; ++i)
+            msg.rows.push_back("{\"type\":\"epoch\",\"n\":\""
+                               + std::to_string(i) + "\"}");
+        msg.encode(out);
+        type = MsgType::Result;
+        break;
+      }
+      case 4: {
+        HeartbeatMsg msg;
+        msg.campaignId = rng.next();
+        msg.jobIndex = rng.below(64);
+        msg.checkpointBlob.resize(rng.below(256));
+        for (char &ch : msg.checkpointBlob)
+            ch = static_cast<char>(rng.below(256));
+        msg.encode(out);
+        type = MsgType::Heartbeat;
+        break;
+      }
+      default: {
+        CampaignDoneMsg msg;
+        msg.campaignId = rng.next();
+        msg.ok = rng.below(100);
+        msg.failed = rng.below(4);
+        msg.summary = std::string(rng.below(200), '=');
+        msg.encode(out);
+        type = MsgType::CampaignDone;
+        break;
+      }
+    }
+    return encodeFrame(type, out);
+}
+
+/**
+ * Result of one decode attempt: accepted (with the decoded bytes for
+ * comparison) or rejected with a diagnostic.
+ */
+struct DecodeOutcome
+{
+    bool accepted = false;
+    std::string diagnostic;
+    MsgType type = MsgType::Error;
+    std::string payload;
+};
+
+DecodeOutcome
+tryDecode(const std::string &bytes)
+{
+    DecodeOutcome outcome;
+    try {
+        const ScopedFatalThrow guard;
+        const Frame frame = decodeFrame(bytes);
+        outcome.accepted = true;
+        outcome.type = frame.type;
+        outcome.payload = frame.payload;
+    } catch (const FatalError &err) {
+        outcome.diagnostic = err.what();
+    }
+    return outcome;
+}
+
+} // namespace
+
+TEST(FabricFuzz, TruncationsNeverCrashAndNeverPassAsDifferent)
+{
+    Rng rng(0x1a9f'0001);
+    for (int round = 0; round < 400; ++round) {
+        const std::string valid = randomValidFrame(rng);
+        const DecodeOutcome golden = tryDecode(valid);
+        ASSERT_TRUE(golden.accepted);
+
+        // Cut at every kind of boundary: inside the header, at the
+        // payload edge, inside the CRC trailer.
+        const std::size_t cut = rng.below(valid.size());
+        const std::string cut_bytes = valid.substr(0, cut);
+        const DecodeOutcome outcome = tryDecode(cut_bytes);
+        // A truncated frame can never be accepted: the total length
+        // check sees fewer bytes than the header declares.
+        EXPECT_FALSE(outcome.accepted)
+            << "round " << round << " cut " << cut;
+        EXPECT_FALSE(outcome.diagnostic.empty());
+    }
+}
+
+TEST(FabricFuzz, SingleBitFlipsAreDetectedOrHarmless)
+{
+    Rng rng(0x1a9f'0002);
+    int rejected = 0;
+    const int rounds = 400;
+    for (int round = 0; round < rounds; ++round) {
+        const std::string valid = randomValidFrame(rng);
+        const DecodeOutcome golden = tryDecode(valid);
+        ASSERT_TRUE(golden.accepted);
+
+        std::string bytes = valid;
+        const std::size_t at = rng.below(bytes.size());
+        bytes[at] = static_cast<char>(
+            bytes[at] ^ (1u << rng.below(8)));
+        const DecodeOutcome outcome = tryDecode(bytes);
+        if (outcome.accepted) {
+            // Only tolerable acceptance: flips confined to the type
+            // byte can rename a frame to another *valid* type while
+            // the CRC (payload-only) still passes. The payload must
+            // be byte-identical; anything else slipped corruption
+            // through.
+            EXPECT_EQ(outcome.payload, golden.payload)
+                << "round " << round << " offset " << at;
+        } else {
+            EXPECT_FALSE(outcome.diagnostic.empty());
+            rejected++;
+        }
+    }
+    // The vast majority of flips must be caught (header validators
+    // or CRC); a sliver landing in the type byte may re-label.
+    EXPECT_GT(rejected, rounds * 8 / 10);
+}
+
+TEST(FabricFuzz, PayloadScramblesAlwaysFailTheCrc)
+{
+    Rng rng(0x1a9f'0003);
+    for (int round = 0; round < 300; ++round) {
+        std::string bytes = randomValidFrame(rng);
+        const std::size_t payload_size =
+            bytes.size() - kFrameHeaderBytes - kFrameTrailerBytes;
+        if (payload_size == 0)
+            continue;
+        // Rewrite a random span of the payload with random bytes,
+        // guaranteeing at least one byte actually changes.
+        const std::size_t begin =
+            kFrameHeaderBytes + rng.below(payload_size);
+        const std::size_t len = 1
+            + rng.below(bytes.size() - kFrameTrailerBytes - begin);
+        bool changed = false;
+        for (std::size_t i = 0; i < len; ++i) {
+            const char fresh = static_cast<char>(rng.below(256));
+            changed = changed || fresh != bytes[begin + i];
+            bytes[begin + i] = fresh;
+        }
+        if (!changed)
+            bytes[begin] = static_cast<char>(bytes[begin] ^ 0xff);
+
+        const DecodeOutcome outcome = tryDecode(bytes);
+        EXPECT_FALSE(outcome.accepted) << "round " << round;
+        EXPECT_NE(outcome.diagnostic.find("CRC"), std::string::npos)
+            << outcome.diagnostic;
+    }
+}
+
+TEST(FabricFuzz, LengthFieldInflationIsBounded)
+{
+    Rng rng(0x1a9f'0004);
+    for (int round = 0; round < 200; ++round) {
+        std::string bytes = randomValidFrame(rng);
+        // Replace the u32 size field with a random value.
+        const std::uint32_t fake =
+            static_cast<std::uint32_t>(rng.next());
+        for (int i = 0; i < 4; ++i)
+            bytes[6 + i] =
+                static_cast<char>((fake >> (8 * i)) & 0xff);
+        const DecodeOutcome outcome = tryDecode(bytes);
+        // Either the bound check fires (oversized), the total-length
+        // check fires (mismatch), or — with ~2^-32 luck — the fake
+        // equals the real size and the frame stays intact. Never a
+        // crash, never an over-read.
+        if (outcome.accepted)
+            EXPECT_EQ(fake + kFrameHeaderBytes + kFrameTrailerBytes,
+                      bytes.size());
+        else
+            EXPECT_FALSE(outcome.diagnostic.empty());
+    }
+}
+
+TEST(FabricFuzz, RandomGarbageIsRejected)
+{
+    Rng rng(0x1a9f'0005);
+    for (int round = 0; round < 400; ++round) {
+        std::string bytes(rng.below(256), '\0');
+        for (char &ch : bytes)
+            ch = static_cast<char>(rng.below(256));
+        const DecodeOutcome outcome = tryDecode(bytes);
+        // 4 magic bytes + version make accidental acceptance
+        // essentially impossible; random garbage must be refused
+        // with a diagnostic, not crash.
+        EXPECT_FALSE(outcome.accepted) << "round " << round;
+        EXPECT_FALSE(outcome.diagnostic.empty());
+    }
+}
+
+TEST(FabricFuzz, MessageDecodersRejectTruncatedPayloads)
+{
+    // Below the frame layer: feed each structured decoder a prefix
+    // of its own valid payload. Every cut must fatal cleanly
+    // (ByteReader bounds checks), never crash or accept.
+    Rng rng(0x1a9f'0006);
+    for (int round = 0; round < 200; ++round) {
+        AssignMsg msg;
+        msg.campaignId = rng.next();
+        msg.jobIndex = rng.below(64);
+        msg.jobHash = "0123456789abcdef";
+        msg.specText = "name fuzz\nmix WL1\n";
+        msg.checkpointBlob.assign(rng.below(128), 'b');
+        ByteWriter out;
+        msg.encode(out);
+        const std::string payload = out.data();
+        const std::size_t cut = rng.below(payload.size());
+        bool accepted = false;
+        try {
+            const ScopedFatalThrow guard;
+            ByteReader in(payload.data(), cut);
+            AssignMsg::decode(in);
+            accepted = true;
+        } catch (const FatalError &) {
+        }
+        EXPECT_FALSE(accepted) << "cut " << cut;
+    }
+}

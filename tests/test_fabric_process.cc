@@ -1,0 +1,661 @@
+/**
+ * @file
+ * Process-level fabric battery: a real lapsim-serve daemon and real
+ * lapsim-worker subprocesses on loopback, driven by the in-process
+ * fabric client and compared against serial golden runs.
+ *
+ * The acceptance property of the whole subsystem is proved here:
+ * an N-worker multi-process campaign produces a JSONL stream
+ * row-for-row bit-identical (minus wall-clock fields) to a serial
+ * `lapsim-campaign` run — including when a worker is SIGKILLed
+ * mid-job and a replacement resumes from its uploaded snapshot, and
+ * when the daemon itself is restarted with jobs in flight and the
+ * client resubmits with resume. Also covers the `--shard K/N` CLI
+ * partition and SIGINT graceful shutdown (exit code 3) of the
+ * lapsim-campaign binary.
+ *
+ * Carries the "fabric" ctest label (multi-second wall times; not
+ * part of tier1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <map>
+#include <poll.h>
+#include <set>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "campaign/engine.hh"
+#include "campaign/jsonl.hh"
+#include "common/logging.hh"
+#include "fabric/client.hh"
+
+using namespace lap;
+
+namespace
+{
+
+/** One spawned subprocess with captured stdout+stderr. */
+class Child
+{
+  public:
+    Child() = default;
+    ~Child() { killHard(); }
+    Child(const Child &) = delete;
+    Child &operator=(const Child &) = delete;
+
+    void
+    spawn(const std::vector<std::string> &argv)
+    {
+        int fds[2];
+        ASSERT_EQ(::pipe(fds), 0);
+        pid_ = ::fork();
+        ASSERT_GE(pid_, 0);
+        if (pid_ == 0) {
+            ::dup2(fds[1], 1);
+            ::dup2(fds[1], 2);
+            ::close(fds[0]);
+            ::close(fds[1]);
+            std::vector<char *> cargv;
+            cargv.reserve(argv.size() + 1);
+            for (const std::string &arg : argv)
+                cargv.push_back(const_cast<char *>(arg.c_str()));
+            cargv.push_back(nullptr);
+            ::execv(cargv[0], cargv.data());
+            ::_exit(127);
+        }
+        ::close(fds[1]);
+        out_fd_ = fds[0];
+    }
+
+    bool alive() const { return pid_ > 0; }
+    pid_t pid() const { return pid_; }
+
+    /**
+     * Reads captured output until it contains @p needle or
+     * @p timeout_ms elapses. Returns true on a hit.
+     */
+    bool
+    waitForOutput(const std::string &needle, int timeout_ms)
+    {
+        const auto deadline = std::chrono::steady_clock::now()
+            + std::chrono::milliseconds(timeout_ms);
+        while (captured_.find(needle) == std::string::npos) {
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= deadline)
+                return false;
+            pollfd pfd{};
+            pfd.fd = out_fd_;
+            pfd.events = POLLIN;
+            const int left = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - now)
+                    .count());
+            const int ready = ::poll(&pfd, 1, left > 50 ? 50 : left);
+            if (ready > 0 && !drainOnce())
+                return captured_.find(needle) != std::string::npos;
+        }
+        return true;
+    }
+
+    void
+    signal(int sig)
+    {
+        if (pid_ > 0)
+            ::kill(pid_, sig);
+    }
+
+    /** Blocks until exit; returns the exit code (-1 on signal). */
+    int
+    waitExit()
+    {
+        if (pid_ <= 0)
+            return -1;
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+        while (drainOnce()) {
+        }
+        if (out_fd_ >= 0) {
+            ::close(out_fd_);
+            out_fd_ = -1;
+        }
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    void
+    killHard()
+    {
+        if (pid_ > 0) {
+            ::kill(pid_, SIGKILL);
+            waitExit();
+        } else if (out_fd_ >= 0) {
+            ::close(out_fd_);
+            out_fd_ = -1;
+        }
+    }
+
+    const std::string &captured() const { return captured_; }
+
+  private:
+    /** Non-blocking-ish single read; false on EOF. */
+    bool
+    drainOnce()
+    {
+        if (out_fd_ < 0)
+            return false;
+        pollfd pfd{};
+        pfd.fd = out_fd_;
+        pfd.events = POLLIN;
+        if (::poll(&pfd, 1, 0) <= 0)
+            return true; // nothing buffered right now
+        char chunk[4096];
+        const ssize_t n = ::read(out_fd_, chunk, sizeof(chunk));
+        if (n <= 0)
+            return false;
+        captured_.append(chunk, static_cast<std::size_t>(n));
+        return true;
+    }
+
+    pid_t pid_ = -1;
+    int out_fd_ = -1;
+    std::string captured_;
+};
+
+/** Unique temp path, removed (with checkpoint siblings) on exit. */
+class TempOut
+{
+  public:
+    explicit TempOut(const std::string &tag)
+        : path_("/tmp/lapsim_fabric_" + tag + "_"
+                + std::to_string(::getpid()) + ".jsonl")
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempOut()
+    {
+        std::remove(path_.c_str());
+        // Best-effort sweep of checkpoint siblings.
+        const std::string cmd =
+            "rm -f " + path_ + ".*.ckpt 2>/dev/null";
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** The fast differential grid: 16 jobs, ~12 ms each. */
+const char *kFastSpec = "name fabproc\n"
+                        "seed 7\n"
+                        "set warmup 1000\n"
+                        "set refs 6000\n"
+                        "policies noni,ex,dswitch,lap\n"
+                        "mix WL1,WL2,WH1,WH2\n";
+
+/** The slow grid: 4 jobs of ~1.5-2 s, for mid-job interruptions. */
+const char *kSlowSpec = "name fabslow\n"
+                        "seed 11\n"
+                        "set warmup 10000\n"
+                        "set refs 1000000\n"
+                        "policies noni,lap\n"
+                        "mix WL1,WH1\n";
+
+/** Rows of a JSONL file with wall-clock fields dropped. */
+std::vector<JsonRow>
+rowsWithoutWallClock(const std::string &path)
+{
+    std::vector<JsonRow> rows = loadJsonl(path);
+    for (JsonRow &row : rows)
+        row.erase("wallMs");
+    return rows;
+}
+
+/** Result rows keyed by job hash (order-insensitive comparisons). */
+std::map<std::string, JsonRow>
+resultRowsByHash(const std::string &path)
+{
+    std::map<std::string, JsonRow> by_hash;
+    for (JsonRow &row : rowsWithoutWallClock(path)) {
+        if (rowValue(row, "type") != "result")
+            continue;
+        by_hash[rowValue(row, "hash")] = std::move(row);
+    }
+    return by_hash;
+}
+
+/** Serial golden: in-process engine, one worker, grid order. */
+void
+writeSerialGolden(const char *spec_text, const std::string &out)
+{
+    EngineOptions options;
+    options.jobs = 1;
+    options.outPath = out;
+    const CampaignResult result =
+        runCampaign(parseCampaignSpec(spec_text), options);
+    ASSERT_EQ(result.failed(), 0u);
+}
+
+/** Daemon + N workers on an ephemeral loopback port. */
+class Fabric
+{
+  public:
+    void
+    start(std::size_t workers, const std::string &tag,
+          double heartbeat_ms = 250.0,
+          double heartbeat_timeout_ms = 15'000.0)
+    {
+        heartbeatMs_ = heartbeat_ms;
+        tag_ = tag;
+        startDaemon(0, heartbeat_timeout_ms);
+        for (std::size_t i = 0; i < workers; ++i)
+            addWorker();
+    }
+
+    void
+    startDaemon(std::uint16_t port, double heartbeat_timeout_ms)
+    {
+        daemon_ = std::make_unique<Child>();
+        daemon_->spawn({LAPSIM_SERVE_BIN, "--listen",
+                        "127.0.0.1:" + std::to_string(port),
+                        "--heartbeat-timeout",
+                        std::to_string(heartbeat_timeout_ms)});
+        ASSERT_TRUE(daemon_->waitForOutput("listening on", 10'000))
+            << daemon_->captured();
+        const std::string &text = daemon_->captured();
+        const std::size_t colon = text.rfind(':');
+        ASSERT_NE(colon, std::string::npos);
+        port_ = static_cast<std::uint16_t>(
+            std::strtoul(text.c_str() + colon + 1, nullptr, 10));
+        ASSERT_GT(port_, 0);
+    }
+
+    Child &
+    addWorker()
+    {
+        workers_.push_back(std::make_unique<Child>());
+        Child &worker = *workers_.back();
+        worker.spawn({LAPSIM_WORKER_BIN, "--connect",
+                      "127.0.0.1:" + std::to_string(port_), "--name",
+                      tag_ + "-w" + std::to_string(workers_.size()),
+                      "--scratch", "/tmp", "--heartbeat-ms",
+                      std::to_string(heartbeatMs_)});
+        return worker;
+    }
+
+    std::uint16_t port() const { return port_; }
+    Child &daemon() { return *daemon_; }
+    Child &worker(std::size_t i) { return *workers_[i]; }
+
+    /** SIGTERMs the daemon and returns its final stats line. */
+    std::string
+    stopDaemon()
+    {
+        daemon_->signal(SIGTERM);
+        const int code = daemon_->waitExit();
+        EXPECT_EQ(code, 0) << daemon_->captured();
+        const std::string text = daemon_->captured();
+        const std::size_t at = text.find("lapsim-serve stopping");
+        return at == std::string::npos ? "" : text.substr(at);
+    }
+
+    void
+    stopAll()
+    {
+        if (daemon_ && daemon_->alive())
+            daemon_->signal(SIGTERM);
+        for (auto &worker : workers_)
+            worker->killHard();
+        workers_.clear();
+        if (daemon_) {
+            daemon_->waitExit();
+            daemon_.reset();
+        }
+    }
+
+  private:
+    std::unique_ptr<Child> daemon_;
+    std::vector<std::unique_ptr<Child>> workers_;
+    std::uint16_t port_ = 0;
+    double heartbeatMs_ = 250.0;
+    std::string tag_;
+};
+
+fabric::ClientRunResult
+runClient(std::uint16_t port, const std::string &out,
+          const char *spec_text, bool resume = false,
+          std::uint64_t checkpoint_every = 0)
+{
+    fabric::ClientOptions options;
+    options.port = port;
+    options.outPath = out;
+    options.resume = resume;
+    options.checkpointEvery = checkpoint_every;
+    return fabric::submitCampaign(options, spec_text);
+}
+
+} // namespace
+
+// ----------------------------------------------------------------
+// Differential: N workers vs serial golden, bit-identical streams
+// ----------------------------------------------------------------
+
+TEST(FabricProcess, TwoWorkersMatchSerialRowForRow)
+{
+    TempOut golden("golden2"), fabric_out("fabric2");
+    writeSerialGolden(kFastSpec, golden.path());
+
+    Fabric fab;
+    fab.start(2, "two");
+    const auto run =
+        runClient(fab.port(), fabric_out.path(), kFastSpec);
+    EXPECT_EQ(run.ok, 16u);
+    EXPECT_EQ(run.failed, 0u);
+    fab.stopAll();
+
+    const auto want = rowsWithoutWallClock(golden.path());
+    const auto got = rowsWithoutWallClock(fabric_out.path());
+    ASSERT_EQ(want.size(), 16u);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "row " << i;
+}
+
+TEST(FabricProcess, FourWorkersMatchSerialRowForRow)
+{
+    TempOut golden("golden4"), fabric_out("fabric4");
+    writeSerialGolden(kFastSpec, golden.path());
+
+    Fabric fab;
+    fab.start(4, "four");
+    const auto run =
+        runClient(fab.port(), fabric_out.path(), kFastSpec);
+    EXPECT_EQ(run.ok, 16u);
+    fab.stopAll();
+
+    const auto want = rowsWithoutWallClock(golden.path());
+    const auto got = rowsWithoutWallClock(fabric_out.path());
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "row " << i;
+}
+
+// ----------------------------------------------------------------
+// Daemon stop: workers receive the Shutdown frame and exit 0
+// instead of burning through their reconnect window
+// ----------------------------------------------------------------
+
+TEST(FabricProcess, DaemonStopShutsWorkersDownCleanly)
+{
+    TempOut golden("goldenstop"), fabric_out("fabricstop");
+    writeSerialGolden(kFastSpec, golden.path());
+
+    Fabric fab;
+    fab.start(2, "stop");
+    const auto run =
+        runClient(fab.port(), fabric_out.path(), kFastSpec);
+    EXPECT_EQ(run.ok, 16u);
+
+    fab.stopDaemon();
+    for (std::size_t i = 0; i < 2; ++i) {
+        ASSERT_TRUE(fab.worker(i).waitForOutput(
+            "daemon shutdown; exiting", 5'000))
+            << fab.worker(i).captured();
+        EXPECT_EQ(fab.worker(i).waitExit(), 0)
+            << fab.worker(i).captured();
+    }
+    fab.stopAll();
+
+    const auto want = rowsWithoutWallClock(golden.path());
+    const auto got = rowsWithoutWallClock(fabric_out.path());
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "row " << i;
+}
+
+// ----------------------------------------------------------------
+// Kill-resume: SIGKILL a worker mid-job; a replacement resumes and
+// the stream is still bit-identical
+// ----------------------------------------------------------------
+
+TEST(FabricProcess, WorkerKilledMidJobIsRescheduledBitIdentically)
+{
+    TempOut golden("goldenkill"), fabric_out("fabrickill");
+    writeSerialGolden(kSlowSpec, golden.path());
+
+    Fabric fab;
+    // Tight heartbeats so snapshots reach the daemon quickly; the
+    // kill is detected by connection loss, not the reap timeout.
+    fab.start(4, "kill", /*heartbeat_ms=*/100.0);
+
+    fabric::ClientRunResult run;
+    std::string client_error;
+    std::thread client([&] {
+        try {
+            const ScopedFatalThrow guard;
+            // Frequent snapshots: every 100k of the 1.01M per-core
+            // refs, so the victim has uploaded several by kill time.
+            run = runClient(fab.port(), fabric_out.path(), kSlowSpec,
+                            /*resume=*/false,
+                            /*checkpoint_every=*/100'000);
+        } catch (const FatalError &err) {
+            client_error = err.what();
+        }
+    });
+
+    // Every worker is busy within milliseconds of the submission
+    // (4 jobs, 4 workers) and each job runs for well over a second;
+    // a kill at ~1 s is mid-job by a wide margin on both sides.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1'000));
+    fab.worker(0).signal(SIGKILL);
+    fab.worker(0).waitExit();
+    fab.addWorker();
+
+    client.join();
+    EXPECT_EQ(client_error, "");
+    EXPECT_EQ(run.ok, 4u);
+    EXPECT_EQ(run.failed, 0u);
+
+    // The daemon saw the death: its final stats line reports the
+    // reassignment (and the snapshot handoff when one was uploaded
+    // in time).
+    const std::string stats = fab.stopDaemon();
+    EXPECT_EQ(stats.find("0 reassigned"), std::string::npos)
+        << stats;
+    fab.stopAll();
+
+    const auto want = rowsWithoutWallClock(golden.path());
+    const auto got = rowsWithoutWallClock(fabric_out.path());
+    ASSERT_EQ(want.size(), 4u);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "row " << i;
+}
+
+// ----------------------------------------------------------------
+// Daemon restart: in-flight jobs are lost with the daemon's state,
+// but a resumed submit against a fresh daemon completes the grid
+// without re-running what the client already holds
+// ----------------------------------------------------------------
+
+TEST(FabricProcess, DaemonRestartResumesInFlightCampaign)
+{
+    TempOut golden("goldenrestart"), fabric_out("fabricrestart");
+    writeSerialGolden(kSlowSpec, golden.path());
+
+    Fabric fab;
+    fab.start(2, "restart", /*heartbeat_ms=*/100.0);
+    const std::uint16_t port = fab.port();
+
+    std::string first_error;
+    std::thread client([&] {
+        try {
+            const ScopedFatalThrow guard;
+            runClient(port, fabric_out.path(), kSlowSpec);
+            ADD_FAILURE() << "first submit should have died with "
+                             "the daemon";
+        } catch (const FatalError &err) {
+            first_error = err.what();
+        }
+    });
+
+    // Two ~1.5 s jobs are in flight (and two queued) when the
+    // daemon is torn down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1'200));
+    fab.daemon().signal(SIGTERM);
+    client.join();
+    EXPECT_NE(first_error.find("--resume"), std::string::npos)
+        << first_error;
+    fab.daemon().waitExit();
+
+    // Same port, fresh daemon; the orphaned workers reconnect on
+    // their own (200 ms backoff loop).
+    fab.startDaemon(port, 15'000.0);
+
+    fabric::ClientRunResult second;
+    std::string second_error;
+    try {
+        const ScopedFatalThrow guard;
+        second = runClient(port, fabric_out.path(), kSlowSpec,
+                           /*resume=*/true);
+    } catch (const FatalError &err) {
+        second_error = err.what();
+    }
+    EXPECT_EQ(second_error, "");
+    // Whatever completed before the restart was skipped, the rest
+    // re-ran; together they cover the grid.
+    EXPECT_EQ(second.ok + second.skipped, 4u);
+    EXPECT_EQ(second.failed, 0u);
+    fab.stopAll();
+
+    // Row order across the two sessions is not contiguous (the
+    // resumed session appends), so compare result rows by hash.
+    const auto want = resultRowsByHash(golden.path());
+    const auto got = resultRowsByHash(fabric_out.path());
+    ASSERT_EQ(want.size(), 4u);
+    EXPECT_EQ(got, want);
+}
+
+// ----------------------------------------------------------------
+// lapsim-campaign --shard K/N: deterministic disjoint partition
+// ----------------------------------------------------------------
+
+TEST(FabricProcess, ShardedCliRunsUnionToTheFullGrid)
+{
+    TempOut golden("goldenshard");
+    writeSerialGolden(kFastSpec, golden.path());
+
+    const std::string spec_path =
+        "/tmp/lapsim_fabric_shard_spec_" + std::to_string(::getpid())
+        + ".campaign";
+    {
+        std::ofstream spec(spec_path, std::ios::trunc);
+        spec << kFastSpec;
+    }
+    TempOut shard0("shard0"), shard1("shard1");
+
+    for (int k = 0; k < 2; ++k) {
+        Child run;
+        run.spawn({LAPSIM_CAMPAIGN_BIN, "--spec", spec_path,
+                   "--shard", std::to_string(k) + "/2", "--jobs",
+                   "2", "--out",
+                   k == 0 ? shard0.path() : shard1.path()});
+        EXPECT_EQ(run.waitExit(), 0) << run.captured();
+    }
+    std::remove(spec_path.c_str());
+
+    const auto want = resultRowsByHash(golden.path());
+    auto got0 = resultRowsByHash(shard0.path());
+    const auto got1 = resultRowsByHash(shard1.path());
+    ASSERT_EQ(want.size(), 16u);
+    EXPECT_FALSE(got0.empty());
+    EXPECT_FALSE(got1.empty());
+    // Disjoint...
+    for (const auto &entry : got1) {
+        EXPECT_EQ(got0.count(entry.first), 0u) << entry.first;
+        got0[entry.first] = entry.second;
+    }
+    // ...and the union is exactly the serial grid, metrics included.
+    EXPECT_EQ(got0, want);
+}
+
+TEST(FabricProcess, ShardFlagRejectsBadValues)
+{
+    const std::string spec_path =
+        "/tmp/lapsim_fabric_badshard_spec_"
+        + std::to_string(::getpid()) + ".campaign";
+    {
+        std::ofstream spec(spec_path, std::ios::trunc);
+        spec << kFastSpec;
+    }
+    for (const char *bad : {"2/2", "3/2", "x/2", "1", "1/0"}) {
+        Child run;
+        run.spawn({LAPSIM_CAMPAIGN_BIN, "--spec", spec_path,
+                   "--shard", bad});
+        EXPECT_NE(run.waitExit(), 0) << bad;
+    }
+    std::remove(spec_path.c_str());
+}
+
+// ----------------------------------------------------------------
+// SIGINT graceful shutdown: distinct exit code, flushed sink,
+// resumable remainder
+// ----------------------------------------------------------------
+
+TEST(FabricProcess, SigintStopsGracefullyWithExitCode3)
+{
+    TempOut golden("goldensigint"), out("sigint");
+    writeSerialGolden(kSlowSpec, golden.path());
+
+    const std::string spec_path =
+        "/tmp/lapsim_fabric_sigint_spec_"
+        + std::to_string(::getpid()) + ".campaign";
+    {
+        std::ofstream spec(spec_path, std::ios::trunc);
+        spec << kSlowSpec;
+    }
+
+    Child run;
+    run.spawn({LAPSIM_CAMPAIGN_BIN, "--spec", spec_path, "--jobs",
+               "1", "--out", out.path()});
+    // Let the first of the four slow jobs land, then interrupt:
+    // the engine finishes the running job, skips the rest, and the
+    // binary reports the distinct graceful-shutdown exit code.
+    ASSERT_TRUE(run.waitForOutput("[  1/  4]", 60'000))
+        << run.captured();
+    run.signal(SIGINT);
+    EXPECT_EQ(run.waitExit(), 3) << run.captured();
+    EXPECT_NE(run.captured().find("interrupted:"),
+              std::string::npos)
+        << run.captured();
+
+    // The flushed sink holds complete rows only — never a torn line.
+    JsonlReadStats stats;
+    const auto partial = loadJsonl(out.path(), stats);
+    EXPECT_FALSE(stats.tornTail);
+    EXPECT_EQ(stats.malformed, 0u);
+    const auto partial_results = resultRowsByHash(out.path());
+    EXPECT_GE(partial_results.size(), 1u);
+    EXPECT_LT(partial_results.size(), 4u);
+
+    // --resume completes the remainder; the union matches serial.
+    Child resume;
+    resume.spawn({LAPSIM_CAMPAIGN_BIN, "--spec", spec_path,
+                  "--jobs", "1", "--out", out.path(), "--resume"});
+    EXPECT_EQ(resume.waitExit(), 0) << resume.captured();
+    std::remove(spec_path.c_str());
+
+    EXPECT_EQ(resultRowsByHash(out.path()),
+              resultRowsByHash(golden.path()));
+}
