@@ -50,6 +50,8 @@ const char *kHelp =
     "  --duplicate A[,B..]     add duplicate-copies workloads\n"
     "  --benchmarks a,b,c,d    add one explicit per-core workload\n"
     "  --parsec A[,B..]        add PARSEC workloads (coherence on)\n"
+    "  --trace S[,T..]         add LAPTR1 replay workloads (file\n"
+    "                          paths or stressor:<name>)\n"
     "  --policies p1,p2,..     inclusion-policy axis\n"
     "  --axis FIELD=V1,V2,..   sweep axis over a config field\n"
     "  --set FIELD=VALUE       base-config override\n"
@@ -203,6 +205,11 @@ main(int argc, char **argv)
             for (const auto &name : splitList(next()))
                 spec.workloads.push_back(
                     CampaignWorkload::parsec(name));
+            have_workloads = true;
+        } else if (flag == "--trace") {
+            for (const auto &name : splitList(next()))
+                spec.workloads.push_back(
+                    CampaignWorkload::trace(name));
             have_workloads = true;
         } else if (flag == "--policies") {
             for (const auto &name : splitList(next()))
@@ -363,7 +370,7 @@ main(int argc, char **argv)
 
     if (!have_workloads)
         lap_fatal("no workloads; use --spec/--mix/--duplicate/"
-                  "--benchmarks/--parsec (see --help)");
+                  "--benchmarks/--parsec/--trace (see --help)");
 
     if (engine.midJobRestore && engine.outPath.empty())
         lap_fatal("--restore needs --out (job snapshots live beside "

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * lapsim-trace — LAPTR1 trace utility.
+ *
+ * Subcommands:
+ *   gen <stressor>   generate a built-in stressor trace file
+ *   record <mix>     capture a synthetic mix's reference streams
+ *   convert <text>   convert a text trace (R/W addr [gap]) to binary
+ *   dump <file>      validate and print header plus leading records
+ *   verify <file>    validate a trace file and print its summary
+ *
+ * Examples:
+ *   lapsim-trace gen gups --out gups.laptr --cores 4 --refs 200000
+ *   lapsim-trace record WH1 --out wh1.laptr --refs 1100000
+ *   lapsim-trace convert misses.trace --out misses.laptr --mlp 2
+ *   lapsim-trace dump gups.laptr --records 8
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "cpu/file_trace.hh"
+#include "trace/format.hh"
+#include "trace/reader.hh"
+#include "trace/stressors.hh"
+#include "workloads/capture.hh"
+#include "workloads/mixes.hh"
+
+using namespace lap;
+
+namespace
+{
+
+/** Options shared by every subcommand (unused ones are ignored). */
+struct TraceCliOptions
+{
+    std::string input;   //!< Stressor/mix name, text file or trace.
+    std::string outPath; //!< --out; required by producing commands.
+    std::uint32_t cores = 4;
+    std::uint64_t refs = 1100000; //!< Default warmup+measure budget.
+    std::uint64_t seed = 0;
+    double mlp = 1.0;           //!< convert: replay core's MLP.
+    std::uint64_t records = 4;  //!< dump: records shown per core.
+};
+
+std::uint64_t
+parseUint(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const auto parsed = std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0')
+        lap_fatal("%s: expected a number, got '%s'", flag.c_str(),
+                  value.c_str());
+    return parsed;
+}
+
+double
+parseDouble(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        lap_fatal("%s: expected a number, got '%s'", flag.c_str(),
+                  value.c_str());
+    return parsed;
+}
+
+TraceCliOptions
+parseArgs(const std::vector<std::string> &args)
+{
+    TraceCliOptions opts;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &flag = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                lap_fatal("%s requires a value", flag.c_str());
+            return args[++i];
+        };
+        if (flag == "--out" || flag == "-o")
+            opts.outPath = next();
+        else if (flag == "--cores")
+            opts.cores =
+                static_cast<std::uint32_t>(parseUint(flag, next()));
+        else if (flag == "--refs")
+            opts.refs = parseUint(flag, next());
+        else if (flag == "--seed")
+            opts.seed = parseUint(flag, next());
+        else if (flag == "--mlp")
+            opts.mlp = parseDouble(flag, next());
+        else if (flag == "--records")
+            opts.records = parseUint(flag, next());
+        else if (flag.rfind("--", 0) == 0)
+            lap_fatal("unknown flag '%s' (see --help)", flag.c_str());
+        else if (opts.input.empty())
+            opts.input = flag;
+        else
+            lap_fatal("unexpected argument '%s'", flag.c_str());
+    }
+    if (opts.input.empty())
+        lap_fatal("missing input operand (see --help)");
+    return opts;
+}
+
+MixSpec
+findMix(const std::string &name)
+{
+    for (const auto &mix : tableThreeMixes()) {
+        if (mix.name == name)
+            return mix;
+    }
+    for (const auto &mix : randomMixes(50, 4)) {
+        if (mix.name == name)
+            return mix;
+    }
+    lap_fatal("unknown mix '%s' (WL1..WH5, MIX1..MIX50)", name.c_str());
+}
+
+void
+requireOut(const TraceCliOptions &opts)
+{
+    if (opts.outPath.empty())
+        lap_fatal("this subcommand requires --out <file>");
+}
+
+/** Writes @p data and reports what landed on disk. */
+void
+writeAndReport(const TraceCliOptions &opts, const TraceData &data)
+{
+    writeTraceFile(opts.outPath, data);
+    std::printf("wrote %s: %u cores, %llu records (%zu bytes)\n",
+                opts.outPath.c_str(), data.coreCount(),
+                static_cast<unsigned long long>(data.totalRecords()),
+                encodeTrace(data).size());
+}
+
+int
+cmdGen(const TraceCliOptions &opts)
+{
+    requireOut(opts);
+    // Accept both "gups" and the campaign-spec form "stressor:gups".
+    std::string name = opts.input;
+    if (name.rfind("stressor:", 0) == 0)
+        name = name.substr(9);
+    const TraceData data =
+        buildStressorTrace(name, opts.cores, opts.refs, opts.seed);
+    writeAndReport(opts, data);
+    return 0;
+}
+
+int
+cmdRecord(const TraceCliOptions &opts)
+{
+    requireOut(opts);
+    const MixSpec mix = findMix(opts.input);
+    const TraceData data = captureMultiProgrammed(
+        resolveMix(mix), opts.seed, opts.refs);
+    writeAndReport(opts, data);
+    return 0;
+}
+
+int
+cmdConvert(const TraceCliOptions &opts)
+{
+    requireOut(opts);
+    FileTrace text(opts.input);
+    if (text.size() == 0)
+        lap_fatal("%s holds no references", opts.input.c_str());
+    TraceData data;
+    data.coreMlp.assign(1, opts.mlp);
+    data.cores.resize(1);
+    data.cores[0].reserve(text.size());
+    for (const MemRef &ref : text.refs())
+        data.cores[0].push_back(packRecord(ref, 0));
+    writeAndReport(opts, data);
+    return 0;
+}
+
+void
+printSummary(const TraceReader &reader)
+{
+    std::printf("%s: LAPTR1 v%u, %u cores, crc %08x\n",
+                reader.describe().c_str(),
+                static_cast<unsigned>(kTraceSchemaVersion),
+                reader.coreCount(), reader.contentCrc());
+    for (std::uint32_t c = 0; c < reader.coreCount(); ++c) {
+        std::printf("  core %u: %llu records, mlp %.2f\n", c,
+                    static_cast<unsigned long long>(
+                        reader.recordCount(c)),
+                    reader.coreMlp(c));
+    }
+}
+
+int
+cmdVerify(const TraceCliOptions &opts)
+{
+    // The constructor is the validator: it fatals with a specific
+    // diagnostic on every structural, CRC or semantic problem.
+    const TraceReader reader(opts.input);
+    printSummary(reader);
+    std::printf("ok\n");
+    return 0;
+}
+
+int
+cmdDump(const TraceCliOptions &opts)
+{
+    const TraceReader reader(opts.input);
+    printSummary(reader);
+    for (std::uint32_t c = 0; c < reader.coreCount(); ++c) {
+        const std::uint64_t shown =
+            std::min<std::uint64_t>(opts.records,
+                                    reader.recordCount(c));
+        for (std::uint64_t i = 0; i < shown; ++i) {
+            const TraceRecord rec = reader.record(c, i);
+            std::printf("  [%u:%llu] %c %#llx site=%u gap=%u\n", c,
+                        static_cast<unsigned long long>(i),
+                        rec.isStore ? 'W' : 'R',
+                        static_cast<unsigned long long>(rec.addr),
+                        rec.site, rec.gapInstrs);
+        }
+        if (shown < reader.recordCount(c))
+            std::printf("  [%u] ... %llu more\n", c,
+                        static_cast<unsigned long long>(
+                            reader.recordCount(c) - shown));
+    }
+    return 0;
+}
+
+const char *kHelp =
+    "lapsim-trace — LAPTR1 trace utility\n"
+    "\n"
+    "usage: lapsim-trace <subcommand> <input> [flags]\n"
+    "\n"
+    "subcommands:\n"
+    "  gen <stressor>   write a built-in stressor trace (gups,\n"
+    "                   stencil, stream_triad, pointer_chase,\n"
+    "                   mixed_hot_scan)\n"
+    "  record <mix>     capture a synthetic mix (WL1..WH5, MIXn)\n"
+    "  convert <text>   convert a text trace (`R|W addr [gap]` per\n"
+    "                   line) into a single-core binary trace\n"
+    "  dump <file>      validate, then print header and records\n"
+    "  verify <file>    validate a trace file and print its summary\n"
+    "\n"
+    "flags:\n"
+    "  --out, -o F      output file (gen/record/convert)\n"
+    "  --cores N        streams to generate (gen; default 4)\n"
+    "  --refs N         records per core (gen/record; default\n"
+    "                   1100000 = default warmup+measure budget)\n"
+    "  --seed S         generator seed salt (gen/record; default 0)\n"
+    "  --mlp F          replay core MLP to store (convert)\n"
+    "  --records N      records shown per core (dump; default 4)\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+        std::fputs(kHelp, stdout);
+        return args.empty() ? 1 : 0;
+    }
+    const std::string cmd = args[0];
+    const TraceCliOptions opts =
+        parseArgs({args.begin() + 1, args.end()});
+    if (cmd == "gen")
+        return cmdGen(opts);
+    if (cmd == "record")
+        return cmdRecord(opts);
+    if (cmd == "convert")
+        return cmdConvert(opts);
+    if (cmd == "dump")
+        return cmdDump(opts);
+    if (cmd == "verify")
+        return cmdVerify(opts);
+    lap_fatal("unknown subcommand '%s' (see --help)", cmd.c_str());
+}

@@ -112,55 +112,11 @@ runMixCampaign(const CliOptions &opts)
     return result.failed() == 0 ? 0 : 1;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** Shared tail of a single run: banner, report, optional dumps. */
+void
+reportRun(const CliOptions &opts, Simulator &sim,
+          const std::string &label, const Metrics &metrics)
 {
-    std::vector<std::string> args(argv + 1, argv + argc);
-    const CliOptions opts = parseCliOptions(args);
-    if (opts.showHelp) {
-        std::fputs(cliHelpText().c_str(), stdout);
-        return 0;
-    }
-
-    if (opts.workload == CliOptions::WorkloadKind::Mix
-        && opts.mixNames.size() > 1)
-        return runMixCampaign(opts);
-
-    Simulator sim(opts.config);
-    Metrics metrics;
-    std::string label;
-
-    switch (opts.workload) {
-      case CliOptions::WorkloadKind::Mix: {
-        const MixSpec mix = findMix(opts.mixName);
-        label = mix.name;
-        for (const auto &b : mix.benchmarks)
-            label += " " + spec2006Canonical(b);
-        metrics = sim.run(resolveMix(mix));
-        break;
-      }
-      case CliOptions::WorkloadKind::Benchmarks: {
-        MixSpec mix;
-        mix.name = "cli";
-        for (std::uint32_t c = 0; c < opts.config.numCores; ++c) {
-            mix.benchmarks.push_back(
-                opts.benchmarks[c % opts.benchmarks.size()]);
-        }
-        label = "custom:";
-        for (const auto &b : mix.benchmarks)
-            label += " " + spec2006Canonical(b);
-        metrics = sim.run(resolveMix(mix));
-        break;
-      }
-      case CliOptions::WorkloadKind::Parsec: {
-        label = "parsec:" + opts.parsec;
-        metrics = sim.runMultiThreaded(parsecBenchmark(opts.parsec));
-        break;
-      }
-    }
-
     std::printf("policy: %s  placement: %s  LLC: %s%s\n",
                 toString(opts.config.policy),
                 toString(opts.config.placement),
@@ -195,5 +151,67 @@ main(int argc, char **argv)
     if (!opts.config.traceEventsPath.empty())
         std::printf("trace events written to %s\n",
                     opts.config.traceEventsPath.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const CliOptions opts = parseCliOptions(args);
+    if (opts.showHelp) {
+        std::fputs(cliHelpText().c_str(), stdout);
+        return 0;
+    }
+
+    if (opts.workload == CliOptions::WorkloadKind::Mix
+        && opts.mixNames.size() > 1)
+        return runMixCampaign(opts);
+
+    Simulator sim(opts.config);
+    Metrics metrics;
+    std::string label;
+
+    if (!opts.config.tracePath.empty()) {
+        // Trace replay substitutes for whatever workload selection
+        // is in effect (run() would delegate anyway; calling
+        // runTrace() directly keeps the label honest).
+        label = "trace: " + opts.config.tracePath;
+        metrics = sim.runTrace();
+        reportRun(opts, sim, label, metrics);
+        return 0;
+    }
+
+    switch (opts.workload) {
+      case CliOptions::WorkloadKind::Mix: {
+        const MixSpec mix = findMix(opts.mixName);
+        label = mix.name;
+        for (const auto &b : mix.benchmarks)
+            label += " " + spec2006Canonical(b);
+        metrics = sim.run(resolveMix(mix));
+        break;
+      }
+      case CliOptions::WorkloadKind::Benchmarks: {
+        MixSpec mix;
+        mix.name = "cli";
+        for (std::uint32_t c = 0; c < opts.config.numCores; ++c) {
+            mix.benchmarks.push_back(
+                opts.benchmarks[c % opts.benchmarks.size()]);
+        }
+        label = "custom:";
+        for (const auto &b : mix.benchmarks)
+            label += " " + spec2006Canonical(b);
+        metrics = sim.run(resolveMix(mix));
+        break;
+      }
+      case CliOptions::WorkloadKind::Parsec: {
+        label = "parsec:" + opts.parsec;
+        metrics = sim.runMultiThreaded(parsecBenchmark(opts.parsec));
+        break;
+      }
+    }
+
+    reportRun(opts, sim, label, metrics);
     return 0;
 }

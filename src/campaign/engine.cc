@@ -102,6 +102,11 @@ executeJob(const CampaignJob &job, JobOutcome &outcome)
         metrics = sim.runMultiThreaded(
             parsecBenchmark(job.workload.name));
         break;
+      case CampaignWorkload::Kind::Trace:
+        // expandCampaign already copied the trace spec into
+        // config.tracePath (so it participates in the job hash).
+        metrics = sim.runTrace();
+        break;
       default:
         lap_panic("unknown workload kind");
     }

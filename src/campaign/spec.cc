@@ -64,6 +64,8 @@ CampaignWorkload::key() const
       }
       case Kind::Parsec:
         return "parsec:" + name;
+      case Kind::Trace:
+        return "trace:" + name;
     }
     lap_panic("unknown workload kind");
 }
@@ -102,6 +104,15 @@ CampaignWorkload::parsec(std::string name)
     CampaignWorkload w;
     w.kind = Kind::Parsec;
     w.name = std::move(name);
+    return w;
+}
+
+CampaignWorkload
+CampaignWorkload::trace(std::string spec)
+{
+    CampaignWorkload w;
+    w.kind = Kind::Trace;
+    w.name = std::move(spec);
     return w;
 }
 
@@ -144,6 +155,11 @@ expandCampaign(const CampaignSpec &spec)
                 job.config.policy = policy;
                 if (workload.kind == CampaignWorkload::Kind::Parsec)
                     job.config.coherence = true;
+                // The trace spec is config, not just workload
+                // identity: setting it before the key is built puts
+                // it in the job hash (the "trace" field is inKey).
+                if (workload.kind == CampaignWorkload::Kind::Trace)
+                    job.config.tracePath = workload.name;
 
                 job.label = workload.kind
                             == CampaignWorkload::Kind::Benchmarks
@@ -291,6 +307,11 @@ parseCampaignSpec(const std::string &text)
             for (const auto &name : splitList(rest))
                 spec.workloads.push_back(
                     CampaignWorkload::parsec(name));
+        } else if (keyword == "trace" || keyword == "traces") {
+            require_value();
+            for (const auto &name : splitList(rest))
+                spec.workloads.push_back(
+                    CampaignWorkload::trace(name));
         } else {
             lap_fatal("spec line %d: unknown keyword '%s'", line_no,
                       keyword.c_str());

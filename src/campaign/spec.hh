@@ -35,10 +35,11 @@ struct CampaignWorkload
         Duplicate,  //!< N duplicate copies of one benchmark.
         Benchmarks, //!< Explicit per-core benchmark list (cycled).
         Parsec,     //!< Multi-threaded PARSEC run (coherence on).
+        Trace,      //!< LAPTR1 replay: file path or stressor:<name>.
     };
 
     Kind kind = Kind::Mix;
-    std::string name;                    //!< Mix/benchmark/app name.
+    std::string name;                    //!< Mix/benchmark/app/trace.
     std::vector<std::string> benchmarks; //!< Kind::Benchmarks only.
 
     /** Stable serialization, e.g. "mix:WH1"; part of the job key. */
@@ -49,6 +50,10 @@ struct CampaignWorkload
     static CampaignWorkload benchmarkList(
         std::vector<std::string> benchmarks);
     static CampaignWorkload parsec(std::string name);
+    /** @p spec is a LAPTR1 path or "stressor:<name>" — the built-in
+     *  stressors need no file, so they replay identically on fabric
+     *  workers that share no filesystem. */
+    static CampaignWorkload trace(std::string spec);
 };
 
 /** One axis over a named SimConfig field. */
@@ -109,6 +114,7 @@ std::vector<CampaignJob> expandCampaign(const CampaignSpec &spec);
  *   duplicate omnetpp
  *   benchmarks omnetpp,mcf,astar,lbm
  *   parsec streamcluster
+ *   trace stressor:gups        (LAPTR1 replay; also file paths)
  *
  * Fatal on unknown keywords or fields.
  */

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320), one-shot and
+ * incremental.
+ *
+ * Shared by the checkpoint framing (sim/checkpoint) and the binary
+ * trace format (src/trace): both guard their payloads with the same
+ * checksum so corruption is always told apart from version or
+ * configuration mismatches. The incremental form lets the trace
+ * writer checksum a multi-slab file without materializing one
+ * contiguous buffer.
+ */
+
+#ifndef LAPSIM_COMMON_CRC32_HH
+#define LAPSIM_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace lap
+{
+
+namespace detail
+{
+
+inline const std::array<std::uint32_t, 256> &
+crc32Table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** Streaming CRC-32: construct, update() over any slabs, value(). */
+class Crc32
+{
+  public:
+    void
+    update(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        const auto &table = detail::crc32Table();
+        for (std::size_t i = 0; i < size; ++i)
+            state_ = table[(state_ ^ bytes[i]) & 0xff] ^ (state_ >> 8);
+    }
+
+    std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  private:
+    std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/** One-shot CRC-32 of a buffer. */
+inline std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    Crc32 crc;
+    crc.update(data, size);
+    return crc.value();
+}
+
+} // namespace lap
+
+#endif // LAPSIM_COMMON_CRC32_HH

@@ -30,6 +30,10 @@ class FileTrace : public TraceSource
 
     std::size_t size() const { return refs_.size(); }
 
+    /** Parsed references, in file order (used by lapsim-trace to
+     *  convert text traces into the binary LAPTR1 format). */
+    const std::vector<MemRef> &refs() const { return refs_; }
+
   private:
     std::vector<MemRef> refs_;
     std::size_t cursor_ = 0;

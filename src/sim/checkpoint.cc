@@ -22,22 +22,6 @@ constexpr char kMagic[8] = {'L', 'A', 'P', 'C', 'K', 'P', 'T', '1'};
 constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
 constexpr std::size_t kCrcBytes = 4;
 
-const std::array<std::uint32_t, 256> &
-crcTable()
-{
-    static const std::array<std::uint32_t, 256> table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    return table;
-}
-
 std::uint64_t
 fnv1a64(const std::string &text)
 {
@@ -237,17 +221,6 @@ loadHierarchy(CacheHierarchy &hierarchy, ByteReader &in)
 }
 
 } // namespace
-
-std::uint32_t
-crc32(const void *data, std::size_t size)
-{
-    const auto *bytes = static_cast<const unsigned char *>(data);
-    const auto &table = crcTable();
-    std::uint32_t crc = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < size; ++i)
-        crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
-    return crc ^ 0xFFFFFFFFu;
-}
 
 std::uint64_t
 configKeyHash(const SimConfig &config)

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.hh"
 #include "common/serial.hh"
 #include "sim/config.hh"
 
@@ -50,8 +51,8 @@ class EpochSampler;
 /** Bumped whenever the payload layout changes incompatibly. */
 constexpr std::uint32_t kCheckpointSchemaVersion = 1;
 
-/** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a buffer. */
-std::uint32_t crc32(const void *data, std::size_t size);
+// crc32() lives in common/crc32.hh, shared with the binary trace
+// format so both subsystems checksum identically.
 
 /** FNV-1a hash of the configuration's result-shaping key. */
 std::uint64_t configKeyHash(const SimConfig &config);

@@ -108,6 +108,16 @@ struct SimConfig
      *  ("" = start fresh). */
     std::string restorePath;
 
+    /**
+     * Replay a recorded trace instead of the synthetic generators
+     * ("" = synthetic): a LAPTR1 file path or "stressor:<name>" for
+     * a built-in generator (src/trace). When set, run() and
+     * runMultiThreaded() ignore their workload specs and replay the
+     * trace; it participates in the job-hash key because it shapes
+     * results.
+     */
+    std::string tracePath;
+
     std::uint64_t seedSalt = 0;
 };
 

@@ -244,6 +244,16 @@ registry()
                       [](const SimConfig &c) {
                           return fmtDouble(c.clockGhz);
                       }});
+        add("trace",
+            "replay a LAPTR1 trace file or stressor:<name> instead "
+            "of the synthetic generators ('' = synthetic)",
+            std::pair{[](SimConfig &c, const std::string &,
+                         const std::string &v) {
+                          c.tracePath = v;
+                      },
+                      [](const SimConfig &c) {
+                          return c.tracePath;
+                      }});
         add("warmup", "warmup references per core",
             u64(&SimConfig::warmupRefs));
         add("refs", "measured references per core",

@@ -48,6 +48,9 @@ checkFlagValue(const std::string &name, const SimConfig &config)
         lap_fatal("--checkpoint-out: path must be non-empty");
     if (name == "restore" && config.restorePath.empty())
         lap_fatal("--restore: path must be non-empty");
+    if (name == "trace" && config.tracePath.empty())
+        lap_fatal("--trace: expected a LAPTR1 file path or "
+                  "stressor:<name>");
 }
 
 } // namespace
@@ -172,6 +175,10 @@ cliHelpText()
         "  --benchmarks a,b,c,d    SPEC2006 models, one per core\n"
         "                          (cycled if fewer than --cores)\n"
         "  --parsec <name>         multi-threaded PARSEC model\n"
+        "  --trace <spec>          replay a LAPTR1 trace file or a\n"
+        "                          built-in stressor:<name> (gups,\n"
+        "                          stencil, stream_triad,\n"
+        "                          pointer_chase, mixed_hot_scan)\n"
         "\n"
         "run control and output:\n"
         "  --set field=value       any configuration field (same names\n"

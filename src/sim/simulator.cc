@@ -8,6 +8,8 @@
 #include "core/hybrid_placement.hh"
 #include "sim/checkpoint.hh"
 #include "sim/report.hh"
+#include "trace/replay.hh"
+#include "trace/resolve.hh"
 
 namespace lap
 {
@@ -212,8 +214,36 @@ Simulator::Simulator(const SimConfig &config)
 }
 
 Metrics
+Simulator::runTrace()
+{
+    lap_assert(!config_.tracePath.empty(),
+               "runTrace called with no trace configured");
+    auto store = openTraceStore(
+        config_.tracePath, config_.numCores,
+        config_.warmupRefs + config_.measureRefs, config_.seedSalt);
+    if (store->coreCount() != config_.numCores)
+        lap_fatal("trace %s holds %u per-core streams but this run "
+                  "has %u cores", store->describe().c_str(),
+                  store->coreCount(), config_.numCores);
+    auto traces = buildReplaySources(store);
+    std::vector<TraceSource *> raw;
+    std::vector<CoreParams> cores;
+    for (std::uint32_t c = 0; c < config_.numCores; ++c) {
+        raw.push_back(traces[c].get());
+        CoreParams cp;
+        cp.issueWidth = config_.issueWidth;
+        cp.mlp = store->coreMlp(c);
+        cp.l1Latency = config_.l1Latency;
+        cores.push_back(cp);
+    }
+    return runTraces(raw, cores);
+}
+
+Metrics
 Simulator::run(const std::vector<WorkloadSpec> &per_core)
 {
+    if (!config_.tracePath.empty())
+        return runTrace();
     lap_assert(per_core.size() == config_.numCores,
                "expected %u workloads, got %zu", config_.numCores,
                per_core.size());
@@ -234,6 +264,8 @@ Simulator::run(const std::vector<WorkloadSpec> &per_core)
 Metrics
 Simulator::runMultiThreaded(const WorkloadSpec &workload)
 {
+    if (!config_.tracePath.empty())
+        return runTrace();
     auto traces =
         buildMultiThreaded(workload, config_.numCores, config_.seedSalt);
     std::vector<TraceSource *> raw;

@@ -39,11 +39,19 @@ class Simulator
   public:
     explicit Simulator(const SimConfig &config);
 
-    /** Multi-programmed run: one workload per core. */
+    /** Multi-programmed run: one workload per core. When the config
+     *  names a trace, the workloads are ignored and the trace is
+     *  replayed instead (synthetic substitution). */
     Metrics run(const std::vector<WorkloadSpec> &per_core);
 
-    /** Multi-threaded run: one workload on all cores, coherence on. */
+    /** Multi-threaded run: one workload on all cores, coherence on.
+     *  Also subject to trace substitution. */
     Metrics runMultiThreaded(const WorkloadSpec &workload);
+
+    /** Replays config().tracePath (a LAPTR1 file or a
+     *  "stressor:<name>" built-in); fatal when no trace is
+     *  configured or its core count differs from the run's. */
+    Metrics runTrace();
 
     /** Run over externally built traces (file replay, tests). */
     Metrics runTraces(const std::vector<TraceSource *> &traces,

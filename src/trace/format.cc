@@ -1,0 +1,182 @@
+#include "trace/format.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace lap
+{
+
+MemRef
+toMemRef(const TraceRecord &rec)
+{
+    MemRef ref;
+    ref.addr = rec.addr;
+    ref.type = rec.isStore ? AccessType::Write : AccessType::Read;
+    ref.gapInstrs = rec.gapInstrs;
+    ref.site = rec.site;
+    return ref;
+}
+
+TraceRecord
+packRecord(const MemRef &ref, std::uint32_t core)
+{
+    if (ref.gapInstrs > 0xFFFF)
+        lap_fatal("cannot capture reference with gap %u: the LAPTR1 "
+                  "record stores gaps in 16 bits (max 65535)",
+                  ref.gapInstrs);
+    if (core >= kTraceMaxCores)
+        lap_fatal("cannot capture core %u: the LAPTR1 record stores "
+                  "core ids in one byte (max %u cores)",
+                  core, kTraceMaxCores);
+    TraceRecord rec;
+    rec.addr = ref.addr;
+    rec.site = ref.site;
+    rec.gapInstrs = static_cast<std::uint16_t>(ref.gapInstrs);
+    rec.coreId = static_cast<std::uint8_t>(core);
+    rec.isStore = ref.type == AccessType::Write;
+    return rec;
+}
+
+void
+encodeRecord(const TraceRecord &rec, ByteWriter &out)
+{
+    out.u64(rec.addr);
+    out.u32(rec.site);
+    out.u8(static_cast<std::uint8_t>(rec.gapInstrs & 0xff));
+    out.u8(static_cast<std::uint8_t>(rec.gapInstrs >> 8));
+    out.u8(rec.coreId);
+    out.u8(rec.isStore ? 1 : 0);
+}
+
+TraceRecord
+decodeRecord(const char *bytes)
+{
+    // Byte-wise little-endian loads: the reader hands out pointers
+    // straight into the mmap'd file, so alignment is not guaranteed.
+    const auto *b = reinterpret_cast<const unsigned char *>(bytes);
+    TraceRecord rec;
+    std::uint64_t addr = 0;
+    for (int i = 0; i < 8; ++i)
+        addr |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    rec.addr = addr;
+    std::uint32_t site = 0;
+    for (int i = 0; i < 4; ++i)
+        site |= static_cast<std::uint32_t>(b[8 + i]) << (8 * i);
+    rec.site = site;
+    rec.gapInstrs = static_cast<std::uint16_t>(
+        b[12] | (static_cast<std::uint16_t>(b[13]) << 8));
+    rec.coreId = b[14];
+    rec.isStore = (b[15] & 1) != 0;
+    return rec;
+}
+
+std::uint64_t
+TraceData::totalRecords() const
+{
+    std::uint64_t total = 0;
+    for (const auto &stream : cores)
+        total += stream.size();
+    return total;
+}
+
+namespace
+{
+
+void
+validateForEncode(const TraceData &data)
+{
+    if (data.coreCount() == 0)
+        lap_fatal("cannot encode a trace with zero cores");
+    if (data.coreCount() > kTraceMaxCores)
+        lap_fatal("cannot encode a trace with %u cores (max %u)",
+                  data.coreCount(), kTraceMaxCores);
+    if (data.coreMlp.size() != data.cores.size())
+        lap_fatal("trace has %zu per-core mlp values for %zu streams",
+                  data.coreMlp.size(), data.cores.size());
+    for (std::uint32_t c = 0; c < data.coreCount(); ++c) {
+        if (data.cores[c].empty())
+            lap_fatal("cannot encode a trace where core %u has no "
+                      "records", c);
+        for (const TraceRecord &rec : data.cores[c]) {
+            if (rec.coreId != c)
+                lap_fatal("record tagged core %u found in core %u's "
+                          "stream", rec.coreId, c);
+        }
+    }
+}
+
+} // namespace
+
+std::string
+encodeTrace(const TraceData &data)
+{
+    validateForEncode(data);
+
+    // Everything after the magic goes through one ByteWriter so the
+    // CRC footer can cover it in a single pass.
+    ByteWriter body;
+    body.u8(static_cast<std::uint8_t>(kTraceSchemaVersion & 0xff));
+    body.u8(static_cast<std::uint8_t>(kTraceSchemaVersion >> 8));
+    body.u32(data.coreCount());
+    body.u32(0); // reserved
+    for (const auto &stream : data.cores)
+        body.u64(stream.size());
+    for (double mlp : data.coreMlp)
+        body.f64(mlp);
+    for (const auto &stream : data.cores) {
+        for (const TraceRecord &rec : stream)
+            encodeRecord(rec, body);
+    }
+
+    std::string file;
+    file.reserve(kTraceMagicBytes + body.size() + kTraceCrcBytes);
+    file.append(kTraceMagic, kTraceMagicBytes);
+    file.append(body.data());
+    const std::uint32_t crc = crc32(body.data().data(), body.size());
+    for (int i = 0; i < 4; ++i)
+        file.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+    return file;
+}
+
+void
+writeTraceFile(const std::string &path, const TraceData &data)
+{
+    const std::string file = encodeTrace(data);
+    const std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        lap_fatal("cannot open trace '%s' for writing", tmp.c_str());
+    const std::size_t wrote =
+        std::fwrite(file.data(), 1, file.size(), f);
+    const bool ok = wrote == file.size() && std::fclose(f) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        lap_fatal("failed to write trace '%s'", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        lap_fatal("failed to move trace into place at '%s'",
+                  path.c_str());
+    }
+}
+
+MemoryTraceStore::MemoryTraceStore(TraceData data, std::string origin)
+    : data_(std::move(data)), origin_(std::move(origin))
+{
+    // Encoding computes the same CRC a file of this trace would
+    // carry, so checkpoints cut against an in-memory store restore
+    // against the equivalent file (and vice versa).
+    const std::string file = encodeTrace(data_);
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+        crc |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+                   file[file.size() - 4 + static_cast<std::size_t>(i)]))
+            << (8 * i);
+    }
+    crc_ = crc;
+}
+
+} // namespace lap

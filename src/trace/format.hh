@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The LAPTR1 binary memory-trace format.
+ *
+ * A trace file is a self-validating container for the per-core
+ * reference streams a run consumes (DESIGN.md section 13):
+ *
+ *   magic      6 B   "LAPTR1"
+ *   version    u16   kTraceSchemaVersion (little-endian)
+ *   cores      u32   per-core stream count
+ *   reserved   u32   must be zero
+ *   counts     u64 x cores   records in each core's stream
+ *   mlp        f64 x cores   memory-level parallelism per core
+ *   records    16 B each, core-major (core 0's stream first)
+ *   crc        u32   CRC-32 (IEEE) of everything after the magic
+ *
+ * One record is `{addr u64, site u32, gapInstrs u16, coreId u8,
+ * flags u8}` — the `{isStore, coreId, addr}` shape of the per-core
+ * trace files in SNIPPETS.md snippet 3, widened with the gap and
+ * access-site fields a bit-identical replay needs (the gap drives
+ * the core timing model, the site feeds PC-indexed predictors).
+ * flags bit 0 is the store bit; the remaining bits are reserved and
+ * written as zero. Records are stored core-major so an mmap'd reader
+ * serves each core from one contiguous slab with a plain index
+ * cursor.
+ *
+ * Like checkpoints, every way a file can be unusable yields its own
+ * diagnostic — truncation, wrong magic, unsupported version,
+ * impossible header claims, CRC failure, and semantic problems
+ * (zero cores, empty streams) are told apart, with structural checks
+ * before the CRC and semantic checks after it (the checkpoint
+ * subsystem's ordering contract). Writes go through "<path>.tmp" +
+ * rename so an interrupted capture never leaves a torn file behind.
+ */
+
+#ifndef LAPSIM_TRACE_FORMAT_HH
+#define LAPSIM_TRACE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.hh"
+#include "common/types.hh"
+#include "cpu/trace.hh"
+
+namespace lap
+{
+
+/** Bumped whenever the file layout changes incompatibly. */
+constexpr std::uint16_t kTraceSchemaVersion = 1;
+
+constexpr std::size_t kTraceMagicBytes = 6;
+constexpr char kTraceMagic[kTraceMagicBytes] =
+    {'L', 'A', 'P', 'T', 'R', '1'};
+
+/** Fixed header prefix: magic + version + cores + reserved. */
+constexpr std::size_t kTraceFixedHeaderBytes = 6 + 2 + 4 + 4;
+constexpr std::size_t kTraceRecordBytes = 16;
+constexpr std::size_t kTraceCrcBytes = 4;
+
+/** coreId travels in one byte; also bounds header-claim validation. */
+constexpr std::uint32_t kTraceMaxCores = 256;
+
+/** Header bytes for a @p cores -stream file (records excluded). */
+constexpr std::size_t
+traceHeaderBytes(std::uint32_t cores)
+{
+    return kTraceFixedHeaderBytes
+        + static_cast<std::size_t>(cores) * (8 + 8);
+}
+
+/** One decoded trace record. */
+struct TraceRecord
+{
+    Addr addr = 0;
+    std::uint32_t site = 0;
+    std::uint16_t gapInstrs = 0;
+    std::uint8_t coreId = 0;
+    bool isStore = false;
+};
+
+/** The reference a record replays as. */
+MemRef toMemRef(const TraceRecord &rec);
+
+/**
+ * Packs a live reference for @p core. Fatal when the reference does
+ * not fit the format (gap beyond 16 bits, core beyond one byte) —
+ * capture refuses to lose information silently.
+ */
+TraceRecord packRecord(const MemRef &ref, std::uint32_t core);
+
+/** Fixed-width little-endian record encode/decode. */
+void encodeRecord(const TraceRecord &rec, ByteWriter &out);
+TraceRecord decodeRecord(const char *bytes);
+
+/** A complete in-memory trace (capture buffer / generator output). */
+struct TraceData
+{
+    /** Memory-level parallelism handed to each core's model. */
+    std::vector<double> coreMlp;
+    /** Per-core reference streams; cores.size() == coreMlp.size(). */
+    std::vector<std::vector<TraceRecord>> cores;
+
+    std::uint32_t coreCount() const
+    {
+        return static_cast<std::uint32_t>(cores.size());
+    }
+
+    std::uint64_t totalRecords() const;
+};
+
+/**
+ * Encodes the complete LAPTR1 file image (header + records + CRC
+ * footer). Fatal on data that cannot be represented (no cores, an
+ * empty stream, too many cores, a record on the wrong core).
+ */
+std::string encodeTrace(const TraceData &data);
+
+/** Encodes and atomically writes @p data to @p path (tmp + rename). */
+void writeTraceFile(const std::string &path, const TraceData &data);
+
+/**
+ * Read-only random access to a trace: the seam between the mmap'd
+ * file reader and in-memory stores (captures, built-in stressors —
+ * the latter lets fabric workers replay "stressor:" workloads with
+ * no shared filesystem). contentCrc() is the file-format CRC of the
+ * encoded trace; replay cursors store it so a checkpoint restored
+ * against different trace content fails loudly.
+ */
+class TraceStore
+{
+  public:
+    virtual ~TraceStore() = default;
+
+    virtual std::uint32_t coreCount() const = 0;
+    virtual std::uint64_t recordCount(std::uint32_t core) const = 0;
+    virtual double coreMlp(std::uint32_t core) const = 0;
+    virtual TraceRecord record(std::uint32_t core,
+                               std::uint64_t index) const = 0;
+    virtual std::uint32_t contentCrc() const = 0;
+    /** Human-readable origin for diagnostics (path or generator). */
+    virtual std::string describe() const = 0;
+};
+
+/** TraceStore over an in-memory TraceData. */
+class MemoryTraceStore final : public TraceStore
+{
+  public:
+    /** @param origin diagnostic label, e.g. "stressor:gups". */
+    MemoryTraceStore(TraceData data, std::string origin);
+
+    std::uint32_t coreCount() const override
+    {
+        return data_.coreCount();
+    }
+
+    std::uint64_t
+    recordCount(std::uint32_t core) const override
+    {
+        return data_.cores[core].size();
+    }
+
+    double
+    coreMlp(std::uint32_t core) const override
+    {
+        return data_.coreMlp[core];
+    }
+
+    TraceRecord
+    record(std::uint32_t core, std::uint64_t index) const override
+    {
+        return data_.cores[core][index];
+    }
+
+    std::uint32_t contentCrc() const override { return crc_; }
+    std::string describe() const override { return origin_; }
+
+    const TraceData &data() const { return data_; }
+
+  private:
+    TraceData data_;
+    std::string origin_;
+    std::uint32_t crc_ = 0;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_TRACE_FORMAT_HH

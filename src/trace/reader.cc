@@ -1,0 +1,187 @@
+#include "trace/reader.hh"
+
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+std::uint32_t
+readU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+            << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+            << (8 * i);
+    return v;
+}
+
+double
+readF64(const char *p)
+{
+    const std::uint64_t bits = readU64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+TraceReader::TraceReader(const std::string &path)
+    : path_(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        lap_fatal("cannot open trace '%s'", path.c_str());
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        lap_fatal("cannot stat trace '%s'", path.c_str());
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+
+    // --- Structure: the file must be self-consistent before any
+    // byte of it is trusted. Distinct diagnostics throughout.
+    const std::size_t min_bytes =
+        kTraceFixedHeaderBytes + kTraceCrcBytes;
+    if (size_ < min_bytes) {
+        ::close(fd);
+        lap_fatal("trace '%s' is truncated: %zu bytes, need at least "
+                  "%zu for the fixed header", path.c_str(), size_,
+                  min_bytes);
+    }
+
+    void *mapped =
+        ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (mapped == MAP_FAILED)
+        lap_fatal("cannot mmap trace '%s'", path.c_str());
+    map_ = static_cast<const char *>(mapped);
+
+    if (std::memcmp(map_, kTraceMagic, kTraceMagicBytes) != 0)
+        lap_fatal("'%s' is not a lapsim trace", path.c_str());
+
+    const std::uint16_t version = static_cast<std::uint16_t>(
+        static_cast<unsigned char>(map_[6])
+        | (static_cast<std::uint16_t>(
+               static_cast<unsigned char>(map_[7]))
+           << 8));
+    if (version != kTraceSchemaVersion)
+        lap_fatal("trace '%s' has schema version %u; this build "
+                  "supports version %u — regenerate or convert it",
+                  path.c_str(), version, kTraceSchemaVersion);
+
+    const std::uint32_t reserved = readU32(map_ + 12);
+    if (reserved != 0)
+        lap_fatal("trace '%s' has nonzero reserved header bytes "
+                  "(written by an incompatible tool?)", path.c_str());
+
+    coreCount_ = readU32(map_ + 8);
+    if (coreCount_ == 0)
+        lap_fatal("trace '%s' declares zero cores", path.c_str());
+    if (coreCount_ > kTraceMaxCores)
+        lap_fatal("trace '%s' declares %u cores (max %u)",
+                  path.c_str(), coreCount_, kTraceMaxCores);
+
+    const std::size_t header_bytes = traceHeaderBytes(coreCount_);
+    if (size_ < header_bytes + kTraceCrcBytes)
+        lap_fatal("trace '%s' is truncated: %zu bytes, but its %u-core "
+                  "header alone needs %zu", path.c_str(), size_,
+                  coreCount_, header_bytes + kTraceCrcBytes);
+
+    // Bounded record math: each count is checked against what the
+    // file actually holds before being summed, so a header claiming
+    // multi-GB streams in a small file is rejected without overflow
+    // or allocation.
+    const std::uint64_t record_bytes =
+        size_ - header_bytes - kTraceCrcBytes;
+    const std::uint64_t available = record_bytes / kTraceRecordBytes;
+    if (record_bytes % kTraceRecordBytes != 0)
+        lap_fatal("trace '%s' record region is %llu bytes, not a "
+                  "multiple of the %zu-byte record size (truncated "
+                  "mid-record?)", path.c_str(),
+                  static_cast<unsigned long long>(record_bytes),
+                  kTraceRecordBytes);
+    std::uint64_t total = 0;
+    counts_.resize(coreCount_);
+    mlp_.resize(coreCount_);
+    for (std::uint32_t c = 0; c < coreCount_; ++c) {
+        counts_[c] = readU64(map_ + kTraceFixedHeaderBytes + 8 * c);
+        if (counts_[c] > available - total)
+            lap_fatal("trace '%s' declares %llu records for core %u "
+                      "but the file holds only %llu past the first "
+                      "%llu", path.c_str(),
+                      static_cast<unsigned long long>(counts_[c]), c,
+                      static_cast<unsigned long long>(available
+                                                      - total),
+                      static_cast<unsigned long long>(total));
+        total += counts_[c];
+        mlp_[c] = readF64(map_ + kTraceFixedHeaderBytes
+                          + 8 * coreCount_ + 8 * c);
+    }
+    if (total != available)
+        lap_fatal("trace '%s' declares %llu records but the file "
+                  "holds %llu", path.c_str(),
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(available));
+
+    // --- CRC: structure checks passed, now prove the bytes. The
+    // footer covers everything after the magic, so a flipped record
+    // or mlp bit reports as corruption, never as a phantom semantic
+    // problem (header-claim flips report the specific structural
+    // inconsistency above — same division as the checkpoint reader).
+    crc_ = readU32(map_ + size_ - kTraceCrcBytes);
+    const std::uint32_t actual = crc32(
+        map_ + kTraceMagicBytes,
+        size_ - kTraceMagicBytes - kTraceCrcBytes);
+    if (crc_ != actual)
+        lap_fatal("trace '%s' failed its CRC check (the file is "
+                  "corrupted)", path.c_str());
+
+    // --- Semantics: a well-formed file can still be unusable.
+    if (total == 0)
+        lap_fatal("trace '%s' contains no records", path.c_str());
+    for (std::uint32_t c = 0; c < coreCount_; ++c) {
+        if (counts_[c] == 0)
+            lap_fatal("trace '%s' has no records for core %u — every "
+                      "core needs at least one reference to replay",
+                      path.c_str(), c);
+    }
+
+    slabs_.resize(coreCount_);
+    const char *cursor = map_ + header_bytes;
+    for (std::uint32_t c = 0; c < coreCount_; ++c) {
+        slabs_[c] = cursor;
+        cursor += counts_[c] * kTraceRecordBytes;
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (map_ != nullptr)
+        ::munmap(const_cast<char *>(map_), size_);
+}
+
+} // namespace lap

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * mmap'd zero-copy reader for LAPTR1 trace files.
+ *
+ * The whole file is mapped read-only and validated once (structure,
+ * then CRC, then semantics — each failure mode a distinct
+ * diagnostic, mirroring the checkpoint reader's ordering contract);
+ * afterwards record() decodes straight out of the mapping, so a
+ * multi-gigabyte trace costs no load time and no heap. Records are
+ * core-major in the file, so each core's stream is one contiguous
+ * slab indexed by a plain cursor.
+ */
+
+#ifndef LAPSIM_TRACE_READER_HH
+#define LAPSIM_TRACE_READER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace lap
+{
+
+/** TraceStore over an mmap'd LAPTR1 file. */
+class TraceReader final : public TraceStore
+{
+  public:
+    /** Maps and fully validates @p path; fatal on any malformed
+     *  input, with the specific failure named. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    std::uint32_t coreCount() const override { return coreCount_; }
+
+    std::uint64_t
+    recordCount(std::uint32_t core) const override
+    {
+        return counts_[core];
+    }
+
+    double
+    coreMlp(std::uint32_t core) const override
+    {
+        return mlp_[core];
+    }
+
+    TraceRecord
+    record(std::uint32_t core, std::uint64_t index) const override
+    {
+        return decodeRecord(slabs_[core]
+                            + index * kTraceRecordBytes);
+    }
+
+    std::uint32_t contentCrc() const override { return crc_; }
+    std::string describe() const override { return path_; }
+
+  private:
+    std::string path_;
+    const char *map_ = nullptr;
+    std::size_t size_ = 0;
+    std::uint32_t coreCount_ = 0;
+    std::uint32_t crc_ = 0;
+    std::vector<std::uint64_t> counts_;
+    std::vector<double> mlp_;
+    /** First record byte of each core's slab (into map_). */
+    std::vector<const char *> slabs_;
+};
+
+} // namespace lap
+
+#endif // LAPSIM_TRACE_READER_HH

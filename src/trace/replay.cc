@@ -1,0 +1,78 @@
+#include "trace/replay.hh"
+
+#include "common/logging.hh"
+
+namespace lap
+{
+
+TraceReplaySource::TraceReplaySource(
+    std::shared_ptr<const TraceStore> store, std::uint32_t core)
+    : store_(std::move(store)), core_(core)
+{
+    lap_assert(core_ < store_->coreCount(),
+               "trace %s has %u cores; no stream for core %u",
+               store_->describe().c_str(), store_->coreCount(),
+               core_);
+    count_ = store_->recordCount(core_);
+    lap_assert(count_ > 0, "trace %s: core %u stream is empty",
+               store_->describe().c_str(), core_);
+}
+
+MemRef
+TraceReplaySource::next()
+{
+    const TraceRecord rec = store_->record(core_, cursor_);
+    if (rec.coreId != core_)
+        lap_fatal("trace %s: record %llu of core %u's stream is "
+                  "tagged core %u", store_->describe().c_str(),
+                  static_cast<unsigned long long>(cursor_), core_,
+                  rec.coreId);
+    ++cursor_;
+    if (cursor_ == count_) {
+        cursor_ = 0;
+        ++wraps_;
+    }
+    return toMemRef(rec);
+}
+
+void
+TraceReplaySource::saveState(ByteWriter &out) const
+{
+    out.u32(store_->contentCrc());
+    out.u32(core_);
+    out.u64(cursor_);
+    out.u64(wraps_);
+}
+
+void
+TraceReplaySource::loadState(ByteReader &in)
+{
+    const std::uint32_t crc = in.u32();
+    const std::uint32_t core = in.u32();
+    if (crc != store_->contentCrc())
+        lap_fatal("checkpoint cursor is for trace content %08x but "
+                  "this run replays %s (content %08x)", crc,
+                  store_->describe().c_str(), store_->contentCrc());
+    if (core != core_)
+        lap_fatal("checkpoint cursor is for trace core %u but this "
+                  "source replays core %u", core, core_);
+    cursor_ = in.u64();
+    wraps_ = in.u64();
+    if (cursor_ >= count_)
+        lap_fatal("checkpoint cursor %llu is out of range for core "
+                  "%u's %llu-record stream",
+                  static_cast<unsigned long long>(cursor_), core_,
+                  static_cast<unsigned long long>(count_));
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+buildReplaySources(const std::shared_ptr<const TraceStore> &store)
+{
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    for (std::uint32_t c = 0; c < store->coreCount(); ++c)
+        sources.push_back(
+            std::make_unique<TraceReplaySource>(store, c));
+    return sources;
+}
+
+} // namespace lap

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Trace replay and capture as TraceSource peers of SyntheticTrace.
+ *
+ * TraceReplaySource walks one core's stream of a TraceStore with a
+ * plain index cursor (wrapping at the end so it can drive
+ * arbitrarily long runs, like FileTrace) and serializes that cursor
+ * through the checkpoint machinery: the snapshot carries the trace's
+ * content CRC and the core id, so a restore against different trace
+ * content or the wrong stream fails loudly instead of replaying
+ * garbage — the same identity-validation stance SyntheticTrace takes
+ * with its (name, seed, thread) triple.
+ *
+ * RecordingTrace is the capture hook: it wraps any TraceSource,
+ * passes every reference through unchanged, and appends the packed
+ * record to a sink. Because SyntheticTrace never consults the cache
+ * hierarchy, recording a synthetic workload needs no simulation at
+ * all — pulling the stream *is* the capture.
+ */
+
+#ifndef LAPSIM_TRACE_REPLAY_HH
+#define LAPSIM_TRACE_REPLAY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "trace/format.hh"
+
+namespace lap
+{
+
+/** Replays one core's stream of a TraceStore (wraps at the end). */
+class TraceReplaySource final : public TraceSource
+{
+  public:
+    TraceReplaySource(std::shared_ptr<const TraceStore> store,
+                      std::uint32_t core);
+
+    MemRef next() override;
+
+    void
+    reset() override
+    {
+        cursor_ = 0;
+        wraps_ = 0;
+    }
+
+    /** Content CRC + core + cursor + wrap count. */
+    void saveState(ByteWriter &out) const override;
+    void loadState(ByteReader &in) override;
+
+    std::uint64_t cursor() const { return cursor_; }
+    std::uint64_t wraps() const { return wraps_; }
+
+  private:
+    std::shared_ptr<const TraceStore> store_; // lapsim-lint: transient
+    std::uint32_t core_;
+    std::uint64_t count_; // lapsim-lint: transient
+    std::uint64_t cursor_ = 0;
+    std::uint64_t wraps_ = 0;
+};
+
+/**
+ * Pass-through capture decorator: every reference @p inner produces
+ * is also packed into @p sink as core @p core. Checkpointing
+ * delegates to the inner source (the sink is an artifact of the
+ * capture, not simulation state).
+ */
+class RecordingTrace final : public TraceSource
+{
+  public:
+    RecordingTrace(TraceSource &inner,
+                   std::vector<TraceRecord> &sink, std::uint32_t core)
+        : inner_(inner), sink_(sink), core_(core)
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        const MemRef ref = inner_.next();
+        sink_.push_back(packRecord(ref, core_));
+        return ref;
+    }
+
+    void reset() override { inner_.reset(); }
+
+    void
+    saveState(ByteWriter &out) const override
+    {
+        inner_.saveState(out);
+    }
+
+    void loadState(ByteReader &in) override { inner_.loadState(in); }
+
+  private:
+    TraceSource &inner_;                 // lapsim-lint: transient
+    std::vector<TraceRecord> &sink_;     // lapsim-lint: transient
+    std::uint32_t core_;                 // lapsim-lint: transient
+};
+
+/**
+ * Builds one replay source per core of @p store (shared ownership:
+ * the driver's sources all reference one mapping).
+ */
+std::vector<std::unique_ptr<TraceSource>> buildReplaySources(
+    const std::shared_ptr<const TraceStore> &store);
+
+} // namespace lap
+
+#endif // LAPSIM_TRACE_REPLAY_HH

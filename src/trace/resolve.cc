@@ -1,0 +1,37 @@
+#include "trace/resolve.hh"
+
+#include "trace/reader.hh"
+#include "trace/stressors.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+constexpr char kStressorPrefix[] = "stressor:";
+constexpr std::size_t kStressorPrefixLen =
+    sizeof(kStressorPrefix) - 1;
+
+} // namespace
+
+bool
+isStressorSpec(const std::string &spec)
+{
+    return spec.compare(0, kStressorPrefixLen, kStressorPrefix) == 0;
+}
+
+std::shared_ptr<const TraceStore>
+openTraceStore(const std::string &spec, std::uint32_t cores,
+               std::uint64_t refs_per_core, std::uint64_t seed)
+{
+    if (isStressorSpec(spec)) {
+        const std::string name = spec.substr(kStressorPrefixLen);
+        return std::make_shared<MemoryTraceStore>(
+            buildStressorTrace(name, cores, refs_per_core, seed),
+            spec);
+    }
+    return std::make_shared<TraceReader>(spec);
+}
+
+} // namespace lap

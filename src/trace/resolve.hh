@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Trace-spec resolution: the string behind `--trace`.
+ *
+ * A trace spec is either a LAPTR1 file path or "stressor:<name>" for
+ * one of the built-in generators (trace/stressors.hh). The stressor
+ * form carries no file at all — the store is synthesized on the
+ * spot — which is what lets campaign specs referencing stressors run
+ * unchanged on fabric workers with no shared filesystem.
+ */
+
+#ifndef LAPSIM_TRACE_RESOLVE_HH
+#define LAPSIM_TRACE_RESOLVE_HH
+
+#include <memory>
+#include <string>
+
+#include "trace/format.hh"
+
+namespace lap
+{
+
+/** True for "stressor:<name>" specs (vs file paths). */
+bool isStressorSpec(const std::string &spec);
+
+/**
+ * Opens @p spec as a TraceStore: "stressor:<name>" synthesizes
+ * @p cores streams of @p refs_per_core records with @p seed; any
+ * other value mmaps a LAPTR1 file (its own geometry; the caller
+ * validates core count against the run). Fatal with a specific
+ * diagnostic on unknown stressors and malformed files.
+ */
+std::shared_ptr<const TraceStore> openTraceStore(
+    const std::string &spec, std::uint32_t cores,
+    std::uint64_t refs_per_core, std::uint64_t seed);
+
+} // namespace lap
+
+#endif // LAPSIM_TRACE_RESOLVE_HH

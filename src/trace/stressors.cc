@@ -1,0 +1,248 @@
+#include "trace/stressors.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace lap
+{
+
+namespace
+{
+
+constexpr std::uint64_t kBlockBytes = 64;
+/** Private address-space spacing, as in workloads/regions.cc. */
+constexpr Addr kCoreStride = 1ULL << 40; // 1 TB
+/** Spacing between a stressor's data structures. */
+constexpr Addr kArrayStride = 1ULL << 34; // 16 GB
+
+/** Emits one record and counts it against the core's budget. */
+class Emitter
+{
+  public:
+    Emitter(std::vector<TraceRecord> &out, std::uint32_t core,
+            std::uint64_t budget)
+        : out_(&out), core_(core), left_(budget)
+    {
+    }
+
+    bool done() const { return left_ == 0; }
+
+    void
+    emit(Addr addr, bool store, std::uint32_t site,
+         std::uint16_t gap)
+    {
+        if (left_ == 0)
+            return;
+        TraceRecord rec;
+        rec.addr = addr;
+        rec.site = site;
+        rec.gapInstrs = gap;
+        rec.coreId = static_cast<std::uint8_t>(core_);
+        rec.isStore = store;
+        out_->push_back(rec);
+        --left_;
+    }
+
+  private:
+    std::vector<TraceRecord> *out_;
+    std::uint32_t core_;
+    std::uint64_t left_;
+};
+
+std::uint16_t
+gapAround(Rng &rng, std::uint32_t mean)
+{
+    const std::uint32_t half = mean / 2;
+    return static_cast<std::uint16_t>(
+        half + rng.below(mean - half + 1));
+}
+
+/** HPCC RandomAccess: random 64-bit table updates (read + write). */
+void
+genGups(Rng &rng, Addr base, Emitter &e)
+{
+    constexpr std::uint64_t kTableBlocks = 1ULL << 15; // 2 MB
+    while (!e.done()) {
+        const Addr addr =
+            base + rng.below(kTableBlocks) * kBlockBytes;
+        e.emit(addr, false, 1, gapAround(rng, 8));
+        e.emit(addr, true, 2, gapAround(rng, 4));
+    }
+}
+
+/** 1-D 3-point stencil, ping-ponging two 1 MB grids. */
+void
+genStencil(Rng &rng, Addr base, Emitter &e)
+{
+    constexpr std::uint64_t kGridBlocks = 1ULL << 14; // 1 MB
+    const Addr grid[2] = {base, base + kArrayStride};
+    std::uint64_t i = 1;
+    int src = 0;
+    while (!e.done()) {
+        const Addr in = grid[src];
+        const Addr out = grid[1 - src];
+        e.emit(in + (i - 1) * kBlockBytes, false, 1,
+               gapAround(rng, 6));
+        e.emit(in + i * kBlockBytes, false, 2, gapAround(rng, 4));
+        e.emit(in + (i + 1) * kBlockBytes, false, 3,
+               gapAround(rng, 4));
+        e.emit(out + i * kBlockBytes, true, 4, gapAround(rng, 6));
+        if (++i >= kGridBlocks - 1) {
+            i = 1;
+            src = 1 - src; // next sweep reads what it just wrote
+        }
+    }
+}
+
+/** STREAM triad a[i] = b[i] + s*c[i]; 3 x 4 MB, sum beyond the LLC. */
+void
+genStreamTriad(Rng &rng, Addr base, Emitter &e)
+{
+    constexpr std::uint64_t kArrayBlocks = 1ULL << 16; // 4 MB
+    const Addr a = base;
+    const Addr b = base + kArrayStride;
+    const Addr c = base + 2 * kArrayStride;
+    std::uint64_t i = 0;
+    while (!e.done()) {
+        e.emit(b + i * kBlockBytes, false, 1, gapAround(rng, 4));
+        e.emit(c + i * kBlockBytes, false, 2, gapAround(rng, 2));
+        e.emit(a + i * kBlockBytes, true, 3, gapAround(rng, 4));
+        i = (i + 1) % kArrayBlocks;
+    }
+}
+
+/** Serial permutation walk over 2 MB; every load depends on the
+ *  last (the trace's mlp header carries 1.0). */
+void
+genPointerChase(Rng &rng, Addr base, Emitter &e)
+{
+    constexpr std::uint64_t kChainBlocks = 1ULL << 15; // 2 MB
+    // Full-period LCG over [0, 2^15): multiplier ≡ 1 (mod 4),
+    // odd increment — visits every block before repeating.
+    std::uint64_t cur = rng.below(kChainBlocks);
+    while (!e.done()) {
+        e.emit(base + cur * kBlockBytes, false, 1,
+               gapAround(rng, 2));
+        cur = (cur * 1664525 + 1013904223) % kChainBlocks;
+    }
+}
+
+/** Hot 32 KB set (read-mostly) with periodic 256-block sequential
+ *  scan bursts through a 4 MB region — the LRU-thrashing adversary
+ *  that loop-aware policies must shrug off. */
+void
+genMixedHotScan(Rng &rng, Addr base, Emitter &e)
+{
+    constexpr std::uint64_t kHotBlocks = 512;        // 32 KB
+    constexpr std::uint64_t kScanBlocks = 1ULL << 16; // 4 MB
+    constexpr std::uint64_t kBurstEvery = 2048;
+    constexpr std::uint64_t kBurstLen = 256;
+    const Addr hot = base;
+    const Addr scan = base + kArrayStride;
+    std::uint64_t issued = 0;
+    std::uint64_t scan_cursor = 0;
+    while (!e.done()) {
+        if (issued % kBurstEvery < kBurstLen) {
+            e.emit(scan + scan_cursor * kBlockBytes, false, 3,
+                   gapAround(rng, 2));
+            scan_cursor = (scan_cursor + 1) % kScanBlocks;
+        } else {
+            const Addr addr =
+                hot + rng.below(kHotBlocks) * kBlockBytes;
+            const bool store = rng.chance(0.3);
+            e.emit(addr, store, store ? 2 : 1, gapAround(rng, 10));
+        }
+        ++issued;
+    }
+}
+
+struct StressorDef
+{
+    const char *name;
+    double mlp;
+    void (*gen)(Rng &, Addr, Emitter &);
+};
+
+constexpr StressorDef kStressors[] = {
+    {"gups", 4.0, genGups},
+    {"stencil", 2.0, genStencil},
+    {"stream_triad", 4.0, genStreamTriad},
+    {"pointer_chase", 1.0, genPointerChase},
+    {"mixed_hot_scan", 2.0, genMixedHotScan},
+};
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char ch : text) {
+        h ^= ch;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+stressorNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const auto &def : kStressors)
+            n.push_back(def.name);
+        return n;
+    }();
+    return names;
+}
+
+bool
+isStressorName(const std::string &name)
+{
+    for (const auto &def : kStressors) {
+        if (name == def.name)
+            return true;
+    }
+    return false;
+}
+
+TraceData
+buildStressorTrace(const std::string &name, std::uint32_t cores,
+                   std::uint64_t refs_per_core, std::uint64_t seed)
+{
+    const StressorDef *def = nullptr;
+    for (const auto &d : kStressors) {
+        if (name == d.name) {
+            def = &d;
+            break;
+        }
+    }
+    if (def == nullptr) {
+        std::string valid;
+        for (const auto &d : kStressors) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += d.name;
+        }
+        lap_fatal("unknown stressor '%s' (valid: %s)", name.c_str(),
+                  valid.c_str());
+    }
+    lap_assert(cores >= 1 && cores < kTraceMaxCores,
+               "stressor core count %u out of range", cores);
+    lap_assert(refs_per_core >= 1,
+               "stressor needs at least one reference per core");
+
+    TraceData data;
+    data.coreMlp.assign(cores, def->mlp);
+    data.cores.resize(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        data.cores[c].reserve(refs_per_core);
+        Rng rng(fnv1a64(name) * 0x9e3779b97f4a7c15ULL + seed * 31
+                + c + 1);
+        Emitter e(data.cores[c], c, refs_per_core);
+        def->gen(rng, (c + 1) * kCoreStride, e);
+    }
+    return data;
+}
+
+} // namespace lap

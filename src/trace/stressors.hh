@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Built-in replacement-stressor trace generators.
+ *
+ * A ported suite of classic cache stressors (in the spirit of the
+ * mips-mem-sim cache inputs the ROADMAP points at), shipped as
+ * deterministic generators rather than committed multi-megabyte
+ * files: `buildStressorTrace` synthesizes the exact per-core record
+ * streams from (name, cores, refs-per-core, seed), so a
+ * "stressor:<name>" trace spec works identically from the local CLI,
+ * in campaign sweeps, and on fabric workers that share no
+ * filesystem — and `lapsim-trace gen` can still materialize any of
+ * them as a LAPTR1 file.
+ *
+ * The five stressors:
+ *  - gups:           random read-modify-write over a table far
+ *                    larger than the private levels (HPCC
+ *                    RandomAccess).
+ *  - stencil:        1-D 3-point sweep, ping-ponging two grids sized
+ *                    between L2 and the LLC share (loop-block rich).
+ *  - stream_triad:   a[i] = b[i] + s*c[i] over arrays whose sum
+ *                    exceeds the LLC (pure streaming, no reuse).
+ *  - pointer_chase:  serial permutation walk (mlp 1), the
+ *                    latency-bound worst case.
+ *  - mixed_hot_scan: a hot set absorbing most accesses with periodic
+ *                    sequential scan bursts — the classic
+ *                    LRU-thrashing adversary.
+ */
+
+#ifndef LAPSIM_TRACE_STRESSORS_HH
+#define LAPSIM_TRACE_STRESSORS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace lap
+{
+
+/** The five built-in stressor names. */
+const std::vector<std::string> &stressorNames();
+
+/** True when @p name names a built-in stressor. */
+bool isStressorName(const std::string &name);
+
+/**
+ * Synthesizes the @p name stressor: @p cores private streams of
+ * exactly @p refs_per_core records each. Deterministic in all
+ * arguments. Fatal on an unknown name (listing the valid ones).
+ */
+TraceData buildStressorTrace(const std::string &name,
+                             std::uint32_t cores,
+                             std::uint64_t refs_per_core,
+                             std::uint64_t seed);
+
+} // namespace lap
+
+#endif // LAPSIM_TRACE_STRESSORS_HH

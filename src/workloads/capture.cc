@@ -1,0 +1,33 @@
+#include "workloads/capture.hh"
+
+#include "common/logging.hh"
+#include "trace/replay.hh"
+
+namespace lap
+{
+
+TraceData
+captureMultiProgrammed(const std::vector<WorkloadSpec> &specs,
+                       std::uint64_t seed_salt,
+                       std::uint64_t refs_per_core)
+{
+    lap_assert(!specs.empty(), "nothing to capture");
+    lap_assert(refs_per_core >= 1,
+               "capture needs at least one reference per core");
+    auto traces = buildMultiProgrammed(specs, seed_salt);
+    TraceData data;
+    data.cores.resize(traces.size());
+    for (std::uint32_t c = 0; c < traces.size(); ++c) {
+        data.coreMlp.push_back(specs[c].mlp);
+        data.cores[c].reserve(refs_per_core);
+        // The RecordingTrace decorator is the general capture hook
+        // (any TraceSource); here it wraps the live generator and the
+        // pull loop is the whole capture.
+        RecordingTrace recorder(*traces[c], data.cores[c], c);
+        for (std::uint64_t i = 0; i < refs_per_core; ++i)
+            recorder.next();
+    }
+    return data;
+}
+
+} // namespace lap

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Capturing synthetic-generator output as LAPTR1 traces.
+ *
+ * SyntheticTrace is policy-independent — next() never consults the
+ * cache hierarchy — so capturing a workload is just enumerating its
+ * generator stream: no simulation runs, and the captured trace
+ * replays bit-identically because the replay feeds the driver the
+ * exact MemRef sequence the live generator would have
+ * (tests/test_trace_crossval.cc holds that equivalence across every
+ * mix and all 7 policies).
+ */
+
+#ifndef LAPSIM_WORKLOADS_CAPTURE_HH
+#define LAPSIM_WORKLOADS_CAPTURE_HH
+
+#include <vector>
+
+#include "trace/format.hh"
+#include "workloads/regions.hh"
+
+namespace lap
+{
+
+/**
+ * Captures a multi-programmed run's reference streams: core i holds
+ * the first @p refs_per_core references of @p specs[i] built exactly
+ * as Simulator::run builds them (same seed salt, same address-space
+ * bases). The per-core mlp headers carry each spec's mlp so replay
+ * constructs identical core models.
+ */
+TraceData captureMultiProgrammed(
+    const std::vector<WorkloadSpec> &specs, std::uint64_t seed_salt,
+    std::uint64_t refs_per_core);
+
+} // namespace lap
+
+#endif // LAPSIM_WORKLOADS_CAPTURE_HH

@@ -31,6 +31,8 @@
 #include "sim/checkpoint.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "trace/format.hh"
+#include "trace/stressors.hh"
 #include "workloads/mixes.hh"
 
 namespace lap
@@ -253,6 +255,82 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<DiffCase> &info) {
         return std::string(info.param.slug);
     });
+
+// -----------------------------------------------------------------
+// Mid-trace restore: the same save/restore bit-exactness must hold
+// when the workload is a LAPTR1 replay — the snapshot then carries
+// the replay cursors (content CRC + index + wrap count) instead of
+// generator state. Compared in-process against the uninterrupted
+// run, for both store backends and for a cursor past a wrap.
+
+SimConfig
+traceDiffConfig(const std::string &trace_spec)
+{
+    SimConfig cfg = diffConfig(kCases[5]); // lap
+    cfg.tracePath = trace_spec;
+    return cfg;
+}
+
+std::string
+runTraceCase(const SimConfig &cfg)
+{
+    Simulator sim(cfg);
+    const Metrics m = sim.runTrace();
+    return summarize(sim, m);
+}
+
+/** Runs the trace case snapshotting at @p when, restores into a
+ *  fresh Simulator, finishes there and returns its summary. */
+std::string
+runRestoredTraceCase(const SimConfig &cfg, std::uint64_t when,
+                     const char *slug)
+{
+    const std::string path =
+        std::string("ckpt_diff_trace_") + slug + ".ckpt";
+    Simulator first(cfg);
+    bool saved = false;
+    first.setCheckpointHook(when, [&](std::uint64_t) {
+        if (saved)
+            return;
+        saved = true;
+        first.saveCheckpoint(path);
+    });
+    first.runTrace();
+    EXPECT_TRUE(saved) << slug << ": hook never fired at " << when;
+
+    SimConfig restored_config = cfg;
+    restored_config.restorePath = path;
+    Simulator restored(restored_config);
+    const Metrics m = restored.runTrace();
+    const std::string summary = summarize(restored, m);
+    std::remove(path.c_str());
+    return summary;
+}
+
+TEST(CheckpointDifferential, MidTraceRestoreIsBitExact)
+{
+    const SimConfig cfg = traceDiffConfig("stressor:mixed_hot_scan");
+    EXPECT_EQ(runRestoredTraceCase(cfg, 37'000, "stressor"),
+              runTraceCase(cfg));
+}
+
+/** Same property against an mmap'd trace file, with the snapshot
+ *  landing after the replay cursors have wrapped (the trace is
+ *  shorter than the run), so the wrap count restores too. */
+TEST(CheckpointDifferential, MidTraceFileRestoreIsBitExactPastWrap)
+{
+    const std::string trace_path = "ckpt_diff_trace_wrap.laptr";
+    writeTraceFile(trace_path,
+                   buildStressorTrace("stencil", 2, 20'000, 3));
+    const SimConfig cfg = traceDiffConfig(trace_path);
+    // 50k references in: each 2-core cursor has wrapped its 20k
+    // stream at least once by then.
+    const std::string restored =
+        runRestoredTraceCase(cfg, 50'000, "wrap");
+    const std::string straight = runTraceCase(cfg);
+    std::remove(trace_path.c_str());
+    EXPECT_EQ(restored, straight);
+}
 
 } // namespace
 } // namespace lap

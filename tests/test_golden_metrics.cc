@@ -202,5 +202,92 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(info.param.slug);
     });
 
+// -----------------------------------------------------------------
+// Stressor-trace baselines: the five built-in LAPTR1 stressors
+// (trace/stressors.hh) replayed through the trace frontend, each
+// paired with a different policy so the matrix also exercises the
+// replay path under every adaptive mechanism. Same comparison
+// machinery, same regeneration workflow as the mix cases above.
+
+struct StressorCase
+{
+    const char *slug;     //!< Baseline stem, "stressor_<name>".
+    const char *trace;    //!< "stressor:<name>" spec.
+    PolicyKind policy;
+};
+
+const StressorCase kStressorCases[] = {
+    {"stressor_gups", "stressor:gups", PolicyKind::NonInclusive},
+    {"stressor_stencil", "stressor:stencil", PolicyKind::Lap},
+    {"stressor_stream_triad", "stressor:stream_triad",
+     PolicyKind::Exclusive},
+    {"stressor_pointer_chase", "stressor:pointer_chase",
+     PolicyKind::Inclusive},
+    {"stressor_mixed_hot_scan", "stressor:mixed_hot_scan",
+     PolicyKind::Dswitch},
+};
+
+SimConfig
+stressorConfig(const StressorCase &c)
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 10'000;
+    cfg.measureRefs = 50'000;
+    cfg.tuning.epochCycles = 50'000;
+    cfg.policy = c.policy;
+    cfg.tracePath = c.trace;
+    return cfg;
+}
+
+class GoldenStressors : public ::testing::TestWithParam<StressorCase>
+{
+};
+
+TEST_P(GoldenStressors, MatchesCommittedBaseline)
+{
+    const StressorCase &c = GetParam();
+    const std::string path =
+        std::string(LAPSIM_GOLDEN_DIR) + "/" + c.slug + ".json";
+    Simulator sim(stressorConfig(c));
+    const std::string fresh = goldenJson(sim.runTrace());
+
+    if (regenRequested()) {
+        writeFile(path, fresh + "\n");
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    const std::string baseline = readFileOrEmpty(path);
+    ASSERT_FALSE(baseline.empty())
+        << "missing baseline " << path
+        << " — run tools/regen-golden.sh and commit the result";
+
+    JsonRow want, got;
+    ASSERT_TRUE(parseJsonObject(baseline, want)) << path;
+    ASSERT_TRUE(parseJsonObject(fresh, got));
+
+    for (const char *key : kExactKeys) {
+        EXPECT_EQ(rowValue(want, key), rowValue(got, key))
+            << c.slug << ": counter '" << key << "' drifted";
+    }
+    for (const char *key : kTolerantKeys) {
+        const double expect = std::atof(rowValue(want, key).c_str());
+        const double actual = std::atof(rowValue(got, key).c_str());
+        const double tol =
+            1e-4 * std::max(1e-12, std::abs(expect));
+        EXPECT_NEAR(actual, expect, tol)
+            << c.slug << ": metric '" << key << "' drifted";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stressors, GoldenStressors, ::testing::ValuesIn(kStressorCases),
+    [](const ::testing::TestParamInfo<StressorCase> &info) {
+        return std::string(info.param.slug);
+    });
+
 } // namespace
 } // namespace lap

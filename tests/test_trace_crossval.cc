@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Synthetic-vs-captured cross-validation battery — the frontend
+ * equivalence proof behind the real-trace subsystem.
+ *
+ * SyntheticTrace never consults the cache hierarchy, so capturing a
+ * workload's reference stream and replaying it through the LAPTR1
+ * path must be *bit-identical* to the live run: same end-of-run
+ * metrics JSON, same epoch-stream serialization, reference for
+ * reference. This battery holds that equivalence
+ *
+ *  - per region kind (mixes and duplicate-benchmark workloads
+ *    spanning the generator's behaviours),
+ *  - across all seven inclusion-policy configurations, where the
+ *    policy *ranking* (by EPI and by throughput) must also agree
+ *    between frontends,
+ *  - between the two store backends (an mmap'd file and the
+ *    in-memory "stressor:" synthesis), and
+ *  - under the campaign engine, including mid-job checkpoint/resume
+ *    over trace workloads.
+ *
+ * A divergence anywhere here means the replay frontend is not a
+ * faithful peer of the generators — the one property that makes
+ * trace-based results comparable with every synthetic result in the
+ * repo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "campaign/engine.hh"
+#include "campaign/spec.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "stats/stats_engine.hh"
+#include "trace/format.hh"
+#include "trace/resolve.hh"
+#include "trace/stressors.hh"
+#include "workloads/capture.hh"
+#include "workloads/mixes.hh"
+
+namespace lap
+{
+namespace
+{
+
+struct PolicyCase
+{
+    const char *slug;
+    PolicyKind policy;
+    PlacementKind placement;
+    bool hybrid;
+};
+
+/** The full policy matrix (mirrors the golden/differential suites). */
+const PolicyCase kPolicies[] = {
+    {"inclusive", PolicyKind::Inclusive, PlacementKind::Default,
+     false},
+    {"noni", PolicyKind::NonInclusive, PlacementKind::Default, false},
+    {"ex", PolicyKind::Exclusive, PlacementKind::Default, false},
+    {"flex", PolicyKind::Flexclusion, PlacementKind::Default, false},
+    {"dswitch", PolicyKind::Dswitch, PlacementKind::Default, false},
+    {"lap", PolicyKind::Lap, PlacementKind::Default, false},
+    {"lhybrid", PolicyKind::Lap, PlacementKind::Lhybrid, true},
+};
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1Size = 4 * 1024;
+    cfg.l2Size = 32 * 1024;
+    cfg.llcSize = 256 * 1024;
+    cfg.warmupRefs = 3'000;
+    cfg.measureRefs = 12'000;
+    cfg.epochStatsInterval = 2'000;
+    return cfg;
+}
+
+void
+applyPolicy(SimConfig &cfg, const PolicyCase &c)
+{
+    cfg.policy = c.policy;
+    cfg.placement = c.placement;
+    cfg.hybridLlc = c.hybrid;
+}
+
+std::string
+uniquePath(const std::string &tag)
+{
+    return "/tmp/lapsim_crossval_" + tag + "_"
+        + std::to_string(::getpid());
+}
+
+/** A Table III / MIXn mix cut down to the 2-core test machine. */
+MixSpec
+twoCoreMix(MixSpec mix)
+{
+    mix.benchmarks.resize(2);
+    return mix;
+}
+
+/**
+ * The full observable surface of a finished run: every metric field
+ * (bit-exact doubles included — JSON formatting is deterministic)
+ * plus the complete serialized epoch stream.
+ */
+std::string
+summarize(Simulator &sim, const Metrics &m)
+{
+    std::string out = metricsToJson(m);
+    out += '\n';
+    if (const StatsEngine *engine = sim.statsEngine()) {
+        if (const EpochSampler *sampler = engine->sampler()) {
+            for (const EpochRecord &record : sampler->records()) {
+                out += epochToJson(record);
+                out += '\n';
+            }
+        }
+    }
+    return out;
+}
+
+struct RunSummary
+{
+    std::string text;
+    double epi = 0.0;
+    double throughput = 0.0;
+};
+
+RunSummary
+runLive(const SimConfig &cfg, const std::vector<WorkloadSpec> &specs)
+{
+    Simulator sim(cfg);
+    const Metrics m = sim.run(specs);
+    return {summarize(sim, m), m.epi, m.throughput};
+}
+
+RunSummary
+runReplay(SimConfig cfg, const std::string &trace_spec)
+{
+    cfg.tracePath = trace_spec;
+    Simulator sim(cfg);
+    const Metrics m = sim.runTrace();
+    return {summarize(sim, m), m.epi, m.throughput};
+}
+
+/** Captures @p specs exactly as the live run consumes them and
+ *  writes the LAPTR1 file; returns its path. */
+std::string
+captureToFile(const SimConfig &cfg,
+              const std::vector<WorkloadSpec> &specs,
+              const std::string &tag)
+{
+    const TraceData data = captureMultiProgrammed(
+        specs, cfg.seedSalt, cfg.warmupRefs + cfg.measureRefs);
+    const std::string path = uniquePath(tag) + ".laptr";
+    writeTraceFile(path, data);
+    return path;
+}
+
+/** The captured stream must equal the live generator's, reference
+ *  for reference — capture is enumeration, not approximation. */
+TEST(TraceCrossval, CapturedStreamEqualsLiveGenerator)
+{
+    const auto specs = resolveMix(twoCoreMix(tableThreeMixes()[0]));
+    const std::uint64_t salt = 42;
+    const TraceData data = captureMultiProgrammed(specs, salt, 500);
+
+    auto fresh = buildMultiProgrammed(specs, salt);
+    ASSERT_EQ(data.coreCount(), fresh.size());
+    for (std::uint32_t c = 0; c < data.coreCount(); ++c) {
+        ASSERT_EQ(data.cores[c].size(), 500u);
+        EXPECT_DOUBLE_EQ(data.coreMlp[c], specs[c].mlp);
+        for (std::uint64_t i = 0; i < 500; ++i) {
+            const MemRef want = fresh[c]->next();
+            const MemRef got = toMemRef(data.cores[c][i]);
+            ASSERT_EQ(got.addr, want.addr) << c << ":" << i;
+            ASSERT_EQ(got.type, want.type) << c << ":" << i;
+            ASSERT_EQ(got.gapInstrs, want.gapInstrs) << c << ":" << i;
+            ASSERT_EQ(got.site, want.site) << c << ":" << i;
+        }
+    }
+}
+
+class CrossvalPolicies : public ::testing::TestWithParam<PolicyCase>
+{
+};
+
+/** Per policy: replaying a workload's own captured trace must be
+ *  bit-identical to the live run in metrics and epoch stream. */
+TEST_P(CrossvalPolicies, ReplayIsBitIdenticalToLive)
+{
+    const PolicyCase &c = GetParam();
+    SimConfig cfg = smallConfig();
+    applyPolicy(cfg, c);
+    const auto specs =
+        resolveMix(twoCoreMix(tableThreeMixes()[5])); // WH1
+    const std::string path = captureToFile(cfg, specs, c.slug);
+
+    const RunSummary live = runLive(cfg, specs);
+    const RunSummary replay = runReplay(cfg, path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(live.text, replay.text)
+        << c.slug << ": trace replay diverged from the live run";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CrossvalPolicies, ::testing::ValuesIn(kPolicies),
+    [](const ::testing::TestParamInfo<PolicyCase> &info) {
+        return std::string(info.param.slug);
+    });
+
+/** The policy ranking a trace-based study reports must match the
+ *  synthetic study's: same EPI order, same throughput order. */
+TEST(TraceCrossval, PolicyRankingMatchesBetweenFrontends)
+{
+    SimConfig base = smallConfig();
+    const auto specs =
+        resolveMix(twoCoreMix(tableThreeMixes()[5])); // WH1
+    // One capture serves all policies: the stream is
+    // policy-independent, which is exactly what makes cross-policy
+    // ratios controlled.
+    const std::string path = captureToFile(base, specs, "ranking");
+
+    std::vector<double> live_epi, replay_epi;
+    std::vector<double> live_ipc, replay_ipc;
+    for (const PolicyCase &c : kPolicies) {
+        SimConfig cfg = base;
+        applyPolicy(cfg, c);
+        const RunSummary live = runLive(cfg, specs);
+        const RunSummary replay = runReplay(cfg, path);
+        live_epi.push_back(live.epi);
+        replay_epi.push_back(replay.epi);
+        live_ipc.push_back(live.throughput);
+        replay_ipc.push_back(replay.throughput);
+    }
+    std::remove(path.c_str());
+
+    auto ranking = [](const std::vector<double> &values) {
+        std::vector<std::size_t> order(values.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&values](std::size_t a, std::size_t b) {
+                             return values[a] < values[b];
+                         });
+        return order;
+    };
+    EXPECT_EQ(ranking(live_epi), ranking(replay_epi))
+        << "EPI policy ranking diverged between frontends";
+    EXPECT_EQ(ranking(live_ipc), ranking(replay_ipc))
+        << "throughput policy ranking diverged between frontends";
+}
+
+/** Region-kind coverage: every generator behaviour a mix can contain
+ *  (streaming, pointer-chasing, loop-dominant, mixed) replays
+ *  bit-identically under the LAP policy. */
+TEST(TraceCrossval, RegionKindsReplayBitIdentically)
+{
+    SimConfig cfg = smallConfig();
+    cfg.policy = PolicyKind::Lap;
+    cfg.warmupRefs = 2'000;
+    cfg.measureRefs = 8'000;
+
+    std::vector<std::pair<std::string, std::vector<WorkloadSpec>>>
+        workloads;
+    workloads.emplace_back(
+        "WL1", resolveMix(twoCoreMix(tableThreeMixes()[0])));
+    workloads.emplace_back(
+        "WH1", resolveMix(twoCoreMix(tableThreeMixes()[5])));
+    workloads.emplace_back("MIX1",
+                           resolveMix(randomMixes(1, 2)[0]));
+    for (const char *bench :
+         {"mcf", "omnetpp", "libquantum", "astar"}) {
+        workloads.emplace_back(
+            bench, resolveMix(duplicateMix(bench, 2)));
+    }
+
+    for (const auto &[tag, specs] : workloads) {
+        const std::string path = captureToFile(cfg, specs, tag);
+        const RunSummary live = runLive(cfg, specs);
+        const RunSummary replay = runReplay(cfg, path);
+        std::remove(path.c_str());
+        EXPECT_EQ(live.text, replay.text)
+            << tag << ": trace replay diverged from the live run";
+    }
+}
+
+/** The two store backends are interchangeable: a "stressor:" spec
+ *  (in-memory synthesis) and a LAPTR1 file of the same generator
+ *  output produce identical runs. */
+TEST(TraceCrossval, FileAndStressorSpecsAreEquivalent)
+{
+    SimConfig cfg = smallConfig();
+    cfg.policy = PolicyKind::Lap;
+    cfg.seedSalt = 9;
+
+    for (const std::string &name : stressorNames()) {
+        const TraceData data = buildStressorTrace(
+            name, cfg.numCores, cfg.warmupRefs + cfg.measureRefs,
+            cfg.seedSalt);
+        const std::string path = uniquePath(name) + ".laptr";
+        writeTraceFile(path, data);
+        const RunSummary from_file = runReplay(cfg, path);
+        const RunSummary from_spec =
+            runReplay(cfg, "stressor:" + name);
+        std::remove(path.c_str());
+        EXPECT_EQ(from_file.text, from_spec.text)
+            << name << ": file and in-memory replay diverged";
+    }
+}
+
+/** Wrapping is well-defined: a trace shorter than the run replays
+ *  its stream cyclically and still completes deterministically. */
+TEST(TraceCrossval, ShortTraceWrapsDeterministically)
+{
+    SimConfig cfg = smallConfig();
+    const TraceData data = buildStressorTrace(
+        "mixed_hot_scan", cfg.numCores, 4'000, 1);
+    const std::string path = uniquePath("wrap") + ".laptr";
+    writeTraceFile(path, data);
+    const RunSummary a = runReplay(cfg, path);
+    const RunSummary b = runReplay(cfg, path);
+    std::remove(path.c_str());
+    EXPECT_EQ(a.text, b.text);
+}
+
+/** All five stressors run as campaign workloads with mid-job
+ *  checkpointing on, and a resumed campaign skips them as done. */
+TEST(TraceCrossval, StressorCampaignWithMidJobRestore)
+{
+    CampaignSpec spec;
+    spec.name = "crossval";
+    spec.base = smallConfig();
+    spec.base.warmupRefs = 1'000;
+    spec.base.measureRefs = 4'000;
+    spec.policies = {PolicyKind::NonInclusive, PolicyKind::Lap};
+    for (const std::string &name : stressorNames())
+        spec.workloads.push_back(
+            CampaignWorkload::trace("stressor:" + name));
+
+    const std::string out = uniquePath("campaign") + ".jsonl";
+    std::remove(out.c_str());
+    EngineOptions options;
+    options.jobs = 2;
+    options.outPath = out;
+    options.midJobRestore = true;
+    options.checkpointEvery = 3'000;
+
+    const CampaignResult first = runCampaign(spec, options);
+    EXPECT_EQ(first.jobs.size(), 10u);
+    EXPECT_EQ(first.countWithStatus(JobStatus::Ok), 10u);
+
+    // Resume against the completed log: everything is done already.
+    const CampaignResult second = runCampaign(spec, options);
+    EXPECT_EQ(second.countWithStatus(JobStatus::Skipped), 10u);
+    std::remove(out.c_str());
+}
+
+/** A trace whose stream count disagrees with the run's core count is
+ *  refused up front with a geometry diagnostic. */
+TEST(TraceCrossval, CoreCountMismatchIsRejected)
+{
+    SimConfig cfg = smallConfig();
+    const TraceData data = buildStressorTrace("gups", 4, 200, 0);
+    const std::string path = uniquePath("geom") + ".laptr";
+    writeTraceFile(path, data);
+    cfg.tracePath = path;
+    try {
+        const ScopedFatalThrow guard;
+        Simulator sim(cfg);
+        sim.runTrace();
+        FAIL() << "core-count mismatch accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what())
+                      .find("holds 4 per-core streams"),
+                  std::string::npos)
+            << err.what();
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace lap

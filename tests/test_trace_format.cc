@@ -1,0 +1,573 @@
+/**
+ * @file
+ * LAPTR1 trace-format battery: round-trip fidelity, capture-time
+ * range enforcement, replay-cursor checkpointing, stressor
+ * determinism — and the corruption half: malformed, truncated and
+ * corrupted trace files must be refused with a *specific* diagnostic
+ * and must never crash, over-read or allocate absurd amounts — CI
+ * runs this suite under ASan/UBSan.
+ *
+ * Covers every fault the reader distinguishes: unreadable path,
+ * header- and record-level truncation, foreign magic, unsupported
+ * schema version, nonzero reserved bytes, zero/absurd core counts,
+ * header claims the file cannot hold (including multi-GB claims,
+ * which must be rejected by bounded arithmetic, not by attempting the
+ * allocation), CRC failure, and the semantic faults (no records at
+ * all, an empty per-core stream). Also checks the ordering contract
+ * shared with the checkpoint reader: structural faults report before
+ * the CRC, corruption reports before semantic complaints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+#include "trace/format.hh"
+#include "trace/reader.hh"
+#include "trace/replay.hh"
+#include "trace/resolve.hh"
+#include "trace/stressors.hh"
+
+namespace lap
+{
+namespace
+{
+
+/** Two-core fixture trace; small but multi-stream. */
+TraceData
+fixtureData()
+{
+    return buildStressorTrace("gups", 2, 50, 7);
+}
+
+void
+writeAll(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Attempts to open @p path and returns the fatal diagnostic. */
+std::string
+rejectionMessage(const std::string &path)
+{
+    try {
+        const ScopedFatalThrow guard;
+        const TraceReader reader(path);
+    } catch (const FatalError &err) {
+        return err.what();
+    }
+    return "";
+}
+
+/** Little-endian stores into a raw file image. */
+void
+putU32(std::string &b, std::size_t offset, std::uint32_t value)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        b[offset + i] =
+            static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+void
+putU64(std::string &b, std::size_t offset, std::uint64_t value)
+{
+    for (std::size_t i = 0; i < 8; ++i)
+        b[offset + i] =
+            static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+/** Recomputes the CRC footer after a deliberate header edit, so the
+ *  test reaches the check *behind* the CRC. */
+void
+sealCrc(std::string &b)
+{
+    const std::uint32_t crc =
+        crc32(b.data() + kTraceMagicBytes,
+              b.size() - kTraceMagicBytes - kTraceCrcBytes);
+    putU32(b, b.size() - kTraceCrcBytes, crc);
+}
+
+class TraceCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        data_ = fixtureData();
+        bytes_ = encodeTrace(data_);
+        // Fixed header (16) + 2x count + 2x mlp = 48 for two cores.
+        ASSERT_EQ(traceHeaderBytes(2), 48u);
+        ASSERT_EQ(bytes_.size(),
+                  48 + 100 * kTraceRecordBytes + kTraceCrcBytes);
+        writeAll(path_, bytes_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    /** Rewrites the file as a mutated copy of the valid image. */
+    void
+    mutate(const std::function<void(std::string &)> &edit)
+    {
+        std::string copy = bytes_;
+        edit(copy);
+        writeAll(path_, copy);
+    }
+
+    TraceData data_;
+    /** Unique per process: parallel ctest runs several suites from
+     *  the same working directory, so a fixed relative name races. */
+    std::string path_ = "/tmp/lapsim_trace_corruption_"
+        + std::to_string(::getpid()) + ".laptr";
+    std::string bytes_;
+};
+
+TEST_F(TraceCorruption, ValidFileRoundTrips)
+{
+    const TraceReader reader(path_);
+    ASSERT_EQ(reader.coreCount(), 2u);
+    for (std::uint32_t c = 0; c < 2; ++c) {
+        ASSERT_EQ(reader.recordCount(c), 50u);
+        EXPECT_DOUBLE_EQ(reader.coreMlp(c), data_.coreMlp[c]);
+        for (std::uint64_t i = 0; i < 50; ++i) {
+            const TraceRecord want = data_.cores[c][i];
+            const TraceRecord got = reader.record(c, i);
+            ASSERT_EQ(got.addr, want.addr) << c << ":" << i;
+            ASSERT_EQ(got.site, want.site);
+            ASSERT_EQ(got.gapInstrs, want.gapInstrs);
+            ASSERT_EQ(got.coreId, want.coreId);
+            ASSERT_EQ(got.isStore, want.isStore);
+        }
+    }
+}
+
+/** File and in-memory stores of the same data agree on the content
+ *  CRC — that identity is what replay-cursor checkpoints pin. */
+TEST_F(TraceCorruption, MemoryStoreCrcMatchesFileCrc)
+{
+    const TraceReader reader(path_);
+    const MemoryTraceStore memory(fixtureData(), "fixture");
+    EXPECT_EQ(reader.contentCrc(), memory.contentCrc());
+}
+
+TEST_F(TraceCorruption, MissingFileIsUnreadable)
+{
+    const std::string msg =
+        rejectionMessage("/tmp/no_such_trace.laptr");
+    EXPECT_NE(msg.find("cannot open trace"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, HeaderTruncationIsReported)
+{
+    // Every cut inside the fixed frame yields the same diagnostic:
+    // not even the magic can be trusted at these sizes.
+    for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                  std::size_t{10}, std::size_t{19}}) {
+        mutate([cut](std::string &b) { b.resize(cut); });
+        const std::string msg = rejectionMessage(path_);
+        EXPECT_NE(msg.find("is truncated"), std::string::npos)
+            << "cut=" << cut << ": " << msg;
+        EXPECT_NE(msg.find("fixed header"), std::string::npos)
+            << "cut=" << cut << ": " << msg;
+    }
+}
+
+TEST_F(TraceCorruption, PerCoreHeaderTruncationIsReported)
+{
+    // Large enough for the fixed frame, too small for the two-core
+    // count/mlp tables it declares.
+    mutate([](std::string &b) { b.resize(30); });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("2-core header alone needs"),
+              std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, MidRecordTruncationIsReported)
+{
+    mutate([](std::string &b) { b.resize(b.size() - 8); });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("truncated mid-record"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, WholeRecordTruncationIsReported)
+{
+    // A clean 16-byte cut keeps the region well-formed but leaves
+    // fewer records than the header claims.
+    mutate([](std::string &b) { b.resize(b.size() - 16); });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("but the file holds"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, TrailingGarbageIsReported)
+{
+    mutate([](std::string &b) { b.append(16, '\0'); });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("declares 100 records but the file holds "
+                       "101"),
+              std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, ForeignMagicIsReported)
+{
+    mutate([](std::string &b) { b[0] = 'X'; });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("is not a lapsim trace"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, UnsupportedVersionIsReported)
+{
+    // The schema version is the little-endian u16 after the magic.
+    mutate([](std::string &b) { b[6] = static_cast<char>(0x7f); });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("has schema version"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("regenerate or convert"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, NonzeroReservedBytesAreReported)
+{
+    mutate([](std::string &b) {
+        b[12] = 1;
+        sealCrc(b);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("nonzero reserved"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, ZeroCoreClaimIsReported)
+{
+    mutate([](std::string &b) {
+        putU32(b, 8, 0);
+        sealCrc(b);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("declares zero cores"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, AbsurdCoreClaimIsReported)
+{
+    mutate([](std::string &b) {
+        putU32(b, 8, 100'000);
+        sealCrc(b);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("declares 100000 cores"), std::string::npos)
+        << msg;
+}
+
+/** A header claiming multi-GB streams in a tiny file must be refused
+ *  by arithmetic alone — no overflow, no attempted allocation (ASan
+ *  would flag either). */
+TEST_F(TraceCorruption, MultiGbRecordClaimIsReported)
+{
+    mutate([](std::string &b) {
+        putU64(b, kTraceFixedHeaderBytes, 1ULL << 40);
+        sealCrc(b);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("records for core 0"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("but the file holds only"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, FlippedRecordBitFailsCrc)
+{
+    // Offset 60 lands in core 0's first record, past the header.
+    mutate([](std::string &b) {
+        b[60] = static_cast<char>(b[60] ^ 0x01);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("failed its CRC check"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, FlippedMlpBitFailsCrc)
+{
+    // The mlp table (offsets 32..47 here) is not structurally
+    // validated, so damage to it must surface as corruption.
+    mutate([](std::string &b) {
+        b[34] = static_cast<char>(b[34] ^ 0x10);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("failed its CRC check"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, FlippedCrcFooterFailsCrc)
+{
+    mutate([](std::string &b) {
+        b[b.size() - 1] = static_cast<char>(b[b.size() - 1] ^ 0xff);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("failed its CRC check"), std::string::npos)
+        << msg;
+}
+
+/** A well-formed, correctly-sealed file whose streams are all empty
+ *  is a semantic fault, reported as such (not as corruption). */
+TEST_F(TraceCorruption, ZeroRecordFileIsReported)
+{
+    std::string image(traceHeaderBytes(1) + kTraceCrcBytes, '\0');
+    std::memcpy(image.data(), kTraceMagic, kTraceMagicBytes);
+    image[6] = static_cast<char>(kTraceSchemaVersion);
+    putU32(image, 8, 1); // one core, count 0, mlp 0
+    sealCrc(image);
+    writeAll(path_, image);
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("contains no records"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, EmptyCoreStreamIsReported)
+{
+    // Shift all 100 records onto core 1 (totals intact, re-sealed):
+    // structurally and CRC-wise valid, semantically unusable.
+    mutate([](std::string &b) {
+        putU64(b, kTraceFixedHeaderBytes, 0);
+        putU64(b, kTraceFixedHeaderBytes + 8, 100);
+        sealCrc(b);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("has no records for core 0"),
+              std::string::npos)
+        << msg;
+}
+
+/** Corruption must win over semantics: the same empty-stream edit
+ *  without re-sealing reports the CRC failure, so a user never
+ *  chases a phantom empty-core problem in a damaged file. */
+TEST_F(TraceCorruption, CorruptionReportsCrcNotSemantics)
+{
+    mutate([](std::string &b) {
+        putU64(b, kTraceFixedHeaderBytes, 0);
+        putU64(b, kTraceFixedHeaderBytes + 8, 100);
+    });
+    const std::string msg = rejectionMessage(path_);
+    EXPECT_NE(msg.find("failed its CRC check"), std::string::npos)
+        << msg;
+}
+
+TEST_F(TraceCorruption, AtomicWriteLeavesNoTempFile)
+{
+    writeTraceFile(path_, data_);
+    const TraceReader reader(path_);
+    EXPECT_EQ(reader.coreCount(), 2u);
+    std::ifstream tmp(path_ + ".tmp");
+    EXPECT_FALSE(tmp.good()) << "temp file left behind";
+}
+
+// ---------------------------------------------------------------
+// Capture-time range enforcement.
+
+TEST(TracePack, RoundTripsThroughMemRef)
+{
+    MemRef ref;
+    ref.addr = 0x1234'5678'9abcULL;
+    ref.type = AccessType::Write;
+    ref.gapInstrs = 1234;
+    ref.site = 99;
+    const TraceRecord rec = packRecord(ref, 3);
+    EXPECT_EQ(rec.coreId, 3u);
+    EXPECT_TRUE(rec.isStore);
+    const MemRef back = toMemRef(rec);
+    EXPECT_EQ(back.addr, ref.addr);
+    EXPECT_EQ(back.type, ref.type);
+    EXPECT_EQ(back.gapInstrs, ref.gapInstrs);
+    EXPECT_EQ(back.site, ref.site);
+}
+
+TEST(TracePack, RefusesGapBeyondFormat)
+{
+    MemRef ref;
+    ref.gapInstrs = 0x1'0000;
+    try {
+        const ScopedFatalThrow guard;
+        packRecord(ref, 0);
+        FAIL() << "oversized gap accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("gap"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(TracePack, RefusesCoreBeyondFormat)
+{
+    try {
+        const ScopedFatalThrow guard;
+        packRecord(MemRef{}, kTraceMaxCores);
+        FAIL() << "oversized core id accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("core"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(TraceEncode, RefusesUnrepresentableData)
+{
+    try {
+        const ScopedFatalThrow guard;
+        encodeTrace(TraceData{});
+        FAIL() << "zero-core trace encoded";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("zero cores"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    TraceData empty_stream;
+    empty_stream.coreMlp = {1.0};
+    empty_stream.cores.resize(1);
+    try {
+        const ScopedFatalThrow guard;
+        encodeTrace(empty_stream);
+        FAIL() << "empty stream encoded";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("no records"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+// ---------------------------------------------------------------
+// Replay cursor checkpointing.
+
+TEST(TraceReplay, CursorSaveRestoreResumesExactly)
+{
+    const auto store = std::make_shared<MemoryTraceStore>(
+        fixtureData(), "fixture");
+    TraceReplaySource source(store, 1);
+    // Advance past one wrap so both cursor and wrap count are
+    // non-trivial in the snapshot.
+    for (int i = 0; i < 73; ++i)
+        source.next();
+    EXPECT_EQ(source.wraps(), 1u);
+
+    ByteWriter out;
+    source.saveState(out);
+
+    TraceReplaySource resumed(store, 1);
+    ByteReader in(out.data());
+    resumed.loadState(in);
+    in.expectEnd();
+    EXPECT_EQ(resumed.cursor(), source.cursor());
+    EXPECT_EQ(resumed.wraps(), source.wraps());
+    for (int i = 0; i < 100; ++i) {
+        const MemRef want = source.next();
+        const MemRef got = resumed.next();
+        ASSERT_EQ(got.addr, want.addr) << i;
+        ASSERT_EQ(got.type, want.type) << i;
+        ASSERT_EQ(got.gapInstrs, want.gapInstrs) << i;
+    }
+}
+
+TEST(TraceReplay, CursorRejectsForeignTraceContent)
+{
+    const auto store = std::make_shared<MemoryTraceStore>(
+        fixtureData(), "fixture");
+    TraceReplaySource source(store, 0);
+    source.next();
+    ByteWriter out;
+    source.saveState(out);
+
+    const auto other = std::make_shared<MemoryTraceStore>(
+        buildStressorTrace("stencil", 2, 50, 7), "other");
+    TraceReplaySource victim(other, 0);
+    ByteReader in(out.data());
+    try {
+        const ScopedFatalThrow guard;
+        victim.loadState(in);
+        FAIL() << "cursor for different trace content accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("trace content"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+// ---------------------------------------------------------------
+// Stressor generators.
+
+TEST(TraceStressors, GeneratorsAreDeterministic)
+{
+    for (const std::string &name : stressorNames()) {
+        const std::string a =
+            encodeTrace(buildStressorTrace(name, 2, 400, 11));
+        const std::string b =
+            encodeTrace(buildStressorTrace(name, 2, 400, 11));
+        EXPECT_EQ(a, b) << name << " is not deterministic";
+        const std::string c =
+            encodeTrace(buildStressorTrace(name, 2, 400, 12));
+        EXPECT_NE(a, c) << name << " ignores its seed";
+    }
+}
+
+TEST(TraceStressors, EveryStressorFillsItsBudget)
+{
+    ASSERT_EQ(stressorNames().size(), 5u);
+    for (const std::string &name : stressorNames()) {
+        const TraceData data = buildStressorTrace(name, 3, 257, 0);
+        ASSERT_EQ(data.coreCount(), 3u) << name;
+        for (std::uint32_t c = 0; c < 3; ++c) {
+            EXPECT_EQ(data.cores[c].size(), 257u)
+                << name << " core " << c;
+            EXPECT_GT(data.coreMlp[c], 0.0) << name;
+        }
+        // Streams of different cores must not collide: the address
+        // spaces are private, like the synthetic generators'.
+        EXPECT_NE(data.cores[0][0].addr, data.cores[1][0].addr)
+            << name;
+    }
+}
+
+TEST(TraceStressors, UnknownNameListsTheValidOnes)
+{
+    try {
+        const ScopedFatalThrow guard;
+        buildStressorTrace("bogus", 1, 10, 0);
+        FAIL() << "unknown stressor accepted";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("gups"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("mixed_hot_scan"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(TraceResolve, SpecDispatchesStressorVsFile)
+{
+    EXPECT_TRUE(isStressorSpec("stressor:gups"));
+    EXPECT_FALSE(isStressorSpec("/tmp/file.laptr"));
+    const auto store = openTraceStore("stressor:gups", 2, 30, 5);
+    EXPECT_EQ(store->coreCount(), 2u);
+    EXPECT_EQ(store->recordCount(0), 30u);
+    EXPECT_EQ(store->describe(), "stressor:gups");
+}
+
+} // namespace
+} // namespace lap
